@@ -1,0 +1,72 @@
+//! Criterion bench: diFS re-replication cost per failed unit — the
+//! control-plane work Salamander multiplies (many small failures instead
+//! of one big one).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use salamander_difs::cluster::Cluster;
+use salamander_difs::store::ChunkStore;
+use salamander_difs::types::DifsConfig;
+
+/// Build a cluster of `nodes` nodes × `units` units, filled to ~60%.
+fn build(nodes: u32, units_per_node: u32, cap: u32) -> (Cluster, ChunkStore) {
+    let mut cluster = Cluster::new();
+    for _ in 0..nodes {
+        let n = cluster.add_node();
+        let d = cluster.add_device(n);
+        for _ in 0..units_per_node {
+            cluster.add_unit(d, cap);
+        }
+    }
+    let mut store = ChunkStore::new(DifsConfig::default());
+    let target = cluster.alive_capacity() * 6 / 10 / 3;
+    for _ in 0..target {
+        if store.create_chunk(&mut cluster).is_err() {
+            break;
+        }
+    }
+    (cluster, store)
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("difs");
+    group.sample_size(10);
+
+    group.bench_function("fail_one_minidisk_unit", |b| {
+        b.iter_batched(
+            || build(8, 32, 4),
+            |(mut cluster, mut store)| {
+                let victim = cluster.alive_units().next().map(|(id, _)| id).unwrap();
+                store.fail_unit(&mut cluster, victim);
+                std::hint::black_box(store.metrics().recovery_bytes)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("fail_whole_device", |b| {
+        b.iter_batched(
+            || build(8, 32, 4),
+            |(mut cluster, mut store)| {
+                store.fail_device(&mut cluster, salamander_difs::types::DeviceId(0));
+                std::hint::black_box(store.metrics().recovery_bytes)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("create_chunk", |b| {
+        b.iter_batched(
+            || build(8, 32, 64),
+            |(mut cluster, mut store)| {
+                for _ in 0..100 {
+                    store.create_chunk(&mut cluster).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

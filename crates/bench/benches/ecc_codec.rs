@@ -1,0 +1,60 @@
+//! Criterion bench: the real BCH codec at flash-controller scale.
+//!
+//! Exercises the paper's L0 configuration (1 KiB chunk + 128 B parity,
+//! GF(2^14), t = 73) and the L1 configuration (512 B parity per chunk,
+//! t = 292) for encode, clean decode, and worst-case decode (t errors).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use salamander_ecc::bch::Bch;
+
+fn codeword_with_errors(code: &Bch, errors: usize, rng: &mut ChaCha8Rng) -> Vec<bool> {
+    let data: Vec<bool> = (0..code.data_bits()).map(|_| rng.gen()).collect();
+    let mut cw = code.encode(&data);
+    let mut flipped = std::collections::HashSet::new();
+    while flipped.len() < errors {
+        flipped.insert(rng.gen_range(0..code.codeword_bits()));
+    }
+    for &p in &flipped {
+        cw[p] = !cw[p];
+    }
+    cw
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bch");
+    group.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+
+    for (label, m, t, k) in [
+        ("L0_t73", 14u32, 73u32, 8192usize),
+        ("L1_t292", 14, 292, 8192),
+    ] {
+        let code = Bch::new_shortened(m, t, k).expect("code constructs");
+        let data: Vec<bool> = (0..code.data_bits()).map(|_| rng.gen()).collect();
+        group.bench_function(format!("encode_{label}"), |b| {
+            b.iter(|| std::hint::black_box(code.encode(&data)))
+        });
+        let clean = code.encode(&data);
+        group.bench_function(format!("decode_clean_{label}"), |b| {
+            b.iter_batched(
+                || clean.clone(),
+                |mut cw| std::hint::black_box(code.decode(&mut cw)),
+                BatchSize::SmallInput,
+            )
+        });
+        let dirty = codeword_with_errors(&code, t as usize, &mut rng);
+        group.bench_function(format!("decode_t_errors_{label}"), |b| {
+            b.iter_batched(
+                || dirty.clone(),
+                |mut cw| std::hint::black_box(code.decode(&mut cw).unwrap()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench: raw flash-simulator operation rates (program, read
+//! with error injection, erase) — the substrate cost that bounds every
+//! higher-level simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use salamander_flash::array::FlashArray;
+use salamander_flash::geometry::FlashGeometry;
+use salamander_flash::rber::RberModel;
+
+fn bench_flash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flash");
+    group.sample_size(20);
+    let geom = FlashGeometry::medium();
+
+    group.bench_function("program_erase_cycle", |b| {
+        let mut a = FlashArray::new(geom, RberModel::default(), 1);
+        let block = geom.block_of(geom.fpage_addr(0, 0, 0));
+        b.iter(|| {
+            for fp in geom.fpages_in(block) {
+                a.program(fp, None).unwrap();
+            }
+            a.erase(block).unwrap();
+        })
+    });
+
+    group.bench_function("read_worn_page", |b| {
+        let mut a = FlashArray::new(geom, RberModel::fast_wear(), 2);
+        let fp = geom.fpage_addr(0, 0, 0);
+        let block = geom.block_of(fp);
+        for _ in 0..40 {
+            a.program(fp, None).unwrap();
+            a.erase(block).unwrap();
+        }
+        a.program(fp, None).unwrap();
+        b.iter(|| std::hint::black_box(a.read(fp).unwrap().raw_bit_errors))
+    });
+
+    group.bench_function("read_with_data_corruption", |b| {
+        let mut a = FlashArray::new(geom, RberModel::fast_wear(), 3);
+        let fp = geom.fpage_addr(0, 1, 0);
+        let block = geom.block_of(fp);
+        let buf = vec![0xA5u8; (geom.fpage_data_bytes + geom.fpage_spare_bytes) as usize];
+        for _ in 0..40 {
+            a.program(fp, None).unwrap();
+            a.erase(block).unwrap();
+        }
+        a.program(fp, Some(&buf)).unwrap();
+        b.iter(|| std::hint::black_box(a.read(fp).unwrap().data))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flash);
+criterion_main!(benches);

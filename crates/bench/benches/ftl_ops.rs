@@ -1,0 +1,63 @@
+//! Criterion bench: host-facing FTL operation rates per personality —
+//! steady-state write cost (including buffering, GC, and the capacity
+//! protocol) and read cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use salamander_ftl::ftl::Ftl;
+use salamander_ftl::types::{FtlConfig, FtlMode, Lba};
+
+fn prepared_ftl(mode: FtlMode) -> Ftl {
+    // Medium geometry with default (slow) wear so GC dominates, not death.
+    let mut cfg = FtlConfig::medium(mode);
+    cfg.rber = salamander_flash::rber::RberModel::default();
+    let mut ftl = Ftl::new(cfg);
+    // Warm up: fill most of the logical space once.
+    let mdisks = ftl.active_mdisks();
+    for &m in &mdisks {
+        let lbas = ftl.mdisk_lbas(m).unwrap();
+        for lba in 0..lbas {
+            ftl.write(m, Lba(lba), None).unwrap();
+        }
+    }
+    ftl
+}
+
+fn bench_ftl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftl");
+    group.sample_size(10);
+
+    for (label, mode) in [
+        ("baseline", FtlMode::Baseline),
+        ("shrink", FtlMode::Shrink),
+        ("regen", FtlMode::Regen),
+    ] {
+        let mut ftl = prepared_ftl(mode);
+        let mut x = 0x9E3779B97F4A7C15u64;
+        group.bench_function(format!("steady_state_write_{label}"), |b| {
+            b.iter(|| {
+                let mdisks = ftl.active_mdisks();
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let m = mdisks[(x as usize / 7) % mdisks.len()];
+                let lbas = ftl.mdisk_lbas(m).unwrap();
+                ftl.write(m, Lba((x % lbas as u64) as u32), None).unwrap();
+            })
+        });
+        group.bench_function(format!("read_{label}"), |b| {
+            let mdisks = ftl.active_mdisks();
+            let m = mdisks[0];
+            b.iter(|| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let lbas = ftl.mdisk_lbas(m).unwrap();
+                std::hint::black_box(ftl.read(m, Lba((x % lbas as u64) as u32)).ok());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ftl);
+criterion_main!(benches);

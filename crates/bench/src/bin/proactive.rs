@@ -1,0 +1,85 @@
+//! Extension experiment — SMART-driven proactive draining (§2.1 turned
+//! around): the fleet watches device telemetry and migrates data off
+//! minidisks *before* they are decommissioned. Under bandwidth-limited
+//! recovery this trades planned migration traffic for a smaller
+//! under-replication exposure window.
+//!
+//! Run: `cargo run --release -p salamander-bench --bin proactive`
+
+use salamander::config::{Mode, SsdConfig};
+use salamander::report::{fmt, Table};
+use salamander_bench::{arg_or, emit};
+use salamander_difs::types::DifsConfig;
+use salamander_fleet::bridge::{ClusterHarness, RecoveryPolicy};
+
+fn run(policy: RecoveryPolicy, bandwidth: u32, seed: u64) -> (u64, u64, u64, u64) {
+    let mut h = ClusterHarness::new(DifsConfig {
+        replication: 3,
+        chunk_bytes: 256 * 1024,
+        recovery_chunks_per_tick: Some(bandwidth),
+    })
+    .with_policy(policy);
+    for s in 0..6 {
+        h.add_device(SsdConfig::small_test().mode(Mode::Shrink).seed(seed + s));
+    }
+    h.fill(0.6);
+    for _ in 0..1500 {
+        h.churn(250);
+        if h.alive_devices() == 0 {
+            break;
+        }
+    }
+    let m = h.metrics();
+    (
+        m.exposure_chunk_ticks,
+        m.max_under_replicated,
+        m.recovery_bytes / (1 << 10),
+        m.migration_bytes / (1 << 10),
+    )
+}
+
+fn main() {
+    let seed: u64 = arg_or("--seed", 900);
+    let mut table = Table::new(
+        "Proactive vs reactive recovery under limited re-replication bandwidth",
+        &[
+            "policy",
+            "bandwidth (chunks/tick)",
+            "exposure (chunk-ticks)",
+            "peak under-replicated",
+            "recovery KiB",
+            "migration KiB",
+        ],
+    );
+    for bandwidth in [1u32, 2, 8] {
+        for (label, policy) in [
+            ("reactive", RecoveryPolicy::Reactive),
+            (
+                "proactive",
+                RecoveryPolicy::Proactive {
+                    margin: 2.0,
+                    drain_budget: 8,
+                },
+            ),
+        ] {
+            let (exposure, peak, recovery, migration) = run(policy, bandwidth, seed);
+            table.row(vec![
+                label.to_string(),
+                bandwidth.to_string(),
+                exposure.to_string(),
+                peak.to_string(),
+                fmt(recovery as f64, 0),
+                fmt(migration as f64, 0),
+            ]);
+        }
+    }
+    emit("proactive", &table);
+    println!(
+        "Proactive draining converts emergency re-replication into planned \
+         migration: failure-time recovery traffic drops several-fold because \
+         most minidisks are already empty when they fail. Exposure is \
+         roughly neutral at this small scale — the win is moving the traffic \
+         off the critical recovery path, exactly the §4.3 grace-period \
+         motivation."
+    );
+}

@@ -1,0 +1,52 @@
+//! E7 / §4.4 — total cost of ownership (Eq. 4): 13% savings for ShrinkS
+//! and 25% for RegenS at f_opex = 0.14; still 6–14% if half the budget is
+//! operational.
+//!
+//! Run: `cargo run --release -p salamander-bench --bin tco`
+
+use salamander::report::{pct, Table};
+use salamander_bench::emit;
+use salamander_sustain::tco::TcoParams;
+
+fn main() {
+    let mut table = Table::new(
+        "§4.4 — TCO savings (Eq. 4)",
+        &["mode", "f_opex", "Ru", "CRu", "relative TCO", "savings"],
+    );
+    for (name, p) in [
+        ("ShrinkS", TcoParams::shrink()),
+        ("RegenS", TcoParams::regen()),
+    ] {
+        for f_opex in [0.14, 0.5] {
+            let p = p.with_opex(f_opex);
+            table.row(vec![
+                name.to_string(),
+                format!("{f_opex:.2}"),
+                format!("{:.3}", p.upgrade_rate),
+                format!("{:.3}", p.cost_upgrade_rate()),
+                format!("{:.3}", p.relative_tco()),
+                pct(p.savings()),
+            ]);
+        }
+    }
+    emit("tco", &table);
+
+    // Sensitivity sweep over the opex share.
+    let mut sweep = Table::new(
+        "TCO savings vs opex share",
+        &["f_opex", "ShrinkS savings", "RegenS savings"],
+    );
+    for i in 0..=10 {
+        let f = i as f64 / 10.0;
+        sweep.row(vec![
+            format!("{f:.1}"),
+            pct(TcoParams::shrink().with_opex(f).savings()),
+            pct(TcoParams::regen().with_opex(f).savings()),
+        ]);
+    }
+    emit("tco_sensitivity", &sweep);
+    println!(
+        "Paper anchors: 13% (ShrinkS) / 25% (RegenS) at f_opex=0.14; \
+         6-14% when half the budget is opex."
+    );
+}

@@ -1,0 +1,87 @@
+//! Extension experiment — cell-mode rebirth (the orthogonal lifetime
+//! extension the paper's §2 cites: ZombieNAND MASCOTS '14, Phoenix
+//! DATE '13): pages worn past RegenS's tiredness cap are reborn at a
+//! lower bit density (MLC or SLC) instead of retiring. The voltage-level
+//! cell model derives the endurance hierarchy from state-distribution
+//! overlap; the fleet device turns it into capacity-over-lifetime curves.
+//!
+//! Run: `cargo run --release -p salamander-bench --bin zombie`
+
+use salamander::report::{fmt, Table};
+use salamander_bench::emit;
+use salamander_ecc::profile::Tiredness;
+use salamander_flash::geometry::FlashGeometry;
+use salamander_flash::voltage::{CellMode, VoltageModel};
+use salamander_fleet::device::{StatDevice, StatDeviceConfig, StatMode};
+
+fn main() {
+    // 1. The cell model itself: endurance per mode at the native ECC
+    // threshold.
+    let v = VoltageModel::default();
+    let th = 2.5e-3;
+    let mut cells = Table::new(
+        "Voltage-model endurance by cell mode (native ECC threshold)",
+        &[
+            "mode",
+            "bits/cell",
+            "endurance (PEC)",
+            "vs TLC",
+            "capacity vs TLC",
+        ],
+    );
+    let tlc = v.endurance(CellMode::Tlc, th);
+    for mode in [CellMode::Tlc, CellMode::Mlc, CellMode::Slc] {
+        let e = v.endurance(mode, th);
+        cells.row(vec![
+            format!("{mode:?}"),
+            mode.bits().to_string(),
+            e.to_string(),
+            format!("{:.1}x", e as f64 / tlc as f64),
+            fmt(mode.capacity_vs_tlc(), 2),
+        ]);
+    }
+    emit("zombie_cells", &cells);
+
+    // 2. Device lifetime: RegenS alone vs RegenS + rebirth.
+    let mut life = Table::new(
+        "Device lifetime with cell-mode rebirth (RegenS cap L1)",
+        &["configuration", "host writes to death", "vs RegenS alone"],
+    );
+    let run = |rebirth: Option<CellMode>| {
+        let cfg = StatDeviceConfig {
+            geometry: FlashGeometry::small_test(),
+            rebirth,
+            mode: StatMode::Regen {
+                max_level: Tiredness::L1,
+            },
+            ..StatDeviceConfig::datacenter(StatMode::Shrink)
+        };
+        let mut d = StatDevice::new(cfg, 42);
+        let mut total = 0u64;
+        while !d.is_dead() && total < 100_000_000_000 {
+            d.apply_writes(10_000);
+            total += 10_000;
+        }
+        total
+    };
+    let plain = run(None);
+    for (label, mode) in [
+        ("RegenS", None),
+        ("RegenS + MLC rebirth", Some(CellMode::Mlc)),
+        ("RegenS + SLC rebirth", Some(CellMode::Slc)),
+    ] {
+        let writes = run(mode);
+        life.row(vec![
+            label.to_string(),
+            writes.to_string(),
+            format!("{:.2}x", writes as f64 / plain as f64),
+        ]);
+    }
+    emit("zombie_lifetime", &life);
+    println!(
+        "Rebirth composes with RegenS: the ECC trade (Fig. 2) harvests the \
+         wear margin within a bit density, and the density downgrade opens \
+         a fresh margin after it — the two levers the paper's §2 lists are \
+         complementary, not alternatives."
+    );
+}

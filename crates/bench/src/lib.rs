@@ -1,0 +1,36 @@
+//! Shared plumbing for the per-figure harness binaries.
+//!
+//! Every binary regenerates one table or figure from the paper's
+//! evaluation (see DESIGN.md's experiment index), printing a markdown
+//! table to stdout and writing a CSV under `results/` for plotting.
+
+use salamander::report::Table;
+use std::path::PathBuf;
+
+/// Print a table to stdout as markdown and persist it as CSV under
+/// `results/<name>.csv` (best-effort: printing always works, the file
+/// write reports failures to stderr without aborting the experiment).
+pub fn emit(name: &str, table: &Table) {
+    println!("{}", table.to_markdown());
+    let dir = PathBuf::from("results");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    if let Err(e) = std::fs::write(&path, table.to_csv()) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Parse a `--flag value` style argument, returning `default` when absent.
+pub fn arg_or<T: std::str::FromStr>(flag: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

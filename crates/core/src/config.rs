@@ -1,0 +1,189 @@
+//! Device configuration builder.
+
+use salamander_ecc::profile::{EccConfig, Tiredness};
+use salamander_flash::geometry::FlashGeometry;
+use salamander_flash::rber::RberModel;
+use salamander_ftl::types::{FtlConfig, FtlMode, RetireGranularity, VictimPolicy};
+use serde::{Deserialize, Serialize};
+
+/// Operating mode of a Salamander SSD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// Conventional SSD: monolithic volume, bricks at the bad-block
+    /// threshold. The comparison baseline.
+    Baseline,
+    /// ShrinkS: minidisks, page-granular retirement, shrinking.
+    Shrink,
+    /// RegenS: ShrinkS plus tiredness levels and minidisk regeneration.
+    Regen,
+}
+
+impl Mode {
+    /// All modes, baseline first.
+    pub const ALL: [Mode; 3] = [Mode::Baseline, Mode::Shrink, Mode::Regen];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Baseline => "Baseline",
+            Mode::Shrink => "ShrinkS",
+            Mode::Regen => "RegenS",
+        }
+    }
+
+    fn to_ftl(self) -> FtlMode {
+        match self {
+            Mode::Baseline => FtlMode::Baseline,
+            Mode::Shrink => FtlMode::Shrink,
+            Mode::Regen => FtlMode::Regen,
+        }
+    }
+}
+
+/// Builder for a Salamander SSD.
+///
+/// # Examples
+///
+/// ```
+/// use salamander::config::{Mode, SsdConfig};
+///
+/// let cfg = SsdConfig::small_test()
+///     .mode(Mode::Regen)
+///     .msize_bytes(256 * 1024)
+///     .seed(7);
+/// assert_eq!(cfg.ftl_config().seed, 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SsdConfig {
+    inner: FtlConfig,
+    mode: Mode,
+}
+
+impl SsdConfig {
+    /// Tiny fast-wear device for tests and examples (4 MiB raw, pages die
+    /// within tens of cycles).
+    pub fn small_test() -> Self {
+        SsdConfig {
+            inner: FtlConfig::small_test(FtlMode::Shrink),
+            mode: Mode::Shrink,
+        }
+    }
+
+    /// Medium device for integration tests and benches (256 MiB raw).
+    pub fn medium() -> Self {
+        SsdConfig {
+            inner: FtlConfig::medium(FtlMode::Shrink),
+            mode: Mode::Shrink,
+        }
+    }
+
+    /// Set the operating mode.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self.inner.mode = mode.to_ftl();
+        self
+    }
+
+    /// Set the flash geometry.
+    pub fn geometry(mut self, geometry: FlashGeometry) -> Self {
+        self.inner.geometry = geometry;
+        self
+    }
+
+    /// Set the wear (RBER) model.
+    pub fn rber(mut self, rber: RberModel) -> Self {
+        self.inner.rber = rber;
+        self
+    }
+
+    /// Set the ECC layout and reliability target.
+    pub fn ecc(mut self, ecc: EccConfig) -> Self {
+        self.inner.ecc = ecc;
+        self
+    }
+
+    /// Set the minidisk size in bytes.
+    pub fn msize_bytes(mut self, msize: u64) -> Self {
+        self.inner.msize_bytes = msize;
+        self
+    }
+
+    /// Set the over-provisioning fraction.
+    pub fn op_fraction(mut self, f: f64) -> Self {
+        self.inner.op_fraction = f;
+        self
+    }
+
+    /// Set the RegenS tiredness cap (the paper recommends `L1`).
+    pub fn regen_max_level(mut self, level: Tiredness) -> Self {
+        self.inner.regen_max_level = level;
+        self
+    }
+
+    /// Set the ShrinkS retirement granularity (Page, or Block for the
+    /// CVSS-style ablation).
+    pub fn retire_granularity(mut self, g: RetireGranularity) -> Self {
+        self.inner.retire_granularity = g;
+        self
+    }
+
+    /// Set the decommission victim policy.
+    pub fn victim_policy(mut self, p: VictimPolicy) -> Self {
+        self.inner.victim_policy = p;
+        self
+    }
+
+    /// Set the baseline bad-block brick threshold (default 2.5%).
+    pub fn bad_block_limit(mut self, limit: f64) -> Self {
+        self.inner.bad_block_limit = limit;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner.seed = seed;
+        self
+    }
+
+    /// The operating mode.
+    pub fn get_mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The underlying FTL configuration.
+    pub fn ftl_config(&self) -> &FtlConfig {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let cfg = SsdConfig::small_test()
+            .mode(Mode::Regen)
+            .op_fraction(0.1)
+            .seed(99);
+        assert_eq!(cfg.get_mode(), Mode::Regen);
+        assert_eq!(cfg.ftl_config().mode, FtlMode::Regen);
+        assert_eq!(cfg.ftl_config().op_fraction, 0.1);
+        assert_eq!(cfg.ftl_config().seed, 99);
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(Mode::Baseline.name(), "Baseline");
+        assert_eq!(Mode::Shrink.name(), "ShrinkS");
+        assert_eq!(Mode::Regen.name(), "RegenS");
+    }
+
+    #[test]
+    fn config_serializes() {
+        let cfg = SsdConfig::medium().mode(Mode::Regen);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SsdConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

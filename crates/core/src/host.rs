@@ -1,0 +1,390 @@
+//! NVMe-flavored host interface.
+//!
+//! The paper envisions minidisks appearing "to the system as independent,
+//! tiny drives" (§3) — in practice that is NVMe namespace management plus
+//! asynchronous event reporting (AER). This module wraps
+//! [`SalamanderSsd`] in a command/completion shell so host software can be
+//! written against a storage-command ABI instead of Rust method calls:
+//!
+//! - **Admin commands** — `Identify`, `ListNamespaces`,
+//!   `GetSmartLog`, `AckNamespaceRemoval` (the grace-period handshake).
+//! - **I/O commands** — `Read`/`Write`/`Deallocate` addressed by
+//!   `(namespace, LBA)`, where a namespace is one minidisk.
+//! - **Async events** — namespace attach/detach notifications with the
+//!   standard poll-after-event flow.
+
+use crate::config::SsdConfig;
+use crate::device::{HostEvent, SalamanderSsd};
+use salamander_ftl::smart::SmartReport;
+use salamander_ftl::types::{FtlError, MdiskId};
+use serde::{Deserialize, Serialize};
+
+/// A host-issued command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Identify controller: geometry, capacity, mode.
+    Identify,
+    /// List active namespaces (minidisks).
+    ListNamespaces,
+    /// Fetch the SMART/health log page.
+    GetSmartLog,
+    /// Acknowledge a draining namespace so the device may reclaim it.
+    AckNamespaceRemoval {
+        /// The draining namespace.
+        nsid: u32,
+    },
+    /// Read one LBA of a namespace.
+    Read {
+        /// Namespace (minidisk) id.
+        nsid: u32,
+        /// LBA within the namespace.
+        lba: u32,
+    },
+    /// Write one LBA; `data` of exactly one oPage, or `None` for a
+    /// metadata-only write.
+    Write {
+        /// Namespace (minidisk) id.
+        nsid: u32,
+        /// LBA within the namespace.
+        lba: u32,
+        /// Payload.
+        data: Option<Vec<u8>>,
+    },
+    /// Deallocate (trim) one LBA.
+    Deallocate {
+        /// Namespace (minidisk) id.
+        nsid: u32,
+        /// LBA within the namespace.
+        lba: u32,
+    },
+}
+
+/// Completion status, a flattened NVMe-style status code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// Success.
+    Ok,
+    /// Namespace does not exist (or was removed).
+    InvalidNamespace,
+    /// LBA out of the namespace's range.
+    LbaOutOfRange,
+    /// Read of an unwritten LBA.
+    Unwritten,
+    /// Namespace is read-only (draining).
+    NamespaceReadOnly,
+    /// Media error the ECC could not correct.
+    UncorrectableError,
+    /// Device failed (capacity exhausted / bricked).
+    DeviceFailure,
+    /// Malformed command (e.g. wrong payload size).
+    InvalidField,
+}
+
+impl From<FtlError> for Status {
+    fn from(e: FtlError) -> Self {
+        match e {
+            FtlError::NoSuchMdisk => Status::InvalidNamespace,
+            FtlError::LbaOutOfRange => Status::LbaOutOfRange,
+            FtlError::Unmapped => Status::Unwritten,
+            FtlError::MdiskReadOnly => Status::NamespaceReadOnly,
+            FtlError::Uncorrectable => Status::UncorrectableError,
+            FtlError::DeviceDead => Status::DeviceFailure,
+            FtlError::BadDataLength => Status::InvalidField,
+            FtlError::OutOfSpace => Status::DeviceFailure,
+        }
+    }
+}
+
+/// A command completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// Outcome.
+    pub status: Status,
+    /// Payload, when the command returns one.
+    pub payload: Payload,
+}
+
+/// Completion payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// No payload.
+    None,
+    /// Identify data.
+    Identify(IdentifyData),
+    /// Active namespace ids.
+    Namespaces(Vec<u32>),
+    /// SMART log page.
+    Smart(Box<SmartReport>),
+    /// Read data (`None` = the write carried no payload).
+    Data(Option<Vec<u8>>),
+}
+
+/// Identify-controller data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IdentifyData {
+    /// LBA (oPage) size in bytes.
+    pub lba_bytes: u32,
+    /// LBAs per namespace (minidisk size).
+    pub lbas_per_namespace: u32,
+    /// Active namespaces.
+    pub namespace_count: u32,
+    /// Total committed capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Whether the device has failed.
+    pub dead: bool,
+}
+
+/// Asynchronous event (AER-style).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AsyncEvent {
+    /// A namespace detached (minidisk decommissioned). When `draining`,
+    /// data remains readable until `AckNamespaceRemoval`.
+    NamespaceDetached {
+        /// Namespace id.
+        nsid: u32,
+        /// Grace period active.
+        draining: bool,
+    },
+    /// A draining namespace was purged before acknowledgement.
+    NamespacePurged {
+        /// Namespace id.
+        nsid: u32,
+    },
+    /// A namespace attached (minidisk regenerated).
+    NamespaceAttached {
+        /// Namespace id.
+        nsid: u32,
+    },
+    /// The device failed.
+    DeviceFailure,
+    /// A media error was returned to a read.
+    MediaError {
+        /// Namespace id.
+        nsid: u32,
+        /// LBA of the failed read.
+        lba: u32,
+    },
+}
+
+/// The controller: a [`SalamanderSsd`] behind a command interface.
+///
+/// # Examples
+///
+/// ```
+/// use salamander::config::{Mode, SsdConfig};
+/// use salamander::host::{Command, Controller, Payload, Status};
+///
+/// let mut ctrl = Controller::new(SsdConfig::small_test().mode(Mode::Regen));
+/// let c = ctrl.submit(Command::Identify);
+/// assert_eq!(c.status, Status::Ok);
+/// let Payload::Identify(id) = c.payload else { panic!() };
+/// assert!(id.namespace_count > 0);
+/// ```
+#[derive(Debug)]
+pub struct Controller {
+    ssd: SalamanderSsd,
+}
+
+impl Controller {
+    /// Power on a controller.
+    pub fn new(cfg: SsdConfig) -> Self {
+        Controller {
+            ssd: SalamanderSsd::open(cfg),
+        }
+    }
+
+    /// Access the underlying device.
+    pub fn device(&self) -> &SalamanderSsd {
+        &self.ssd
+    }
+
+    /// Execute one command synchronously.
+    pub fn submit(&mut self, cmd: Command) -> Completion {
+        match cmd {
+            Command::Identify => Completion {
+                status: Status::Ok,
+                payload: Payload::Identify(IdentifyData {
+                    lba_bytes: self.ssd.config().ftl_config().geometry.opage_bytes,
+                    lbas_per_namespace: self.ssd.config().ftl_config().lbas_per_mdisk(),
+                    namespace_count: self.ssd.minidisks().len() as u32,
+                    capacity_bytes: self.ssd.capacity_bytes(),
+                    dead: self.ssd.is_dead(),
+                }),
+            },
+            Command::ListNamespaces => Completion {
+                status: Status::Ok,
+                payload: Payload::Namespaces(self.ssd.minidisks().iter().map(|m| m.0).collect()),
+            },
+            Command::GetSmartLog => Completion {
+                status: Status::Ok,
+                payload: Payload::Smart(Box::new(self.ssd.smart())),
+            },
+            Command::AckNamespaceRemoval { nsid } => {
+                let r = self.ssd.ack_decommission(MdiskId(nsid));
+                self.complete_empty(r)
+            }
+            Command::Read { nsid, lba } => match self.ssd.read(MdiskId(nsid), lba) {
+                Ok(data) => Completion {
+                    status: Status::Ok,
+                    payload: Payload::Data(data),
+                },
+                Err(e) => self.complete_empty(Err(e)),
+            },
+            Command::Write { nsid, lba, data } => {
+                let r = self.ssd.write(MdiskId(nsid), lba, data.as_deref());
+                self.complete_empty(r)
+            }
+            Command::Deallocate { nsid, lba } => {
+                let r = self.ssd.trim(MdiskId(nsid), lba);
+                self.complete_empty(r)
+            }
+        }
+    }
+
+    fn complete_empty(&self, r: Result<(), FtlError>) -> Completion {
+        Completion {
+            status: r.map(|_| Status::Ok).unwrap_or_else(Status::from),
+            payload: Payload::None,
+        }
+    }
+
+    /// Poll asynchronous events.
+    pub fn poll_async_events(&mut self) -> Vec<AsyncEvent> {
+        self.ssd
+            .poll_events()
+            .into_iter()
+            .map(|e| match e {
+                HostEvent::MinidiskFailed { id, draining, .. } => AsyncEvent::NamespaceDetached {
+                    nsid: id.0,
+                    draining,
+                },
+                HostEvent::MinidiskPurged { id } => AsyncEvent::NamespacePurged { nsid: id.0 },
+                HostEvent::MinidiskCreated { id, .. } => {
+                    AsyncEvent::NamespaceAttached { nsid: id.0 }
+                }
+                HostEvent::DeviceFailed => AsyncEvent::DeviceFailure,
+                HostEvent::UnrecoverableRead { id, lba } => {
+                    AsyncEvent::MediaError { nsid: id.0, lba }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mode;
+
+    fn controller() -> Controller {
+        Controller::new(SsdConfig::small_test().mode(Mode::Regen))
+    }
+
+    #[test]
+    fn identify_and_list() {
+        let mut c = controller();
+        let id = match c.submit(Command::Identify).payload {
+            Payload::Identify(d) => d,
+            other => panic!("unexpected payload {other:?}"),
+        };
+        assert_eq!(id.lba_bytes, 4096);
+        assert_eq!(id.namespace_count, 14);
+        assert!(!id.dead);
+        let ns = match c.submit(Command::ListNamespaces).payload {
+            Payload::Namespaces(v) => v,
+            other => panic!("unexpected payload {other:?}"),
+        };
+        assert_eq!(ns.len(), 14);
+    }
+
+    #[test]
+    fn io_round_trip_via_commands() {
+        let mut c = controller();
+        let page = vec![0x11u8; 4096];
+        let w = c.submit(Command::Write {
+            nsid: 0,
+            lba: 3,
+            data: Some(page.clone()),
+        });
+        assert_eq!(w.status, Status::Ok);
+        let r = c.submit(Command::Read { nsid: 0, lba: 3 });
+        assert_eq!(r.status, Status::Ok);
+        assert_eq!(r.payload, Payload::Data(Some(page)));
+        let d = c.submit(Command::Deallocate { nsid: 0, lba: 3 });
+        assert_eq!(d.status, Status::Ok);
+        let r = c.submit(Command::Read { nsid: 0, lba: 3 });
+        assert_eq!(r.status, Status::Unwritten);
+    }
+
+    #[test]
+    fn status_mapping() {
+        let mut c = controller();
+        assert_eq!(
+            c.submit(Command::Read { nsid: 99, lba: 0 }).status,
+            Status::InvalidNamespace
+        );
+        assert_eq!(
+            c.submit(Command::Read { nsid: 0, lba: 9999 }).status,
+            Status::LbaOutOfRange
+        );
+        assert_eq!(
+            c.submit(Command::Write {
+                nsid: 0,
+                lba: 0,
+                data: Some(vec![0; 3]),
+            })
+            .status,
+            Status::InvalidField
+        );
+        assert_eq!(
+            c.submit(Command::AckNamespaceRemoval { nsid: 0 }).status,
+            Status::InvalidNamespace,
+            "only draining namespaces can be acked"
+        );
+    }
+
+    #[test]
+    fn smart_log_page() {
+        let mut c = controller();
+        match c.submit(Command::GetSmartLog).payload {
+            Payload::Smart(s) => assert!(s.life_remaining > 0.9),
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn async_events_flow() {
+        let mut c = controller();
+        // Churn to death through the command interface.
+        let mut state = 1u64;
+        loop {
+            let ns = match c.submit(Command::ListNamespaces).payload {
+                Payload::Namespaces(v) => v,
+                _ => unreachable!(),
+            };
+            if ns.is_empty() {
+                break;
+            }
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let nsid = ns[(state as usize / 7) % ns.len()];
+            let w = c.submit(Command::Write {
+                nsid,
+                lba: (state % 64) as u32,
+                data: None,
+            });
+            if w.status == Status::DeviceFailure {
+                break;
+            }
+        }
+        let events = c.poll_async_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, AsyncEvent::NamespaceDetached { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, AsyncEvent::NamespaceAttached { .. })));
+        assert_eq!(events.last(), Some(&AsyncEvent::DeviceFailure));
+    }
+}

@@ -1,0 +1,47 @@
+//! # Salamander
+//!
+//! A reproduction of *"Leveraging Software Fault Tolerance for Longer
+//! Flash Hardware Lifespan"* (HotOS '25): SSDs that expose many small
+//! **minidisks** and, instead of bricking when flash wears out, **shrink**
+//! (decommission minidisks, letting the distributed file system re-
+//! replicate) and **regenerate** (repurpose worn capacity as extra ECC and
+//! announce new minidisks).
+//!
+//! This crate is the user-facing API over the substrate crates:
+//!
+//! - [`config`] — [`config::SsdConfig`]: a builder for device geometry,
+//!   wear model, ECC layout, and operating mode.
+//! - [`device`] — [`device::SalamanderSsd`]: the device handle; minidisk
+//!   I/O, host events, capacity and wear introspection.
+//! - [`sim`] — write-to-death endurance experiments comparing Baseline,
+//!   ShrinkS, and RegenS (the paper's "up to 1.5×" lifetime headline).
+//! - [`report`] — small table/CSV helpers shared by the benchmark
+//!   harnesses that regenerate the paper's figures.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use salamander::config::SsdConfig;
+//! use salamander::device::SalamanderSsd;
+//! use salamander::Mode;
+//!
+//! let mut ssd = SalamanderSsd::open(SsdConfig::small_test().mode(Mode::Regen));
+//! let disks = ssd.minidisks();
+//! let data = vec![7u8; ssd.opage_bytes()];
+//! ssd.write(disks[0], 0, Some(&data)).unwrap();
+//! let back = ssd.read(disks[0], 0).unwrap();
+//! assert_eq!(back.as_deref(), Some(&data[..]));
+//! ```
+
+pub mod config;
+pub mod daily;
+pub mod device;
+pub mod host;
+pub mod report;
+pub mod sim;
+
+pub use config::{Mode, SsdConfig};
+pub use daily::{DailyResult, DailySim};
+pub use device::{HostEvent, SalamanderSsd};
+pub use host::Controller;
+pub use sim::{EnduranceResult, EnduranceSim};

@@ -1,0 +1,129 @@
+//! Report rendering shared by the benchmark harnesses.
+//!
+//! Every experiment binary prints its figure/table as both a markdown
+//! table (for EXPERIMENTS.md) and CSV (for plotting), via [`Table`].
+
+use serde::{Deserialize, Serialize};
+
+/// A simple rectangular table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (e.g. "Fig. 2 — PEC benefit vs tiredness level").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as a GitHub-flavored markdown table with a title line.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Render as CSV (headers first). Cells containing commas or quotes
+    /// are quoted.
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = self
+            .headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with `digits` decimal places.
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["x,y".into(), "q\"z".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = table().to_markdown();
+        assert!(md.starts_with("### Demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert_eq!(md.lines().count(), 6);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let csv = table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "1,2");
+        assert_eq!(lines[2], "\"x,y\",\"q\"\"z\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(pct(0.0831), "8.3%");
+    }
+}

@@ -1,0 +1,201 @@
+//! Cluster topology: nodes, devices, and storage units.
+//!
+//! Units carry a capacity in chunks and a used count maintained by the
+//! chunk store. Unit lifecycle mirrors Salamander device events: a
+//! regenerated minidisk becomes a fresh unit; a decommissioned one fails.
+
+use crate::types::{DeviceId, NodeId, UnitId};
+use std::collections::BTreeMap;
+
+/// One storage unit's state.
+#[derive(Debug, Clone)]
+pub struct Unit {
+    /// Owning node.
+    pub node: NodeId,
+    /// Owning physical device.
+    pub device: DeviceId,
+    /// Capacity in chunks.
+    pub capacity: u32,
+    /// Chunks currently placed here.
+    pub used: u32,
+    /// Whether the unit is alive.
+    pub alive: bool,
+    /// Cordoned: alive and readable, but excluded from new placements
+    /// (HDFS-style decommissioning state, used by proactive draining).
+    pub cordoned: bool,
+}
+
+impl Unit {
+    /// Free chunk slots.
+    pub fn free(&self) -> u32 {
+        self.capacity.saturating_sub(self.used)
+    }
+}
+
+/// Cluster topology registry.
+#[derive(Debug, Clone, Default)]
+pub struct Cluster {
+    next_node: u32,
+    next_device: u32,
+    next_unit: u64,
+    devices: BTreeMap<DeviceId, NodeId>,
+    units: BTreeMap<UnitId, Unit>,
+}
+
+impl Cluster {
+    /// An empty cluster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        id
+    }
+
+    /// Attach a device to `node`.
+    pub fn add_device(&mut self, node: NodeId) -> DeviceId {
+        let id = DeviceId(self.next_device);
+        self.next_device += 1;
+        self.devices.insert(id, node);
+        id
+    }
+
+    /// Expose a unit of `capacity` chunks on `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device was never added.
+    pub fn add_unit(&mut self, device: DeviceId, capacity: u32) -> UnitId {
+        let node = *self.devices.get(&device).expect("unknown device");
+        let id = UnitId(self.next_unit);
+        self.next_unit += 1;
+        self.units.insert(
+            id,
+            Unit {
+                node,
+                device,
+                capacity,
+                used: 0,
+                alive: true,
+                cordoned: false,
+            },
+        );
+        id
+    }
+
+    /// Cordon a unit: it stays alive (readable, its replicas count) but
+    /// receives no new placements. Idempotent; unknown units are ignored.
+    pub fn cordon_unit(&mut self, unit: UnitId) {
+        if let Some(u) = self.units.get_mut(&unit) {
+            u.cordoned = true;
+        }
+    }
+
+    /// Mark a unit failed. Idempotent; unknown units are ignored.
+    pub fn fail_unit(&mut self, unit: UnitId) {
+        if let Some(u) = self.units.get_mut(&unit) {
+            u.alive = false;
+        }
+    }
+
+    /// Fail every unit on `device` (whole-SSD failure). Returns the failed
+    /// unit ids.
+    pub fn fail_device(&mut self, device: DeviceId) -> Vec<UnitId> {
+        let mut failed = Vec::new();
+        for (id, u) in self.units.iter_mut() {
+            if u.device == device && u.alive {
+                u.alive = false;
+                failed.push(*id);
+            }
+        }
+        failed
+    }
+
+    /// Unit accessor.
+    pub fn unit(&self, id: UnitId) -> Option<&Unit> {
+        self.units.get(&id)
+    }
+
+    /// Internal mutable accessor for the chunk store.
+    pub(crate) fn unit_mut(&mut self, id: UnitId) -> Option<&mut Unit> {
+        self.units.get_mut(&id)
+    }
+
+    /// All units (alive and failed), ascending by id.
+    pub fn units(&self) -> impl Iterator<Item = (UnitId, &Unit)> {
+        self.units.iter().map(|(id, u)| (*id, u))
+    }
+
+    /// Alive units only.
+    pub fn alive_units(&self) -> impl Iterator<Item = (UnitId, &Unit)> {
+        self.units().filter(|(_, u)| u.alive)
+    }
+
+    /// Total alive capacity in chunks.
+    pub fn alive_capacity(&self) -> u64 {
+        self.alive_units().map(|(_, u)| u.capacity as u64).sum()
+    }
+
+    /// Total used chunks on alive units.
+    pub fn alive_used(&self) -> u64 {
+        self.alive_units().map(|(_, u)| u.used as u64).sum()
+    }
+
+    /// Number of alive units.
+    pub fn alive_unit_count(&self) -> u32 {
+        self.alive_units().count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Cluster, Vec<UnitId>) {
+        let mut c = Cluster::new();
+        let mut units = Vec::new();
+        for _ in 0..3 {
+            let n = c.add_node();
+            let d = c.add_device(n);
+            units.push(c.add_unit(d, 5));
+        }
+        (c, units)
+    }
+
+    #[test]
+    fn topology_registration() {
+        let (c, units) = tiny();
+        assert_eq!(c.alive_unit_count(), 3);
+        assert_eq!(c.alive_capacity(), 15);
+        let u = c.unit(units[0]).unwrap();
+        assert_eq!(u.node, NodeId(0));
+        assert_eq!(u.device, DeviceId(0));
+        assert_eq!(u.free(), 5);
+    }
+
+    #[test]
+    fn fail_unit_and_device() {
+        let (mut c, units) = tiny();
+        c.fail_unit(units[0]);
+        assert!(!c.unit(units[0]).unwrap().alive);
+        assert_eq!(c.alive_unit_count(), 2);
+        // fail_device fails all that device's remaining units.
+        let n = c.add_node();
+        let d = c.add_device(n);
+        let a = c.add_unit(d, 1);
+        let b = c.add_unit(d, 1);
+        let failed = c.fail_device(d);
+        assert_eq!(failed, vec![a, b]);
+        assert_eq!(c.fail_device(d), vec![], "idempotent");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown device")]
+    fn unit_requires_device() {
+        let mut c = Cluster::new();
+        c.add_unit(DeviceId(9), 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Distributed file system simulator for the Salamander reproduction.
+//!
+//! The paper's end-to-end argument is that a distributed storage system
+//! already tolerates device failures through replication, so an SSD that
+//! fails in *minidisk-sized* pieces lets the system recover small amounts
+//! of data instead of whole drives (§1, §4.3). This crate provides that
+//! substrate: a replicated chunk store over a cluster of nodes, devices,
+//! and storage units (a unit is one minidisk, or a whole SSD for the
+//! baseline), with:
+//!
+//! - failure-domain-aware placement (replicas never share a device and
+//!   prefer distinct nodes) — [`placement`];
+//! - failure handling with re-replication and recovery-traffic accounting,
+//!   plus under-replication and data-loss tracking — [`store`];
+//! - unit/node lifecycle (units appear when minidisks are created, vanish
+//!   when they are decommissioned) — [`cluster`].
+//!
+//! # Examples
+//!
+//! ```
+//! use salamander_difs::{cluster::Cluster, store::ChunkStore, types::DifsConfig};
+//!
+//! let mut cluster = Cluster::new();
+//! for _ in 0..3 {
+//!     let node = cluster.add_node();
+//!     let device = cluster.add_device(node);
+//!     cluster.add_unit(device, 10); // 10 chunks of capacity
+//! }
+//! let mut store = ChunkStore::new(DifsConfig::default());
+//! let chunk = store.create_chunk(&mut cluster).unwrap();
+//! assert_eq!(store.replicas(chunk).unwrap().len(), 3);
+//! ```
+
+pub mod cluster;
+pub mod namespace;
+pub mod placement;
+pub mod store;
+pub mod types;
+
+pub use cluster::Cluster;
+pub use namespace::Namespace;
+pub use store::ChunkStore;
+pub use types::{ChunkId, DeviceId, DifsConfig, DifsError, NodeId, UnitId};

@@ -1,0 +1,148 @@
+//! Replica placement.
+//!
+//! Replicas of a chunk must land on distinct *devices* (hard constraint —
+//! two minidisks of one SSD fail together when the SSD dies) and prefer
+//! distinct *nodes* (rack/host fault isolation, HDFS-style). Among eligible
+//! units the least-loaded (most free chunks) wins, ties broken by id, so
+//! placement is deterministic.
+//!
+//! The paper flags the mapping-flexibility vs correlated-failure trade-off
+//! as an open question (§3.2); the distinct-device rule is the conservative
+//! default it suggests managing "in the diFS".
+
+use crate::cluster::Cluster;
+use crate::types::{DeviceId, NodeId, UnitId};
+use std::collections::HashSet;
+
+/// Choose up to `needed` placement targets, excluding `exclude_devices`
+/// and (softly) `exclude_nodes`.
+///
+/// Two passes: first require distinct nodes, then relax to distinct
+/// devices only. Returns fewer than `needed` if the cluster cannot satisfy
+/// the hard constraint.
+pub fn choose_targets(
+    cluster: &Cluster,
+    needed: usize,
+    exclude_devices: &HashSet<DeviceId>,
+    exclude_nodes: &HashSet<NodeId>,
+) -> Vec<UnitId> {
+    let mut chosen: Vec<UnitId> = Vec::with_capacity(needed);
+    let mut used_devices = exclude_devices.clone();
+    let mut used_nodes = exclude_nodes.clone();
+    for relax_nodes in [false, true] {
+        while chosen.len() < needed {
+            let best = cluster
+                .alive_units()
+                .filter(|(_, u)| u.free() > 0 && !u.cordoned)
+                .filter(|(_, u)| !used_devices.contains(&u.device))
+                .filter(|(_, u)| relax_nodes || !used_nodes.contains(&u.node))
+                .max_by(|(ida, a), (idb, b)| {
+                    a.free().cmp(&b.free()).then(idb.cmp(ida)) // most free, then lowest id
+                })
+                .map(|(id, u)| (id, u.device, u.node));
+            let Some((id, device, node)) = best else {
+                break;
+            };
+            chosen.push(id);
+            used_devices.insert(device);
+            used_nodes.insert(node);
+        }
+        if chosen.len() >= needed {
+            break;
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3 nodes × 2 devices × 1 unit of capacity 4.
+    fn cluster() -> (Cluster, Vec<UnitId>) {
+        let mut c = Cluster::new();
+        let mut units = Vec::new();
+        for _ in 0..3 {
+            let n = c.add_node();
+            for _ in 0..2 {
+                let d = c.add_device(n);
+                units.push(c.add_unit(d, 4));
+            }
+        }
+        (c, units)
+    }
+
+    #[test]
+    fn spreads_across_nodes() {
+        let (c, _) = cluster();
+        let targets = choose_targets(&c, 3, &HashSet::new(), &HashSet::new());
+        assert_eq!(targets.len(), 3);
+        let nodes: HashSet<NodeId> = targets.iter().map(|t| c.unit(*t).unwrap().node).collect();
+        assert_eq!(nodes.len(), 3, "one replica per node");
+    }
+
+    #[test]
+    fn relaxes_to_distinct_devices_when_nodes_short() {
+        let mut c = Cluster::new();
+        let n = c.add_node();
+        for _ in 0..4 {
+            let d = c.add_device(n);
+            c.add_unit(d, 4);
+        }
+        let targets = choose_targets(&c, 3, &HashSet::new(), &HashSet::new());
+        assert_eq!(targets.len(), 3, "single node still yields 3 devices");
+        let devices: HashSet<DeviceId> =
+            targets.iter().map(|t| c.unit(*t).unwrap().device).collect();
+        assert_eq!(devices.len(), 3);
+    }
+
+    #[test]
+    fn never_two_replicas_on_one_device() {
+        let mut c = Cluster::new();
+        let n = c.add_node();
+        let d = c.add_device(n);
+        c.add_unit(d, 100);
+        c.add_unit(d, 100);
+        let targets = choose_targets(&c, 2, &HashSet::new(), &HashSet::new());
+        assert_eq!(targets.len(), 1, "device constraint is hard");
+    }
+
+    #[test]
+    fn honors_exclusions() {
+        let (c, units) = cluster();
+        let mut excl = HashSet::new();
+        excl.insert(c.unit(units[0]).unwrap().device);
+        let targets = choose_targets(&c, 3, &excl, &HashSet::new());
+        assert!(!targets.contains(&units[0]));
+        assert_eq!(targets.len(), 3);
+    }
+
+    #[test]
+    fn skips_full_and_dead_units() {
+        let (mut c, units) = cluster();
+        // Fill unit 0 and kill unit 2.
+        c.unit_mut(units[0]).unwrap().used = 4;
+        c.fail_unit(units[2]);
+        let targets = choose_targets(&c, 6, &HashSet::new(), &HashSet::new());
+        assert!(!targets.contains(&units[0]));
+        assert!(!targets.contains(&units[2]));
+    }
+
+    #[test]
+    fn prefers_least_loaded() {
+        let (mut c, units) = cluster();
+        for (i, u) in units.iter().enumerate() {
+            c.unit_mut(*u).unwrap().used = if i == 4 { 0 } else { 3 };
+        }
+        let targets = choose_targets(&c, 1, &HashSet::new(), &HashSet::new());
+        assert_eq!(targets, vec![units[4]]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (c, _) = cluster();
+        let a = choose_targets(&c, 3, &HashSet::new(), &HashSet::new());
+        let b = choose_targets(&c, 3, &HashSet::new(), &HashSet::new());
+        assert_eq!(a, b);
+    }
+}

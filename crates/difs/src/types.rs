@@ -1,0 +1,93 @@
+//! Identifiers, configuration, and errors for the diFS simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// A cluster node (server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// A physical storage device (one SSD) attached to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(pub u32);
+
+/// A storage unit: the diFS failure domain. One minidisk for Salamander
+/// devices, or a whole SSD for the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UnitId(pub u64);
+
+/// A replicated diFS chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChunkId(pub u64);
+
+/// Store configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DifsConfig {
+    /// Replication factor (3 is the HDFS-style default).
+    pub replication: u32,
+    /// Chunk size in bytes (defaults to the paper's 1 MiB minidisk, so one
+    /// chunk occupies one minidisk-unit exactly).
+    pub chunk_bytes: u64,
+    /// Re-replication bandwidth: chunks repaired per [`tick`] call.
+    /// `None` repairs synchronously inside `fail_unit` (infinite
+    /// bandwidth). Real systems throttle recovery, which opens an
+    /// under-replication exposure window — the quantity the proactive
+    /// policies reduce.
+    ///
+    /// [`tick`]: crate::store::ChunkStore::tick
+    pub recovery_chunks_per_tick: Option<u32>,
+}
+
+impl Default for DifsConfig {
+    fn default() -> Self {
+        DifsConfig {
+            replication: 3,
+            chunk_bytes: 1024 * 1024,
+            recovery_chunks_per_tick: None,
+        }
+    }
+}
+
+/// Errors from store operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DifsError {
+    /// Not enough independent failure domains with free capacity to place
+    /// all replicas.
+    InsufficientCapacity,
+    /// Unknown chunk.
+    NoSuchChunk,
+    /// Unknown unit.
+    NoSuchUnit,
+}
+
+impl std::fmt::Display for DifsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DifsError::InsufficientCapacity => "insufficient placement capacity",
+            DifsError::NoSuchChunk => "no such chunk",
+            DifsError::NoSuchUnit => "no such unit",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for DifsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config() {
+        let c = DifsConfig::default();
+        assert_eq!(c.replication, 3);
+        assert_eq!(c.chunk_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            DifsError::InsufficientCapacity.to_string(),
+            "insufficient placement capacity"
+        );
+    }
+}

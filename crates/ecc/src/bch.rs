@@ -1,0 +1,534 @@
+//! Binary BCH codec: systematic encoder and algebraic decoder.
+//!
+//! This is the mechanism behind Salamander's code-rate knob. A
+//! `BCH(n, k, t)` code over GF(2^m) corrects up to `t` bit errors using
+//! `n − k ≤ m·t` parity bits; repurposing an oPage for parity raises `t`
+//! and therefore the tolerable RBER. The decoder is the textbook pipeline:
+//! syndromes → Berlekamp–Massey → Chien search (Lin & Costello; Marelli &
+//! Micheloni, *BCH and LDPC error correction codes for NAND flash
+//! memories*).
+//!
+//! Codewords are `Vec<bool>` with data bits first and parity appended;
+//! shortened codes (fewer data bits than the natural `k`) are supported,
+//! matching how flash controllers fit codewords to chunk sizes.
+
+use crate::gf::GfField;
+
+/// Decode failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// More errors than the code can correct (detected).
+    Uncorrectable,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("uncorrectable: error count exceeds code capability")
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A binary BCH code over GF(2^m) correcting up to `t` errors.
+///
+/// # Examples
+///
+/// ```
+/// use salamander_ecc::bch::Bch;
+///
+/// let code = Bch::new(6, 3).unwrap(); // BCH(63, 45), t = 3
+/// assert_eq!(code.codeword_bits(), 63);
+/// assert_eq!(code.parity_bits(), 18);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bch {
+    field: GfField,
+    t: u32,
+    /// Generator polynomial coefficients, `g[i]` = coefficient of `x^i`.
+    g: Vec<bool>,
+    /// Parity bits = deg(g).
+    r: usize,
+    /// Data bits actually used (shortened length allowed).
+    k_used: usize,
+}
+
+impl Bch {
+    /// Construct the natural-length code: n = 2^m − 1, k = n − deg(g).
+    ///
+    /// Returns `None` if `m` is out of range (3..=16), `t == 0`, or the
+    /// requested `t` leaves no room for data.
+    pub fn new(m: u32, t: u32) -> Option<Self> {
+        let field = GfField::new(m)?;
+        if t == 0 {
+            return None;
+        }
+        let g = generator_poly(&field, t);
+        let r = g.len() - 1;
+        let n = field.order() as usize;
+        if r >= n {
+            return None;
+        }
+        Some(Bch {
+            field,
+            t,
+            g,
+            r,
+            k_used: n - r,
+        })
+    }
+
+    /// Construct a shortened code carrying exactly `data_bits` data bits.
+    ///
+    /// Returns `None` if the natural code cannot hold that many data bits.
+    pub fn new_shortened(m: u32, t: u32, data_bits: usize) -> Option<Self> {
+        let mut code = Self::new(m, t)?;
+        if data_bits == 0 || data_bits > code.k_used {
+            return None;
+        }
+        code.k_used = data_bits;
+        Some(code)
+    }
+
+    /// Number of data bits per codeword.
+    pub fn data_bits(&self) -> usize {
+        self.k_used
+    }
+
+    /// Number of parity bits per codeword.
+    pub fn parity_bits(&self) -> usize {
+        self.r
+    }
+
+    /// Total codeword length in bits.
+    pub fn codeword_bits(&self) -> usize {
+        self.k_used + self.r
+    }
+
+    /// Correction capability in bits.
+    pub fn t(&self) -> u32 {
+        self.t
+    }
+
+    /// Code rate `k / n`.
+    pub fn code_rate(&self) -> f64 {
+        self.k_used as f64 / self.codeword_bits() as f64
+    }
+
+    /// Systematically encode `data` (length must equal [`Self::data_bits`]):
+    /// returns `data ++ parity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.data_bits()`.
+    pub fn encode(&self, data: &[bool]) -> Vec<bool> {
+        assert_eq!(data.len(), self.k_used, "data length mismatch");
+        // LFSR division: remainder of d(x)·x^r by g(x). `reg[i]` holds the
+        // coefficient of x^i of the running remainder.
+        let mut reg = vec![false; self.r];
+        for &bit in data {
+            let feedback = bit ^ reg[self.r - 1];
+            for i in (1..self.r).rev() {
+                reg[i] = reg[i - 1] ^ (feedback & self.g[i]);
+            }
+            reg[0] = feedback & self.g[0];
+        }
+        let mut cw = Vec::with_capacity(self.codeword_bits());
+        cw.extend_from_slice(data);
+        // Parity appended highest-degree first so that position `pos` in the
+        // codeword is the coefficient of x^(n_used - 1 - pos) throughout.
+        cw.extend(reg.iter().rev());
+        cw
+    }
+
+    /// Compute the 2t syndromes of `cw`. All-zero means a valid codeword.
+    fn syndromes(&self, cw: &[bool]) -> Vec<u16> {
+        let n_used = self.codeword_bits() as u64;
+        let mut synd = vec![0u16; 2 * self.t as usize];
+        for (pos, &bit) in cw.iter().enumerate() {
+            if !bit {
+                continue;
+            }
+            let degree = n_used - 1 - pos as u64;
+            for (i, s) in synd.iter_mut().enumerate() {
+                *s ^= self.field.alpha_pow(degree * (i as u64 + 1));
+            }
+        }
+        synd
+    }
+
+    /// Decode in place. Returns the number of corrected bits, or
+    /// [`DecodeError::Uncorrectable`] if the error pattern exceeds `t`
+    /// (leaving `cw` unmodified in that case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cw.len() != self.codeword_bits()`.
+    pub fn decode(&self, cw: &mut [bool]) -> Result<usize, DecodeError> {
+        assert_eq!(cw.len(), self.codeword_bits(), "codeword length mismatch");
+        let synd = self.syndromes(cw);
+        if synd.iter().all(|&s| s == 0) {
+            return Ok(0);
+        }
+        let sigma = self.berlekamp_massey(&synd);
+        let degree = sigma.len() - 1;
+        if degree == 0 || degree > self.t as usize {
+            return Err(DecodeError::Uncorrectable);
+        }
+        // Chien search: error at coefficient-degree j iff σ(α^{-j}) = 0.
+        let n_used = self.codeword_bits() as u64;
+        let order = self.field.order() as u64;
+        let mut error_positions = Vec::with_capacity(degree);
+        for j in 0..n_used {
+            let x = self.field.alpha_pow((order - (j % order)) % order);
+            let mut acc = 0u16;
+            let mut xp = 1u16;
+            for &c in &sigma {
+                acc ^= self.field.mul(c, xp);
+                xp = self.field.mul(xp, x);
+            }
+            if acc == 0 {
+                error_positions.push((n_used - 1 - j) as usize);
+            }
+        }
+        if error_positions.len() != degree {
+            return Err(DecodeError::Uncorrectable);
+        }
+        for &pos in &error_positions {
+            cw[pos] = !cw[pos];
+        }
+        // Miscorrection guard: verify the corrected word is a codeword.
+        if self.syndromes(cw).iter().any(|&s| s != 0) {
+            for &pos in &error_positions {
+                cw[pos] = !cw[pos];
+            }
+            return Err(DecodeError::Uncorrectable);
+        }
+        Ok(error_positions.len())
+    }
+
+    /// Berlekamp–Massey: smallest LFSR (error-locator polynomial σ) that
+    /// generates the syndrome sequence. Returned with σ[0] = 1.
+    fn berlekamp_massey(&self, synd: &[u16]) -> Vec<u16> {
+        let f = &self.field;
+        let mut sigma: Vec<u16> = vec![1];
+        let mut prev: Vec<u16> = vec![1];
+        let mut l = 0usize;
+        let mut b: u16 = 1;
+        let mut shift = 1usize;
+        for n in 0..synd.len() {
+            // Discrepancy d = S_n + Σ σ_i · S_{n-i}.
+            let mut d = synd[n];
+            for i in 1..=l.min(sigma.len() - 1) {
+                d ^= f.mul(sigma[i], synd[n - i]);
+            }
+            if d == 0 {
+                shift += 1;
+            } else if 2 * l <= n {
+                let old = sigma.clone();
+                let coef = f.div(d, b);
+                sigma = poly_sub_scaled(f, &sigma, &prev, coef, shift);
+                l = n + 1 - l;
+                prev = old;
+                b = d;
+                shift = 1;
+            } else {
+                let coef = f.div(d, b);
+                sigma = poly_sub_scaled(f, &sigma, &prev, coef, shift);
+                shift += 1;
+            }
+        }
+        // Trim trailing zero coefficients.
+        while sigma.len() > 1 && *sigma.last().unwrap() == 0 {
+            sigma.pop();
+        }
+        sigma
+    }
+}
+
+/// `sigma ⊕ coef · x^shift · prev` (char-2 subtraction is xor).
+fn poly_sub_scaled(f: &GfField, sigma: &[u16], prev: &[u16], coef: u16, shift: usize) -> Vec<u16> {
+    let len = sigma.len().max(prev.len() + shift);
+    let mut out = vec![0u16; len];
+    out[..sigma.len()].copy_from_slice(sigma);
+    for (i, &p) in prev.iter().enumerate() {
+        out[i + shift] ^= f.mul(coef, p);
+    }
+    out
+}
+
+/// Generator polynomial: lcm of the minimal polynomials of α, α^2, …, α^2t.
+fn generator_poly(field: &GfField, t: u32) -> Vec<bool> {
+    let n = field.order();
+    // Collect distinct cyclotomic cosets of 1..=2t (odd representatives
+    // suffice: even powers are conjugates of smaller odd ones).
+    let mut done = std::collections::HashSet::new();
+    let mut g: Vec<bool> = vec![true]; // the constant polynomial 1
+    let mut i = 1u32;
+    while i <= 2 * t {
+        // Normalize the exponent into [0, n) so the coset walk terminates
+        // even when 2t ≥ n (α^n = α^0).
+        let start = i % n;
+        let mut coset = Vec::new();
+        let mut j = start;
+        loop {
+            if !done.insert(j) {
+                break;
+            }
+            coset.push(j);
+            j = (j * 2) % n;
+            if j == start {
+                break;
+            }
+        }
+        if !coset.is_empty() {
+            // Minimal polynomial: Π (x − α^j) over the coset, computed in
+            // GF(2^m); the result has binary coefficients.
+            let mut min_poly: Vec<u16> = vec![1];
+            for &j in &coset {
+                let root = field.alpha_pow(j as u64);
+                let mut next = vec![0u16; min_poly.len() + 1];
+                for (d, &c) in min_poly.iter().enumerate() {
+                    next[d + 1] ^= c; // x · c_d
+                    next[d] ^= field.mul(c, root); // root · c_d
+                }
+                min_poly = next;
+            }
+            debug_assert!(min_poly.iter().all(|&c| c <= 1), "non-binary minimal poly");
+            let min_bool: Vec<bool> = min_poly.iter().map(|&c| c == 1).collect();
+            g = poly_mul_binary(&g, &min_bool);
+        }
+        i += 2;
+    }
+    g
+}
+
+/// Product of two binary polynomials, computed on u64 words: for every
+/// set coefficient of `a`, xor a shifted copy of `b` into the result.
+/// O(|a| · |b|/64) instead of O(|a| · |b|).
+fn poly_mul_binary(a: &[bool], b: &[bool]) -> Vec<bool> {
+    let out_len = a.len() + b.len() - 1;
+    let words = out_len.div_ceil(64);
+    // Pack b.
+    let b_words_len = b.len().div_ceil(64) + 1;
+    let mut bw = vec![0u64; b_words_len];
+    for (j, &bit) in b.iter().enumerate() {
+        if bit {
+            bw[j / 64] |= 1 << (j % 64);
+        }
+    }
+    let mut out = vec![0u64; words + b_words_len + 1];
+    for (i, &ai) in a.iter().enumerate() {
+        if !ai {
+            continue;
+        }
+        let (word, shift) = (i / 64, (i % 64) as u32);
+        for (k, &bwk) in bw.iter().enumerate() {
+            out[word + k] ^= bwk << shift;
+            if shift != 0 {
+                out[word + k + 1] ^= bwk >> (64 - shift);
+            }
+        }
+    }
+    (0..out_len)
+        .map(|i| out[i / 64] & (1 << (i % 64)) != 0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_data(code: &Bch, rng: &mut impl Rng) -> Vec<bool> {
+        (0..code.data_bits()).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn known_code_parameters() {
+        // Classic codes: BCH(15,7,t=2), BCH(31,21,t=2), BCH(63,45,t=3).
+        let c = Bch::new(4, 2).unwrap();
+        assert_eq!((c.codeword_bits(), c.data_bits()), (15, 7));
+        let c = Bch::new(5, 2).unwrap();
+        assert_eq!((c.codeword_bits(), c.data_bits()), (31, 21));
+        let c = Bch::new(6, 3).unwrap();
+        assert_eq!((c.codeword_bits(), c.data_bits()), (63, 45));
+    }
+
+    #[test]
+    fn hamming_special_case() {
+        // t = 1 BCH is the Hamming code: n = 2^m − 1, r = m.
+        for m in 3..=10u32 {
+            let c = Bch::new(m, 1).unwrap();
+            assert_eq!(c.parity_bits() as u32, m);
+        }
+    }
+
+    #[test]
+    fn encode_is_systematic() {
+        let code = Bch::new(6, 3).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let data = random_data(&code, &mut rng);
+        let cw = code.encode(&data);
+        assert_eq!(&cw[..code.data_bits()], &data[..]);
+        assert_eq!(cw.len(), code.codeword_bits());
+    }
+
+    #[test]
+    fn clean_codeword_decodes_as_zero_errors() {
+        let code = Bch::new(7, 4).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let data = random_data(&code, &mut rng);
+        let mut cw = code.encode(&data);
+        assert_eq!(code.decode(&mut cw), Ok(0));
+        assert_eq!(&cw[..code.data_bits()], &data[..]);
+    }
+
+    #[test]
+    fn exhaustive_single_and_double_errors() {
+        let code = Bch::new(5, 2).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let data = random_data(&code, &mut rng);
+        let clean = code.encode(&data);
+        let n = code.codeword_bits();
+        for i in 0..n {
+            let mut cw = clean.clone();
+            cw[i] = !cw[i];
+            assert_eq!(code.decode(&mut cw), Ok(1), "single error at {i}");
+            assert_eq!(cw, clean);
+            for j in (i + 1)..n {
+                let mut cw = clean.clone();
+                cw[i] = !cw[i];
+                cw[j] = !cw[j];
+                assert_eq!(code.decode(&mut cw), Ok(2), "errors at {i},{j}");
+                assert_eq!(cw, clean);
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_up_to_t_random_errors() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for (m, t) in [(6u32, 5u32), (7, 6), (8, 8)] {
+            let code = Bch::new(m, t).unwrap();
+            for trial in 0..20 {
+                let data = random_data(&code, &mut rng);
+                let clean = code.encode(&data);
+                let mut cw = clean.clone();
+                let e = rng.gen_range(0..=t) as usize;
+                let mut flipped = std::collections::HashSet::new();
+                while flipped.len() < e {
+                    flipped.insert(rng.gen_range(0..code.codeword_bits()));
+                }
+                for &p in &flipped {
+                    cw[p] = !cw[p];
+                }
+                assert_eq!(
+                    code.decode(&mut cw),
+                    Ok(e),
+                    "m={m} t={t} trial={trial} e={e}"
+                );
+                assert_eq!(cw, clean);
+            }
+        }
+    }
+
+    #[test]
+    fn overload_detected_or_left_alone() {
+        // With > t errors, decoding must either report Uncorrectable or
+        // miscorrect to some *valid* codeword — never panic, never return
+        // Ok with an invalid word. BCH(255, 223, t=4): decoding spheres
+        // cover only a few percent of the space, so most overloads are
+        // detected.
+        let code = Bch::new(8, 4).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut uncorrectable_seen = 0;
+        for _ in 0..100 {
+            let data = random_data(&code, &mut rng);
+            let mut cw = code.encode(&data);
+            let mut flipped = std::collections::HashSet::new();
+            while flipped.len() < 9 {
+                flipped.insert(rng.gen_range(0..code.codeword_bits()));
+            }
+            for &p in &flipped {
+                cw[p] = !cw[p];
+            }
+            let before = cw.clone();
+            match code.decode(&mut cw) {
+                Err(DecodeError::Uncorrectable) => {
+                    uncorrectable_seen += 1;
+                    assert_eq!(cw, before, "failed decode must not modify cw");
+                }
+                Ok(_) => {
+                    // Miscorrection: result must at least be a valid codeword.
+                    let reencoded = code.encode(&cw[..code.data_bits()]);
+                    assert_eq!(cw, reencoded);
+                }
+            }
+        }
+        assert!(uncorrectable_seen > 50, "most overloads should be detected");
+    }
+
+    #[test]
+    fn shortened_code_round_trip() {
+        // 512-bit data chunk in a shortened BCH over GF(2^11), t = 8.
+        let code = Bch::new_shortened(11, 8, 512).unwrap();
+        assert_eq!(code.data_bits(), 512);
+        assert_eq!(code.parity_bits(), 8 * 11);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let data = random_data(&code, &mut rng);
+        let clean = code.encode(&data);
+        let mut cw = clean.clone();
+        for p in [0usize, 100, 300, 511, 512, 560, 580, 599] {
+            cw[p] = !cw[p];
+        }
+        assert_eq!(code.decode(&mut cw), Ok(8));
+        assert_eq!(cw, clean);
+    }
+
+    #[test]
+    fn shortened_rejects_oversize() {
+        assert!(Bch::new_shortened(5, 2, 22).is_none()); // k = 21
+        assert!(Bch::new_shortened(5, 2, 0).is_none());
+        assert!(Bch::new_shortened(5, 2, 21).is_some());
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Bch::new(2, 1).is_none());
+        assert!(Bch::new(5, 0).is_none());
+        // t = 7 over GF(2^4) is the degenerate one-data-bit code; t = 8
+        // leaves no room for data at all.
+        assert_eq!(Bch::new(4, 7).unwrap().data_bits(), 1);
+        assert!(Bch::new(4, 8).is_none());
+    }
+
+    #[test]
+    fn code_rate_sane() {
+        let code = Bch::new(8, 8).unwrap();
+        let rate = code.code_rate();
+        assert!(rate > 0.5 && rate < 1.0);
+        assert_eq!(rate, code.data_bits() as f64 / code.codeword_bits() as f64);
+    }
+
+    #[test]
+    fn flash_scale_code_round_trip() {
+        // The paper's L0 configuration: 1 KiB data chunk, 128 B parity,
+        // GF(2^14), t = 73 → tolerates 73 flipped bits in 9216.
+        let code = Bch::new_shortened(14, 73, 8192).unwrap();
+        assert!(code.parity_bits() <= 1024 + 14); // ≤ spare budget (+slack)
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let data = random_data(&code, &mut rng);
+        let clean = code.encode(&data);
+        let mut cw = clean.clone();
+        let mut flipped = std::collections::HashSet::new();
+        while flipped.len() < 73 {
+            flipped.insert(rng.gen_range(0..code.codeword_bits()));
+        }
+        for &p in &flipped {
+            cw[p] = !cw[p];
+        }
+        assert_eq!(code.decode(&mut cw), Ok(73));
+        assert_eq!(cw, clean);
+    }
+}

@@ -1,0 +1,274 @@
+//! Closed-form ECC reliability model.
+//!
+//! The FTL cannot run a full BCH decode to *predict* whether a page is
+//! still reliable — it needs the analytical relationship between code
+//! rate, correction capability, and tolerable RBER. This module provides:
+//!
+//! - [`t_from_parity_bits`] — the BCH bound `t ≈ parity / m`
+//!   (Marelli & Micheloni).
+//! - [`page_uber`] — probability a codeword of `n` bits at raw error rate
+//!   `rber` has more than `t` errors (binomial tail, computed in log
+//!   space so 1e-30 tails don't underflow).
+//! - [`max_correctable_rber`] — the inverse: the largest RBER meeting a
+//!   target uncorrectable-error probability. This is exactly the per-level
+//!   tiredness threshold of the paper's §3.1.
+
+/// `ln Γ(x)` via the Lanczos approximation (g = 7, n = 9), accurate to
+/// ~1e-13 for x > 0 — plenty for binomial coefficients.
+fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln C(n, k)`.
+fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// BCH correction capability from a parity budget: `t = parity_bits / m`.
+///
+/// Each corrected bit costs `m` parity bits in a BCH code over GF(2^m)
+/// (Marelli & Micheloni, ch. 9).
+///
+/// # Examples
+///
+/// ```
+/// use salamander_ecc::capability::t_from_parity_bits;
+///
+/// // 128 B of parity per 1 KiB chunk over GF(2^14): t = 73.
+/// assert_eq!(t_from_parity_bits(128 * 8, 14), 73);
+/// ```
+pub fn t_from_parity_bits(parity_bits: u64, m: u32) -> u32 {
+    (parity_bits / m as u64) as u32
+}
+
+/// Smallest field parameter `m` such that a codeword of `n_bits` fits:
+/// `2^m − 1 ≥ n_bits`.
+pub fn field_for_codeword(n_bits: u64) -> u32 {
+    let mut m = 3u32;
+    while ((1u64 << m) - 1) < n_bits {
+        m += 1;
+    }
+    m
+}
+
+/// Probability that a codeword of `n_bits` at raw bit-error rate `rber`
+/// contains **more than** `t` errors: `P[Binomial(n, rber) > t]`.
+///
+/// Computed as a log-space sum from `t+1` until terms are negligible, so
+/// values down to ~1e-300 are exact rather than flushed to zero.
+pub fn page_uber(n_bits: u64, t: u32, rber: f64) -> f64 {
+    if rber <= 0.0 {
+        return 0.0;
+    }
+    if rber >= 1.0 {
+        return 1.0;
+    }
+    if t as u64 >= n_bits {
+        return 0.0;
+    }
+    let ln_p = rber.ln();
+    // ln(1 − rber) without cancellation for tiny rber.
+    let ln_q = (-rber).ln_1p();
+    // Sum from i = t+1 upward, anchored at the distribution's mode so the
+    // scaled terms never overflow (the largest term sits at ~n·p, which
+    // may be far above t when the code is overwhelmed).
+    let first = (t + 1) as u64;
+    let mode = (((n_bits + 1) as f64) * rber).floor() as u64;
+    let anchor = mode.clamp(first, n_bits);
+    let ln_anchor =
+        ln_choose(n_bits, anchor) + anchor as f64 * ln_p + (n_bits - anchor) as f64 * ln_q;
+    let mut total = 0.0f64; // in units of exp(ln_anchor)
+    let mut ln_term =
+        ln_choose(n_bits, first) + first as f64 * ln_p + (n_bits - first) as f64 * ln_q;
+    let mut i = first;
+    loop {
+        total += (ln_term - ln_anchor).exp();
+        i += 1;
+        if i > n_bits {
+            break;
+        }
+        // term(i) = term(i-1) · (n-i+1)/i · p/q.
+        let ratio = ((n_bits - i + 1) as f64 / i as f64).ln() + ln_p - ln_q;
+        ln_term += ratio;
+        // Past the mode, terms only shrink; stop once negligible.
+        if i > anchor && ln_term - ln_anchor < -45.0 {
+            break;
+        }
+        if i - first > 500_000 {
+            break;
+        }
+    }
+    let ln_total = ln_anchor + total.ln();
+    ln_total.exp().min(1.0)
+}
+
+/// The largest RBER at which a codeword of `n_bits` with capability `t`
+/// still meets `target_uber` (probability of uncorrectable error).
+///
+/// Binary search over RBER; monotonicity of [`page_uber`] in `rber`
+/// guarantees convergence.
+///
+/// # Examples
+///
+/// ```
+/// use salamander_ecc::capability::{max_correctable_rber, page_uber};
+///
+/// let n = 9216; // 1 KiB data + 128 B parity
+/// let rber = max_correctable_rber(n, 73, 1e-16);
+/// assert!(page_uber(n, 73, rber) <= 1.0000001e-16);
+/// assert!(page_uber(n, 73, rber * 1.1) > 1e-16);
+/// ```
+pub fn max_correctable_rber(n_bits: u64, t: u32, target_uber: f64) -> f64 {
+    let mut lo = 1e-12f64;
+    let mut hi = 0.4f64;
+    if page_uber(n_bits, t, lo) > target_uber {
+        return 0.0;
+    }
+    for _ in 0..200 {
+        let mid = (lo * hi).sqrt(); // geometric bisection over decades
+        if page_uber(n_bits, t, mid) > target_uber {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        let mut fact = 1.0f64;
+        for n in 1..=20u32 {
+            fact *= n as f64;
+            let lg = ln_gamma(n as f64 + 1.0);
+            assert!((lg - fact.ln()).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-10);
+        assert!((ln_choose(10, 5) - 252f64.ln()).abs() < 1e-10);
+        assert_eq!(ln_choose(3, 7), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn uber_edge_cases() {
+        assert_eq!(page_uber(1000, 10, 0.0), 0.0);
+        assert_eq!(page_uber(1000, 10, 1.0), 1.0);
+        assert_eq!(page_uber(10, 10, 0.5), 0.0); // t ≥ n: nothing to exceed
+    }
+
+    #[test]
+    fn uber_exact_small_case() {
+        // n = 4, t = 1, p = 0.5: P(X > 1) = (C(4,2)+C(4,3)+C(4,4))/16 = 11/16.
+        let u = page_uber(4, 1, 0.5);
+        assert!((u - 11.0 / 16.0).abs() < 1e-9, "got {u}");
+    }
+
+    #[test]
+    fn uber_exact_poisson_regime() {
+        // n = 10000, p = 1e-4 (mean 1), t = 0: P(X ≥ 1) = 1 − (1−p)^n.
+        let expect = 1.0 - (1.0 - 1e-4f64).powi(10_000);
+        let u = page_uber(10_000, 0, 1e-4);
+        assert!((u - expect).abs() / expect < 1e-6, "got {u} want {expect}");
+    }
+
+    #[test]
+    fn uber_monotone_in_rber_and_t() {
+        let n = 9216;
+        let u1 = page_uber(n, 73, 1e-3);
+        let u2 = page_uber(n, 73, 2e-3);
+        assert!(u2 > u1);
+        let u3 = page_uber(n, 100, 2e-3);
+        assert!(u3 < u2);
+    }
+
+    #[test]
+    fn deep_tails_do_not_underflow_to_zero() {
+        let u = page_uber(9216, 73, 1e-4);
+        assert!(u > 0.0 && u < 1e-30, "got {u}");
+    }
+
+    #[test]
+    fn max_rber_inverts_uber() {
+        for (n, t) in [(9216u64, 73u32), (12288, 292), (18432, 682)] {
+            let target = 1e-16;
+            let r = max_correctable_rber(n, t, target);
+            assert!(r > 0.0);
+            assert!(page_uber(n, t, r) <= target * 1.01);
+            assert!(page_uber(n, t, r * 1.05) > target);
+        }
+    }
+
+    #[test]
+    fn paper_l0_threshold_magnitude() {
+        // Native code rate (1 KiB + 128 B, t = 73): max RBER should be a
+        // couple of 1e-3 — consistent with 3D-TLC endurance specs.
+        let r = max_correctable_rber(9216, 73, 1e-16);
+        assert!(r > 1.5e-3 && r < 4e-3, "got {r}");
+    }
+
+    #[test]
+    fn lower_code_rate_buys_rber_headroom() {
+        // L1 (512 B parity per 1 KiB chunk, t = 292 over GF(2^14)) should
+        // tolerate ~5-6x the RBER of L0 — the ratio behind Fig. 2's 50%.
+        let l0 = max_correctable_rber(9216, 73, 1e-16);
+        let l1 = max_correctable_rber(12288, 292, 1e-16);
+        let ratio = l1 / l0;
+        assert!(ratio > 4.5 && ratio < 7.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn field_selection() {
+        assert_eq!(field_for_codeword(7), 3);
+        assert_eq!(field_for_codeword(8), 4);
+        assert_eq!(field_for_codeword(9216), 14);
+        assert_eq!(field_for_codeword(12288), 14);
+        assert_eq!(field_for_codeword(18432), 15);
+        assert_eq!(field_for_codeword(36864), 16);
+    }
+
+    #[test]
+    fn t_from_parity() {
+        assert_eq!(t_from_parity_bits(1024, 14), 73);
+        assert_eq!(t_from_parity_bits(4096, 14), 292);
+        assert_eq!(t_from_parity_bits(0, 14), 0);
+    }
+
+    #[test]
+    fn impossible_target_returns_zero() {
+        // t = 0 and astronomically strict target: no positive RBER works.
+        assert_eq!(max_correctable_rber(1 << 17, 0, 1e-300), 0.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Arithmetic over the finite field GF(2^m), 3 ≤ m ≤ 16.
+//!
+//! Elements are represented as integers in `[0, 2^m)`, with 0 the additive
+//! identity. Multiplication uses log/antilog tables built from a primitive
+//! polynomial, the standard construction for BCH hardware and software
+//! codecs.
+
+/// Primitive polynomials for GF(2^m), m = 3..=16, including the x^m term.
+///
+/// These are the conventional minimum-weight primitive polynomials (e.g.
+/// Lin & Costello, Appendix A).
+const PRIMITIVE_POLY: [u32; 17] = [
+    0, 0, 0,       // m = 0..2 unused
+    0xB,     // x^3 + x + 1
+    0x13,    // x^4 + x + 1
+    0x25,    // x^5 + x^2 + 1
+    0x43,    // x^6 + x + 1
+    0x89,    // x^7 + x^3 + 1
+    0x11D,   // x^8 + x^4 + x^3 + x^2 + 1
+    0x211,   // x^9 + x^4 + 1
+    0x409,   // x^10 + x^3 + 1
+    0x805,   // x^11 + x^2 + 1
+    0x1053,  // x^12 + x^6 + x^4 + x + 1
+    0x201B,  // x^13 + x^4 + x^3 + x + 1
+    0x4443,  // x^14 + x^10 + x^6 + x + 1
+    0x8003,  // x^15 + x + 1
+    0x1100B, // x^16 + x^12 + x^3 + x + 1
+];
+
+/// A finite field GF(2^m) with precomputed log/antilog tables.
+///
+/// # Examples
+///
+/// ```
+/// use salamander_ecc::gf::GfField;
+///
+/// let f = GfField::new(8).unwrap();
+/// let a = 0x53;
+/// let b = 0xCA;
+/// let p = f.mul(a, b);
+/// assert_eq!(f.div(p, b), a);
+/// assert_eq!(f.mul(a, f.inv(a)), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GfField {
+    m: u32,
+    /// Field size minus one: the multiplicative group order, 2^m - 1.
+    order: u32,
+    /// exp[i] = α^i for i in [0, 2*order) (doubled to skip a mod).
+    exp: Vec<u16>,
+    /// log[x] = i with α^i = x, for x in [1, 2^m).
+    log: Vec<u16>,
+}
+
+impl GfField {
+    /// Build GF(2^m). Returns `None` unless 3 ≤ m ≤ 16.
+    pub fn new(m: u32) -> Option<Self> {
+        if !(3..=16).contains(&m) {
+            return None;
+        }
+        let order = (1u32 << m) - 1;
+        let poly = PRIMITIVE_POLY[m as usize];
+        let mut exp = vec![0u16; 2 * order as usize];
+        let mut log = vec![0u16; (order + 1) as usize + 1];
+        let mut x: u32 = 1;
+        for i in 0..order {
+            exp[i as usize] = x as u16;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & (1 << m) != 0 {
+                x ^= poly;
+            }
+        }
+        debug_assert_eq!(x, 1, "polynomial must be primitive");
+        for i in order..2 * order {
+            exp[i as usize] = exp[(i - order) as usize];
+        }
+        Some(GfField { m, order, exp, log })
+    }
+
+    /// Field parameter m.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Multiplicative group order, 2^m − 1.
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// α^i (i may exceed the group order; it is reduced mod 2^m−1).
+    pub fn alpha_pow(&self, i: u64) -> u16 {
+        self.exp[(i % self.order as u64) as usize]
+    }
+
+    /// Discrete log of a nonzero element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x == 0` (zero has no logarithm).
+    pub fn log_of(&self, x: u16) -> u32 {
+        assert!(x != 0, "log of zero");
+        self.log[x as usize] as u32
+    }
+
+    /// Product of two field elements.
+    pub fn mul(&self, a: u16, b: u16) -> u16 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        self.exp[(self.log[a as usize] as usize) + (self.log[b as usize] as usize)]
+    }
+
+    /// Quotient `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    pub fn div(&self, a: u16, b: u16) -> u16 {
+        assert!(b != 0, "division by zero");
+        if a == 0 {
+            return 0;
+        }
+        let la = self.log[a as usize] as u32;
+        let lb = self.log[b as usize] as u32;
+        self.exp[((la + self.order - lb) % self.order) as usize]
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x == 0`.
+    pub fn inv(&self, x: u16) -> u16 {
+        self.div(1, x)
+    }
+
+    /// `x` raised to the integer power `e` (e ≥ 0).
+    pub fn pow(&self, x: u16, e: u64) -> u16 {
+        if x == 0 {
+            return if e == 0 { 1 } else { 0 };
+        }
+        let lx = self.log[x as usize] as u64;
+        self.exp[((lx * e) % self.order as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert!(GfField::new(2).is_none());
+        assert!(GfField::new(17).is_none());
+        for m in 3..=16 {
+            assert!(GfField::new(m).is_some(), "m={m}");
+        }
+    }
+
+    #[test]
+    fn exp_log_round_trip() {
+        let f = GfField::new(10).unwrap();
+        for i in 0..f.order() {
+            let x = f.alpha_pow(i as u64);
+            assert_eq!(f.log_of(x), i);
+        }
+    }
+
+    #[test]
+    fn field_axioms_small_exhaustive() {
+        // GF(2^4) is small enough to check associativity/distributivity
+        // exhaustively.
+        let f = GfField::new(4).unwrap();
+        let n = 16u16;
+        for a in 0..n {
+            for b in 0..n {
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                for c in 0..n {
+                    assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+                    // Distributivity over GF(2) addition (xor).
+                    assert_eq!(f.mul(a, b ^ c), f.mul(a, b) ^ f.mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_works_for_all_nonzero() {
+        let f = GfField::new(8).unwrap();
+        for x in 1..=f.order() as u16 {
+            assert_eq!(f.mul(x, f.inv(x)), 1, "x={x}");
+        }
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let f = GfField::new(6).unwrap();
+        for x in 0..64u16 {
+            assert_eq!(f.mul(x, 0), 0);
+            assert_eq!(f.mul(x, 1), x);
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let f = GfField::new(7).unwrap();
+        let x = 0x2Au16;
+        let mut acc = 1u16;
+        for e in 0..20u64 {
+            assert_eq!(f.pow(x, e), acc, "e={e}");
+            acc = f.mul(acc, x);
+        }
+        assert_eq!(f.pow(0, 0), 1);
+        assert_eq!(f.pow(0, 5), 0);
+    }
+
+    #[test]
+    fn alpha_generates_whole_group() {
+        for m in [3u32, 5, 8, 13, 14] {
+            let f = GfField::new(m).unwrap();
+            let mut seen = vec![false; (f.order() + 1) as usize];
+            for i in 0..f.order() {
+                let x = f.alpha_pow(i as u64);
+                assert!(!seen[x as usize], "m={m}: repeat at i={i}");
+                seen[x as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let f = GfField::new(4).unwrap();
+        f.div(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "log of zero")]
+    fn log_of_zero_panics() {
+        let f = GfField::new(4).unwrap();
+        f.log_of(0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Error-correction substrate for the Salamander reproduction.
+//!
+//! Salamander trades flash capacity for error-correction strength: a worn
+//! fPage repurposes some of its data oPages as extra ECC parity, lowering
+//! the code rate and raising the maximum raw bit-error rate (RBER) the page
+//! can tolerate (§3.1, Fig. 2 of the paper). This crate provides both the
+//! *mechanism* and the *model*:
+//!
+//! - [`gf`] — arithmetic over GF(2^m), 3 ≤ m ≤ 16.
+//! - [`bch`] — a real binary BCH codec (systematic encoder, syndrome
+//!   computation, Berlekamp–Massey, Chien search), used by functional
+//!   tests and the `ecc_codec` bench to validate correct/uncorrectable
+//!   outcomes bit-exactly.
+//! - [`capability`] — the closed-form reliability model: correctable bits
+//!   `t` from spare size (Marelli & Micheloni), page UBER from the binomial
+//!   tail, and its inverse `max_rber` — the quantity the FTL's tiredness
+//!   thresholds are built from.
+//! - [`profile`] — per-tiredness-level ECC profiles for the paper's example
+//!   layout (16 KiB fPage, four 4 KiB oPages, 2 KiB spare).
+//!
+//! # Examples
+//!
+//! ```
+//! use salamander_ecc::bch::Bch;
+//!
+//! // A BCH(31, 21) code correcting t=2 errors.
+//! let code = Bch::new(5, 2).unwrap();
+//! let data: Vec<bool> = (0..code.data_bits()).map(|i| i % 3 == 0).collect();
+//! let mut cw = code.encode(&data);
+//! cw[4] ^= true; // inject two bit errors
+//! cw[17] ^= true;
+//! let fixed = code.decode(&mut cw).unwrap();
+//! assert_eq!(fixed, 2);
+//! assert_eq!(&cw[..code.data_bits()], &data[..]);
+//! ```
+
+pub mod bch;
+pub mod capability;
+pub mod gf;
+pub mod page_codec;
+pub mod profile;
+
+pub use bch::{Bch, DecodeError};
+pub use capability::{max_correctable_rber, page_uber, t_from_parity_bits};
+pub use page_codec::{DecodedPage, PageCodec};
+pub use profile::{EccConfig, LevelProfile, Tiredness};

@@ -1,0 +1,302 @@
+//! Whole-fPage encoding/decoding with real BCH parity.
+//!
+//! The FTL's fast path uses the closed-form capability model; this codec
+//! is the *mechanism* it stands in for: it lays out a tiredness level's
+//! chunk codewords across an fPage — data oPages first, then the parity
+//! region (the native spare area plus any repurposed oPages) — encodes
+//! with the real BCH code, and decodes/corrects raw page images.
+//!
+//! Bit order is LSB-first within each byte. Chunks are laid out
+//! sequentially; since error injection in `salamander-flash` is i.i.d.
+//! across the page, sequential and interleaved layouts are statistically
+//! identical here (real controllers interleave to hedge against spatially
+//! correlated errors).
+
+use crate::bch::{Bch, DecodeError};
+use crate::profile::{EccConfig, LevelProfile, Tiredness};
+
+/// Bit accessors over a byte slice, LSB-first.
+fn get_bit(bytes: &[u8], i: usize) -> bool {
+    bytes[i / 8] & (1 << (i % 8)) != 0
+}
+
+fn set_bit(bytes: &mut [u8], i: usize, v: bool) {
+    if v {
+        bytes[i / 8] |= 1 << (i % 8);
+    } else {
+        bytes[i / 8] &= !(1 << (i % 8));
+    }
+}
+
+/// A page codec for one [`EccConfig`], holding one BCH code per usable
+/// tiredness level.
+///
+/// # Examples
+///
+/// ```
+/// use salamander_ecc::page_codec::PageCodec;
+/// use salamander_ecc::profile::{EccConfig, Tiredness};
+///
+/// // A small layout so the doctest is fast: 4 KiB fPage, 1 KiB oPages.
+/// let cfg = EccConfig {
+///     fpage_data_bytes: 4096,
+///     fpage_spare_bytes: 512,
+///     opage_bytes: 1024,
+///     ..EccConfig::default()
+/// };
+/// let codec = PageCodec::new(cfg).unwrap();
+/// let opages = vec![vec![0xA5u8; 1024]; 4];
+/// let refs: Vec<&[u8]> = opages.iter().map(|o| o.as_slice()).collect();
+/// let mut page = codec.encode_page(Tiredness::L0, &refs).unwrap();
+/// page[100] ^= 0x10; // one bit error
+/// let decoded = codec.decode_page(Tiredness::L0, &page).unwrap();
+/// assert_eq!(decoded.opages[0], opages[0]);
+/// assert_eq!(decoded.corrected_bits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageCodec {
+    cfg: EccConfig,
+    /// `(profile, code)` per usable level, indexed by level.
+    levels: Vec<(LevelProfile, Bch)>,
+}
+
+/// A successfully decoded page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedPage {
+    /// The corrected data oPages (as many as the level stores).
+    pub opages: Vec<Vec<u8>>,
+    /// Total bit errors corrected across all chunks.
+    pub corrected_bits: usize,
+}
+
+impl PageCodec {
+    /// Build codecs for every usable level of `cfg`. Returns `None` if any
+    /// level's BCH parameters are unconstructible.
+    pub fn new(cfg: EccConfig) -> Option<Self> {
+        let mut levels = Vec::new();
+        for p in cfg.profiles() {
+            let chunk_bits = cfg.chunk_data_bytes as usize * 8;
+            let code = Bch::new_shortened(p.m, p.t, chunk_bits)?;
+            // The parity budget must hold every chunk's parity.
+            let need = code.parity_bits() * p.chunks as usize;
+            if need as u64 > p.parity_bytes * 8 {
+                return None;
+            }
+            levels.push((p, code));
+        }
+        Some(PageCodec { cfg, levels })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EccConfig {
+        &self.cfg
+    }
+
+    /// The profile/code pair for `level`, if usable.
+    pub fn level(&self, level: Tiredness) -> Option<&(LevelProfile, Bch)> {
+        self.levels.get(level.index() as usize)
+    }
+
+    /// Total page image size: data area + spare.
+    pub fn page_bytes(&self) -> usize {
+        (self.cfg.fpage_data_bytes + self.cfg.fpage_spare_bytes) as usize
+    }
+
+    /// Encode `opages` (exactly the level's data-oPage count, each exactly
+    /// one oPage) into a full page image with parity laid in. Returns
+    /// `None` if the level is unusable or the inputs are mis-sized.
+    pub fn encode_page(&self, level: Tiredness, opages: &[&[u8]]) -> Option<Vec<u8>> {
+        let (profile, code) = self.level(level)?;
+        if opages.len() != profile.data_opages as usize {
+            return None;
+        }
+        let o = self.cfg.opage_bytes as usize;
+        if opages.iter().any(|p| p.len() != o) {
+            return None;
+        }
+        let mut page = vec![0u8; self.page_bytes()];
+        for (i, op) in opages.iter().enumerate() {
+            page[i * o..(i + 1) * o].copy_from_slice(op);
+        }
+        // Parity region starts right after the data oPages.
+        let data_bytes = profile.data_opages as usize * o;
+        let parity_base_bit = data_bytes * 8;
+        let chunk_bits = self.cfg.chunk_data_bytes as usize * 8;
+        let r = code.parity_bits();
+        for c in 0..profile.chunks as usize {
+            let data: Vec<bool> = (0..chunk_bits)
+                .map(|b| get_bit(&page, c * chunk_bits + b))
+                .collect();
+            let cw = code.encode(&data);
+            for (j, &bit) in cw[chunk_bits..].iter().enumerate() {
+                set_bit(&mut page, parity_base_bit + c * r + j, bit);
+            }
+        }
+        Some(page)
+    }
+
+    /// Decode a (possibly corrupted) page image, returning the corrected
+    /// oPages or [`DecodeError::Uncorrectable`] if any chunk is beyond the
+    /// code's capability.
+    pub fn decode_page(&self, level: Tiredness, raw: &[u8]) -> Result<DecodedPage, DecodeError> {
+        let (profile, code) = self.level(level).ok_or(DecodeError::Uncorrectable)?;
+        if raw.len() != self.page_bytes() {
+            return Err(DecodeError::Uncorrectable);
+        }
+        let o = self.cfg.opage_bytes as usize;
+        let data_bytes = profile.data_opages as usize * o;
+        let parity_base_bit = data_bytes * 8;
+        let chunk_bits = self.cfg.chunk_data_bytes as usize * 8;
+        let r = code.parity_bits();
+        let mut corrected_data = vec![0u8; data_bytes];
+        let mut corrected_bits = 0usize;
+        for c in 0..profile.chunks as usize {
+            let mut cw: Vec<bool> = (0..chunk_bits)
+                .map(|b| get_bit(raw, c * chunk_bits + b))
+                .collect();
+            cw.extend((0..r).map(|j| get_bit(raw, parity_base_bit + c * r + j)));
+            corrected_bits += code.decode(&mut cw)?;
+            for (b, &bit) in cw[..chunk_bits].iter().enumerate() {
+                set_bit(&mut corrected_data, c * chunk_bits + b, bit);
+            }
+        }
+        let opages = corrected_data.chunks(o).map(|ch| ch.to_vec()).collect();
+        Ok(DecodedPage {
+            opages,
+            corrected_bits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Small layout: 4 KiB fPage of four 1 KiB oPages, 512 B spare.
+    fn small_cfg() -> EccConfig {
+        EccConfig {
+            fpage_data_bytes: 4096,
+            fpage_spare_bytes: 512,
+            opage_bytes: 1024,
+            chunk_data_bytes: 1024,
+            target_page_uber: 1e-15,
+        }
+    }
+
+    /// Tiny layout (1 KiB fPage, 256 B oPages) so even the L3 code's
+    /// Chien search stays fast in debug builds.
+    fn tiny_cfg() -> EccConfig {
+        EccConfig {
+            fpage_data_bytes: 1024,
+            fpage_spare_bytes: 128,
+            opage_bytes: 256,
+            chunk_data_bytes: 256,
+            target_page_uber: 1e-15,
+        }
+    }
+
+    fn random_opages(n: usize, bytes: usize, seed: u64) -> Vec<Vec<u8>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..bytes).map(|_| rng.gen()).collect())
+            .collect()
+    }
+
+    fn corrupt(page: &mut [u8], bits: &[usize]) {
+        for &b in bits {
+            page[b / 8] ^= 1 << (b % 8);
+        }
+    }
+
+    #[test]
+    fn clean_round_trip_all_levels() {
+        let cfg = tiny_cfg();
+        let codec = PageCodec::new(cfg).unwrap();
+        for level in [Tiredness::L0, Tiredness::L1, Tiredness::L2, Tiredness::L3] {
+            let (profile, _) = *codec.level(level).unwrap();
+            let opages = random_opages(
+                profile.data_opages as usize,
+                cfg.opage_bytes as usize,
+                level.index() as u64,
+            );
+            let refs: Vec<&[u8]> = opages.iter().map(|o| o.as_slice()).collect();
+            let page = codec.encode_page(level, &refs).unwrap();
+            let decoded = codec.decode_page(level, &page).unwrap();
+            assert_eq!(decoded.opages, opages, "level {level:?}");
+            assert_eq!(decoded.corrected_bits, 0);
+        }
+    }
+
+    #[test]
+    fn corrects_scattered_errors() {
+        let codec = PageCodec::new(small_cfg()).unwrap();
+        let opages = random_opages(4, 1024, 9);
+        let refs: Vec<&[u8]> = opages.iter().map(|o| o.as_slice()).collect();
+        let mut page = codec.encode_page(Tiredness::L0, &refs).unwrap();
+        // Scatter errors across data and parity regions.
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let bits: Vec<usize> = (0..40).map(|_| rng.gen_range(0..page.len() * 8)).collect();
+        corrupt(&mut page, &bits);
+        let decoded = codec.decode_page(Tiredness::L0, &page).unwrap();
+        assert_eq!(decoded.opages, opages);
+        assert!(decoded.corrected_bits > 0 && decoded.corrected_bits <= 40);
+    }
+
+    #[test]
+    fn higher_level_survives_heavier_corruption() {
+        let codec = PageCodec::new(tiny_cfg()).unwrap();
+        let (p0, _) = *codec.level(Tiredness::L0).unwrap();
+        let (p2, _) = *codec.level(Tiredness::L2).unwrap();
+        assert!(p2.t > 3 * p0.t, "L2 must correct much more per chunk");
+        // Overwhelm one L0 chunk (t0+1 errors in its first bits), then show
+        // the same density is fine at L2.
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let errors: Vec<usize> = {
+            let mut set = std::collections::HashSet::new();
+            while set.len() < (p0.t + 1) as usize {
+                set.insert(rng.gen_range(0..256 * 8));
+            }
+            set.into_iter().collect()
+        };
+        let opages = random_opages(4, 256, 12);
+        let refs: Vec<&[u8]> = opages.iter().map(|o| o.as_slice()).collect();
+        let mut page = codec.encode_page(Tiredness::L0, &refs).unwrap();
+        corrupt(&mut page, &errors);
+        assert_eq!(
+            codec.decode_page(Tiredness::L0, &page),
+            Err(DecodeError::Uncorrectable)
+        );
+        let opages2 = random_opages(2, 256, 13);
+        let refs2: Vec<&[u8]> = opages2.iter().map(|o| o.as_slice()).collect();
+        let mut page2 = codec.encode_page(Tiredness::L2, &refs2).unwrap();
+        corrupt(&mut page2, &errors);
+        let decoded = codec.decode_page(Tiredness::L2, &page2).unwrap();
+        assert_eq!(decoded.opages, opages2);
+    }
+
+    #[test]
+    fn mis_sized_inputs_rejected() {
+        let codec = PageCodec::new(small_cfg()).unwrap();
+        let opages = random_opages(3, 1024, 14); // L0 wants 4
+        let refs: Vec<&[u8]> = opages.iter().map(|o| o.as_slice()).collect();
+        assert!(codec.encode_page(Tiredness::L0, &refs).is_none());
+        let short = vec![vec![0u8; 100]; 4];
+        let refs: Vec<&[u8]> = short.iter().map(|o| o.as_slice()).collect();
+        assert!(codec.encode_page(Tiredness::L0, &refs).is_none());
+        assert!(codec.decode_page(Tiredness::L0, &[0u8; 10]).is_err());
+        assert!(codec.level(Tiredness::L4).is_none());
+    }
+
+    #[test]
+    fn parity_budget_honored_default_layout() {
+        // The paper's 16 KiB layout: every level's real parity fits its
+        // budget (spare + repurposed oPages).
+        let codec = PageCodec::new(EccConfig::default()).unwrap();
+        for (p, code) in &codec.levels {
+            let used = code.parity_bits() * p.chunks as usize;
+            assert!(used as u64 <= p.parity_bytes * 8, "level {:?}", p.level);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Per-tiredness-level ECC profiles (§3.1 of the paper, and Fig. 2).
+//!
+//! A Salamander fPage at tiredness level `L` repurposes `L` of its oPages
+//! as extra ECC parity. Given the fPage layout (data, spare, oPage sizes),
+//! [`EccConfig::profiles`] derives, for each level, the resulting code
+//! parameters (field, `t`, code rate) and the **maximum tolerable RBER** —
+//! the threshold at which an fPage must transition to the next level.
+
+use crate::capability::{field_for_codeword, max_correctable_rber, t_from_parity_bits};
+use serde::{Deserialize, Serialize};
+
+/// Page tiredness level: the number of oPages repurposed for extra ECC.
+///
+/// `L0` is a fresh page storing data in all oPages; `L4` can no longer
+/// reliably store anything (with a 4-oPage fPage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Tiredness {
+    /// All oPages store data.
+    L0,
+    /// One oPage repurposed for parity.
+    L1,
+    /// Two oPages repurposed for parity.
+    L2,
+    /// Three oPages repurposed for parity.
+    L3,
+    /// Worn beyond use.
+    L4,
+}
+
+impl Tiredness {
+    /// All levels in increasing wear order.
+    pub const ALL: [Tiredness; 5] = [
+        Tiredness::L0,
+        Tiredness::L1,
+        Tiredness::L2,
+        Tiredness::L3,
+        Tiredness::L4,
+    ];
+
+    /// Numeric level: the count of repurposed oPages.
+    pub fn index(self) -> u32 {
+        match self {
+            Tiredness::L0 => 0,
+            Tiredness::L1 => 1,
+            Tiredness::L2 => 2,
+            Tiredness::L3 => 3,
+            Tiredness::L4 => 4,
+        }
+    }
+
+    /// Level from a numeric index (values ≥ 4 collapse to `L4`).
+    pub fn from_index(i: u32) -> Self {
+        match i {
+            0 => Tiredness::L0,
+            1 => Tiredness::L1,
+            2 => Tiredness::L2,
+            3 => Tiredness::L3,
+            _ => Tiredness::L4,
+        }
+    }
+
+    /// The next (more worn) level.
+    pub fn next(self) -> Self {
+        Tiredness::from_index(self.index() + 1)
+    }
+
+    /// Whether the page can still store data (on a 4-oPage fPage).
+    pub fn usable(self) -> bool {
+        self != Tiredness::L4
+    }
+}
+
+/// Layout and reliability targets from which level profiles are derived.
+///
+/// Defaults are the paper's running example: 16 KiB fPage holding four
+/// 4 KiB oPages, 2 KiB spare (code rate 88%), 1 KiB ECC chunks, and a
+/// 1e-15 per-page uncorrectable-error target.
+///
+/// # Examples
+///
+/// ```
+/// use salamander_ecc::profile::{EccConfig, Tiredness};
+///
+/// let cfg = EccConfig::default();
+/// let profiles = cfg.profiles();
+/// assert_eq!(profiles.len(), 4); // L0..L3 are usable
+/// // Lower code rate at every level, higher tolerable RBER.
+/// assert!(profiles[1].code_rate < profiles[0].code_rate);
+/// assert!(profiles[1].max_rber > profiles[0].max_rber);
+/// assert_eq!(profiles[1].level, Tiredness::L1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EccConfig {
+    /// fPage data-area bytes.
+    pub fpage_data_bytes: u32,
+    /// fPage spare-area bytes (native ECC budget).
+    pub fpage_spare_bytes: u32,
+    /// oPage size in bytes.
+    pub opage_bytes: u32,
+    /// ECC chunk (codeword data) size in bytes.
+    pub chunk_data_bytes: u32,
+    /// Target probability of an uncorrectable error per fPage read.
+    pub target_page_uber: f64,
+}
+
+impl Default for EccConfig {
+    fn default() -> Self {
+        EccConfig {
+            fpage_data_bytes: 16 * 1024,
+            fpage_spare_bytes: 2 * 1024,
+            opage_bytes: 4 * 1024,
+            chunk_data_bytes: 1024,
+            target_page_uber: 1e-15,
+        }
+    }
+}
+
+/// Derived code parameters for one tiredness level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelProfile {
+    /// The tiredness level this profile describes.
+    pub level: Tiredness,
+    /// oPages still storing data at this level.
+    pub data_opages: u32,
+    /// Total parity bytes (spare + repurposed oPages).
+    pub parity_bytes: u64,
+    /// ECC chunks per fPage at this level.
+    pub chunks: u32,
+    /// GF(2^m) field parameter per chunk codeword.
+    pub m: u32,
+    /// Correctable bits per chunk.
+    pub t: u32,
+    /// Chunk codeword length in bits.
+    pub codeword_bits: u64,
+    /// Code rate: data / (data + parity) over the whole fPage.
+    pub code_rate: f64,
+    /// Maximum RBER meeting the page UBER target — the tiredness threshold.
+    pub max_rber: f64,
+}
+
+impl EccConfig {
+    /// oPages per fPage.
+    pub fn opages_per_fpage(&self) -> u32 {
+        self.fpage_data_bytes / self.opage_bytes
+    }
+
+    /// Derive the profile for one tiredness level, or `None` if the level
+    /// leaves no data capacity.
+    pub fn profile(&self, level: Tiredness) -> Option<LevelProfile> {
+        let per = self.opages_per_fpage();
+        let l = level.index();
+        if l >= per {
+            return None;
+        }
+        let data_opages = per - l;
+        let data_bytes = (data_opages * self.opage_bytes) as u64;
+        let parity_bytes = self.fpage_spare_bytes as u64 + (l * self.opage_bytes) as u64;
+        let chunks = (data_bytes / self.chunk_data_bytes as u64).max(1) as u32;
+        let parity_chunk_bits = parity_bytes * 8 / chunks as u64;
+        let chunk_bits = self.chunk_data_bytes as u64 * 8;
+        let codeword_bits = chunk_bits + parity_chunk_bits;
+        let m = field_for_codeword(codeword_bits);
+        let t = t_from_parity_bits(parity_chunk_bits, m);
+        let chunk_target = self.target_page_uber / chunks as f64;
+        let max_rber = max_correctable_rber(codeword_bits, t, chunk_target);
+        Some(LevelProfile {
+            level,
+            data_opages,
+            parity_bytes,
+            chunks,
+            m,
+            t,
+            codeword_bits,
+            code_rate: data_bytes as f64 / (data_bytes + parity_bytes) as f64,
+            max_rber,
+        })
+    }
+
+    /// Profiles for every usable level (L0 up to, but excluding, the level
+    /// with zero data oPages).
+    pub fn profiles(&self) -> Vec<LevelProfile> {
+        Tiredness::ALL
+            .iter()
+            .filter_map(|&l| self.profile(l))
+            .collect()
+    }
+
+    /// Tiredness thresholds: `thresholds()[j]` is the highest RBER an fPage
+    /// may project while remaining at level `Lj`. Exceeding the last entry
+    /// means `L4` (dead).
+    pub fn thresholds(&self) -> Vec<f64> {
+        self.profiles().iter().map(|p| p.max_rber).collect()
+    }
+
+    /// Fig. 2's y-axis: the PEC lifetime multiplier unlocked at each level,
+    /// assuming RBER grows as `pec^exponent` (see
+    /// `salamander_flash::rber::RberModel`): `(max_rber_L / max_rber_0)^(1/exponent)`.
+    pub fn lifetime_benefit(&self, rber_exponent: f64) -> Vec<(Tiredness, f64)> {
+        let profiles = self.profiles();
+        let base = profiles[0].max_rber;
+        profiles
+            .iter()
+            .map(|p| (p.level, (p.max_rber / base).powf(1.0 / rber_exponent)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiredness_ordering_and_conversion() {
+        assert!(Tiredness::L0 < Tiredness::L3);
+        for i in 0..=4 {
+            assert_eq!(Tiredness::from_index(i).index(), i);
+        }
+        assert_eq!(Tiredness::from_index(17), Tiredness::L4);
+        assert_eq!(Tiredness::L0.next(), Tiredness::L1);
+        assert_eq!(Tiredness::L4.next(), Tiredness::L4);
+        assert!(Tiredness::L3.usable());
+        assert!(!Tiredness::L4.usable());
+    }
+
+    #[test]
+    fn default_profiles_shape() {
+        let cfg = EccConfig::default();
+        let ps = cfg.profiles();
+        assert_eq!(ps.len(), 4);
+        // Paper's example: L0 = 4 data oPages ... L3 = 1.
+        for (i, p) in ps.iter().enumerate() {
+            assert_eq!(p.level.index() as usize, i);
+            assert_eq!(p.data_opages as usize, 4 - i);
+        }
+        // Code rate decreases, capability (and thus max RBER) increases.
+        for w in ps.windows(2) {
+            assert!(w[1].code_rate < w[0].code_rate);
+            assert!(w[1].max_rber > w[0].max_rber);
+            assert!(w[1].t > w[0].t);
+        }
+    }
+
+    #[test]
+    fn l0_matches_hand_computation() {
+        let cfg = EccConfig::default();
+        let p = cfg.profile(Tiredness::L0).unwrap();
+        assert_eq!(p.chunks, 16);
+        assert_eq!(p.parity_bytes, 2048);
+        assert_eq!(p.codeword_bits, (1024 + 128) * 8);
+        assert_eq!(p.m, 14);
+        assert_eq!(p.t, 73);
+        assert!((p.code_rate - 16.0 / 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_matches_hand_computation() {
+        let cfg = EccConfig::default();
+        let p = cfg.profile(Tiredness::L1).unwrap();
+        assert_eq!(p.chunks, 12);
+        assert_eq!(p.parity_bytes, 2048 + 4096);
+        assert_eq!(p.codeword_bits, (1024 + 512) * 8);
+        assert_eq!(p.m, 14);
+        assert_eq!(p.t, 292);
+    }
+
+    #[test]
+    fn l4_has_no_profile() {
+        let cfg = EccConfig::default();
+        assert!(cfg.profile(Tiredness::L4).is_none());
+    }
+
+    #[test]
+    fn fig2_l1_benefit_near_fifty_percent() {
+        // The paper: "a 50% potential lifetime benefit for L1" with a
+        // standard 16 KiB fPage and 2 KiB spare.
+        let cfg = EccConfig::default();
+        let benefit = cfg.lifetime_benefit(4.3);
+        assert_eq!(benefit[0].1, 1.0);
+        let l1 = benefit[1].1;
+        assert!((1.35..=1.65).contains(&l1), "L1 benefit {l1}");
+    }
+
+    #[test]
+    fn fig2_diminishing_returns() {
+        // Marginal benefit shrinks with each level — the reason the paper
+        // concludes RegenS should limit itself to L < 2.
+        let cfg = EccConfig::default();
+        let b = cfg.lifetime_benefit(4.3);
+        let marg1 = b[1].1 / b[0].1;
+        let marg2 = b[2].1 / b[1].1;
+        let marg3 = b[3].1 / b[2].1;
+        assert!(marg1 > marg2, "{marg1} vs {marg2}");
+        assert!(marg2 > marg3, "{marg2} vs {marg3}");
+    }
+
+    #[test]
+    fn thresholds_increase() {
+        let th = EccConfig::default().thresholds();
+        assert_eq!(th.len(), 4);
+        assert!(th.windows(2).all(|w| w[1] > w[0]));
+        // L0 threshold at the native code rate: a few 1e-3.
+        assert!(th[0] > 1e-3 && th[0] < 5e-3);
+    }
+
+    #[test]
+    fn smaller_fpage_geometry() {
+        // An 8 KiB fPage with two oPages: only L0 and L1 usable.
+        let cfg = EccConfig {
+            fpage_data_bytes: 8 * 1024,
+            fpage_spare_bytes: 1024,
+            ..EccConfig::default()
+        };
+        let ps = cfg.profiles();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[1].data_opages, 1);
+    }
+
+    #[test]
+    fn profiles_serialize() {
+        let cfg = EccConfig::default();
+        let ps = cfg.profiles();
+        let json = serde_json::to_string(&ps).unwrap();
+        let back: Vec<LevelProfile> = serde_json::from_str(&json).unwrap();
+        assert_eq!(ps, back);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the ECC substrate.
+
+use proptest::prelude::*;
+use salamander_ecc::bch::Bch;
+use salamander_ecc::capability::{max_correctable_rber, page_uber};
+use salamander_ecc::gf::GfField;
+use salamander_ecc::profile::{EccConfig, Tiredness};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GF(2^m) multiplication is commutative and associative, and every
+    /// nonzero element has a working inverse.
+    #[test]
+    fn gf_field_axioms(m in 3u32..=12, a in 0u16..4096, b in 0u16..4096, c in 0u16..4096) {
+        let f = GfField::new(m).unwrap();
+        let mask = ((1u32 << m) - 1) as u16;
+        let (a, b, c) = (a & mask, b & mask, c & mask);
+        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+        prop_assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        prop_assert_eq!(f.mul(a, b ^ c), f.mul(a, b) ^ f.mul(a, c));
+        if a != 0 {
+            prop_assert_eq!(f.mul(a, f.inv(a)), 1);
+        }
+    }
+
+    /// BCH corrects any error pattern of weight ≤ t, exactly.
+    #[test]
+    fn bch_round_trip(
+        (m, t) in (5u32..=9).prop_flat_map(|m| (Just(m), 1u32..=6)),
+        seed in any::<u64>(),
+    ) {
+        let Some(code) = Bch::new(m, t) else {
+            return Ok(()); // degenerate parameter combination
+        };
+        let mut rng_state = seed | 1;
+        let mut next = || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+        let data: Vec<bool> = (0..code.data_bits()).map(|_| next() & 1 == 1).collect();
+        let clean = code.encode(&data);
+        let mut cw = clean.clone();
+        let errors = (next() % (t as u64 + 1)) as usize;
+        let mut positions = std::collections::HashSet::new();
+        while positions.len() < errors {
+            positions.insert((next() % code.codeword_bits() as u64) as usize);
+        }
+        for &p in &positions {
+            cw[p] = !cw[p];
+        }
+        prop_assert_eq!(code.decode(&mut cw), Ok(errors));
+        prop_assert_eq!(cw, clean);
+    }
+
+    /// Page UBER is monotone: more errors tolerated or lower RBER never
+    /// makes things worse.
+    #[test]
+    fn uber_monotonicity(
+        n in 1024u64..65536,
+        t in 1u32..200,
+        rber in 1e-6f64..1e-2,
+    ) {
+        let u = page_uber(n, t, rber);
+        prop_assert!((0.0..=1.0).contains(&u));
+        // Allow last-ulp noise when both sides saturate near 1.
+        prop_assert!(page_uber(n, t, rber * 1.5) >= u - 1e-9);
+        prop_assert!(page_uber(n, t + 10, rber) <= u + 1e-9);
+    }
+
+    /// max_correctable_rber is a true inverse: the returned RBER meets the
+    /// target and a slightly larger one does not.
+    #[test]
+    fn max_rber_is_boundary(
+        n in 4096u64..32768,
+        t in 16u32..256,
+        exp in 10f64..20.0,
+    ) {
+        let target = 10f64.powf(-exp);
+        let r = max_correctable_rber(n, t, target);
+        prop_assume!(r > 0.0);
+        prop_assert!(page_uber(n, t, r) <= target * 1.01);
+        prop_assert!(page_uber(n, t, r * 1.1) > target);
+    }
+
+    /// Tiredness profiles: for any sane fPage layout, code rate decreases
+    /// and RBER tolerance increases with the level.
+    #[test]
+    fn profiles_monotone(
+        spare_kib in 1u32..=4,
+        target_exp in 12f64..18.0,
+    ) {
+        let cfg = EccConfig {
+            fpage_spare_bytes: spare_kib * 1024,
+            target_page_uber: 10f64.powf(-target_exp),
+            ..EccConfig::default()
+        };
+        let ps = cfg.profiles();
+        prop_assert_eq!(ps.len(), 4);
+        for w in ps.windows(2) {
+            prop_assert!(w[1].code_rate < w[0].code_rate);
+            prop_assert!(w[1].max_rber > w[0].max_rber);
+        }
+        // Thresholds agree with profiles.
+        let th = cfg.thresholds();
+        for (p, t) in ps.iter().zip(&th) {
+            prop_assert_eq!(p.max_rber, *t);
+        }
+    }
+}
+
+/// Non-random exhaustive check kept here because it is expensive: every
+/// weight-1 and weight-2 pattern for a mid-size code.
+#[test]
+fn bch_exhaustive_weight_two_midsize() {
+    let code = Bch::new(6, 2).unwrap();
+    let data: Vec<bool> = (0..code.data_bits()).map(|i| i % 5 < 2).collect();
+    let clean = code.encode(&data);
+    for i in 0..code.codeword_bits() {
+        for j in (i + 1)..code.codeword_bits() {
+            let mut cw = clean.clone();
+            cw[i] = !cw[i];
+            cw[j] = !cw[j];
+            assert_eq!(code.decode(&mut cw), Ok(2), "pattern ({i},{j})");
+            assert_eq!(cw, clean);
+        }
+    }
+}
+
+/// The Fig. 2 anchor as an invariant: L1 benefit stays in the paper's
+/// neighbourhood for the default configuration.
+#[test]
+fn l1_benefit_anchor() {
+    let b = EccConfig::default().lifetime_benefit(4.3);
+    assert_eq!(b[1].0, Tiredness::L1);
+    assert!((1.35..=1.65).contains(&b[1].1));
+}

@@ -1,0 +1,378 @@
+//! Functional model of one flash chip (die).
+//!
+//! The chip enforces the NAND programming contract — pages program in order
+//! within a block, cannot be overwritten without an erase, and erases are
+//! block-granular — and tracks the wear state (PEC, per-page endurance
+//! variance, reads since erase, programming time) that the RBER model
+//! consumes. Data storage is optional per program operation: FTL-level
+//! simulations run "synthetic" (metadata-only) for speed, while functional
+//! and ECC tests carry real bytes.
+
+use crate::geometry::FlashGeometry;
+use crate::rber::RberModel;
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle state of one fPage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PageState {
+    /// Erased and programmable.
+    Erased,
+    /// Holding data (real or synthetic).
+    Programmed,
+}
+
+/// Errors returned by chip operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlashError {
+    /// Attempt to program a page that is not erased.
+    NotErased,
+    /// Pages within a block must be programmed in ascending order.
+    OutOfOrderProgram,
+    /// Attempt to read a page that has not been programmed.
+    NotProgrammed,
+    /// Operation on a block marked bad.
+    BadBlock,
+    /// Supplied data buffer does not match `data + spare` bytes.
+    BadDataLength,
+    /// Address out of range for this chip.
+    OutOfRange,
+}
+
+impl std::fmt::Display for FlashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FlashError::NotErased => "page not erased",
+            FlashError::OutOfOrderProgram => "out-of-order program within block",
+            FlashError::NotProgrammed => "page not programmed",
+            FlashError::BadBlock => "block marked bad",
+            FlashError::BadDataLength => "data length != fpage data+spare size",
+            FlashError::OutOfRange => "address out of range",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+/// Per-page state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Page {
+    state: PageState,
+    /// Lognormal endurance multiplier (>1 = weaker page).
+    variance: f64,
+    /// Simulation day the page was last programmed (for retention).
+    programmed_at: f64,
+    /// Stored content (`data ++ spare`), if the program carried real bytes.
+    data: Option<Box<[u8]>>,
+}
+
+/// Per-block state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Block {
+    pec: u32,
+    bad: bool,
+    reads_since_erase: u64,
+    /// Lowest page index that may be programmed next (NAND requires
+    /// ascending program order within a block; skipping pages is allowed).
+    next_program: u32,
+}
+
+/// One flash chip: `blocks_per_chip × fpages_per_block` pages.
+///
+/// Addresses here are *chip-local* (block in `[0, blocks_per_chip)`);
+/// [`crate::array::FlashArray`] provides device-global addressing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlashChip {
+    geom: FlashGeometry,
+    blocks: Vec<Block>,
+    pages: Vec<Page>,
+}
+
+impl FlashChip {
+    /// Create a chip with per-page endurance variances drawn from `model`
+    /// using `seed`.
+    pub fn new(geom: FlashGeometry, model: &RberModel, seed: u64) -> Self {
+        let n_pages = (geom.blocks_per_chip * geom.fpages_per_block) as usize;
+        let variances = model.draw_variances(n_pages, seed);
+        let pages = variances
+            .into_iter()
+            .map(|variance| Page {
+                state: PageState::Erased,
+                variance,
+                programmed_at: 0.0,
+                data: None,
+            })
+            .collect();
+        let blocks = (0..geom.blocks_per_chip)
+            .map(|_| Block {
+                pec: 0,
+                bad: false,
+                reads_since_erase: 0,
+                next_program: 0,
+            })
+            .collect();
+        FlashChip {
+            geom,
+            blocks,
+            pages,
+        }
+    }
+
+    fn page_index(&self, block: u32, page: u32) -> Result<usize, FlashError> {
+        if block >= self.geom.blocks_per_chip || page >= self.geom.fpages_per_block {
+            return Err(FlashError::OutOfRange);
+        }
+        Ok((block * self.geom.fpages_per_block + page) as usize)
+    }
+
+    /// Program (chip-local) page `page` of `block`.
+    ///
+    /// `data`, when present, must be exactly `data + spare` bytes and is
+    /// stored verbatim; `None` programs a synthetic page whose reads report
+    /// error counts only.
+    pub fn program(
+        &mut self,
+        block: u32,
+        page: u32,
+        data: Option<&[u8]>,
+        now_days: f64,
+    ) -> Result<(), FlashError> {
+        let idx = self.page_index(block, page)?;
+        let blk = &self.blocks[block as usize];
+        if blk.bad {
+            return Err(FlashError::BadBlock);
+        }
+        if self.pages[idx].state != PageState::Erased {
+            return Err(FlashError::NotErased);
+        }
+        if page < blk.next_program {
+            return Err(FlashError::OutOfOrderProgram);
+        }
+        if let Some(d) = data {
+            let want = (self.geom.fpage_data_bytes + self.geom.fpage_spare_bytes) as usize;
+            if d.len() != want {
+                return Err(FlashError::BadDataLength);
+            }
+        }
+        let p = &mut self.pages[idx];
+        p.state = PageState::Programmed;
+        p.programmed_at = now_days;
+        p.data = data.map(|d| d.to_vec().into_boxed_slice());
+        self.blocks[block as usize].next_program = page + 1;
+        Ok(())
+    }
+
+    /// Read the raw wear inputs for a page: (variance, pec, retention_days,
+    /// reads_since_erase). The caller (the array) turns these into an RBER
+    /// and injects errors; the chip itself stays RNG-free so clones are
+    /// cheap and exact.
+    pub fn read_wear(
+        &mut self,
+        block: u32,
+        page: u32,
+        now_days: f64,
+    ) -> Result<(f64, u32, f64, u64), FlashError> {
+        let idx = self.page_index(block, page)?;
+        if self.pages[idx].state != PageState::Programmed {
+            return Err(FlashError::NotProgrammed);
+        }
+        let blk = &mut self.blocks[block as usize];
+        blk.reads_since_erase += 1;
+        let p = &self.pages[idx];
+        Ok((
+            p.variance,
+            blk.pec,
+            (now_days - p.programmed_at).max(0.0),
+            blk.reads_since_erase,
+        ))
+    }
+
+    /// A copy of the stored bytes of a programmed page, if the program
+    /// carried real data.
+    pub fn stored_data(&self, block: u32, page: u32) -> Result<Option<Vec<u8>>, FlashError> {
+        let idx = self.page_index(block, page)?;
+        if self.pages[idx].state != PageState::Programmed {
+            return Err(FlashError::NotProgrammed);
+        }
+        Ok(self.pages[idx].data.as_ref().map(|d| d.to_vec()))
+    }
+
+    /// Erase `block`: all pages return to `Erased`, PEC increments.
+    pub fn erase(&mut self, block: u32) -> Result<(), FlashError> {
+        if block >= self.geom.blocks_per_chip {
+            return Err(FlashError::OutOfRange);
+        }
+        if self.blocks[block as usize].bad {
+            return Err(FlashError::BadBlock);
+        }
+        let first = (block * self.geom.fpages_per_block) as usize;
+        for p in &mut self.pages[first..first + self.geom.fpages_per_block as usize] {
+            p.state = PageState::Erased;
+            p.data = None;
+        }
+        let blk = &mut self.blocks[block as usize];
+        blk.pec += 1;
+        blk.reads_since_erase = 0;
+        blk.next_program = 0;
+        Ok(())
+    }
+
+    /// Mark `block` bad; subsequent programs/erases fail.
+    pub fn mark_bad(&mut self, block: u32) -> Result<(), FlashError> {
+        if block >= self.geom.blocks_per_chip {
+            return Err(FlashError::OutOfRange);
+        }
+        self.blocks[block as usize].bad = true;
+        Ok(())
+    }
+
+    /// Whether `block` is marked bad.
+    pub fn is_bad(&self, block: u32) -> bool {
+        self.blocks[block as usize].bad
+    }
+
+    /// PEC count of `block`.
+    pub fn pec(&self, block: u32) -> u32 {
+        self.blocks[block as usize].pec
+    }
+
+    /// Endurance variance multiplier of a page.
+    pub fn variance(&self, block: u32, page: u32) -> f64 {
+        self.pages[(block * self.geom.fpages_per_block + page) as usize].variance
+    }
+
+    /// Lifecycle state of a page.
+    pub fn page_state(&self, block: u32, page: u32) -> PageState {
+        self.pages[(block * self.geom.fpages_per_block + page) as usize].state
+    }
+
+    /// Number of bad blocks on this chip.
+    pub fn bad_blocks(&self) -> u32 {
+        self.blocks.iter().filter(|b| b.bad).count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> FlashChip {
+        FlashChip::new(FlashGeometry::small_test(), &RberModel::default(), 1)
+    }
+
+    #[test]
+    fn program_then_read_wear() {
+        let mut c = chip();
+        c.program(0, 0, None, 0.0).unwrap();
+        let (var, pec, days, reads) = c.read_wear(0, 0, 2.5).unwrap();
+        assert!(var > 0.0);
+        assert_eq!(pec, 0);
+        assert!((days - 2.5).abs() < 1e-12);
+        assert_eq!(reads, 1);
+    }
+
+    #[test]
+    fn program_requires_erased() {
+        let mut c = chip();
+        c.program(0, 0, None, 0.0).unwrap();
+        assert_eq!(c.program(0, 0, None, 0.0), Err(FlashError::NotErased));
+    }
+
+    #[test]
+    fn program_order_ascending_with_skips() {
+        let mut c = chip();
+        c.program(0, 0, None, 0.0).unwrap();
+        c.program(0, 1, None, 0.0).unwrap();
+        // Skipping forward is allowed (worn pages are skipped in ShrinkS)…
+        c.program(0, 5, None, 0.0).unwrap();
+        // …but going backwards is not.
+        assert_eq!(
+            c.program(0, 2, None, 0.0),
+            Err(FlashError::OutOfOrderProgram)
+        );
+        assert_eq!(c.program(0, 5, None, 0.0), Err(FlashError::NotErased));
+        c.program(0, 6, None, 0.0).unwrap();
+    }
+
+    #[test]
+    fn erase_resets_and_counts_pec() {
+        let mut c = chip();
+        c.program(0, 0, None, 0.0).unwrap();
+        assert_eq!(c.pec(0), 0);
+        c.erase(0).unwrap();
+        assert_eq!(c.pec(0), 1);
+        assert_eq!(c.page_state(0, 0), PageState::Erased);
+        // Programming page 0 works again after erase.
+        c.program(0, 0, None, 0.0).unwrap();
+    }
+
+    #[test]
+    fn read_unprogrammed_fails() {
+        let mut c = chip();
+        assert_eq!(c.read_wear(0, 0, 0.0), Err(FlashError::NotProgrammed));
+        c.program(0, 0, None, 0.0).unwrap();
+        c.erase(0).unwrap();
+        assert_eq!(c.read_wear(0, 0, 0.0), Err(FlashError::NotProgrammed));
+    }
+
+    #[test]
+    fn data_round_trip() {
+        let mut c = chip();
+        let g = FlashGeometry::small_test();
+        let buf = vec![0x5Au8; (g.fpage_data_bytes + g.fpage_spare_bytes) as usize];
+        c.program(0, 0, Some(&buf), 0.0).unwrap();
+        assert_eq!(c.stored_data(0, 0).unwrap().unwrap(), buf);
+        // Synthetic page stores no data.
+        c.program(0, 1, None, 0.0).unwrap();
+        assert_eq!(c.stored_data(0, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn bad_data_length_rejected() {
+        let mut c = chip();
+        assert_eq!(
+            c.program(0, 0, Some(&[0u8; 10]), 0.0),
+            Err(FlashError::BadDataLength)
+        );
+    }
+
+    #[test]
+    fn bad_block_refuses_ops() {
+        let mut c = chip();
+        c.mark_bad(3).unwrap();
+        assert!(c.is_bad(3));
+        assert_eq!(c.program(3, 0, None, 0.0), Err(FlashError::BadBlock));
+        assert_eq!(c.erase(3), Err(FlashError::BadBlock));
+        assert_eq!(c.bad_blocks(), 1);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut c = chip();
+        assert_eq!(c.program(99, 0, None, 0.0), Err(FlashError::OutOfRange));
+        assert_eq!(c.erase(99), Err(FlashError::OutOfRange));
+        assert_eq!(c.read_wear(0, 99, 0.0), Err(FlashError::OutOfRange));
+    }
+
+    #[test]
+    fn read_disturb_counter_accumulates() {
+        let mut c = chip();
+        c.program(0, 0, None, 0.0).unwrap();
+        for i in 1..=10u64 {
+            let (_, _, _, reads) = c.read_wear(0, 0, 0.0).unwrap();
+            assert_eq!(reads, i);
+        }
+        c.program(0, 1, None, 0.0).unwrap();
+        // Counter is per block, shared by its pages.
+        let (_, _, _, reads) = c.read_wear(0, 1, 0.0).unwrap();
+        assert_eq!(reads, 11);
+    }
+
+    #[test]
+    fn variances_differ_between_pages() {
+        let c = chip();
+        let a = c.variance(0, 0);
+        let b = c.variance(0, 1);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,200 @@
+//! Deterministic bit-flip injection.
+//!
+//! Given an RBER and a payload length, [`BitFlipper`] decides how many bits
+//! flip on a read and (for reads that carry real data) which ones. The
+//! error count is drawn from the exact binomial via per-bit Bernoulli
+//! sampling for short payloads and a normal approximation for long ones,
+//! keeping large simulations fast without distorting the tail behaviour
+//! that the ECC layer cares about.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Payload length (bits) above which the binomial is approximated.
+const EXACT_SAMPLING_LIMIT_BITS: u64 = 4096;
+
+/// Seeded source of injected bit errors.
+///
+/// # Examples
+///
+/// ```
+/// use salamander_flash::errors::BitFlipper;
+///
+/// let mut f = BitFlipper::new(1);
+/// let n = f.draw_error_count(1e-3, 16 * 1024 * 8);
+/// // Expectation is ~131 errors; the draw lands in a plausible window.
+/// assert!(n < 400);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BitFlipper {
+    rng: ChaCha8Rng,
+}
+
+impl BitFlipper {
+    /// Create a flipper with the given seed.
+    pub fn new(seed: u64) -> Self {
+        BitFlipper {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draw the number of bit errors for one read of `bits` bits at `rber`.
+    pub fn draw_error_count(&mut self, rber: f64, bits: u64) -> u64 {
+        if rber <= 0.0 || bits == 0 {
+            return 0;
+        }
+        let rber = rber.min(1.0);
+        let mean = rber * bits as f64;
+        if bits <= EXACT_SAMPLING_LIMIT_BITS || mean < 16.0 {
+            // Exact-ish: sample inter-arrival gaps geometrically. For
+            // small means this is O(errors), not O(bits).
+            self.draw_geometric(rber, bits)
+        } else {
+            // Normal approximation to Binomial(bits, rber).
+            let sd = (mean * (1.0 - rber)).sqrt();
+            let z = self.standard_normal();
+            let n = (mean + sd * z).round();
+            n.clamp(0.0, bits as f64) as u64
+        }
+    }
+
+    /// Choose `count` distinct bit positions in `[0, bits)` to flip.
+    pub fn draw_positions(&mut self, count: u64, bits: u64) -> Vec<u64> {
+        let count = count.min(bits);
+        let mut chosen = std::collections::HashSet::with_capacity(count as usize);
+        while (chosen.len() as u64) < count {
+            chosen.insert(self.rng.gen_range(0..bits));
+        }
+        let mut v: Vec<u64> = chosen.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Flip `count` random distinct bits of `data` in place and return the
+    /// flipped positions.
+    pub fn corrupt(&mut self, data: &mut [u8], count: u64) -> Vec<u64> {
+        let bits = data.len() as u64 * 8;
+        let positions = self.draw_positions(count, bits);
+        for &p in &positions {
+            data[(p / 8) as usize] ^= 1 << (p % 8);
+        }
+        positions
+    }
+
+    fn draw_geometric(&mut self, p: f64, bits: u64) -> u64 {
+        // Walk the bit string jumping to the next error via the geometric
+        // distribution: gap = floor(ln(U)/ln(1-p)).
+        if p >= 1.0 {
+            return bits;
+        }
+        let log1mp = (1.0 - p).ln();
+        let mut pos = 0u64;
+        let mut count = 0u64;
+        loop {
+            let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+            let gap = (u.ln() / log1mp).floor() as u64;
+            pos = pos.saturating_add(gap).saturating_add(1);
+            if pos > bits {
+                return count;
+            }
+            count += 1;
+        }
+    }
+
+    fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rber_means_zero_errors() {
+        let mut f = BitFlipper::new(0);
+        for _ in 0..100 {
+            assert_eq!(f.draw_error_count(0.0, 1 << 20), 0);
+        }
+    }
+
+    #[test]
+    fn error_count_tracks_mean_small() {
+        let mut f = BitFlipper::new(1);
+        let bits = 2048u64;
+        let rber = 0.01;
+        let trials = 2000;
+        let total: u64 = (0..trials).map(|_| f.draw_error_count(rber, bits)).sum();
+        let mean = total as f64 / trials as f64;
+        let expect = rber * bits as f64; // 20.48
+        assert!(
+            (mean - expect).abs() < expect * 0.1,
+            "mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn error_count_tracks_mean_large() {
+        let mut f = BitFlipper::new(2);
+        let bits = 16 * 1024 * 8u64;
+        let rber = 2e-3;
+        let trials = 500;
+        let total: u64 = (0..trials).map(|_| f.draw_error_count(rber, bits)).sum();
+        let mean = total as f64 / trials as f64;
+        let expect = rber * bits as f64; // ~262
+        assert!(
+            (mean - expect).abs() < expect * 0.1,
+            "mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn error_count_never_exceeds_bits() {
+        let mut f = BitFlipper::new(3);
+        for _ in 0..50 {
+            assert!(f.draw_error_count(0.9, 64) <= 64);
+            assert!(f.draw_error_count(5.0, 64) <= 64);
+        }
+    }
+
+    #[test]
+    fn positions_distinct_and_in_range() {
+        let mut f = BitFlipper::new(4);
+        let pos = f.draw_positions(50, 256);
+        assert_eq!(pos.len(), 50);
+        let mut dedup = pos.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 50);
+        assert!(pos.iter().all(|&p| p < 256));
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_count_bits() {
+        let mut f = BitFlipper::new(5);
+        let clean = vec![0xA5u8; 128];
+        let mut dirty = clean.clone();
+        let pos = f.corrupt(&mut dirty, 17);
+        assert_eq!(pos.len(), 17);
+        let flipped: u32 = clean
+            .iter()
+            .zip(&dirty)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 17);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = BitFlipper::new(42);
+        let mut b = BitFlipper::new(42);
+        for _ in 0..10 {
+            assert_eq!(
+                a.draw_error_count(1e-3, 1 << 17),
+                b.draw_error_count(1e-3, 1 << 17)
+            );
+        }
+    }
+}

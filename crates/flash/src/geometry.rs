@@ -1,0 +1,245 @@
+//! Flash device geometry and strongly-typed addressing.
+//!
+//! A simulated device is organized as `chips × blocks × fPages × oPages`.
+//! Real NAND additionally splits chips into dies and planes; for the
+//! mechanisms Salamander studies (wear, retirement, ECC) those only matter
+//! for parallelism, which [`crate::timing`] models with a `parallel_units`
+//! knob, so the address space here is deliberately flat: a *chip* in this
+//! crate corresponds to one independently-addressable die.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a simulated flash device.
+///
+/// The defaults mirror the paper's running example: 16 KiB fPages holding
+/// four 4 KiB oPages with a 2 KiB spare area (§3, citing Park et al.,
+/// ASPLOS '21 for the 1:8 spare ratio).
+///
+/// # Examples
+///
+/// ```
+/// use salamander_flash::geometry::FlashGeometry;
+///
+/// let g = FlashGeometry::small_test();
+/// assert_eq!(g.opages_per_fpage(), 4);
+/// assert_eq!(g.total_fpages(), g.chips * g.blocks_per_chip * g.fpages_per_block);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlashGeometry {
+    /// Number of independently addressable chips (dies).
+    pub chips: u32,
+    /// Erase blocks per chip.
+    pub blocks_per_chip: u32,
+    /// Flash pages per erase block.
+    pub fpages_per_block: u32,
+    /// Bytes of data area in one fPage (excluding spare).
+    pub fpage_data_bytes: u32,
+    /// Bytes of spare (ECC) area in one fPage.
+    pub fpage_spare_bytes: u32,
+    /// Bytes in one oPage (the host I/O granularity).
+    pub opage_bytes: u32,
+}
+
+impl FlashGeometry {
+    /// A tiny geometry for unit tests: 2 chips × 8 blocks × 16 pages.
+    ///
+    /// Total: 256 fPages = 1024 oPages = 4 MiB of data area.
+    pub fn small_test() -> Self {
+        FlashGeometry {
+            chips: 2,
+            blocks_per_chip: 8,
+            fpages_per_block: 16,
+            fpage_data_bytes: 16 * 1024,
+            fpage_spare_bytes: 2 * 1024,
+            opage_bytes: 4 * 1024,
+        }
+    }
+
+    /// A medium geometry for integration tests and fast benches:
+    /// 4 chips × 64 blocks × 64 pages = 16384 fPages = 256 MiB data area.
+    pub fn medium() -> Self {
+        FlashGeometry {
+            chips: 4,
+            blocks_per_chip: 64,
+            fpages_per_block: 64,
+            fpage_data_bytes: 16 * 1024,
+            fpage_spare_bytes: 2 * 1024,
+            opage_bytes: 4 * 1024,
+        }
+    }
+
+    /// Number of oPages that fit in one fPage's data area.
+    pub fn opages_per_fpage(&self) -> u32 {
+        self.fpage_data_bytes / self.opage_bytes
+    }
+
+    /// Total number of erase blocks in the device.
+    pub fn total_blocks(&self) -> u32 {
+        self.chips * self.blocks_per_chip
+    }
+
+    /// Total number of fPages in the device.
+    pub fn total_fpages(&self) -> u32 {
+        self.total_blocks() * self.fpages_per_block
+    }
+
+    /// Total number of oPages in the device (raw data capacity / oPage size).
+    pub fn total_opages(&self) -> u64 {
+        self.total_fpages() as u64 * self.opages_per_fpage() as u64
+    }
+
+    /// Raw data capacity in bytes (spare areas excluded).
+    pub fn data_capacity_bytes(&self) -> u64 {
+        self.total_fpages() as u64 * self.fpage_data_bytes as u64
+    }
+
+    /// Code rate of the native fPage layout: `data / (data + spare)`.
+    pub fn native_code_rate(&self) -> f64 {
+        let d = self.fpage_data_bytes as f64;
+        d / (d + self.fpage_spare_bytes as f64)
+    }
+
+    /// Construct an [`FPageAddr`] from (chip, block-in-chip, page-in-block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is out of range for this geometry.
+    pub fn fpage_addr(&self, chip: u32, block: u32, page: u32) -> FPageAddr {
+        assert!(chip < self.chips, "chip {chip} out of range");
+        assert!(block < self.blocks_per_chip, "block {block} out of range");
+        assert!(page < self.fpages_per_block, "page {page} out of range");
+        FPageAddr {
+            index: (chip * self.blocks_per_chip + block) * self.fpages_per_block + page,
+        }
+    }
+
+    /// The erase block containing `fp`.
+    pub fn block_of(&self, fp: FPageAddr) -> BlockAddr {
+        BlockAddr {
+            index: fp.index / self.fpages_per_block,
+        }
+    }
+
+    /// The chip containing `block`.
+    pub fn chip_of(&self, block: BlockAddr) -> u32 {
+        block.index / self.blocks_per_chip
+    }
+
+    /// The page offset of `fp` within its erase block.
+    pub fn page_in_block(&self, fp: FPageAddr) -> u32 {
+        fp.index % self.fpages_per_block
+    }
+
+    /// The first fPage of `block`.
+    pub fn first_fpage(&self, block: BlockAddr) -> FPageAddr {
+        FPageAddr {
+            index: block.index * self.fpages_per_block,
+        }
+    }
+
+    /// Iterator over every fPage in `block`, in program order.
+    pub fn fpages_in(&self, block: BlockAddr) -> impl Iterator<Item = FPageAddr> {
+        let first = block.index * self.fpages_per_block;
+        (first..first + self.fpages_per_block).map(|index| FPageAddr { index })
+    }
+
+    /// Iterator over every block in the device.
+    pub fn blocks(&self) -> impl Iterator<Item = BlockAddr> {
+        (0..self.total_blocks()).map(|index| BlockAddr { index })
+    }
+
+    /// Iterator over every fPage in the device.
+    pub fn fpages(&self) -> impl Iterator<Item = FPageAddr> {
+        (0..self.total_fpages()).map(|index| FPageAddr { index })
+    }
+}
+
+/// Address of one erase block, flat across the whole device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockAddr {
+    /// Flat block index in `[0, total_blocks)`.
+    pub index: u32,
+}
+
+/// Address of one physical flash page (fPage), flat across the whole device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FPageAddr {
+    /// Flat fPage index in `[0, total_fpages)`.
+    pub index: u32,
+}
+
+/// Address of one oPage: an fPage plus a slot within its data area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OPageAddr {
+    /// The containing flash page.
+    pub fpage: FPageAddr,
+    /// Slot within the fPage, `[0, opages_per_fpage)`.
+    pub slot: u8,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_geometry_counts() {
+        let g = FlashGeometry::small_test();
+        assert_eq!(g.total_blocks(), 16);
+        assert_eq!(g.total_fpages(), 256);
+        assert_eq!(g.total_opages(), 1024);
+        assert_eq!(g.opages_per_fpage(), 4);
+        assert_eq!(g.data_capacity_bytes(), 256 * 16 * 1024);
+    }
+
+    #[test]
+    fn native_code_rate_matches_paper() {
+        // The paper cites a typical code rate of ~88% (16 KiB / 18 KiB).
+        let g = FlashGeometry::small_test();
+        let cr = g.native_code_rate();
+        assert!((cr - 16.0 / 18.0).abs() < 1e-12);
+        assert!(cr > 0.88 && cr < 0.89);
+    }
+
+    #[test]
+    fn addr_round_trip() {
+        let g = FlashGeometry::small_test();
+        let fp = g.fpage_addr(1, 3, 7);
+        let blk = g.block_of(fp);
+        assert_eq!(g.chip_of(blk), 1);
+        assert_eq!(blk.index, 8 + 3);
+        assert_eq!(g.page_in_block(fp), 7);
+        assert_eq!(g.first_fpage(blk).index + 7, fp.index);
+    }
+
+    #[test]
+    fn fpages_in_block_are_contiguous() {
+        let g = FlashGeometry::small_test();
+        let blk = BlockAddr { index: 5 };
+        let pages: Vec<_> = g.fpages_in(blk).collect();
+        assert_eq!(pages.len(), 16);
+        for (i, p) in pages.iter().enumerate() {
+            assert_eq!(g.block_of(*p), blk);
+            assert_eq!(g.page_in_block(*p), i as u32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block 99 out of range")]
+    fn out_of_range_block_panics() {
+        let g = FlashGeometry::small_test();
+        g.fpage_addr(0, 99, 0);
+    }
+
+    #[test]
+    fn iterators_cover_device() {
+        let g = FlashGeometry::small_test();
+        assert_eq!(g.blocks().count() as u32, g.total_blocks());
+        assert_eq!(g.fpages().count() as u32, g.total_fpages());
+        // Every fPage belongs to exactly one block.
+        let mut per_block = vec![0u32; g.total_blocks() as usize];
+        for fp in g.fpages() {
+            per_block[g.block_of(fp).index as usize] += 1;
+        }
+        assert!(per_block.iter().all(|&c| c == g.fpages_per_block));
+    }
+}

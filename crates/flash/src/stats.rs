@@ -1,0 +1,112 @@
+//! Operation counters and simulated-time accounting for a flash array.
+
+use crate::timing::TimingModel;
+use serde::{Deserialize, Serialize};
+
+/// Cumulative operation counters.
+///
+/// # Examples
+///
+/// ```
+/// use salamander_flash::stats::FlashStats;
+///
+/// let mut s = FlashStats::default();
+/// s.record_read(16 * 1024, &Default::default());
+/// assert_eq!(s.reads, 1);
+/// assert!(s.busy_us > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlashStats {
+    /// fPage reads issued.
+    pub reads: u64,
+    /// fPage programs issued.
+    pub programs: u64,
+    /// Block erases issued.
+    pub erases: u64,
+    /// Bytes transferred to the host on reads.
+    pub read_bytes: u64,
+    /// Bytes transferred from the host on programs.
+    pub program_bytes: u64,
+    /// Total raw bit errors observed across all reads.
+    pub raw_bit_errors: u64,
+    /// Additional array reads spent on read-retry (voltage adjustment).
+    pub retry_reads: u64,
+    /// Accumulated device busy time (µs), serial model.
+    pub busy_us: f64,
+}
+
+impl FlashStats {
+    /// Record one fPage read of `bytes`.
+    pub fn record_read(&mut self, bytes: u64, t: &TimingModel) {
+        self.reads += 1;
+        self.read_bytes += bytes;
+        self.busy_us += t.read_latency_us(bytes);
+    }
+
+    /// Record one fPage program of `bytes`.
+    pub fn record_program(&mut self, bytes: u64, t: &TimingModel) {
+        self.programs += 1;
+        self.program_bytes += bytes;
+        self.busy_us += t.program_latency_us(bytes);
+    }
+
+    /// Record one block erase.
+    pub fn record_erase(&mut self, t: &TimingModel) {
+        self.erases += 1;
+        self.busy_us += t.t_erase_us;
+    }
+
+    /// Record `n` read-retry passes (each costs one array read time).
+    pub fn record_retries(&mut self, n: u64, t: &TimingModel) {
+        self.retry_reads += n;
+        self.busy_us += n as f64 * t.t_read_us;
+    }
+
+    /// Difference of two snapshots (`self` minus `earlier`).
+    pub fn since(&self, earlier: &FlashStats) -> FlashStats {
+        FlashStats {
+            reads: self.reads - earlier.reads,
+            programs: self.programs - earlier.programs,
+            erases: self.erases - earlier.erases,
+            read_bytes: self.read_bytes - earlier.read_bytes,
+            program_bytes: self.program_bytes - earlier.program_bytes,
+            raw_bit_errors: self.raw_bit_errors - earlier.raw_bit_errors,
+            retry_reads: self.retry_reads - earlier.retry_reads,
+            busy_us: self.busy_us - earlier.busy_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let t = TimingModel::default();
+        let mut s = FlashStats::default();
+        s.record_read(100, &t);
+        s.record_program(200, &t);
+        s.record_erase(&t);
+        assert_eq!(
+            (s.reads, s.programs, s.erases, s.read_bytes, s.program_bytes),
+            (1, 1, 1, 100, 200)
+        );
+        let expect = t.read_latency_us(100) + t.program_latency_us(200) + t.t_erase_us;
+        assert!((s.busy_us - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let t = TimingModel::default();
+        let mut s = FlashStats::default();
+        s.record_read(100, &t);
+        let snap = s;
+        s.record_read(100, &t);
+        s.record_erase(&t);
+        let d = s.since(&snap);
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.erases, 1);
+        assert_eq!(d.programs, 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! First-order latency and throughput model.
+//!
+//! Salamander's performance analysis (§4.2, Fig. 3c/3d) needs only a
+//! first-order cost model: page reads, page programs, block erases, and
+//! bus transfer proportional to bytes moved. Parallelism across chips is
+//! modeled by dividing aggregate work across `parallel_units`; per-op
+//! latency is the serial sum of array time and transfer time.
+
+use serde::{Deserialize, Serialize};
+
+/// Latency parameters, all in microseconds (or bytes/µs for bandwidth).
+///
+/// Defaults are representative of mid-generation 3D TLC NAND
+/// (tR 50 µs, tPROG 600 µs, tBERS 3 ms, ONFI transfer ~800 MB/s).
+///
+/// # Examples
+///
+/// ```
+/// use salamander_flash::timing::TimingModel;
+///
+/// let t = TimingModel::default();
+/// let lat = t.read_latency_us(16 * 1024);
+/// assert!(lat > t.t_read_us);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Array read time for one fPage (µs).
+    pub t_read_us: f64,
+    /// Array program time for one fPage (µs).
+    pub t_prog_us: f64,
+    /// Block erase time (µs).
+    pub t_erase_us: f64,
+    /// Channel transfer bandwidth (bytes per µs; 800 = 800 MB/s).
+    pub xfer_bytes_per_us: f64,
+    /// Independent parallel units (chips × planes) for throughput math.
+    pub parallel_units: u32,
+    /// Extra read latency per ECC decode when the code rate is lowered
+    /// (µs); §4.2 argues this is largely offset by the stronger code, so
+    /// the default is small.
+    pub ecc_extra_us: f64,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel {
+            t_read_us: 50.0,
+            t_prog_us: 600.0,
+            t_erase_us: 3000.0,
+            xfer_bytes_per_us: 800.0,
+            parallel_units: 8,
+            ecc_extra_us: 5.0,
+        }
+    }
+}
+
+impl TimingModel {
+    /// Latency of reading `bytes` from one fPage (array time + transfer).
+    pub fn read_latency_us(&self, bytes: u64) -> f64 {
+        self.t_read_us + bytes as f64 / self.xfer_bytes_per_us
+    }
+
+    /// Latency of programming one fPage carrying `bytes` of payload.
+    pub fn program_latency_us(&self, bytes: u64) -> f64 {
+        self.t_prog_us + bytes as f64 / self.xfer_bytes_per_us
+    }
+
+    /// Latency of reading `useful_bytes` of host data spread over
+    /// `fpage_reads` distinct fPage reads — the quantity that degrades in
+    /// RegenS, where an L-level fPage yields only `4-L` oPages per read.
+    pub fn multi_read_latency_us(&self, fpage_reads: u32, useful_bytes: u64) -> f64 {
+        fpage_reads as f64 * self.t_read_us + useful_bytes as f64 / self.xfer_bytes_per_us
+    }
+
+    /// Aggregate sequential read throughput (bytes/µs) when each fPage read
+    /// returns `useful_bytes_per_fpage` of host data: the RegenS large-
+    /// access degradation of §4.2 falls out of this as `(4-L)/4`.
+    pub fn seq_read_throughput(&self, useful_bytes_per_fpage: u64) -> f64 {
+        let per_read_us = self.t_read_us; // array time dominates; pipelined transfer
+        let per_unit = useful_bytes_per_fpage as f64 / per_read_us;
+        (per_unit * self.parallel_units as f64).min(self.xfer_bytes_per_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_latency_includes_transfer() {
+        let t = TimingModel::default();
+        let small = t.read_latency_us(4 * 1024);
+        let large = t.read_latency_us(16 * 1024);
+        assert!(large > small);
+        assert!((large - small - 12.0 * 1024.0 / 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regen_throughput_ratio_matches_paper() {
+        // §4.2: sequential throughput degrades by 4/(4-L); 25% at L1.
+        let t = TimingModel {
+            xfer_bytes_per_us: f64::INFINITY,
+            ..TimingModel::default()
+        };
+        let l0 = t.seq_read_throughput(16 * 1024);
+        let l1 = t.seq_read_throughput(12 * 1024);
+        let l2 = t.seq_read_throughput(8 * 1024);
+        assert!((l1 / l0 - 0.75).abs() < 1e-12);
+        assert!((l2 / l0 - 0.50).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_read_scales_with_fpage_count() {
+        let t = TimingModel::default();
+        // 16 KiB of host data from one L0 fPage vs two L2 fPages.
+        let l0 = t.multi_read_latency_us(1, 16 * 1024);
+        let l2 = t.multi_read_latency_us(2, 16 * 1024);
+        assert!((l2 - l0 - t.t_read_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_capped_by_bus() {
+        let t = TimingModel {
+            parallel_units: 10_000,
+            ..TimingModel::default()
+        };
+        assert_eq!(t.seq_read_throughput(16 * 1024), t.xfer_bytes_per_us);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the flash simulator: the NAND state machine
+//! against a reference model, and statistical properties of the wear and
+//! error-injection models.
+
+use proptest::prelude::*;
+use salamander_flash::array::FlashArray;
+use salamander_flash::chip::{FlashError, PageState};
+use salamander_flash::errors::BitFlipper;
+use salamander_flash::geometry::{BlockAddr, FlashGeometry};
+use salamander_flash::rber::RberModel;
+
+#[derive(Debug, Clone)]
+enum NandOp {
+    Program { block: u8, page: u8 },
+    Erase { block: u8 },
+    Read { block: u8, page: u8 },
+}
+
+fn nand_op() -> impl Strategy<Value = NandOp> {
+    prop_oneof![
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(block, page)| NandOp::Program { block, page }),
+        1 => any::<u8>().prop_map(|block| NandOp::Erase { block }),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(block, page)| NandOp::Read { block, page }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The array enforces NAND semantics identically to a simple reference
+    /// model: erased/programmed state, ascending program order, PEC.
+    #[test]
+    fn nand_state_machine(ops in proptest::collection::vec(nand_op(), 1..200)) {
+        let geom = FlashGeometry::small_test();
+        let mut a = FlashArray::new(geom, RberModel::default(), 1);
+        // Reference model.
+        let blocks = geom.total_blocks() as usize;
+        let ppb = geom.fpages_per_block as usize;
+        let mut programmed = vec![vec![false; ppb]; blocks];
+        let mut cursor = vec![0usize; blocks];
+        let mut pec = vec![0u32; blocks];
+        for op in &ops {
+            match *op {
+                NandOp::Program { block, page } => {
+                    let b = block as usize % blocks;
+                    let p = page as usize % ppb;
+                    let fp = geom.first_fpage(BlockAddr { index: b as u32 });
+                    let fp = salamander_flash::geometry::FPageAddr { index: fp.index + p as u32 };
+                    let expect = if programmed[b][p] {
+                        Err(FlashError::NotErased)
+                    } else if p < cursor[b] {
+                        Err(FlashError::OutOfOrderProgram)
+                    } else {
+                        Ok(())
+                    };
+                    prop_assert_eq!(a.program(fp, None), expect);
+                    if expect.is_ok() {
+                        programmed[b][p] = true;
+                        cursor[b] = p + 1;
+                    }
+                }
+                NandOp::Erase { block } => {
+                    let b = block as usize % blocks;
+                    let addr = BlockAddr { index: b as u32 };
+                    prop_assert!(a.erase(addr).is_ok());
+                    programmed[b] = vec![false; ppb];
+                    cursor[b] = 0;
+                    pec[b] += 1;
+                    prop_assert_eq!(a.pec(addr), pec[b]);
+                }
+                NandOp::Read { block, page } => {
+                    let b = block as usize % blocks;
+                    let p = page as usize % ppb;
+                    let fp = geom.first_fpage(BlockAddr { index: b as u32 });
+                    let fp = salamander_flash::geometry::FPageAddr { index: fp.index + p as u32 };
+                    let r = a.read(fp);
+                    if programmed[b][p] {
+                        prop_assert!(r.is_ok());
+                    } else {
+                        prop_assert_eq!(r.unwrap_err(), FlashError::NotProgrammed);
+                    }
+                    // State accessor agrees.
+                    let want = if programmed[b][p] { PageState::Programmed } else { PageState::Erased };
+                    prop_assert_eq!(a.page_state(fp), want);
+                }
+            }
+        }
+    }
+
+    /// RBER is monotone in PEC for any variance multiplier, and the PEC
+    /// inverse is consistent.
+    #[test]
+    fn rber_monotone_and_invertible(
+        pec_a in 0u32..20_000,
+        pec_b in 0u32..20_000,
+        variance in 0.25f64..4.0,
+    ) {
+        let m = RberModel::default();
+        let (lo, hi) = if pec_a <= pec_b { (pec_a, pec_b) } else { (pec_b, pec_a) };
+        prop_assert!(m.rber(lo, variance, 0.0, 0) <= m.rber(hi, variance, 0.0, 0));
+        let r = m.mean_rber(hi);
+        let back = m.pec_at_rber(r);
+        prop_assert!((back as i64 - hi as i64).abs() <= 1);
+    }
+
+    /// Injected error counts stay within [0, bits] and scale with RBER.
+    #[test]
+    fn error_injection_bounded(seed in any::<u64>(), rber_exp in 1f64..6.0) {
+        let mut f = BitFlipper::new(seed);
+        let rber = 10f64.powf(-rber_exp);
+        let bits = 16 * 1024 * 8u64;
+        let mut total = 0u64;
+        for _ in 0..32 {
+            let n = f.draw_error_count(rber, bits);
+            prop_assert!(n <= bits);
+            total += n;
+        }
+        let mean = total as f64 / 32.0;
+        let expect = rber * bits as f64;
+        // Loose statistical envelope (5 sigma-ish for Poisson-like draws).
+        let slack = 5.0 * expect.sqrt().max(1.0);
+        prop_assert!(
+            (mean - expect).abs() < slack + expect * 0.25,
+            "mean {mean} vs expect {expect}"
+        );
+    }
+
+    /// Same seed, same behaviour — the whole array is deterministic.
+    #[test]
+    fn array_determinism(seed in any::<u64>(), cycles in 1u32..60) {
+        let run = || {
+            let geom = FlashGeometry::small_test();
+            let mut a = FlashArray::new(geom, RberModel::fast_wear(), seed);
+            let fp = geom.fpage_addr(0, 0, 0);
+            let blk = geom.block_of(fp);
+            let mut out = Vec::new();
+            for _ in 0..cycles {
+                a.program(fp, None).unwrap();
+                out.push(a.read(fp).unwrap().raw_bit_errors);
+                a.erase(blk).unwrap();
+            }
+            out
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,490 @@
+//! Statistical single-device wear model.
+//!
+//! Under ideal wear leveling every page sees the same erase count `w`, so
+//! with per-page endurance variance `v_i` (lognormal, drawn from the same
+//! [`RberModel`] as the functional simulator) a page's projected RBER is
+//! `mean_rber(w) · v_i`. Sorting `v` once makes per-level page counts a
+//! pair of binary searches per step — O(log n) per device-day instead of
+//! simulating millions of individual writes.
+//!
+//! The model is mode-aware:
+//! - **Baseline** bricks when the fraction of *blocks* containing any
+//!   failed page crosses the bad-block limit (block max-variance array).
+//! - **ShrinkS** retires pages individually; committed capacity shrinks in
+//!   minidisk quanta as usable capacity drops.
+//! - **RegenS** lets pages fall to lower code rates up to the cap before
+//!   dying, so capacity declines by one oPage per transition instead of
+//!   four.
+
+use salamander_ecc::profile::{EccConfig, Tiredness};
+use salamander_flash::geometry::FlashGeometry;
+use salamander_flash::rber::RberModel;
+use salamander_flash::voltage::{CellMode, VoltageModel};
+use serde::{Deserialize, Serialize};
+
+/// Operating mode (mirrors `salamander::Mode` without the dependency
+/// cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StatMode {
+    /// Conventional bricking SSD.
+    Baseline,
+    /// Page-granular shrinking.
+    Shrink,
+    /// Shrinking plus tiredness levels up to `max_level`.
+    Regen {
+        /// Highest usable tiredness level.
+        max_level: Tiredness,
+    },
+}
+
+/// Configuration of a statistical device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StatDeviceConfig {
+    /// Flash geometry (page counts and sizes).
+    pub geometry: FlashGeometry,
+    /// Wear model.
+    pub rber: RberModel,
+    /// ECC layout (tiredness thresholds).
+    pub ecc: EccConfig,
+    /// Mode.
+    pub mode: StatMode,
+    /// Minidisk size in oPages.
+    pub msize_opages: u64,
+    /// Over-provisioning fraction.
+    pub op_fraction: f64,
+    /// Classification safety factor (see the FTL's `rber_safety_factor`).
+    pub safety: f64,
+    /// Baseline bad-block brick threshold.
+    pub bad_block_limit: f64,
+    /// Average write amplification applied to host writes.
+    pub write_amplification: f64,
+    /// ZombieNAND/Phoenix-style rebirth (§2's orthogonal related work):
+    /// pages worn past their last usable tiredness level are reborn at a
+    /// lower bit density, serving `endurance(mode)/endurance(TLC)` times
+    /// their TLC lifetime at `bits/3` of their capacity. `None` disables.
+    pub rebirth: Option<CellMode>,
+}
+
+impl StatDeviceConfig {
+    /// Default datacenter-style device: medium geometry, default wear.
+    pub fn datacenter(mode: StatMode) -> Self {
+        StatDeviceConfig {
+            geometry: FlashGeometry::medium(),
+            rber: RberModel::default(),
+            ecc: EccConfig::default(),
+            mode,
+            msize_opages: 256, // 1 MiB of 4 KiB oPages
+            op_fraction: 0.07,
+            safety: 1.25,
+            bad_block_limit: 0.025,
+            write_amplification: 2.0,
+            rebirth: None,
+        }
+    }
+}
+
+/// The statistical device.
+#[derive(Debug, Clone)]
+pub struct StatDevice {
+    cfg: StatDeviceConfig,
+    /// Per-page endurance variance, ascending.
+    variances: Vec<f64>,
+    /// Per-block max endurance variance, ascending (baseline brick).
+    block_max_variances: Vec<f64>,
+    /// Tiredness thresholds (max RBER per level).
+    thresholds: Vec<f64>,
+    /// Uniform wear (erase cycles per page).
+    wear: f64,
+    /// Committed logical capacity in oPages.
+    committed: u64,
+    /// Initial committed capacity.
+    initial_committed: u64,
+    /// Endurance multiplier of the rebirth mode vs TLC (1.0 = disabled).
+    rebirth_endurance_ratio: f64,
+    dead: bool,
+}
+
+impl StatDevice {
+    /// Build a device; page variances are drawn from `seed`.
+    pub fn new(cfg: StatDeviceConfig, seed: u64) -> Self {
+        let n_pages = cfg.geometry.total_fpages() as usize;
+        let mut variances = cfg.rber.draw_variances(n_pages, seed);
+        let per_block = cfg.geometry.fpages_per_block as usize;
+        let mut block_max: Vec<f64> = variances
+            .chunks(per_block)
+            .map(|c| c.iter().cloned().fold(0.0, f64::max))
+            .collect();
+        variances.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        block_max.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let thresholds = cfg.ecc.thresholds();
+        let raw = cfg.geometry.total_opages();
+        let logical = (raw as f64 * (1.0 - cfg.op_fraction)) as u64;
+        let committed = logical / cfg.msize_opages * cfg.msize_opages;
+        let rebirth_endurance_ratio = match cfg.rebirth {
+            None => 1.0,
+            Some(mode) => {
+                let v = VoltageModel::default();
+                let tlc = v.endurance(CellMode::Tlc, thresholds[0]).max(1) as f64;
+                v.endurance(mode, thresholds[0]) as f64 / tlc
+            }
+        };
+        StatDevice {
+            cfg,
+            variances,
+            block_max_variances: block_max,
+            thresholds,
+            wear: 0.0,
+            committed,
+            initial_committed: committed,
+            rebirth_endurance_ratio,
+            dead: false,
+        }
+    }
+
+    /// Whether the device has failed.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Force-fail the device (AFR events, operator retirement).
+    pub fn kill(&mut self) {
+        self.dead = true;
+        self.committed = 0;
+    }
+
+    /// Committed logical capacity in oPages.
+    pub fn committed_opages(&self) -> u64 {
+        self.committed
+    }
+
+    /// Initial committed capacity in oPages.
+    pub fn initial_opages(&self) -> u64 {
+        self.initial_committed
+    }
+
+    /// Current wear (average erase cycles per page).
+    pub fn wear(&self) -> f64 {
+        self.wear
+    }
+
+    /// Max usable tiredness level for the current mode.
+    fn max_level(&self) -> u32 {
+        match self.cfg.mode {
+            StatMode::Baseline | StatMode::Shrink => 0,
+            StatMode::Regen { max_level } => {
+                max_level.index().min(self.thresholds.len() as u32 - 1)
+            }
+        }
+    }
+
+    /// The variance above which a page at wear `w` exceeds `threshold`.
+    fn variance_cut(&self, threshold: f64) -> f64 {
+        let mean = self.cfg.rber.mean_rber(self.wear as u32);
+        if mean <= 0.0 {
+            return f64::INFINITY;
+        }
+        threshold / (mean * self.cfg.safety)
+    }
+
+    /// Number of pages at exactly tiredness level `j` (the `limbo[L_j]`
+    /// counters, derived analytically).
+    pub fn pages_at_level(&self, j: u32) -> u64 {
+        let max = self.max_level();
+        if j > max + 1 {
+            return 0;
+        }
+        // Pages at level ≤ j have variance ≤ cut(threshold_j); level j
+        // exactly is the difference of cumulative counts.
+        let below = |level: i64| -> u64 {
+            if level < 0 {
+                return 0;
+            }
+            let level = (level as u32).min(max);
+            let cut = self.variance_cut(self.thresholds[level as usize]);
+            self.count_below(&self.variances, cut)
+        };
+        if j <= max {
+            below(j as i64) - below(j as i64 - 1)
+        } else {
+            // Dead pages: everything past the cap.
+            self.variances.len() as u64 - below(max as i64)
+        }
+    }
+
+    /// Usable capacity in oPages (Eq. 1 aggregate, plus reborn capacity
+    /// when the rebirth extension is enabled).
+    pub fn usable_opages(&self) -> u64 {
+        let per = self.cfg.geometry.opages_per_fpage() as u64;
+        let max = self.max_level();
+        let regular: u64 = (0..=max)
+            .map(|j| (per - j as u64) * self.pages_at_level(j))
+            .sum();
+        regular + self.reborn_opages()
+    }
+
+    /// Capacity from pages reborn at a lower bit density: pages past the
+    /// tiredness cap whose rebirth-mode endurance still exceeds the
+    /// current wear. With uniform wear `w`, a page of variance `v` dies
+    /// (as TLC) at `d(v)`; it serves reborn until `ratio · d(v)`, i.e.
+    /// while `v < cut(w / ratio)`.
+    pub fn reborn_opages(&self) -> u64 {
+        let Some(mode) = self.cfg.rebirth else {
+            return 0;
+        };
+        let max = self.max_level();
+        let last_threshold = self.thresholds[max as usize];
+        let dead_cut = self.variance_cut(last_threshold);
+        let reborn_wear = self.wear / self.rebirth_endurance_ratio;
+        let mean = self.cfg.rber.mean_rber(reborn_wear as u32);
+        let reborn_cut = if mean <= 0.0 {
+            f64::INFINITY
+        } else {
+            last_threshold / (mean * self.cfg.safety)
+        };
+        let dead_count = self.variances.len() as u64 - self.count_below(&self.variances, dead_cut);
+        let still_ok = self.count_below(&self.variances, reborn_cut)
+            - self.count_below(&self.variances, dead_cut);
+        let reborn_pages = still_ok.min(dead_count);
+        let per = self.cfg.geometry.opages_per_fpage() as f64;
+        (reborn_pages as f64 * per * mode.capacity_vs_tlc()) as u64
+    }
+
+    fn count_below(&self, sorted: &[f64], cut: f64) -> u64 {
+        sorted.partition_point(|&v| v <= cut) as u64
+    }
+
+    /// Fraction of blocks containing at least one failed (beyond-L0) page.
+    pub fn bad_block_fraction(&self) -> f64 {
+        let cut = self.variance_cut(self.thresholds[0]);
+        let ok = self.count_below(&self.block_max_variances, cut);
+        1.0 - ok as f64 / self.block_max_variances.len() as f64
+    }
+
+    /// Apply `host_opages` of writes, advancing wear, then re-run the
+    /// capacity protocol. Returns the change in committed capacity
+    /// (negative = shrank).
+    pub fn apply_writes(&mut self, host_opages: u64) -> i64 {
+        if self.dead {
+            return 0;
+        }
+        let before = self.committed;
+        // Wear spreads (with write amplification) over the usable pool.
+        let usable = self.usable_opages().max(1);
+        self.wear += host_opages as f64 * self.cfg.write_amplification / usable as f64;
+        match self.cfg.mode {
+            StatMode::Baseline => {
+                if self.bad_block_fraction() > self.cfg.bad_block_limit {
+                    self.kill();
+                }
+            }
+            StatMode::Shrink | StatMode::Regen { .. } => {
+                // Shrink committed to what the usable pool can back, in
+                // minidisk quanta, keeping the OP reserve.
+                let usable = self.usable_opages();
+                let reserve = (usable as f64 * self.cfg.op_fraction) as u64;
+                let backable =
+                    usable.saturating_sub(reserve) / self.cfg.msize_opages * self.cfg.msize_opages;
+                // Monotone non-increasing: regenerated capacity at lower
+                // levels is already inside `usable`, so `backable` includes
+                // it; a Salamander device never grows past its start.
+                self.committed = self.committed.min(backable).min(self.initial_committed);
+                if self.committed == 0 {
+                    self.kill();
+                }
+            }
+        }
+        self.committed as i64 - before as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(mode: StatMode) -> StatDeviceConfig {
+        StatDeviceConfig {
+            geometry: FlashGeometry::small_test(),
+            ..StatDeviceConfig::datacenter(mode)
+        }
+    }
+
+    /// Total host writes a device absorbs before death, stepping by
+    /// `step` oPages.
+    fn lifetime(mode: StatMode, seed: u64) -> u64 {
+        let mut d = StatDevice::new(cfg(mode), seed);
+        let step = 10_000;
+        let mut total = 0u64;
+        while !d.is_dead() && total < 20_000_000_000 {
+            d.apply_writes(step);
+            total += step;
+        }
+        total
+    }
+
+    #[test]
+    fn fresh_device_fully_usable() {
+        let d = StatDevice::new(cfg(StatMode::Shrink), 1);
+        assert_eq!(d.pages_at_level(0), 256);
+        assert_eq!(d.usable_opages(), 1024);
+        assert!(d.committed_opages() > 0);
+        assert_eq!(d.bad_block_fraction(), 0.0);
+    }
+
+    #[test]
+    fn wear_moves_pages_up_levels() {
+        let mut d = StatDevice::new(
+            cfg(StatMode::Regen {
+                max_level: Tiredness::L1,
+            }),
+            2,
+        );
+        // Push wear to where the median page is near the L0 threshold.
+        let target = d.cfg.rber.pec_at_rber(d.thresholds[0]);
+        d.wear = target as f64;
+        let l0 = d.pages_at_level(0);
+        let l1 = d.pages_at_level(1);
+        assert!(l0 > 0 && l1 > 0, "l0={l0} l1={l1}");
+        assert!(d.usable_opages() < 1024);
+    }
+
+    #[test]
+    fn lifetime_ordering_baseline_shrink_regen() {
+        let base = lifetime(StatMode::Baseline, 3);
+        let shrink = lifetime(StatMode::Shrink, 3);
+        let regen = lifetime(
+            StatMode::Regen {
+                max_level: Tiredness::L1,
+            },
+            3,
+        );
+        assert!(
+            shrink as f64 > base as f64 * 1.05,
+            "shrink {shrink} vs base {base}"
+        );
+        assert!(regen > shrink, "regen {regen} vs shrink {shrink}");
+    }
+
+    #[test]
+    fn shrink_capacity_monotone_in_quanta() {
+        let mut d = StatDevice::new(cfg(StatMode::Shrink), 4);
+        let msize = d.cfg.msize_opages;
+        let mut prev = d.committed_opages();
+        while !d.is_dead() {
+            d.apply_writes(50_000);
+            let now = d.committed_opages();
+            assert!(now <= prev);
+            assert_eq!(now % msize, 0, "capacity moves in minidisk quanta");
+            prev = now;
+        }
+        assert_eq!(prev, 0);
+    }
+
+    #[test]
+    fn baseline_bricks_abruptly() {
+        let mut d = StatDevice::new(cfg(StatMode::Baseline), 5);
+        let mut last_committed = d.committed_opages();
+        while !d.is_dead() {
+            last_committed = d.committed_opages();
+            d.apply_writes(50_000);
+        }
+        // Full capacity right up to the brick.
+        assert_eq!(last_committed, d.initial_opages());
+    }
+
+    #[test]
+    fn kill_is_terminal() {
+        let mut d = StatDevice::new(cfg(StatMode::Shrink), 6);
+        d.kill();
+        assert!(d.is_dead());
+        assert_eq!(d.committed_opages(), 0);
+        assert_eq!(d.apply_writes(1000), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(lifetime(StatMode::Shrink, 7), lifetime(StatMode::Shrink, 7));
+    }
+
+    #[test]
+    fn level_counts_partition_pages() {
+        let mut d = StatDevice::new(
+            cfg(StatMode::Regen {
+                max_level: Tiredness::L2,
+            }),
+            8,
+        );
+        for wear in [0u32, 1000, 3000, 5000, 10000] {
+            d.wear = wear as f64;
+            let total: u64 = (0..=3).map(|j| d.pages_at_level(j)).sum();
+            assert_eq!(total, 256, "wear {wear}: counts must partition");
+        }
+    }
+}
+
+#[cfg(test)]
+mod rebirth_tests {
+    use super::*;
+    use salamander_flash::voltage::CellMode;
+
+    fn cfg_rebirth(mode: Option<CellMode>) -> StatDeviceConfig {
+        StatDeviceConfig {
+            geometry: FlashGeometry::small_test(),
+            rebirth: mode,
+            mode: StatMode::Regen {
+                max_level: Tiredness::L1,
+            },
+            ..StatDeviceConfig::datacenter(StatMode::Shrink)
+        }
+    }
+
+    fn lifetime(mode: Option<CellMode>, seed: u64) -> u64 {
+        let mut d = StatDevice::new(cfg_rebirth(mode), seed);
+        let step = 10_000;
+        let mut total = 0u64;
+        while !d.is_dead() && total < 100_000_000_000 {
+            d.apply_writes(step);
+            total += step;
+        }
+        total
+    }
+
+    #[test]
+    fn fresh_device_has_no_reborn_capacity() {
+        let d = StatDevice::new(cfg_rebirth(Some(CellMode::Slc)), 1);
+        assert_eq!(d.reborn_opages(), 0);
+    }
+
+    #[test]
+    fn rebirth_extends_lifetime() {
+        let none = lifetime(None, 2);
+        let slc = lifetime(Some(CellMode::Slc), 2);
+        let mlc = lifetime(Some(CellMode::Mlc), 2);
+        assert!(
+            slc as f64 > none as f64 * 1.2,
+            "SLC rebirth {slc} vs plain {none}"
+        );
+        assert!(mlc > none, "MLC rebirth {mlc} vs plain {none}");
+    }
+
+    #[test]
+    fn reborn_capacity_appears_as_pages_die() {
+        let mut d = StatDevice::new(cfg_rebirth(Some(CellMode::Slc)), 3);
+        // Advance until some pages have died (past L1 at this cap).
+        while d.pages_at_level(2) == 0 && !d.is_dead() {
+            d.apply_writes(50_000);
+        }
+        assert!(d.reborn_opages() > 0, "dead pages should serve reborn");
+        // Reborn capacity is bounded by dead pages at SLC's 1/3 ratio.
+        let per = d.cfg.geometry.opages_per_fpage() as u64;
+        let dead = d.pages_at_level(2);
+        assert!(d.reborn_opages() <= dead * per / 3 + 1);
+    }
+
+    #[test]
+    fn tlc_rebirth_adds_nothing() {
+        // Rebirth at the same density is a no-op by construction.
+        let none = lifetime(None, 4);
+        let tlc = lifetime(Some(CellMode::Tlc), 4);
+        assert_eq!(none, tlc);
+    }
+}

@@ -1,0 +1,119 @@
+//! The §4.2 performance model (Fig. 3c / Fig. 3d).
+//!
+//! An fPage at tiredness level `L` yields only `4−L` oPages per array
+//! read, so throughput-bound sequential access and latency-bound large
+//! random access degrade by `4/(4−L)` on such pages (25% at L1). Small
+//! (one-oPage) random reads still cost one array read and are unaffected.
+//!
+//! These functions give the *expected* degradation for a device where a
+//! fraction `f` of fPages sit at L1 (the paper's x-axis as devices age),
+//! both analytically and via the flash timing model for cross-validation.
+
+use salamander_flash::timing::TimingModel;
+
+/// Fraction of stored *data* living on L1 pages when a fraction `f` of
+/// pages are L1: L0 pages hold 4 oPages, L1 pages hold 3.
+pub fn data_fraction_on_l1(f: f64) -> f64 {
+    let f = f.clamp(0.0, 1.0);
+    3.0 * f / (4.0 - f)
+}
+
+/// Sequential read throughput relative to an all-L0 device, for an L1
+/// fraction `f`. Reading a byte stream spread uniformly over the data:
+/// time per oPage is `tR/4` on L0 and `tR/3` on L1.
+pub fn seq_throughput_rel(f: f64) -> f64 {
+    let d = data_fraction_on_l1(f);
+    1.0 / ((1.0 - d) + d * (4.0 / 3.0))
+}
+
+/// Expected large (16 KiB, four-oPage) random access latency relative to
+/// all-L0, for an L1 fraction `f`: on L1 pages the four oPages span
+/// amortized `4/3` array reads.
+pub fn large_random_latency_rel(f: f64) -> f64 {
+    let d = data_fraction_on_l1(f);
+    (1.0 - d) + d * (4.0 / 3.0)
+}
+
+/// Small (4 KiB) random access latency relative to all-L0: one array read
+/// either way (§4.2: "small, random accesses will likely have the same
+/// latency in baseline and RegenS").
+pub fn small_random_latency_rel(_f: f64) -> f64 {
+    1.0
+}
+
+/// Cross-check of [`seq_throughput_rel`] against the timing model: mix
+/// `f` of L1 pages with `1−f` of L0 and compute aggregate useful bytes
+/// per second.
+pub fn seq_throughput_rel_timed(f: f64, timing: &TimingModel) -> f64 {
+    // Disable the bus cap so the array-time ratio shows through.
+    let t = TimingModel {
+        xfer_bytes_per_us: f64::INFINITY,
+        ..*timing
+    };
+    let l0 = t.seq_read_throughput(16 * 1024);
+    let l1 = t.seq_read_throughput(12 * 1024);
+    // Harmonic mix over the data distribution.
+    let d = data_fraction_on_l1(f);
+    let mixed = 1.0 / ((1.0 - d) / l0 + d / l1);
+    mixed / l0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_paper() {
+        // f = 0: no degradation. f = 1: 25% throughput loss, 4/3 latency.
+        assert!((seq_throughput_rel(0.0) - 1.0).abs() < 1e-12);
+        assert!((seq_throughput_rel(1.0) - 0.75).abs() < 1e-12);
+        assert!((large_random_latency_rel(0.0) - 1.0).abs() < 1e-12);
+        assert!((large_random_latency_rel(1.0) - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(small_random_latency_rel(0.5), 1.0);
+    }
+
+    #[test]
+    fn monotone_in_l1_fraction() {
+        let mut prev_tp = f64::INFINITY;
+        let mut prev_lat = 0.0;
+        for i in 0..=10 {
+            let f = i as f64 / 10.0;
+            let tp = seq_throughput_rel(f);
+            let lat = large_random_latency_rel(f);
+            assert!(tp <= prev_tp);
+            assert!(lat >= prev_lat);
+            prev_tp = tp;
+            prev_lat = lat;
+        }
+    }
+
+    #[test]
+    fn data_fraction_sane() {
+        assert_eq!(data_fraction_on_l1(0.0), 0.0);
+        assert_eq!(data_fraction_on_l1(1.0), 1.0);
+        // At f = 0.5: 1.5/3.5 of the data is on L1 pages.
+        assert!((data_fraction_on_l1(0.5) - 1.5 / 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timed_model_agrees_with_analytical() {
+        let t = TimingModel::default();
+        for i in 0..=10 {
+            let f = i as f64 / 10.0;
+            let a = seq_throughput_rel(f);
+            let b = seq_throughput_rel_timed(f, &t);
+            assert!((a - b).abs() < 1e-9, "f={f}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn throughput_latency_reciprocal() {
+        // For this model, relative throughput is exactly the reciprocal of
+        // relative (amortized) latency.
+        for i in 0..=10 {
+            let f = i as f64 / 10.0;
+            let p = seq_throughput_rel(f) * large_random_latency_rel(f);
+            assert!((p - 1.0).abs() < 1e-12);
+        }
+    }
+}

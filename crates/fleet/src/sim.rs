@@ -1,0 +1,277 @@
+//! Fleet simulation: the Fig. 3a/3b time series.
+//!
+//! A batch of devices is deployed at day 0 and aged under a DWPD write
+//! budget plus random annual failures (AFR). No replacements are modeled —
+//! Fig. 3 tracks how the *original batch* decays, which is what
+//! differentiates a bricking baseline (devices vanish whole) from
+//! Salamander (devices shed capacity gradually and live longer).
+
+use crate::device::{StatDevice, StatDeviceConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Fleet simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Device model.
+    pub device: StatDeviceConfig,
+    /// Number of devices in the batch.
+    pub devices: u32,
+    /// Drive writes per day applied to each device (relative to its
+    /// *initial* capacity, the vendor's DWPD definition).
+    pub dwpd: f64,
+    /// Lognormal sigma of per-device write-rate imbalance (real fleets
+    /// never load devices identically; 0 disables).
+    pub dwpd_sigma: f64,
+    /// Annual failure rate from non-wear causes (field studies report
+    /// ~1–3%; §4.1).
+    pub afr: f64,
+    /// Simulation horizon in days.
+    pub horizon_days: u32,
+    /// Sampling interval in days.
+    pub sample_every_days: u32,
+    /// RNG seed (device variance and AFR draws).
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// A 100-device fleet at 1 DWPD for ten simulated years.
+    pub fn standard(device: StatDeviceConfig, seed: u64) -> Self {
+        FleetConfig {
+            device,
+            devices: 100,
+            dwpd: 1.0,
+            dwpd_sigma: 0.25,
+            afr: 0.01,
+            horizon_days: 3650,
+            sample_every_days: 30,
+            seed,
+        }
+    }
+}
+
+/// One sampled fleet state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetSample {
+    /// Simulated day.
+    pub day: u32,
+    /// Devices still functioning.
+    pub alive: u32,
+    /// Total committed capacity across the fleet, in oPages.
+    pub capacity_opages: u64,
+    /// Cumulative wear-caused device deaths.
+    pub wear_deaths: u32,
+    /// Cumulative AFR-caused device deaths.
+    pub afr_deaths: u32,
+}
+
+/// The full time series of one fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTimeline {
+    /// Samples in time order.
+    pub samples: Vec<FleetSample>,
+}
+
+impl FleetTimeline {
+    /// Day by which half the fleet has died, if within the horizon.
+    pub fn half_fleet_dead_day(&self) -> Option<u32> {
+        let n = self.samples.first()?.alive;
+        self.samples
+            .iter()
+            .find(|s| s.alive <= n / 2)
+            .map(|s| s.day)
+    }
+
+    /// Capacity remaining at `day` as a fraction of initial.
+    pub fn capacity_fraction_at(&self, day: u32) -> Option<f64> {
+        let first = self.samples.first()?.capacity_opages as f64;
+        self.samples
+            .iter()
+            .rev()
+            .find(|s| s.day <= day)
+            .map(|s| s.capacity_opages as f64 / first)
+    }
+}
+
+/// The fleet simulator.
+#[derive(Debug, Clone)]
+pub struct FleetSim {
+    cfg: FleetConfig,
+}
+
+impl FleetSim {
+    /// Build a simulator.
+    pub fn new(cfg: FleetConfig) -> Self {
+        FleetSim { cfg }
+    }
+
+    /// Run to the horizon (or total fleet death) and return the timeline.
+    pub fn run(&self) -> FleetTimeline {
+        let cfg = &self.cfg;
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut devices: Vec<StatDevice> = (0..cfg.devices)
+            .map(|i| StatDevice::new(cfg.device, cfg.seed.wrapping_add(1 + i as u64)))
+            .collect();
+        let daily_writes: Vec<u64> = devices
+            .iter()
+            .map(|d| {
+                // Per-device load imbalance: lognormal with median 1.
+                let jitter = if cfg.dwpd_sigma > 0.0 {
+                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    (cfg.dwpd_sigma * z).exp()
+                } else {
+                    1.0
+                };
+                (cfg.dwpd * jitter * d.initial_opages() as f64) as u64
+            })
+            .collect();
+        let daily_afr = 1.0 - (1.0 - cfg.afr).powf(1.0 / 365.0);
+        let mut wear_deaths = 0u32;
+        let mut afr_deaths = 0u32;
+        let mut samples = Vec::new();
+        let sample = |day: u32, devs: &[StatDevice], wd: u32, ad: u32| FleetSample {
+            day,
+            alive: devs.iter().filter(|d| !d.is_dead()).count() as u32,
+            capacity_opages: devs.iter().map(|d| d.committed_opages()).sum(),
+            wear_deaths: wd,
+            afr_deaths: ad,
+        };
+        samples.push(sample(0, &devices, 0, 0));
+        for day in 1..=cfg.horizon_days {
+            for (d, &w) in devices.iter_mut().zip(&daily_writes) {
+                if d.is_dead() {
+                    continue;
+                }
+                d.apply_writes(w);
+                if d.is_dead() {
+                    wear_deaths += 1;
+                } else if rng.gen_bool(daily_afr) {
+                    d.kill();
+                    afr_deaths += 1;
+                }
+            }
+            if day % cfg.sample_every_days == 0 || day == cfg.horizon_days {
+                samples.push(sample(day, &devices, wear_deaths, afr_deaths));
+                if samples.last().unwrap().alive == 0 {
+                    break;
+                }
+            }
+        }
+        FleetTimeline { samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::StatMode;
+    use salamander_ecc::profile::Tiredness;
+    use salamander_flash::geometry::FlashGeometry;
+
+    fn quick(mode: StatMode, seed: u64) -> FleetTimeline {
+        let device = StatDeviceConfig {
+            geometry: FlashGeometry::small_test(),
+            ..StatDeviceConfig::datacenter(mode)
+        };
+        FleetSim::new(FleetConfig {
+            devices: 30,
+            dwpd: 20.0, // aggressive so devices die within the horizon
+            dwpd_sigma: 0.25,
+            afr: 0.01,
+            horizon_days: 2000,
+            sample_every_days: 10,
+            seed,
+            device,
+        })
+        .run()
+    }
+
+    #[test]
+    fn fleet_decays_to_zero() {
+        let t = quick(StatMode::Baseline, 1);
+        assert_eq!(t.samples[0].alive, 30);
+        let last = t.samples.last().unwrap();
+        assert!(last.alive < 30);
+        assert!(last.wear_deaths + last.afr_deaths + last.alive == 30);
+    }
+
+    #[test]
+    fn fig3a_salamander_outlives_baseline() {
+        let base = quick(StatMode::Baseline, 2);
+        let regen = quick(
+            StatMode::Regen {
+                max_level: Tiredness::L1,
+            },
+            2,
+        );
+        let b = base.half_fleet_dead_day().expect("baseline half-life");
+        // `None` would be even better: never reached half-dead in horizon.
+        if let Some(r) = regen.half_fleet_dead_day() {
+            assert!(r as f64 > b as f64 * 1.2, "regen {r} vs base {b}");
+        }
+    }
+
+    #[test]
+    fn fig3b_capacity_declines_gradually_for_salamander() {
+        let base = quick(StatMode::Baseline, 3);
+        let shrink = quick(StatMode::Shrink, 3);
+        // A baseline device is all-or-nothing: fleet capacity is always
+        // exactly (alive devices) × (full device capacity).
+        let per_device = base.samples[0].capacity_opages / base.samples[0].alive as u64;
+        for s in &base.samples {
+            assert_eq!(
+                s.capacity_opages,
+                s.alive as u64 * per_device,
+                "baseline devices fail whole, day {}",
+                s.day
+            );
+        }
+        // ShrinkS devices spend time alive at *partial* capacity.
+        let partial = shrink
+            .samples
+            .iter()
+            .any(|s| s.alive > 0 && s.capacity_opages < s.alive as u64 * per_device);
+        assert!(
+            partial,
+            "shrinking fleet should show partial-capacity devices"
+        );
+    }
+
+    #[test]
+    fn capacity_fraction_interpolates() {
+        let t = quick(StatMode::Shrink, 4);
+        assert_eq!(t.capacity_fraction_at(0), Some(1.0));
+        let end = t.samples.last().unwrap().day;
+        assert!(t.capacity_fraction_at(end).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = quick(StatMode::Shrink, 5);
+        let b = quick(StatMode::Shrink, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_afr_means_wear_deaths_only() {
+        let device = StatDeviceConfig {
+            geometry: FlashGeometry::small_test(),
+            ..StatDeviceConfig::datacenter(StatMode::Baseline)
+        };
+        let t = FleetSim::new(FleetConfig {
+            devices: 10,
+            dwpd: 20.0,
+            dwpd_sigma: 0.0,
+            afr: 0.0,
+            horizon_days: 2000,
+            sample_every_days: 10,
+            seed: 6,
+            device,
+        })
+        .run();
+        assert_eq!(t.samples.last().unwrap().afr_deaths, 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Wear-leveled block allocation.
+//!
+//! The allocator hands out fPages from one *open* block at a time, skipping
+//! pages the wear tracker marks dead, and picks the lowest-PEC free block
+//! when a new open block is needed (static wear leveling on the write
+//! path). Blocks cycle `Free → Open → Used → (erase) → Free`, or drop out
+//! to `Dead` when no usable pages remain.
+
+use crate::wear::WearTracker;
+use salamander_flash::geometry::{BlockAddr, FPageAddr, FlashGeometry};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Lifecycle state of an erase block, from the allocator's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockState {
+    /// Erased and available.
+    Free,
+    /// Currently receiving programs.
+    Open,
+    /// Fully programmed (or closed early); awaiting GC.
+    Used,
+    /// Retired: no usable pages (or marked bad).
+    Dead,
+}
+
+/// Write stream: separating host writes from GC relocations ("hot/cold
+/// separation") keeps short-lived and long-lived data in different blocks,
+/// which lowers write amplification. The FTL exposes it as a config knob
+/// for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stream {
+    /// Host (foreground) writes.
+    Host = 0,
+    /// GC relocations (cold data).
+    Gc = 1,
+}
+
+/// Block allocator with PEC-ordered free list and one open block per
+/// write stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockAllocator {
+    geom: FlashGeometry,
+    state: Vec<BlockState>,
+    pec: Vec<u32>,
+    /// Free blocks ordered by (PEC, index): pop-first = least worn.
+    free: BTreeSet<(u32, u32)>,
+    open: [Option<(BlockAddr, u32)>; 2],
+}
+
+impl BlockAllocator {
+    /// All blocks start free at PEC 0.
+    pub fn new(geom: FlashGeometry) -> Self {
+        let n = geom.total_blocks();
+        BlockAllocator {
+            geom,
+            state: vec![BlockState::Free; n as usize],
+            pec: vec![0; n as usize],
+            free: (0..n).map(|i| (0, i)).collect(),
+            open: [None, None],
+        }
+    }
+
+    /// State of `block`.
+    pub fn state(&self, block: BlockAddr) -> BlockState {
+        self.state[block.index as usize]
+    }
+
+    /// Number of free blocks (excluding the open one).
+    pub fn free_blocks(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// The currently open block for `stream`, if any.
+    pub fn open_block(&self, stream: Stream) -> Option<BlockAddr> {
+        self.open[stream as usize].map(|(b, _)| b)
+    }
+
+    /// Next programmable fPage on `stream`, advancing its cursor. Dead
+    /// pages are skipped. Opens a new (least-worn) free block when needed.
+    /// Returns `None` when no free block remains.
+    pub fn next_fpage(&mut self, wear: &WearTracker, stream: Stream) -> Option<FPageAddr> {
+        loop {
+            if let Some((block, ref mut cursor)) = self.open[stream as usize] {
+                while *cursor < self.geom.fpages_per_block {
+                    let fp = FPageAddr {
+                        index: block.index * self.geom.fpages_per_block + *cursor,
+                    };
+                    *cursor += 1;
+                    if wear.level(fp.index).usable() {
+                        return Some(fp);
+                    }
+                }
+                // Open block exhausted.
+                self.state[block.index as usize] = BlockState::Used;
+                self.open[stream as usize] = None;
+            }
+            let &(pec, idx) = self.free.iter().next()?;
+            self.free.remove(&(pec, idx));
+            self.state[idx as usize] = BlockState::Open;
+            self.open[stream as usize] = Some((BlockAddr { index: idx }, 0));
+        }
+    }
+
+    /// Record an erase of `block` at `new_pec`. If `usable` the block
+    /// rejoins the free list; otherwise it is retired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is `Free` or `Open` (erasing those is an FTL
+    /// logic error).
+    pub fn on_erase(&mut self, block: BlockAddr, new_pec: u32, usable: bool) {
+        let i = block.index as usize;
+        assert!(
+            matches!(self.state[i], BlockState::Used | BlockState::Dead),
+            "erase of non-used block {}",
+            block.index
+        );
+        self.pec[i] = new_pec;
+        if usable {
+            self.state[i] = BlockState::Free;
+            self.free.insert((new_pec, block.index));
+        } else {
+            self.state[i] = BlockState::Dead;
+        }
+    }
+
+    /// Retire `block` outright (bad block, baseline block failure). It is
+    /// removed from the free list if present; an open block is closed.
+    pub fn mark_dead(&mut self, block: BlockAddr) {
+        let i = block.index as usize;
+        match self.state[i] {
+            BlockState::Free => {
+                self.free.remove(&(self.pec[i], block.index));
+            }
+            BlockState::Open => {
+                for slot in &mut self.open {
+                    if slot.map(|(b, _)| b) == Some(block) {
+                        *slot = None;
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.state[i] = BlockState::Dead;
+    }
+
+    /// Close all open blocks early (e.g. before selecting GC victims).
+    pub fn close_open(&mut self) {
+        for slot in &mut self.open {
+            if let Some((b, _)) = slot.take() {
+                self.state[b.index as usize] = BlockState::Used;
+            }
+        }
+    }
+
+    /// Iterate blocks in `Used` state.
+    pub fn used_blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.state
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == BlockState::Used)
+            .map(|(i, _)| BlockAddr { index: i as u32 })
+    }
+
+    /// Number of dead blocks.
+    pub fn dead_blocks(&self) -> u32 {
+        self.state
+            .iter()
+            .filter(|s| **s == BlockState::Dead)
+            .count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> FlashGeometry {
+        FlashGeometry::small_test() // 16 blocks × 16 pages
+    }
+
+    fn wear_all_alive(g: &FlashGeometry) -> WearTracker {
+        WearTracker::new(vec![1.0], 0, 1.0, g.total_fpages(), g.opages_per_fpage())
+    }
+
+    #[test]
+    fn allocates_sequentially_within_block() {
+        let g = geom();
+        let w = wear_all_alive(&g);
+        let mut a = BlockAllocator::new(g);
+        let p0 = a.next_fpage(&w, Stream::Host).unwrap();
+        let p1 = a.next_fpage(&w, Stream::Host).unwrap();
+        assert_eq!(p1.index, p0.index + 1);
+        assert_eq!(g.block_of(p0), g.block_of(p1));
+        assert_eq!(a.state(g.block_of(p0)), BlockState::Open);
+    }
+
+    #[test]
+    fn moves_to_next_block_when_full() {
+        let g = geom();
+        let w = wear_all_alive(&g);
+        let mut a = BlockAllocator::new(g);
+        let first = a.next_fpage(&w, Stream::Host).unwrap();
+        for _ in 1..g.fpages_per_block {
+            a.next_fpage(&w, Stream::Host).unwrap();
+        }
+        let next = a.next_fpage(&w, Stream::Host).unwrap();
+        assert_ne!(g.block_of(first), g.block_of(next));
+        assert_eq!(a.state(g.block_of(first)), BlockState::Used);
+    }
+
+    #[test]
+    fn skips_dead_pages() {
+        let g = geom();
+        let mut w = wear_all_alive(&g);
+        w.kill(1);
+        w.kill(2);
+        let mut a = BlockAllocator::new(g);
+        let p0 = a.next_fpage(&w, Stream::Host).unwrap();
+        let p1 = a.next_fpage(&w, Stream::Host).unwrap();
+        assert_eq!(p0.index, 0);
+        assert_eq!(p1.index, 3);
+    }
+
+    #[test]
+    fn wear_leveling_prefers_low_pec() {
+        let g = geom();
+        let w = wear_all_alive(&g);
+        let mut a = BlockAllocator::new(g);
+        // Drain every block, then erase them with different PECs.
+        while a.next_fpage(&w, Stream::Host).is_some() {}
+        assert_eq!(a.free_blocks(), 0);
+        for b in g.blocks() {
+            a.on_erase(b, 10 - (b.index % 4), true);
+        }
+        // First allocation comes from a block with the minimum PEC (7).
+        let p = a.next_fpage(&w, Stream::Host).unwrap();
+        assert_eq!(a.pec[g.block_of(p).index as usize], 7);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let g = geom();
+        let w = wear_all_alive(&g);
+        let mut a = BlockAllocator::new(g);
+        let total = g.total_fpages();
+        for _ in 0..total {
+            assert!(a.next_fpage(&w, Stream::Host).is_some());
+        }
+        assert!(a.next_fpage(&w, Stream::Host).is_none());
+    }
+
+    #[test]
+    fn dead_block_never_allocated() {
+        let g = geom();
+        let w = wear_all_alive(&g);
+        let mut a = BlockAllocator::new(g);
+        for b in g.blocks() {
+            if b.index != 5 {
+                a.mark_dead(b);
+            }
+        }
+        let p = a.next_fpage(&w, Stream::Host).unwrap();
+        assert_eq!(g.block_of(p).index, 5);
+        assert_eq!(a.dead_blocks(), 15);
+    }
+
+    #[test]
+    fn erase_dead_page_block_retires() {
+        let g = geom();
+        let mut w = wear_all_alive(&g);
+        let mut a = BlockAllocator::new(g);
+        // Fill block 0.
+        for _ in 0..g.fpages_per_block {
+            a.next_fpage(&w, Stream::Host).unwrap();
+        }
+        a.close_open();
+        let b0 = BlockAddr { index: 0 };
+        for fp in g.fpages_in(b0) {
+            w.kill(fp.index);
+        }
+        a.on_erase(b0, 1, false);
+        assert_eq!(a.state(b0), BlockState::Dead);
+        assert!(!a.free.contains(&(1, 0)));
+    }
+
+    #[test]
+    fn used_blocks_iterates() {
+        let g = geom();
+        let w = wear_all_alive(&g);
+        let mut a = BlockAllocator::new(g);
+        for _ in 0..g.fpages_per_block {
+            a.next_fpage(&w, Stream::Host).unwrap();
+        }
+        a.next_fpage(&w, Stream::Host).unwrap(); // opens block 2
+        let used: Vec<_> = a.used_blocks().collect();
+        assert_eq!(used.len(), 1);
+    }
+
+    #[test]
+    fn mark_dead_closes_open_block() {
+        let g = geom();
+        let w = wear_all_alive(&g);
+        let mut a = BlockAllocator::new(g);
+        let p = a.next_fpage(&w, Stream::Host).unwrap();
+        let b = g.block_of(p);
+        a.mark_dead(b);
+        assert_eq!(a.state(b), BlockState::Dead);
+        assert!(a.open_block(Stream::Host).is_none());
+        // Next allocation opens a different block.
+        let p2 = a.next_fpage(&w, Stream::Host).unwrap();
+        assert_ne!(g.block_of(p2), b);
+    }
+}

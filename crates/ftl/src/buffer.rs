@@ -1,0 +1,185 @@
+//! Non-volatile write buffer.
+//!
+//! Salamander buffers host oPage writes "in a small non-volatile buffer
+//! until enough data is cached to fill all oPages in the next available
+//! fPage" (§3.2). The buffer is a FIFO of unique `(minidisk, LBA)` keys;
+//! rewriting a buffered LBA replaces its payload in place (no duplicate
+//! flush). Because the buffer is modeled as non-volatile, buffered data
+//! counts as durable for capacity accounting.
+
+use crate::types::{Lba, MdiskId};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// One buffered oPage write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferedWrite {
+    /// Target minidisk.
+    pub id: MdiskId,
+    /// Target LBA.
+    pub lba: Lba,
+    /// Payload (`None` for synthetic/metadata-only simulation writes).
+    pub data: Option<Box<[u8]>>,
+}
+
+/// FIFO write buffer with in-place overwrite of duplicate keys.
+///
+/// # Examples
+///
+/// ```
+/// use salamander_ftl::buffer::WriteBuffer;
+/// use salamander_ftl::types::{Lba, MdiskId};
+///
+/// let mut b = WriteBuffer::new();
+/// b.push(MdiskId(0), Lba(1), None);
+/// b.push(MdiskId(0), Lba(1), None); // overwrite, not a new entry
+/// assert_eq!(b.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WriteBuffer {
+    queue: VecDeque<(MdiskId, Lba)>,
+    #[serde(with = "crate::serde_util::pairs")]
+    payload: HashMap<(MdiskId, Lba), Option<Box<[u8]>>>,
+}
+
+impl WriteBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct buffered oPages.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Buffer a write. Returns `true` if this is a new entry, `false` if it
+    /// overwrote an already-buffered LBA.
+    pub fn push(&mut self, id: MdiskId, lba: Lba, data: Option<&[u8]>) -> bool {
+        let key = (id, lba);
+        let boxed = data.map(|d| d.to_vec().into_boxed_slice());
+        if self.payload.insert(key, boxed).is_some() {
+            false
+        } else {
+            self.queue.push_back(key);
+            true
+        }
+    }
+
+    /// Whether `(id, lba)` is buffered.
+    pub fn contains(&self, id: MdiskId, lba: Lba) -> bool {
+        self.payload.contains_key(&(id, lba))
+    }
+
+    /// Payload of a buffered entry (`Some(None)` = buffered without data).
+    pub fn get(&self, id: MdiskId, lba: Lba) -> Option<Option<&[u8]>> {
+        self.payload
+            .get(&(id, lba))
+            .map(|d| d.as_ref().map(|b| b.as_ref()))
+    }
+
+    /// Pop up to `n` entries from the front, oldest first.
+    pub fn take(&mut self, n: usize) -> Vec<BufferedWrite> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let Some(key) = self.queue.pop_front() else {
+                break;
+            };
+            // The key is guaranteed present: it is removed from `payload`
+            // only together with its queue entry.
+            let data = self.payload.remove(&key).expect("buffer out of sync");
+            out.push(BufferedWrite {
+                id: key.0,
+                lba: key.1,
+                data,
+            });
+        }
+        out
+    }
+
+    /// Drop one buffered write (used by trim). Returns whether it existed.
+    pub fn remove(&mut self, id: MdiskId, lba: Lba) -> bool {
+        if self.payload.remove(&(id, lba)).is_some() {
+            self.queue.retain(|k| *k != (id, lba));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop all buffered writes belonging to minidisk `id` (used when the
+    /// minidisk is decommissioned). Returns how many were dropped.
+    pub fn remove_mdisk(&mut self, id: MdiskId) -> usize {
+        let before = self.queue.len();
+        self.queue.retain(|k| k.0 != id);
+        self.payload.retain(|k, _| k.0 != id);
+        before - self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut b = WriteBuffer::new();
+        for i in 0..5 {
+            b.push(MdiskId(0), Lba(i), None);
+        }
+        let taken = b.take(3);
+        assert_eq!(
+            taken.iter().map(|w| w.lba.0).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_keeps_position_updates_payload() {
+        let mut b = WriteBuffer::new();
+        b.push(MdiskId(0), Lba(0), Some(&[1u8; 4]));
+        b.push(MdiskId(0), Lba(1), None);
+        assert!(!b.push(MdiskId(0), Lba(0), Some(&[2u8; 4])));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get(MdiskId(0), Lba(0)), Some(Some(&[2u8, 2, 2, 2][..])));
+        let taken = b.take(2);
+        assert_eq!(taken[0].lba, Lba(0));
+        assert_eq!(taken[0].data.as_deref(), Some(&[2u8, 2, 2, 2][..]));
+    }
+
+    #[test]
+    fn take_more_than_available() {
+        let mut b = WriteBuffer::new();
+        b.push(MdiskId(1), Lba(0), None);
+        let taken = b.take(10);
+        assert_eq!(taken.len(), 1);
+        assert!(b.is_empty());
+        assert!(b.take(1).is_empty());
+    }
+
+    #[test]
+    fn remove_mdisk_filters() {
+        let mut b = WriteBuffer::new();
+        b.push(MdiskId(0), Lba(0), None);
+        b.push(MdiskId(1), Lba(0), None);
+        b.push(MdiskId(0), Lba(1), None);
+        assert_eq!(b.remove_mdisk(MdiskId(0)), 2);
+        assert_eq!(b.len(), 1);
+        assert!(b.contains(MdiskId(1), Lba(0)));
+        assert!(!b.contains(MdiskId(0), Lba(0)));
+    }
+
+    #[test]
+    fn get_distinguishes_absent_and_synthetic() {
+        let mut b = WriteBuffer::new();
+        b.push(MdiskId(0), Lba(0), None);
+        assert_eq!(b.get(MdiskId(0), Lba(0)), Some(None));
+        assert_eq!(b.get(MdiskId(0), Lba(1)), None);
+    }
+}

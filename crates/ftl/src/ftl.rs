@@ -1,0 +1,864 @@
+//! The FTL engine: one implementation, three personalities.
+//!
+//! [`Ftl`] wires together the mapping table, write buffer, wear tracker,
+//! and block allocator over a [`FlashArray`], and implements the protocols
+//! of §3.2–§3.4 of the paper:
+//!
+//! - **Write path** — oPage writes are buffered until a full fPage stripe
+//!   is ready (the stripe width depends on the target page's tiredness
+//!   level), then programmed to the next wear-leveled fPage.
+//! - **Read path** — buffered reads hit the NV buffer; flash reads inject
+//!   raw bit errors and compare against the page's ECC capability
+//!   (codewords are assumed interleaved across the fPage, so the page
+//!   tolerates `t × chunks` total raw errors). Correctable reads return
+//!   clean data; the rest raise [`FtlError::Uncorrectable`].
+//! - **Garbage collection** — greedy min-valid victim, relocation through
+//!   the write buffer, erase, then per-page tiredness reclassification.
+//! - **Capacity protocol** — Eq. 2: when usable physical capacity can no
+//!   longer back committed logical capacity (plus GC reserve), a victim
+//!   minidisk is decommissioned (ShrinkS/RegenS); when a minidisk's worth
+//!   of capacity re-accumulates, a new minidisk is created (RegenS).
+//! - **Baseline failure** — block-granular retirement; the device bricks
+//!   when the bad-block fraction crosses the configured limit.
+
+use crate::alloc::{BlockAllocator, Stream};
+use crate::buffer::WriteBuffer;
+use crate::map::{MapEntry, MdiskTable};
+use crate::stats::FtlStats;
+use crate::types::{
+    FtlConfig, FtlError, FtlEvent, FtlMode, Lba, MdiskId, OPageSlot, RetireGranularity,
+    VictimPolicy,
+};
+use crate::wear::WearTracker;
+use salamander_ecc::profile::{LevelProfile, Tiredness};
+use salamander_flash::array::FlashArray;
+use salamander_flash::geometry::{BlockAddr, FPageAddr};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Read-retry passes needed for `errors` raw bit errors against the
+/// page's retirement-threshold error count: none below half the
+/// threshold, then stepping up as the voltage-calibration margin erodes
+/// (a first-order fit to the retry distributions of Park et al.,
+/// ASPLOS '21).
+fn retries_for(errors: u64, threshold_errors: u64) -> u64 {
+    if threshold_errors == 0 {
+        return 0;
+    }
+    let ratio = errors as f64 / threshold_errors as f64;
+    match ratio {
+        r if r < 0.5 => 0,
+        r if r < 0.75 => 1,
+        r if r < 0.9 => 2,
+        r if r < 1.1 => 4,
+        _ => 8, // exhausted retries; ECC margin decides from here
+    }
+}
+
+/// Result of a host read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadData {
+    /// The write carried no payload (synthetic simulation write).
+    Synthetic,
+    /// Corrected payload bytes.
+    Bytes(Vec<u8>),
+}
+
+/// The FTL engine. See the [module docs](self) for the design.
+///
+/// The whole engine state (including flash contents and wear) is
+/// serde-serializable: [`Ftl::snapshot_json`] / [`Ftl::restore_json`]
+/// model a clean power cycle.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Ftl {
+    cfg: FtlConfig,
+    flash: FlashArray,
+    table: MdiskTable,
+    /// One buffer per write stream (Host, Gc).
+    buffers: [WriteBuffer; 2],
+    wear: WearTracker,
+    alloc: BlockAllocator,
+    profiles: Vec<LevelProfile>,
+    events: VecDeque<FtlEvent>,
+    stats: FtlStats,
+    /// Next fPage reserved for the coming flush, per stream.
+    pending_fpage: [Option<FPageAddr>; 2],
+    /// Round-robin position of the background scrubber.
+    scrub_cursor: u32,
+    dead: bool,
+}
+
+impl Ftl {
+    /// Build a device and expose its initial minidisks (one monolithic
+    /// volume for Baseline).
+    pub fn new(cfg: FtlConfig) -> Self {
+        let geom = cfg.geometry;
+        let flash = FlashArray::new(geom, cfg.rber, cfg.seed);
+        let profiles = cfg.ecc.profiles();
+        let thresholds: Vec<f64> = profiles.iter().map(|p| p.max_rber).collect();
+        let max_level = match cfg.mode {
+            FtlMode::Baseline | FtlMode::Shrink => 0,
+            FtlMode::Regen => cfg.regen_max_level.index(),
+        };
+        let wear = WearTracker::new(
+            thresholds,
+            max_level,
+            cfg.rber_safety_factor,
+            geom.total_fpages(),
+            geom.opages_per_fpage(),
+        );
+        let mut table = MdiskTable::new(geom, cfg.lbas_per_mdisk());
+        match cfg.mode {
+            FtlMode::Baseline => {
+                // One monolithic volume with the same logical capacity.
+                let lbas = cfg.initial_mdisks() * cfg.lbas_per_mdisk();
+                table.create_mdisk(lbas, Tiredness::L0);
+            }
+            FtlMode::Shrink | FtlMode::Regen => {
+                for _ in 0..cfg.initial_mdisks() {
+                    table.create_mdisk(cfg.lbas_per_mdisk(), Tiredness::L0);
+                }
+            }
+        }
+        Ftl {
+            cfg,
+            flash,
+            table,
+            buffers: [WriteBuffer::new(), WriteBuffer::new()],
+            wear,
+            alloc: BlockAllocator::new(geom),
+            profiles,
+            events: VecDeque::new(),
+            stats: FtlStats::default(),
+            pending_fpage: [None, None],
+            scrub_cursor: 0,
+            dead: false,
+        }
+    }
+
+    /// The configuration this device was built with.
+    pub fn config(&self) -> &FtlConfig {
+        &self.cfg
+    }
+
+    /// Whether the device has failed (brick / fully shrunk).
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Active minidisk ids.
+    pub fn active_mdisks(&self) -> Vec<MdiskId> {
+        self.table.active_mdisks()
+    }
+
+    /// Number of active minidisks.
+    pub fn mdisk_count(&self) -> u32 {
+        self.table.mdisk_count()
+    }
+
+    /// Size (LBAs) of a minidisk, if active.
+    pub fn mdisk_lbas(&self, id: MdiskId) -> Option<u32> {
+        self.table.mdisk_lbas(id)
+    }
+
+    /// Valid (mapped) LBAs of a minidisk, if active.
+    pub fn mdisk_valid_lbas(&self, id: MdiskId) -> Option<u32> {
+        self.table.mdisk_valid_lbas(id)
+    }
+
+    /// Committed logical capacity in LBAs (sum over active minidisks).
+    pub fn committed_lbas(&self) -> u64 {
+        self.table.committed_lbas()
+    }
+
+    /// Usable physical capacity in oPages (Eq. 1 summed over levels).
+    pub fn usable_opages(&self) -> u64 {
+        self.wear.usable_opages()
+    }
+
+    /// The paper's `limbo[L_j]` counter: pages at tiredness `level`.
+    pub fn pages_at_level(&self, level: Tiredness) -> u64 {
+        self.wear.count(level)
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &FtlStats {
+        &self.stats
+    }
+
+    /// Flash-level statistics (programs, erases, busy time).
+    pub fn flash_stats(&self) -> &salamander_flash::stats::FlashStats {
+        self.flash.stats()
+    }
+
+    /// Drain pending host notifications.
+    pub fn drain_events(&mut self) -> Vec<FtlEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Advance the simulated clock (retention).
+    pub fn advance_days(&mut self, days: f64) {
+        self.flash.advance_days(days);
+    }
+
+    /// Write one oPage. `data` must be exactly one oPage, or `None` for a
+    /// metadata-only simulation write.
+    pub fn write(&mut self, id: MdiskId, lba: Lba, data: Option<&[u8]>) -> Result<(), FtlError> {
+        if self.dead {
+            return Err(FtlError::DeviceDead);
+        }
+        let lbas = self.table.mdisk_lbas(id).ok_or(FtlError::NoSuchMdisk)?;
+        if self.table.is_draining(id) {
+            return Err(FtlError::MdiskReadOnly);
+        }
+        if lba.0 >= lbas {
+            return Err(FtlError::LbaOutOfRange);
+        }
+        if let Some(d) = data {
+            if d.len() != self.cfg.geometry.opage_bytes as usize {
+                return Err(FtlError::BadDataLength);
+            }
+        }
+        self.stats.host_writes += 1;
+        self.table.set_buffered(id, lba);
+        self.buffers[Stream::Host as usize].push(id, lba, data);
+        self.drain_buffer()?;
+        self.check_capacity();
+        Ok(())
+    }
+
+    /// Read one oPage.
+    pub fn read(&mut self, id: MdiskId, lba: Lba) -> Result<ReadData, FtlError> {
+        let entry = match self.table.lookup(id, lba) {
+            None => {
+                return if self.table.contains(id) {
+                    Err(FtlError::LbaOutOfRange)
+                } else {
+                    Err(FtlError::NoSuchMdisk)
+                };
+            }
+            Some(e) => e,
+        };
+        self.stats.host_reads += 1;
+        match entry {
+            MapEntry::Unmapped => Err(FtlError::Unmapped),
+            MapEntry::Buffered => {
+                self.stats.buffer_hits += 1;
+                // Present in one of the buffers by the map/buffer sync
+                // invariant.
+                let hit = self.buffers[0]
+                    .get(id, lba)
+                    .or_else(|| self.buffers[1].get(id, lba))
+                    .expect("buffer out of sync");
+                match hit {
+                    Some(bytes) => Ok(ReadData::Bytes(bytes.to_vec())),
+                    None => Ok(ReadData::Synthetic),
+                }
+            }
+            MapEntry::Flash(slot) => self.read_flash(id, lba, slot),
+        }
+    }
+
+    /// Trim (unmap) one oPage.
+    pub fn trim(&mut self, id: MdiskId, lba: Lba) -> Result<(), FtlError> {
+        let lbas = self.table.mdisk_lbas(id).ok_or(FtlError::NoSuchMdisk)?;
+        if self.table.is_draining(id) {
+            return Err(FtlError::MdiskReadOnly);
+        }
+        if lba.0 >= lbas {
+            return Err(FtlError::LbaOutOfRange);
+        }
+        self.table.unmap(id, lba);
+        self.buffers[0].remove(id, lba);
+        self.buffers[1].remove(id, lba);
+        Ok(())
+    }
+
+    fn read_flash(&mut self, id: MdiskId, lba: Lba, slot: OPageSlot) -> Result<ReadData, FtlError> {
+        let outcome = self
+            .flash
+            .read(slot.fpage)
+            .map_err(|_| FtlError::Unmapped)?;
+        let level = self.wear.level(slot.fpage.index);
+        let capability = self.page_capability(level);
+        // Read retry (§2): as raw errors approach the level's retirement
+        // threshold, the controller re-reads with adjusted reference
+        // voltages. A freshly lowered code rate raises the threshold and
+        // suppresses retries — the §4.2 mitigation.
+        let page_bits =
+            (self.cfg.geometry.fpage_data_bytes + self.cfg.geometry.fpage_spare_bytes) as u64 * 8;
+        let threshold_errors = self
+            .profiles
+            .get(level.index() as usize)
+            .map(|p| (p.max_rber * page_bits as f64) as u64)
+            .unwrap_or(0);
+        let retries = retries_for(outcome.raw_bit_errors, threshold_errors);
+        if retries > 0 {
+            self.stats.read_retries += retries;
+            self.flash.record_retries(retries);
+        }
+        if outcome.raw_bit_errors > capability {
+            self.stats.uncorrectable_reads += 1;
+            self.events
+                .push_back(FtlEvent::UncorrectableRead { id, lba });
+            return Err(FtlError::Uncorrectable);
+        }
+        // Correctable: return the clean stored bytes (the ECC engine's
+        // output); metadata-only pages carry no payload.
+        let clean = self
+            .flash
+            .stored_data(slot.fpage)
+            .map_err(|_| FtlError::Unmapped)?;
+        match clean {
+            None => Ok(ReadData::Synthetic),
+            Some(page) => {
+                let o = self.cfg.geometry.opage_bytes as usize;
+                let start = slot.slot as usize * o;
+                Ok(ReadData::Bytes(page[start..start + o].to_vec()))
+            }
+        }
+    }
+
+    /// Background scrub: patrol up to `pages` programmed fPages (resuming
+    /// round-robin across calls) and refresh any whose raw errors exceed
+    /// `scrub_refresh_fraction` of the ECC capability — counteracting
+    /// retention and read-disturb error growth before data becomes
+    /// uncorrectable. Returns the number of fPages refreshed.
+    pub fn scrub(&mut self, pages: u32) -> Result<u32, FtlError> {
+        if self.dead {
+            return Ok(0);
+        }
+        let total = self.cfg.geometry.total_fpages();
+        let threshold_frac = self.cfg.scrub_refresh_fraction;
+        let mut refreshed = 0;
+        for _ in 0..pages.min(total) {
+            let fp = FPageAddr {
+                index: self.scrub_cursor,
+            };
+            self.scrub_cursor = (self.scrub_cursor + 1) % total;
+            // Only patrol pages holding valid data.
+            let owners: Vec<(OPageSlot, (MdiskId, Lba))> = self
+                .table
+                .valid_in_block(self.cfg.geometry.block_of(fp))
+                .into_iter()
+                .filter(|(slot, _)| slot.fpage == fp)
+                .collect();
+            if owners.is_empty() {
+                continue;
+            }
+            let outcome = match self.flash.read(fp) {
+                Ok(o) => o,
+                Err(_) => continue,
+            };
+            self.stats.scrub_reads += 1;
+            let level = self.wear.level(fp.index);
+            let capability = self.page_capability(level);
+            if (outcome.raw_bit_errors as f64) < capability as f64 * threshold_frac {
+                continue;
+            }
+            // Refresh: rewrite the still-correctable data elsewhere.
+            let o = self.cfg.geometry.opage_bytes as usize;
+            let clean = self.flash.stored_data(fp).unwrap_or(None);
+            for (slot, (id, lba)) in owners {
+                let payload = clean
+                    .as_ref()
+                    .map(|p| p[slot.slot as usize * o..(slot.slot as usize + 1) * o].to_vec());
+                self.table.set_buffered(id, lba);
+                let gc = self.gc_stream() as usize;
+                self.buffers[1 - gc].remove(id, lba);
+                self.buffers[gc].push(id, lba, payload.as_deref());
+                self.stats.scrub_refreshes += 1;
+            }
+            refreshed += 1;
+        }
+        self.drain_buffer()?;
+        self.check_capacity();
+        Ok(refreshed)
+    }
+
+    /// Total correctable raw bit errors per fPage at `level`, assuming the
+    /// per-chunk codewords are interleaved across the page.
+    fn page_capability(&self, level: Tiredness) -> u64 {
+        self.profiles
+            .get(level.index() as usize)
+            .map(|p| p.t as u64 * p.chunks as u64)
+            .unwrap_or(0)
+    }
+
+    /// The stream GC relocations write to.
+    fn gc_stream(&self) -> Stream {
+        if self.cfg.hot_cold_separation {
+            Stream::Gc
+        } else {
+            Stream::Host
+        }
+    }
+
+    /// Flush full stripes out of both buffers while possible, running GC
+    /// to keep the free-block reserve as stripes consume space.
+    fn drain_buffer(&mut self) -> Result<(), FtlError> {
+        loop {
+            if self.dead {
+                // A brick can land mid-write (GC discovers the threshold);
+                // buffered data stays readable in the NV buffer.
+                return Ok(());
+            }
+            self.maybe_gc()?;
+            let mut progressed = false;
+            for stream in [Stream::Host, Stream::Gc] {
+                if self.buffers[stream as usize].is_empty() {
+                    continue;
+                }
+                let Some(fp) = self.peek_fpage(stream) else {
+                    // No programmable page: reclaim, then retry; only give
+                    // up (and complain) when a full stripe is stranded.
+                    if self.gc_once()? {
+                        progressed = true;
+                        continue;
+                    }
+                    let widest = self.cfg.geometry.opages_per_fpage() as usize;
+                    let stranded = self.buffers[0].len() + self.buffers[1].len();
+                    return if stranded >= widest {
+                        Err(FtlError::OutOfSpace)
+                    } else {
+                        Ok(())
+                    };
+                };
+                let level = self.wear.level(fp.index);
+                let stripe = self.wear.data_opages(level) as usize;
+                if self.buffers[stream as usize].len() < stripe {
+                    continue;
+                }
+                self.flush_one(fp, stripe, stream)?;
+                progressed = true;
+            }
+            if !progressed {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Reserve (without consuming) the next programmable fPage on `stream`.
+    fn peek_fpage(&mut self, stream: Stream) -> Option<FPageAddr> {
+        if self.pending_fpage[stream as usize].is_none() {
+            self.pending_fpage[stream as usize] = self.alloc.next_fpage(&self.wear, stream);
+        }
+        self.pending_fpage[stream as usize]
+    }
+
+    /// Program one stripe of up to `stripe` oPages from `stream`'s buffer
+    /// into `fp`.
+    fn flush_one(&mut self, fp: FPageAddr, stripe: usize, stream: Stream) -> Result<(), FtlError> {
+        // Collect still-live buffered entries (a trim or decommission may
+        // have invalidated some while they waited). A rewrite may also
+        // have moved the latest copy to the *other* stream's buffer.
+        let mut entries = Vec::with_capacity(stripe);
+        while entries.len() < stripe {
+            let mut batch = self.buffers[stream as usize].take(1);
+            let Some(e) = batch.pop() else {
+                break;
+            };
+            let other = 1 - stream as usize;
+            if matches!(self.table.lookup(e.id, e.lba), Some(MapEntry::Buffered))
+                && !self.buffers[other].contains(e.id, e.lba)
+            {
+                entries.push(e);
+            }
+        }
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let geom = self.cfg.geometry;
+        let has_data = entries.iter().any(|e| e.data.is_some());
+        let payload = if has_data {
+            let mut page = vec![0u8; (geom.fpage_data_bytes + geom.fpage_spare_bytes) as usize];
+            for (i, e) in entries.iter().enumerate() {
+                if let Some(d) = &e.data {
+                    let start = i * geom.opage_bytes as usize;
+                    page[start..start + d.len()].copy_from_slice(d);
+                }
+            }
+            Some(page)
+        } else {
+            None
+        };
+        self.flash
+            .program(fp, payload.as_deref())
+            .map_err(|_| FtlError::OutOfSpace)?;
+        self.pending_fpage[stream as usize] = None;
+        self.stats.opages_programmed += entries.len() as u64;
+        for (i, e) in entries.iter().enumerate() {
+            let bound = self.table.set_flash(
+                e.id,
+                e.lba,
+                OPageSlot {
+                    fpage: fp,
+                    slot: i as u8,
+                },
+            );
+            debug_assert!(bound, "flush target vanished after liveness check");
+        }
+        Ok(())
+    }
+
+    /// Run GC until the free-block reserve is restored (or no progress).
+    fn maybe_gc(&mut self) -> Result<(), FtlError> {
+        while !self.dead && self.alloc.free_blocks() < self.cfg.gc_free_blocks {
+            if !self.gc_once()? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// One GC pass: pick the used block with the fewest valid oPages,
+    /// relocate its live data through the buffer, erase, reclassify.
+    /// Returns `false` if no victim exists.
+    fn gc_once(&mut self) -> Result<bool, FtlError> {
+        let victim = self
+            .alloc
+            .used_blocks()
+            .min_by_key(|b| self.table.block_valid(*b));
+        let Some(victim) = victim else {
+            return Ok(false);
+        };
+        self.stats.gc_runs += 1;
+        self.relocate_block(victim);
+        self.erase_and_reclassify(victim)?;
+        // Wear may have shifted levels: re-run the capacity protocol. The
+        // relocated data flushes from the buffer in the outer drain loop.
+        self.check_capacity();
+        Ok(true)
+    }
+
+    /// Move every valid oPage of `block` into the write buffer.
+    fn relocate_block(&mut self, block: BlockAddr) {
+        let valid = self.table.valid_in_block(block);
+        let o = self.cfg.geometry.opage_bytes as usize;
+        let mut last_fpage: Option<(FPageAddr, Option<Vec<u8>>)> = None;
+        for (slot, (id, lba)) in valid {
+            // One physical read per distinct fPage.
+            let page_data = match &last_fpage {
+                Some((fp, data)) if *fp == slot.fpage => data.clone(),
+                _ => {
+                    // Internal relocation read (counted in flash stats).
+                    let _ = self.flash.read(slot.fpage);
+                    let data = self.flash.stored_data(slot.fpage).unwrap_or(None);
+                    last_fpage = Some((slot.fpage, data.clone()));
+                    data
+                }
+            };
+            let payload = page_data
+                .as_ref()
+                .map(|p| p[slot.slot as usize * o..(slot.slot as usize + 1) * o].to_vec());
+            self.table.set_buffered(id, lba);
+            let gc = self.gc_stream() as usize;
+            // The relocation supersedes any stale host-buffer copy.
+            self.buffers[1 - gc].remove(id, lba);
+            self.buffers[gc].push(id, lba, payload.as_deref());
+            self.stats.relocated_opages += 1;
+        }
+    }
+
+    /// Erase `block`, bump its wear, and re-classify its pages according to
+    /// the personality's retirement granularity.
+    fn erase_and_reclassify(&mut self, block: BlockAddr) -> Result<(), FtlError> {
+        self.flash.erase(block).map_err(|_| FtlError::OutOfSpace)?;
+        let new_pec = self.flash.pec(block);
+        let geom = self.cfg.geometry;
+        let block_granular = matches!(self.cfg.mode, FtlMode::Baseline)
+            || self.cfg.retire_granularity == RetireGranularity::Block;
+        let mut any_dead = false;
+        let mut any_usable = false;
+        for fp in geom.fpages_in(block) {
+            let projected = self.flash.projected_rber(fp);
+            let (_, new) = self.wear.reclassify(fp.index, projected);
+            if new.usable() {
+                any_usable = true;
+            } else {
+                any_dead = true;
+            }
+        }
+        if block_granular && any_dead {
+            // Conventional SSDs (and CVSS-style shrinking) retire the whole
+            // block once any page fails.
+            for fp in geom.fpages_in(block) {
+                self.wear.kill(fp.index);
+            }
+            any_usable = false;
+        }
+        self.alloc.on_erase(block, new_pec, any_usable);
+        if matches!(self.cfg.mode, FtlMode::Baseline) {
+            self.check_brick();
+        }
+        Ok(())
+    }
+
+    /// Baseline failure: brick once the bad-block fraction crosses the
+    /// limit. The device becomes read-only.
+    fn check_brick(&mut self) {
+        if self.dead {
+            return;
+        }
+        let frac = self.alloc.dead_blocks() as f64 / self.cfg.geometry.total_blocks() as f64;
+        if frac > self.cfg.bad_block_limit {
+            self.dead = true;
+            self.events.push_back(FtlEvent::DeviceFailed {
+                bad_block_fraction: frac,
+            });
+        }
+    }
+
+    /// oPages the GC reserve requires to stay free.
+    fn reserve_opages(&self) -> u64 {
+        let per_block =
+            (self.cfg.geometry.fpages_per_block * self.cfg.geometry.opages_per_fpage()) as u64;
+        self.cfg.gc_free_blocks as u64 * per_block
+    }
+
+    /// The capacity protocol of §3.3/§3.4. Minidisks are level-homogeneous
+    /// (the paper: "we assume all oPages in a mDisk have the same tiredness
+    /// level"), so each tiredness level is a separate capacity ledger:
+    ///
+    /// 1. **Per-level Eq. 2** — while a level's pool cannot back its
+    ///    committed LBAs, decommission a victim minidisk of that level.
+    /// 2. **GC headroom** — while total slack is below the reserve,
+    ///    decommission from the most-constrained level.
+    /// 3. **Regeneration** (RegenS) — while a worn level's pool has a
+    ///    minidisk's worth of surplus (plus half a minidisk of hysteresis,
+    ///    so shrink and regen cannot oscillate), create a new minidisk
+    ///    backed by that level and notify the host.
+    ///
+    /// Why per-level ledgers are load-bearing: with a single aggregate
+    /// ledger, a decommission raises slack by exactly one minidisk while
+    /// usable capacity only ever shrinks, so slack always lands *below*
+    /// any regeneration threshold of at least one minidisk — regeneration
+    /// could never fire. Splitting the ledger per level lets transitions
+    /// *into* a worn level grow that level's surplus without touching its
+    /// committed side, which is what makes §3.4's "enough oPages are
+    /// available, but not used" state reachable.
+    fn check_capacity(&mut self) {
+        if self.dead || matches!(self.cfg.mode, FtlMode::Baseline) {
+            return;
+        }
+        let reserve = self.reserve_opages();
+        let msize = self.table.lbas_per_mdisk() as u64;
+        let levels: Vec<Tiredness> = (0..=self.wear.max_level().index())
+            .map(Tiredness::from_index)
+            .collect();
+        // 1. Per-level shortfall.
+        for &level in &levels {
+            while self.table.committed_at(level) > self.wear.capacity_at(level) {
+                if !self.decommission_one(level) {
+                    break;
+                }
+            }
+        }
+        // 2. Global GC headroom. Draining minidisks still pin physical
+        // space until the host acknowledges them, so they count here.
+        while self.table.mdisk_count() > 0
+            && self.wear.usable_opages()
+                < self.table.committed_lbas() + self.table.draining_lbas() + reserve
+        {
+            let tightest = levels
+                .iter()
+                .filter(|&&l| self.table.committed_at(l) > 0)
+                .min_by_key(|&&l| {
+                    self.wear.capacity_at(l) as i64 - self.table.committed_at(l) as i64
+                })
+                .copied();
+            let Some(level) = tightest else {
+                break;
+            };
+            if !self.decommission_one(level) {
+                break;
+            }
+        }
+        // 3. Regeneration of worn levels.
+        if matches!(self.cfg.mode, FtlMode::Regen) {
+            let hysteresis = msize + msize / 2;
+            for &level in levels.iter().skip(1) {
+                while self.wear.capacity_at(level) >= self.table.committed_at(level) + hysteresis
+                    && self.wear.usable_opages()
+                        >= self.table.committed_lbas()
+                            + self.table.draining_lbas()
+                            + reserve
+                            + hysteresis
+                {
+                    let id = self.table.create_mdisk(msize as u32, level);
+                    self.stats.mdisks_regenerated += 1;
+                    self.events.push_back(FtlEvent::MdiskCreated { id, level });
+                }
+            }
+        }
+        if self.table.mdisk_count() == 0 {
+            self.dead = true;
+            let frac = self.alloc.dead_blocks() as f64 / self.cfg.geometry.total_blocks() as f64;
+            self.events.push_back(FtlEvent::DeviceFailed {
+                bad_block_fraction: frac,
+            });
+        }
+    }
+
+    /// Decommission one minidisk of `level` per the victim policy. Returns
+    /// `false` if the level has no active minidisk.
+    ///
+    /// With grace-period decommissioning (§4.3 future work) the victim
+    /// enters the *draining* state: its capacity leaves the ledger but its
+    /// data stays readable until [`Self::ack_decommission`]. Otherwise the
+    /// data is dropped immediately.
+    fn decommission_one(&mut self, level: Tiredness) -> bool {
+        let victim = match self.cfg.victim_policy {
+            VictimPolicy::LeastValid => self.table.least_valid_mdisk_at(level),
+            VictimPolicy::HighestId => self.table.highest_mdisk_at(level),
+        };
+        let Some(victim) = victim else {
+            return false;
+        };
+        let grace = self.cfg.decommission_grace;
+        let valid = if grace {
+            self.table.set_draining(victim).unwrap_or(0)
+        } else {
+            let v = self.table.remove_mdisk(victim).unwrap_or(0);
+            self.buffers[0].remove_mdisk(victim);
+            self.buffers[1].remove_mdisk(victim);
+            v
+        };
+        self.stats.mdisks_decommissioned += 1;
+        self.events.push_back(FtlEvent::MdiskDecommissioned {
+            id: victim,
+            valid_lbas: valid,
+            draining: grace,
+        });
+        if grace {
+            self.enforce_draining_bound();
+        }
+        true
+    }
+
+    /// Acknowledge a draining minidisk: the host has re-replicated its
+    /// data; drop it and free its space.
+    pub fn ack_decommission(&mut self, id: MdiskId) -> Result<(), FtlError> {
+        if !self.table.is_draining(id) {
+            return Err(FtlError::NoSuchMdisk);
+        }
+        self.table.remove_mdisk(id);
+        self.buffers[0].remove_mdisk(id);
+        self.buffers[1].remove_mdisk(id);
+        Ok(())
+    }
+
+    /// Draining minidisk ids (oldest first).
+    pub fn draining_mdisks(&self) -> Vec<MdiskId> {
+        self.table.draining_mdisks()
+    }
+
+    /// Purge the oldest draining minidisks beyond the configured bound —
+    /// their valid data pins physical space the GC reserve needs.
+    fn enforce_draining_bound(&mut self) {
+        let mut draining = self.table.draining_mdisks();
+        while draining.len() as u32 > self.cfg.max_draining {
+            let victim = draining.remove(0);
+            self.table.remove_mdisk(victim);
+            self.buffers[0].remove_mdisk(victim);
+            self.buffers[1].remove_mdisk(victim);
+            self.events.push_back(FtlEvent::MdiskPurged { id: victim });
+        }
+    }
+
+    /// SMART-style telemetry snapshot (§2.1's failure-prediction inputs,
+    /// self-reported).
+    pub fn smart(&self) -> crate::smart::SmartReport {
+        let geom = self.cfg.geometry;
+        let total_blocks = geom.total_blocks();
+        let (mut pec_sum, mut max_pec) = (0u64, 0u32);
+        for b in geom.blocks() {
+            let p = self.flash.pec(b);
+            pec_sum += p as u64;
+            max_pec = max_pec.max(p);
+        }
+        let mut histogram = [0u64; 5];
+        for (i, h) in histogram.iter_mut().enumerate() {
+            *h = self.wear.count(Tiredness::from_index(i as u32));
+        }
+        // Pages whose projected (safety-adjusted) RBER is within 25% of
+        // their level's threshold: the next transitions in line.
+        let mut pages_near_retirement = 0u64;
+        for fp in geom.fpages() {
+            let level = self.wear.level(fp.index);
+            if !level.usable() {
+                continue;
+            }
+            if let Some(threshold) = self.wear.threshold(level) {
+                let projected = self.flash.projected_rber(fp) * self.cfg.rber_safety_factor;
+                if projected >= threshold * 0.75 {
+                    pages_near_retirement += 1;
+                }
+            }
+        }
+        let usable = self.wear.usable_opages();
+        let committed = self.table.committed_lbas();
+        let draining = self.table.draining_lbas();
+        let reserve = self.reserve_opages();
+        // Life remaining: median endurance is where mean RBER hits the L0
+        // threshold; report the unconsumed fraction at the average PEC.
+        let median_endurance = self
+            .wear
+            .threshold(Tiredness::L0)
+            .map(|t| self.cfg.rber.pec_at_rber(t))
+            .unwrap_or(u32::MAX) as f64;
+        let avg_pec = pec_sum as f64 / total_blocks as f64;
+        crate::smart::SmartReport {
+            avg_pec,
+            max_pec,
+            level_histogram: histogram,
+            dead_blocks: self.alloc.dead_blocks(),
+            usable_opages: usable,
+            committed_lbas: committed,
+            draining_lbas: draining,
+            headroom_opages: usable.saturating_sub(committed + draining + reserve),
+            pages_near_retirement,
+            opages_per_fpage: geom.opages_per_fpage(),
+            uncorrectable_reads: self.stats.uncorrectable_reads,
+            read_retries: self.stats.read_retries,
+            life_remaining: (1.0 - avg_pec / median_endurance.max(1.0)).clamp(0.0, 1.0),
+        }
+    }
+
+    /// Serialize the complete device state (flash contents, wear, maps,
+    /// buffers, pending events) as JSON — a clean power-off image.
+    pub fn snapshot_json(&self) -> String {
+        serde_json::to_string(self).expect("ftl state serializes")
+    }
+
+    /// Restore a device from a [`Self::snapshot_json`] image — a power-on
+    /// after a clean shutdown. All state, including the error-injection
+    /// RNG, resumes exactly where the snapshot left off.
+    pub fn restore_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Debug invariant check across subsystems (tests only; O(device)).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.table.check_invariants()?;
+        // Buffered map entries and buffer contents agree.
+        for id in self.table.active_mdisks() {
+            let lbas = self.table.mdisk_lbas(id).unwrap();
+            for lba in 0..lbas {
+                let e = self.table.lookup(id, Lba(lba)).unwrap();
+                let buffered = self.buffers[0].contains(id, Lba(lba))
+                    || self.buffers[1].contains(id, Lba(lba));
+                match e {
+                    MapEntry::Buffered if !buffered => {
+                        return Err(format!("{id:?}/{lba} says Buffered but absent"));
+                    }
+                    MapEntry::Flash(_) | MapEntry::Unmapped if buffered => {
+                        return Err(format!("{id:?}/{lba} stale buffer entry"));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,49 @@
+//! Flash translation layers for the Salamander reproduction.
+//!
+//! Three FTL personalities share one engine ([`ftl::Ftl`]), selected by
+//! [`types::FtlMode`]:
+//!
+//! - **Baseline** — a conventional SSD: one monolithic volume, block-
+//!   granular retirement, and a hard failure ("brick") once a small
+//!   fraction of blocks has gone bad (2.5% by default, per Maneas et al.,
+//!   FAST '20, which the paper cites).
+//! - **ShrinkS** — Salamander's shrinking mode (§3.3): fPages retire
+//!   *individually* as they wear out, and when the remaining physical
+//!   capacity can no longer back the logical capacity (Eq. 2), a victim
+//!   minidisk is decommissioned and the host notified so the distributed
+//!   file system can re-replicate.
+//! - **RegenS** — Salamander's regenerating mode (§3.4): worn fPages drop
+//!   to lower code rates (tiredness levels L1, L2, …), trading oPages for
+//!   parity; when a minidisk's worth of capacity re-accumulates, a new
+//!   minidisk is *created* and announced to the host.
+//!
+//! The engine implements the full FTL stack: an L2P map indexed by
+//! `(minidisk, LBA)` ([`map`]), a non-volatile write buffer that fills
+//! whole fPage stripes ([`buffer`]), wear tracking with per-page tiredness
+//! classification ([`wear`]), wear-leveled block allocation ([`alloc`]),
+//! greedy garbage collection, and host event notification ([`types`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use salamander_ftl::{ftl::Ftl, types::{FtlConfig, FtlMode, Lba}};
+//!
+//! let cfg = FtlConfig::small_test(FtlMode::Shrink);
+//! let mut ftl = Ftl::new(cfg);
+//! let mdisks = ftl.active_mdisks();
+//! assert!(!mdisks.is_empty());
+//! ftl.write(mdisks[0], Lba(0), None).unwrap();
+//! ```
+
+pub mod alloc;
+pub mod buffer;
+pub mod ftl;
+pub mod map;
+pub mod serde_util;
+pub mod smart;
+pub mod stats;
+pub mod types;
+pub mod wear;
+
+pub use ftl::Ftl;
+pub use types::{FtlConfig, FtlError, FtlEvent, FtlMode, Lba, MdiskId};

@@ -1,0 +1,62 @@
+//! Serde helpers for maps whose keys do not serialize as JSON strings.
+//!
+//! JSON only allows string object keys, so maps keyed by tuples or
+//! newtype ids serialize as sequences of `(key, value)` pairs instead.
+//! Use as `#[serde(with = "crate::serde_util::pairs")]`.
+
+/// Map-as-pairs (de)serialization.
+pub mod pairs {
+    use serde::de::{Deserialize, Deserializer};
+    use serde::ser::{Serialize, Serializer};
+
+    /// Serialize any iterable map as a sequence of pairs.
+    pub fn serialize<'a, M, K, V, S>(map: M, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        M: IntoIterator<Item = (&'a K, &'a V)>,
+        K: Serialize + 'a,
+        V: Serialize + 'a,
+        S: Serializer,
+    {
+        serializer.collect_seq(map)
+    }
+
+    /// Deserialize a sequence of pairs into any `FromIterator` map.
+    pub fn deserialize<'de, M, K, V, D>(deserializer: D) -> Result<M, D::Error>
+    where
+        M: FromIterator<(K, V)>,
+        K: Deserialize<'de>,
+        V: Deserialize<'de>,
+        D: Deserializer<'de>,
+    {
+        let pairs = Vec::<(K, V)>::deserialize(deserializer)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+    use std::collections::{BTreeMap, HashMap};
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Wrapper {
+        #[serde(with = "super::pairs")]
+        btree: BTreeMap<(u32, u32), String>,
+        #[serde(with = "super::pairs")]
+        hash: HashMap<u64, Vec<u8>>,
+    }
+
+    #[test]
+    fn tuple_keyed_maps_round_trip_through_json() {
+        let mut w = Wrapper {
+            btree: BTreeMap::new(),
+            hash: HashMap::new(),
+        };
+        w.btree.insert((1, 2), "a".into());
+        w.btree.insert((3, 4), "b".into());
+        w.hash.insert(9, vec![1, 2, 3]);
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Wrapper = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+    }
+}

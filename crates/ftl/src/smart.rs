@@ -1,0 +1,104 @@
+//! SMART-style device telemetry and wear-out prediction.
+//!
+//! §2.1 of the paper surveys the failure-prediction literature (Xu et al.
+//! DSN '21, Mahdisoltani et al. ATC '17, Alter et al. SC '19) and argues
+//! that datacenter operators *already* retire devices on predictions.
+//! Salamander turns that around: instead of retiring whole devices early,
+//! the host can use the same telemetry to anticipate *minidisk*
+//! decommissions and pre-drain their data gracefully.
+//!
+//! [`SmartReport`] is the device's self-assessment; the prediction is a
+//! first-order extrapolation of its own wear-transition machinery (the
+//! device knows its thresholds and per-page variances exactly, so —
+//! unlike the external ML predictors in the literature — its forecast is
+//! structurally faithful, just not clairvoyant about future write rates).
+
+use serde::{Deserialize, Serialize};
+
+/// Device telemetry snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmartReport {
+    /// Average erase cycles over all blocks.
+    pub avg_pec: f64,
+    /// Highest block erase count.
+    pub max_pec: u32,
+    /// fPages at each tiredness level (index 4 = dead) — the paper's
+    /// `limbo[L_j]` histogram.
+    pub level_histogram: [u64; 5],
+    /// Dead (retired) blocks.
+    pub dead_blocks: u32,
+    /// Usable physical capacity in oPages (Eq. 1 aggregate).
+    pub usable_opages: u64,
+    /// Committed logical capacity in LBAs.
+    pub committed_lbas: u64,
+    /// LBAs pinned by draining minidisks.
+    pub draining_lbas: u64,
+    /// Headroom before the next forced decommission, in oPages
+    /// (`usable − committed − draining − reserve`; 0 when shrink is
+    /// imminent).
+    pub headroom_opages: u64,
+    /// Pages whose projected RBER is within 25% of their current level's
+    /// threshold — the capacity that will transition or retire soonest.
+    pub pages_near_retirement: u64,
+    /// oPages per fPage (to convert page counts into capacity).
+    pub opages_per_fpage: u32,
+    /// Uncorrectable host reads so far.
+    pub uncorrectable_reads: u64,
+    /// Cumulative read retries (a leading indicator of wear).
+    pub read_retries: u64,
+    /// Remaining-life estimate in `[0, 1]`: the fraction of the median
+    /// page's endurance not yet consumed.
+    pub life_remaining: f64,
+}
+
+impl SmartReport {
+    /// Whether a minidisk decommission is imminent: the capacity at stake
+    /// on near-retirement pages (scaled by `margin`) exceeds the remaining
+    /// headroom. A fresh device reports no near-retirement pages and is
+    /// never imminent, no matter how small its headroom.
+    pub fn decommission_imminent(&self, _msize_opages: u64, margin: f64) -> bool {
+        let at_stake = self.pages_near_retirement as f64 * self.opages_per_fpage as f64 * margin;
+        self.pages_near_retirement > 0 && at_stake >= self.headroom_opages as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(headroom: u64, near: u64) -> SmartReport {
+        SmartReport {
+            avg_pec: 10.0,
+            max_pec: 20,
+            level_histogram: [100, 0, 0, 0, 0],
+            dead_blocks: 0,
+            usable_opages: 400,
+            committed_lbas: 300,
+            draining_lbas: 0,
+            headroom_opages: headroom,
+            pages_near_retirement: near,
+            opages_per_fpage: 4,
+            uncorrectable_reads: 0,
+            read_retries: 0,
+            life_remaining: 0.9,
+        }
+    }
+
+    #[test]
+    fn imminence_needs_actual_wear() {
+        // Zero near-retirement pages: never imminent, even at headroom 0.
+        assert!(!report(0, 0).decommission_imminent(64, 2.0));
+        // Pages at stake cover the headroom: imminent.
+        assert!(report(16, 10).decommission_imminent(64, 1.0)); // 40 >= 16
+        assert!(!report(200, 10).decommission_imminent(64, 1.0)); // 40 < 200
+                                                                  // Margin scales the estimate.
+        assert!(report(60, 10).decommission_imminent(64, 2.0)); // 80 >= 60
+    }
+
+    #[test]
+    fn serializes() {
+        let r = report(10, 0);
+        let back: SmartReport = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,61 @@
+//! FTL-level statistics: write amplification, relocations, lifecycle
+//! events, per-level page distribution.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative FTL counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FtlStats {
+    /// Host oPage writes accepted.
+    pub host_writes: u64,
+    /// Host oPage reads served.
+    pub host_reads: u64,
+    /// oPages programmed to flash (host + relocation).
+    pub opages_programmed: u64,
+    /// oPages relocated by GC or decommissioning.
+    pub relocated_opages: u64,
+    /// GC passes executed.
+    pub gc_runs: u64,
+    /// Minidisks decommissioned so far.
+    pub mdisks_decommissioned: u64,
+    /// Minidisks regenerated so far.
+    pub mdisks_regenerated: u64,
+    /// Uncorrectable host reads.
+    pub uncorrectable_reads: u64,
+    /// Reads served straight from the write buffer.
+    pub buffer_hits: u64,
+    /// Read-retry passes issued (§2: iterative voltage adjustment; grows
+    /// as pages approach their ECC capability).
+    pub read_retries: u64,
+    /// Pages inspected by the background scrubber.
+    pub scrub_reads: u64,
+    /// oPages refreshed (relocated) by the scrubber before their errors
+    /// became uncorrectable.
+    pub scrub_refreshes: u64,
+}
+
+impl FtlStats {
+    /// Write amplification: flash oPage programs per host oPage write.
+    /// Returns `None` before any host write.
+    pub fn write_amplification(&self) -> Option<f64> {
+        if self.host_writes == 0 {
+            None
+        } else {
+            Some(self.opages_programmed as f64 / self.host_writes as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_amplification_math() {
+        let mut s = FtlStats::default();
+        assert_eq!(s.write_amplification(), None);
+        s.host_writes = 100;
+        s.opages_programmed = 130;
+        assert_eq!(s.write_amplification(), Some(1.3));
+    }
+}

@@ -1,0 +1,282 @@
+//! Identifiers, configuration, events, and error types shared across the
+//! FTL engine.
+
+use salamander_ecc::profile::{EccConfig, Tiredness};
+use salamander_flash::geometry::{FPageAddr, FlashGeometry};
+use salamander_flash::rber::RberModel;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one minidisk exposed by the device.
+///
+/// Ids are never reused: a decommissioned minidisk's id stays dead, and
+/// regenerated minidisks get fresh ids, so the host can track lifecycles
+/// unambiguously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MdiskId(pub u32);
+
+/// Logical block address *within* one minidisk (oPage granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Lba(pub u32);
+
+/// Physical location of one oPage: an fPage plus a slot in its data area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OPageSlot {
+    /// The containing flash page.
+    pub fpage: FPageAddr,
+    /// Data slot within the fPage.
+    pub slot: u8,
+}
+
+/// FTL personality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FtlMode {
+    /// Conventional SSD: monolithic volume, block-granular retirement,
+    /// bricks at the bad-block threshold.
+    Baseline,
+    /// ShrinkS: page-granular retirement, minidisk decommissioning.
+    Shrink,
+    /// RegenS: ShrinkS plus tiredness levels and minidisk regeneration.
+    Regen,
+}
+
+/// Retirement granularity for ShrinkS — the paper argues page granularity
+/// captures endurance variance that block-average retirement (CVSS-style)
+/// wastes; [`RetireGranularity::Block`] exists for that ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RetireGranularity {
+    /// Retire individual fPages (Salamander's choice).
+    Page,
+    /// Retire whole blocks when any page in them wears out (CVSS-style).
+    Block,
+}
+
+/// Victim selection when a minidisk must be decommissioned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VictimPolicy {
+    /// Decommission the minidisk with the fewest valid oPages (cheapest
+    /// for the diFS to re-replicate).
+    LeastValid,
+    /// Decommission the highest-numbered active minidisk.
+    HighestId,
+}
+
+/// Full FTL configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FtlConfig {
+    /// Flash geometry.
+    pub geometry: FlashGeometry,
+    /// Wear model.
+    pub rber: RberModel,
+    /// ECC layout and reliability target (defines tiredness thresholds).
+    pub ecc: EccConfig,
+    /// Personality.
+    pub mode: FtlMode,
+    /// Minidisk size in bytes (the paper suggests ~1 MiB).
+    pub msize_bytes: u64,
+    /// Fraction of raw capacity reserved as over-provisioning.
+    pub op_fraction: f64,
+    /// Run GC when free blocks drop to this count.
+    pub gc_free_blocks: u32,
+    /// Baseline bricks when `bad_blocks / total_blocks` exceeds this
+    /// (2.5% per the paper, citing Maneas et al.).
+    pub bad_block_limit: f64,
+    /// Highest tiredness level RegenS will use (the paper concludes
+    /// L < 2 is the sweet spot, so `L1` is the default cap).
+    pub regen_max_level: Tiredness,
+    /// ShrinkS retirement granularity (Page, or Block for the ablation).
+    pub retire_granularity: RetireGranularity,
+    /// Victim choice on decommission.
+    pub victim_policy: VictimPolicy,
+    /// Scrub refresh threshold: patrol refreshes a page once its observed
+    /// raw errors exceed this fraction of the ECC capability.
+    pub scrub_refresh_fraction: f64,
+    /// Grace-period decommissioning (§4.3 future work): a decommissioned
+    /// minidisk stays internally readable ("draining") until the host
+    /// acknowledges that its data has been re-replicated.
+    pub decommission_grace: bool,
+    /// Bound on simultaneously draining minidisks; beyond it the oldest
+    /// is purged to protect the GC reserve.
+    pub max_draining: u32,
+    /// Separate write frontiers for host writes and GC relocations
+    /// (hot/cold separation — lowers write amplification by keeping
+    /// short-lived and long-lived data in different blocks).
+    pub hot_cold_separation: bool,
+    /// Safety factor applied to projected RBER when classifying pages
+    /// (headroom for retention and read disturb between erases).
+    pub rber_safety_factor: f64,
+    /// RNG seed (page endurance variance, error injection).
+    pub seed: u64,
+}
+
+impl FtlConfig {
+    /// A small configuration for unit tests: tiny geometry, fast wear.
+    pub fn small_test(mode: FtlMode) -> Self {
+        FtlConfig {
+            geometry: FlashGeometry::small_test(),
+            rber: RberModel::fast_wear(),
+            ecc: EccConfig::default(),
+            mode,
+            msize_bytes: 256 * 1024, // 64 LBAs per minidisk
+            op_fraction: 0.07,
+            gc_free_blocks: 2,
+            bad_block_limit: 0.025,
+            regen_max_level: Tiredness::L1,
+            retire_granularity: RetireGranularity::Page,
+            victim_policy: VictimPolicy::LeastValid,
+            scrub_refresh_fraction: 0.5,
+            decommission_grace: false,
+            max_draining: 2,
+            hot_cold_separation: true,
+            rber_safety_factor: 1.25,
+            seed: 42,
+        }
+    }
+
+    /// A medium configuration for integration tests and benches.
+    pub fn medium(mode: FtlMode) -> Self {
+        FtlConfig {
+            geometry: FlashGeometry::medium(),
+            msize_bytes: 1024 * 1024,
+            gc_free_blocks: 4,
+            ..Self::small_test(mode)
+        }
+    }
+
+    /// LBAs (oPages) per minidisk.
+    pub fn lbas_per_mdisk(&self) -> u32 {
+        (self.msize_bytes / self.geometry.opage_bytes as u64) as u32
+    }
+
+    /// Initial number of minidisks: raw capacity minus over-provisioning,
+    /// in whole minidisks. Baseline exposes the same logical capacity as a
+    /// single volume (modeled as one giant minidisk).
+    pub fn initial_mdisks(&self) -> u32 {
+        let logical_opages =
+            (self.geometry.total_opages() as f64 * (1.0 - self.op_fraction)) as u64;
+        (logical_opages / self.lbas_per_mdisk() as u64) as u32
+    }
+}
+
+/// Host notifications emitted by the FTL.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FtlEvent {
+    /// A minidisk was decommissioned; its data must be recovered. With
+    /// grace-period decommissioning the minidisk stays readable (draining)
+    /// until [`crate::ftl::Ftl::ack_decommission`]; otherwise its data is
+    /// gone and must come from replicas. `valid_lbas` is how many LBAs
+    /// held live data.
+    MdiskDecommissioned {
+        /// The decommissioned minidisk.
+        id: MdiskId,
+        /// Live LBAs lost (the diFS re-replicates these).
+        valid_lbas: u32,
+        /// Whether the data remains readable during a grace period.
+        draining: bool,
+    },
+    /// A draining minidisk was purged before the host acknowledged it
+    /// (space pressure exceeded the draining bound); its data is gone.
+    MdiskPurged {
+        /// The purged minidisk.
+        id: MdiskId,
+    },
+    /// RegenS assembled enough worn capacity to expose a new minidisk.
+    MdiskCreated {
+        /// The new minidisk.
+        id: MdiskId,
+        /// Tiredness level of the capacity backing it (informational).
+        level: Tiredness,
+    },
+    /// The device can no longer store data (baseline brick, or a
+    /// Salamander device that has shrunk to nothing).
+    DeviceFailed {
+        /// Fraction of blocks bad at failure time.
+        bad_block_fraction: f64,
+    },
+    /// An uncorrectable read was returned to the host (data loss at the
+    /// device level; the diFS recovers from replicas).
+    UncorrectableRead {
+        /// Minidisk of the failed read.
+        id: MdiskId,
+        /// LBA of the failed read.
+        lba: Lba,
+    },
+}
+
+/// Errors returned by host-facing FTL operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FtlError {
+    /// The minidisk does not exist or is decommissioned.
+    NoSuchMdisk,
+    /// LBA beyond the minidisk's size.
+    LbaOutOfRange,
+    /// The LBA has never been written (reads only).
+    Unmapped,
+    /// The minidisk is draining (decommissioned, read-only).
+    MdiskReadOnly,
+    /// The device has failed (brick / fully shrunk); writes are rejected.
+    DeviceDead,
+    /// Data payload length does not match the oPage size.
+    BadDataLength,
+    /// The stored data could not be corrected by ECC.
+    Uncorrectable,
+    /// No physical space left to accept the write (should be prevented by
+    /// decommissioning; returned if the device is out of room mid-protocol).
+    OutOfSpace,
+}
+
+impl std::fmt::Display for FtlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FtlError::NoSuchMdisk => "no such minidisk",
+            FtlError::LbaOutOfRange => "LBA out of range",
+            FtlError::Unmapped => "LBA unmapped",
+            FtlError::MdiskReadOnly => "minidisk is draining (read-only)",
+            FtlError::DeviceDead => "device failed",
+            FtlError::BadDataLength => "data length != oPage size",
+            FtlError::Uncorrectable => "uncorrectable read",
+            FtlError::OutOfSpace => "out of physical space",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for FtlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_test_config_sane() {
+        let cfg = FtlConfig::small_test(FtlMode::Shrink);
+        assert_eq!(cfg.lbas_per_mdisk(), 64);
+        // 1024 raw oPages, 7% OP → 952 logical → 14 minidisks of 64.
+        assert_eq!(cfg.initial_mdisks(), 14);
+    }
+
+    #[test]
+    fn mdisk_count_scales_with_op() {
+        let mut cfg = FtlConfig::small_test(FtlMode::Shrink);
+        let base = cfg.initial_mdisks();
+        cfg.op_fraction = 0.5;
+        assert!(cfg.initial_mdisks() < base);
+    }
+
+    #[test]
+    fn events_serialize() {
+        let e = FtlEvent::MdiskDecommissioned {
+            id: MdiskId(3),
+            valid_lbas: 17,
+            draining: false,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: FtlEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(FtlError::NoSuchMdisk.to_string(), "no such minidisk");
+        assert_eq!(FtlError::DeviceDead.to_string(), "device failed");
+    }
+}

@@ -1,0 +1,611 @@
+//! Behavioral tests of the FTL engine across all three personalities.
+
+use salamander_ecc::profile::Tiredness;
+use salamander_ftl::ftl::{Ftl, ReadData};
+use salamander_ftl::types::{
+    FtlConfig, FtlError, FtlEvent, FtlMode, Lba, MdiskId, RetireGranularity, VictimPolicy,
+};
+
+/// Write `n` random-LBA synthetic oPages across all active minidisks.
+fn churn(ftl: &mut Ftl, n: u64, seed: u64) -> u64 {
+    let mut state = seed | 1;
+    let mut written = 0;
+    for _ in 0..n {
+        if ftl.is_dead() {
+            break;
+        }
+        let mdisks = ftl.active_mdisks();
+        if mdisks.is_empty() {
+            break;
+        }
+        // xorshift64 for cheap deterministic randomness.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let id = mdisks[(state as usize / 7) % mdisks.len()];
+        let lbas = ftl.mdisk_lbas(id).unwrap();
+        let lba = Lba((state % lbas as u64) as u32);
+        match ftl.write(id, lba, None) {
+            Ok(()) => written += 1,
+            Err(FtlError::DeviceDead) => break,
+            Err(e) => panic!("unexpected write error: {e}"),
+        }
+    }
+    written
+}
+
+#[test]
+fn write_read_round_trip_with_data() {
+    let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Shrink));
+    let id = ftl.active_mdisks()[0];
+    let opage = vec![0xABu8; 4096];
+    ftl.write(id, Lba(3), Some(&opage)).unwrap();
+    // Still in the buffer.
+    assert_eq!(
+        ftl.read(id, Lba(3)).unwrap(),
+        ReadData::Bytes(opage.clone())
+    );
+    // Force a flush by filling a stripe.
+    for i in 0..8u32 {
+        ftl.write(id, Lba(10 + i), Some(&vec![i as u8; 4096]))
+            .unwrap();
+    }
+    assert_eq!(ftl.read(id, Lba(3)).unwrap(), ReadData::Bytes(opage));
+    assert_eq!(
+        ftl.read(id, Lba(11)).unwrap(),
+        ReadData::Bytes(vec![1u8; 4096])
+    );
+    ftl.check_invariants().unwrap();
+}
+
+#[test]
+fn read_errors() {
+    let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Shrink));
+    let id = ftl.active_mdisks()[0];
+    assert_eq!(ftl.read(id, Lba(0)), Err(FtlError::Unmapped));
+    assert_eq!(ftl.read(id, Lba(9999)), Err(FtlError::LbaOutOfRange));
+    assert_eq!(ftl.read(MdiskId(500), Lba(0)), Err(FtlError::NoSuchMdisk));
+    assert_eq!(
+        ftl.write(id, Lba(0), Some(&[0u8; 100])),
+        Err(FtlError::BadDataLength)
+    );
+}
+
+#[test]
+fn trim_unmaps() {
+    let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Shrink));
+    let id = ftl.active_mdisks()[0];
+    ftl.write(id, Lba(0), None).unwrap();
+    ftl.trim(id, Lba(0)).unwrap();
+    assert_eq!(ftl.read(id, Lba(0)), Err(FtlError::Unmapped));
+    assert_eq!(ftl.trim(id, Lba(9999)), Err(FtlError::LbaOutOfRange));
+    ftl.check_invariants().unwrap();
+}
+
+#[test]
+fn overwrites_trigger_gc_and_wear() {
+    let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Shrink));
+    churn(&mut ftl, 20_000, 1);
+    let s = ftl.stats();
+    assert!(s.gc_runs > 0, "GC should have run");
+    assert!(s.relocated_opages > 0);
+    assert!(s.write_amplification().unwrap() >= 1.0);
+    assert!(ftl.flash_stats().erases > 0);
+    ftl.check_invariants().unwrap();
+}
+
+#[test]
+fn shrink_decommissions_and_eventually_dies() {
+    let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Shrink));
+    let initial = ftl.mdisk_count();
+    let written = churn(&mut ftl, 2_000_000, 2);
+    assert!(written > 0);
+    assert!(ftl.is_dead(), "fast-wear device must eventually die");
+    let events = ftl.drain_events();
+    let decommissions = events
+        .iter()
+        .filter(|e| matches!(e, FtlEvent::MdiskDecommissioned { .. }))
+        .count();
+    assert!(
+        decommissions as u32 >= initial,
+        "all minidisks decommissioned"
+    );
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, FtlEvent::DeviceFailed { .. })));
+    // Shrinking happened gradually: stats recorded them all.
+    assert_eq!(ftl.stats().mdisks_decommissioned as usize, decommissions);
+}
+
+#[test]
+fn shrink_outlives_baseline() {
+    // The core claim of ShrinkS: page-granular retirement + shrinking
+    // means the device absorbs more total writes than a baseline that
+    // bricks at 2.5% bad blocks.
+    let baseline_writes = {
+        let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Baseline));
+        churn(&mut ftl, 3_000_000, 3)
+    };
+    let shrink_writes = {
+        let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Shrink));
+        churn(&mut ftl, 3_000_000, 3)
+    };
+    assert!(
+        shrink_writes as f64 > baseline_writes as f64 * 1.1,
+        "shrink {shrink_writes} vs baseline {baseline_writes}"
+    );
+}
+
+#[test]
+fn regen_outlives_shrink() {
+    let shrink_writes = {
+        let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Shrink));
+        churn(&mut ftl, 4_000_000, 4)
+    };
+    let regen_writes = {
+        let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Regen));
+        churn(&mut ftl, 4_000_000, 4)
+    };
+    assert!(
+        regen_writes > shrink_writes,
+        "regen {regen_writes} vs shrink {shrink_writes}"
+    );
+}
+
+#[test]
+fn baseline_bricks_with_event() {
+    let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Baseline));
+    assert_eq!(ftl.mdisk_count(), 1, "baseline is monolithic");
+    churn(&mut ftl, 3_000_000, 5);
+    assert!(ftl.is_dead());
+    let events = ftl.drain_events();
+    let failed = events.iter().find_map(|e| match e {
+        FtlEvent::DeviceFailed { bad_block_fraction } => Some(*bad_block_fraction),
+        _ => None,
+    });
+    let frac = failed.expect("DeviceFailed event");
+    assert!(frac > 0.025, "bricked above the threshold, got {frac}");
+    // No decommissioning in baseline mode.
+    assert!(!events
+        .iter()
+        .any(|e| matches!(e, FtlEvent::MdiskDecommissioned { .. })));
+    // Writes rejected after death.
+    let id = ftl.active_mdisks()[0];
+    assert_eq!(ftl.write(id, Lba(0), None), Err(FtlError::DeviceDead));
+}
+
+#[test]
+fn regen_creates_minidisks_at_l1() {
+    let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Regen));
+    churn(&mut ftl, 2_000_000, 6);
+    let events = ftl.drain_events();
+    let created: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            FtlEvent::MdiskCreated { id, level } => Some((*id, *level)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !created.is_empty(),
+        "RegenS must regenerate minidisks as pages reach L1"
+    );
+    assert!(created.iter().all(|(_, l)| *l >= Tiredness::L1));
+    assert_eq!(ftl.stats().mdisks_regenerated as usize, created.len());
+}
+
+#[test]
+fn regen_pages_reach_but_never_exceed_cap() {
+    let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Regen));
+    churn(&mut ftl, 500_000, 7);
+    assert!(
+        ftl.pages_at_level(Tiredness::L1) > 0,
+        "pages should have transitioned to L1"
+    );
+    assert_eq!(ftl.pages_at_level(Tiredness::L2), 0, "cap is L1 by default");
+    assert_eq!(ftl.pages_at_level(Tiredness::L3), 0);
+}
+
+#[test]
+fn regen_cap_l2_uses_l2_pages() {
+    let mut cfg = FtlConfig::small_test(FtlMode::Regen);
+    cfg.regen_max_level = Tiredness::L2;
+    let mut ftl = Ftl::new(cfg);
+    churn(&mut ftl, 2_000_000, 8);
+    assert!(ftl.pages_at_level(Tiredness::L2) > 0);
+    assert_eq!(ftl.pages_at_level(Tiredness::L3), 0);
+}
+
+#[test]
+fn block_granularity_ablation_dies_sooner() {
+    let page = {
+        let mut cfg = FtlConfig::small_test(FtlMode::Shrink);
+        cfg.retire_granularity = RetireGranularity::Page;
+        let mut ftl = Ftl::new(cfg);
+        churn(&mut ftl, 3_000_000, 9)
+    };
+    let block = {
+        let mut cfg = FtlConfig::small_test(FtlMode::Shrink);
+        cfg.retire_granularity = RetireGranularity::Block;
+        let mut ftl = Ftl::new(cfg);
+        churn(&mut ftl, 3_000_000, 9)
+    };
+    assert!(
+        page > block,
+        "page-granular retirement must outlive block-granular: {page} vs {block}"
+    );
+}
+
+#[test]
+fn victim_policies_differ() {
+    let mut cfg = FtlConfig::small_test(FtlMode::Shrink);
+    cfg.victim_policy = VictimPolicy::HighestId;
+    let mut ftl = Ftl::new(cfg);
+    let initial = ftl.active_mdisks();
+    churn(&mut ftl, 300_000, 10);
+    let events = ftl.drain_events();
+    let first_victim = events.iter().find_map(|e| match e {
+        FtlEvent::MdiskDecommissioned { id, .. } => Some(*id),
+        _ => None,
+    });
+    if let Some(v) = first_victim {
+        assert_eq!(v, *initial.last().unwrap(), "HighestId picks the last id");
+    }
+}
+
+#[test]
+fn decommissioned_mdisk_rejects_io() {
+    let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Shrink));
+    churn(&mut ftl, 400_000, 11);
+    let decommissioned = ftl.drain_events().into_iter().find_map(|e| match e {
+        FtlEvent::MdiskDecommissioned { id, .. } => Some(id),
+        _ => None,
+    });
+    let Some(id) = decommissioned else {
+        // Device may not have worn enough; the churn above uses fast wear,
+        // so this should not happen.
+        panic!("expected at least one decommission under fast wear");
+    };
+    if !ftl.is_dead() {
+        assert_eq!(ftl.write(id, Lba(0), None), Err(FtlError::NoSuchMdisk));
+    }
+    assert_eq!(ftl.read(id, Lba(0)), Err(FtlError::NoSuchMdisk));
+}
+
+#[test]
+fn capacity_accounting_consistent_over_lifetime() {
+    let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Regen));
+    for round in 0..40 {
+        churn(&mut ftl, 20_000, 100 + round);
+        if ftl.is_dead() {
+            break;
+        }
+        // Eq. 2 must hold whenever the FTL is quiescent.
+        assert!(
+            ftl.usable_opages() >= ftl.committed_lbas(),
+            "round {round}: usable {} < committed {}",
+            ftl.usable_opages(),
+            ftl.committed_lbas()
+        );
+        ftl.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn determinism_same_seed() {
+    let run = |seed: u64| {
+        let mut cfg = FtlConfig::small_test(FtlMode::Regen);
+        cfg.seed = seed;
+        let mut ftl = Ftl::new(cfg);
+        let w = churn(&mut ftl, 1_000_000, 13);
+        (w, ftl.stats().mdisks_decommissioned, ftl.stats().gc_runs)
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
+}
+
+#[test]
+fn events_drain_once() {
+    let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Shrink));
+    churn(&mut ftl, 400_000, 14);
+    let first = ftl.drain_events();
+    assert!(!first.is_empty());
+    assert!(ftl.drain_events().is_empty());
+}
+
+/// Skewed churn: `hot_pct`% of writes hit the first 10% of each minidisk.
+fn skewed_churn(ftl: &mut Ftl, n: u64, seed: u64) -> f64 {
+    let mut state = seed | 1;
+    for _ in 0..n {
+        if ftl.is_dead() {
+            break;
+        }
+        let mdisks = ftl.active_mdisks();
+        if mdisks.is_empty() {
+            break;
+        }
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let id = mdisks[(state as usize / 7) % mdisks.len()];
+        let lbas = ftl.mdisk_lbas(id).unwrap();
+        let hot_region = (lbas / 10).max(1);
+        let lba = if state % 10 < 9 {
+            Lba((state / 11 % hot_region as u64) as u32)
+        } else {
+            Lba((state % lbas as u64) as u32)
+        };
+        if ftl.write(id, lba, None).is_err() {
+            break;
+        }
+    }
+    ftl.stats().write_amplification().unwrap_or(1.0)
+}
+
+#[test]
+fn hot_cold_separation_lowers_write_amplification() {
+    // Under a skewed (hot/cold) workload, separating GC relocations from
+    // host writes should reduce write amplification. Use slow wear so GC
+    // behaviour, not device death, dominates.
+    let wa = |separation: bool| {
+        let mut cfg = FtlConfig::small_test(FtlMode::Shrink);
+        cfg.rber = salamander_flash::rber::RberModel::default();
+        cfg.hot_cold_separation = separation;
+        let mut ftl = Ftl::new(cfg);
+        skewed_churn(&mut ftl, 100_000, 99)
+    };
+    let with = wa(true);
+    let without = wa(false);
+    assert!(
+        with < without * 0.97,
+        "separation should cut WA: with={with:.2} without={without:.2}"
+    );
+}
+
+#[test]
+fn grace_period_keeps_data_readable_until_ack() {
+    let mut cfg = FtlConfig::small_test(FtlMode::Shrink);
+    cfg.decommission_grace = true;
+    let mut ftl = Ftl::new(cfg);
+    // Write recognizable data everywhere, then churn to force decommission.
+    let opage = vec![0x77u8; 4096];
+    for id in ftl.active_mdisks() {
+        for lba in 0..ftl.mdisk_lbas(id).unwrap() {
+            ftl.write(id, Lba(lba), Some(&opage)).unwrap();
+        }
+    }
+    churn(&mut ftl, 200_000, 42);
+    let events = ftl.drain_events();
+    let draining_event = events.iter().find_map(|e| match e {
+        FtlEvent::MdiskDecommissioned {
+            id, draining: true, ..
+        } => Some(*id),
+        _ => None,
+    });
+    let Some(id) = draining_event else {
+        panic!("expected a draining decommission under fast wear");
+    };
+    // If it is still draining (not yet purged), it must be readable and
+    // read-only.
+    if ftl.draining_mdisks().contains(&id) {
+        assert!(ftl.read(id, Lba(0)).is_ok());
+        assert_eq!(ftl.write(id, Lba(0), None), Err(FtlError::MdiskReadOnly));
+        assert_eq!(ftl.trim(id, Lba(0)), Err(FtlError::MdiskReadOnly));
+        // Acknowledge: data is dropped, reads now fail.
+        ftl.ack_decommission(id).unwrap();
+        assert_eq!(ftl.read(id, Lba(0)), Err(FtlError::NoSuchMdisk));
+        assert_eq!(ftl.ack_decommission(id), Err(FtlError::NoSuchMdisk));
+    }
+    ftl.check_invariants().unwrap();
+}
+
+#[test]
+fn draining_bound_purges_oldest() {
+    let mut cfg = FtlConfig::small_test(FtlMode::Shrink);
+    cfg.decommission_grace = true;
+    cfg.max_draining = 1;
+    let mut ftl = Ftl::new(cfg);
+    churn(&mut ftl, 2_000_000, 43);
+    let events = ftl.drain_events();
+    let decommissions = events
+        .iter()
+        .filter(|e| matches!(e, FtlEvent::MdiskDecommissioned { .. }))
+        .count();
+    let purges = events
+        .iter()
+        .filter(|e| matches!(e, FtlEvent::MdiskPurged { .. }))
+        .count();
+    assert!(decommissions > 1);
+    // With the host never acking, every decommission beyond the bound
+    // purges an older one.
+    assert!(
+        purges >= decommissions - 1 - 1,
+        "purges {purges} of {decommissions}"
+    );
+    assert!(ftl.draining_mdisks().len() <= 1);
+}
+
+#[test]
+fn grace_mode_with_prompt_acks_matches_immediate_mode() {
+    // A responsive host acknowledges drains as they appear, so the grace
+    // mechanism must not change the endurance story. (Without acks the
+    // pinned draining data legitimately shortens lifetime — see
+    // `draining_bound_purges_oldest`.)
+    let writes = |grace: bool| {
+        let mut cfg = FtlConfig::small_test(FtlMode::Shrink);
+        cfg.decommission_grace = grace;
+        let mut ftl = Ftl::new(cfg);
+        let mut state = 44u64;
+        let mut written = 0u64;
+        for _ in 0..3_000_000u64 {
+            if ftl.is_dead() {
+                break;
+            }
+            for id in ftl.draining_mdisks() {
+                ftl.ack_decommission(id).unwrap();
+            }
+            let mdisks = ftl.active_mdisks();
+            if mdisks.is_empty() {
+                break;
+            }
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let id = mdisks[(state as usize / 7) % mdisks.len()];
+            let lbas = ftl.mdisk_lbas(id).unwrap();
+            match ftl.write(id, Lba((state % lbas as u64) as u32), None) {
+                Ok(()) => written += 1,
+                Err(FtlError::DeviceDead) => break,
+                Err(e) => panic!("unexpected write error: {e}"),
+            }
+        }
+        written
+    };
+    let with = writes(true) as f64;
+    let without = writes(false) as f64;
+    assert!(
+        (with / without) > 0.8 && (with / without) < 1.2,
+        "grace {with} vs immediate {without}"
+    );
+}
+
+#[test]
+fn read_retries_appear_as_pages_wear() {
+    let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Shrink));
+    // Interleave writes and reads while the device wears out.
+    let mut state = 77u64;
+    for _ in 0..60_000 {
+        if ftl.is_dead() {
+            break;
+        }
+        let mdisks = ftl.active_mdisks();
+        if mdisks.is_empty() {
+            break;
+        }
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let id = mdisks[(state as usize / 7) % mdisks.len()];
+        let lbas = ftl.mdisk_lbas(id).unwrap();
+        let lba = Lba((state % lbas as u64) as u32);
+        let _ = ftl.write(id, lba, None);
+        let _ = ftl.read(id, lba);
+    }
+    assert!(
+        ftl.stats().read_retries > 0,
+        "worn pages should require read retries"
+    );
+    assert!(ftl.flash_stats().retry_reads >= ftl.stats().read_retries);
+    assert!(ftl.flash_stats().busy_us > 0.0);
+}
+
+#[test]
+fn scrub_protects_cold_data_from_retention() {
+    use salamander_flash::rber::RberModel;
+    let make = || {
+        let mut cfg = FtlConfig::small_test(FtlMode::Shrink);
+        // Slow intrinsic wear, strong retention term: cold data decays.
+        cfg.rber = RberModel {
+            retention_scale: 2e-6,
+            ..RberModel::default()
+        };
+        let mut ftl = Ftl::new(cfg);
+        // Build up some PEC so retention has a base to multiply.
+        churn(&mut ftl, 60_000, 55);
+        assert!(!ftl.is_dead());
+        // Plant recognizable cold data and force it out of the buffer.
+        let id = ftl.active_mdisks()[0];
+        let page = vec![0xEEu8; 4096];
+        ftl.write(id, Lba(0), Some(&page)).unwrap();
+        for i in 1..=8u32 {
+            ftl.write(id, Lba(i), Some(&vec![0u8; 4096])).unwrap();
+        }
+        (ftl, id, page)
+    };
+
+    // Without scrubbing: 200 days of retention ruins the cold page.
+    let (mut neglected, id, _) = make();
+    neglected.advance_days(200.0);
+    assert_eq!(
+        neglected.read(id, Lba(0)),
+        Err(FtlError::Uncorrectable),
+        "cold data should decay past the ECC capability without scrubbing"
+    );
+    assert!(neglected.stats().uncorrectable_reads > 0);
+
+    // With periodic scrubbing: the patrol refreshes the page in time.
+    let (mut scrubbed, id, page) = make();
+    for _ in 0..20 {
+        scrubbed.advance_days(10.0);
+        scrubbed.scrub(256).unwrap();
+    }
+    assert_eq!(scrubbed.read(id, Lba(0)), Ok(ReadData::Bytes(page)));
+    assert!(scrubbed.stats().scrub_refreshes > 0);
+    assert!(scrubbed.stats().scrub_reads > 0);
+    scrubbed.check_invariants().unwrap();
+}
+
+#[test]
+fn snapshot_restore_power_cycle() {
+    let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Regen));
+    // Build up real state: data, wear, GC history, maybe decommissions.
+    let id = ftl.active_mdisks()[0];
+    let page = vec![0x5Au8; 4096];
+    ftl.write(id, Lba(7), Some(&page)).unwrap();
+    churn(&mut ftl, 3_000, 88);
+    assert!(!ftl.is_dead());
+    let pre_stats = *ftl.stats();
+    let pre_mdisks = ftl.active_mdisks();
+    // The churn may have overwritten the planted page; capture whatever
+    // the device holds *now* as the ground truth for the power cycle.
+    let pre_read = if pre_mdisks.contains(&id) {
+        Some(ftl.read(id, Lba(7)))
+    } else {
+        None
+    };
+    let pre_stats_after_read = *ftl.stats();
+
+    // Power off / power on.
+    let image = ftl.snapshot_json();
+    drop(ftl);
+    let mut back = Ftl::restore_json(&image).unwrap();
+
+    // Everything resumes: topology, stats, data, invariants.
+    assert_eq!(back.active_mdisks(), pre_mdisks);
+    assert_eq!(*back.stats(), pre_stats_after_read);
+    assert!(pre_stats_after_read.host_reads >= pre_stats.host_reads);
+    back.check_invariants().unwrap();
+    if let Some(expected) = pre_read {
+        // The restored device returns the same content class as before
+        // the power cycle (exact bytes for payload reads).
+        match (expected, back.read(id, Lba(7))) {
+            (Ok(ReadData::Bytes(a)), Ok(ReadData::Bytes(b))) => assert_eq!(a, b),
+            (Ok(ReadData::Synthetic), Ok(ReadData::Synthetic)) => {}
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+            (a, b) => panic!("power cycle changed the read: {a:?} vs {b:?}"),
+        }
+    }
+    // The restored device keeps operating (and eventually dies) normally.
+    churn(&mut back, 2_000_000, 89);
+    assert!(back.is_dead());
+    back.check_invariants().unwrap();
+}
+
+#[test]
+fn snapshot_restore_is_bit_exact() {
+    // Same ops on a restored device and on the original must produce the
+    // same trajectory: the snapshot preserves the RNG state too.
+    let build = || {
+        let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Shrink));
+        churn(&mut ftl, 3_000, 90);
+        ftl
+    };
+    let mut a = build();
+    let image = a.snapshot_json();
+    let mut b = Ftl::restore_json(&image).unwrap();
+    let wa = churn(&mut a, 2_000, 91);
+    let wb = churn(&mut b, 2_000, 91);
+    assert_eq!(wa, wb);
+    assert_eq!(a.stats(), b.stats());
+    assert_eq!(a.active_mdisks(), b.active_mdisks());
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the FTL engine: arbitrary operation sequences
+//! must preserve the mapping/accounting invariants, and data reads must
+//! return the last written bytes.
+
+use proptest::prelude::*;
+use salamander_ftl::ftl::{Ftl, ReadData};
+use salamander_ftl::types::{FtlConfig, FtlError, FtlMode, Lba};
+use std::collections::HashMap;
+
+/// One host-level operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { disk: u8, lba: u8, tag: u8 },
+    Read { disk: u8, lba: u8 },
+    Trim { disk: u8, lba: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(disk, lba, tag)| Op::Write { disk, lba, tag }),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(disk, lba)| Op::Read { disk, lba }),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(disk, lba)| Op::Trim { disk, lba }),
+    ]
+}
+
+fn tag_page(tag: u8, opage_bytes: usize) -> Vec<u8> {
+    vec![tag; opage_bytes]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Read-your-writes with data payloads plus structural invariants,
+    /// under random write/read/trim interleavings across minidisks, for
+    /// every personality.
+    #[test]
+    fn read_your_writes_and_invariants(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        mode_pick in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let mode = [FtlMode::Baseline, FtlMode::Shrink, FtlMode::Regen][mode_pick as usize];
+        let mut cfg = FtlConfig::small_test(mode);
+        // Slow wear: these runs exercise mapping logic, not death.
+        cfg.rber = salamander_flash::rber::RberModel::default();
+        cfg.seed = seed;
+        let opage = cfg.geometry.opage_bytes as usize;
+        let mut ftl = Ftl::new(cfg);
+        // Shadow model: what each mapped LBA should read back.
+        let mut model: HashMap<(u32, u32), u8> = HashMap::new();
+        for op in &ops {
+            let mdisks = ftl.active_mdisks();
+            prop_assume!(!mdisks.is_empty());
+            match *op {
+                Op::Write { disk, lba, tag } => {
+                    let id = mdisks[disk as usize % mdisks.len()];
+                    let lbas = ftl.mdisk_lbas(id).unwrap();
+                    let lba = Lba(lba as u32 % lbas);
+                    let page = tag_page(tag, opage);
+                    ftl.write(id, lba, Some(&page)).unwrap();
+                    model.insert((id.0, lba.0), tag);
+                }
+                Op::Read { disk, lba } => {
+                    let id = mdisks[disk as usize % mdisks.len()];
+                    let lbas = ftl.mdisk_lbas(id).unwrap();
+                    let lba = Lba(lba as u32 % lbas);
+                    match model.get(&(id.0, lba.0)) {
+                        Some(&tag) => {
+                            let got = ftl.read(id, lba).unwrap();
+                            prop_assert_eq!(got, ReadData::Bytes(tag_page(tag, opage)));
+                        }
+                        None => {
+                            prop_assert_eq!(ftl.read(id, lba), Err(FtlError::Unmapped));
+                        }
+                    }
+                }
+                Op::Trim { disk, lba } => {
+                    let id = mdisks[disk as usize % mdisks.len()];
+                    let lbas = ftl.mdisk_lbas(id).unwrap();
+                    let lba = Lba(lba as u32 % lbas);
+                    ftl.trim(id, lba).unwrap();
+                    model.remove(&(id.0, lba.0));
+                }
+            }
+        }
+        ftl.check_invariants().map_err(TestCaseError::fail)?;
+        // Eq. 2: committed capacity never exceeds usable physical capacity.
+        prop_assert!(ftl.usable_opages() >= ftl.committed_lbas());
+        // Write amplification is at least... bounded below by buffering:
+        // flushed opages never exceed host writes + relocations.
+        let s = ftl.stats();
+        prop_assert!(s.opages_programmed <= s.host_writes + s.relocated_opages);
+    }
+
+    /// Synthetic churn to death never violates accounting, for any seed.
+    #[test]
+    fn churn_to_death_accounting(seed in any::<u64>(), mode_pick in 0u8..3) {
+        let mode = [FtlMode::Baseline, FtlMode::Shrink, FtlMode::Regen][mode_pick as usize];
+        let mut cfg = FtlConfig::small_test(mode);
+        cfg.seed = seed;
+        let mut ftl = Ftl::new(cfg);
+        let mut state = seed | 1;
+        let mut guard = 0u64;
+        while !ftl.is_dead() && guard < 3_000_000 {
+            let mdisks = ftl.active_mdisks();
+            if mdisks.is_empty() { break; }
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let id = mdisks[(state as usize / 7) % mdisks.len()];
+            let lbas = ftl.mdisk_lbas(id).unwrap();
+            match ftl.write(id, Lba((state % lbas as u64) as u32), None) {
+                Ok(()) => {}
+                Err(FtlError::DeviceDead) => break,
+                Err(e) => return Err(TestCaseError::fail(format!("write: {e}"))),
+            }
+            guard += 1;
+            if guard.is_multiple_of(100_000) {
+                prop_assert!(ftl.usable_opages() >= ftl.committed_lbas());
+            }
+        }
+        prop_assert!(ftl.is_dead(), "fast wear must kill the device");
+        // Death is consistent: no active minidisks for Salamander modes,
+        // or the brick event for baseline.
+        if mode != FtlMode::Baseline {
+            prop_assert_eq!(ftl.committed_lbas(), 0);
+        }
+        ftl.check_invariants().map_err(TestCaseError::fail)?;
+    }
+}

@@ -1,0 +1,186 @@
+//! Eq. 3: the carbon model.
+//!
+//! `CO2e(S) = f_op · PE_{S|B} · CO2e(B) + (1 − f_op) · Ru_{S|B} · CO2e(B)`
+//!
+//! The operational share keeps running (slightly less efficiently, since
+//! old drives are kept past the point newer models would have replaced
+//! them: `PE = 1.06` per Wang et al., ISCA '24); the embodied share scales
+//! with how often SSDs are bought (`Ru`, the upgrade rate, which longer
+//! lifetimes reduce).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Eq. 3 carbon model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CarbonParams {
+    /// Fraction of total emissions that are operational. The paper starts
+    /// from 58% (Wang et al.) and conservatively deducts 20% for
+    /// SSD-storage servers: `f_op = 0.46`.
+    pub f_op: f64,
+    /// Power effectiveness of keeping older SSDs vs upgrading: 1.06
+    /// (6% higher operational emissions for the same workloads).
+    pub power_effectiveness: f64,
+    /// SSD upgrade rate relative to baseline (embodied-carbon multiplier).
+    pub upgrade_rate: f64,
+}
+
+impl CarbonParams {
+    /// The paper's ShrinkS configuration: ≥20% lifetime extension, with
+    /// the upgrade rate conservatively fixed up by 40% for replacement
+    /// capacity → `Ru = 0.9`.
+    pub fn shrink() -> Self {
+        CarbonParams {
+            f_op: 0.46,
+            power_effectiveness: 1.06,
+            upgrade_rate: fixup_upgrade_rate(upgrade_rate_for_lifetime(1.2), 0.4),
+        }
+    }
+
+    /// The paper's RegenS configuration: 50% lifetime extension, fixed up
+    /// by 40% → `Ru = 0.8`.
+    pub fn regen() -> Self {
+        CarbonParams {
+            f_op: 0.46,
+            power_effectiveness: 1.06,
+            upgrade_rate: fixup_upgrade_rate(upgrade_rate_for_lifetime(1.5), 0.4),
+        }
+    }
+
+    /// Footprint of the Salamander deployment relative to baseline
+    /// (Eq. 3 divided by `CO2e(B)`).
+    pub fn relative_footprint(&self) -> f64 {
+        self.f_op * self.power_effectiveness + (1.0 - self.f_op) * self.upgrade_rate
+    }
+
+    /// CO2e savings vs baseline under the current grid.
+    pub fn savings(&self) -> f64 {
+        1.0 - self.relative_footprint()
+    }
+
+    /// CO2e savings when renewables zero out operational emissions: only
+    /// the embodied share remains, so savings equal `1 − Ru` (the
+    /// rightmost bars of Fig. 4).
+    pub fn savings_renewable(&self) -> f64 {
+        1.0 - self.upgrade_rate
+    }
+}
+
+/// Lifetime extension → upgrade rate: a drive that lives `benefit`× as
+/// long is bought `1/benefit` as often.
+pub fn upgrade_rate_for_lifetime(benefit: f64) -> f64 {
+    1.0 / benefit
+}
+
+/// The paper's conservative fix-up: give back `give_back` of the upgrade-
+/// rate gains to account for new SSDs offsetting shrunk capacity and the
+/// baseline's own 1–3% AFR replacements (§4.1).
+pub fn fixup_upgrade_rate(ru: f64, give_back: f64) -> f64 {
+    ru + give_back * (1.0 - ru)
+}
+
+/// One Fig. 4 scenario row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CarbonScenario {
+    /// Scenario label (e.g. "ShrinkS / current grid").
+    pub label: String,
+    /// CO2e savings fraction vs baseline.
+    pub savings: f64,
+}
+
+/// The four Fig. 4 configurations: {ShrinkS, RegenS} × {current grid,
+/// renewables}.
+pub fn fig4_scenarios() -> Vec<CarbonScenario> {
+    let shrink = CarbonParams::shrink();
+    let regen = CarbonParams::regen();
+    vec![
+        CarbonScenario {
+            label: "ShrinkS / current grid".into(),
+            savings: shrink.savings(),
+        },
+        CarbonScenario {
+            label: "RegenS / current grid".into(),
+            savings: regen.savings(),
+        },
+        CarbonScenario {
+            label: "ShrinkS / renewables".into(),
+            savings: shrink.savings_renewable(),
+        },
+        CarbonScenario {
+            label: "RegenS / renewables".into(),
+            savings: regen.savings_renewable(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upgrade_rates_match_paper() {
+        // §4.1: Ru = 1/1.2 = 0.83 and 1/1.5 = 0.66; fixed up to 0.9 / 0.8.
+        assert!((upgrade_rate_for_lifetime(1.2) - 0.833).abs() < 0.001);
+        assert!((upgrade_rate_for_lifetime(1.5) - 0.667).abs() < 0.001);
+        assert!((CarbonParams::shrink().upgrade_rate - 0.9).abs() < 0.01);
+        assert!((CarbonParams::regen().upgrade_rate - 0.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn current_grid_savings_in_paper_band() {
+        // "Salamander achieves 3–8% CO2e savings in current designs."
+        let lo = CarbonParams::shrink().savings();
+        let hi = CarbonParams::regen().savings();
+        assert!((0.02..=0.045).contains(&lo), "ShrinkS savings {lo}");
+        assert!((0.06..=0.10).contains(&hi), "RegenS savings {hi}");
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn renewable_savings_in_paper_band() {
+        // "these gains increase to 11–20%."
+        let lo = CarbonParams::shrink().savings_renewable();
+        let hi = CarbonParams::regen().savings_renewable();
+        assert!((0.08..=0.13).contains(&lo), "ShrinkS renewable {lo}");
+        assert!((0.17..=0.22).contains(&hi), "RegenS renewable {hi}");
+    }
+
+    #[test]
+    fn fig4_has_four_increasing_groups() {
+        let rows = fig4_scenarios();
+        assert_eq!(rows.len(), 4);
+        // Renewables always beat the current grid for the same mode.
+        assert!(rows[2].savings > rows[0].savings);
+        assert!(rows[3].savings > rows[1].savings);
+    }
+
+    #[test]
+    fn longer_lifetime_monotonically_helps() {
+        let mut prev = f64::NEG_INFINITY;
+        for benefit in [1.0, 1.2, 1.5, 2.0, 3.0] {
+            let p = CarbonParams {
+                f_op: 0.46,
+                power_effectiveness: 1.06,
+                upgrade_rate: upgrade_rate_for_lifetime(benefit),
+            };
+            assert!(p.savings() > prev);
+            prev = p.savings();
+        }
+    }
+
+    #[test]
+    fn no_lifetime_gain_costs_the_power_penalty() {
+        // benefit = 1 ⇒ Ru = 1 ⇒ relative footprint > 1 (PE penalty only).
+        let p = CarbonParams {
+            f_op: 0.46,
+            power_effectiveness: 1.06,
+            upgrade_rate: 1.0,
+        };
+        assert!(p.savings() < 0.0);
+    }
+
+    #[test]
+    fn fixup_bounds() {
+        assert_eq!(fixup_upgrade_rate(0.8, 0.0), 0.8);
+        assert_eq!(fixup_upgrade_rate(0.8, 1.0), 1.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Sustainability and cost models for the Salamander reproduction.
+//!
+//! §4.1 and §4.4 of the paper quantify Salamander's fleet-level impact
+//! with two first-order parametric models:
+//!
+//! - [`carbon`] — Eq. 3: the carbon footprint of a Salamander deployment
+//!   relative to baseline, split into operational (scaled by power
+//!   effectiveness) and embodied (scaled by the SSD upgrade rate) parts.
+//!   Regenerates Fig. 4 and the headline "3–8% CO2e savings, 11–20% under
+//!   renewables".
+//! - [`tco`] — Eq. 4: total cost of ownership relative to baseline, with
+//!   the composite cost-upgrade-rate `CRu` that accounts for buying new
+//!   baseline SSDs to backfill capacity lost to shrinking. Regenerates the
+//!   "13% / 25% cost savings" numbers and the f_opex sensitivity.
+//!
+//! All constants are the paper's, cited at their definition sites, and are
+//! plain struct fields so the bench harnesses can sweep them.
+
+pub mod carbon;
+pub mod tco;
+
+pub use carbon::CarbonParams;
+pub use tco::TcoParams;

@@ -1,0 +1,143 @@
+//! Eq. 4: the total-cost-of-ownership model.
+//!
+//! `TCO(S) = f_opex · TCO(B) + (1 − f_opex) · CRu_{S|B} · TCO(B)`
+//!
+//! with the composite cost-upgrade-rate
+//!
+//! `CRu = Ru + (1 − Ru) · CE_new · Cap_new`
+//!
+//! where `Cap_new` is the fraction of shrunk capacity backfilled with new
+//! baseline SSDs and `CE_new` their cost effectiveness relative to today's
+//! drives ($/TB improves ~4× per five years, so `CE = 0.25` for drives
+//! bought when shrinking starts).
+
+use crate::carbon::upgrade_rate_for_lifetime;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Eq. 4 TCO model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcoParams {
+    /// Fraction of TCO that is operational expenditure. Seagate puts
+    /// device acquisition at ~86% of datacenter-device TCO, so
+    /// `f_opex = 0.14` (§4.4).
+    pub f_opex: f64,
+    /// SSD upgrade rate (the *raw* `1/lifetime-benefit`; §4.4 uses the
+    /// unfixed rates since the capacity backfill is priced separately).
+    pub upgrade_rate: f64,
+    /// Cost effectiveness of the new baseline SSDs bought to backfill:
+    /// 0.25 (4× $/TB improvement over five years).
+    pub new_cost_effectiveness: f64,
+    /// Fraction of capacity that must be backfilled: the paper derives an
+    /// average shrunk capacity of 60% of baseline → `Cap_new = 0.4`.
+    pub backfill_fraction: f64,
+}
+
+impl TcoParams {
+    /// ShrinkS preset (§4.4): raw `Ru = 1/1.2`.
+    pub fn shrink() -> Self {
+        TcoParams {
+            f_opex: 0.14,
+            upgrade_rate: upgrade_rate_for_lifetime(1.2),
+            new_cost_effectiveness: 0.25,
+            backfill_fraction: 0.4,
+        }
+    }
+
+    /// RegenS preset (§4.4): raw `Ru = 1/1.5`.
+    pub fn regen() -> Self {
+        TcoParams {
+            f_opex: 0.14,
+            upgrade_rate: upgrade_rate_for_lifetime(1.5),
+            new_cost_effectiveness: 0.25,
+            backfill_fraction: 0.4,
+        }
+    }
+
+    /// The composite cost upgrade rate `CRu`.
+    pub fn cost_upgrade_rate(&self) -> f64 {
+        self.upgrade_rate
+            + (1.0 - self.upgrade_rate) * self.new_cost_effectiveness * self.backfill_fraction
+    }
+
+    /// TCO relative to baseline (Eq. 4 divided by `TCO(B)`).
+    pub fn relative_tco(&self) -> f64 {
+        self.f_opex + (1.0 - self.f_opex) * self.cost_upgrade_rate()
+    }
+
+    /// Cost savings vs baseline.
+    pub fn savings(&self) -> f64 {
+        1.0 - self.relative_tco()
+    }
+
+    /// The same parameters with a different opex share (the paper's
+    /// sensitivity check at `f_opex = 0.5`).
+    pub fn with_opex(mut self, f_opex: f64) -> Self {
+        self.f_opex = f_opex;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_savings_match_paper() {
+        // "Salamander achieves 13% and 25% cost savings for ShrinkS and
+        // RegenS accordingly."
+        let shrink = TcoParams::shrink().savings();
+        let regen = TcoParams::regen().savings();
+        assert!(
+            (0.11..=0.15).contains(&shrink),
+            "ShrinkS TCO savings {shrink}"
+        );
+        assert!((0.22..=0.28).contains(&regen), "RegenS TCO savings {regen}");
+    }
+
+    #[test]
+    fn opex_sensitivity_matches_paper() {
+        // "if we assume half the cost is operational costs, Salamander
+        // lowers costs by 6–14%."
+        let shrink = TcoParams::shrink().with_opex(0.5).savings();
+        let regen = TcoParams::regen().with_opex(0.5).savings();
+        assert!(
+            (0.05..=0.10).contains(&shrink),
+            "ShrinkS at 50% opex {shrink}"
+        );
+        assert!((0.12..=0.17).contains(&regen), "RegenS at 50% opex {regen}");
+    }
+
+    #[test]
+    fn cru_between_ru_and_one() {
+        for p in [TcoParams::shrink(), TcoParams::regen()] {
+            let cru = p.cost_upgrade_rate();
+            assert!(cru > p.upgrade_rate, "backfill costs something");
+            assert!(cru < 1.0, "but less than not extending at all");
+        }
+    }
+
+    #[test]
+    fn free_backfill_reduces_to_ru() {
+        let p = TcoParams {
+            new_cost_effectiveness: 0.0,
+            ..TcoParams::shrink()
+        };
+        assert_eq!(p.cost_upgrade_rate(), p.upgrade_rate);
+    }
+
+    #[test]
+    fn pure_capex_is_cru() {
+        let p = TcoParams::shrink().with_opex(0.0);
+        assert!((p.relative_tco() - p.cost_upgrade_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_opex_share_shrinks_savings() {
+        let mut prev = f64::INFINITY;
+        for f in [0.0, 0.14, 0.3, 0.5, 0.9] {
+            let s = TcoParams::regen().with_opex(f).savings();
+            assert!(s < prev);
+            prev = s;
+        }
+    }
+}

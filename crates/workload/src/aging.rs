@@ -1,0 +1,93 @@
+//! DWPD-style aging.
+//!
+//! SSD vendors rate endurance in *drive writes per day* (DWPD) over the
+//! warranty period (§2 of the paper). The aging driver converts a DWPD
+//! target and a device capacity into a per-day oPage write budget, so
+//! lifetime experiments advance in simulated days.
+
+use serde::{Deserialize, Serialize};
+
+/// Converts DWPD into daily oPage write budgets.
+///
+/// # Examples
+///
+/// ```
+/// use salamander_workload::aging::AgingDriver;
+///
+/// // 1 DWPD on a device of 1024 oPages: 1024 writes per day.
+/// let mut d = AgingDriver::new(1.0, 1024);
+/// assert_eq!(d.writes_for_days(1.0), 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgingDriver {
+    /// Drive writes per day.
+    pub dwpd: f64,
+    /// Device logical capacity in oPages.
+    pub capacity_opages: u64,
+    /// Fractional writes carried between steps so long runs don't drift.
+    carry: f64,
+}
+
+impl AgingDriver {
+    /// Create a driver for a device of `capacity_opages` at `dwpd`.
+    pub fn new(dwpd: f64, capacity_opages: u64) -> Self {
+        AgingDriver {
+            dwpd,
+            capacity_opages,
+            carry: 0.0,
+        }
+    }
+
+    /// oPage writes to issue for the next `days` of operation. Fractional
+    /// remainders carry over, so repeated small steps sum exactly.
+    pub fn writes_for_days(&mut self, days: f64) -> u64 {
+        let exact = self.dwpd * self.capacity_opages as f64 * days + self.carry;
+        let whole = exact.floor();
+        self.carry = exact - whole;
+        whole as u64
+    }
+
+    /// Days needed to write the device end-to-end `n` times.
+    pub fn days_for_full_writes(&self, n: f64) -> f64 {
+        n / self.dwpd
+    }
+
+    /// Adjust capacity (a shrunk device absorbs the same DWPD over fewer
+    /// oPages — per-page wear accelerates).
+    pub fn set_capacity(&mut self, capacity_opages: u64) {
+        self.capacity_opages = capacity_opages;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daily_budget() {
+        let mut d = AgingDriver::new(2.0, 1000);
+        assert_eq!(d.writes_for_days(1.0), 2000);
+        assert_eq!(d.writes_for_days(0.5), 1000);
+    }
+
+    #[test]
+    fn fractional_carry_sums_exactly() {
+        let mut d = AgingDriver::new(1.0, 3); // 3 writes/day
+        let total: u64 = (0..30).map(|_| d.writes_for_days(0.1)).sum();
+        assert_eq!(total, 9); // 3 days × 3 writes
+    }
+
+    #[test]
+    fn full_write_days() {
+        let d = AgingDriver::new(0.5, 1000);
+        assert_eq!(d.days_for_full_writes(1.0), 2.0);
+        assert_eq!(d.days_for_full_writes(3000.0), 6000.0);
+    }
+
+    #[test]
+    fn capacity_change_shrinks_budget() {
+        let mut d = AgingDriver::new(1.0, 1000);
+        d.set_capacity(500);
+        assert_eq!(d.writes_for_days(1.0), 500);
+    }
+}

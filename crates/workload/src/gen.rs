@@ -1,0 +1,272 @@
+//! Address-pattern and operation generators.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Spatial access pattern over a flat oPage address space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Ascending addresses, wrapping at the end.
+    Sequential,
+    /// Uniform random addresses.
+    UniformRandom,
+    /// Zipfian skew with parameter `theta` in (0, 1): higher is more
+    /// skewed. Approximated with the standard power-law inversion.
+    Zipfian {
+        /// Skew parameter; 0.99 is the YCSB default.
+        theta: f64,
+    },
+}
+
+/// Operation type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Read one oPage run.
+    Read,
+    /// Write one oPage run.
+    Write,
+}
+
+/// One generated operation: a run of `len` consecutive oPages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Op {
+    /// Read or write.
+    pub kind: OpKind,
+    /// First oPage address.
+    pub addr: u64,
+    /// Run length in oPages (≥ 1).
+    pub len: u32,
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Address space size in oPages.
+    pub opages: u64,
+    /// Spatial pattern.
+    pub pattern: AccessPattern,
+    /// Fraction of operations that are writes, in `[0, 1]`.
+    pub write_fraction: f64,
+    /// Run length per op in oPages (e.g. 4 = 16 KiB ops on 4 KiB oPages).
+    pub op_len: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// A write-only uniform-random workload — the standard endurance
+    /// stressor (worst case for wear).
+    pub fn write_churn(opages: u64, seed: u64) -> Self {
+        WorkloadConfig {
+            opages,
+            pattern: AccessPattern::UniformRandom,
+            write_fraction: 1.0,
+            op_len: 1,
+            seed,
+        }
+    }
+}
+
+/// A deterministic, infinite operation generator.
+///
+/// # Examples
+///
+/// ```
+/// use salamander_workload::gen::{AccessPattern, Workload, WorkloadConfig};
+///
+/// let mut w = Workload::new(WorkloadConfig {
+///     opages: 1000,
+///     pattern: AccessPattern::Sequential,
+///     write_fraction: 1.0,
+///     op_len: 4,
+///     seed: 7,
+/// });
+/// let a = w.next_op();
+/// let b = w.next_op();
+/// assert_eq!(b.addr, a.addr + 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Workload {
+    cfg: WorkloadConfig,
+    rng: ChaCha8Rng,
+    cursor: u64,
+    /// Precomputed zipfian normalization (zeta) when applicable.
+    zipf_zeta: f64,
+}
+
+impl Workload {
+    /// Build a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opages == 0` or `op_len == 0`.
+    pub fn new(cfg: WorkloadConfig) -> Self {
+        assert!(cfg.opages > 0, "empty address space");
+        assert!(cfg.op_len > 0, "zero op length");
+        let zipf_zeta = match cfg.pattern {
+            AccessPattern::Zipfian { theta } => {
+                // Approximate zeta for large n: n^(1-theta)/(1-theta).
+                let n = cfg.opages as f64;
+                n.powf(1.0 - theta) / (1.0 - theta)
+            }
+            _ => 0.0,
+        };
+        Workload {
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+            cursor: 0,
+            cfg,
+            zipf_zeta,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.cfg
+    }
+
+    /// Generate the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let kind = if self.rng.gen_bool(self.cfg.write_fraction.clamp(0.0, 1.0)) {
+            OpKind::Write
+        } else {
+            OpKind::Read
+        };
+        let addr = match self.cfg.pattern {
+            AccessPattern::Sequential => {
+                let a = self.cursor;
+                self.cursor = (self.cursor + self.cfg.op_len as u64) % self.cfg.opages;
+                a
+            }
+            AccessPattern::UniformRandom => self.rng.gen_range(0..self.cfg.opages),
+            AccessPattern::Zipfian { theta } => self.zipf(theta),
+        };
+        // Clamp the run to the end of the address space.
+        let len = self
+            .cfg
+            .op_len
+            .min((self.cfg.opages - addr).min(u32::MAX as u64) as u32)
+            .max(1);
+        Op { kind, addr, len }
+    }
+
+    /// Power-law inversion: rank ≈ (u · zeta · (1−θ))^(1/(1−θ)).
+    fn zipf(&mut self, theta: f64) -> u64 {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let rank = (u * self.zipf_zeta * (1.0 - theta)).powf(1.0 / (1.0 - theta));
+        (rank as u64).min(self.cfg.opages - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(pattern: AccessPattern) -> WorkloadConfig {
+        WorkloadConfig {
+            opages: 10_000,
+            pattern,
+            write_fraction: 0.5,
+            op_len: 1,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn sequential_wraps() {
+        let mut w = Workload::new(WorkloadConfig {
+            opages: 10,
+            pattern: AccessPattern::Sequential,
+            write_fraction: 1.0,
+            op_len: 4,
+            seed: 0,
+        });
+        let addrs: Vec<u64> = (0..6).map(|_| w.next_op().addr).collect();
+        assert_eq!(addrs, vec![0, 4, 8, 2, 6, 0]);
+    }
+
+    #[test]
+    fn uniform_covers_space() {
+        let mut w = Workload::new(cfg(AccessPattern::UniformRandom));
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..5000 {
+            let a = w.next_op().addr;
+            assert!(a < 10_000);
+            if a < 1000 {
+                seen_low = true;
+            }
+            if a >= 9000 {
+                seen_high = true;
+            }
+        }
+        assert!(seen_low && seen_high);
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let mut w = Workload::new(cfg(AccessPattern::Zipfian { theta: 0.99 }));
+        let mut hot = 0u32;
+        let n = 20_000;
+        for _ in 0..n {
+            if w.next_op().addr < 100 {
+                hot += 1;
+            }
+        }
+        // The hottest 1% of the space should draw far more than 1% of ops.
+        assert!(
+            hot as f64 / n as f64 > 0.10,
+            "hot fraction {}",
+            hot as f64 / n as f64
+        );
+    }
+
+    #[test]
+    fn write_fraction_respected() {
+        let mut w = Workload::new(WorkloadConfig {
+            write_fraction: 0.7,
+            ..cfg(AccessPattern::UniformRandom)
+        });
+        let n = 10_000;
+        let writes = (0..n).filter(|_| w.next_op().kind == OpKind::Write).count();
+        let frac = writes as f64 / n as f64;
+        assert!((frac - 0.7).abs() < 0.03, "write fraction {frac}");
+    }
+
+    #[test]
+    fn runs_clamped_at_end() {
+        let mut w = Workload::new(WorkloadConfig {
+            opages: 10,
+            pattern: AccessPattern::Sequential,
+            write_fraction: 1.0,
+            op_len: 4,
+            seed: 0,
+        });
+        for _ in 0..10 {
+            let op = w.next_op();
+            assert!(op.addr + op.len as u64 <= 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut w = Workload::new(WorkloadConfig {
+                seed,
+                ..cfg(AccessPattern::Zipfian { theta: 0.9 })
+            });
+            (0..100).map(|_| w.next_op()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty address space")]
+    fn zero_space_panics() {
+        Workload::new(WorkloadConfig {
+            opages: 0,
+            ..cfg(AccessPattern::Sequential)
+        });
+    }
+}

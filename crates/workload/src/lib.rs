@@ -1,0 +1,22 @@
+//! Workload generation for the Salamander reproduction.
+//!
+//! Provides the I/O patterns the paper's analysis assumes:
+//!
+//! - [`gen`] — address-pattern generators: sequential, uniform random, and
+//!   zipfian (hot/cold skew), with configurable read/write mixes and
+//!   operation sizes.
+//! - [`aging`] — DWPD-style aging: the paper reasons about device lifetime
+//!   in *drive writes per day*; the aging driver converts a DWPD target
+//!   into a daily oPage write budget.
+//! - [`trace`] — a small serde-serializable trace format so experiments
+//!   can be recorded and replayed deterministically.
+
+pub mod aging;
+pub mod gen;
+pub mod profiles;
+pub mod trace;
+
+pub use aging::AgingDriver;
+pub use gen::{AccessPattern, Op, OpKind, Workload, WorkloadConfig};
+pub use profiles::Profile;
+pub use trace::{Trace, TraceOp};

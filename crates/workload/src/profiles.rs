@@ -1,0 +1,136 @@
+//! Named workload profiles.
+//!
+//! The paper's sustainability argument spans heterogeneous datacenter
+//! tenants — §1 notes "many users and applications that are more
+//! sensitive to cost or environmental concerns than latency". These
+//! profiles give the benches realistic, named mixes to compare device
+//! lifetime and write amplification across, instead of a single synthetic
+//! churn.
+
+use crate::gen::{AccessPattern, WorkloadConfig};
+use serde::{Deserialize, Serialize};
+
+/// A named I/O profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Profile {
+    /// Key-value cache tier: zipfian, write-heavy, small ops.
+    KvCache,
+    /// Log-structured ingest: sequential writes, rare reads.
+    LogIngest,
+    /// Object store: uniform large writes, read-mostly.
+    ObjectStore,
+    /// OLTP-ish: zipfian, balanced read/write, small ops.
+    Oltp,
+    /// Archival: sequential large writes, almost no rewrites.
+    Archive,
+}
+
+impl Profile {
+    /// Every profile.
+    pub const ALL: [Profile; 5] = [
+        Profile::KvCache,
+        Profile::LogIngest,
+        Profile::ObjectStore,
+        Profile::Oltp,
+        Profile::Archive,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::KvCache => "kv-cache",
+            Profile::LogIngest => "log-ingest",
+            Profile::ObjectStore => "object-store",
+            Profile::Oltp => "oltp",
+            Profile::Archive => "archive",
+        }
+    }
+
+    /// The generator configuration over an address space of `opages`.
+    pub fn config(self, opages: u64, seed: u64) -> WorkloadConfig {
+        match self {
+            Profile::KvCache => WorkloadConfig {
+                opages,
+                pattern: AccessPattern::Zipfian { theta: 0.99 },
+                write_fraction: 0.7,
+                op_len: 1,
+                seed,
+            },
+            Profile::LogIngest => WorkloadConfig {
+                opages,
+                pattern: AccessPattern::Sequential,
+                write_fraction: 0.95,
+                op_len: 4,
+                seed,
+            },
+            Profile::ObjectStore => WorkloadConfig {
+                opages,
+                pattern: AccessPattern::UniformRandom,
+                write_fraction: 0.2,
+                op_len: 8,
+                seed,
+            },
+            Profile::Oltp => WorkloadConfig {
+                opages,
+                pattern: AccessPattern::Zipfian { theta: 0.9 },
+                write_fraction: 0.5,
+                op_len: 1,
+                seed,
+            },
+            Profile::Archive => WorkloadConfig {
+                opages,
+                pattern: AccessPattern::Sequential,
+                write_fraction: 0.99,
+                op_len: 16,
+                seed,
+            },
+        }
+    }
+
+    /// Whether the profile is latency-critical (the paper: such tenants
+    /// "would prefer to lose storage rather than slow it down" — they
+    /// favor ShrinkS; the rest can take RegenS's bandwidth trade).
+    pub fn latency_critical(self) -> bool {
+        matches!(self, Profile::KvCache | Profile::Oltp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{OpKind, Workload};
+
+    #[test]
+    fn profiles_produce_distinct_mixes() {
+        let mut write_fracs = Vec::new();
+        for p in Profile::ALL {
+            let mut w = Workload::new(p.config(10_000, 1));
+            let n = 4000;
+            let writes = (0..n).filter(|_| w.next_op().kind == OpKind::Write).count();
+            write_fracs.push((p, writes as f64 / n as f64));
+        }
+        // Each profile lands near its configured write fraction.
+        for (p, frac) in &write_fracs {
+            let want = p.config(10_000, 1).write_fraction;
+            assert!(
+                (frac - want).abs() < 0.05,
+                "{}: measured {frac}, want {want}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = Profile::ALL.iter().map(|p| p.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), Profile::ALL.len());
+    }
+
+    #[test]
+    fn latency_critical_classification() {
+        assert!(Profile::KvCache.latency_critical());
+        assert!(!Profile::Archive.latency_critical());
+    }
+}

@@ -1,0 +1,140 @@
+//! Trace recording and replay.
+//!
+//! Experiments can record the exact operation stream they issued and replay
+//! it later (or on a different FTL personality) for apples-to-apples
+//! comparisons. Traces serialize as JSON lines via serde.
+
+use crate::gen::{Op, OpKind};
+use serde::{Deserialize, Serialize};
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceOp {
+    /// Simulated time of issue (days).
+    pub at_days: f64,
+    /// Read or write.
+    pub kind: OpKind,
+    /// First oPage address.
+    pub addr: u64,
+    /// Run length in oPages.
+    pub len: u32,
+}
+
+impl From<(f64, Op)> for TraceOp {
+    fn from((at_days, op): (f64, Op)) -> Self {
+        TraceOp {
+            at_days,
+            kind: op.kind,
+            addr: op.addr,
+            len: op.len,
+        }
+    }
+}
+
+/// An in-memory trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Records in issue order.
+    pub ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one record.
+    pub fn record(&mut self, at_days: f64, op: Op) {
+        self.ops.push((at_days, op).into());
+    }
+
+    /// Serialize as JSON-lines (one record per line).
+    pub fn to_jsonl(&self) -> String {
+        self.ops
+            .iter()
+            .map(|op| serde_json::to_string(op).expect("trace op serializes"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Parse a JSON-lines trace. Blank lines are skipped.
+    pub fn from_jsonl(s: &str) -> Result<Self, serde_json::Error> {
+        let mut ops = Vec::new();
+        for line in s.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            ops.push(serde_json::from_str(line)?);
+        }
+        Ok(Trace { ops })
+    }
+
+    /// Total oPages written in the trace.
+    pub fn written_opages(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Write)
+            .map(|o| o.len as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{AccessPattern, Workload, WorkloadConfig};
+
+    #[test]
+    fn jsonl_round_trip() {
+        let mut w = Workload::new(WorkloadConfig {
+            opages: 100,
+            pattern: AccessPattern::UniformRandom,
+            write_fraction: 0.5,
+            op_len: 2,
+            seed: 1,
+        });
+        let mut t = Trace::new();
+        for i in 0..20 {
+            // Binary-exact timestamps so JSON round-trips bit-for-bit.
+            t.record(i as f64 * 0.25, w.next_op());
+        }
+        let text = t.to_jsonl();
+        let back = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let t = Trace::from_jsonl("\n\n").unwrap();
+        assert!(t.ops.is_empty());
+    }
+
+    #[test]
+    fn bad_json_rejected() {
+        assert!(Trace::from_jsonl("{not json}").is_err());
+    }
+
+    #[test]
+    fn written_opages_counts_writes_only() {
+        let mut t = Trace::new();
+        t.record(
+            0.0,
+            Op {
+                kind: OpKind::Write,
+                addr: 0,
+                len: 4,
+            },
+        );
+        t.record(
+            0.0,
+            Op {
+                kind: OpKind::Read,
+                addr: 0,
+                len: 8,
+            },
+        );
+        assert_eq!(t.written_opages(), 4);
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: open a Salamander SSD, write and read data, watch it
+//! shrink and regenerate as the flash wears out.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use salamander::config::{Mode, SsdConfig};
+use salamander::device::{HostEvent, SalamanderSsd};
+
+fn main() {
+    // A small fast-wear device so the whole lifecycle fits in seconds.
+    let mut ssd = SalamanderSsd::open(SsdConfig::small_test().mode(Mode::Regen).seed(42));
+    println!(
+        "device online: {} minidisks x {} KiB = {} KiB logical capacity",
+        ssd.minidisks().len(),
+        ssd.minidisk_lbas(ssd.minidisks()[0]).unwrap() * 4,
+        ssd.capacity_bytes() / 1024,
+    );
+
+    // Ordinary I/O: write a page, read it back.
+    let disk = ssd.minidisks()[0];
+    let page = vec![0xC0u8; ssd.opage_bytes()];
+    ssd.write(disk, 0, Some(&page)).unwrap();
+    assert_eq!(ssd.read(disk, 0).unwrap().as_deref(), Some(&page[..]));
+    println!("wrote and read back one 4 KiB oPage on minidisk {:?}", disk);
+
+    // Now age the device with synthetic churn and narrate its lifecycle.
+    let mut state = 0xDEADBEEFu64;
+    let mut writes: u64 = 0;
+    while !ssd.is_dead() {
+        let mdisks = ssd.minidisks();
+        if mdisks.is_empty() {
+            break;
+        }
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let id = mdisks[(state as usize / 7) % mdisks.len()];
+        let lbas = ssd.minidisk_lbas(id).unwrap();
+        if ssd.write(id, (state % lbas as u64) as u32, None).is_ok() {
+            writes += 1;
+        }
+        for e in ssd.poll_events() {
+            match e {
+                HostEvent::MinidiskFailed { id, valid_lbas, .. } => println!(
+                    "[{writes:>8} writes] minidisk {id:?} decommissioned ({valid_lbas} live LBAs to re-replicate)"
+                ),
+                HostEvent::MinidiskPurged { id } => println!(
+                    "[{writes:>8} writes] minidisk {id:?} purged before acknowledgement"
+                ),
+                HostEvent::MinidiskCreated { id, level } => println!(
+                    "[{writes:>8} writes] minidisk {id:?} REGENERATED at tiredness {level:?}"
+                ),
+                HostEvent::DeviceFailed => {
+                    println!("[{writes:>8} writes] device fully worn out")
+                }
+                HostEvent::UnrecoverableRead { id, lba } => {
+                    println!("[{writes:>8} writes] uncorrectable read {id:?}/{lba}")
+                }
+            }
+        }
+    }
+    let s = ssd.stats();
+    println!(
+        "\nlifetime summary: {} host writes, WA {:.2}, {} decommissions, {} regenerations",
+        s.host_writes,
+        s.write_amplification().unwrap_or(1.0),
+        s.mdisks_decommissioned,
+        s.mdisks_regenerated,
+    );
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the Salamander reproduction workspace.
+//!
+//! This crate exists to host the cross-crate integration tests in `tests/`
+//! and the runnable examples in `examples/`. The actual library surface
+//! lives in the member crates, re-exported here for convenience.
+
+pub use salamander;
+pub use salamander_difs as difs;
+pub use salamander_ecc as ecc;
+pub use salamander_flash as flash;
+pub use salamander_fleet as fleet;
+pub use salamander_ftl as ftl;
+pub use salamander_sustain as sustain;
+pub use salamander_workload as workload;

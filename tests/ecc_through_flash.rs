@@ -1,0 +1,182 @@
+//! Cross-validation: the real BCH codec against the capability model,
+//! through a real flash page.
+//!
+//! The FTL's read path decides correctable-vs-uncorrectable with the
+//! closed-form capability model (`t` errors per chunk). This test drives
+//! actual BCH codewords through a worn flash page and verifies that the
+//! model's boundary is exactly the codec's: ≤ t injected errors decode,
+//! > t are detected.
+
+use salamander_ecc::bch::Bch;
+use salamander_ecc::capability::{max_correctable_rber, page_uber};
+use salamander_flash::array::FlashArray;
+use salamander_flash::errors::BitFlipper;
+use salamander_flash::geometry::FlashGeometry;
+use salamander_flash::rber::RberModel;
+
+/// Pack bools into bytes (LSB-first within each byte).
+fn pack(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+/// Unpack bytes into `n` bools.
+fn unpack(bytes: &[u8], n: usize) -> Vec<bool> {
+    (0..n).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect()
+}
+
+#[test]
+fn bch_codeword_survives_flash_storage() {
+    // The paper's L0 chunk: 1 KiB data, 128 B parity, t = 73.
+    let code = Bch::new_shortened(14, 73, 8192).unwrap();
+    let geom = FlashGeometry::small_test();
+    let mut flash = FlashArray::new(geom, RberModel::fast_wear().no_variance(), 17);
+    let fp = geom.fpage_addr(0, 0, 0);
+    let blk = geom.block_of(fp);
+
+    // Wear the block so reads inject a meaningful number of raw errors,
+    // but stay below the code's capability across the whole page.
+    for _ in 0..30 {
+        flash.program(fp, None).unwrap();
+        flash.erase(blk).unwrap();
+    }
+
+    // Build a page image holding one codeword at the front.
+    let data: Vec<bool> = (0..code.data_bits()).map(|i| (i * 7) % 3 == 0).collect();
+    let cw = code.encode(&data);
+    let mut page = pack(&cw);
+    page.resize((geom.fpage_data_bytes + geom.fpage_spare_bytes) as usize, 0);
+    flash.program(fp, Some(&page)).unwrap();
+
+    let out = flash.read(fp).unwrap();
+    let corrupted = out.data.unwrap();
+    let mut received = unpack(&corrupted, code.codeword_bits());
+    // Count how many errors landed inside the codeword region.
+    let landed: usize = cw.iter().zip(&received).filter(|(a, b)| a != b).count();
+    let decoded = code.decode(&mut received);
+    if landed <= 73 {
+        assert_eq!(decoded, Ok(landed), "codec corrects exactly what landed");
+        assert_eq!(&received[..code.data_bits()], &data[..]);
+    } else {
+        assert!(decoded.is_err(), "beyond capability must be detected");
+    }
+}
+
+#[test]
+fn capability_boundary_matches_codec_exactly() {
+    let code = Bch::new_shortened(13, 24, 4096).unwrap();
+    let data: Vec<bool> = (0..code.data_bits()).map(|i| i % 2 == 0).collect();
+    let clean = code.encode(&data);
+    let mut flipper = BitFlipper::new(3);
+    // At exactly t errors the codec always succeeds; at t+1 it must not
+    // silently miscorrect back to the original.
+    for trial in 0..20 {
+        let mut cw = clean.clone();
+        let pos = flipper.draw_positions(24, code.codeword_bits() as u64);
+        for &p in &pos {
+            cw[p as usize] = !cw[p as usize];
+        }
+        assert_eq!(code.decode(&mut cw), Ok(24), "trial {trial}");
+        assert_eq!(cw, clean);
+
+        let mut cw = clean.clone();
+        let pos = flipper.draw_positions(25, code.codeword_bits() as u64);
+        for &p in &pos {
+            cw[p as usize] = !cw[p as usize];
+        }
+        match code.decode(&mut cw) {
+            Err(_) => {}
+            Ok(_) => assert_ne!(cw, clean, "t+1 errors cannot decode to the original"),
+        }
+    }
+}
+
+#[test]
+fn model_uber_predicts_codec_failure_rate_direction() {
+    // At an RBER well below the model's max, the codec virtually never
+    // fails; well above, it fails often. Uses a small code so the
+    // statistics are cheap.
+    let code = Bch::new_shortened(12, 12, 2048).unwrap();
+    let n = code.codeword_bits() as u64;
+    let safe_rber = max_correctable_rber(n, 12, 1e-9);
+    let data: Vec<bool> = (0..code.data_bits()).map(|i| i % 3 == 0).collect();
+    let clean = code.encode(&data);
+
+    let run = |rber: f64, trials: u32| -> u32 {
+        let mut flipper = BitFlipper::new(42);
+        let mut failures = 0;
+        for _ in 0..trials {
+            let mut cw = clean.clone();
+            let count = flipper.draw_error_count(rber, n);
+            let pos = flipper.draw_positions(count, n);
+            for &p in &pos {
+                cw[p as usize] = !cw[p as usize];
+            }
+            if code.decode(&mut cw) != Ok(count as usize) {
+                failures += 1;
+            }
+        }
+        failures
+    };
+
+    assert_eq!(run(safe_rber, 200), 0, "below the boundary: no failures");
+    let heavy = run(safe_rber * 8.0, 200);
+    assert!(
+        heavy > 20,
+        "well above the boundary: frequent failures ({heavy})"
+    );
+    // And the model agrees directionally.
+    assert!(page_uber(n, 12, safe_rber) < 1e-8);
+    assert!(page_uber(n, 12, safe_rber * 8.0) > 1e-3);
+}
+
+#[test]
+fn full_page_codec_through_worn_flash() {
+    use salamander_ecc::page_codec::PageCodec;
+    use salamander_ecc::profile::{EccConfig, Tiredness};
+
+    // A flash geometry whose pages match a small codec layout (4 KiB data
+    // + 512 B spare, 1 KiB oPages).
+    let geom = FlashGeometry {
+        chips: 1,
+        blocks_per_chip: 4,
+        fpages_per_block: 8,
+        fpage_data_bytes: 4096,
+        fpage_spare_bytes: 512,
+        opage_bytes: 1024,
+    };
+    let ecc = EccConfig {
+        fpage_data_bytes: 4096,
+        fpage_spare_bytes: 512,
+        opage_bytes: 1024,
+        chunk_data_bytes: 1024,
+        target_page_uber: 1e-15,
+    };
+    let codec = PageCodec::new(ecc).unwrap();
+    let mut flash = FlashArray::new(geom, RberModel::fast_wear().no_variance(), 23);
+    let fp = geom.fpage_addr(0, 0, 0);
+    let blk = geom.block_of(fp);
+    // Wear to a meaningful-but-correctable RBER.
+    for _ in 0..25 {
+        flash.program(fp, None).unwrap();
+        flash.erase(blk).unwrap();
+    }
+    // Encode four oPages with real parity, store, read back corrupted,
+    // decode: the data must survive the injected errors.
+    let opages: Vec<Vec<u8>> = (0..4).map(|i| vec![0x30 + i as u8; 1024]).collect();
+    let refs: Vec<&[u8]> = opages.iter().map(|o| o.as_slice()).collect();
+    let encoded = codec.encode_page(Tiredness::L0, &refs).unwrap();
+    flash.program(fp, Some(&encoded)).unwrap();
+    let out = flash.read(fp).unwrap();
+    assert!(out.raw_bit_errors > 0, "worn page should inject errors");
+    let decoded = codec
+        .decode_page(Tiredness::L0, &out.data.unwrap())
+        .expect("within capability at this wear level");
+    assert_eq!(decoded.opages, opages);
+    assert_eq!(decoded.corrected_bits as u64, out.raw_bit_errors);
+}

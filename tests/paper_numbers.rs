@@ -1,0 +1,110 @@
+//! The paper's headline numbers as executable assertions. Each test names
+//! the claim it checks; tolerances reflect that our substrate is a
+//! calibrated simulator, not the authors' (nonexistent) testbed — the
+//! *shape* (who wins, rough factors) is what must hold.
+
+use salamander::config::{Mode, SsdConfig};
+use salamander::sim::EnduranceSim;
+use salamander_ecc::profile::EccConfig;
+use salamander_flash::rber::RberModel;
+use salamander_fleet::perf;
+use salamander_sustain::carbon::CarbonParams;
+use salamander_sustain::tco::TcoParams;
+
+#[test]
+fn fig2_l1_lifetime_benefit_about_fifty_percent() {
+    // §4: "a 50% potential lifetime benefit for L1".
+    let cfg = EccConfig::default();
+    let rber = RberModel::default();
+    let benefit = cfg.lifetime_benefit(rber.exponent);
+    let l1 = benefit[1].1;
+    assert!((1.35..=1.65).contains(&l1), "L1 benefit {l1}");
+}
+
+#[test]
+fn fig2_diminishing_returns_justify_l2_cap() {
+    // §4: "realistically, RegenS should limit itself to L < 2".
+    let cfg = EccConfig::default();
+    let b = cfg.lifetime_benefit(RberModel::default().exponent);
+    let marginal_l1 = b[1].1 / b[0].1 - 1.0;
+    let marginal_l2 = b[2].1 / b[1].1 - 1.0;
+    assert!(
+        marginal_l2 < marginal_l1 / 2.0,
+        "L2's marginal gain ({marginal_l2:.2}) should be well under half of L1's ({marginal_l1:.2})"
+    );
+}
+
+#[test]
+fn native_code_rate_is_88_percent() {
+    // §1: "A typical flash page spare code rate is 88%".
+    let p = EccConfig::default().profiles();
+    assert!((p[0].code_rate - 0.888).abs() < 0.01);
+}
+
+#[test]
+fn headline_lifetime_ordering_baseline_shrink_regen() {
+    // §4: ShrinkS ≥ ~1.2x (CVSS floor), RegenS beyond. End-to-end device
+    // lifetime additionally credits shrinking (writes accepted after a
+    // baseline would have bricked), so the ratios exceed the paper's
+    // PEC-level estimates; the ordering and the ≥1.2x floor are the claim.
+    let results = EnduranceSim::compare_modes(SsdConfig::small_test());
+    let base = results[0].host_opages_written as f64;
+    let shrink = results[1].host_opages_written as f64 / base;
+    let regen = results[2].host_opages_written as f64 / base;
+    assert!(shrink >= 1.2, "ShrinkS {shrink:.2}x");
+    assert!(regen > shrink, "RegenS {regen:.2}x vs ShrinkS {shrink:.2}x");
+}
+
+#[test]
+fn carbon_savings_bands() {
+    // §4.1: "3–8% CO2e savings in current designs … 11–20% [renewables]".
+    assert!((0.02..=0.05).contains(&CarbonParams::shrink().savings()));
+    assert!((0.06..=0.10).contains(&CarbonParams::regen().savings()));
+    assert!((0.08..=0.13).contains(&CarbonParams::shrink().savings_renewable()));
+    assert!((0.17..=0.22).contains(&CarbonParams::regen().savings_renewable()));
+}
+
+#[test]
+fn tco_savings_bands() {
+    // §4.4: "13% and 25% cost savings for ShrinkS and RegenS".
+    assert!((0.11..=0.15).contains(&TcoParams::shrink().savings()));
+    assert!((0.22..=0.28).contains(&TcoParams::regen().savings()));
+    // "if we assume half the cost is operational … 6–14%".
+    assert!((0.05..=0.16).contains(&TcoParams::shrink().with_opex(0.5).savings()));
+    assert!((0.05..=0.16).contains(&TcoParams::regen().with_opex(0.5).savings()));
+}
+
+#[test]
+fn perf_degradation_25_percent_at_l1() {
+    // §4.2: "sequential access throughput … degrades by a factor of
+    // 4/(4−L) … e.g., 25% reduction for L1"; small accesses unaffected.
+    assert!((perf::seq_throughput_rel(1.0) - 0.75).abs() < 1e-9);
+    assert!((perf::large_random_latency_rel(1.0) - 4.0 / 3.0).abs() < 1e-9);
+    assert_eq!(perf::small_random_latency_rel(1.0), 1.0);
+}
+
+#[test]
+fn baseline_bricks_at_2_5_percent_bad_blocks() {
+    // §2: firmware stops functioning past a threshold of worn-out blocks
+    // "(e.g., 2.5%)". Verify the configured default and the behaviour.
+    let cfg = SsdConfig::small_test().mode(Mode::Baseline);
+    assert_eq!(cfg.ftl_config().bad_block_limit, 0.025);
+    let r = EnduranceSim::new(cfg).run();
+    // The baseline dies with its full capacity still committed — the
+    // "considerable lifetime potential left" the paper laments.
+    let before_death = &r.timeline[r.timeline.len() - 2];
+    assert_eq!(before_death.minidisks, 1);
+    assert!(before_death.committed_lbas > 0);
+}
+
+#[test]
+fn minidisk_failure_granularity_matches_msize() {
+    // §1's example: failures are exposed in minidisk-sized units rather
+    // than whole-device units.
+    let r = EnduranceSim::new(SsdConfig::small_test().mode(Mode::Shrink)).run();
+    let msize_lbas = 256 * 1024 / 4096u64;
+    for w in r.timeline.windows(2) {
+        let drop = w[0].committed_lbas - w[1].committed_lbas;
+        assert_eq!(drop % msize_lbas, 0, "capacity drops in whole minidisks");
+    }
+}
