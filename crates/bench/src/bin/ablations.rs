@@ -8,6 +8,7 @@
 use salamander::config::{Mode, SsdConfig};
 use salamander::report::{fmt, Table};
 use salamander_bench::emit;
+use salamander_exec::{par_map, Threads};
 use salamander_ftl::ftl::Ftl;
 use salamander_ftl::types::{FtlConfig, FtlError, FtlMode, Lba};
 
@@ -51,13 +52,16 @@ fn main() {
         "Ablation — hot/cold write-stream separation (skewed workload)",
         &["separation", "write amplification"],
     );
-    for (label, sep) in [("on", true), ("off", false)] {
+    let separations = [("on", true), ("off", false)];
+    for row in par_map(Threads::Auto, &separations, |_, &(label, sep)| {
         let mut cfg = FtlConfig::small_test(FtlMode::Shrink);
         cfg.rber = salamander_flash::rber::RberModel::default();
         cfg.hot_cold_separation = sep;
         let mut ftl = Ftl::new(cfg);
         let (_, wa) = skewed_churn(&mut ftl, 150_000, 1.0, 7);
-        t1.row(vec![label.to_string(), fmt(wa, 3)]);
+        vec![label.to_string(), fmt(wa, 3)]
+    }) {
+        t1.row(row);
     }
     emit("ablation_hotcold", &t1);
 
@@ -68,7 +72,8 @@ fn main() {
         "Ablation — lifetime vs space utilization (ShrinkS, uniform churn)",
         &["utilization", "host writes to death", "WA at death"],
     );
-    for util in [0.5, 0.7, 0.9, 1.0] {
+    let utils = [0.5, 0.7, 0.9, 1.0];
+    for row in par_map(Threads::Auto, &utils, |_, &util| {
         let cfg = FtlConfig::small_test(FtlMode::Shrink);
         let mut ftl = Ftl::new(cfg);
         let mut state = 11u64;
@@ -90,11 +95,13 @@ fn main() {
                 Err(_) => {}
             }
         }
-        t2.row(vec![
+        vec![
             format!("{:.0}%", util * 100.0),
             written.to_string(),
             fmt(ftl.stats().write_amplification().unwrap_or(1.0), 2),
-        ]);
+        ]
+    }) {
+        t2.row(row);
     }
     emit("ablation_utilization", &t2);
 
@@ -104,11 +111,12 @@ fn main() {
         "Ablation — grace-period decommissioning (ShrinkS)",
         &["policy", "host writes to death", "purged minidisks"],
     );
-    for (label, grace, ack) in [
+    let policies = [
         ("immediate drop", false, false),
         ("grace + prompt ack", true, true),
         ("grace, never acked", true, false),
-    ] {
+    ];
+    for row in par_map(Threads::Auto, &policies, |_, &(label, grace, ack)| {
         let mut cfg = FtlConfig::small_test(FtlMode::Shrink);
         cfg.decommission_grace = grace;
         let mut ftl = Ftl::new(cfg);
@@ -140,11 +148,9 @@ fn main() {
             .iter()
             .filter(|e| matches!(e, salamander_ftl::types::FtlEvent::MdiskPurged { .. }))
             .count();
-        t3.row(vec![
-            label.to_string(),
-            written.to_string(),
-            purged.to_string(),
-        ]);
+        vec![label.to_string(), written.to_string(), purged.to_string()]
+    }) {
+        t3.row(row);
     }
     emit("ablation_grace", &t3);
 
@@ -155,7 +161,8 @@ fn main() {
         "Ablation — read retries per 1k reads over a device lifetime",
         &["mode", "reads", "retries", "retries/1k reads"],
     );
-    for mode in [Mode::Baseline, Mode::Shrink, Mode::Regen] {
+    let modes = [Mode::Baseline, Mode::Shrink, Mode::Regen];
+    for row in par_map(Threads::Auto, &modes, |_, &mode| {
         let cfg = SsdConfig::small_test().mode(mode);
         let mut ftl = Ftl::new(*cfg.ftl_config());
         let mut state = 17u64;
@@ -176,7 +183,7 @@ fn main() {
             let _ = ftl.read(id, lba);
         }
         let s = ftl.stats();
-        t4.row(vec![
+        vec![
             mode.name().to_string(),
             s.host_reads.to_string(),
             s.read_retries.to_string(),
@@ -184,7 +191,9 @@ fn main() {
                 s.read_retries as f64 * 1000.0 / s.host_reads.max(1) as f64,
                 1,
             ),
-        ]);
+        ]
+    }) {
+        t4.row(row);
     }
     emit("ablation_retries", &t4);
     println!(

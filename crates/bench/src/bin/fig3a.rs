@@ -7,6 +7,7 @@
 use salamander::report::Table;
 use salamander_bench::{arg_or, emit};
 use salamander_ecc::profile::Tiredness;
+use salamander_exec::{par_map, Threads};
 use salamander_fleet::device::{StatDeviceConfig, StatMode};
 use salamander_fleet::sim::{FleetConfig, FleetSim, FleetTimeline};
 
@@ -41,10 +42,11 @@ fn main() {
             },
         ),
     ];
-    let runs: Vec<(&str, FleetTimeline)> = modes
-        .iter()
-        .map(|(name, m)| (*name, run(*m, devices, dwpd, horizon, seed)))
-        .collect();
+    // The three fleets are independent; fan out on the exec engine
+    // (thread count from SALAMANDER_THREADS, deterministic output).
+    let runs: Vec<(&str, FleetTimeline)> = par_map(Threads::Auto, &modes, |_, (name, m)| {
+        (*name, run(*m, devices, dwpd, horizon, seed))
+    });
 
     let mut table = Table::new(
         "Fig. 3a — functioning SSDs over time",

@@ -7,6 +7,7 @@
 use salamander::report::{pct, Table};
 use salamander_bench::{arg_or, emit};
 use salamander_ecc::profile::Tiredness;
+use salamander_exec::{par_map, Threads};
 use salamander_fleet::device::{StatDeviceConfig, StatMode};
 use salamander_fleet::sim::{FleetConfig, FleetSim, FleetTimeline};
 
@@ -30,16 +31,22 @@ fn main() {
     let horizon: u32 = arg_or("--days", 3650);
     let seed: u64 = arg_or("--seed", 42);
 
-    let base = run(StatMode::Baseline, devices, dwpd, horizon, seed);
-    let shrink = run(StatMode::Shrink, devices, dwpd, horizon, seed);
-    let regen = run(
+    let modes = [
+        StatMode::Baseline,
+        StatMode::Shrink,
         StatMode::Regen {
             max_level: Tiredness::L1,
         },
-        devices,
-        dwpd,
-        horizon,
-        seed,
+    ];
+    // Three independent fleets: fan out on the exec engine.
+    let mut runs = par_map(Threads::Auto, &modes, |_, &m| {
+        run(m, devices, dwpd, horizon, seed)
+    })
+    .into_iter();
+    let (base, shrink, regen) = (
+        runs.next().unwrap(),
+        runs.next().unwrap(),
+        runs.next().unwrap(),
     );
 
     let mut table = Table::new(

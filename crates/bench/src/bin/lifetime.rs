@@ -13,6 +13,7 @@ use salamander::report::{fmt, Table};
 use salamander::sim::EnduranceSim;
 use salamander_bench::emit;
 use salamander_ecc::profile::Tiredness;
+use salamander_exec::{par_map, Threads};
 use salamander_ftl::types::RetireGranularity;
 
 fn base_cfg() -> SsdConfig {
@@ -65,11 +66,14 @@ fn main() {
         "Ablation — ShrinkS retirement granularity",
         &["granularity", "host writes", "vs baseline"],
     );
-    for (name, g) in [
+    let granularities = [
         ("page (Salamander)", RetireGranularity::Page),
         ("block (CVSS-style)", RetireGranularity::Block),
-    ] {
-        let r = EnduranceSim::new(cfg.mode(Mode::Shrink).retire_granularity(g)).run();
+    ];
+    let gran_runs = par_map(Threads::Auto, &granularities, |_, &(_, g)| {
+        EnduranceSim::new(cfg.mode(Mode::Shrink).retire_granularity(g)).run()
+    });
+    for ((name, _), r) in granularities.iter().zip(&gran_runs) {
         ab1.row(vec![
             name.to_string(),
             r.host_opages_written.to_string(),
@@ -86,9 +90,12 @@ fn main() {
         "Ablation — RegenS tiredness cap",
         &["cap", "host writes", "vs baseline", "marginal gain"],
     );
+    let caps = [Tiredness::L1, Tiredness::L2, Tiredness::L3];
+    let cap_runs = par_map(Threads::Auto, &caps, |_, &cap| {
+        EnduranceSim::new(cfg.mode(Mode::Regen).regen_max_level(cap)).run()
+    });
     let mut prev: Option<u64> = None;
-    for cap in [Tiredness::L1, Tiredness::L2, Tiredness::L3] {
-        let r = EnduranceSim::new(cfg.mode(Mode::Regen).regen_max_level(cap)).run();
+    for (cap, r) in caps.iter().zip(&cap_runs) {
         let marginal = prev
             .map(|p| {
                 format!(

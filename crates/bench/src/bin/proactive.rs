@@ -10,6 +10,7 @@ use salamander::config::{Mode, SsdConfig};
 use salamander::report::{fmt, Table};
 use salamander_bench::{arg_or, emit};
 use salamander_difs::types::DifsConfig;
+use salamander_exec::{par_map_collect, Threads};
 use salamander_fleet::bridge::{ClusterHarness, RecoveryPolicy};
 
 fn run(policy: RecoveryPolicy, bandwidth: u32, seed: u64) -> (u64, u64, u64, u64) {
@@ -51,27 +52,36 @@ fn main() {
             "migration KiB",
         ],
     );
-    for bandwidth in [1u32, 2, 8] {
-        for (label, policy) in [
-            ("reactive", RecoveryPolicy::Reactive),
-            (
-                "proactive",
-                RecoveryPolicy::Proactive {
-                    margin: 2.0,
-                    drain_budget: 8,
-                },
-            ),
-        ] {
-            let (exposure, peak, recovery, migration) = run(policy, bandwidth, seed);
-            table.row(vec![
-                label.to_string(),
-                bandwidth.to_string(),
-                exposure.to_string(),
-                peak.to_string(),
-                fmt(recovery as f64, 0),
-                fmt(migration as f64, 0),
-            ]);
-        }
+    // Full bandwidth × policy cross product, fanned out on the exec
+    // engine (each cell is an independent cluster simulation).
+    let combos: Vec<(u32, &str, RecoveryPolicy)> = [1u32, 2, 8]
+        .into_iter()
+        .flat_map(|bandwidth| {
+            [
+                (bandwidth, "reactive", RecoveryPolicy::Reactive),
+                (
+                    bandwidth,
+                    "proactive",
+                    RecoveryPolicy::Proactive {
+                        margin: 2.0,
+                        drain_budget: 8,
+                    },
+                ),
+            ]
+        })
+        .collect();
+    for row in par_map_collect(Threads::Auto, combos, |_, &(bandwidth, label, policy)| {
+        let (exposure, peak, recovery, migration) = run(policy, bandwidth, seed);
+        vec![
+            label.to_string(),
+            bandwidth.to_string(),
+            exposure.to_string(),
+            peak.to_string(),
+            fmt(recovery as f64, 0),
+            fmt(migration as f64, 0),
+        ]
+    }) {
+        table.row(row);
     }
     emit("proactive", &table);
     println!(

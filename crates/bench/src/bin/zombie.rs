@@ -10,6 +10,7 @@
 use salamander::report::{fmt, Table};
 use salamander_bench::emit;
 use salamander_ecc::profile::Tiredness;
+use salamander_exec::{par_map, Threads};
 use salamander_flash::geometry::FlashGeometry;
 use salamander_flash::voltage::{CellMode, VoltageModel};
 use salamander_fleet::device::{StatDevice, StatDeviceConfig, StatMode};
@@ -64,17 +65,19 @@ fn main() {
         }
         total
     };
-    let plain = run(None);
-    for (label, mode) in [
+    let configs = [
         ("RegenS", None),
         ("RegenS + MLC rebirth", Some(CellMode::Mlc)),
         ("RegenS + SLC rebirth", Some(CellMode::Slc)),
-    ] {
-        let writes = run(mode);
+    ];
+    // Independent device aging runs: fan out on the exec engine.
+    let writes = par_map(Threads::Auto, &configs, |_, &(_, mode)| run(mode));
+    let plain = writes[0];
+    for ((label, _), &w) in configs.iter().zip(&writes) {
         life.row(vec![
             label.to_string(),
-            writes.to_string(),
-            format!("{:.2}x", writes as f64 / plain as f64),
+            w.to_string(),
+            format!("{:.2}x", w as f64 / plain as f64),
         ]);
     }
     emit("zombie_lifetime", &life);

@@ -1,0 +1,41 @@
+//! Multi-thread smoke test for a bench-style seed sweep: the same
+//! fan-out the bin targets use (independent simulations spread over
+//! the exec engine) must produce bit-identical tables at any thread
+//! count.
+
+use salamander_exec::{par_map, Threads};
+use salamander_flash::geometry::FlashGeometry;
+use salamander_fleet::device::{StatDeviceConfig, StatMode};
+use salamander_fleet::sim::{FleetConfig, FleetSim, FleetTimeline};
+
+fn sweep(threads: Threads, seeds: &[u64]) -> Vec<FleetTimeline> {
+    par_map(threads, seeds, |_, &seed| {
+        let device = StatDeviceConfig {
+            geometry: FlashGeometry::small_test(),
+            ..StatDeviceConfig::datacenter(StatMode::Shrink)
+        };
+        FleetSim::new(FleetConfig {
+            device,
+            devices: 8,
+            dwpd: 20.0,
+            dwpd_sigma: 0.25,
+            afr: 0.01,
+            horizon_days: 500,
+            sample_every_days: 25,
+            seed,
+        })
+        // Nested parallelism on purpose: the sweep fans out over seeds
+        // while each fleet fans out over devices.
+        .run_threads(threads)
+    })
+}
+
+#[test]
+fn seed_sweep_is_thread_count_invariant() {
+    let seeds: Vec<u64> = (100..106).collect();
+    let serial = sweep(Threads::fixed(1), &seeds);
+    assert_eq!(serial.len(), seeds.len());
+    for n in [2, 4] {
+        assert_eq!(sweep(Threads::fixed(n), &seeds), serial, "threads={n}");
+    }
+}

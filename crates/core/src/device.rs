@@ -161,6 +161,12 @@ impl SalamanderSsd {
         self.ftl.draining_mdisks()
     }
 
+    /// Whether notifications are waiting in [`Self::poll_events`].
+    /// Allocation-free, for hot loops that only drain on activity.
+    pub fn has_pending_events(&self) -> bool {
+        self.ftl.pending_events() > 0
+    }
+
     /// Drain host notifications.
     pub fn poll_events(&mut self) -> Vec<HostEvent> {
         self.ftl

@@ -8,6 +8,7 @@
 
 use crate::config::{Mode, SsdConfig};
 use crate::device::SalamanderSsd;
+use salamander_exec::Threads;
 use salamander_ftl::types::FtlError;
 use salamander_workload::gen::{OpKind, Workload, WorkloadConfig};
 use serde::{Deserialize, Serialize};
@@ -91,8 +92,16 @@ impl EnduranceSim {
             regenerated: ssd.stats().mdisks_regenerated,
         };
         timeline.push(sample(&ssd, 0));
+        // Cache the active minidisk set instead of re-allocating it on
+        // every write; the FTL surfaces every membership change
+        // (decommission, purge, regeneration) as an event, so the cache
+        // is refreshed exactly when it could have gone stale.
+        let mut mdisks = ssd.minidisks();
         while !ssd.is_dead() && written < self.max_writes {
-            let mdisks = ssd.minidisks();
+            if ssd.has_pending_events() {
+                ssd.poll_events();
+                mdisks = ssd.minidisks();
+            }
             if mdisks.is_empty() {
                 break;
             }
@@ -129,11 +138,20 @@ impl EnduranceSim {
 
     /// Run all three modes on the same geometry/seed and return the
     /// results baseline-first.
+    ///
+    /// The three runs are independent (each owns its device and
+    /// workload stream), so they execute on the [`salamander_exec`]
+    /// engine: results are bit-identical at any thread count.
     pub fn compare_modes(cfg: SsdConfig) -> Vec<EnduranceResult> {
-        Mode::ALL
-            .iter()
-            .map(|&m| EnduranceSim::new(cfg.mode(m)).run())
-            .collect()
+        Self::compare_modes_threads(cfg, Threads::Auto)
+    }
+
+    /// [`Self::compare_modes`] with an explicit thread-count override
+    /// (used by the determinism regression tests).
+    pub fn compare_modes_threads(cfg: SsdConfig, threads: Threads) -> Vec<EnduranceResult> {
+        salamander_exec::par_map(threads, &Mode::ALL, |_, &m| {
+            EnduranceSim::new(cfg.mode(m)).run()
+        })
     }
 }
 
@@ -182,6 +200,15 @@ mod tests {
         let a = EnduranceSim::new(small().mode(Mode::Regen)).run();
         let b = EnduranceSim::new(small().mode(Mode::Regen)).run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compare_modes_parallel_matches_serial() {
+        let serial = EnduranceSim::compare_modes_threads(small(), Threads::fixed(1));
+        for n in [2, 4] {
+            let parallel = EnduranceSim::compare_modes_threads(small(), Threads::fixed(n));
+            assert_eq!(parallel, serial, "threads={n}");
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::device::{StatDevice, StatDeviceConfig};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use salamander_exec::{derive_seed, Threads};
 use serde::{Deserialize, Serialize};
 
 /// Fleet simulation parameters.
@@ -74,24 +75,60 @@ pub struct FleetTimeline {
 }
 
 impl FleetTimeline {
-    /// Day by which half the fleet has died, if within the horizon.
+    /// Day by which at least half the fleet has died, if within the
+    /// horizon.
+    ///
+    /// "Half dead" means `dead >= ceil(n/2)` — written as `2·dead >= n`
+    /// to stay exact for odd fleet sizes (a fleet of 5 reaches
+    /// half-dead at the 3rd death, not the 2nd).
     pub fn half_fleet_dead_day(&self) -> Option<u32> {
         let n = self.samples.first()?.alive;
         self.samples
             .iter()
-            .find(|s| s.alive <= n / 2)
+            .find(|s| 2 * (n - s.alive) >= n)
             .map(|s| s.day)
     }
 
     /// Capacity remaining at `day` as a fraction of initial.
+    ///
+    /// Answers with the most recent sample at or before `day`. Days
+    /// past the final sample are outside the simulated range and
+    /// return `None` — the run ended (horizon or fleet death) and the
+    /// timeline has nothing to say about them.
     pub fn capacity_fraction_at(&self, day: u32) -> Option<f64> {
         let first = self.samples.first()?.capacity_opages as f64;
+        if day > self.samples.last()?.day {
+            return None;
+        }
         self.samples
             .iter()
             .rev()
             .find(|s| s.day <= day)
             .map(|s| s.capacity_opages as f64 / first)
     }
+}
+
+/// What ended one device's service life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeathCause {
+    /// Flash wear-out (brick or fully shrunk).
+    Wear,
+    /// Random (non-wear) failure from the AFR model.
+    Afr,
+}
+
+/// One device's whole-horizon trajectory, reduced to the sampling grid.
+///
+/// Each device is aged on its own derived RNG stream, so trajectories
+/// are mutually independent and can be computed in any order (or in
+/// parallel) with bit-identical results.
+struct DeviceTrack {
+    /// Committed capacity (oPages) at each grid day; 0 after death.
+    caps: Vec<u64>,
+    /// Death day and cause, if the device died within the horizon.
+    death: Option<(u32, DeathCause)>,
+    /// Initial committed capacity.
+    initial: u64,
 }
 
 /// The fleet simulator.
@@ -107,60 +144,110 @@ impl FleetSim {
     }
 
     /// Run to the horizon (or total fleet death) and return the timeline.
+    ///
+    /// Devices fan out over the [`salamander_exec`] engine; see
+    /// [`Self::run_threads`] for the determinism contract.
     pub fn run(&self) -> FleetTimeline {
+        self.run_threads(Threads::Auto)
+    }
+
+    /// [`Self::run`] with an explicit thread-count override.
+    ///
+    /// Every device draws its load jitter and daily AFR coin flips
+    /// from a private ChaCha8 stream seeded with
+    /// `derive_seed(cfg.seed, device_index)`, so the timeline is a
+    /// pure function of the configuration — bit-identical at any
+    /// thread count.
+    pub fn run_threads(&self, threads: Threads) -> FleetTimeline {
         let cfg = &self.cfg;
-        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-        let mut devices: Vec<StatDevice> = (0..cfg.devices)
-            .map(|i| StatDevice::new(cfg.device, cfg.seed.wrapping_add(1 + i as u64)))
+        // Sampling grid: every `sample_every_days`, plus the horizon.
+        let grid: Vec<u32> = (1..=cfg.horizon_days)
+            .filter(|d| d % cfg.sample_every_days == 0 || *d == cfg.horizon_days)
             .collect();
-        let daily_writes: Vec<u64> = devices
-            .iter()
-            .map(|d| {
-                // Per-device load imbalance: lognormal with median 1.
-                let jitter = if cfg.dwpd_sigma > 0.0 {
-                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-                    let u2: f64 = rng.gen_range(0.0..1.0);
-                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-                    (cfg.dwpd_sigma * z).exp()
-                } else {
-                    1.0
-                };
-                (cfg.dwpd * jitter * d.initial_opages() as f64) as u64
-            })
-            .collect();
-        let daily_afr = 1.0 - (1.0 - cfg.afr).powf(1.0 / 365.0);
-        let mut wear_deaths = 0u32;
-        let mut afr_deaths = 0u32;
-        let mut samples = Vec::new();
-        let sample = |day: u32, devs: &[StatDevice], wd: u32, ad: u32| FleetSample {
-            day,
-            alive: devs.iter().filter(|d| !d.is_dead()).count() as u32,
-            capacity_opages: devs.iter().map(|d| d.committed_opages()).sum(),
-            wear_deaths: wd,
-            afr_deaths: ad,
-        };
-        samples.push(sample(0, &devices, 0, 0));
-        for day in 1..=cfg.horizon_days {
-            for (d, &w) in devices.iter_mut().zip(&daily_writes) {
-                if d.is_dead() {
-                    continue;
-                }
-                d.apply_writes(w);
-                if d.is_dead() {
-                    wear_deaths += 1;
-                } else if rng.gen_bool(daily_afr) {
-                    d.kill();
-                    afr_deaths += 1;
+        let indices: Vec<u32> = (0..cfg.devices).collect();
+        let tracks =
+            salamander_exec::par_map(threads, &indices, |_, &i| Self::age_device(cfg, i, &grid));
+
+        let mut samples = Vec::with_capacity(grid.len() + 1);
+        samples.push(FleetSample {
+            day: 0,
+            alive: cfg.devices,
+            capacity_opages: tracks.iter().map(|t| t.initial).sum(),
+            wear_deaths: 0,
+            afr_deaths: 0,
+        });
+        for (gi, &day) in grid.iter().enumerate() {
+            let mut alive = 0u32;
+            let mut capacity = 0u64;
+            let mut wear_deaths = 0u32;
+            let mut afr_deaths = 0u32;
+            for t in &tracks {
+                capacity += t.caps[gi];
+                match t.death {
+                    Some((d, cause)) if d <= day => match cause {
+                        DeathCause::Wear => wear_deaths += 1,
+                        DeathCause::Afr => afr_deaths += 1,
+                    },
+                    _ => alive += 1,
                 }
             }
-            if day % cfg.sample_every_days == 0 || day == cfg.horizon_days {
-                samples.push(sample(day, &devices, wear_deaths, afr_deaths));
-                if samples.last().unwrap().alive == 0 {
-                    break;
-                }
+            samples.push(FleetSample {
+                day,
+                alive,
+                capacity_opages: capacity,
+                wear_deaths,
+                afr_deaths,
+            });
+            if alive == 0 {
+                break;
             }
         }
         FleetTimeline { samples }
+    }
+
+    /// Age one device to the horizon on its private RNG stream.
+    fn age_device(cfg: &FleetConfig, index: u32, grid: &[u32]) -> DeviceTrack {
+        let mut dev = StatDevice::new(cfg.device, cfg.seed.wrapping_add(1 + index as u64));
+        let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(cfg.seed, index as u64));
+        // Per-device load imbalance: lognormal with median 1.
+        let jitter = if cfg.dwpd_sigma > 0.0 {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (cfg.dwpd_sigma * z).exp()
+        } else {
+            1.0
+        };
+        let daily_writes = (cfg.dwpd * jitter * dev.initial_opages() as f64) as u64;
+        let daily_afr = 1.0 - (1.0 - cfg.afr).powf(1.0 / 365.0);
+
+        let initial = dev.committed_opages();
+        let mut caps = Vec::with_capacity(grid.len());
+        let mut death = None;
+        let mut gi = 0;
+        for day in 1..=cfg.horizon_days {
+            dev.apply_writes(daily_writes);
+            if dev.is_dead() {
+                death = Some((day, DeathCause::Wear));
+            } else if rng.gen_bool(daily_afr) {
+                dev.kill();
+                death = Some((day, DeathCause::Afr));
+            }
+            if gi < grid.len() && grid[gi] == day {
+                caps.push(dev.committed_opages());
+                gi += 1;
+            }
+            if dev.is_dead() {
+                break;
+            }
+        }
+        // A dead device stays at zero capacity for the rest of the grid.
+        caps.resize(grid.len(), dev.committed_opages());
+        DeviceTrack {
+            caps,
+            death,
+            initial,
+        }
     }
 }
 
@@ -171,7 +258,7 @@ mod tests {
     use salamander_ecc::profile::Tiredness;
     use salamander_flash::geometry::FlashGeometry;
 
-    fn quick(mode: StatMode, seed: u64) -> FleetTimeline {
+    fn quick_sim(mode: StatMode, seed: u64) -> FleetSim {
         let device = StatDeviceConfig {
             geometry: FlashGeometry::small_test(),
             ..StatDeviceConfig::datacenter(mode)
@@ -186,7 +273,26 @@ mod tests {
             seed,
             device,
         })
-        .run()
+    }
+
+    fn quick(mode: StatMode, seed: u64) -> FleetTimeline {
+        quick_sim(mode, seed).run()
+    }
+
+    /// Hand-build a timeline from `(day, alive, capacity)` points.
+    fn tl(points: &[(u32, u32, u64)]) -> FleetTimeline {
+        FleetTimeline {
+            samples: points
+                .iter()
+                .map(|&(day, alive, capacity_opages)| FleetSample {
+                    day,
+                    alive,
+                    capacity_opages,
+                    wear_deaths: 0,
+                    afr_deaths: 0,
+                })
+                .collect(),
+        }
     }
 
     #[test]
@@ -253,6 +359,42 @@ mod tests {
         let a = quick(StatMode::Shrink, 5);
         let b = quick(StatMode::Shrink, 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let sim = quick_sim(StatMode::Shrink, 5);
+        let serial = sim.run_threads(Threads::fixed(1));
+        for n in [2, 4, 8] {
+            assert_eq!(sim.run_threads(Threads::fixed(n)), serial, "threads={n}");
+        }
+    }
+
+    #[test]
+    fn half_fleet_dead_day_handles_odd_fleets() {
+        // n = 5: "half dead" needs ceil(5/2) = 3 deaths; 2 dead (alive
+        // 3) must NOT trigger.
+        let t = tl(&[(0, 5, 500), (10, 3, 300), (20, 2, 200), (30, 0, 0)]);
+        assert_eq!(t.half_fleet_dead_day(), Some(20));
+        // n = 1: the only death is half the fleet.
+        let t = tl(&[(0, 1, 100), (10, 0, 0)]);
+        assert_eq!(t.half_fleet_dead_day(), Some(10));
+        // Even fleet: exactly half dead triggers.
+        let t = tl(&[(0, 4, 400), (10, 3, 300), (20, 2, 200)]);
+        assert_eq!(t.half_fleet_dead_day(), Some(20));
+        // Never reaches half within the horizon.
+        let t = tl(&[(0, 5, 500), (10, 4, 400)]);
+        assert_eq!(t.half_fleet_dead_day(), None);
+    }
+
+    #[test]
+    fn capacity_fraction_past_last_sample_is_none() {
+        let t = tl(&[(0, 2, 200), (10, 1, 100)]);
+        assert_eq!(t.capacity_fraction_at(0), Some(1.0));
+        assert_eq!(t.capacity_fraction_at(5), Some(1.0)); // holds last sample
+        assert_eq!(t.capacity_fraction_at(10), Some(0.5));
+        assert_eq!(t.capacity_fraction_at(11), None); // beyond simulated range
+        assert_eq!(t.capacity_fraction_at(u32::MAX), None);
     }
 
     #[test]

@@ -196,6 +196,12 @@ impl Ftl {
         self.events.drain(..).collect()
     }
 
+    /// Number of undrained host notifications (cheap check, no
+    /// allocation — hot loops can poll this before draining).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
     /// Advance the simulated clock (retention).
     pub fn advance_days(&mut self, days: f64) {
         self.flash.advance_days(days);

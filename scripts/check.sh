@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Offline-friendly repository checks: format, lints, build, tests.
+#
+# Everything runs against the vendored dependency stand-ins under
+# vendor/ — no network or registry access is needed at any point.
+#
+# Usage: scripts/check.sh [--quick]
+#   --quick   skip the release build (debug build + tests only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+for arg in "$@"; do
+    case "$arg" in
+    --quick) quick=1 ;;
+    *)
+        echo "unknown argument: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets -- -D warnings
+if [ "$quick" -eq 0 ]; then
+    run cargo build --release --workspace
+fi
+# Tier-1 gate: the release build above plus the test suite.
+run cargo test --workspace -q
+
+echo "All checks passed."

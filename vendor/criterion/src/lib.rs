@@ -1,0 +1,163 @@
+//! Offline stand-in for `criterion`: enough of the API for the
+//! workspace's `harness = false` bench targets to compile and produce
+//! useful wall-clock numbers.
+//!
+//! Measurement is a plain median-of-samples timer (no outlier
+//! analysis, no plots). Under `cargo test` (which builds and runs
+//! bench targets with `--test`), every benchmark body executes exactly
+//! once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    samples: usize,
+    smoke_only: bool,
+    /// Median nanoseconds per iteration of the last routine.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_only {
+            black_box(routine());
+            self.last_ns = 0.0;
+            return;
+        }
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            samples.push(start.elapsed());
+        }
+        self.last_ns = median_ns(&mut samples);
+    }
+
+    /// Time `routine` with a fresh `setup` product per sample.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.smoke_only {
+            black_box(routine(setup()));
+            self.last_ns = 0.0;
+            return;
+        }
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed());
+        }
+        self.last_ns = median_ns(&mut samples);
+    }
+}
+
+fn median_ns(samples: &mut [Duration]) -> f64 {
+    samples.sort();
+    samples[samples.len() / 2].as_nanos() as f64
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test`, bench targets run with `--test`: execute
+        // each routine once and skip timing.
+        let smoke_only = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 30,
+            smoke_only,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            smoke_only: self.smoke_only,
+            last_ns: 0.0,
+        };
+        f(&mut b);
+        if self.smoke_only {
+            println!("bench {id}: ok (smoke)");
+        } else {
+            println!("bench {id}: median {:.1} ns/iter", b.last_ns);
+        }
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let full = format!("{}/{}", self.name, id.into());
+        self.parent.bench_function(full, f);
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declare the benchmark entry list.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

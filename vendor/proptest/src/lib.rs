@@ -1,0 +1,528 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and macros this workspace's
+//! property tests use — `proptest!`, `prop_oneof!`, `prop_assert*!`,
+//! `prop_assume!`, `any`, `Just`, ranges, tuples, `collection::vec`,
+//! `prop_map`, `prop_flat_map` — over a deterministic ChaCha8-seeded
+//! case generator. No shrinking: a failing case reports its inputs
+//! (via `Debug` in the panic message) instead of minimizing them.
+//!
+//! Case streams are deterministic per (test name, case index), so
+//! failures reproduce across runs.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+
+/// Deterministic per-case random source handed to strategies.
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// Derive the generator for one test case.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(ChaCha8Rng::seed_from_u64(h ^ ((case as u64) << 1 | 1)))
+    }
+
+    /// Access the underlying rand generator.
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        &mut self.0
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "property failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "inputs rejected: {m}"),
+        }
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+    /// Abort if this many cases in a row are rejected by
+    /// `prop_assume!` without an accepted case in between.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Default config with a custom case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then a dependent strategy from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Object-safe boxed strategy.
+pub type BoxedStrategy<T> = Box<dyn DynStrategy<T>>;
+
+/// Object-safe strategy surface used by [`BoxedStrategy`] and
+/// [`Union`].
+pub trait DynStrategy<T> {
+    /// Generate one value.
+    fn dyn_new_value(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.as_ref().dyn_new_value(rng)
+    }
+}
+
+/// Always produces a clone of the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// Weighted choice between strategies of one value type (the engine
+/// behind `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Build from weighted arms. Panics if empty or all-zero weight.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u32 = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof!: no positive weights");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.new_value(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum mismatch")
+    }
+}
+
+macro_rules! strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! strategy_for_tuple {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+strategy_for_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical full-range strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-range strategy for a primitive type.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.$via() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+            fn arbitrary() -> Any<$t> {
+                Any(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+arbitrary_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32, i64 => next_u64, isize => next_u64,
+);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = Any<bool>;
+    fn arbitrary() -> Any<bool> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        // Finite floats over a wide dynamic range.
+        let mantissa: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let exp = rng.gen_range(-64i32..64);
+        mantissa * (exp as f64).exp2()
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = Any<f64>;
+    fn arbitrary() -> Any<f64> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Everything a test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Weighted (or unweighted) choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Define property tests. Mirrors upstream's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..100, (a, b) in (any::<u8>(), any::<u8>())) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __accepted: u32 = 0;
+            let mut __rejected: u32 = 0;
+            let mut __case: u32 = 0;
+            while __accepted < __config.cases {
+                let mut __rng = $crate::TestRng::for_case(concat!(module_path!(), "::", stringify!($name)), __case);
+                __case += 1;
+                $(let $pat = $crate::Strategy::new_value(&($strat), &mut __rng);)+
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __result {
+                    ::std::result::Result::Ok(()) => __accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                        __rejected += 1;
+                        if __rejected > __config.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many prop_assume! rejections ({})",
+                                stringify!($name), __rejected
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest {} failed at case {}: {}",
+                            stringify!($name), __case - 1, __msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 1u32..10, (a, b) in (any::<u8>(), 0u16..=4)) {
+            prop_assert!((1..10).contains(&x));
+            let _ = a;
+            prop_assert!(b <= 4);
+        }
+
+        #[test]
+        fn map_and_flat_map(v in (1u8..5).prop_flat_map(|n| (Just(n), 0u8..n)).prop_map(|(n, k)| (n, k))) {
+            let (n, k) = v;
+            prop_assert!(k < n);
+        }
+
+        #[test]
+        fn oneof_and_vec(xs in crate::collection::vec(prop_oneof![2 => Just(1u8), 1 => Just(2u8)], 1..20)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|&x| x == 1 || x == 2));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn case_streams_are_deterministic() {
+        use crate::{Strategy, TestRng};
+        let s = 0u64..1_000_000;
+        let a: Vec<u64> = (0..8)
+            .map(|i| s.new_value(&mut TestRng::for_case("t", i)))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|i| s.new_value(&mut TestRng::for_case("t", i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,105 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the narrow slice of the `rand` 0.8 API it actually uses:
+//! [`RngCore`], [`SeedableRng`] (with the rand_core 0.6 PCG32-based
+//! `seed_from_u64` derivation, bit-compatible with upstream), and the
+//! [`Rng`] extension trait (`gen`, `gen_range`, `gen_bool`).
+//!
+//! Sampling is stream-compatible with upstream `rand` 0.8 on the paths
+//! this workspace uses: `gen_range` consumes width-matched draws with
+//! upstream's widening-multiply acceptance zone (integers) and the
+//! `[1, 2)` exponent trick (floats), and `gen_bool` mirrors Bernoulli's
+//! `⌊p · 2^64⌋` threshold including the draw-free `p == 1.0` case — the
+//! benchmark CSVs under `results/` reproduce bit-for-bit against runs
+//! made with the real crates.
+
+pub mod distributions;
+
+use distributions::uniform::SampleRange;
+use distributions::{Distribution, Standard};
+
+/// Core random-number source: 32/64-bit words and byte fills.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it over the seed with PCG32
+    /// exactly like rand_core 0.6 so streams match upstream.
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let s = *state;
+            let xorshifted = (((s >> 18) ^ s) >> 27) as u32;
+            let rot = (s >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let bytes = pcg32(&mut state);
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Sample uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        // Match upstream's Bernoulli exactly: p == 1.0 short-circuits
+        // without consuming randomness; otherwise compare one u64
+        // against ⌊p · 2^64⌋.
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * ((1u64 << 63) as f64 * 2.0)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}

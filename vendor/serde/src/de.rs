@@ -1,0 +1,230 @@
+//! Deserialization half of the data model.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Deserialization error: a message plus nothing else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Build from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+
+    /// Standard "wrong shape" error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Error construction hook, mirroring `serde::de::Error`.
+pub trait Error: Sized {
+    /// Build from any displayable message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+impl Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// A source that yields one [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type produced by the source.
+    type Error: Error + fmt::Debug + fmt::Display;
+
+    /// Yield the value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type constructible from a [`Value`].
+pub trait Deserialize<'de>: Sized {
+    /// Build `Self` from a value node.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Drive construction from any [`Deserializer`] (upstream-shaped
+    /// entry point).
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.take_value()?;
+        Self::from_value(&v).map_err(|e| D::Error::custom(e))
+    }
+}
+
+/// Look up a field of a derived struct's object representation.
+pub fn field<'a>(obj: &'a [(String, Value)], name: &str) -> Result<&'a Value, DeError> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::msg(format!("missing field `{name}`")))
+}
+
+/// Deserialize a field of a derived struct in one step.
+pub fn field_as<'de, T: Deserialize<'de>>(
+    obj: &[(String, Value)],
+    name: &str,
+) -> Result<T, DeError> {
+    T::from_value(field(obj, name)?).map_err(|e| DeError::msg(format!("field `{name}`: {e}")))
+}
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_u64().ok_or_else(|| DeError::expected("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| DeError::msg(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i64().ok_or_else(|| DeError::expected("integer", v))?;
+                <$t>::try_from(n).map_err(|_| DeError::msg(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|n| n as f32)
+            .ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", v))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", v))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("string", v))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::msg("expected single-character string")),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<[T]> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(v).map(Vec::into_boxed_slice)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::msg(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let arr = v.as_array().ok_or_else(|| DeError::expected("array (tuple)", v))?;
+                if arr.len() != $len {
+                    return Err(DeError::msg(format!(
+                        "expected tuple of length {}, found {}", $len, arr.len()
+                    )));
+                }
+                Ok(($($t::from_value(&arr[$n])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(DeError::expected("null", other)),
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a serde-shaped (de)serialization framework around an
+//! explicit value tree ([`Value`]) instead of upstream's
+//! visitor-driven data model:
+//!
+//! - [`ser::Serialize`] produces a [`Value`]; [`ser::Serializer`] is
+//!   any sink that consumes one (`serde_json` renders it to text).
+//! - [`de::Deserialize`] builds `Self` from a [`Value`];
+//!   [`de::Deserializer`] is any source that yields one.
+//!
+//! The trait *signatures* mirror upstream closely enough that the
+//! repo's code — `#[derive(Serialize, Deserialize)]`, custom
+//! `#[serde(with = "...")]` modules generic over `S: Serializer` /
+//! `D: Deserializer<'de>` — compiles unchanged.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{DeError, Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

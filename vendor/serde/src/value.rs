@@ -1,0 +1,142 @@
+//! The self-describing value tree all (de)serialization passes through.
+
+use crate::de::DeError;
+use crate::ser::Serialize;
+
+/// A JSON-shaped dynamic value.
+///
+/// Integers keep 64-bit precision (a plain `f64` payload would corrupt
+/// write counters past 2^53); objects preserve insertion order so
+/// serialized output is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Binary float.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered string-keyed map.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as an object (field list), if this is one.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array, if this is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view, widening any integer representation.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            Value::F64(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view of an integer value.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// Signed view of an integer value.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::U64(n) if n <= i64::MAX as u64 => Some(n as i64),
+            Value::I64(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// One-word description of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// A [`crate::Serializer`] that materializes the value tree itself —
+/// what derived code and `#[serde(with)]` helpers serialize into.
+pub struct ValueSerializer;
+
+impl crate::ser::Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = DeError;
+
+    fn serialize_value(self, v: Value) -> Result<Value, DeError> {
+        Ok(v)
+    }
+}
+
+/// A [`crate::Deserializer`] over a borrowed [`Value`] node.
+pub struct ValueDeserializer<'a> {
+    value: &'a Value,
+}
+
+impl<'a> ValueDeserializer<'a> {
+    /// Wrap a value node.
+    pub fn new(value: &'a Value) -> Self {
+        ValueDeserializer { value }
+    }
+}
+
+impl<'de, 'a> crate::de::Deserializer<'de> for ValueDeserializer<'a> {
+    type Error = DeError;
+
+    fn take_value(self) -> Result<Value, DeError> {
+        Ok(self.value.clone())
+    }
+}
+
+/// Serialize any `T` straight to a [`Value`] (infallible).
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+    v.to_value()
+}

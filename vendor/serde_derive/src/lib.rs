@@ -1,0 +1,543 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored
+//! serde stand-in.
+//!
+//! No `syn`/`quote` (the registry is offline), so parsing walks the
+//! raw `proc_macro::TokenStream`. Supported item shapes — the full
+//! set this workspace uses:
+//!
+//! - structs with named fields, optionally carrying
+//!   `#[serde(with = "path")]` per field;
+//! - tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays);
+//! - unit structs;
+//! - enums with unit, newtype, tuple, and struct variants, in serde's
+//!   externally-tagged representation.
+//!
+//! Generics are intentionally unsupported (the workspace derives only
+//! on concrete types); hitting one fails the build loudly rather than
+//! generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: name (named fields) and the `with` attribute.
+struct Field {
+    name: Option<String>,
+    with: Option<String>,
+}
+
+/// A parsed variant of an enum.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+/// The item a derive was applied to.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Extract `with = "path"` from the tokens inside `#[serde(...)]`.
+fn serde_attr_with(group: &proc_macro::Group) -> Option<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    // Looking at: serde ( with = "path" ) — possibly other keys later.
+    if tokens.len() != 2 {
+        return None;
+    }
+    match (&tokens[0], &tokens[1]) {
+        (TokenTree::Ident(i), TokenTree::Group(inner)) if i.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+            let mut idx = 0;
+            while idx < inner.len() {
+                if let TokenTree::Ident(key) = &inner[idx] {
+                    if key.to_string() == "with"
+                        && idx + 2 < inner.len()
+                        && matches!(&inner[idx + 1], TokenTree::Punct(p) if p.as_char() == '=')
+                    {
+                        if let TokenTree::Literal(lit) = &inner[idx + 2] {
+                            let s = lit.to_string();
+                            return Some(s.trim_matches('"').to_string());
+                        }
+                    }
+                }
+                idx += 1;
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Skip attributes at `i`, returning any `with` path found in a
+/// `#[serde(with = "...")]` among them.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, Option<String>) {
+    let mut with = None;
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        if let Some(w) = serde_attr_with(g) {
+            with = Some(w);
+        }
+        i += 2;
+    }
+    (i, with)
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, …) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advance past one field type, honoring `<...>` nesting so commas
+/// inside generics don't terminate the field.
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => break,
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse the fields of a braced (named-field) body.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, with) = skip_attrs(&tokens, i);
+        if j >= tokens.len() {
+            break;
+        }
+        i = skip_vis(&tokens, j);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde_derive: expected field name, got {:?}", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        i = skip_type(&tokens, i + 1);
+        // Skip the trailing comma, if any.
+        if i < tokens.len() {
+            i += 1;
+        }
+        fields.push(Field {
+            name: Some(name),
+            with,
+        });
+    }
+    fields
+}
+
+/// Count the fields of a parenthesized (tuple) body.
+fn parse_tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, _) = skip_attrs(&tokens, i);
+        if j >= tokens.len() {
+            break;
+        }
+        i = skip_vis(&tokens, j);
+        i = skip_type(&tokens, i);
+        if i < tokens.len() {
+            i += 1; // comma
+        }
+        arity += 1;
+    }
+    arity
+}
+
+/// Parse the variants of an enum body.
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, _) = skip_attrs(&tokens, i);
+        if j >= tokens.len() {
+            break;
+        }
+        i = j;
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde_derive: expected variant name, got {:?}", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    i += 1;
+                    VariantKind::Named(parse_named_fields(g))
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    i += 1;
+                    VariantKind::Tuple(parse_tuple_arity(g))
+                }
+                _ => VariantKind::Unit,
+            }
+        } else {
+            VariantKind::Unit
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        while i < tokens.len() && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        if i < tokens.len() {
+            i += 1; // comma
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let TokenTree::Ident(kw) = &tokens[i] else {
+        panic!(
+            "serde_derive: expected `struct` or `enum`, got {:?}",
+            tokens[i]
+        );
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde_derive: expected item name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: parse_tuple_arity(g),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g),
+            },
+            other => panic!("serde_derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive on `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                let fname = f.name.as_ref().unwrap();
+                let value_expr = match &f.with {
+                    Some(path) => format!(
+                        "{path}::serialize(&self.{fname}, ::serde::value::ValueSerializer)\
+                         .expect(\"value serialization is infallible\")"
+                    ),
+                    None => format!("::serde::ser::Serialize::to_value(&self.{fname})"),
+                };
+                pushes.push_str(&format!(
+                    "__fields.push(({fname:?}.to_string(), {value_expr}));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::ser::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::ser::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::ser::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::ser::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::ser::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}.to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone().unwrap()).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| {
+                                format!(
+                                    "({b:?}.to_string(), ::serde::ser::Serialize::to_value({b}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let fname = f.name.as_ref().unwrap();
+                let expr = match &f.with {
+                    Some(path) => format!(
+                        "{path}::deserialize(::serde::value::ValueDeserializer::new(\
+                         ::serde::de::field(__obj, {fname:?})?))?"
+                    ),
+                    None => format!("::serde::de::field_as(__obj, {fname:?})?"),
+                };
+                inits.push_str(&format!("{fname}: {expr},\n"));
+            }
+            format!(
+                "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let __obj = __v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object ({name})\", __v))?;\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(::serde::de::Deserialize::from_value(__v)?))"
+                )
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::de::Deserialize::from_value(&__arr[{i}])?"))
+                    .collect();
+                format!(
+                    "let __arr = __v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array ({name})\", __v))?;\n\
+                     if __arr.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError::msg(format!(\"expected {arity} elements, found {{}}\", __arr.len())));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+                 fn from_value(_: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vname:?} => return ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vname}(::serde::de::Deserialize::from_value(__inner)?))"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::de::Deserialize::from_value(&__arr[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "let __arr = __inner.as_array().ok_or_else(|| ::serde::DeError::expected(\"array variant\", __inner))?;\n\
+                                 if __arr.len() != {arity} {{\n\
+                                     return ::std::result::Result::Err(::serde::DeError::msg(\"wrong tuple variant arity\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))",
+                                items.join(", ")
+                            )
+                        };
+                        tagged_arms.push_str(&format!("{vname:?} => {{ {body} }}\n"));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                let fname = f.name.as_ref().unwrap();
+                                format!("{fname}: ::serde::de::field_as(__obj, {fname:?})?")
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                                 let __obj = __inner.as_object().ok_or_else(|| ::serde::DeError::expected(\"object variant\", __inner))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                             }}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                             match __s {{\n{unit_arms}\
+                                 _ => return ::std::result::Result::Err(::serde::DeError::msg(format!(\"unknown variant `{{__s}}` of {name}\"))),\n\
+                             }}\n\
+                         }}\n\
+                         let __obj = __v.as_object().ok_or_else(|| ::serde::DeError::expected(\"variant of {name}\", __v))?;\n\
+                         if __obj.len() != 1 {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::msg(\"expected single-key variant object\"));\n\
+                         }}\n\
+                         let (__tag, __inner) = &__obj[0];\n\
+                         match __tag.as_str() {{\n{tagged_arms}\
+                             _ => ::std::result::Result::Err(::serde::DeError::msg(format!(\"unknown variant `{{__tag}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
