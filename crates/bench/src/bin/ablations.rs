@@ -4,13 +4,18 @@
 //! across tiredness levels.
 //!
 //! Run: `cargo run --release -p salamander-bench --bin ablations`
+//! Observability: `--trace <path>`, `--metrics`, `--profile` (DESIGN.md §9).
 
 use salamander::config::{Mode, SsdConfig};
 use salamander::report::{fmt, Table};
-use salamander_bench::emit;
+use salamander_bench::{emit, task_obs, ObsArgs};
 use salamander_exec::{par_map, Threads};
 use salamander_ftl::ftl::Ftl;
 use salamander_ftl::types::{FtlConfig, FtlError, FtlMode, Lba};
+use salamander_obs::{MetricsRegistry, TraceRecord};
+
+/// One fan-out task's telemetry shard alongside its table row.
+type Shard = (Vec<String>, Vec<TraceRecord>, MetricsRegistry);
 
 /// Churn with a hot/cold skew; returns (accepted writes, WA).
 fn skewed_churn(ftl: &mut Ftl, n: u64, used_fraction: f64, seed: u64) -> (u64, f64) {
@@ -47,22 +52,46 @@ fn skewed_churn(ftl: &mut Ftl, n: u64, used_fraction: f64, seed: u64) -> (u64, f
 }
 
 fn main() {
+    let obs_args = ObsArgs::parse();
+    let profiler = obs_args.profiler();
+    let (do_trace, do_metrics) = (obs_args.trace(), obs_args.metrics);
+    let mut trace = Vec::new();
+    let mut metrics = MetricsRegistry::default();
+    // Shards merge in task order (par_map returns item order), each
+    // relabelled by its ablation id so metric keys cannot collide.
+    let mut fold = |table: &mut Table, shards: Vec<Shard>, ablation: &str| {
+        for (i, (row, t, m)) in shards.into_iter().enumerate() {
+            trace.extend(t);
+            metrics.merge(&m.relabelled(&format!("ablation=\"{ablation}/{i}\"")));
+            table.row(row);
+        }
+    };
+
     // 1. Hot/cold separation: WA under a skewed workload, slow wear.
     let mut t1 = Table::new(
         "Ablation — hot/cold write-stream separation (skewed workload)",
         &["separation", "write amplification"],
     );
     let separations = [("on", true), ("off", false)];
-    for row in par_map(Threads::Auto, &separations, |_, &(label, sep)| {
+    let prof = profiler.clone();
+    let shards = par_map(Threads::Auto, &separations, move |_, &(label, sep)| {
+        let obs = task_obs(
+            do_trace,
+            do_metrics,
+            &prof,
+            &format!("ablation=hotcold/{label}"),
+        );
         let mut cfg = FtlConfig::small_test(FtlMode::Shrink);
         cfg.rber = salamander_flash::rber::RberModel::default();
         cfg.hot_cold_separation = sep;
         let mut ftl = Ftl::new(cfg);
+        ftl.set_obs(obs.clone());
         let (_, wa) = skewed_churn(&mut ftl, 150_000, 1.0, 7);
-        vec![label.to_string(), fmt(wa, 3)]
-    }) {
-        t1.row(row);
-    }
+        ftl.export_metrics();
+        let row = vec![label.to_string(), fmt(wa, 3)];
+        (row, obs.trace.take(), obs.metrics.take())
+    });
+    fold(&mut t1, shards, "hotcold");
     emit("ablation_hotcold", &t1);
 
     // 2. Space utilization: lifetime vs fraction of the logical space in
@@ -73,9 +102,17 @@ fn main() {
         &["utilization", "host writes to death", "WA at death"],
     );
     let utils = [0.5, 0.7, 0.9, 1.0];
-    for row in par_map(Threads::Auto, &utils, |_, &util| {
+    let prof = profiler.clone();
+    let shards = par_map(Threads::Auto, &utils, move |_, &util| {
+        let obs = task_obs(
+            do_trace,
+            do_metrics,
+            &prof,
+            &format!("ablation=utilization/{util}"),
+        );
         let cfg = FtlConfig::small_test(FtlMode::Shrink);
         let mut ftl = Ftl::new(cfg);
+        ftl.set_obs(obs.clone());
         let mut state = 11u64;
         let mut written = 0u64;
         while !ftl.is_dead() && written < 10_000_000 {
@@ -95,14 +132,15 @@ fn main() {
                 Err(_) => {}
             }
         }
-        vec![
+        ftl.export_metrics();
+        let row = vec![
             format!("{:.0}%", util * 100.0),
             written.to_string(),
             fmt(ftl.stats().write_amplification().unwrap_or(1.0), 2),
-        ]
-    }) {
-        t2.row(row);
-    }
+        ];
+        (row, obs.trace.take(), obs.metrics.take())
+    });
+    fold(&mut t2, shards, "utilization");
     emit("ablation_utilization", &t2);
 
     // 3. Grace-period decommissioning: recovery semantics cost when the
@@ -116,10 +154,18 @@ fn main() {
         ("grace + prompt ack", true, true),
         ("grace, never acked", true, false),
     ];
-    for row in par_map(Threads::Auto, &policies, |_, &(label, grace, ack)| {
+    let prof = profiler.clone();
+    let shards = par_map(Threads::Auto, &policies, move |_, &(label, grace, ack)| {
+        let obs = task_obs(
+            do_trace,
+            do_metrics,
+            &prof,
+            &format!("ablation=grace/{label}"),
+        );
         let mut cfg = FtlConfig::small_test(FtlMode::Shrink);
         cfg.decommission_grace = grace;
         let mut ftl = Ftl::new(cfg);
+        ftl.set_obs(obs.clone());
         let mut state = 13u64;
         let mut written = 0u64;
         while !ftl.is_dead() && written < 10_000_000 {
@@ -148,10 +194,11 @@ fn main() {
             .iter()
             .filter(|e| matches!(e, salamander_ftl::types::FtlEvent::MdiskPurged { .. }))
             .count();
-        vec![label.to_string(), written.to_string(), purged.to_string()]
-    }) {
-        t3.row(row);
-    }
+        ftl.export_metrics();
+        let row = vec![label.to_string(), written.to_string(), purged.to_string()];
+        (row, obs.trace.take(), obs.metrics.take())
+    });
+    fold(&mut t3, shards, "grace");
     emit("ablation_grace", &t3);
 
     // 4. Read-retry burden over a device lifetime, per mode. RegenS's
@@ -162,9 +209,17 @@ fn main() {
         &["mode", "reads", "retries", "retries/1k reads"],
     );
     let modes = [Mode::Baseline, Mode::Shrink, Mode::Regen];
-    for row in par_map(Threads::Auto, &modes, |_, &mode| {
+    let prof = profiler.clone();
+    let shards = par_map(Threads::Auto, &modes, move |_, &mode| {
+        let obs = task_obs(
+            do_trace,
+            do_metrics,
+            &prof,
+            &format!("ablation=retries/{}", mode.name()),
+        );
         let cfg = SsdConfig::small_test().mode(mode);
         let mut ftl = Ftl::new(*cfg.ftl_config());
+        ftl.set_obs(obs.clone());
         let mut state = 17u64;
         while !ftl.is_dead() {
             let mdisks = ftl.active_mdisks();
@@ -182,8 +237,9 @@ fn main() {
             }
             let _ = ftl.read(id, lba);
         }
+        ftl.export_metrics();
         let s = ftl.stats();
-        vec![
+        let row = vec![
             mode.name().to_string(),
             s.host_reads.to_string(),
             s.read_retries.to_string(),
@@ -191,11 +247,12 @@ fn main() {
                 s.read_retries as f64 * 1000.0 / s.host_reads.max(1) as f64,
                 1,
             ),
-        ]
-    }) {
-        t4.row(row);
-    }
+        ];
+        (row, obs.trace.take(), obs.metrics.take())
+    });
+    fold(&mut t4, shards, "retries");
     emit("ablation_retries", &t4);
+    obs_args.finish("ablations", trace, metrics, &profiler);
     println!(
         "Hot/cold separation cuts WA; lifetime grows as utilization drops \
          (the CVSS axis); grace costs little with a responsive host. Retry \

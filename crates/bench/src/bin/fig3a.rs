@@ -3,15 +3,25 @@
 //! flattening the failure slope.
 //!
 //! Run: `cargo run --release -p salamander-bench --bin fig3a -- --devices 100 --dwpd 5`
+//! Observability: `--trace <path>`, `--metrics`, `--profile` (DESIGN.md §9).
 
 use salamander::report::Table;
-use salamander_bench::{arg_or, emit};
+use salamander_bench::{arg_or, emit, ObsArgs};
 use salamander_ecc::profile::Tiredness;
 use salamander_exec::{par_map, Threads};
 use salamander_fleet::device::{StatDeviceConfig, StatMode};
-use salamander_fleet::sim::{FleetConfig, FleetSim, FleetTimeline};
+use salamander_fleet::sim::{FleetConfig, FleetSim, FleetTimeline, ObservedFleetRun};
+use salamander_obs::{MetricsRegistry, Profiler};
 
-fn run(mode: StatMode, devices: u32, dwpd: f64, horizon: u32, seed: u64) -> FleetTimeline {
+fn run(
+    mode: StatMode,
+    devices: u32,
+    dwpd: f64,
+    horizon: u32,
+    seed: u64,
+    label: &str,
+    profiler: &Profiler,
+) -> ObservedFleetRun {
     let device = StatDeviceConfig::datacenter(mode);
     FleetSim::new(FleetConfig {
         device,
@@ -23,7 +33,7 @@ fn run(mode: StatMode, devices: u32, dwpd: f64, horizon: u32, seed: u64) -> Flee
         sample_every_days: 30,
         seed,
     })
-    .run()
+    .run_observed(Threads::Auto, label, profiler)
 }
 
 fn main() {
@@ -31,6 +41,8 @@ fn main() {
     let dwpd: f64 = arg_or("--dwpd", 5.0);
     let horizon: u32 = arg_or("--days", 3650);
     let seed: u64 = arg_or("--seed", 42);
+    let obs_args = ObsArgs::parse();
+    let profiler = obs_args.profiler();
 
     let modes = [
         ("Baseline", StatMode::Baseline),
@@ -44,9 +56,22 @@ fn main() {
     ];
     // The three fleets are independent; fan out on the exec engine
     // (thread count from SALAMANDER_THREADS, deterministic output).
-    let runs: Vec<(&str, FleetTimeline)> = par_map(Threads::Auto, &modes, |_, (name, m)| {
-        (*name, run(*m, devices, dwpd, horizon, seed))
-    });
+    // Each fleet's trace/metrics shard is derived post-merge, so the
+    // concatenation below is thread-count invariant.
+    let prof = profiler.clone();
+    let observed: Vec<(&str, ObservedFleetRun)> =
+        par_map(Threads::Auto, &modes, move |_, (name, m)| {
+            let label = format!("fleet={name}");
+            (*name, run(*m, devices, dwpd, horizon, seed, &label, &prof))
+        });
+    let mut trace = Vec::new();
+    let mut metrics = MetricsRegistry::default();
+    let mut runs: Vec<(&str, FleetTimeline)> = Vec::with_capacity(observed.len());
+    for (name, o) in observed {
+        trace.extend(o.trace);
+        metrics.merge(&o.metrics.relabelled(&format!("fleet=\"{name}\"")));
+        runs.push((name, o.timeline));
+    }
 
     let mut table = Table::new(
         "Fig. 3a — functioning SSDs over time",
@@ -71,6 +96,7 @@ fn main() {
         ]);
     }
     emit("fig3a", &table);
+    obs_args.finish("fig3a", trace, metrics, &profiler);
 
     for (name, t) in &runs {
         match t.half_fleet_dead_day() {

@@ -3,15 +3,25 @@
 //! minidisk steps and stretches further out in time.
 //!
 //! Run: `cargo run --release -p salamander-bench --bin fig3b`
+//! Observability: `--trace <path>`, `--metrics`, `--profile` (DESIGN.md §9).
 
 use salamander::report::{pct, Table};
-use salamander_bench::{arg_or, emit};
+use salamander_bench::{arg_or, emit, ObsArgs};
 use salamander_ecc::profile::Tiredness;
 use salamander_exec::{par_map, Threads};
 use salamander_fleet::device::{StatDeviceConfig, StatMode};
-use salamander_fleet::sim::{FleetConfig, FleetSim, FleetTimeline};
+use salamander_fleet::sim::{FleetConfig, FleetSim, FleetTimeline, ObservedFleetRun};
+use salamander_obs::{MetricsRegistry, Profiler};
 
-fn run(mode: StatMode, devices: u32, dwpd: f64, horizon: u32, seed: u64) -> FleetTimeline {
+fn run(
+    mode: StatMode,
+    devices: u32,
+    dwpd: f64,
+    horizon: u32,
+    seed: u64,
+    label: &str,
+    profiler: &Profiler,
+) -> ObservedFleetRun {
     FleetSim::new(FleetConfig {
         device: StatDeviceConfig::datacenter(mode),
         devices,
@@ -22,7 +32,7 @@ fn run(mode: StatMode, devices: u32, dwpd: f64, horizon: u32, seed: u64) -> Flee
         sample_every_days: 30,
         seed,
     })
-    .run()
+    .run_observed(Threads::Auto, label, profiler)
 }
 
 fn main() {
@@ -30,19 +40,42 @@ fn main() {
     let dwpd: f64 = arg_or("--dwpd", 5.0);
     let horizon: u32 = arg_or("--days", 3650);
     let seed: u64 = arg_or("--seed", 42);
+    let obs_args = ObsArgs::parse();
+    let profiler = obs_args.profiler();
 
     let modes = [
-        StatMode::Baseline,
-        StatMode::Shrink,
-        StatMode::Regen {
-            max_level: Tiredness::L1,
-        },
+        ("Baseline", StatMode::Baseline),
+        ("ShrinkS", StatMode::Shrink),
+        (
+            "RegenS",
+            StatMode::Regen {
+                max_level: Tiredness::L1,
+            },
+        ),
     ];
-    // Three independent fleets: fan out on the exec engine.
-    let mut runs = par_map(Threads::Auto, &modes, |_, &m| {
-        run(m, devices, dwpd, horizon, seed)
-    })
-    .into_iter();
+    // Three independent fleets: fan out on the exec engine. Telemetry
+    // shards merge in mode order, so output is thread-count invariant.
+    let prof = profiler.clone();
+    let observed = par_map(Threads::Auto, &modes, move |_, (name, m)| {
+        run(
+            *m,
+            devices,
+            dwpd,
+            horizon,
+            seed,
+            &format!("fleet={name}"),
+            &prof,
+        )
+    });
+    let mut trace = Vec::new();
+    let mut metrics = MetricsRegistry::default();
+    let mut runs: Vec<FleetTimeline> = Vec::with_capacity(observed.len());
+    for ((name, _), o) in modes.iter().zip(observed) {
+        trace.extend(o.trace);
+        metrics.merge(&o.metrics.relabelled(&format!("fleet=\"{name}\"")));
+        runs.push(o.timeline);
+    }
+    let mut runs = runs.into_iter();
     let (base, shrink, regen) = (
         runs.next().unwrap(),
         runs.next().unwrap(),
@@ -58,6 +91,7 @@ fn main() {
         table.row(vec![s.day.to_string(), f(&base), f(&shrink), f(&regen)]);
     }
     emit("fig3b", &table);
+    obs_args.finish("fig3b", trace, metrics, &profiler);
 
     // Capacity half-life: first day the fleet is below 50% capacity.
     for (name, t) in [

@@ -7,14 +7,16 @@
 //! Run: `cargo run --release -p salamander-bench --bin lifetime [-- --full]`
 //! (`--full` uses the medium 256 MiB geometry with realistic endurance;
 //! the default uses a fast-wear device so the run finishes in seconds.)
+//! Observability: `--trace <path>`, `--metrics`, `--profile` (DESIGN.md §9).
 
 use salamander::config::{Mode, SsdConfig};
 use salamander::report::{fmt, Table};
 use salamander::sim::EnduranceSim;
-use salamander_bench::emit;
+use salamander_bench::{emit, ObsArgs};
 use salamander_ecc::profile::Tiredness;
 use salamander_exec::{par_map, Threads};
 use salamander_ftl::types::RetireGranularity;
+use salamander_obs::MetricsRegistry;
 
 fn base_cfg() -> SsdConfig {
     let full = std::env::args().any(|a| a == "--full");
@@ -29,6 +31,8 @@ fn base_cfg() -> SsdConfig {
 
 fn main() {
     let cfg = base_cfg();
+    let obs_args = ObsArgs::parse();
+    let profiler = obs_args.profiler();
     let mut table = Table::new(
         "§4 — device lifetime by mode (host oPages accepted before death)",
         &[
@@ -40,7 +44,23 @@ fn main() {
             "regenerations",
         ],
     );
-    let results = EnduranceSim::compare_modes(cfg);
+    // Per-mode trace/metrics shards come back in mode order regardless
+    // of the thread count, so the merged telemetry is deterministic.
+    let observed = EnduranceSim::compare_modes_observed(
+        cfg,
+        Threads::Auto,
+        obs_args.trace(),
+        obs_args.metrics,
+        &profiler,
+    );
+    let mut trace = Vec::new();
+    let mut metrics = MetricsRegistry::default();
+    let mut results = Vec::with_capacity(observed.len());
+    for o in observed {
+        trace.extend(o.trace);
+        metrics.merge(&o.metrics);
+        results.push(o.result);
+    }
     let baseline_writes = results[0].host_opages_written;
     for r in &results {
         let last = r.timeline.last().unwrap();
@@ -58,6 +78,7 @@ fn main() {
     }
     emit("lifetime", &table);
     if std::env::args().any(|a| a == "--modes-only") {
+        obs_args.finish("lifetime", trace, metrics, &profiler);
         return;
     }
 
@@ -116,6 +137,7 @@ fn main() {
         prev = Some(r.host_opages_written);
     }
     emit("lifetime_cap", &ab2);
+    obs_args.finish("lifetime", trace, metrics, &profiler);
     println!(
         "Paper anchors: ShrinkS >= ~1.2x (CVSS floor), RegenS up to ~1.5x; \
          page-granular retirement beats block-granular; the cap shows \

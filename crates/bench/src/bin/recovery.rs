@@ -7,22 +7,35 @@
 //! the devices are churned to death while the store re-replicates.
 //!
 //! Run: `cargo run --release -p salamander-bench --bin recovery [-- --msize-sweep]`
+//! Observability: `--trace <path>`, `--metrics`, `--profile` (DESIGN.md §9).
 
 use salamander::config::{Mode, SsdConfig};
 use salamander::report::Table;
-use salamander_bench::{arg_or, emit};
+use salamander_bench::{arg_or, emit, task_obs, ObsArgs};
 use salamander_difs::types::DifsConfig;
 use salamander_fleet::bridge::ClusterHarness;
+use salamander_obs::{MetricsRegistry, TraceRecord};
 
 /// Run one cluster to device exhaustion; returns
-/// (recovery_bytes, re_replication events, lost chunks, churn rounds).
-fn run(mode: Mode, msize_bytes: u64, seed: u64) -> (u64, u64, u64, u32) {
+/// (recovery_bytes, re_replication events, lost chunks, churn rounds)
+/// plus the run's telemetry shard. The harness is single-threaded, so
+/// the shared device + store trace interleaving is deterministic.
+#[allow(clippy::type_complexity)]
+fn run(
+    mode: Mode,
+    msize_bytes: u64,
+    seed: u64,
+    obs_args: &ObsArgs,
+    profiler: &salamander_obs::Profiler,
+    label: &str,
+) -> ((u64, u64, u64, u32), Vec<TraceRecord>, MetricsRegistry) {
     let difs = DifsConfig {
         replication: 3,
         chunk_bytes: msize_bytes.min(256 * 1024),
         recovery_chunks_per_tick: None,
     };
-    let mut h = ClusterHarness::new(difs);
+    let obs = task_obs(obs_args.trace(), obs_args.metrics, profiler, label);
+    let mut h = ClusterHarness::new(difs).with_obs(obs.clone());
     for s in 0..4 {
         h.add_device(
             SsdConfig::small_test()
@@ -38,11 +51,19 @@ fn run(mode: Mode, msize_bytes: u64, seed: u64) -> (u64, u64, u64, u32) {
         rounds += 1;
     }
     let m = h.metrics();
-    (m.recovery_bytes, m.re_replications, m.lost_chunks, rounds)
+    (
+        (m.recovery_bytes, m.re_replications, m.lost_chunks, rounds),
+        obs.trace.take(),
+        obs.metrics.take(),
+    )
 }
 
 fn main() {
     let seed: u64 = arg_or("--seed", 7);
+    let obs_args = ObsArgs::parse();
+    let profiler = obs_args.profiler();
+    let mut trace = Vec::new();
+    let mut metrics = MetricsRegistry::default();
     let mut table = Table::new(
         "§4.3 — recovery traffic over a fleet lifetime (4 devices, R=3)",
         &[
@@ -54,7 +75,16 @@ fn main() {
         ],
     );
     for mode in [Mode::Baseline, Mode::Shrink, Mode::Regen] {
-        let (bytes, events, lost, _) = run(mode, 256 * 1024, seed);
+        let ((bytes, events, lost, _), t, m) = run(
+            mode,
+            256 * 1024,
+            seed,
+            &obs_args,
+            &profiler,
+            &format!("recovery={}", mode.name()),
+        );
+        trace.extend(t);
+        metrics.merge(&m.relabelled(&format!("mode=\"{}\"", mode.name())));
         let mib = bytes as f64 / (1024.0 * 1024.0);
         table.row(vec![
             mode.name().to_string(),
@@ -76,7 +106,16 @@ fn main() {
             &["mSize KiB", "recovery MiB", "events", "avg MiB/event"],
         );
         for msize_kib in [64u64, 128, 256, 512] {
-            let (bytes, events, _, _) = run(Mode::Shrink, msize_kib * 1024, seed);
+            let ((bytes, events, _, _), t, m) = run(
+                Mode::Shrink,
+                msize_kib * 1024,
+                seed,
+                &obs_args,
+                &profiler,
+                &format!("recovery=msize/{msize_kib}KiB"),
+            );
+            trace.extend(t);
+            metrics.merge(&m.relabelled(&format!("msize=\"{msize_kib}KiB\"")));
             let mib = bytes as f64 / (1024.0 * 1024.0);
             sweep.row(vec![
                 msize_kib.to_string(),
@@ -91,6 +130,7 @@ fn main() {
         }
         emit("recovery_msize", &sweep);
     }
+    obs_args.finish("recovery", trace, metrics, &profiler);
     println!(
         "Paper shape: total recovery volume is comparable across modes \
          (the same LBAs eventually fail); Salamander spreads it over many \

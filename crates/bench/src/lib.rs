@@ -5,6 +5,7 @@
 //! table to stdout and writing a CSV under `results/` for plotting.
 
 use salamander::report::Table;
+use salamander_obs::{trace, MetricsRegistry, Obs, Profiler, TraceRecord};
 use std::path::PathBuf;
 
 /// Print a table to stdout as markdown and persist it as CSV under
@@ -33,4 +34,166 @@ pub fn arg_or<T: std::str::FromStr>(flag: &str, default: T) -> T {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Whether a bare `--flag` is present.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// The shared observability CLI surface of the harness binaries
+/// (DESIGN.md §9): `--trace <path>` writes a deterministic JSONL event
+/// trace, `--metrics` writes a Prometheus-style text file under
+/// `results/`, `--profile` prints wall-clock phase timings to stdout.
+#[derive(Debug, Clone, Default)]
+pub struct ObsArgs {
+    /// JSONL trace destination (`--trace <path>`), if requested.
+    pub trace_path: Option<String>,
+    /// Whether `--metrics` was given.
+    pub metrics: bool,
+    /// Whether `--profile` was given.
+    pub profile: bool,
+}
+
+impl ObsArgs {
+    /// Parse the observability flags from `std::env::args`.
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        ObsArgs {
+            trace_path: args
+                .iter()
+                .position(|a| a == "--trace")
+                .and_then(|i| args.get(i + 1))
+                .cloned(),
+            metrics: has_flag("--metrics"),
+            profile: has_flag("--profile"),
+        }
+    }
+
+    /// Whether tracing was requested.
+    pub fn trace(&self) -> bool {
+        self.trace_path.is_some()
+    }
+
+    /// A profiler matching `--profile` (disabled otherwise). Wall-clock
+    /// timings are non-deterministic by nature; they go to stdout only,
+    /// never into traces, metrics, or `results/`.
+    pub fn profiler(&self) -> Profiler {
+        if self.profile {
+            Profiler::enabled()
+        } else {
+            Profiler::disabled()
+        }
+    }
+
+    /// An [`Obs`] bundle matching the flags, for single-run binaries.
+    /// Fan-out binaries build per-task bundles instead (see
+    /// `EnduranceSim::compare_modes_observed`).
+    pub fn obs(&self) -> Obs {
+        Obs {
+            trace: if self.trace() {
+                salamander_obs::TraceHandle::recording()
+            } else {
+                salamander_obs::TraceHandle::disabled()
+            },
+            metrics: if self.metrics {
+                salamander_obs::MetricsHandle::enabled()
+            } else {
+                salamander_obs::MetricsHandle::disabled()
+            },
+            profiler: self.profiler(),
+        }
+    }
+
+    /// Write the collected telemetry: the trace (resequenced, JSONL) to
+    /// `--trace`'s path, the merged metrics to `results/<name>.prom`,
+    /// and the profile table to stdout. Call once at the end of `main`
+    /// with the shards already merged in deterministic order.
+    pub fn finish(
+        &self,
+        name: &str,
+        mut trace: Vec<TraceRecord>,
+        metrics: MetricsRegistry,
+        profiler: &Profiler,
+    ) {
+        if let Some(path) = &self.trace_path {
+            trace::resequence(&mut trace);
+            if let Err(e) = std::fs::write(path, trace::to_jsonl(&trace)) {
+                eprintln!("warning: cannot write {path}: {e}");
+            } else {
+                eprintln!("wrote {path} ({} events)", trace.len());
+            }
+        }
+        if self.metrics {
+            let dir = PathBuf::from("results");
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("warning: cannot create {}: {e}", dir.display());
+            } else {
+                let path = dir.join(format!("{name}.prom"));
+                if let Err(e) = std::fs::write(&path, metrics.render()) {
+                    eprintln!("warning: cannot write {}: {e}", path.display());
+                } else {
+                    eprintln!("wrote {}", path.display());
+                }
+            }
+        }
+        if self.profile {
+            print_profile(profiler);
+        }
+    }
+}
+
+/// A per-task [`Obs`] bundle for fan-out binaries: one shard per
+/// parallel task, opened with a `RunMarker` carrying `label` so the
+/// merged trace stays segmentable. Take the shards back with
+/// `obs.trace.take()` / `obs.metrics.take()` and merge them in task
+/// order (deterministic under `par_map`, which returns in item order).
+pub fn task_obs(trace: bool, metrics: bool, profiler: &Profiler, label: &str) -> Obs {
+    let obs = Obs {
+        trace: if trace {
+            salamander_obs::TraceHandle::recording()
+        } else {
+            salamander_obs::TraceHandle::disabled()
+        },
+        metrics: if metrics {
+            salamander_obs::MetricsHandle::enabled()
+        } else {
+            salamander_obs::MetricsHandle::disabled()
+        },
+        profiler: profiler.clone(),
+    };
+    if trace {
+        obs.trace.emit(
+            salamander_obs::SimTime::ZERO,
+            salamander_obs::TraceEvent::RunMarker {
+                label: label.to_string(),
+            },
+        );
+    }
+    obs
+}
+
+/// Print wall-clock phase timings as a markdown table (stdout only:
+/// timings are machine-dependent and must not land in `results/`).
+pub fn print_profile(profiler: &Profiler) {
+    let stats = profiler.stats();
+    let mut table = Table::new(
+        "Wall-clock profile (non-deterministic; not written to results/)",
+        &["phase", "calls", "total ms", "mean us"],
+    );
+    for (phase, s) in &stats {
+        let total_ms = s.total.as_secs_f64() * 1e3;
+        let mean_us = if s.calls > 0 {
+            s.total.as_secs_f64() * 1e6 / s.calls as f64
+        } else {
+            0.0
+        };
+        table.row(vec![
+            phase.clone(),
+            s.calls.to_string(),
+            format!("{total_ms:.1}"),
+            format!("{mean_us:.1}"),
+        ]);
+    }
+    println!("{}", table.to_markdown());
 }

@@ -10,6 +10,7 @@
 use crate::config::SsdConfig;
 use crate::device::SalamanderSsd;
 use salamander_ftl::types::FtlError;
+use salamander_obs::Obs;
 use salamander_workload::aging::AgingDriver;
 use serde::{Deserialize, Serialize};
 
@@ -70,7 +71,17 @@ impl DailySim {
 
     /// Run to the horizon or device death.
     pub fn run(&self) -> DailyResult {
-        let mut ssd = SalamanderSsd::open(self.cfg);
+        self.run_observed(Obs::disabled())
+    }
+
+    /// [`Self::run`] with observability attached: the device emits
+    /// lifecycle events through `obs`, and SMART gauges (headroom,
+    /// limbo histogram) are exported per sampled day — the Fig. 3
+    /// trajectories, reconstructable from one run's telemetry.
+    pub fn run_observed(&self, obs: Obs) -> DailyResult {
+        let _phase = obs.profiler.phase("sim/daily");
+        let metrics = obs.metrics.clone();
+        let mut ssd = SalamanderSsd::open_with_obs(self.cfg, obs);
         let initial_lbas = ssd.ftl().committed_lbas();
         let mut aging = AgingDriver::new(self.dwpd, initial_lbas);
         let mut state = self.seed | 1;
@@ -106,6 +117,10 @@ impl DailySim {
             // A shrunk device absorbs the same DWPD over fewer LBAs.
             aging.set_capacity(ssd.ftl().committed_lbas().max(1));
             if day % self.sample_every == 0 || ssd.is_dead() {
+                if metrics.is_enabled() {
+                    ssd.smart()
+                        .export_gauges(&metrics, &format!("day=\"{day}\""));
+                }
                 timeline.push(DaySample {
                     day,
                     committed_lbas: ssd.ftl().committed_lbas(),
@@ -115,6 +130,7 @@ impl DailySim {
                 });
             }
         }
+        ssd.ftl().export_metrics();
         DailyResult {
             days_survived: days,
             survived_horizon: !ssd.is_dead() && days == self.horizon_days,

@@ -88,6 +88,18 @@ impl SalamanderSsd {
         }
     }
 
+    /// Open a device with observability handles attached (DESIGN.md §9).
+    pub fn open_with_obs(cfg: SsdConfig, obs: salamander_obs::Obs) -> Self {
+        let mut ssd = Self::open(cfg);
+        ssd.ftl.set_obs(obs);
+        ssd
+    }
+
+    /// Attach (or detach, with a disabled bundle) observability handles.
+    pub fn set_obs(&mut self, obs: salamander_obs::Obs) {
+        self.ftl.set_obs(obs);
+    }
+
     /// The configuration the device was opened with.
     pub fn config(&self) -> &SsdConfig {
         &self.cfg

@@ -28,12 +28,28 @@ impl Table {
 
     /// Append a row.
     ///
-    /// # Panics
-    ///
-    /// Panics if the row width does not match the header count.
+    /// A width mismatch is a caller bug, but release benches should
+    /// still produce a (visibly padded/truncated) table rather than
+    /// abort halfway through a multi-minute run: debug builds assert,
+    /// release builds normalize the row to the header width. Use
+    /// [`Self::try_row`] to handle the mismatch instead.
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        debug_assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
         self.rows.push(cells);
+    }
+
+    /// Append a row, reporting a width mismatch instead of normalizing.
+    pub fn try_row(&mut self, cells: Vec<String>) -> Result<(), TableRowError> {
+        if cells.len() != self.headers.len() {
+            return Err(TableRowError {
+                expected: self.headers.len(),
+                got: cells.len(),
+            });
+        }
+        self.rows.push(cells);
+        Ok(())
     }
 
     /// Render as a GitHub-flavored markdown table with a title line.
@@ -75,6 +91,27 @@ impl Table {
     }
 }
 
+/// A [`Table::try_row`] width mismatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableRowError {
+    /// Header count.
+    pub expected: usize,
+    /// Cells supplied.
+    pub got: usize,
+}
+
+impl std::fmt::Display for TableRowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "row width mismatch: got {} cells for {} headers",
+            self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for TableRowError {}
+
 /// Format a float with `digits` decimal places.
 pub fn fmt(v: f64, digits: usize) -> String {
     format!("{v:.digits$}")
@@ -115,10 +152,43 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "row width mismatch")]
-    fn row_width_checked() {
+    #[cfg_attr(debug_assertions, should_panic(expected = "row width mismatch"))]
+    fn row_width_checked_in_debug_normalized_in_release() {
         let mut t = Table::new("t", &["a"]);
         t.row(vec!["1".into(), "2".into()]);
+        // Release builds truncate to the header width instead of
+        // aborting the bench.
+        assert_eq!(t.rows[0], vec!["1".to_string()]);
+    }
+
+    #[test]
+    fn try_row_reports_mismatch() {
+        let mut t = Table::new("t", &["a", "b"]);
+        assert!(t.try_row(vec!["1".into(), "2".into()]).is_ok());
+        let err = t.try_row(vec!["1".into()]).unwrap_err();
+        assert_eq!(
+            err,
+            TableRowError {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "row width mismatch: got 1 cells for 2 headers"
+        );
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    fn short_row_pads_in_release() {
+        // In debug this would assert; exercise the normalization path
+        // only where `row` is lenient.
+        if !cfg!(debug_assertions) {
+            let mut t = Table::new("t", &["a", "b"]);
+            t.row(vec!["1".into()]);
+            assert_eq!(t.rows[0], vec!["1".to_string(), String::new()]);
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::config::{Mode, SsdConfig};
 use crate::device::SalamanderSsd;
 use salamander_exec::Threads;
 use salamander_ftl::types::FtlError;
+use salamander_obs::{MetricsRegistry, Obs, SimTime, TraceEvent, TraceRecord};
 use salamander_workload::gen::{OpKind, Workload, WorkloadConfig};
 use serde::{Deserialize, Serialize};
 
@@ -52,6 +53,21 @@ impl EnduranceResult {
     }
 }
 
+/// An [`EnduranceSim::run_observed`] outcome: the result plus the
+/// trace records and metrics shard the run accumulated. Traces carry
+/// per-run sequence numbers; merge shards in task order (and
+/// [`salamander_obs::trace::resequence`] the concatenation) to keep
+/// multi-run artifacts deterministic.
+#[derive(Debug)]
+pub struct ObservedRun {
+    /// The simulation result, identical to [`EnduranceSim::run`]'s.
+    pub result: EnduranceResult,
+    /// Trace records in emission order (empty if tracing was off).
+    pub trace: Vec<TraceRecord>,
+    /// Metrics shard (empty if metrics were off).
+    pub metrics: MetricsRegistry,
+}
+
 /// Write-to-death experiment driver.
 #[derive(Debug, Clone)]
 pub struct EnduranceSim {
@@ -78,18 +94,44 @@ impl EnduranceSim {
 
     /// Run the device to death under uniform-random synthetic writes.
     pub fn run(&self) -> EnduranceResult {
-        let mut ssd = SalamanderSsd::open(self.cfg);
+        self.run_observed("", Obs::disabled()).result
+    }
+
+    /// [`Self::run`] with observability attached: the device emits
+    /// through `obs` for the whole run, SMART gauges are exported at
+    /// every trajectory sample, and the accumulated trace/metrics come
+    /// back alongside the result. A non-empty `label` opens the trace
+    /// with a `RunMarker` so several runs can share one file.
+    pub fn run_observed(&self, label: &str, obs: Obs) -> ObservedRun {
+        if !label.is_empty() {
+            obs.trace.emit(
+                SimTime::ZERO,
+                TraceEvent::RunMarker {
+                    label: label.to_string(),
+                },
+            );
+        }
+        let _sim_phase = obs.profiler.phase("sim/endurance");
+        let mut ssd = SalamanderSsd::open_with_obs(self.cfg, obs.clone());
         let opages = ssd.config().ftl_config().geometry.total_opages();
         let mut workload = Workload::new(WorkloadConfig::write_churn(opages, self.workload_seed));
         let mut written = 0u64;
         let mut integral = 0.0f64;
         let mut timeline = Vec::new();
-        let sample = |ssd: &SalamanderSsd, written: u64| CapacitySample {
-            written_opages: written,
-            committed_lbas: ssd.ftl().committed_lbas(),
-            minidisks: ssd.minidisks().len() as u32,
-            decommissioned: ssd.stats().mdisks_decommissioned,
-            regenerated: ssd.stats().mdisks_regenerated,
+        let sample = |ssd: &SalamanderSsd, written: u64| {
+            // Satellite telemetry: one `--metrics` run carries the whole
+            // headroom/limbo trajectory (Fig. 3) as per-sample gauges.
+            if ssd.ftl().obs().metrics.is_enabled() {
+                ssd.smart()
+                    .export_gauges(&ssd.ftl().obs().metrics, &format!("op=\"{written}\""));
+            }
+            CapacitySample {
+                written_opages: written,
+                committed_lbas: ssd.ftl().committed_lbas(),
+                minidisks: ssd.minidisks().len() as u32,
+                decommissioned: ssd.stats().mdisks_decommissioned,
+                regenerated: ssd.stats().mdisks_regenerated,
+            }
         };
         timeline.push(sample(&ssd, 0));
         // Cache the active minidisk set instead of re-allocating it on
@@ -127,12 +169,18 @@ impl EnduranceSim {
             }
         }
         timeline.push(sample(&ssd, written));
-        EnduranceResult {
+        ssd.ftl().export_metrics();
+        let result = EnduranceResult {
             mode: self.cfg.get_mode(),
             host_opages_written: written,
             capacity_write_integral: integral,
             timeline,
             write_amplification: ssd.stats().write_amplification().unwrap_or(1.0),
+        };
+        ObservedRun {
+            result,
+            trace: obs.trace.take(),
+            metrics: obs.metrics.take(),
         }
     }
 
@@ -151,6 +199,38 @@ impl EnduranceSim {
     pub fn compare_modes_threads(cfg: SsdConfig, threads: Threads) -> Vec<EnduranceResult> {
         salamander_exec::par_map(threads, &Mode::ALL, |_, &m| {
             EnduranceSim::new(cfg.mode(m)).run()
+        })
+    }
+
+    /// [`Self::compare_modes_threads`] with observability: each mode
+    /// records into its own trace/metrics shard (so the parallel
+    /// interleave can't touch the output) and the shards come back in
+    /// mode order — already deterministic for any thread count. The
+    /// `profiler` is shared across modes; pass a disabled one when not
+    /// profiling.
+    pub fn compare_modes_observed(
+        cfg: SsdConfig,
+        threads: Threads,
+        trace: bool,
+        metrics: bool,
+        profiler: &salamander_obs::Profiler,
+    ) -> Vec<ObservedRun> {
+        let profiler = profiler.clone();
+        salamander_exec::par_map(threads, &Mode::ALL, move |_, &m| {
+            let obs = Obs {
+                trace: if trace {
+                    salamander_obs::TraceHandle::recording()
+                } else {
+                    salamander_obs::TraceHandle::disabled()
+                },
+                metrics: if metrics {
+                    salamander_obs::MetricsHandle::enabled()
+                } else {
+                    salamander_obs::MetricsHandle::disabled()
+                },
+                profiler: profiler.clone(),
+            };
+            EnduranceSim::new(cfg.mode(m)).run_observed(&format!("mode={}", m.name()), obs)
         })
     }
 }
@@ -209,6 +289,38 @@ mod tests {
             let parallel = EnduranceSim::compare_modes_threads(small(), Threads::fixed(n));
             assert_eq!(parallel, serial, "threads={n}");
         }
+    }
+
+    #[test]
+    fn observed_run_matches_plain_and_captures_lifecycle() {
+        let sim = EnduranceSim::new(small().mode(Mode::Shrink));
+        let plain = sim.run();
+        let observed = sim.run_observed("mode=test", Obs::recording());
+        // Observation must not perturb the simulation.
+        assert_eq!(observed.result, plain);
+        assert!(
+            matches!(&observed.trace[0].event, TraceEvent::RunMarker { label } if label == "mode=test")
+        );
+        assert!(observed
+            .trace
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::MdiskDecommissioned { .. })));
+        assert!(observed
+            .trace
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::DeviceDied { .. })));
+        // Sequence numbers are contiguous from 0.
+        for (i, r) in observed.trace.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+        assert_eq!(
+            observed.metrics.counter("salamander_host_writes_total"),
+            plain.host_opages_written
+        );
+        assert!(observed
+            .metrics
+            .gauge("salamander_write_amplification")
+            .is_some());
     }
 
     #[test]

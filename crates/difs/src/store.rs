@@ -4,6 +4,7 @@
 use crate::cluster::Cluster;
 use crate::placement::choose_targets;
 use crate::types::{ChunkId, DifsConfig, DifsError, UnitId};
+use salamander_obs::{Obs, SimTime, TraceEvent};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 
@@ -39,6 +40,10 @@ pub struct ChunkStore {
     /// FIFO repair queue when recovery bandwidth is limited.
     repair_queue: std::collections::VecDeque<ChunkId>,
     metrics: StoreMetrics,
+    /// Observability handles (DESIGN.md §9); disabled by default.
+    obs: Obs,
+    /// Simulated clock for trace stamps, set by the driving harness.
+    now: SimTime,
 }
 
 impl ChunkStore {
@@ -51,12 +56,57 @@ impl ChunkStore {
             pending: HashSet::new(),
             repair_queue: std::collections::VecDeque::new(),
             metrics: StoreMetrics::default(),
+            obs: Obs::disabled(),
+            now: SimTime::ZERO,
         }
     }
 
     /// Configuration.
     pub fn config(&self) -> &DifsConfig {
         &self.cfg
+    }
+
+    /// Attach (or detach, with a disabled bundle) observability handles.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Set the simulated clock used to stamp trace events. The store has
+    /// no clock of its own; the driving harness advances it (e.g. once
+    /// per churn round).
+    pub fn set_time(&mut self, day: u32) {
+        self.now = SimTime::new(day, 0);
+    }
+
+    /// Export recovery counters into the attached metrics registry.
+    /// Delta-based and idempotent: safe to call repeatedly (e.g. per
+    /// round and once at the end of a run).
+    pub fn export_metrics(&self) {
+        let metrics = &self.obs.metrics;
+        if !metrics.is_enabled() {
+            return;
+        }
+        let m = self.metrics();
+        for (key, v) in [
+            ("salamander_difs_re_replications_total", m.re_replications),
+            ("salamander_difs_recovery_bytes_total", m.recovery_bytes),
+            ("salamander_difs_lost_chunks_total", m.lost_chunks),
+            ("salamander_difs_migration_bytes_total", m.migration_bytes),
+            (
+                "salamander_difs_exposure_chunk_ticks_total",
+                m.exposure_chunk_ticks,
+            ),
+        ] {
+            metrics.inc(key, v.saturating_sub(metrics.counter(key)));
+        }
+        metrics.set_gauge(
+            "salamander_difs_under_replicated",
+            m.under_replicated as f64,
+        );
+        metrics.set_gauge(
+            "salamander_difs_max_under_replicated",
+            m.max_under_replicated as f64,
+        );
     }
 
     /// Current metrics snapshot.
@@ -135,6 +185,9 @@ impl ChunkStore {
                 self.chunks.remove(&chunk);
                 self.pending.remove(&chunk);
                 self.metrics.lost_chunks += 1;
+                self.obs
+                    .trace
+                    .emit(self.now, TraceEvent::ChunkLost { chunk: chunk.0 });
                 continue;
             }
             if self.cfg.recovery_chunks_per_tick.is_some() {
@@ -261,6 +314,15 @@ impl ChunkStore {
             self.chunks.get_mut(&chunk).expect("chunk exists").push(t);
             self.metrics.re_replications += 1;
             self.metrics.recovery_bytes += self.cfg.chunk_bytes;
+        }
+        if placed > 0 {
+            self.obs.trace.emit(
+                self.now,
+                TraceEvent::ChunkReReplicated {
+                    chunk: chunk.0,
+                    bytes: placed as u64 * self.cfg.chunk_bytes,
+                },
+            );
         }
         if placed < missing {
             self.pending.insert(chunk);

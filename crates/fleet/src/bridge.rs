@@ -18,6 +18,7 @@ use salamander_difs::cluster::Cluster;
 use salamander_difs::store::{ChunkStore, StoreMetrics};
 use salamander_difs::types::{DeviceId, DifsConfig, NodeId, UnitId};
 use salamander_ftl::types::{FtlError, MdiskId};
+use salamander_obs::Obs;
 use std::collections::HashMap;
 
 /// One SSD attached to the harness.
@@ -51,6 +52,9 @@ pub struct ClusterHarness {
     store: ChunkStore,
     devices: Vec<DeviceSlot>,
     policy: RecoveryPolicy,
+    obs: Obs,
+    /// Churn rounds so far — the diFS trace clock (one "day" per round).
+    round: u32,
 }
 
 impl ClusterHarness {
@@ -61,6 +65,8 @@ impl ClusterHarness {
             store: ChunkStore::new(cfg),
             devices: Vec::new(),
             policy: RecoveryPolicy::Reactive,
+            obs: Obs::disabled(),
+            round: 0,
         }
     }
 
@@ -68,6 +74,25 @@ impl ClusterHarness {
     pub fn with_policy(mut self, policy: RecoveryPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Attach observability handles, shared by the chunk store and every
+    /// device (already attached or added later). The harness runs its
+    /// devices single-threaded in index order, so the shared trace
+    /// interleaving is deterministic.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self.store.set_obs(self.obs.clone());
+        for slot in &mut self.devices {
+            slot.ssd.set_obs(self.obs.clone());
+        }
+        self
+    }
+
+    /// The attached observability bundle (disabled unless
+    /// [`Self::with_obs`] was used).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Attach one SSD on its own node. Returns the harness-local index.
@@ -83,7 +108,7 @@ impl ClusterHarness {
 
     /// Attach one SSD on an existing node.
     pub fn add_device_on(&mut self, node: NodeId, cfg: SsdConfig) -> usize {
-        let ssd = SalamanderSsd::open(cfg);
+        let ssd = SalamanderSsd::open_with_obs(cfg, self.obs.clone());
         let device = self.cluster.add_device(node);
         let mut units = HashMap::new();
         for m in ssd.minidisks() {
@@ -129,6 +154,8 @@ impl ClusterHarness {
     /// Apply `writes` synthetic oPage writes of churn to every live
     /// device, then propagate lifecycle events into the diFS.
     pub fn churn(&mut self, writes: u64) {
+        self.round += 1;
+        self.store.set_time(self.round);
         for slot in &mut self.devices {
             let mut issued = 0;
             while issued < writes && !slot.ssd.is_dead() {
@@ -153,6 +180,7 @@ impl ClusterHarness {
         self.pump_events();
         self.run_policy();
         self.store.tick(&mut self.cluster);
+        self.store.export_metrics();
     }
 
     /// Apply the proactive policy: drain the predicted next victim of any
@@ -358,6 +386,46 @@ mod tests {
         h.check_invariants().unwrap();
         // Whole-device failure recovered everything it held.
         assert!(h.metrics().recovery_bytes > 0);
+    }
+
+    #[test]
+    fn observed_harness_traces_recovery() {
+        use salamander_obs::TraceEvent;
+        let mut h = ClusterHarness::new(difs_cfg()).with_obs(Obs::recording());
+        for s in 0..4 {
+            h.add_device(ssd_cfg(Mode::Shrink, 100 + s));
+        }
+        h.fill(0.8);
+        for _ in 0..40 {
+            h.churn(10_000);
+            if h.metrics().recovery_bytes > 0 {
+                break;
+            }
+        }
+        let m = h.metrics();
+        assert!(m.recovery_bytes > 0, "no recovery traffic despite wear");
+        let trace = h.obs().trace.take();
+        let rereplicated: u64 = trace
+            .iter()
+            .map(|r| match r.event {
+                TraceEvent::ChunkReReplicated { bytes, .. } => bytes,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(rereplicated, m.recovery_bytes);
+        // Device-level wear events share the same trace stream.
+        assert!(trace
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::MdiskDecommissioned { .. })));
+        let metrics = h.obs().metrics.snapshot();
+        assert_eq!(
+            metrics.counter("salamander_difs_recovery_bytes_total"),
+            m.recovery_bytes
+        );
+        assert_eq!(
+            metrics.gauge("salamander_difs_under_replicated"),
+            Some(m.under_replicated as f64)
+        );
     }
 
     #[test]

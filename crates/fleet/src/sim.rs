@@ -10,6 +10,7 @@ use crate::device::{StatDevice, StatDeviceConfig};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use salamander_exec::{derive_seed, Threads};
+use salamander_obs::{MetricsRegistry, Profiler, SimTime, TraceEvent, TraceHandle, TraceRecord};
 use serde::{Deserialize, Serialize};
 
 /// Fleet simulation parameters.
@@ -108,6 +109,18 @@ impl FleetTimeline {
     }
 }
 
+/// A [`FleetSim::run_observed`] outcome: the timeline plus its derived
+/// trace and metrics.
+#[derive(Debug)]
+pub struct ObservedFleetRun {
+    /// The fleet time series, identical to [`FleetSim::run_threads`]'s.
+    pub timeline: FleetTimeline,
+    /// Death events in (day, device) order.
+    pub trace: Vec<TraceRecord>,
+    /// Death counters and per-sample capacity gauges.
+    pub metrics: MetricsRegistry,
+}
+
 /// What ended one device's service life.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum DeathCause {
@@ -159,6 +172,81 @@ impl FleetSim {
     /// pure function of the configuration — bit-identical at any
     /// thread count.
     pub fn run_threads(&self, threads: Threads) -> FleetTimeline {
+        let (grid, tracks) = self.age_fleet(threads);
+        self.reduce(&grid, &tracks)
+    }
+
+    /// [`Self::run_threads`] with observability: the timeline comes
+    /// back with a deterministic trace ([`TraceEvent::FleetDeviceDied`]
+    /// per death, chronological) and a metrics registry (death
+    /// counters, per-sample capacity/alive gauges). The trace is
+    /// derived from the merged per-device tracks *after* the parallel
+    /// fan-out, so it is bit-identical at any thread count by
+    /// construction. A non-empty `label` opens the trace with a
+    /// `RunMarker`.
+    pub fn run_observed(
+        &self,
+        threads: Threads,
+        label: &str,
+        profiler: &Profiler,
+    ) -> ObservedFleetRun {
+        let (grid, tracks) = {
+            let _phase = profiler.phase("fleet/age_devices");
+            self.age_fleet(threads)
+        };
+        let timeline = self.reduce(&grid, &tracks);
+
+        let trace = TraceHandle::recording();
+        if !label.is_empty() {
+            trace.emit(
+                SimTime::ZERO,
+                TraceEvent::RunMarker {
+                    label: label.to_string(),
+                },
+            );
+        }
+        let mut deaths: Vec<(u32, u32, DeathCause)> = tracks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.death.map(|(day, cause)| (day, i as u32, cause)))
+            .collect();
+        deaths.sort_unstable_by_key(|&(day, device, _)| (day, device));
+        let mut metrics = MetricsRegistry::new();
+        for &(day, device, cause) in &deaths {
+            trace.emit(
+                SimTime::new(day, 0),
+                TraceEvent::FleetDeviceDied {
+                    device,
+                    cause: match cause {
+                        DeathCause::Wear => salamander_obs::DeathCause::Wear,
+                        DeathCause::Afr => salamander_obs::DeathCause::Afr,
+                    },
+                },
+            );
+            match cause {
+                DeathCause::Wear => metrics.inc("salamander_fleet_wear_deaths_total", 1),
+                DeathCause::Afr => metrics.inc("salamander_fleet_afr_deaths_total", 1),
+            }
+        }
+        for s in &timeline.samples {
+            metrics.set_gauge(
+                &format!("salamander_fleet_capacity_opages{{day=\"{}\"}}", s.day),
+                s.capacity_opages as f64,
+            );
+            metrics.set_gauge(
+                &format!("salamander_fleet_alive_devices{{day=\"{}\"}}", s.day),
+                s.alive as f64,
+            );
+        }
+        ObservedFleetRun {
+            timeline,
+            trace: trace.take(),
+            metrics,
+        }
+    }
+
+    /// Fan the per-device aging out over the execution engine.
+    fn age_fleet(&self, threads: Threads) -> (Vec<u32>, Vec<DeviceTrack>) {
         let cfg = &self.cfg;
         // Sampling grid: every `sample_every_days`, plus the horizon.
         let grid: Vec<u32> = (1..=cfg.horizon_days)
@@ -167,7 +255,12 @@ impl FleetSim {
         let indices: Vec<u32> = (0..cfg.devices).collect();
         let tracks =
             salamander_exec::par_map(threads, &indices, |_, &i| Self::age_device(cfg, i, &grid));
+        (grid, tracks)
+    }
 
+    /// Reduce per-device tracks to the fleet time series.
+    fn reduce(&self, grid: &[u32], tracks: &[DeviceTrack]) -> FleetTimeline {
+        let cfg = &self.cfg;
         let mut samples = Vec::with_capacity(grid.len() + 1);
         samples.push(FleetSample {
             day: 0,
@@ -181,7 +274,7 @@ impl FleetSim {
             let mut capacity = 0u64;
             let mut wear_deaths = 0u32;
             let mut afr_deaths = 0u32;
-            for t in &tracks {
+            for t in tracks {
                 capacity += t.caps[gi];
                 match t.death {
                     Some((d, cause)) if d <= day => match cause {
@@ -368,6 +461,32 @@ mod tests {
         for n in [2, 4, 8] {
             assert_eq!(sim.run_threads(Threads::fixed(n)), serial, "threads={n}");
         }
+    }
+
+    #[test]
+    fn observed_run_matches_plain_and_is_thread_invariant() {
+        let sim = quick_sim(StatMode::Shrink, 7);
+        let plain = sim.run_threads(Threads::fixed(1));
+        let a = sim.run_observed(Threads::fixed(1), "fleet=shrink", &Profiler::disabled());
+        let b = sim.run_observed(Threads::fixed(4), "fleet=shrink", &Profiler::disabled());
+        assert_eq!(a.timeline, plain);
+        assert_eq!(a.trace, b.trace, "trace must be thread-invariant");
+        assert_eq!(a.metrics, b.metrics);
+        // Every death in the timeline shows up as a trace event.
+        let last = plain.samples.last().unwrap();
+        let deaths = a
+            .trace
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::FleetDeviceDied { .. }))
+            .count() as u32;
+        assert_eq!(deaths, last.wear_deaths + last.afr_deaths);
+        assert_eq!(
+            a.metrics.counter("salamander_fleet_wear_deaths_total") as u32,
+            last.wear_deaths
+        );
+        // Deaths are chronological.
+        let days: Vec<u32> = a.trace.iter().map(|r| r.time.day).collect();
+        assert!(days.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

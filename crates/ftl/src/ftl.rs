@@ -33,6 +33,8 @@ use crate::wear::WearTracker;
 use salamander_ecc::profile::{LevelProfile, Tiredness};
 use salamander_flash::array::FlashArray;
 use salamander_flash::geometry::{BlockAddr, FPageAddr};
+use salamander_obs::metrics::{GC_BURST_BUCKETS, RETRY_DEPTH_BUCKETS};
+use salamander_obs::{DeathCause, DecommissionCause, Obs, SimTime, TraceEvent};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -86,6 +88,10 @@ pub struct Ftl {
     /// Round-robin position of the background scrubber.
     scrub_cursor: u32,
     dead: bool,
+    /// Observability handles (DESIGN.md §9). Run-scoped, not device
+    /// state: snapshots store a placeholder and restore disabled.
+    #[serde(with = "salamander_obs::obs_serde")]
+    obs: Obs,
 }
 
 impl Ftl {
@@ -133,7 +139,25 @@ impl Ftl {
             pending_fpage: [None, None],
             scrub_cursor: 0,
             dead: false,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach observability handles; pass [`Obs::disabled`] to detach.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The attached observability handles.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The simulation clock events are stamped with: whole device-days
+    /// elapsed plus the host-write index. Both are already part of the
+    /// deterministic simulation state, so stamps are thread-invariant.
+    fn now(&self) -> SimTime {
+        SimTime::new(self.flash.now_days() as u32, self.stats.host_writes)
     }
 
     /// The configuration this device was built with.
@@ -302,11 +326,28 @@ impl Ftl {
         if retries > 0 {
             self.stats.read_retries += retries;
             self.flash.record_retries(retries);
+            self.obs.trace.emit(
+                self.now(),
+                TraceEvent::ReadRetry {
+                    mdisk: id.0,
+                    retries: retries as u32,
+                },
+            );
+            self.obs
+                .metrics
+                .observe("salamander_read_retry_depth", RETRY_DEPTH_BUCKETS, retries);
         }
         if outcome.raw_bit_errors > capability {
             self.stats.uncorrectable_reads += 1;
             self.events
                 .push_back(FtlEvent::UncorrectableRead { id, lba });
+            self.obs.trace.emit(
+                self.now(),
+                TraceEvent::UncorrectableRead {
+                    mdisk: id.0,
+                    lba: lba.0,
+                },
+            );
             return Err(FtlError::Uncorrectable);
         }
         // Correctable: return the clean stored bytes (the ECC engine's
@@ -365,6 +406,13 @@ impl Ftl {
             // Refresh: rewrite the still-correctable data elsewhere.
             let o = self.cfg.geometry.opage_bytes as usize;
             let clean = self.flash.stored_data(fp).unwrap_or(None);
+            self.obs.trace.emit(
+                self.now(),
+                TraceEvent::ScrubRefresh {
+                    fpage: fp.index as u64,
+                    opages: owners.len() as u32,
+                },
+            );
             for (slot, (id, lba)) in owners {
                 let payload = clean
                     .as_ref()
@@ -521,6 +569,7 @@ impl Ftl {
     /// relocate its live data through the buffer, erase, reclassify.
     /// Returns `false` if no victim exists.
     fn gc_once(&mut self) -> Result<bool, FtlError> {
+        let _gc_phase = self.obs.profiler.phase("ftl/gc");
         let victim = self
             .alloc
             .used_blocks()
@@ -529,8 +578,20 @@ impl Ftl {
             return Ok(false);
         };
         self.stats.gc_runs += 1;
+        let relocated_before = self.stats.relocated_opages;
         self.relocate_block(victim);
         self.erase_and_reclassify(victim)?;
+        let relocated = self.stats.relocated_opages - relocated_before;
+        self.obs.trace.emit(
+            self.now(),
+            TraceEvent::GcPass {
+                block: victim.index as u64,
+                relocated,
+            },
+        );
+        self.obs
+            .metrics
+            .observe("salamander_gc_burst_opages", GC_BURST_BUCKETS, relocated);
         // Wear may have shifted levels: re-run the capacity protocol. The
         // relocated data flushes from the buffer in the outer drain loop.
         self.check_capacity();
@@ -578,18 +639,45 @@ impl Ftl {
         let mut any_usable = false;
         for fp in geom.fpages_in(block) {
             let projected = self.flash.projected_rber(fp);
-            let (_, new) = self.wear.reclassify(fp.index, projected);
+            let (old, new) = self.wear.reclassify(fp.index, projected);
             if new.usable() {
                 any_usable = true;
             } else {
                 any_dead = true;
+            }
+            if old != new {
+                let event = if new.usable() {
+                    TraceEvent::PageTired {
+                        fpage: fp.index as u64,
+                        from: old.index() as u8,
+                        to: new.index() as u8,
+                    }
+                } else {
+                    TraceEvent::PageRetired {
+                        fpage: fp.index as u64,
+                        from: old.index() as u8,
+                    }
+                };
+                self.obs.trace.emit(self.now(), event);
             }
         }
         if block_granular && any_dead {
             // Conventional SSDs (and CVSS-style shrinking) retire the whole
             // block once any page fails.
             for fp in geom.fpages_in(block) {
+                let level = self.wear.level(fp.index);
                 self.wear.kill(fp.index);
+                if level.usable() {
+                    // Collateral retirement of still-usable pages — the
+                    // cost of block granularity, visible in the trace.
+                    self.obs.trace.emit(
+                        self.now(),
+                        TraceEvent::PageRetired {
+                            fpage: fp.index as u64,
+                            from: level.index() as u8,
+                        },
+                    );
+                }
             }
             any_usable = false;
         }
@@ -612,6 +700,12 @@ impl Ftl {
             self.events.push_back(FtlEvent::DeviceFailed {
                 bad_block_fraction: frac,
             });
+            self.obs.trace.emit(
+                self.now(),
+                TraceEvent::DeviceDied {
+                    cause: DeathCause::Brick,
+                },
+            );
         }
     }
 
@@ -655,7 +749,7 @@ impl Ftl {
         // 1. Per-level shortfall.
         for &level in &levels {
             while self.table.committed_at(level) > self.wear.capacity_at(level) {
-                if !self.decommission_one(level) {
+                if !self.decommission_one(level, DecommissionCause::LevelShortfall) {
                     break;
                 }
             }
@@ -676,7 +770,7 @@ impl Ftl {
             let Some(level) = tightest else {
                 break;
             };
-            if !self.decommission_one(level) {
+            if !self.decommission_one(level, DecommissionCause::GcHeadroom) {
                 break;
             }
         }
@@ -694,6 +788,13 @@ impl Ftl {
                     let id = self.table.create_mdisk(msize as u32, level);
                     self.stats.mdisks_regenerated += 1;
                     self.events.push_back(FtlEvent::MdiskCreated { id, level });
+                    self.obs.trace.emit(
+                        self.now(),
+                        TraceEvent::MdiskRegenerated {
+                            id: id.0,
+                            level: level.index() as u8,
+                        },
+                    );
                 }
             }
         }
@@ -703,6 +804,12 @@ impl Ftl {
             self.events.push_back(FtlEvent::DeviceFailed {
                 bad_block_fraction: frac,
             });
+            self.obs.trace.emit(
+                self.now(),
+                TraceEvent::DeviceDied {
+                    cause: DeathCause::FullyShrunk,
+                },
+            );
         }
     }
 
@@ -713,7 +820,8 @@ impl Ftl {
     /// enters the *draining* state: its capacity leaves the ledger but its
     /// data stays readable until [`Self::ack_decommission`]. Otherwise the
     /// data is dropped immediately.
-    fn decommission_one(&mut self, level: Tiredness) -> bool {
+    fn decommission_one(&mut self, level: Tiredness, cause: DecommissionCause) -> bool {
+        let _decomm_phase = self.obs.profiler.phase("ftl/decommission");
         let victim = match self.cfg.victim_policy {
             VictimPolicy::LeastValid => self.table.least_valid_mdisk_at(level),
             VictimPolicy::HighestId => self.table.highest_mdisk_at(level),
@@ -736,6 +844,15 @@ impl Ftl {
             valid_lbas: valid,
             draining: grace,
         });
+        self.obs.trace.emit(
+            self.now(),
+            TraceEvent::MdiskDecommissioned {
+                id: victim.0,
+                valid_lbas: valid,
+                draining: grace,
+                cause,
+            },
+        );
         if grace {
             self.enforce_draining_bound();
         }
@@ -769,6 +886,9 @@ impl Ftl {
             self.buffers[0].remove_mdisk(victim);
             self.buffers[1].remove_mdisk(victim);
             self.events.push_back(FtlEvent::MdiskPurged { id: victim });
+            self.obs
+                .trace
+                .emit(self.now(), TraceEvent::MdiskPurged { id: victim.0 });
         }
     }
 
@@ -828,6 +948,46 @@ impl Ftl {
             uncorrectable_reads: self.stats.uncorrectable_reads,
             read_retries: self.stats.read_retries,
             life_remaining: (1.0 - avg_pec / median_endurance.max(1.0)).clamp(0.0, 1.0),
+        }
+    }
+
+    /// Dump the cumulative [`FtlStats`] counters into the attached
+    /// metrics registry (no-op when metrics are disabled). Called by
+    /// the sim drivers at sample points and at end of run; counters are
+    /// absolute, so re-export overwrites are idempotent per run.
+    pub fn export_metrics(&self) {
+        let m = &self.obs.metrics;
+        if !m.is_enabled() {
+            return;
+        }
+        let s = &self.stats;
+        let reg = [
+            ("salamander_host_writes_total", s.host_writes),
+            ("salamander_host_reads_total", s.host_reads),
+            ("salamander_opages_programmed_total", s.opages_programmed),
+            ("salamander_relocated_opages_total", s.relocated_opages),
+            ("salamander_gc_runs_total", s.gc_runs),
+            (
+                "salamander_mdisks_decommissioned_total",
+                s.mdisks_decommissioned,
+            ),
+            ("salamander_mdisks_regenerated_total", s.mdisks_regenerated),
+            (
+                "salamander_uncorrectable_reads_total",
+                s.uncorrectable_reads,
+            ),
+            ("salamander_buffer_hits_total", s.buffer_hits),
+            ("salamander_read_retries_total", s.read_retries),
+            ("salamander_scrub_reads_total", s.scrub_reads),
+            ("salamander_scrub_refreshes_total", s.scrub_refreshes),
+        ];
+        for (key, v) in reg {
+            // Counters are monotone; export the delta over what the
+            // registry already holds so repeated exports stay absolute.
+            m.inc(key, v.saturating_sub(m.counter(key)));
+        }
+        if let Some(wa) = s.write_amplification() {
+            m.set_gauge("salamander_write_amplification", wa);
         }
     }
 

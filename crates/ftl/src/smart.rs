@@ -52,6 +52,47 @@ pub struct SmartReport {
 }
 
 impl SmartReport {
+    /// Export the report as gauges into a metrics registry, labelled
+    /// with the sample point (e.g. `day="30"` or `op="120000"`). One
+    /// run with `--metrics` then carries the whole headroom/limbo
+    /// trajectory — the Fig. 3 curves — instead of needing a CSV per
+    /// figure.
+    pub fn export_gauges(&self, metrics: &salamander_obs::MetricsHandle, label: &str) {
+        if !metrics.is_enabled() {
+            return;
+        }
+        metrics.set_gauge(
+            &format!("salamander_smart_headroom_opages{{{label}}}"),
+            self.headroom_opages as f64,
+        );
+        metrics.set_gauge(
+            &format!("salamander_smart_usable_opages{{{label}}}"),
+            self.usable_opages as f64,
+        );
+        metrics.set_gauge(
+            &format!("salamander_smart_committed_lbas{{{label}}}"),
+            self.committed_lbas as f64,
+        );
+        metrics.set_gauge(
+            &format!("salamander_smart_avg_pec{{{label}}}"),
+            self.avg_pec,
+        );
+        metrics.set_gauge(
+            &format!("salamander_smart_life_remaining{{{label}}}"),
+            self.life_remaining,
+        );
+        metrics.set_gauge(
+            &format!("salamander_smart_pages_near_retirement{{{label}}}"),
+            self.pages_near_retirement as f64,
+        );
+        for (i, count) in self.level_histogram.iter().enumerate() {
+            metrics.set_gauge(
+                &format!("salamander_smart_limbo_pages{{level=\"L{i}\",{label}}}"),
+                *count as f64,
+            );
+        }
+    }
+
     /// Whether a minidisk decommission is imminent: the capacity at stake
     /// on near-retirement pages (scaled by `margin`) exceeds the remaining
     /// headroom. A fresh device reports no near-retirement pages and is

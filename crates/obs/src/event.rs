@@ -1,0 +1,202 @@
+//! Typed trace events and the simulation clock they are stamped with.
+//!
+//! Every event carries a [`SimTime`] — a (day, op-index) pair read off
+//! the simulation itself — never wall-clock. That is the whole
+//! determinism contract: two runs of the same seed produce the same
+//! event sequence with the same stamps, regardless of thread count or
+//! host machine. Anything wall-clock lives in [`crate::profile`] and is
+//! excluded from traces by construction.
+//!
+//! Events use raw integer ids (`u32` minidisk ids, `u64` page indexes)
+//! instead of the FTL's newtypes so this crate sits below every
+//! simulation layer in the dependency graph.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulation timestamp: the device clock in days plus the host-write
+/// op index at emission time. Ordered chronologically (day first, then
+/// op) so traces sort the way they replayed.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime {
+    /// Whole simulated days elapsed.
+    pub day: u32,
+    /// Host operations issued so far (monotone within a run).
+    pub op: u64,
+}
+
+impl SimTime {
+    /// The start of a run.
+    pub const ZERO: SimTime = SimTime { day: 0, op: 0 };
+
+    /// Build a timestamp.
+    pub fn new(day: u32, op: u64) -> Self {
+        SimTime { day, op }
+    }
+}
+
+/// Why a minidisk was decommissioned (the two shortfall loops of the
+/// capacity protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecommissionCause {
+    /// A tiredness level's committed ledger exceeded its usable pages.
+    LevelShortfall,
+    /// Global GC headroom dropped below the overprovisioning floor.
+    GcHeadroom,
+}
+
+/// Why a device left service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeathCause {
+    /// Baseline bricking: bad-block budget exhausted.
+    Brick,
+    /// ShrinkS/RegenS end state: every minidisk decommissioned.
+    FullyShrunk,
+    /// Fleet statistical model: wear-out death.
+    Wear,
+    /// Fleet statistical model: annualized-failure-rate death.
+    Afr,
+}
+
+/// One structured trace event. Externally-tagged (serde's default), so
+/// the JSONL form is `{"EventName":{...fields...}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Segment marker: everything after this record (until the next
+    /// marker) belongs to the named run. Lets one trace file carry a
+    /// whole bench fan-out deterministically.
+    RunMarker {
+        /// Run label, e.g. `"mode=ShrinkS"` or `"device=3"`.
+        label: String,
+    },
+    /// A flash page crossed a tiredness boundary (still usable).
+    PageTired {
+        /// Flat fPage index.
+        fpage: u64,
+        /// Level before the transition (0–4).
+        from: u8,
+        /// Level after the transition (0–4).
+        to: u8,
+    },
+    /// A flash page reached L4 and left service.
+    PageRetired {
+        /// Flat fPage index.
+        fpage: u64,
+        /// Level it retired from.
+        from: u8,
+    },
+    /// The capacity protocol decommissioned a minidisk.
+    MdiskDecommissioned {
+        /// Minidisk id.
+        id: u32,
+        /// Valid LBAs it still held.
+        valid_lbas: u32,
+        /// Whether it entered the draining grace period.
+        draining: bool,
+        /// Which shortfall loop triggered it.
+        cause: DecommissionCause,
+    },
+    /// A draining minidisk was force-purged (grace expired).
+    MdiskPurged {
+        /// Minidisk id.
+        id: u32,
+    },
+    /// RegenS created a replacement minidisk on tired pages.
+    MdiskRegenerated {
+        /// New minidisk id.
+        id: u32,
+        /// Tiredness level it was carved from.
+        level: u8,
+    },
+    /// One garbage-collection pass completed.
+    GcPass {
+        /// Victim block index.
+        block: u64,
+        /// Valid oPages relocated out of the victim.
+        relocated: u64,
+    },
+    /// Scrub patrol rewrote a page nearing its retention limit.
+    ScrubRefresh {
+        /// Flat fPage index.
+        fpage: u64,
+        /// oPages refreshed.
+        opages: u32,
+    },
+    /// A host read needed ECC retries.
+    ReadRetry {
+        /// Minidisk id served.
+        mdisk: u32,
+        /// Extra array reads performed.
+        retries: u32,
+    },
+    /// A read failed even after retries.
+    UncorrectableRead {
+        /// Minidisk id served.
+        mdisk: u32,
+        /// Logical address within the minidisk.
+        lba: u32,
+    },
+    /// The device left service.
+    DeviceDied {
+        /// Why.
+        cause: DeathCause,
+    },
+    /// A fleet-simulated device died (statistical model).
+    FleetDeviceDied {
+        /// Device index within the fleet.
+        device: u32,
+        /// Why.
+        cause: DeathCause,
+    },
+    /// diFS re-replicated a chunk after a unit loss.
+    ChunkReReplicated {
+        /// Chunk id.
+        chunk: u64,
+        /// Bytes moved.
+        bytes: u64,
+    },
+    /// diFS lost a chunk (all replicas gone).
+    ChunkLost {
+        /// Chunk id.
+        chunk: u64,
+    },
+}
+
+/// A trace event plus its position in the run: a per-handle sequence
+/// number and the simulation clock at emission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Monotone per-trace sequence number (0-based).
+    pub seq: u64,
+    /// Simulation clock at emission.
+    pub time: SimTime,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_time_orders_chronologically() {
+        let a = SimTime::new(1, 99);
+        let b = SimTime::new(2, 0);
+        assert!(a < b);
+        assert!(SimTime::ZERO < a);
+    }
+
+    #[test]
+    fn event_round_trips_through_json() {
+        let e = TraceEvent::MdiskDecommissioned {
+            id: 7,
+            valid_lbas: 120,
+            draining: true,
+            cause: DecommissionCause::GcHeadroom,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,402 @@
+//! Deterministic metrics registry: counters, gauges, fixed-bucket
+//! histograms, Prometheus-style text exposition.
+//!
+//! Keys are flat strings with Prometheus label syntax embedded
+//! (`salamander_headroom_opages{day="30"}`); storage is `BTreeMap`, so
+//! rendering is byte-deterministic. Under `par_map`, give each task its
+//! own registry (a shard) and [`MetricsRegistry::merge`] the shards in
+//! task-index order: counters and histograms are commutative sums, and
+//! gauges are last-write-wins, so a fixed merge order pins the result.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Fixed-bucket histogram (cumulative-at-render, Prometheus `le`
+/// semantics). Bucket bounds are set by the first `observe` for a key
+/// and must match on merge.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    /// Upper bounds, ascending. An implicit `+Inf` bucket follows.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts (non-cumulative; `len == bounds.len() + 1`).
+    pub counts: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub total: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+            total: 0,
+        }
+    }
+
+    fn observe(&mut self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.total += 1;
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram bucket bounds must match to merge"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.total += other.total;
+    }
+}
+
+/// Counter/gauge/histogram store with deterministic rendering.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to a counter (created at zero on first touch).
+    pub fn inc(&mut self, key: &str, by: u64) {
+        *self.counters.entry(key.to_string()).or_insert(0) += by;
+    }
+
+    /// Set a gauge to `v` (last write wins).
+    pub fn set_gauge(&mut self, key: &str, v: f64) {
+        self.gauges.insert(key.to_string(), v);
+    }
+
+    /// Record `v` into the histogram `key` with the given bucket upper
+    /// bounds (ascending; an implicit `+Inf` bucket is appended). The
+    /// bounds are fixed by the first call per key.
+    pub fn observe(&mut self, key: &str, bounds: &[u64], v: u64) {
+        self.histograms
+            .entry(key.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(v);
+    }
+
+    /// Read a counter (zero if never touched).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Read a gauge.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Read a histogram.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// True if nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Fold another registry (a per-task shard) into this one.
+    /// Counters and histograms add; gauges take `other`'s value. Merge
+    /// shards in task-index order to keep gauge overwrites
+    /// deterministic.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// A copy of this registry with `label` (e.g. `mode="RegenS"`)
+    /// spliced into every key, so shards from runs that reuse the same
+    /// metric names (one per fleet mode, say) can merge without
+    /// colliding.
+    pub fn relabelled(&self, label: &str) -> MetricsRegistry {
+        fn splice(key: &str, label: &str) -> String {
+            match key.find('{') {
+                Some(i) => format!("{}{{{},{}", &key[..i], label, &key[i + 1..]),
+                None => format!("{key}{{{label}}}"),
+            }
+        }
+        MetricsRegistry {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (splice(k, label), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, v)| (splice(k, label), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (splice(k, label), h.clone()))
+                .collect(),
+        }
+    }
+
+    /// Prometheus text exposition. Families sorted by name, one
+    /// `# TYPE` line per family, histograms expanded into cumulative
+    /// `_bucket{le=...}` series plus `_sum`/`_count`. Floats render via
+    /// `{}` (shortest round-trip form), so output is byte-stable for
+    /// identical inputs.
+    pub fn render(&self) -> String {
+        // Family name = key up to the label block.
+        fn family(key: &str) -> &str {
+            key.split('{').next().unwrap_or(key)
+        }
+        // Splice extra labels (e.g. le) into a possibly-labelled key.
+        fn with_label(key: &str, label: &str) -> String {
+            match key.find('{') {
+                Some(i) => format!("{}{{{},{}", &key[..i], label, &key[i + 1..]),
+                None => format!("{key}{{{label}}}"),
+            }
+        }
+        let mut out = String::new();
+        let mut last_family = String::new();
+        let mut type_line = |out: &mut String, key: &str, kind: &str| {
+            let fam = family(key).to_string();
+            if fam != last_family {
+                let _ = writeln!(out, "# TYPE {fam} {kind}");
+                last_family = fam;
+            }
+        };
+        for (k, v) in &self.counters {
+            type_line(&mut out, k, "counter");
+            let _ = writeln!(out, "{k} {v}");
+        }
+        for (k, v) in &self.gauges {
+            type_line(&mut out, k, "gauge");
+            let _ = writeln!(out, "{k} {v}");
+        }
+        for (k, h) in &self.histograms {
+            type_line(&mut out, k, "histogram");
+            let mut cum = 0u64;
+            for (i, c) in h.counts.iter().enumerate() {
+                cum += c;
+                let le = match h.bounds.get(i) {
+                    Some(b) => b.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                let series = with_label(k, &format!("le=\"{le}\""));
+                let _ = writeln!(out, "{series} {cum}");
+            }
+            let _ = writeln!(out, "{}_sum {}", k, h.sum);
+            let _ = writeln!(out, "{}_count {}", k, h.total);
+        }
+        out
+    }
+}
+
+/// Shared, optionally-disabled handle to a [`MetricsRegistry`],
+/// mirroring [`crate::trace::TraceHandle`].
+#[derive(Clone, Default)]
+pub struct MetricsHandle(Option<Arc<Mutex<MetricsRegistry>>>);
+
+impl MetricsHandle {
+    /// A handle that drops every update (the default).
+    pub fn disabled() -> Self {
+        MetricsHandle(None)
+    }
+
+    /// A live registry.
+    pub fn enabled() -> Self {
+        MetricsHandle(Some(Arc::new(Mutex::new(MetricsRegistry::new()))))
+    }
+
+    /// Whether updates are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Add `by` to a counter.
+    pub fn inc(&self, key: &str, by: u64) {
+        if let Some(reg) = &self.0 {
+            reg.lock().expect("metrics lock").inc(key, by);
+        }
+    }
+
+    /// Set a gauge.
+    pub fn set_gauge(&self, key: &str, v: f64) {
+        if let Some(reg) = &self.0 {
+            reg.lock().expect("metrics lock").set_gauge(key, v);
+        }
+    }
+
+    /// Record a histogram observation.
+    pub fn observe(&self, key: &str, bounds: &[u64], v: u64) {
+        if let Some(reg) = &self.0 {
+            reg.lock().expect("metrics lock").observe(key, bounds, v);
+        }
+    }
+
+    /// Read a counter (zero when disabled or never touched).
+    pub fn counter(&self, key: &str) -> u64 {
+        match &self.0 {
+            Some(reg) => reg.lock().expect("metrics lock").counter(key),
+            None => 0,
+        }
+    }
+
+    /// Take the accumulated registry, leaving an empty one behind.
+    pub fn take(&self) -> MetricsRegistry {
+        match &self.0 {
+            Some(reg) => std::mem::take(&mut *reg.lock().expect("metrics lock")),
+            None => MetricsRegistry::new(),
+        }
+    }
+
+    /// Clone the accumulated registry without draining it.
+    pub fn snapshot(&self) -> MetricsRegistry {
+        match &self.0 {
+            Some(reg) => reg.lock().expect("metrics lock").clone(),
+            None => MetricsRegistry::new(),
+        }
+    }
+}
+
+impl fmt::Debug for MetricsHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetricsHandle")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// Standard retry-depth buckets (extra array reads per host read).
+pub const RETRY_DEPTH_BUCKETS: &[u64] = &[1, 2, 4, 8];
+/// Standard relocation-burst buckets (oPages moved per GC pass).
+pub const GC_BURST_BUCKETS: &[u64] = &[8, 16, 32, 64, 128, 256];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = MetricsRegistry::new();
+        r.inc("a_total", 2);
+        r.inc("a_total", 3);
+        assert_eq!(r.counter("a_total"), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_render() {
+        let mut r = MetricsRegistry::new();
+        for v in [1, 2, 3, 10] {
+            r.observe("h", &[2, 5], v);
+        }
+        let h = r.histogram("h").unwrap();
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.sum, 16);
+        let text = r.render();
+        assert!(text.contains("# TYPE h histogram"));
+        assert!(text.contains("h{le=\"2\"} 2"));
+        assert!(text.contains("h{le=\"5\"} 3"));
+        assert!(text.contains("h{le=\"+Inf\"} 4"));
+        assert!(text.contains("h_sum 16"));
+        assert!(text.contains("h_count 4"));
+    }
+
+    #[test]
+    fn labelled_histogram_key_splices_le() {
+        let mut r = MetricsRegistry::new();
+        r.observe("h{mode=\"shrink\"}", &[1], 1);
+        let text = r.render();
+        assert!(text.contains("h{le=\"1\",mode=\"shrink\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn merge_is_order_sensitive_only_for_gauges() {
+        let mut a = MetricsRegistry::new();
+        a.inc("c", 1);
+        a.set_gauge("g", 1.0);
+        a.observe("h", &[10], 3);
+        let mut b = MetricsRegistry::new();
+        b.inc("c", 2);
+        b.set_gauge("g", 2.0);
+        b.observe("h", &[10], 30);
+        let mut m = MetricsRegistry::new();
+        m.merge(&a);
+        m.merge(&b);
+        assert_eq!(m.counter("c"), 3);
+        assert_eq!(m.gauge("g"), Some(2.0));
+        assert_eq!(m.histogram("h").unwrap().total, 2);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_sorted() {
+        let mut r = MetricsRegistry::new();
+        r.inc("z_total", 1);
+        r.inc("a_total", 1);
+        r.set_gauge("m_gauge", 0.5);
+        let once = r.render();
+        assert_eq!(once, r.render());
+        let a = once.find("a_total").unwrap();
+        let z = once.find("z_total").unwrap();
+        assert!(a < z);
+    }
+
+    #[test]
+    fn relabelled_splices_into_bare_and_labelled_keys() {
+        let mut r = MetricsRegistry::new();
+        r.inc("deaths_total", 3);
+        r.set_gauge("cap{day=\"30\"}", 7.0);
+        let l = r.relabelled("mode=\"RegenS\"");
+        assert_eq!(l.counter("deaths_total{mode=\"RegenS\"}"), 3);
+        assert_eq!(l.gauge("cap{mode=\"RegenS\",day=\"30\"}"), Some(7.0));
+        // Shards relabelled differently no longer collide on merge.
+        let mut merged = r.relabelled("mode=\"A\"");
+        merged.merge(&r.relabelled("mode=\"B\""));
+        assert_eq!(merged.counter("deaths_total{mode=\"A\"}"), 3);
+        assert_eq!(merged.counter("deaths_total{mode=\"B\"}"), 3);
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = MetricsHandle::disabled();
+        h.inc("c", 1);
+        assert!(h.take().is_empty());
+    }
+
+    #[test]
+    fn handle_take_drains() {
+        let h = MetricsHandle::enabled();
+        h.inc("c", 1);
+        let first = h.take();
+        assert_eq!(first.counter("c"), 1);
+        assert!(h.take().is_empty());
+    }
+}

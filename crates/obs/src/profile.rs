@@ -1,0 +1,126 @@
+//! Scoped wall-clock phase timers.
+//!
+//! **Non-deterministic by nature** — these measure the host machine,
+//! not the simulation. They are therefore excluded from traces and
+//! metrics (which must stay byte-reproducible); callers print the
+//! report to stdout and never into `results/` artifacts. A disabled
+//! profiler (the default) costs one branch per phase entry.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Accumulated time for one named phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Times the phase was entered.
+    pub calls: u64,
+    /// Total wall-clock time inside the phase (nested phases included).
+    pub total: Duration,
+}
+
+/// The shared phase-stat store behind a live [`Profiler`].
+type PhaseStore = Arc<Mutex<BTreeMap<String, PhaseStat>>>;
+
+/// Shared, optionally-disabled collection of phase timers. Cloning
+/// shares the underlying store, so one profiler can span threads (the
+/// lock is only taken on phase exit).
+#[derive(Clone, Default)]
+pub struct Profiler(Option<PhaseStore>);
+
+impl Profiler {
+    /// A profiler that measures nothing (the default).
+    pub fn disabled() -> Self {
+        Profiler(None)
+    }
+
+    /// A live profiler.
+    pub fn enabled() -> Self {
+        Profiler(Some(Arc::new(Mutex::new(BTreeMap::new()))))
+    }
+
+    /// Whether phases are being timed.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Enter a phase; the returned guard records elapsed wall-clock
+    /// time when dropped. Inert when disabled.
+    pub fn phase(&self, name: &str) -> PhaseGuard {
+        PhaseGuard(
+            self.0
+                .as_ref()
+                .map(|store| (store.clone(), name.to_string(), Instant::now())),
+        )
+    }
+
+    /// Phase totals sorted by name: `(name, calls, total)`.
+    pub fn stats(&self) -> Vec<(String, PhaseStat)> {
+        match &self.0 {
+            Some(store) => store
+                .lock()
+                .expect("profiler lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Profiler")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// RAII guard for one phase entry (see [`Profiler::phase`]).
+#[must_use = "the phase is timed until this guard drops"]
+pub struct PhaseGuard(Option<(PhaseStore, String, Instant)>);
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if let Some((store, name, start)) = self.0.take() {
+            let elapsed = start.elapsed();
+            let mut store = store.lock().expect("profiler lock");
+            let stat = store.entry(name).or_default();
+            stat.calls += 1;
+            stat.total += elapsed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let p = Profiler::disabled();
+        drop(p.phase("x"));
+        assert!(p.stats().is_empty());
+    }
+
+    #[test]
+    fn phases_accumulate_calls_and_time() {
+        let p = Profiler::enabled();
+        for _ in 0..3 {
+            let _g = p.phase("work");
+        }
+        let stats = p.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].0, "work");
+        assert_eq!(stats[0].1.calls, 3);
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let p = Profiler::enabled();
+        let q = p.clone();
+        drop(q.phase("shared"));
+        assert_eq!(p.stats()[0].1.calls, 1);
+    }
+}

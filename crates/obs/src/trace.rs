@@ -1,0 +1,329 @@
+//! Tracer trait, recorders, and the shared [`TraceHandle`].
+//!
+//! The handle is the thing simulation code holds: a cheap `Clone`
+//! wrapper that is a no-op when tracing is disabled (one `Option`
+//! branch per emission) and appends a [`TraceRecord`] to the configured
+//! [`Tracer`] when enabled. Sequence numbers are assigned by the handle
+//! so a trace is self-ordering even if the sink reorders writes.
+//!
+//! Determinism under `par_map`: give each task its *own* handle (ring
+//! recorder), then concatenate the `take()`n records in task-index
+//! order. Sharing one handle across threads is safe (it locks) but the
+//! interleave would depend on scheduling — only do that on
+//! single-threaded paths.
+
+use crate::event::{SimTime, TraceEvent, TraceRecord};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A sink for trace records.
+pub trait Tracer: Send {
+    /// Consume one record.
+    fn record(&mut self, rec: &TraceRecord);
+
+    /// Drain buffered records, if this tracer buffers. Streaming sinks
+    /// return nothing.
+    fn take(&mut self) -> Vec<TraceRecord> {
+        Vec::new()
+    }
+
+    /// Flush any underlying writer. Buffering tracers need not do
+    /// anything.
+    fn flush(&mut self) {}
+
+    /// Records dropped due to capacity (ring overflow).
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// Bounded in-memory recorder: keeps the most recent `cap` records and
+/// counts what it sheds.
+#[derive(Debug, Default)]
+pub struct RingRecorder {
+    cap: usize,
+    buf: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// Keep at most `cap` records (oldest evicted first).
+    pub fn new(cap: usize) -> Self {
+        RingRecorder {
+            cap: cap.max(1),
+            buf: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Effectively unbounded (bounded only by memory).
+    pub fn unbounded() -> Self {
+        Self::new(usize::MAX)
+    }
+}
+
+impl Tracer for RingRecorder {
+    fn record(&mut self, rec: &TraceRecord) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(rec.clone());
+    }
+
+    fn take(&mut self) -> Vec<TraceRecord> {
+        self.buf.drain(..).collect()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Streaming JSONL sink: one record per line, written as it arrives.
+/// Single-threaded use only if byte-stable output matters — under
+/// `par_map`, record to rings and serialize the merged trace instead.
+pub struct JsonlSink<W: Write + Send> {
+    out: W,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wrap a writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out }
+    }
+}
+
+impl<W: Write + Send> Tracer for JsonlSink<W> {
+    fn record(&mut self, rec: &TraceRecord) {
+        let line = serde_json::to_string(rec).expect("trace records always serialize");
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+struct Inner {
+    seq: u64,
+    tracer: Box<dyn Tracer>,
+}
+
+/// Shared, optionally-disabled handle to a [`Tracer`].
+#[derive(Clone, Default)]
+pub struct TraceHandle(Option<Arc<Mutex<Inner>>>);
+
+impl TraceHandle {
+    /// A handle that drops every event (the default). Emission through
+    /// it is a single branch.
+    pub fn disabled() -> Self {
+        TraceHandle(None)
+    }
+
+    /// Record into a bounded ring.
+    pub fn ring(cap: usize) -> Self {
+        Self::with(Box::new(RingRecorder::new(cap)))
+    }
+
+    /// Record into an unbounded buffer.
+    pub fn recording() -> Self {
+        Self::with(Box::new(RingRecorder::unbounded()))
+    }
+
+    /// Use an arbitrary tracer.
+    pub fn with(tracer: Box<dyn Tracer>) -> Self {
+        TraceHandle(Some(Arc::new(Mutex::new(Inner { seq: 0, tracer }))))
+    }
+
+    /// Whether events are being consumed at all.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Stamp and record one event. No-op (one branch) when disabled.
+    pub fn emit(&self, time: SimTime, event: TraceEvent) {
+        if let Some(inner) = &self.0 {
+            let mut inner = inner.lock().expect("trace lock");
+            let rec = TraceRecord {
+                seq: inner.seq,
+                time,
+                event,
+            };
+            inner.seq += 1;
+            inner.tracer.record(&rec);
+        }
+    }
+
+    /// Drain buffered records from the underlying tracer.
+    pub fn take(&self) -> Vec<TraceRecord> {
+        match &self.0 {
+            Some(inner) => inner.lock().expect("trace lock").tracer.take(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Records shed by the underlying tracer (ring overflow).
+    pub fn dropped(&self) -> u64 {
+        match &self.0 {
+            Some(inner) => inner.lock().expect("trace lock").tracer.dropped(),
+            None => 0,
+        }
+    }
+
+    /// Flush a streaming tracer.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.0 {
+            inner.lock().expect("trace lock").tracer.flush();
+        }
+    }
+}
+
+impl fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceHandle")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// Render records as JSONL (one JSON object per line, trailing
+/// newline). Byte-deterministic: field order is fixed by the serde
+/// derive, floats never appear in events.
+pub fn to_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&serde_json::to_string(rec).expect("trace records always serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSONL trace back into records. Blank lines are skipped.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: TraceRecord =
+            serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Re-sequence a merged trace: records concatenated from several
+/// per-task handles each restart at seq 0; this renumbers them
+/// globally so the merged file is self-ordering.
+pub fn resequence(records: &mut [TraceRecord]) {
+    for (i, rec) in records.iter_mut().enumerate() {
+        rec.seq = i as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DeathCause;
+
+    fn ev(n: u64) -> TraceEvent {
+        TraceEvent::GcPass {
+            block: n,
+            relocated: n * 2,
+        }
+    }
+
+    #[test]
+    fn disabled_handle_drops_everything() {
+        let h = TraceHandle::disabled();
+        h.emit(SimTime::ZERO, ev(1));
+        assert!(!h.is_enabled());
+        assert!(h.take().is_empty());
+    }
+
+    #[test]
+    fn recording_handle_sequences_events() {
+        let h = TraceHandle::recording();
+        for n in 0..5 {
+            h.emit(SimTime::new(0, n), ev(n));
+        }
+        let recs = h.take();
+        assert_eq!(recs.len(), 5);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+        // Drained: a second take is empty.
+        assert!(h.take().is_empty());
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let h = TraceHandle::ring(3);
+        for n in 0..10 {
+            h.emit(SimTime::new(0, n), ev(n));
+        }
+        assert_eq!(h.dropped(), 7);
+        let recs = h.take();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].seq, 7);
+        assert_eq!(recs[2].seq, 9);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let h = TraceHandle::recording();
+        h.emit(
+            SimTime::new(3, 77),
+            TraceEvent::DeviceDied {
+                cause: DeathCause::FullyShrunk,
+            },
+        );
+        h.emit(SimTime::new(3, 78), ev(9));
+        let recs = h.take();
+        let text = to_jsonl(&recs);
+        assert_eq!(text.lines().count(), 2);
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn jsonl_sink_streams_lines() {
+        let buf: Vec<u8> = Vec::new();
+        let shared = Arc::new(Mutex::new(buf));
+        struct SharedWriter(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedWriter {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let h = TraceHandle::with(Box::new(JsonlSink::new(SharedWriter(shared.clone()))));
+        h.emit(SimTime::ZERO, ev(1));
+        h.flush();
+        let text = String::from_utf8(shared.lock().unwrap().clone()).unwrap();
+        let recs = parse_jsonl(&text).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].event, ev(1));
+    }
+
+    #[test]
+    fn resequence_renumbers_globally() {
+        let mut recs: Vec<TraceRecord> = (0..3)
+            .chain(0..2)
+            .map(|s| TraceRecord {
+                seq: s,
+                time: SimTime::ZERO,
+                event: ev(s),
+            })
+            .collect();
+        resequence(&mut recs);
+        let seqs: Vec<u64> = recs.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+}

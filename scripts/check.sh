@@ -28,10 +28,29 @@ run() {
 
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
+
+# Library crates must not print: structured output goes through
+# salamander-obs (DESIGN.md §9). The bench harness binaries (and the
+# report/profile printers that exist to print) are the only exemptions.
+echo "==> checking library crates for println!"
+if grep -rn 'println!' crates/*/src \
+    --include='*.rs' \
+    --exclude-dir=bin |
+    grep -v '^crates/bench/' |
+    grep -v 'crates/core/src/report.rs' |
+    grep -v '^\s*//' |
+    grep -v '///'; then
+    echo "error: println! in a library crate; emit through salamander-obs instead" >&2
+    exit 1
+fi
+
 if [ "$quick" -eq 0 ]; then
     run cargo build --release --workspace
 fi
 # Tier-1 gate: the release build above plus the test suite.
 run cargo test --workspace -q
+# The DESIGN.md §9 determinism contract, enforced explicitly: traces
+# and metrics must be byte-identical at any thread count.
+run cargo test --test trace_determinism
 
 echo "All checks passed."

@@ -1,0 +1,69 @@
+//! The DESIGN.md §9 determinism contract, enforced end to end: the
+//! JSONL trace and rendered metrics of an observed run are
+//! byte-identical at any thread count. `scripts/check.sh` runs this
+//! test explicitly.
+
+use salamander::config::{Mode, SsdConfig};
+use salamander::sim::EnduranceSim;
+use salamander_exec::Threads;
+use salamander_fleet::device::{StatDeviceConfig, StatMode};
+use salamander_fleet::sim::{FleetConfig, FleetSim};
+use salamander_obs::{trace, MetricsRegistry, Profiler};
+
+/// Render a full compare-modes run (all mode shards merged in mode
+/// order) to (JSONL trace, Prometheus text) at a given thread count.
+fn endurance_telemetry(threads: Threads) -> (String, String) {
+    let cfg = SsdConfig::small_test();
+    let profiler = Profiler::disabled();
+    let observed = EnduranceSim::compare_modes_observed(cfg, threads, true, true, &profiler);
+    let mut records = Vec::new();
+    let mut metrics = MetricsRegistry::default();
+    for (o, mode) in observed.into_iter().zip(Mode::ALL) {
+        records.extend(o.trace);
+        metrics.merge(&o.metrics.relabelled(&format!("mode=\"{}\"", mode.name())));
+    }
+    trace::resequence(&mut records);
+    (trace::to_jsonl(&records), metrics.render())
+}
+
+#[test]
+fn endurance_trace_is_byte_identical_across_thread_counts() {
+    let (trace_serial, metrics_serial) = endurance_telemetry(Threads::fixed(1));
+    let (trace_parallel, metrics_parallel) = endurance_telemetry(Threads::fixed(4));
+    assert!(!trace_serial.is_empty());
+    assert_eq!(
+        trace_serial, trace_parallel,
+        "trace depends on thread count"
+    );
+    assert_eq!(
+        metrics_serial, metrics_parallel,
+        "metrics depend on thread count"
+    );
+    // And the JSONL round-trips losslessly.
+    let parsed = trace::parse_jsonl(&trace_serial).expect("trace parses");
+    assert_eq!(trace::to_jsonl(&parsed), trace_serial);
+}
+
+fn fleet_telemetry(threads: Threads) -> (String, String) {
+    let sim = FleetSim::new(FleetConfig {
+        device: StatDeviceConfig::datacenter(StatMode::Shrink),
+        devices: 40,
+        dwpd: 5.0,
+        dwpd_sigma: 0.25,
+        afr: 0.01,
+        horizon_days: 1500,
+        sample_every_days: 100,
+        seed: 42,
+    });
+    let o = sim.run_observed(threads, "fleet=determinism", &Profiler::disabled());
+    (trace::to_jsonl(&o.trace), o.metrics.render())
+}
+
+#[test]
+fn fleet_trace_is_byte_identical_across_thread_counts() {
+    let (trace_serial, metrics_serial) = fleet_telemetry(Threads::fixed(1));
+    let (trace_parallel, metrics_parallel) = fleet_telemetry(Threads::fixed(4));
+    assert!(trace_serial.lines().count() > 1, "expected some deaths");
+    assert_eq!(trace_serial, trace_parallel);
+    assert_eq!(metrics_serial, metrics_parallel);
+}
