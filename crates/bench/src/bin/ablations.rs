@@ -191,7 +191,6 @@ fn main() {
         }
         let purged = ftl
             .drain_events()
-            .iter()
             .filter(|e| matches!(e, salamander_ftl::types::FtlEvent::MdiskPurged { .. }))
             .count();
         ftl.export_metrics();

@@ -1,0 +1,181 @@
+//! Perf-regression harness: times the FTL hot path and the `lifetime
+//! --modes-only` end-to-end run, writing `BENCH_ftl_micro.json` and
+//! `BENCH_lifetime.json` (medians over ≥20 runs, machine+thread
+//! metadata) for `scripts/bench.sh` to gate against.
+//!
+//! Flags: `--runs N` (default 20), `--micro-only`, `--e2e-only`,
+//! `--out DIR` (default: current directory — run from the repo root).
+
+use salamander::config::{Mode, SsdConfig};
+use salamander::device::{BatchStop, SalamanderSsd};
+use salamander_bench::perf::{bench, BenchReport};
+use salamander_bench::{arg_or, has_flag};
+use salamander_ftl::types::{Lba, MdiskId};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Issue `count` synthetic writes in batches of 64 over the device's
+/// active minidisks (the endurance-driver pattern). Returns accepted
+/// writes; stops early on device death.
+fn churn(ssd: &mut SalamanderSsd, mut state: u64, count: u64) -> u64 {
+    let mut mdisks = ssd.minidisks();
+    let mut ops: Vec<(MdiskId, Lba)> = Vec::with_capacity(64);
+    let mut written = 0u64;
+    while written < count && !ssd.is_dead() {
+        if ssd.has_pending_events() {
+            ssd.poll_events();
+            ssd.minidisks_into(&mut mdisks);
+        }
+        if mdisks.is_empty() {
+            break;
+        }
+        ops.clear();
+        for _ in 0..64u64.min(count - written) {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let id = mdisks[(state as usize / 7) % mdisks.len()];
+            let lbas = ssd.minidisk_lbas(id).unwrap_or(1);
+            ops.push((id, Lba((state % lbas as u64) as u32)));
+        }
+        let out = ssd.write_batch(&ops);
+        written += out.written;
+        match out.stop {
+            Some(BatchStop::Events) => ssd.minidisks_into(&mut mdisks),
+            Some(BatchStop::DeviceDead) => break,
+            Some(BatchStop::Fatal(e)) => panic!("perf churn failed: {e}"),
+            None => {}
+        }
+    }
+    written
+}
+
+/// Micro suite: the per-op write path on a fresh device, and the
+/// steady-state GC cost once the device is preconditioned.
+fn micro(runs: u32) -> BenchReport {
+    let mut report = BenchReport::new("ftl_micro");
+    let cfg = SsdConfig::medium().mode(Mode::Shrink);
+
+    // Write path: K fresh-device writes per run (buffer/flush/map cost,
+    // little GC — the common case of every simulated op).
+    const WRITE_OPS: u64 = 20_000;
+    report.results.push(bench("ftl_write_path", runs, |run| {
+        let mut ssd = SalamanderSsd::open(cfg);
+        churn(&mut ssd, 0x5EED | u64::from(run) << 32, WRITE_OPS)
+    }));
+
+    // Same workload issued one op at a time through the per-op API, to
+    // attribute how much of the hot path the batched issue (thrust 3)
+    // buys over the flat-mapping/LUT work shared by both variants.
+    report
+        .results
+        .push(bench("ftl_write_path_serial", runs, |run| {
+            let mut ssd = SalamanderSsd::open(cfg);
+            let mut state = 0x5EED | u64::from(run) << 32;
+            let mut mdisks = ssd.minidisks();
+            let mut written = 0u64;
+            while written < WRITE_OPS && !ssd.is_dead() {
+                if ssd.has_pending_events() {
+                    ssd.poll_events();
+                    ssd.minidisks_into(&mut mdisks);
+                }
+                if mdisks.is_empty() {
+                    break;
+                }
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let id = mdisks[(state as usize / 7) % mdisks.len()];
+                let lbas = ssd.minidisk_lbas(id).unwrap_or(1);
+                match ssd.write(id, Lba((state % lbas as u64) as u32).0, None) {
+                    Ok(()) => written += 1,
+                    Err(_) => break,
+                }
+            }
+            written.max(1)
+        }));
+
+    // GC pass: precondition a shared device into steady-state GC
+    // (outside the timer), then charge each timed overwrite churn to the
+    // GC passes it forced — per-iter ns is the amortized pass cost. The
+    // medium device endures ~480k churn writes, so long campaigns reopen
+    // and re-precondition when it wears out (that run's time is
+    // polluted; the per-run medians absorb it).
+    fn precondition(ssd: &mut SalamanderSsd, seed: &mut u64) {
+        for _ in 0..200 {
+            if ssd.stats().gc_runs > 0 || ssd.is_dead() {
+                break;
+            }
+            churn(ssd, *seed, 20_000);
+            *seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        }
+    }
+    let mut ssd = SalamanderSsd::open(cfg);
+    let mut seed = 0xACEu64;
+    precondition(&mut ssd, &mut seed);
+    const GC_OPS: u64 = 10_000;
+    report.results.push(bench("ftl_gc_pass", runs, |_| {
+        if ssd.is_dead() {
+            ssd = SalamanderSsd::open(cfg);
+            precondition(&mut ssd, &mut seed);
+        }
+        let before = ssd.stats().gc_runs;
+        seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        churn(&mut ssd, seed, GC_OPS);
+        (ssd.stats().gc_runs - before).max(1)
+    }));
+    report
+}
+
+/// End-to-end suite: wall-clock of the `lifetime --modes-only` harness
+/// binary (sibling of this executable), run in a scratch directory so
+/// its `results/` output does not touch the repo's goldens.
+fn end_to_end(runs: u32) -> BenchReport {
+    let mut report = BenchReport::new("lifetime");
+    let exe = std::env::current_exe().expect("own path");
+    let lifetime = exe.with_file_name("lifetime");
+    assert!(
+        lifetime.exists(),
+        "{} not found — build the bench binaries first",
+        lifetime.display()
+    );
+    let scratch = std::env::temp_dir().join(format!("salamander-perf-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    report.results.push(bench("lifetime_modes_only", runs, |_| {
+        let status = Command::new(&lifetime)
+            .arg("--modes-only")
+            .current_dir(&scratch)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .expect("spawn lifetime");
+        assert!(status.success(), "lifetime exited with {status}");
+        1
+    }));
+    let _ = std::fs::remove_dir_all(&scratch);
+    report
+}
+
+fn write_report(dir: &Path, name: &str, report: &BenchReport) {
+    let path = dir.join(name);
+    std::fs::write(&path, report.to_json()).expect("write bench report");
+    for r in &report.results {
+        println!(
+            "{:24} median {:>12} ns  ({} runs, {} iters/run, {} ns/iter)",
+            r.name, r.median_ns, r.runs, r.iters_per_run, r.median_ns_per_iter
+        );
+    }
+    eprintln!("wrote {}", path.display());
+}
+
+fn main() {
+    let runs: u32 = arg_or("--runs", 20).max(1);
+    let out: PathBuf = PathBuf::from(arg_or("--out", ".".to_string()));
+    if !has_flag("--e2e-only") {
+        write_report(&out, "BENCH_ftl_micro.json", &micro(runs));
+    }
+    if !has_flag("--micro-only") {
+        write_report(&out, "BENCH_lifetime.json", &end_to_end(runs));
+    }
+}

@@ -8,6 +8,8 @@ use salamander::report::Table;
 use salamander_obs::{trace, MetricsRegistry, Obs, Profiler, TraceRecord};
 use std::path::PathBuf;
 
+pub mod perf;
+
 /// Print a table to stdout as markdown and persist it as CSV under
 /// `results/<name>.csv` (best-effort: printing always works, the file
 /// write reports failures to stderr without aborting the experiment).

@@ -8,8 +8,8 @@
 //! actually lives in.
 
 use crate::config::SsdConfig;
-use crate::device::SalamanderSsd;
-use salamander_ftl::types::FtlError;
+use crate::device::{BatchStop, SalamanderSsd};
+use salamander_ftl::types::{Lba, MdiskId};
 use salamander_obs::Obs;
 use salamander_workload::aging::AgingDriver;
 use serde::{Deserialize, Serialize};
@@ -87,6 +87,17 @@ impl DailySim {
         let mut state = self.seed | 1;
         let mut timeline = Vec::new();
         let mut days = 0;
+        // Batched issue state: the minidisk cache is refreshed at the
+        // start of each day (scrubbing between days can decommission)
+        // and whenever a batch stops on raised events — exactly the
+        // moments the per-op `ssd.minidisks()` of the serial loop could
+        // observe a different set. xorshift draws are device-
+        // independent, so draws left unconsumed by an early batch stop
+        // carry over and are re-mapped after the refresh.
+        const BATCH: usize = 64;
+        let mut mdisks: Vec<MdiskId> = Vec::new();
+        let mut pending: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+        let mut ops: Vec<(MdiskId, Lba)> = Vec::with_capacity(BATCH);
         for day in 1..=self.horizon_days {
             if ssd.is_dead() {
                 break;
@@ -94,22 +105,39 @@ impl DailySim {
             days = day;
             // The day's write budget, random LBAs over active minidisks.
             let budget = aging.writes_for_days(1.0);
-            for _ in 0..budget {
-                let mdisks = ssd.minidisks();
-                if mdisks.is_empty() || ssd.is_dead() {
+            ssd.minidisks_into(&mut mdisks);
+            let mut used = 0u64;
+            while used < budget && !ssd.is_dead() {
+                if mdisks.is_empty() {
                     break;
                 }
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                let id = mdisks[(state as usize / 7) % mdisks.len()];
-                let lbas = ssd.minidisk_lbas(id).unwrap_or(1);
-                match ssd.write(id, (state % lbas as u64) as u32, None) {
-                    Ok(()) | Err(FtlError::NoSuchMdisk) => {}
-                    Err(FtlError::DeviceDead) => break,
-                    Err(e) => panic!("daily write failed: {e}"),
+                let len = BATCH.min((budget - used) as usize);
+                while pending.len() < len {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    pending.push_back(state);
+                }
+                ops.clear();
+                for &s in pending.iter().take(len) {
+                    let id = mdisks[(s as usize / 7) % mdisks.len()];
+                    let lbas = ssd.minidisk_lbas(id).unwrap_or(1);
+                    ops.push((id, Lba((s % lbas as u64) as u32)));
+                }
+                let out = ssd.write_batch(&ops);
+                pending.drain(..out.consumed);
+                used += out.consumed as u64;
+                match out.stop {
+                    Some(BatchStop::Events) => ssd.minidisks_into(&mut mdisks),
+                    Some(BatchStop::DeviceDead) => break,
+                    Some(BatchStop::Fatal(e)) => panic!("daily write failed: {e}"),
+                    None => {}
                 }
             }
+            // Draws survive batch stops, never day boundaries: leftovers
+            // here mean the device died (or ran out of minidisks), after
+            // which the serial loop would never have drawn again.
+            pending.clear();
             ssd.advance_days(1.0);
             if self.scrub_pages_per_day > 0 && !ssd.is_dead() {
                 let _ = ssd.scrub(self.scrub_pages_per_day);

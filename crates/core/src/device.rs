@@ -2,9 +2,11 @@
 
 use crate::config::SsdConfig;
 use salamander_ecc::profile::Tiredness;
-use salamander_ftl::ftl::{Ftl, ReadData};
+use salamander_ftl::ftl::{BatchOutcome, Ftl, ReadData};
 use salamander_ftl::types::{FtlError, FtlEvent, Lba, MdiskId};
 use serde::{Deserialize, Serialize};
+
+pub use salamander_ftl::ftl::BatchStop;
 
 /// Host-facing notification, a thin renaming of the FTL event for API
 /// stability.
@@ -115,6 +117,12 @@ impl SalamanderSsd {
         self.ftl.active_mdisks()
     }
 
+    /// Fill `out` with the active minidisk ids (ascending), reusing its
+    /// capacity — for hot loops that cache the set between events.
+    pub fn minidisks_into(&self, out: &mut Vec<MdiskId>) {
+        self.ftl.active_mdisks_into(out);
+    }
+
     /// Size of one minidisk in LBAs (oPages).
     pub fn minidisk_lbas(&self, id: MdiskId) -> Option<u32> {
         self.ftl.mdisk_lbas(id)
@@ -139,6 +147,15 @@ impl SalamanderSsd {
     /// simulation write.
     pub fn write(&mut self, id: MdiskId, lba: u32, data: Option<&[u8]>) -> Result<(), FtlError> {
         self.ftl.write(id, Lba(lba), data)
+    }
+
+    /// Issue a batch of synthetic writes through the FTL's batched hot
+    /// path: bit-identical to writing one op at a time, but the batch
+    /// returns as soon as an op raises host events (so callers can
+    /// refresh cached minidisk sets), the device dies, or an op fails
+    /// fatally. See [`salamander_ftl::ftl::BatchOutcome`].
+    pub fn write_batch(&mut self, ops: &[(MdiskId, Lba)]) -> BatchOutcome {
+        self.ftl.write_batch(ops)
     }
 
     /// Read one oPage.
@@ -181,11 +198,7 @@ impl SalamanderSsd {
 
     /// Drain host notifications.
     pub fn poll_events(&mut self) -> Vec<HostEvent> {
-        self.ftl
-            .drain_events()
-            .into_iter()
-            .map(HostEvent::from)
-            .collect()
+        self.ftl.drain_events().map(HostEvent::from).collect()
     }
 
     /// Advance the simulated clock (retention errors accrue with time).

@@ -7,9 +7,9 @@
 //! RegenS ~1.5× over the bricking baseline.
 
 use crate::config::{Mode, SsdConfig};
-use crate::device::SalamanderSsd;
+use crate::device::{BatchStop, SalamanderSsd};
 use salamander_exec::Threads;
-use salamander_ftl::types::FtlError;
+use salamander_ftl::types::{Lba, MdiskId};
 use salamander_obs::{MetricsRegistry, Obs, SimTime, TraceEvent, TraceRecord};
 use salamander_workload::gen::{OpKind, Workload, WorkloadConfig};
 use serde::{Deserialize, Serialize};
@@ -139,33 +139,72 @@ impl EnduranceSim {
         // (decommission, purge, regeneration) as an event, so the cache
         // is refreshed exactly when it could have gone stale.
         let mut mdisks = ssd.minidisks();
+        // Ops are issued in batches through the FTL's batched hot path.
+        // A batch stops the moment an op raises events, so within one
+        // batch the minidisk set — and thus the addr → (minidisk, lba)
+        // mapping and the committed capacity — is constant, which makes
+        // the batched run bit-identical to the serial loop. Workload
+        // addresses are device-independent, so ops left unconsumed by an
+        // early stop carry over and are re-mapped after the refresh.
+        const BATCH: usize = 64;
+        let mut pending: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+        let mut ops: Vec<(MdiskId, Lba)> = Vec::with_capacity(BATCH);
         while !ssd.is_dead() && written < self.max_writes {
             if ssd.has_pending_events() {
                 ssd.poll_events();
-                mdisks = ssd.minidisks();
+                ssd.minidisks_into(&mut mdisks);
             }
             if mdisks.is_empty() {
                 break;
             }
-            let op = workload.next_op();
-            debug_assert_eq!(op.kind, OpKind::Write);
-            // Map the flat workload address onto (minidisk, lba) by
+            // Cap the batch at the next sample boundary so the sample
+            // (and its SMART gauge export) observes exactly the state
+            // the serial loop would have sampled.
+            let to_boundary = self.sample_every - written % self.sample_every;
+            let len = (BATCH as u64)
+                .min(to_boundary)
+                .min(self.max_writes - written) as usize;
+            while pending.len() < len {
+                let op = workload.next_op();
+                debug_assert_eq!(op.kind, OpKind::Write);
+                pending.push_back(op.addr);
+            }
+            // Map the flat workload addresses onto (minidisk, lba) by
             // striping across the *currently active* minidisks, so the
             // write pressure follows the shrinking device.
-            let target = mdisks[(op.addr % mdisks.len() as u64) as usize];
-            let lbas = ssd.minidisk_lbas(target).unwrap_or(1);
-            let lba = ((op.addr / mdisks.len() as u64) % lbas as u64) as u32;
-            match ssd.write(target, lba, None) {
-                Ok(()) => {
-                    written += 1;
-                    integral += ssd.ftl().committed_lbas() as f64;
-                    if written.is_multiple_of(self.sample_every) {
-                        timeline.push(sample(&ssd, written));
-                    }
+            ops.clear();
+            for &addr in pending.iter().take(len) {
+                let target = mdisks[(addr % mdisks.len() as u64) as usize];
+                let lbas = ssd.minidisk_lbas(target).unwrap_or(1);
+                let lba = ((addr / mdisks.len() as u64) % lbas as u64) as u32;
+                ops.push((target, Lba(lba)));
+            }
+            let committed_before = ssd.ftl().committed_lbas() as f64;
+            let out = ssd.write_batch(&ops);
+            pending.drain(..out.consumed);
+            if out.written > 0 {
+                // Replay the serial integral: committed capacity only
+                // changes on the event-raising op (the last one of a
+                // stopped batch), so every earlier accepted op saw the
+                // pre-batch value. Repeated additions keep the f64
+                // accumulation order — and hence the result — bit-exact.
+                let stopped_on_events = matches!(out.stop, Some(BatchStop::Events));
+                let head = out.written - u64::from(stopped_on_events);
+                for _ in 0..head {
+                    integral += committed_before;
                 }
-                Err(FtlError::DeviceDead) => break,
-                Err(FtlError::NoSuchMdisk) => continue, // decommissioned between ops
-                Err(e) => panic!("endurance write failed: {e}"),
+                if stopped_on_events {
+                    integral += ssd.ftl().committed_lbas() as f64;
+                }
+                written += out.written;
+                if written.is_multiple_of(self.sample_every) {
+                    timeline.push(sample(&ssd, written));
+                }
+            }
+            match out.stop {
+                Some(BatchStop::DeviceDead) => break,
+                Some(BatchStop::Fatal(e)) => panic!("endurance write failed: {e}"),
+                Some(BatchStop::Events) | None => {}
             }
         }
         timeline.push(sample(&ssd, written));

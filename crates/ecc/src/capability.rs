@@ -13,6 +13,32 @@
 //!   target uncorrectable-error probability. This is exactly the per-level
 //!   tiredness threshold of the paper's §3.1.
 
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Memo table shared by [`page_uber`] / [`max_correctable_rber`]: the
+/// exact argument triple (floats by bit pattern) to the computed value.
+type Memo = Mutex<HashMap<(u64, u32, u64), f64>>;
+
+/// Process-global memo for [`page_uber`], keyed by the exact argument
+/// triple (`rber` by its bit pattern). The function is pure, so the
+/// cache is transparent: a hit returns the very value a fresh
+/// computation would. Shared across threads behind a mutex — the
+/// callers are device-construction and figure-sweep paths, not the
+/// per-op hot loop.
+fn page_uber_memo() -> &'static Memo {
+    static MEMO: OnceLock<Memo> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Process-global memo for [`max_correctable_rber`] (200 bisection
+/// iterations per miss; every `Ftl::new`/`StatDevice::new` asks for
+/// the same handful of ECC profiles).
+fn max_rber_memo() -> &'static Memo {
+    static MEMO: OnceLock<Memo> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
 /// `ln Γ(x)` via the Lanczos approximation (g = 7, n = 9), accurate to
 /// ~1e-13 for x > 0 — plenty for binomial coefficients.
 fn ln_gamma(x: f64) -> f64 {
@@ -83,6 +109,19 @@ pub fn field_for_codeword(n_bits: u64) -> u32 {
 /// Computed as a log-space sum from `t+1` until terms are negligible, so
 /// values down to ~1e-300 are exact rather than flushed to zero.
 pub fn page_uber(n_bits: u64, t: u32, rber: f64) -> f64 {
+    let key = (n_bits, t, rber.to_bits());
+    if let Some(&hit) = page_uber_memo().lock().unwrap().get(&key) {
+        return hit;
+    }
+    let out = page_uber_uncached(n_bits, t, rber);
+    page_uber_memo().lock().unwrap().insert(key, out);
+    out
+}
+
+/// The log-space binomial tail itself; [`page_uber`] memoizes it, and
+/// [`max_correctable_rber`]'s bisection probes it directly so 200
+/// never-revisited midpoints don't pollute the cache.
+fn page_uber_uncached(n_bits: u64, t: u32, rber: f64) -> f64 {
     if rber <= 0.0 {
         return 0.0;
     }
@@ -145,20 +184,27 @@ pub fn page_uber(n_bits: u64, t: u32, rber: f64) -> f64 {
 /// assert!(page_uber(n, 73, rber * 1.1) > 1e-16);
 /// ```
 pub fn max_correctable_rber(n_bits: u64, t: u32, target_uber: f64) -> f64 {
+    let key = (n_bits, t, target_uber.to_bits());
+    if let Some(&hit) = max_rber_memo().lock().unwrap().get(&key) {
+        return hit;
+    }
     let mut lo = 1e-12f64;
     let mut hi = 0.4f64;
-    if page_uber(n_bits, t, lo) > target_uber {
-        return 0.0;
-    }
-    for _ in 0..200 {
-        let mid = (lo * hi).sqrt(); // geometric bisection over decades
-        if page_uber(n_bits, t, mid) > target_uber {
-            hi = mid;
-        } else {
-            lo = mid;
+    let out = if page_uber_uncached(n_bits, t, lo) > target_uber {
+        0.0
+    } else {
+        for _ in 0..200 {
+            let mid = (lo * hi).sqrt(); // geometric bisection over decades
+            if page_uber_uncached(n_bits, t, mid) > target_uber {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
         }
-    }
-    lo
+        lo
+    };
+    max_rber_memo().lock().unwrap().insert(key, out);
+    out
 }
 
 #[cfg(test)]
@@ -270,5 +316,19 @@ mod tests {
     fn impossible_target_returns_zero() {
         // t = 0 and astronomically strict target: no positive RBER works.
         assert_eq!(max_correctable_rber(1 << 17, 0, 1e-300), 0.0);
+    }
+
+    #[test]
+    fn memoized_calls_are_bit_stable() {
+        // Memo hits must return the exact value the first call produced,
+        // and the memo must key on every argument.
+        let a = max_correctable_rber(9216, 73, 1e-16);
+        let b = max_correctable_rber(9216, 73, 1e-16);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_ne!(max_correctable_rber(9216, 73, 1e-15).to_bits(), a.to_bits());
+        let u1 = page_uber(9216, 73, 2.5e-3);
+        let u2 = page_uber(9216, 73, 2.5e-3);
+        assert_eq!(u1.to_bits(), u2.to_bits());
+        assert_eq!(u1.to_bits(), page_uber_uncached(9216, 73, 2.5e-3).to_bits());
     }
 }

@@ -8,7 +8,7 @@
 use crate::chip::{FlashChip, FlashError, PageState};
 use crate::errors::BitFlipper;
 use crate::geometry::{BlockAddr, FPageAddr, FlashGeometry};
-use crate::rber::RberModel;
+use crate::rber::{MeanRberLut, RberModel};
 use crate::stats::FlashStats;
 use crate::timing::TimingModel;
 use serde::{Deserialize, Serialize};
@@ -54,6 +54,9 @@ pub struct FlashArray {
     stats: FlashStats,
     /// Simulated wall clock in days (drives retention errors).
     now_days: f64,
+    /// Bit-exact PEC→mean-RBER memo; keeps `powf` off the per-read and
+    /// per-classification path (DESIGN.md §10).
+    mean_lut: MeanRberLut,
 }
 
 impl FlashArray {
@@ -70,6 +73,7 @@ impl FlashArray {
             flipper: BitFlipper::new(seed ^ 0xF1A5_44E7),
             stats: FlashStats::default(),
             now_days: 0.0,
+            mean_lut: MeanRberLut::new(model),
         }
     }
 
@@ -142,7 +146,13 @@ impl FlashArray {
         let (chip, local) = self.split(block);
         let (variance, pec, retention, reads) =
             self.chips[chip].read_wear(local, page, self.now_days)?;
-        let rber = self.model.rber(pec, variance, retention, reads);
+        let rber = self.model.rber_with_mean(
+            self.mean_lut.mean_rber(pec),
+            pec,
+            variance,
+            retention,
+            reads,
+        );
         let total_bytes = (self.geom.fpage_data_bytes + self.geom.fpage_spare_bytes) as u64;
         let bits = total_bytes * 8;
         let raw_bit_errors = self.flipper.draw_error_count(rber, bits);
@@ -226,7 +236,20 @@ impl FlashArray {
     /// disturb or retention term; callers add margins for those).
     pub fn projected_rber(&self, fp: FPageAddr) -> f64 {
         let block = self.geom.block_of(fp);
-        self.model.mean_rber(self.pec(block)) * self.variance(fp)
+        self.mean_lut.mean_rber(self.pec(block)) * self.variance(fp)
+    }
+
+    /// [`Self::projected_rber`] with the block's mean RBER already in
+    /// hand — lets block-granular callers (reclassification, SMART)
+    /// hoist the per-block lookup out of their per-page loop.
+    pub fn projected_rber_with_mean(&self, mean: f64, fp: FPageAddr) -> f64 {
+        mean * self.variance(fp)
+    }
+
+    /// The memoized block-mean RBER at `pec` (bit-exact; see
+    /// [`MeanRberLut`]).
+    pub fn mean_rber_at(&self, pec: u32) -> f64 {
+        self.mean_lut.mean_rber(pec)
     }
 
     /// Lifecycle state of an fPage.

@@ -17,7 +17,8 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+use std::cell::RefCell;
 
 /// Parameters of the RBER model.
 ///
@@ -106,7 +107,22 @@ impl RberModel {
     /// cycles, `retention_days` since programming, and `reads` since the
     /// containing block was erased.
     pub fn rber(&self, pec: u32, variance: f64, retention_days: f64, reads: u64) -> f64 {
-        ((self.mean_rber(pec)) * variance
+        self.rber_with_mean(self.mean_rber(pec), pec, variance, retention_days, reads)
+    }
+
+    /// [`Self::rber`] with the mean term supplied by the caller —
+    /// typically from a [`MeanRberLut`] — so the hot read path skips
+    /// the power law. The expression is byte-for-byte the one `rber`
+    /// evaluates; passing `mean_rber(pec)` gives bit-identical output.
+    pub fn rber_with_mean(
+        &self,
+        mean: f64,
+        pec: u32,
+        variance: f64,
+        retention_days: f64,
+        reads: u64,
+    ) -> f64 {
+        (mean * variance
             + self.retention_scale * retention_days * pec as f64
             + self.disturb_scale * reads as f64)
             .min(0.5)
@@ -150,6 +166,83 @@ impl RberModel {
     pub fn draw_variances(&self, n: usize, seed: u64) -> Vec<f64> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         (0..n).map(|_| self.draw_variance(&mut rng)).collect()
+    }
+}
+
+/// Largest PEC memoized by [`MeanRberLut`]; higher cycle counts fall
+/// back to computing the power law directly. Devices in this repo die
+/// well under 100k PEC, so the hot path never takes the fallback.
+const MEAN_RBER_LUT_MAX_PEC: u32 = 1 << 17;
+
+/// Exact per-PEC memo of [`RberModel::mean_rber`].
+///
+/// `mean_rber` is a `powf` on every flash read, reclassification, and
+/// statistical-device step — the single hottest transcendental in the
+/// simulator. The LUT grows on demand and stores, for each integer
+/// PEC, the bit-exact result of calling [`RberModel::mean_rber`] at
+/// that PEC. There is **no interpolation**: a lookup either returns a
+/// value produced by the original expression or (past
+/// [`MEAN_RBER_LUT_MAX_PEC`]) evaluates the original expression
+/// directly. That is the exact-match guard the determinism contract
+/// needs — a cached read can never differ in even one ULP from the
+/// uncached one, so no retirement decision can shift (see DESIGN.md
+/// §10).
+///
+/// Serialization stores only the model; the cache rebuilds lazily
+/// after a snapshot restore, which is invisible to callers because
+/// every entry is recomputed from the same pure function.
+#[derive(Debug, Clone)]
+pub struct MeanRberLut {
+    model: RberModel,
+    /// Memoized `model.mean_rber(pec)` for `pec < values.len()`.
+    /// `RefCell` because lookups happen behind `&self` accessors
+    /// (e.g. `FlashArray::projected_rber`); the simulator shares
+    /// nothing across threads except by moving whole devices.
+    values: RefCell<Vec<f64>>,
+}
+
+impl MeanRberLut {
+    /// An empty memo for `model`.
+    pub fn new(model: RberModel) -> Self {
+        MeanRberLut {
+            model,
+            values: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The model this memo caches.
+    pub fn model(&self) -> &RberModel {
+        &self.model
+    }
+
+    /// Bit-exact [`RberModel::mean_rber`], memoized per integer PEC.
+    pub fn mean_rber(&self, pec: u32) -> f64 {
+        if pec > MEAN_RBER_LUT_MAX_PEC {
+            return self.model.mean_rber(pec);
+        }
+        let mut values = self.values.borrow_mut();
+        if pec as usize >= values.len() {
+            // Grow in chunks so a slowly rising PEC does not recompute
+            // the prefix on every new cycle count.
+            let target = (pec as usize + 1).next_power_of_two().max(1024);
+            for p in values.len()..target {
+                values.push(self.model.mean_rber(p as u32));
+            }
+        }
+        values[pec as usize]
+    }
+}
+
+impl Serialize for MeanRberLut {
+    fn to_value(&self) -> Value {
+        // The cache is pure derived state: persist only the model.
+        self.model.to_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for MeanRberLut {
+    fn from_value(v: &Value) -> Result<Self, serde::de::DeError> {
+        Ok(MeanRberLut::new(RberModel::from_value(v)?))
     }
 }
 
@@ -236,6 +329,46 @@ mod tests {
         // At the native code rate (~2.5e-3 correctable), pages should die
         // within ~100 cycles under the fast-wear model.
         assert!(m.pec_at_rber(2.5e-3) < 100);
+    }
+
+    #[test]
+    fn lut_is_bit_exact_everywhere() {
+        for model in [RberModel::default(), RberModel::fast_wear()] {
+            let lut = MeanRberLut::new(model);
+            // Probe out of order to exercise growth, including the
+            // above-cap fallback path.
+            for pec in [3000u32, 0, 1, 7, 4096, 100_000, MEAN_RBER_LUT_MAX_PEC + 5] {
+                assert_eq!(
+                    lut.mean_rber(pec).to_bits(),
+                    model.mean_rber(pec).to_bits(),
+                    "pec {pec}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lut_rber_with_mean_matches_rber() {
+        let m = RberModel {
+            retention_scale: 1e-9,
+            disturb_scale: 1e-10,
+            ..RberModel::default()
+        };
+        let lut = MeanRberLut::new(m);
+        for pec in [0u32, 100, 3000] {
+            let direct = m.rber(pec, 1.3, 12.0, 456);
+            let cached = m.rber_with_mean(lut.mean_rber(pec), pec, 1.3, 12.0, 456);
+            assert_eq!(direct.to_bits(), cached.to_bits(), "pec {pec}");
+        }
+    }
+
+    #[test]
+    fn lut_serde_round_trip_rebuilds_cache() {
+        let lut = MeanRberLut::new(RberModel::fast_wear());
+        let warm = lut.mean_rber(50);
+        let restored = MeanRberLut::from_value(&lut.to_value()).unwrap();
+        assert_eq!(restored.model(), lut.model());
+        assert_eq!(restored.mean_rber(50).to_bits(), warm.to_bits());
     }
 
     #[test]

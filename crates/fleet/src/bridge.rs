@@ -13,11 +13,11 @@
 //! on how much replicated data sat on failed units, not on byte identity.
 
 use salamander::config::SsdConfig;
-use salamander::device::{HostEvent, SalamanderSsd};
+use salamander::device::{BatchStop, HostEvent, SalamanderSsd};
 use salamander_difs::cluster::Cluster;
 use salamander_difs::store::{ChunkStore, StoreMetrics};
 use salamander_difs::types::{DeviceId, DifsConfig, NodeId, UnitId};
-use salamander_ftl::types::{FtlError, MdiskId};
+use salamander_ftl::types::{Lba, MdiskId};
 use salamander_obs::Obs;
 use std::collections::HashMap;
 
@@ -153,27 +153,51 @@ impl ClusterHarness {
 
     /// Apply `writes` synthetic oPage writes of churn to every live
     /// device, then propagate lifecycle events into the diFS.
+    ///
+    /// Churn goes through the FTL's batched write path: the minidisk
+    /// cache is refreshed whenever a batch stops on raised events —
+    /// exactly when the per-op `minidisks()` fetch of the old loop
+    /// could have observed a different set — so the wear trajectory is
+    /// bit-identical to per-op issue. xorshift draws are
+    /// device-independent, so draws unconsumed by an early stop carry
+    /// over and are re-mapped against the refreshed set.
     pub fn churn(&mut self, writes: u64) {
+        const BATCH: usize = 64;
         self.round += 1;
         self.store.set_time(self.round);
+        let mut mdisks: Vec<MdiskId> = Vec::new();
+        let mut pending: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+        let mut ops: Vec<(MdiskId, Lba)> = Vec::with_capacity(BATCH);
         for slot in &mut self.devices {
             let mut issued = 0;
+            slot.ssd.minidisks_into(&mut mdisks);
+            pending.clear();
             while issued < writes && !slot.ssd.is_dead() {
-                let mdisks = slot.ssd.minidisks();
                 if mdisks.is_empty() {
                     break;
                 }
-                // xorshift64; decoupled from the store's placement.
-                slot.churn_state ^= slot.churn_state << 13;
-                slot.churn_state ^= slot.churn_state >> 7;
-                slot.churn_state ^= slot.churn_state << 17;
-                let id = mdisks[(slot.churn_state as usize / 7) % mdisks.len()];
-                let lbas = slot.ssd.minidisk_lbas(id).unwrap_or(1);
-                let lba = (slot.churn_state % lbas as u64) as u32;
-                match slot.ssd.write(id, lba, None) {
-                    Ok(()) => issued += 1,
-                    Err(FtlError::DeviceDead) | Err(FtlError::NoSuchMdisk) => {}
-                    Err(e) => panic!("churn write failed: {e}"),
+                let len = BATCH.min((writes - issued) as usize);
+                while pending.len() < len {
+                    // xorshift64; decoupled from the store's placement.
+                    slot.churn_state ^= slot.churn_state << 13;
+                    slot.churn_state ^= slot.churn_state >> 7;
+                    slot.churn_state ^= slot.churn_state << 17;
+                    pending.push_back(slot.churn_state);
+                }
+                ops.clear();
+                for &s in pending.iter().take(len) {
+                    let id = mdisks[(s as usize / 7) % mdisks.len()];
+                    let lbas = slot.ssd.minidisk_lbas(id).unwrap_or(1);
+                    ops.push((id, Lba((s % lbas as u64) as u32)));
+                }
+                let out = slot.ssd.write_batch(&ops);
+                pending.drain(..out.consumed);
+                issued += out.written;
+                match out.stop {
+                    Some(BatchStop::Events) => slot.ssd.minidisks_into(&mut mdisks),
+                    Some(BatchStop::DeviceDead) => break,
+                    Some(BatchStop::Fatal(e)) => panic!("churn write failed: {e}"),
+                    None => {}
                 }
             }
         }

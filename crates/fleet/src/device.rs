@@ -18,7 +18,7 @@
 
 use salamander_ecc::profile::{EccConfig, Tiredness};
 use salamander_flash::geometry::FlashGeometry;
-use salamander_flash::rber::RberModel;
+use salamander_flash::rber::{MeanRberLut, RberModel};
 use salamander_flash::voltage::{CellMode, VoltageModel};
 use serde::{Deserialize, Serialize};
 
@@ -101,6 +101,9 @@ pub struct StatDevice {
     initial_committed: u64,
     /// Endurance multiplier of the rebirth mode vs TLC (1.0 = disabled).
     rebirth_endurance_ratio: f64,
+    /// Memoized wear → mean-RBER curve (bit-exact vs `cfg.rber`); the
+    /// fleet loop evaluates it once per device-day at integer wear.
+    mean_lut: MeanRberLut,
     dead: bool,
 }
 
@@ -137,6 +140,7 @@ impl StatDevice {
             committed,
             initial_committed: committed,
             rebirth_endurance_ratio,
+            mean_lut: MeanRberLut::new(cfg.rber),
             dead: false,
         }
     }
@@ -179,7 +183,7 @@ impl StatDevice {
 
     /// The variance above which a page at wear `w` exceeds `threshold`.
     fn variance_cut(&self, threshold: f64) -> f64 {
-        let mean = self.cfg.rber.mean_rber(self.wear as u32);
+        let mean = self.mean_lut.mean_rber(self.wear as u32);
         if mean <= 0.0 {
             return f64::INFINITY;
         }
@@ -235,7 +239,7 @@ impl StatDevice {
         let last_threshold = self.thresholds[max as usize];
         let dead_cut = self.variance_cut(last_threshold);
         let reborn_wear = self.wear / self.rebirth_endurance_ratio;
-        let mean = self.cfg.rber.mean_rber(reborn_wear as u32);
+        let mean = self.mean_lut.mean_rber(reborn_wear as u32);
         let reborn_cut = if mean <= 0.0 {
             f64::INFINITY
         } else {

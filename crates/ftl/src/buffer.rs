@@ -102,6 +102,20 @@ impl WriteBuffer {
         out
     }
 
+    /// Pop the oldest entry, if any — the allocation-free flush-path
+    /// variant of [`Self::take`].
+    pub fn take_one(&mut self) -> Option<BufferedWrite> {
+        let key = self.queue.pop_front()?;
+        // The key is guaranteed present: it is removed from `payload`
+        // only together with its queue entry.
+        let data = self.payload.remove(&key).expect("buffer out of sync");
+        Some(BufferedWrite {
+            id: key.0,
+            lba: key.1,
+            data,
+        })
+    }
+
     /// Drop one buffered write (used by trim). Returns whether it existed.
     pub fn remove(&mut self, id: MdiskId, lba: Lba) -> bool {
         if self.payload.remove(&(id, lba)).is_some() {

@@ -66,6 +66,32 @@ pub enum ReadData {
     Bytes(Vec<u8>),
 }
 
+/// Why [`Ftl::write_batch`] returned before consuming every op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchStop {
+    /// The last consumed op raised host events; the caller's view of the
+    /// minidisk set may be stale. Refresh and resubmit the rest.
+    Events,
+    /// The device was already dead when the next op was attempted (the op
+    /// was not consumed).
+    DeviceDead,
+    /// An op failed with an error the batch contract does not absorb
+    /// (the op was not consumed).
+    Fatal(FtlError),
+}
+
+/// Result of [`Ftl::write_batch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchOutcome {
+    /// Ops consumed from the front of the slice (accepted writes plus
+    /// `NoSuchMdisk` skips).
+    pub consumed: usize,
+    /// Ops actually accepted (the serial loop's `Ok` count).
+    pub written: u64,
+    /// Why the batch returned early; `None` when every op was consumed.
+    pub stop: Option<BatchStop>,
+}
+
 /// The FTL engine. See the [module docs](self) for the design.
 ///
 /// The whole engine state (including flash contents and wear) is
@@ -88,6 +114,22 @@ pub struct Ftl {
     /// Round-robin position of the background scrubber.
     scrub_cursor: u32,
     dead: bool,
+    /// Per-level correctable raw bit errors per fPage (`t × chunks`),
+    /// derived from `profiles`; rebuilt on restore, not device state.
+    #[serde(with = "crate::serde_util::ephemeral")]
+    capability: [u64; 5],
+    /// Per-level retirement-threshold raw error count (`max_rber ×
+    /// page bits`), derived from `profiles` and the geometry; rebuilt
+    /// on restore, not device state.
+    #[serde(with = "crate::serde_util::ephemeral")]
+    threshold_errors: [u64; 5],
+    /// GC/scrub relocation scratch (valid `(slot, owner)` pairs of one
+    /// block); capacity is reused so steady-state GC never allocates.
+    #[serde(with = "crate::serde_util::ephemeral")]
+    gc_scratch: Vec<(OPageSlot, (MdiskId, Lba))>,
+    /// Flush-path scratch for one stripe of buffered writes.
+    #[serde(with = "crate::serde_util::ephemeral")]
+    flush_scratch: Vec<crate::buffer::BufferedWrite>,
     /// Observability handles (DESIGN.md §9). Run-scoped, not device
     /// state: snapshots store a placeholder and restore disabled.
     #[serde(with = "salamander_obs::obs_serde")]
@@ -126,7 +168,7 @@ impl Ftl {
                 }
             }
         }
-        Ftl {
+        let mut ftl = Ftl {
             cfg,
             flash,
             table,
@@ -139,8 +181,33 @@ impl Ftl {
             pending_fpage: [None, None],
             scrub_cursor: 0,
             dead: false,
+            capability: [0; 5],
+            threshold_errors: [0; 5],
+            gc_scratch: Vec::new(),
+            flush_scratch: Vec::new(),
             obs: Obs::disabled(),
+        };
+        ftl.rebuild_derived();
+        ftl
+    }
+
+    /// Recompute the per-level ECC lookup arrays from the profiles and
+    /// pre-reserve the hot-path scratch buffers. Called after
+    /// construction and after a snapshot restore (the derived fields are
+    /// not serialized).
+    fn rebuild_derived(&mut self) {
+        let geom = self.cfg.geometry;
+        let page_bits = (geom.fpage_data_bytes + geom.fpage_spare_bytes) as u64 * 8;
+        for i in 0..5 {
+            let p = self.profiles.get(i);
+            self.capability[i] = p.map(|p| p.t as u64 * p.chunks as u64).unwrap_or(0);
+            self.threshold_errors[i] = p
+                .map(|p| (p.max_rber * page_bits as f64) as u64)
+                .unwrap_or(0);
         }
+        let block_slots = (geom.fpages_per_block * geom.opages_per_fpage()) as usize;
+        self.gc_scratch.reserve(block_slots);
+        self.flush_scratch.reserve(geom.opages_per_fpage() as usize);
     }
 
     /// Attach observability handles; pass [`Obs::disabled`] to detach.
@@ -173,6 +240,13 @@ impl Ftl {
     /// Active minidisk ids.
     pub fn active_mdisks(&self) -> Vec<MdiskId> {
         self.table.active_mdisks()
+    }
+
+    /// Fill `out` with the active minidisk ids (ascending), reusing its
+    /// capacity — the allocation-free variant of [`Self::active_mdisks`]
+    /// for hot loops that cache the set between events.
+    pub fn active_mdisks_into(&self, out: &mut Vec<MdiskId>) {
+        self.table.active_mdisks_into(out);
     }
 
     /// Number of active minidisks.
@@ -215,9 +289,10 @@ impl Ftl {
         self.flash.stats()
     }
 
-    /// Drain pending host notifications.
-    pub fn drain_events(&mut self) -> Vec<FtlEvent> {
-        self.events.drain(..).collect()
+    /// Drain pending host notifications. Returns a draining iterator so
+    /// the no-event case costs nothing — no `Vec` is materialized.
+    pub fn drain_events(&mut self) -> std::collections::vec_deque::Drain<'_, FtlEvent> {
+        self.events.drain(..)
     }
 
     /// Number of undrained host notifications (cheap check, no
@@ -255,6 +330,61 @@ impl Ftl {
         self.drain_buffer()?;
         self.check_capacity();
         Ok(())
+    }
+
+    /// Issue a batch of synthetic (payload-free) writes, amortizing the
+    /// per-op driver overhead of the simulation hot loops.
+    ///
+    /// Each op goes through exactly the same path as [`Self::write`], so
+    /// the outcome is bit-identical to issuing them one by one. The
+    /// batch returns early the moment equivalence with a serial driver
+    /// would need the caller's attention:
+    ///
+    /// - after any op that raised host events (the caller's cached
+    ///   minidisk set may be stale — [`BatchStop::Events`]);
+    /// - before an op attempted on a dead device
+    ///   ([`BatchStop::DeviceDead`], op not consumed);
+    /// - before an op that failed with anything other than
+    ///   `NoSuchMdisk` ([`BatchStop::Fatal`], op not consumed).
+    ///
+    /// `NoSuchMdisk` ops are consumed without counting as written,
+    /// mirroring the drivers' skip-and-continue handling.
+    pub fn write_batch(&mut self, ops: &[(MdiskId, Lba)]) -> BatchOutcome {
+        let mut out = BatchOutcome {
+            consumed: 0,
+            written: 0,
+            stop: None,
+        };
+        for &(id, lba) in ops {
+            if self.dead {
+                out.stop = Some(BatchStop::DeviceDead);
+                return out;
+            }
+            let events_before = self.events.len();
+            match self.write(id, lba, None) {
+                Ok(()) => {
+                    out.consumed += 1;
+                    out.written += 1;
+                }
+                Err(FtlError::NoSuchMdisk) => {
+                    out.consumed += 1;
+                    continue;
+                }
+                Err(FtlError::DeviceDead) => {
+                    out.stop = Some(BatchStop::DeviceDead);
+                    return out;
+                }
+                Err(e) => {
+                    out.stop = Some(BatchStop::Fatal(e));
+                    return out;
+                }
+            }
+            if self.events.len() > events_before {
+                out.stop = Some(BatchStop::Events);
+                return out;
+            }
+        }
+        out
     }
 
     /// Read one oPage.
@@ -315,13 +445,7 @@ impl Ftl {
         // threshold, the controller re-reads with adjusted reference
         // voltages. A freshly lowered code rate raises the threshold and
         // suppresses retries — the §4.2 mitigation.
-        let page_bits =
-            (self.cfg.geometry.fpage_data_bytes + self.cfg.geometry.fpage_spare_bytes) as u64 * 8;
-        let threshold_errors = self
-            .profiles
-            .get(level.index() as usize)
-            .map(|p| (p.max_rber * page_bits as f64) as u64)
-            .unwrap_or(0);
+        let threshold_errors = self.threshold_errors[level.index() as usize];
         let retries = retries_for(outcome.raw_bit_errors, threshold_errors);
         if retries > 0 {
             self.stats.read_retries += retries;
@@ -383,14 +507,10 @@ impl Ftl {
                 index: self.scrub_cursor,
             };
             self.scrub_cursor = (self.scrub_cursor + 1) % total;
-            // Only patrol pages holding valid data.
-            let owners: Vec<(OPageSlot, (MdiskId, Lba))> = self
-                .table
-                .valid_in_block(self.cfg.geometry.block_of(fp))
-                .into_iter()
-                .filter(|(slot, _)| slot.fpage == fp)
-                .collect();
-            if owners.is_empty() {
+            // Only patrol pages holding valid data. The patrol path is
+            // allocation-free: owners are only materialized (into the
+            // reusable scratch) on the rare refresh path below.
+            if self.table.owners_in_fpage(fp).next().is_none() {
                 continue;
             }
             let outcome = match self.flash.read(fp) {
@@ -404,6 +524,9 @@ impl Ftl {
                 continue;
             }
             // Refresh: rewrite the still-correctable data elsewhere.
+            let mut owners = std::mem::take(&mut self.gc_scratch);
+            owners.clear();
+            owners.extend(self.table.owners_in_fpage(fp));
             let o = self.cfg.geometry.opage_bytes as usize;
             let clean = self.flash.stored_data(fp).unwrap_or(None);
             self.obs.trace.emit(
@@ -413,7 +536,7 @@ impl Ftl {
                     opages: owners.len() as u32,
                 },
             );
-            for (slot, (id, lba)) in owners {
+            for &(slot, (id, lba)) in &owners {
                 let payload = clean
                     .as_ref()
                     .map(|p| p[slot.slot as usize * o..(slot.slot as usize + 1) * o].to_vec());
@@ -423,6 +546,7 @@ impl Ftl {
                 self.buffers[gc].push(id, lba, payload.as_deref());
                 self.stats.scrub_refreshes += 1;
             }
+            self.gc_scratch = owners;
             refreshed += 1;
         }
         self.drain_buffer()?;
@@ -433,10 +557,7 @@ impl Ftl {
     /// Total correctable raw bit errors per fPage at `level`, assuming the
     /// per-chunk codewords are interleaved across the page.
     fn page_capability(&self, level: Tiredness) -> u64 {
-        self.profiles
-            .get(level.index() as usize)
-            .map(|p| p.t as u64 * p.chunks as u64)
-            .unwrap_or(0)
+        self.capability[level.index() as usize]
     }
 
     /// The stream GC relocations write to.
@@ -506,10 +627,10 @@ impl Ftl {
         // Collect still-live buffered entries (a trim or decommission may
         // have invalidated some while they waited). A rewrite may also
         // have moved the latest copy to the *other* stream's buffer.
-        let mut entries = Vec::with_capacity(stripe);
+        let mut entries = std::mem::take(&mut self.flush_scratch);
+        entries.clear();
         while entries.len() < stripe {
-            let mut batch = self.buffers[stream as usize].take(1);
-            let Some(e) = batch.pop() else {
+            let Some(e) = self.buffers[stream as usize].take_one() else {
                 break;
             };
             let other = 1 - stream as usize;
@@ -520,6 +641,7 @@ impl Ftl {
             }
         }
         if entries.is_empty() {
+            self.flush_scratch = entries;
             return Ok(());
         }
         let geom = self.cfg.geometry;
@@ -552,6 +674,7 @@ impl Ftl {
             );
             debug_assert!(bound, "flush target vanished after liveness check");
         }
+        self.flush_scratch = entries;
         Ok(())
     }
 
@@ -600,10 +723,21 @@ impl Ftl {
 
     /// Move every valid oPage of `block` into the write buffer.
     fn relocate_block(&mut self, block: BlockAddr) {
-        let valid = self.table.valid_in_block(block);
+        let mut valid = std::mem::take(&mut self.gc_scratch);
+        let cap_before = valid.capacity();
+        self.table.valid_in_block_into(block, &mut valid);
+        // Steady-state GC must not allocate per block: the scratch was
+        // pre-reserved to one block's worth of slots (capacity 0 only
+        // right after a snapshot restore, before the first pass).
+        debug_assert!(
+            cap_before == 0 || valid.capacity() == cap_before,
+            "GC scratch grew mid-run: {} -> {}",
+            cap_before,
+            valid.capacity()
+        );
         let o = self.cfg.geometry.opage_bytes as usize;
         let mut last_fpage: Option<(FPageAddr, Option<Vec<u8>>)> = None;
-        for (slot, (id, lba)) in valid {
+        for &(slot, (id, lba)) in &valid {
             // One physical read per distinct fPage.
             let page_data = match &last_fpage {
                 Some((fp, data)) if *fp == slot.fpage => data.clone(),
@@ -625,6 +759,7 @@ impl Ftl {
             self.buffers[gc].push(id, lba, payload.as_deref());
             self.stats.relocated_opages += 1;
         }
+        self.gc_scratch = valid;
     }
 
     /// Erase `block`, bump its wear, and re-classify its pages according to
@@ -743,11 +878,17 @@ impl Ftl {
         }
         let reserve = self.reserve_opages();
         let msize = self.table.lbas_per_mdisk() as u64;
-        let levels: Vec<Tiredness> = (0..=self.wear.max_level().index())
-            .map(Tiredness::from_index)
-            .collect();
+        // The usable levels, without allocating: at most L0..L4.
+        let all_levels: [Tiredness; 5] = [
+            Tiredness::L0,
+            Tiredness::L1,
+            Tiredness::L2,
+            Tiredness::L3,
+            Tiredness::L4,
+        ];
+        let levels = &all_levels[..=self.wear.max_level().index() as usize];
         // 1. Per-level shortfall.
-        for &level in &levels {
+        for &level in levels {
             while self.table.committed_at(level) > self.wear.capacity_at(level) {
                 if !self.decommission_one(level, DecommissionCause::LevelShortfall) {
                     break;
@@ -1001,7 +1142,10 @@ impl Ftl {
     /// after a clean shutdown. All state, including the error-injection
     /// RNG, resumes exactly where the snapshot left off.
     pub fn restore_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+        let mut ftl: Ftl = serde_json::from_str(json)?;
+        // Derived caches and scratch buffers are not part of the image.
+        ftl.rebuild_derived();
+        Ok(ftl)
     }
 
     /// Debug invariant check across subsystems (tests only; O(device)).

@@ -33,6 +33,28 @@ pub mod pairs {
     }
 }
 
+/// Ephemeral-field (de)serialization: scratch buffers and derived
+/// caches are not device state, so snapshots store `null` and restores
+/// produce the type's default (callers rebuild derived values after
+/// restore). Use as `#[serde(with = "crate::serde_util::ephemeral")]`.
+pub mod ephemeral {
+    use serde::de::Deserializer;
+    use serde::ser::Serializer;
+
+    /// Serialize any value as `null`.
+    pub fn serialize<T, S: Serializer>(_value: &T, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(serde::Value::Null)
+    }
+
+    /// Restore the default value.
+    pub fn deserialize<'de, T: Default, D: Deserializer<'de>>(
+        deserializer: D,
+    ) -> Result<T, D::Error> {
+        let _ = deserializer.take_value()?;
+        Ok(T::default())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use serde::{Deserialize, Serialize};

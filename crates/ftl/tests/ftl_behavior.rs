@@ -101,7 +101,7 @@ fn shrink_decommissions_and_eventually_dies() {
     let written = churn(&mut ftl, 2_000_000, 2);
     assert!(written > 0);
     assert!(ftl.is_dead(), "fast-wear device must eventually die");
-    let events = ftl.drain_events();
+    let events: Vec<_> = ftl.drain_events().collect();
     let decommissions = events
         .iter()
         .filter(|e| matches!(e, FtlEvent::MdiskDecommissioned { .. }))
@@ -158,7 +158,7 @@ fn baseline_bricks_with_event() {
     assert_eq!(ftl.mdisk_count(), 1, "baseline is monolithic");
     churn(&mut ftl, 3_000_000, 5);
     assert!(ftl.is_dead());
-    let events = ftl.drain_events();
+    let events: Vec<_> = ftl.drain_events().collect();
     let failed = events.iter().find_map(|e| match e {
         FtlEvent::DeviceFailed { bad_block_fraction } => Some(*bad_block_fraction),
         _ => None,
@@ -178,7 +178,7 @@ fn baseline_bricks_with_event() {
 fn regen_creates_minidisks_at_l1() {
     let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Regen));
     churn(&mut ftl, 2_000_000, 6);
-    let events = ftl.drain_events();
+    let events: Vec<_> = ftl.drain_events().collect();
     let created: Vec<_> = events
         .iter()
         .filter_map(|e| match e {
@@ -243,7 +243,7 @@ fn victim_policies_differ() {
     let mut ftl = Ftl::new(cfg);
     let initial = ftl.active_mdisks();
     churn(&mut ftl, 300_000, 10);
-    let events = ftl.drain_events();
+    let events: Vec<_> = ftl.drain_events().collect();
     let first_victim = events.iter().find_map(|e| match e {
         FtlEvent::MdiskDecommissioned { id, .. } => Some(*id),
         _ => None,
@@ -308,9 +308,9 @@ fn determinism_same_seed() {
 fn events_drain_once() {
     let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Shrink));
     churn(&mut ftl, 400_000, 14);
-    let first = ftl.drain_events();
+    let first: Vec<_> = ftl.drain_events().collect();
     assert!(!first.is_empty());
-    assert!(ftl.drain_events().is_empty());
+    assert!(ftl.drain_events().next().is_none());
 }
 
 /// Skewed churn: `hot_pct`% of writes hit the first 10% of each minidisk.
@@ -375,7 +375,7 @@ fn grace_period_keeps_data_readable_until_ack() {
         }
     }
     churn(&mut ftl, 200_000, 42);
-    let events = ftl.drain_events();
+    let events: Vec<_> = ftl.drain_events().collect();
     let draining_event = events.iter().find_map(|e| match e {
         FtlEvent::MdiskDecommissioned {
             id, draining: true, ..
@@ -406,7 +406,7 @@ fn draining_bound_purges_oldest() {
     cfg.max_draining = 1;
     let mut ftl = Ftl::new(cfg);
     churn(&mut ftl, 2_000_000, 43);
-    let events = ftl.drain_events();
+    let events: Vec<_> = ftl.drain_events().collect();
     let decommissions = events
         .iter()
         .filter(|e| matches!(e, FtlEvent::MdiskDecommissioned { .. }))

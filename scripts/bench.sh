@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Perf-regression harness driver (DESIGN.md §10).
+#
+# Builds the release binaries, runs crates/bench/src/bin/perf.rs, and
+# refreshes BENCH_ftl_micro.json / BENCH_lifetime.json at the repo root.
+#
+# Usage: scripts/bench.sh [--check] [--runs N]
+#   --check   compare the fresh end-to-end median against the committed
+#             BENCH_lifetime.json instead of overwriting it; fail if the
+#             median regressed by more than 10%.
+#   --runs N  timed repetitions per benchmark (default 20).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+check=0
+runs=20
+while [ $# -gt 0 ]; do
+    case "$1" in
+    --check) check=1 ;;
+    --runs)
+        runs="$2"
+        shift
+        ;;
+    *)
+        echo "unknown argument: $1" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
+
+echo "==> cargo build --release -p salamander-bench"
+cargo build --release -q -p salamander-bench
+
+if [ "$check" -eq 0 ]; then
+    ./target/release/perf --runs "$runs"
+    echo "Baselines refreshed. Commit BENCH_*.json to update the gate."
+    exit 0
+fi
+
+# --check: measure into a scratch dir, then compare medians against the
+# committed baseline. Only the end-to-end run is gated — the micro
+# benches are attribution aids, too small to gate on a shared machine.
+if [ ! -f BENCH_lifetime.json ]; then
+    echo "error: no committed BENCH_lifetime.json to check against" >&2
+    exit 1
+fi
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+./target/release/perf --runs "$runs" --e2e-only --out "$scratch"
+
+old=$(grep -o '"median_ns":[0-9]*' BENCH_lifetime.json | head -1 | cut -d: -f2)
+new=$(grep -o '"median_ns":[0-9]*' "$scratch/BENCH_lifetime.json" | head -1 | cut -d: -f2)
+if [ -z "$old" ] || [ -z "$new" ]; then
+    echo "error: could not parse median_ns from bench reports" >&2
+    exit 1
+fi
+# Fail when new > old * 1.10 (integer math: new*10 > old*11).
+echo "end-to-end median: committed ${old} ns, fresh ${new} ns"
+if [ $((new * 10)) -gt $((old * 11)) ]; then
+    pct=$(((new - old) * 100 / old))
+    echo "error: lifetime --modes-only regressed ${pct}% (> 10% budget)" >&2
+    exit 1
+fi
+echo "Perf check passed (within 10% of committed baseline)."

@@ -4,16 +4,19 @@
 # Everything runs against the vendored dependency stand-ins under
 # vendor/ — no network or registry access is needed at any point.
 #
-# Usage: scripts/check.sh [--quick]
+# Usage: scripts/check.sh [--quick] [--bench]
 #   --quick   skip the release build (debug build + tests only)
+#   --bench   also run the perf-regression gate (scripts/bench.sh --check)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=0
+bench=0
 for arg in "$@"; do
     case "$arg" in
     --quick) quick=1 ;;
+    --bench) bench=1 ;;
     *)
         echo "unknown argument: $arg" >&2
         exit 2
@@ -52,5 +55,11 @@ run cargo test --workspace -q
 # The DESIGN.md §9 determinism contract, enforced explicitly: traces
 # and metrics must be byte-identical at any thread count.
 run cargo test --test trace_determinism
+
+# Opt-in perf gate: wall-clock measurements are machine-dependent, so
+# the regression check only runs when explicitly requested.
+if [ "$bench" -eq 1 ]; then
+    run scripts/bench.sh --check
+fi
 
 echo "All checks passed."
