@@ -1,0 +1,142 @@
+//! `obsctl` — query Salamander telemetry artifacts offline
+//! (DESIGN.md §11, "Diagnosing a run with obsctl" in the README).
+//!
+//! ```text
+//! obsctl lifecycle <trace.jsonl> [--mdisk N]   minidisk lifecycle timeline
+//! obsctl why       <trace.jsonl> [--mdisk N]   causal chain for a decommission
+//! obsctl fleet     <trace.jsonl> [--csv]       fleet deaths rollup
+//! obsctl health    <trace.jsonl>               health report from a trace (JSON)
+//! obsctl diff      <a.prom> <b.prom>           diff two metric expositions
+//! ```
+//!
+//! Every query is a pure function in `salamander_health::query` (or a
+//! [`HealthMonitor`] fold); this binary only parses argv, reads files,
+//! and prints. Parse failures surface the typed [`ParseError`] — line
+//! number and offending snippet — and exit 2.
+
+use salamander_bench::has_flag;
+use salamander_health::{query, HealthMonitor, HealthUnit};
+use salamander_obs::{trace, TraceRecord};
+
+const USAGE: &str = "\
+obsctl — query Salamander telemetry artifacts
+
+USAGE:
+  obsctl lifecycle <trace.jsonl> [--mdisk N]   minidisk lifecycle timeline
+  obsctl why       <trace.jsonl> [--mdisk N]   causal chain for a decommission
+  obsctl fleet     <trace.jsonl> [--csv]       fleet deaths rollup
+  obsctl health    <trace.jsonl>               health report from a trace (JSON)
+  obsctl diff      <a.prom> <b.prom>           diff two metric expositions
+";
+
+/// Positional (non-flag) arguments after the program name, skipping
+/// flag values (`--mdisk 3` consumes both tokens).
+fn positionals() -> Vec<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a == "--mdisk" {
+            skip = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+/// `--mdisk N`, if present and numeric.
+fn mdisk_arg() -> Option<u32> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--mdisk")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn read_file(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obsctl: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn read_trace(path: &str) -> Vec<TraceRecord> {
+    match trace::parse_jsonl(&read_file(path)) {
+        Ok(records) => records,
+        Err(e) => {
+            // The typed error carries the 1-based line and a snippet of
+            // the offending text — point straight at the corruption.
+            eprintln!("obsctl: {path} is not a valid trace: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Pick the analytics clock for a trace: day-clock if any record
+/// carries a day stamp, op-clock otherwise (endurance runs never
+/// advance the day counter).
+fn unit_for(records: &[TraceRecord]) -> HealthUnit {
+    if records.iter().any(|r| r.time.day > 0) {
+        HealthUnit::Days
+    } else {
+        HealthUnit::Ops
+    }
+}
+
+fn main() {
+    let pos = positionals();
+    let Some(cmd) = pos.first() else {
+        eprint!("{USAGE}");
+        std::process::exit(1);
+    };
+    match (cmd.as_str(), pos.get(1), pos.get(2)) {
+        ("lifecycle", Some(path), None) => {
+            print!("{}", query::lifecycle(&read_trace(path), mdisk_arg()));
+        }
+        ("why", Some(path), None) => {
+            print!("{}", query::why(&read_trace(path), mdisk_arg()));
+        }
+        ("fleet", Some(path), None) => {
+            print!(
+                "{}",
+                query::fleet_rollup(&read_trace(path), has_flag("--csv"))
+            );
+        }
+        ("health", Some(path), None) => {
+            let records = read_trace(path);
+            let unit = unit_for(&records);
+            let bucket = match unit {
+                HealthUnit::Ops => 10_000,
+                HealthUnit::Days => 7,
+            };
+            let mut monitor = HealthMonitor::new(unit, bucket);
+            monitor.ingest_trace(&records);
+            let report = monitor.report();
+            match serde_json::to_string(&report) {
+                Ok(json) => println!("{json}"),
+                Err(e) => {
+                    eprintln!("obsctl: cannot serialize report: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        ("diff", Some(a), Some(b)) => {
+            print!("{}", query::diff_prom(&read_file(a), &read_file(b)));
+        }
+        _ => {
+            eprint!("{USAGE}");
+            std::process::exit(1);
+        }
+    }
+}

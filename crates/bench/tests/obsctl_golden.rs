@@ -1,0 +1,94 @@
+//! Golden-output gate for the `obsctl` trace queries: the `lifecycle`
+//! and `why` renderings of the checked-in mini trace must match the
+//! checked-in goldens byte for byte. The mini trace tells a complete
+//! minidisk story — wear transitions, retry pressure, a draining
+//! decommission, purge, regeneration, and device death — so the
+//! goldens pin the whole narrative surface of the CLI.
+//!
+//! Regenerate after an intentional format change with:
+//! `UPDATE_GOLDENS=1 cargo test -p salamander-bench --test obsctl_golden`
+//!
+//! Lives in `crates/bench` because only the crate defining the binary
+//! gets a `CARGO_BIN_EXE_obsctl` path from cargo.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn data_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data")
+}
+
+/// Run obsctl with `args` and return stdout; the command must succeed.
+fn obsctl(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_obsctl"))
+        .args(args)
+        .output()
+        .expect("spawn obsctl");
+    assert!(
+        out.status.success(),
+        "obsctl {args:?} exited with {}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("obsctl output is UTF-8")
+}
+
+fn assert_golden(name: &str, produced: &str) {
+    let path = data_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, produced).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name} (run with UPDATE_GOLDENS=1): {e}"));
+    assert_eq!(
+        produced, golden,
+        "obsctl output drifted from {name}; if intentional, regenerate with UPDATE_GOLDENS=1"
+    );
+}
+
+fn trace_path() -> String {
+    data_dir().join("mini_trace.jsonl").display().to_string()
+}
+
+#[test]
+fn lifecycle_matches_golden() {
+    let out = obsctl(&["lifecycle", &trace_path()]);
+    assert_golden("golden_lifecycle.txt", &out);
+}
+
+#[test]
+fn why_matches_golden() {
+    // No --mdisk: obsctl explains the first decommissioned minidisk.
+    let out = obsctl(&["why", &trace_path()]);
+    assert_golden("golden_why.txt", &out);
+    // The default subject is minidisk 2 — the first decommission.
+    assert!(out.contains("why: minidisk 2"), "{out}");
+}
+
+#[test]
+fn why_explains_a_specific_mdisk() {
+    let out = obsctl(&["why", &trace_path(), "--mdisk", "1"]);
+    assert!(out.contains("why: minidisk 1"), "{out}");
+    assert!(out.contains("GcHeadroom"), "{out}");
+}
+
+#[test]
+fn corrupt_trace_reports_line_and_snippet() {
+    let dir = std::env::temp_dir().join(format!("obsctl-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("bad.jsonl");
+    let good = std::fs::read_to_string(trace_path()).expect("read mini trace");
+    std::fs::write(&path, format!("{good}{{\"seq\":99,broken\n")).expect("write corrupt trace");
+    let out = Command::new(env!("CARGO_BIN_EXE_obsctl"))
+        .args(["lifecycle", &path.display().to_string()])
+        .output()
+        .expect("spawn obsctl");
+    assert_eq!(out.status.code(), Some(2), "parse failures exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The typed ParseError surfaces the 1-based line number and the
+    // offending snippet.
+    assert!(stderr.contains("line 19"), "{stderr}");
+    assert!(stderr.contains("broken"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -10,6 +10,7 @@
 use crate::config::SsdConfig;
 use crate::device::{BatchStop, SalamanderSsd};
 use salamander_ftl::types::{Lba, MdiskId};
+use salamander_health::{HealthMonitor, HealthReport, HealthUnit};
 use salamander_obs::Obs;
 use salamander_workload::aging::AgingDriver;
 use serde::{Deserialize, Serialize};
@@ -38,6 +39,12 @@ pub struct DailyResult {
     pub survived_horizon: bool,
     /// Per-day samples (one per `sample_every` days).
     pub timeline: Vec<DaySample>,
+    /// Health analytics over the run's SMART stream (day-clock wear
+    /// rates and shrink/death projections; default when `obs` was
+    /// fully disabled). Per-minidisk detail needs the trace, which the
+    /// caller owns — feed it to a [`HealthMonitor`] or `obsctl` for
+    /// that view.
+    pub health: HealthReport,
 }
 
 /// Day-by-day simulation driver.
@@ -81,6 +88,11 @@ impl DailySim {
     pub fn run_observed(&self, obs: Obs) -> DailyResult {
         let _phase = obs.profiler.phase("sim/daily");
         let metrics = obs.metrics.clone();
+        // Day-clock health monitor, only when something observes the
+        // run (the disabled path pays nothing).
+        let mut monitor = obs
+            .is_enabled()
+            .then(|| HealthMonitor::new(HealthUnit::Days, self.sample_every as u64));
         let mut ssd = SalamanderSsd::open_with_obs(self.cfg, obs);
         let initial_lbas = ssd.ftl().committed_lbas();
         let mut aging = AgingDriver::new(self.dwpd, initial_lbas);
@@ -145,9 +157,12 @@ impl DailySim {
             // A shrunk device absorbs the same DWPD over fewer LBAs.
             aging.set_capacity(ssd.ftl().committed_lbas().max(1));
             if day % self.sample_every == 0 || ssd.is_dead() {
-                if metrics.is_enabled() {
-                    ssd.smart()
-                        .export_gauges(&metrics, &format!("day=\"{day}\""));
+                if let Some(mon) = monitor.as_mut() {
+                    let smart = ssd.smart();
+                    mon.observe(day as u64, &smart);
+                    if metrics.is_enabled() {
+                        smart.export_gauges(&metrics, &format!("day=\"{day}\""));
+                    }
                 }
                 timeline.push(DaySample {
                     day,
@@ -159,10 +174,19 @@ impl DailySim {
             }
         }
         ssd.ftl().export_metrics();
+        let health = match monitor {
+            Some(mon) => {
+                let report = mon.report();
+                report.export_gauges(&metrics);
+                report
+            }
+            None => HealthReport::default(),
+        };
         DailyResult {
             days_survived: days,
             survived_horizon: !ssd.is_dead() && days == self.horizon_days,
             timeline,
+            health,
         }
     }
 }
@@ -252,5 +276,19 @@ mod tests {
         let a = sim(Mode::Regen, 1.0).run();
         let b = sim(Mode::Regen, 1.0).run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observed_run_reports_day_clock_health() {
+        let s = sim(Mode::Shrink, 1.5);
+        let observed = s.run_observed(Obs::recording());
+        assert_eq!(observed.health.unit, HealthUnit::Days);
+        assert!(observed.health.samples > 0);
+        // Observation (and the monitor riding it) must not perturb the
+        // simulated outcome.
+        let plain = s.run();
+        assert_eq!(plain.timeline, observed.timeline);
+        assert_eq!(plain.days_survived, observed.days_survived);
+        assert_eq!(plain.health, HealthReport::default());
     }
 }

@@ -10,6 +10,7 @@ use crate::config::{Mode, SsdConfig};
 use crate::device::{BatchStop, SalamanderSsd};
 use salamander_exec::Threads;
 use salamander_ftl::types::{Lba, MdiskId};
+use salamander_health::{HealthMonitor, HealthReport, HealthUnit};
 use salamander_obs::{MetricsRegistry, Obs, SimTime, TraceEvent, TraceRecord};
 use salamander_workload::gen::{OpKind, Workload, WorkloadConfig};
 use serde::{Deserialize, Serialize};
@@ -66,6 +67,10 @@ pub struct ObservedRun {
     pub trace: Vec<TraceRecord>,
     /// Metrics shard (empty if metrics were off).
     pub metrics: MetricsRegistry,
+    /// Health analytics over the run's telemetry: wear forecasts from
+    /// the SMART samples, per-minidisk health and anomalies from the
+    /// trace (default when `obs` was fully disabled).
+    pub health: HealthReport,
 }
 
 /// Write-to-death experiment driver.
@@ -118,12 +123,22 @@ impl EnduranceSim {
         let mut written = 0u64;
         let mut integral = 0.0f64;
         let mut timeline = Vec::new();
-        let sample = |ssd: &SalamanderSsd, written: u64| {
-            // Satellite telemetry: one `--metrics` run carries the whole
-            // headroom/limbo trajectory (Fig. 3) as per-sample gauges.
-            if ssd.ftl().obs().metrics.is_enabled() {
-                ssd.smart()
-                    .export_gauges(&ssd.ftl().obs().metrics, &format!("op=\"{written}\""));
+        // The health monitor rides the existing sample cadence and is
+        // only constructed when something observes the run, so the
+        // disabled path pays nothing.
+        let mut monitor = obs
+            .is_enabled()
+            .then(|| HealthMonitor::new(HealthUnit::Ops, self.sample_every));
+        let sample = |ssd: &SalamanderSsd, written: u64, monitor: &mut Option<HealthMonitor>| {
+            if let Some(mon) = monitor.as_mut() {
+                let smart = ssd.smart();
+                mon.observe(written, &smart);
+                // Satellite telemetry: one `--metrics` run carries the
+                // whole headroom/limbo trajectory (Fig. 3) as per-sample
+                // gauges.
+                if ssd.ftl().obs().metrics.is_enabled() {
+                    smart.export_gauges(&ssd.ftl().obs().metrics, &format!("op=\"{written}\""));
+                }
             }
             CapacitySample {
                 written_opages: written,
@@ -133,7 +148,7 @@ impl EnduranceSim {
                 regenerated: ssd.stats().mdisks_regenerated,
             }
         };
-        timeline.push(sample(&ssd, 0));
+        timeline.push(sample(&ssd, 0, &mut monitor));
         // Cache the active minidisk set instead of re-allocating it on
         // every write; the FTL surfaces every membership change
         // (decommission, purge, regeneration) as an event, so the cache
@@ -198,7 +213,7 @@ impl EnduranceSim {
                 }
                 written += out.written;
                 if written.is_multiple_of(self.sample_every) {
-                    timeline.push(sample(&ssd, written));
+                    timeline.push(sample(&ssd, written, &mut monitor));
                 }
             }
             match out.stop {
@@ -207,7 +222,7 @@ impl EnduranceSim {
                 Some(BatchStop::Events) | None => {}
             }
         }
-        timeline.push(sample(&ssd, written));
+        timeline.push(sample(&ssd, written, &mut monitor));
         ssd.ftl().export_metrics();
         let result = EnduranceResult {
             mode: self.cfg.get_mode(),
@@ -216,10 +231,23 @@ impl EnduranceSim {
             timeline,
             write_amplification: ssd.stats().write_amplification().unwrap_or(1.0),
         };
+        let trace = obs.trace.take();
+        let health = match monitor {
+            Some(mut mon) => {
+                // The trace fills in what SMART can't: per-minidisk
+                // lifecycle/error pressure and GC-rate spikes.
+                mon.ingest_trace(&trace);
+                let report = mon.report();
+                report.export_gauges(&obs.metrics);
+                report
+            }
+            None => HealthReport::default(),
+        };
         ObservedRun {
             result,
-            trace: obs.trace.take(),
+            trace,
             metrics: obs.metrics.take(),
+            health,
         }
     }
 
@@ -360,6 +388,28 @@ mod tests {
             .metrics
             .gauge("salamander_write_amplification")
             .is_some());
+    }
+
+    #[test]
+    fn observed_run_builds_health_report() {
+        let sim = EnduranceSim::new(small().mode(Mode::Shrink));
+        let observed = sim.run_observed("mode=test", Obs::recording());
+        let h = &observed.health;
+        assert!(h.samples >= 2, "initial + final samples at minimum");
+        assert!(
+            !h.mdisks.is_empty(),
+            "decommissions must surface as minidisk health"
+        );
+        assert!(h.died_at.is_some(), "device death must reach the report");
+        assert!(
+            observed.metrics.gauge("salamander_health_score").is_some(),
+            "health gauges land in the metrics shard"
+        );
+        // A fully disabled run constructs no monitor and carries the
+        // default report.
+        let plain = sim.run_observed("", Obs::disabled());
+        assert_eq!(plain.health, HealthReport::default());
+        assert_eq!(plain.result, observed.result, "health is read-only");
     }
 
     #[test]

@@ -28,4 +28,4 @@ pub mod sim;
 pub use bridge::ClusterHarness;
 pub use device::StatDevice;
 pub use replace::{ReplacementConfig, ReplacementResult, ReplacementSim};
-pub use sim::{FleetConfig, FleetSim, FleetTimeline};
+pub use sim::{FleetConfig, FleetHealth, FleetSim, FleetTimeline, ObservedFleetRun};

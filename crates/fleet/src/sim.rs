@@ -10,6 +10,7 @@ use crate::device::{StatDevice, StatDeviceConfig};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use salamander_exec::{derive_seed, Threads};
+use salamander_health::{to_milli, zscores, Anomaly, AnomalyKind};
 use salamander_obs::{MetricsRegistry, Profiler, SimTime, TraceEvent, TraceHandle, TraceRecord};
 use serde::{Deserialize, Serialize};
 
@@ -109,8 +110,24 @@ impl FleetTimeline {
     }
 }
 
+/// Fleet-level health analytics: per-device capacity-loss rates
+/// z-scored across the population, outliers flagged as typed
+/// anomalies. Derived from the merged per-device tracks in device
+/// order, so it is thread-invariant by construction.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FleetHealth {
+    /// Mean capacity-loss rate across devices (oPages/day ×1000).
+    pub mean_rate_milli: i64,
+    /// Population standard deviation of the rate (oPages/day ×1000).
+    pub std_rate_milli: i64,
+    /// Devices whose loss rate is a ≥3σ outlier against the fleet
+    /// ([`AnomalyKind::WearRateOutlier`], `subject` = device index,
+    /// `time` = death day or horizon), ascending by device.
+    pub anomalies: Vec<Anomaly>,
+}
+
 /// A [`FleetSim::run_observed`] outcome: the timeline plus its derived
-/// trace and metrics.
+/// trace, metrics, and fleet health.
 #[derive(Debug)]
 pub struct ObservedFleetRun {
     /// The fleet time series, identical to [`FleetSim::run_threads`]'s.
@@ -119,6 +136,8 @@ pub struct ObservedFleetRun {
     pub trace: Vec<TraceRecord>,
     /// Death counters and per-sample capacity gauges.
     pub metrics: MetricsRegistry,
+    /// Wear-rate outlier scan over the fleet.
+    pub health: FleetHealth,
 }
 
 /// What ended one device's service life.
@@ -238,10 +257,66 @@ impl FleetSim {
                 s.alive as f64,
             );
         }
+        let health = Self::fleet_health(&tracks, self.cfg.horizon_days);
+        metrics.set_gauge(
+            "salamander_fleet_health_wear_rate_mean_milli",
+            health.mean_rate_milli as f64,
+        );
+        metrics.set_gauge(
+            "salamander_fleet_health_wear_rate_std_milli",
+            health.std_rate_milli as f64,
+        );
+        for a in &health.anomalies {
+            metrics.inc(
+                &format!(
+                    "salamander_health_anomalies_total{{kind=\"{}\"}}",
+                    a.kind.name()
+                ),
+                1,
+            );
+        }
         ObservedFleetRun {
             timeline,
             trace: trace.take(),
             metrics,
+            health,
+        }
+    }
+
+    /// Population scan over the merged device tracks: each device's
+    /// capacity-loss rate (initial → final capacity over its observed
+    /// days), z-scored across the fleet; ≥3σ fast-wearers become
+    /// [`AnomalyKind::WearRateOutlier`] anomalies. One-sided — a device
+    /// wearing *slower* than its peers is not a problem.
+    fn fleet_health(tracks: &[DeviceTrack], horizon_days: u32) -> FleetHealth {
+        let rates: Vec<f64> = tracks
+            .iter()
+            .map(|t| {
+                let end_day = t.death.map_or(horizon_days, |(d, _)| d).max(1);
+                let lost = t
+                    .initial
+                    .saturating_sub(*t.caps.last().unwrap_or(&t.initial));
+                lost as f64 / end_day as f64
+            })
+            .collect();
+        let (mean, std, z) = zscores(&rates);
+        let anomalies = tracks
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| z[i] >= 3.0)
+            .map(|(i, t)| Anomaly {
+                time: SimTime::new(t.death.map_or(horizon_days, |(d, _)| d), 0),
+                kind: AnomalyKind::WearRateOutlier,
+                subject: i as u32,
+                value_milli: to_milli(rates[i]),
+                mean_milli: to_milli(mean),
+                z_milli: to_milli(z[i]),
+            })
+            .collect();
+        FleetHealth {
+            mean_rate_milli: to_milli(mean),
+            std_rate_milli: to_milli(std),
+            anomalies,
         }
     }
 
@@ -472,6 +547,7 @@ mod tests {
         assert_eq!(a.timeline, plain);
         assert_eq!(a.trace, b.trace, "trace must be thread-invariant");
         assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.health, b.health, "fleet health must be thread-invariant");
         // Every death in the timeline shows up as a trace event.
         let last = plain.samples.last().unwrap();
         let deaths = a
@@ -514,6 +590,49 @@ mod tests {
         assert_eq!(t.capacity_fraction_at(10), Some(0.5));
         assert_eq!(t.capacity_fraction_at(11), None); // beyond simulated range
         assert_eq!(t.capacity_fraction_at(u32::MAX), None);
+    }
+
+    #[test]
+    fn fleet_health_flags_the_fast_wearer() {
+        // 11 devices losing 10 oPages/day, one losing 200: a clear
+        // population outlier.
+        let track = |rate: u64| DeviceTrack {
+            caps: vec![1000 - rate * 10],
+            death: None,
+            initial: 1000,
+        };
+        let mut tracks: Vec<DeviceTrack> = (0..11).map(|_| track(1)).collect();
+        tracks.push(track(20));
+        let health = FleetSim::fleet_health(&tracks, 10);
+        assert_eq!(health.anomalies.len(), 1, "{:?}", health.anomalies);
+        let a = &health.anomalies[0];
+        assert_eq!(a.kind, AnomalyKind::WearRateOutlier);
+        assert_eq!(a.subject, 11);
+        assert_eq!(a.value_milli, to_milli(20.0), "200 oPages over 10 days");
+        assert!(a.z_milli >= 3000);
+        // A uniform fleet has no outliers.
+        let uniform = FleetSim::fleet_health(&(0..12).map(|_| track(1)).collect::<Vec<_>>(), 10);
+        assert!(uniform.anomalies.is_empty());
+        assert_eq!(uniform.std_rate_milli, 0);
+    }
+
+    #[test]
+    fn fleet_health_lands_in_metrics() {
+        let sim = quick_sim(StatMode::Shrink, 7);
+        let run = sim.run_observed(Threads::fixed(2), "fleet=shrink", &Profiler::disabled());
+        assert!(run
+            .metrics
+            .gauge("salamander_fleet_health_wear_rate_mean_milli")
+            .is_some());
+        assert_eq!(
+            run.metrics
+                .counter("salamander_health_anomalies_total{kind=\"wear_rate_outlier\"}"),
+            run.health.anomalies.len() as u64
+        );
+        // Round-trips for artifact use.
+        let json = serde_json::to_string(&run.health).unwrap();
+        let back: FleetHealth = serde_json::from_str(&json).unwrap();
+        assert_eq!(run.health, back);
     }
 
     #[test]

@@ -73,6 +73,13 @@ impl SmartReport {
             &format!("salamander_smart_committed_lbas{{{label}}}"),
             self.committed_lbas as f64,
         );
+        // Limbo capacity pinned by draining minidisks: without it the
+        // Eq. 1 headroom (usable − committed − draining − reserve) is
+        // not reconstructable from the exported series alone.
+        metrics.set_gauge(
+            &format!("salamander_smart_draining_lbas{{{label}}}"),
+            self.draining_lbas as f64,
+        );
         metrics.set_gauge(
             &format!("salamander_smart_avg_pec{{{label}}}"),
             self.avg_pec,
@@ -134,6 +141,33 @@ mod tests {
         assert!(!report(200, 10).decommission_imminent(64, 1.0)); // 40 < 200
                                                                   // Margin scales the estimate.
         assert!(report(60, 10).decommission_imminent(64, 2.0)); // 80 >= 60
+    }
+
+    #[test]
+    fn export_gauges_carries_headroom_inputs() {
+        let metrics = salamander_obs::MetricsHandle::enabled();
+        let mut r = report(16, 2);
+        r.draining_lbas = 48;
+        r.export_gauges(&metrics, "day=\"30\"");
+        let reg = metrics.take();
+        // Every term of the Eq. 1 headroom identity is exported, so the
+        // gauge series alone reconstructs the capacity math.
+        assert_eq!(
+            reg.gauge("salamander_smart_draining_lbas{day=\"30\"}"),
+            Some(48.0)
+        );
+        assert_eq!(
+            reg.gauge("salamander_smart_headroom_opages{day=\"30\"}"),
+            Some(16.0)
+        );
+        assert_eq!(
+            reg.gauge("salamander_smart_usable_opages{day=\"30\"}"),
+            Some(400.0)
+        );
+        assert_eq!(
+            reg.gauge("salamander_smart_committed_lbas{day=\"30\"}"),
+            Some(300.0)
+        );
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Rolling-window anomaly detection over deterministic metric streams
+//! (DESIGN.md §11).
+//!
+//! A [`RollingZScore`] keeps the last `window` observations of one
+//! series and flags a new observation whose z-score against that window
+//! crosses the threshold — read-retry bursts, GC-pass frequency spikes,
+//! and (population mode, via [`zscores`]) per-device wear-rate outliers
+//! across a fleet. Records are typed [`Anomaly`] values with
+//! milli-scaled integer statistics so the JSON form is byte-stable and
+//! the type is `Eq`/`Ord`-friendly for deterministic aggregation.
+
+use salamander_obs::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// What kind of deviation a detector flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AnomalyKind {
+    /// A sample interval's read-retry delta spiked against the rolling
+    /// window (leading indicator of wear, §2.1).
+    ReadRetryBurst,
+    /// GC-pass frequency spiked against the rolling window (write
+    /// amplification pressure; often precedes a headroom shortfall).
+    GcRateSpike,
+    /// One device's capacity-loss rate is an outlier against the rest
+    /// of its fleet (population z-score, not rolling).
+    WearRateOutlier,
+}
+
+impl AnomalyKind {
+    /// Stable lowercase name (metric label values).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnomalyKind::ReadRetryBurst => "read_retry_burst",
+            AnomalyKind::GcRateSpike => "gc_rate_spike",
+            AnomalyKind::WearRateOutlier => "wear_rate_outlier",
+        }
+    }
+}
+
+/// One detected anomaly. Statistics are ×1000 integers ("milli") so
+/// the record is exactly representable, ordered, and byte-stable in
+/// JSON — floats never appear, mirroring the obs event contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Anomaly {
+    /// Simulation time of the offending observation.
+    pub time: SimTime,
+    /// What spiked.
+    pub kind: AnomalyKind,
+    /// Who: minidisk id for device-level series, device index for
+    /// fleet-level series.
+    pub subject: u32,
+    /// Observed value ×1000.
+    pub value_milli: i64,
+    /// Window/population mean ×1000.
+    pub mean_milli: i64,
+    /// z-score ×1000 (clamped to ±1 000 000 000, i.e. |z| ≤ 10⁶).
+    pub z_milli: i64,
+}
+
+/// Scale a statistic to its milli-integer form, clamping away
+/// overflow/NaN so the conversion is total.
+pub fn to_milli(x: f64) -> i64 {
+    let scaled = x * 1000.0;
+    if scaled.is_nan() {
+        0
+    } else {
+        scaled.clamp(-1.0e15, 1.0e15).round() as i64
+    }
+}
+
+/// Clamp bound for z-scores: a window of identical values gives an
+/// effectively infinite z on any change; the clamp keeps the milli
+/// encoding in range while preserving "very large".
+const Z_CLAMP: f64 = 1.0e6;
+
+/// Rolling-window z-score detector for one series.
+#[derive(Debug, Clone, Default)]
+pub struct RollingZScore {
+    window: VecDeque<f64>,
+    cap: usize,
+    min_samples: usize,
+    threshold: f64,
+}
+
+/// A flagged observation: `(mean, z)` of the window it deviated from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deviation {
+    /// Mean of the rolling window (excluding the observation).
+    pub mean: f64,
+    /// z-score of the observation against the window.
+    pub z: f64,
+}
+
+impl RollingZScore {
+    /// A detector keeping `window` observations, reporting only after
+    /// `min_samples` have been seen, flagging `z >= threshold`
+    /// (one-sided: bursts, not lulls).
+    pub fn new(window: usize, min_samples: usize, threshold: f64) -> Self {
+        RollingZScore {
+            window: VecDeque::with_capacity(window),
+            cap: window.max(2),
+            min_samples: min_samples.max(2),
+            threshold,
+        }
+    }
+
+    /// The defaults the monitors use: a 16-sample window, 8 samples of
+    /// warm-up, and the classic 3σ threshold.
+    pub fn standard() -> Self {
+        Self::new(16, 8, 3.0)
+    }
+
+    /// Fold in one observation; `Some` when it deviates. The
+    /// observation always enters the window afterwards (a burst
+    /// becomes the new normal rather than re-flagging forever).
+    pub fn observe(&mut self, x: f64) -> Option<Deviation> {
+        let flagged = if self.window.len() >= self.min_samples {
+            let (mean, std) = mean_std(self.window.iter().copied());
+            // A dead-flat window has σ=0; fall back to an absolute
+            // guard so the first activity after long silence still
+            // registers (clamped z), but noise-free equality does not.
+            let z = if std > 0.0 {
+                ((x - mean) / std).clamp(-Z_CLAMP, Z_CLAMP)
+            } else if x > mean {
+                Z_CLAMP
+            } else {
+                0.0
+            };
+            (z >= self.threshold).then_some(Deviation { mean, z })
+        } else {
+            None
+        };
+        if self.window.len() == self.cap {
+            self.window.pop_front();
+        }
+        self.window.push_back(x);
+        flagged
+    }
+}
+
+/// Mean and population standard deviation, accumulated in iteration
+/// order (fixed order ⇒ bit-stable).
+fn mean_std(values: impl Iterator<Item = f64> + Clone) -> (f64, f64) {
+    let mut n = 0u64;
+    let mut sum = 0.0f64;
+    for v in values.clone() {
+        n += 1;
+        sum += v;
+    }
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let mean = sum / n as f64;
+    let mut var = 0.0f64;
+    for v in values {
+        let d = v - mean;
+        var += d * d;
+    }
+    (mean, (var / n as f64).sqrt())
+}
+
+/// Population z-scores for a whole slice at once (fleet-level outlier
+/// scan): returns `(mean, std, z[i])` with z clamped like the rolling
+/// detector. A population with σ=0 has no outliers by definition.
+pub fn zscores(values: &[f64]) -> (f64, f64, Vec<f64>) {
+    let (mean, std) = mean_std(values.iter().copied());
+    let z = values
+        .iter()
+        .map(|&v| {
+            if std > 0.0 {
+                ((v - mean) / std).clamp(-Z_CLAMP, Z_CLAMP)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    (mean, std, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_series_never_flags() {
+        let mut d = RollingZScore::standard();
+        for _ in 0..100 {
+            assert!(d.observe(5.0).is_none());
+        }
+    }
+
+    #[test]
+    fn burst_after_warmup_flags_once_then_adapts() {
+        let mut d = RollingZScore::new(8, 4, 3.0);
+        for _ in 0..8 {
+            assert!(d.observe(10.0).is_none());
+        }
+        let dev = d.observe(1000.0).expect("burst should flag");
+        assert_eq!(dev.mean, 10.0);
+        assert!(dev.z >= 3.0);
+        // The burst joined the window: a second equal burst has a real
+        // σ to compare against and a much smaller z.
+        let again = d.observe(1000.0);
+        assert!(again.is_none() || again.unwrap().z < dev.z);
+    }
+
+    #[test]
+    fn no_flag_before_warmup() {
+        let mut d = RollingZScore::new(8, 4, 3.0);
+        assert!(d.observe(0.0).is_none());
+        assert!(d.observe(1_000_000.0).is_none(), "only 1 prior sample");
+    }
+
+    #[test]
+    fn lulls_are_not_bursts() {
+        let mut d = RollingZScore::new(8, 4, 3.0);
+        for i in 0..8 {
+            d.observe(100.0 + (i % 2) as f64);
+        }
+        assert!(d.observe(0.0).is_none(), "one-sided: drops don't flag");
+    }
+
+    #[test]
+    fn population_zscores_flag_the_outlier() {
+        let mut v = vec![10.0; 9];
+        v.push(40.0);
+        let (mean, std, z) = zscores(&v);
+        assert!(mean > 10.0 && std > 0.0);
+        assert!(z[9] > 2.9, "outlier z = {}", z[9]);
+        assert!(z[0] < 0.0);
+    }
+
+    #[test]
+    fn uniform_population_has_no_outliers() {
+        let (_, std, z) = zscores(&[7.0; 12]);
+        assert_eq!(std, 0.0);
+        assert!(z.iter().all(|&z| z == 0.0));
+    }
+
+    #[test]
+    fn to_milli_is_total() {
+        assert_eq!(to_milli(1.5), 1500);
+        assert_eq!(to_milli(-0.25), -250);
+        assert_eq!(to_milli(f64::NAN), 0);
+        assert_eq!(to_milli(f64::INFINITY), 1_000_000_000_000_000);
+    }
+
+    #[test]
+    fn anomaly_round_trips_and_orders() {
+        let a = Anomaly {
+            time: SimTime::new(3, 70),
+            kind: AnomalyKind::GcRateSpike,
+            subject: 2,
+            value_milli: 9000,
+            mean_milli: 1000,
+            z_milli: 4500,
+        };
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Anomaly = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+        let earlier = Anomaly {
+            time: SimTime::new(1, 0),
+            ..a
+        };
+        assert!(earlier < a, "time-first ordering");
+    }
+}

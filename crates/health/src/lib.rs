@@ -1,0 +1,36 @@
+//! `salamander-health` — deterministic health analytics over the obs
+//! telemetry (DESIGN.md §11).
+//!
+//! The obs layer (DESIGN.md §9) records *what happened*; this crate
+//! answers *how is the device doing and what happens next*:
+//!
+//! - [`forecast`]: EWMA wear-rate estimates over SMART samples and
+//!   first-order projections of the next forced shrink and device
+//!   death — pure simulation-time arithmetic, bit-identical across
+//!   machines and thread counts.
+//! - [`anomaly`]: rolling-window z-score detectors (read-retry bursts,
+//!   GC-rate spikes) and population z-scores (fleet wear-rate
+//!   outliers), emitting typed [`Anomaly`] records with milli-scaled
+//!   integer statistics.
+//! - [`monitor`]: [`HealthMonitor`] folds SMART samples and trace
+//!   records into a [`HealthReport`] — device score, per-minidisk
+//!   health, projections, anomalies — rendered as
+//!   `salamander_health_*` gauges.
+//! - [`query`]: offline trace queries (`lifecycle`, `why`, fleet
+//!   rollups, Prometheus diffs) as pure record-to-string functions;
+//!   the `obsctl` CLI is a thin argv wrapper around them.
+//!
+//! The crate is a read-only consumer: it never influences simulation
+//! state, so enabling it cannot change any simulated outcome, and every
+//! analytics product inherits the obs layer's determinism guarantee.
+
+pub mod anomaly;
+pub mod forecast;
+pub mod monitor;
+pub mod query;
+
+pub use anomaly::{to_milli, zscores, Anomaly, AnomalyKind, Deviation, RollingZScore};
+pub use forecast::{project, Ewma, WearForecaster, EWMA_ALPHA};
+pub use monitor::{
+    HealthMonitor, HealthReport, HealthUnit, MdiskHealth, MdiskState, DEVICE_SUBJECT,
+};

@@ -1,0 +1,631 @@
+//! Live health scoring: fold SMART samples and trace events into a
+//! [`HealthReport`] (DESIGN.md §11).
+//!
+//! A [`HealthMonitor`] is owned by a simulation driver, fed the
+//! device's own [`SmartReport`] at every trajectory sample (the same
+//! points `export_gauges` already lands on) and, at end of run, the
+//! recorded trace. Every input is deterministic, every fold happens in
+//! sample/record order, and the output is plain data — so the report
+//! is byte-identical across thread counts whenever the underlying
+//! telemetry is, which PR 2 already guarantees.
+
+use crate::anomaly::{to_milli, Anomaly, AnomalyKind, RollingZScore};
+use crate::forecast::WearForecaster;
+use salamander_ftl::smart::SmartReport;
+use salamander_obs::{
+    DeathCause, DecommissionCause, MetricsHandle, SimTime, TraceEvent, TraceRecord,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The clock a monitor's ticks are read on. Determines which half of
+/// [`SimTime`] stamps anomalies and what the projection horizons mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum HealthUnit {
+    /// Ticks are host-write op indexes (`EnduranceSim`).
+    #[default]
+    Ops,
+    /// Ticks are simulated days (`DailySim`, fleet grids).
+    Days,
+}
+
+impl HealthUnit {
+    /// Stable lowercase name for rendering.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HealthUnit::Ops => "ops",
+            HealthUnit::Days => "days",
+        }
+    }
+
+    /// A [`SimTime`] stamp for a tick on this clock.
+    pub fn time(&self, tick: u64) -> SimTime {
+        match self {
+            HealthUnit::Ops => SimTime::new(0, tick),
+            HealthUnit::Days => SimTime::new(tick as u32, 0),
+        }
+    }
+
+    /// The tick a [`SimTime`] reads on this clock.
+    pub fn tick(&self, time: SimTime) -> u64 {
+        match self {
+            HealthUnit::Ops => time.op,
+            HealthUnit::Days => time.day as u64,
+        }
+    }
+}
+
+/// `subject` value for anomalies scoped to the whole device rather
+/// than one minidisk.
+pub const DEVICE_SUBJECT: u32 = u32::MAX;
+
+/// Lifecycle state of one minidisk, reconstructed from its trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MdiskState {
+    /// In service.
+    #[default]
+    Active,
+    /// Decommissioned with a grace period; data still readable.
+    Draining,
+    /// Decommissioned outright.
+    Decommissioned,
+    /// Force-purged before the drain was acknowledged.
+    Purged,
+}
+
+/// Health of one minidisk: lifecycle state plus error pressure,
+/// reduced to a 0–100 score (see DESIGN.md §11 for the exact model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MdiskHealth {
+    /// Minidisk id.
+    pub id: u32,
+    /// Lifecycle state.
+    pub state: MdiskState,
+    /// 0–100 (0 = out of service).
+    pub score: u32,
+    /// ECC retry reads served by this minidisk.
+    pub read_retries: u64,
+    /// Reads lost even after retries.
+    pub uncorrectable_reads: u64,
+    /// Tiredness level it was regenerated at, if RegenS created it.
+    pub regen_level: Option<u8>,
+    /// When it was decommissioned, if it was.
+    pub decommissioned_at: Option<SimTime>,
+    /// Which shortfall loop decommissioned it.
+    pub decommission_cause: Option<DecommissionCause>,
+}
+
+impl MdiskHealth {
+    fn new(id: u32) -> Self {
+        MdiskHealth {
+            id,
+            state: MdiskState::Active,
+            score: 100,
+            read_retries: 0,
+            uncorrectable_reads: 0,
+            regen_level: None,
+            decommissioned_at: None,
+            decommission_cause: None,
+        }
+    }
+
+    /// Recompute the score from state and error pressure: out of
+    /// service ⇒ 0, draining ⇒ capped at 20, otherwise 100 minus a
+    /// regen-level discount and retry/uncorrectable penalties.
+    fn rescore(&mut self) {
+        self.score = match self.state {
+            MdiskState::Decommissioned | MdiskState::Purged => 0,
+            MdiskState::Draining => 20,
+            MdiskState::Active => {
+                let base = 100u64.saturating_sub(5 * self.regen_level.unwrap_or(0) as u64);
+                let penalty =
+                    (2 * self.read_retries).min(40) + (20 * self.uncorrectable_reads).min(60);
+                base.saturating_sub(penalty) as u32
+            }
+        };
+    }
+}
+
+/// The monitor's end-of-run product: device score, wear rates,
+/// shrink/death projections, per-minidisk health, anomalies.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Clock the rates and projections are expressed in.
+    pub unit: HealthUnit,
+    /// SMART samples folded.
+    pub samples: u64,
+    /// Device score, 0–100 (100 = fresh; see DESIGN.md §11).
+    pub score: u32,
+    /// Headroom (oPages) at the last sample.
+    pub headroom_opages: u64,
+    /// Life-remaining fraction at the last sample.
+    pub life_remaining: f64,
+    /// EWMA headroom consumption per tick.
+    pub headroom_rate: f64,
+    /// EWMA life-fraction consumption per tick.
+    pub life_rate: f64,
+    /// EWMA net page flow per tick, per tiredness level (index 4 =
+    /// dead; its rate is the retirement rate).
+    pub level_rates: [f64; 5],
+    /// Projected ticks until the next forced shrink (`None` = no
+    /// consumption observed yet).
+    pub ticks_to_next_shrink: Option<u64>,
+    /// Projected ticks until device death.
+    pub ticks_to_death: Option<u64>,
+    /// When the device actually died, if the trace saw it.
+    pub died_at: Option<SimTime>,
+    /// Why it died.
+    pub death_cause: Option<DeathCause>,
+    /// Per-minidisk health, ascending by id (only minidisks the trace
+    /// mentions; a silent minidisk is a healthy one).
+    pub mdisks: Vec<MdiskHealth>,
+    /// Detected anomalies in detection order.
+    pub anomalies: Vec<Anomaly>,
+}
+
+impl HealthReport {
+    /// Render the report as `salamander_health_*` gauges/counters.
+    /// Projections export −1 for "no evidence yet" (gauges cannot be
+    /// absent per-sample). Per-minidisk scores export only the
+    /// [`Self::MDISK_GAUGE_CAP`] *worst* minidisks so a thousand-disk
+    /// device doesn't swamp the exposition; the full list is in the
+    /// report itself.
+    pub fn export_gauges(&self, metrics: &MetricsHandle) {
+        if !metrics.is_enabled() {
+            return;
+        }
+        metrics.set_gauge("salamander_health_score", self.score as f64);
+        metrics.set_gauge("salamander_health_samples", self.samples as f64);
+        metrics.set_gauge(
+            "salamander_health_ticks_to_next_shrink",
+            self.ticks_to_next_shrink.map_or(-1.0, |t| t as f64),
+        );
+        metrics.set_gauge(
+            "salamander_health_ticks_to_death",
+            self.ticks_to_death.map_or(-1.0, |t| t as f64),
+        );
+        metrics.set_gauge("salamander_health_headroom_rate", self.headroom_rate);
+        metrics.set_gauge("salamander_health_life_rate", self.life_rate);
+        for (i, rate) in self.level_rates.iter().enumerate() {
+            metrics.set_gauge(
+                &format!("salamander_health_level_rate{{level=\"L{i}\"}}"),
+                *rate,
+            );
+        }
+        let mut worst: Vec<&MdiskHealth> = self.mdisks.iter().collect();
+        worst.sort_by_key(|m| (m.score, m.id));
+        for m in worst.into_iter().take(Self::MDISK_GAUGE_CAP) {
+            metrics.set_gauge(
+                &format!("salamander_health_mdisk_score{{mdisk=\"{}\"}}", m.id),
+                m.score as f64,
+            );
+        }
+        for a in &self.anomalies {
+            metrics.inc(
+                &format!(
+                    "salamander_health_anomalies_total{{kind=\"{}\"}}",
+                    a.kind.name()
+                ),
+                1,
+            );
+        }
+    }
+
+    /// How many (worst-scoring) minidisks `export_gauges` exposes.
+    pub const MDISK_GAUGE_CAP: usize = 16;
+}
+
+/// Folds SMART samples and trace records into a [`HealthReport`].
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    unit: HealthUnit,
+    forecaster: WearForecaster,
+    samples: u64,
+    last: Option<SmartReport>,
+    last_retries: u64,
+    retry_detector: RollingZScore,
+    gc_detector: RollingZScore,
+    /// GC passes are bucketed into fixed tick windows before z-scoring.
+    gc_bucket_ticks: u64,
+    mdisks: BTreeMap<u32, MdiskHealth>,
+    anomalies: Vec<Anomaly>,
+    died_at: Option<SimTime>,
+    death_cause: Option<DeathCause>,
+}
+
+impl HealthMonitor {
+    /// A monitor on the given clock. `gc_bucket_ticks` sets the GC
+    /// spike-detection granularity; the sim drivers pass their sample
+    /// interval so "per bucket" and "per sample" coincide.
+    pub fn new(unit: HealthUnit, gc_bucket_ticks: u64) -> Self {
+        HealthMonitor {
+            unit,
+            forecaster: WearForecaster::new(),
+            samples: 0,
+            last: None,
+            last_retries: 0,
+            retry_detector: RollingZScore::standard(),
+            gc_detector: RollingZScore::standard(),
+            gc_bucket_ticks: gc_bucket_ticks.max(1),
+            mdisks: BTreeMap::new(),
+            anomalies: Vec::new(),
+            died_at: None,
+            death_cause: None,
+        }
+    }
+
+    /// Fold in one SMART sample at `tick`.
+    pub fn observe(&mut self, tick: u64, smart: &SmartReport) {
+        self.forecaster.observe(
+            tick,
+            smart.headroom_opages,
+            smart.life_remaining,
+            &smart.level_histogram,
+        );
+        // Read-retry burst: z-score the per-sample retry delta.
+        let delta = smart.read_retries.saturating_sub(self.last_retries);
+        if self.samples > 0 {
+            if let Some(dev) = self.retry_detector.observe(delta as f64) {
+                self.anomalies.push(Anomaly {
+                    time: self.unit.time(tick),
+                    kind: AnomalyKind::ReadRetryBurst,
+                    subject: DEVICE_SUBJECT,
+                    value_milli: to_milli(delta as f64),
+                    mean_milli: to_milli(dev.mean),
+                    z_milli: to_milli(dev.z),
+                });
+            }
+        }
+        self.last_retries = smart.read_retries;
+        self.last = Some(*smart);
+        self.samples += 1;
+    }
+
+    /// Fold in a recorded trace: minidisk lifecycle states, per-minidisk
+    /// error pressure, GC-rate spikes, device death. Call once, after
+    /// the run, with the records in emission order.
+    pub fn ingest_trace(&mut self, records: &[TraceRecord]) {
+        let mut gc_bucket: Option<u64> = None;
+        let mut gc_count = 0u64;
+        for rec in records {
+            match &rec.event {
+                TraceEvent::ReadRetry { mdisk, retries } => {
+                    let m = self.mdisk_entry(*mdisk);
+                    m.read_retries += *retries as u64;
+                }
+                TraceEvent::UncorrectableRead { mdisk, .. } => {
+                    self.mdisk_entry(*mdisk).uncorrectable_reads += 1;
+                }
+                TraceEvent::MdiskDecommissioned {
+                    id,
+                    draining,
+                    cause,
+                    ..
+                } => {
+                    let time = rec.time;
+                    let (draining, cause) = (*draining, *cause);
+                    let m = self.mdisk_entry(*id);
+                    m.state = if draining {
+                        MdiskState::Draining
+                    } else {
+                        MdiskState::Decommissioned
+                    };
+                    m.decommissioned_at = Some(time);
+                    m.decommission_cause = Some(cause);
+                }
+                TraceEvent::MdiskPurged { id } => {
+                    self.mdisk_entry(*id).state = MdiskState::Purged;
+                }
+                TraceEvent::MdiskRegenerated { id, level } => {
+                    let level = *level;
+                    let m = self.mdisk_entry(*id);
+                    m.regen_level = Some(level);
+                    m.state = MdiskState::Active;
+                }
+                TraceEvent::DeviceDied { cause } => {
+                    self.died_at = Some(rec.time);
+                    self.death_cause = Some(*cause);
+                }
+                TraceEvent::GcPass { .. } => {
+                    let bucket = self.unit.tick(rec.time) / self.gc_bucket_ticks;
+                    match gc_bucket {
+                        Some(b) if b == bucket => gc_count += 1,
+                        Some(b) => {
+                            self.close_gc_buckets(b, bucket, gc_count);
+                            gc_bucket = Some(bucket);
+                            gc_count = 1;
+                        }
+                        None => {
+                            gc_bucket = Some(bucket);
+                            gc_count = 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let (Some(b), true) = (gc_bucket, gc_count > 0) {
+            self.close_gc_buckets(b, b + 1, gc_count);
+        }
+        for m in self.mdisks.values_mut() {
+            m.rescore();
+        }
+    }
+
+    /// Feed the completed GC bucket `from` (with `count` passes) and
+    /// any empty buckets up to `to` into the spike detector. Zero-fill
+    /// is capped at one window's worth: 16 zeros already flat-line the
+    /// rolling window, and op-clock gaps can span millions of buckets.
+    fn close_gc_buckets(&mut self, from: u64, to: u64, count: u64) {
+        self.observe_gc_bucket(from, count);
+        let gap_end = to.min(from + 1 + 16);
+        for empty in from + 1..gap_end {
+            self.observe_gc_bucket(empty, 0);
+        }
+    }
+
+    fn observe_gc_bucket(&mut self, bucket: u64, count: u64) {
+        if let Some(dev) = self.gc_detector.observe(count as f64) {
+            self.anomalies.push(Anomaly {
+                time: self.unit.time(bucket * self.gc_bucket_ticks),
+                kind: AnomalyKind::GcRateSpike,
+                subject: DEVICE_SUBJECT,
+                value_milli: to_milli(count as f64),
+                mean_milli: to_milli(dev.mean),
+                z_milli: to_milli(dev.z),
+            });
+        }
+    }
+
+    fn mdisk_entry(&mut self, id: u32) -> &mut MdiskHealth {
+        self.mdisks
+            .entry(id)
+            .or_insert_with(|| MdiskHealth::new(id))
+    }
+
+    /// Produce the report. The device score blends remaining life
+    /// (50%), headroom fraction (30%), and read-path integrity (20%) —
+    /// the model DESIGN.md §11 defines.
+    pub fn report(&self) -> HealthReport {
+        let (score, headroom, life) = match &self.last {
+            None => (0, 0, 0.0),
+            Some(s) => {
+                let life = s.life_remaining.clamp(0.0, 1.0);
+                let headroom_frac = if s.usable_opages > 0 {
+                    (s.headroom_opages as f64 / s.usable_opages as f64).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                let integrity =
+                    1.0 / (1.0 + s.read_retries as f64 / 1000.0 + s.uncorrectable_reads as f64);
+                let score = (100.0 * (0.5 * life + 0.3 * headroom_frac + 0.2 * integrity)).round();
+                (score as u32, s.headroom_opages, life)
+            }
+        };
+        HealthReport {
+            unit: self.unit,
+            samples: self.samples,
+            score,
+            headroom_opages: headroom,
+            life_remaining: life,
+            headroom_rate: self.forecaster.headroom_rate(),
+            life_rate: self.forecaster.life_rate(),
+            level_rates: self.forecaster.level_rates(),
+            ticks_to_next_shrink: self.forecaster.ticks_to_next_shrink(),
+            ticks_to_death: self.forecaster.ticks_to_death(),
+            died_at: self.died_at,
+            death_cause: self.death_cause,
+            mdisks: self.mdisks.values().cloned().collect(),
+            anomalies: self.anomalies.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smart(headroom: u64, life: f64, retries: u64) -> SmartReport {
+        SmartReport {
+            avg_pec: 10.0,
+            max_pec: 20,
+            level_histogram: [100, 0, 0, 0, 0],
+            dead_blocks: 0,
+            usable_opages: 1000,
+            committed_lbas: 600,
+            draining_lbas: 0,
+            headroom_opages: headroom,
+            pages_near_retirement: 0,
+            opages_per_fpage: 4,
+            uncorrectable_reads: 0,
+            read_retries: retries,
+            life_remaining: life,
+        }
+    }
+
+    #[test]
+    fn fresh_device_scores_high_and_projects_nothing() {
+        let mut mon = HealthMonitor::new(HealthUnit::Ops, 10_000);
+        mon.observe(0, &smart(400, 1.0, 0));
+        let r = mon.report();
+        assert!(r.score >= 80, "score {}", r.score);
+        assert_eq!(r.ticks_to_next_shrink, None);
+        assert_eq!(r.ticks_to_death, None);
+        assert_eq!(r.samples, 1);
+    }
+
+    #[test]
+    fn wearing_device_projects_shrink_and_death() {
+        let mut mon = HealthMonitor::new(HealthUnit::Ops, 10_000);
+        for i in 0..5u64 {
+            mon.observe(i * 1000, &smart(400 - i * 40, 1.0 - i as f64 * 0.05, 0));
+        }
+        let r = mon.report();
+        let shrink = r.ticks_to_next_shrink.expect("headroom declining");
+        let death = r.ticks_to_death.expect("life declining");
+        assert!(shrink > 0 && death > 0);
+        // 240 oPages left at 0.04/tick ⇒ 6000 ticks.
+        assert_eq!(shrink, 6000);
+        assert!(death >= shrink, "death {death} vs shrink {shrink}");
+        assert!(r.score < 100);
+    }
+
+    #[test]
+    fn retry_burst_flags_device_anomaly() {
+        let mut mon = HealthMonitor::new(HealthUnit::Ops, 10_000);
+        let mut total = 0u64;
+        for i in 0..12u64 {
+            total += 1; // steady 1 retry per sample
+            mon.observe(i * 1000, &smart(400, 1.0, total));
+        }
+        total += 500; // burst
+        mon.observe(12_000, &smart(400, 1.0, total));
+        let r = mon.report();
+        assert!(
+            r.anomalies
+                .iter()
+                .any(|a| a.kind == AnomalyKind::ReadRetryBurst && a.subject == DEVICE_SUBJECT),
+            "{:?}",
+            r.anomalies
+        );
+    }
+
+    fn rec(seq: u64, op: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            seq,
+            time: SimTime::new(0, op),
+            event,
+        }
+    }
+
+    #[test]
+    fn trace_reconstructs_mdisk_lifecycle_and_scores() {
+        let mut mon = HealthMonitor::new(HealthUnit::Ops, 1000);
+        let records = vec![
+            rec(
+                0,
+                10,
+                TraceEvent::ReadRetry {
+                    mdisk: 3,
+                    retries: 2,
+                },
+            ),
+            rec(
+                1,
+                20,
+                TraceEvent::MdiskDecommissioned {
+                    id: 3,
+                    valid_lbas: 50,
+                    draining: true,
+                    cause: DecommissionCause::LevelShortfall,
+                },
+            ),
+            rec(2, 30, TraceEvent::MdiskPurged { id: 3 }),
+            rec(3, 40, TraceEvent::MdiskRegenerated { id: 7, level: 1 }),
+            rec(
+                4,
+                41,
+                TraceEvent::ReadRetry {
+                    mdisk: 7,
+                    retries: 1,
+                },
+            ),
+            rec(
+                5,
+                50,
+                TraceEvent::DeviceDied {
+                    cause: DeathCause::FullyShrunk,
+                },
+            ),
+        ];
+        mon.ingest_trace(&records);
+        let r = mon.report();
+        assert_eq!(r.mdisks.len(), 2);
+        let m3 = &r.mdisks[0];
+        assert_eq!(m3.id, 3);
+        assert_eq!(m3.state, MdiskState::Purged);
+        assert_eq!(m3.score, 0);
+        assert_eq!(m3.read_retries, 2);
+        assert_eq!(
+            m3.decommission_cause,
+            Some(DecommissionCause::LevelShortfall)
+        );
+        assert_eq!(m3.decommissioned_at, Some(SimTime::new(0, 20)));
+        let m7 = &r.mdisks[1];
+        assert_eq!(m7.state, MdiskState::Active);
+        assert_eq!(m7.regen_level, Some(1));
+        assert_eq!(m7.score, 100 - 5 - 2, "regen discount + retry penalty");
+        assert_eq!(r.died_at, Some(SimTime::new(0, 50)));
+        assert_eq!(r.death_cause, Some(DeathCause::FullyShrunk));
+    }
+
+    #[test]
+    fn gc_spike_flags_after_steady_state() {
+        let mut mon = HealthMonitor::new(HealthUnit::Ops, 100);
+        let mut records = Vec::new();
+        let mut seq = 0;
+        // 12 buckets of 2 passes each, then one bucket of 60.
+        for bucket in 0..12u64 {
+            for i in 0..2 {
+                records.push(rec(
+                    seq,
+                    bucket * 100 + i * 7,
+                    TraceEvent::GcPass {
+                        block: seq,
+                        relocated: 4,
+                    },
+                ));
+                seq += 1;
+            }
+        }
+        for i in 0..60u64 {
+            records.push(rec(
+                seq,
+                1200 + i,
+                TraceEvent::GcPass {
+                    block: seq,
+                    relocated: 4,
+                },
+            ));
+            seq += 1;
+        }
+        mon.ingest_trace(&records);
+        let r = mon.report();
+        assert!(
+            r.anomalies
+                .iter()
+                .any(|a| a.kind == AnomalyKind::GcRateSpike),
+            "{:?}",
+            r.anomalies
+        );
+    }
+
+    #[test]
+    fn report_round_trips_and_gauges_export() {
+        let mut mon = HealthMonitor::new(HealthUnit::Days, 7);
+        for i in 0..4u64 {
+            mon.observe(i * 7, &smart(400 - i * 20, 1.0 - i as f64 * 0.01, i));
+        }
+        let r = mon.report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: HealthReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+
+        let metrics = MetricsHandle::enabled();
+        r.export_gauges(&metrics);
+        let reg = metrics.take();
+        assert_eq!(reg.gauge("salamander_health_score"), Some(r.score as f64));
+        assert!(reg
+            .gauge("salamander_health_ticks_to_next_shrink")
+            .is_some());
+        assert!(reg
+            .gauge("salamander_health_level_rate{level=\"L4\"}")
+            .is_some());
+    }
+
+    #[test]
+    fn disabled_metrics_export_is_inert() {
+        let r = HealthReport::default();
+        r.export_gauges(&MetricsHandle::disabled());
+    }
+}

@@ -1,0 +1,652 @@
+//! Offline trace queries: the engine behind `obsctl` (DESIGN.md §11).
+//!
+//! Everything here is a pure function from recorded telemetry to a
+//! `String` — no I/O, no printing — so the CLI, the examples, and the
+//! golden tests all share one deterministic rendering path.
+
+use salamander_obs::{DecommissionCause, TraceEvent, TraceRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One run segment of a trace: the label of the `RunMarker` that opened
+/// it and the records that follow (markers excluded).
+#[derive(Debug, Clone)]
+pub struct Segment<'a> {
+    /// Run label (`"(unlabelled)"` for records before any marker).
+    pub label: String,
+    /// Records in emission order.
+    pub records: Vec<&'a TraceRecord>,
+}
+
+/// Split a trace on `RunMarker` boundaries. A trace without markers is
+/// one anonymous segment; an empty trace has no segments.
+pub fn segments(records: &[TraceRecord]) -> Vec<Segment<'_>> {
+    let mut out: Vec<Segment<'_>> = Vec::new();
+    for r in records {
+        match &r.event {
+            TraceEvent::RunMarker { label } => out.push(Segment {
+                label: label.clone(),
+                records: Vec::new(),
+            }),
+            _ => {
+                if out.is_empty() {
+                    out.push(Segment {
+                        label: "(unlabelled)".into(),
+                        records: Vec::new(),
+                    });
+                }
+                out.last_mut().expect("segment exists").records.push(r);
+            }
+        }
+    }
+    out
+}
+
+/// Whether an event concerns minidisk `id` (lifecycle or read path).
+fn concerns(event: &TraceEvent, id: u32) -> bool {
+    match event {
+        TraceEvent::MdiskDecommissioned { id: m, .. }
+        | TraceEvent::MdiskPurged { id: m }
+        | TraceEvent::MdiskRegenerated { id: m, .. } => *m == id,
+        TraceEvent::ReadRetry { mdisk, .. } | TraceEvent::UncorrectableRead { mdisk, .. } => {
+            *mdisk == id
+        }
+        _ => false,
+    }
+}
+
+/// Render the lifecycle timeline of a trace: per segment, every
+/// minidisk decommission/purge/regeneration, device deaths, chunk
+/// losses, and totals for the high-volume events. With `mdisk`, only
+/// lines concerning that minidisk (totals still cover the segment).
+pub fn lifecycle(records: &[TraceRecord], mdisk: Option<u32>) -> String {
+    let mut out = String::new();
+    if records.is_empty() {
+        out.push_str("empty trace\n");
+        return out;
+    }
+    let segs = segments(records);
+    let _ = writeln!(
+        out,
+        "{} events, {} run segment(s)",
+        records.len(),
+        segs.len()
+    );
+    for seg in &segs {
+        let _ = writeln!(out, "\n== {} ({} events)", seg.label, seg.records.len());
+        let mut tired = 0u64;
+        let mut retired = 0u64;
+        let mut gc_passes = 0u64;
+        let mut gc_relocated = 0u64;
+        let mut scrubs = 0u64;
+        let mut retries = 0u64;
+        let mut rereplicated = 0u64;
+        for r in &seg.records {
+            let day = r.time.day;
+            if let Some(id) = mdisk {
+                if !concerns(&r.event, id) && !matches!(r.event, TraceEvent::DeviceDied { .. }) {
+                    // Totals below still count the whole segment.
+                    match &r.event {
+                        TraceEvent::PageTired { .. } => tired += 1,
+                        TraceEvent::PageRetired { .. } => retired += 1,
+                        TraceEvent::GcPass { relocated, .. } => {
+                            gc_passes += 1;
+                            gc_relocated += relocated;
+                        }
+                        TraceEvent::ScrubRefresh { .. } => scrubs += 1,
+                        TraceEvent::ReadRetry { .. } => retries += 1,
+                        TraceEvent::ChunkReReplicated { bytes, .. } => rereplicated += bytes,
+                        _ => {}
+                    }
+                    continue;
+                }
+            }
+            match &r.event {
+                TraceEvent::MdiskDecommissioned {
+                    id,
+                    valid_lbas,
+                    draining,
+                    cause,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "  day {day:>5}: minidisk {id} decommissioned \
+                         ({valid_lbas} valid LBAs, {}, cause: {cause:?})",
+                        if *draining { "draining" } else { "dropped" }
+                    );
+                }
+                TraceEvent::MdiskPurged { id } => {
+                    let _ = writeln!(out, "  day {day:>5}: minidisk {id} purged before ack");
+                }
+                TraceEvent::MdiskRegenerated { id, level } => {
+                    let _ = writeln!(out, "  day {day:>5}: minidisk {id} regenerated at L{level}");
+                }
+                TraceEvent::DeviceDied { cause } => {
+                    let _ = writeln!(out, "  day {day:>5}: device died ({cause:?})");
+                }
+                TraceEvent::FleetDeviceDied { device, cause } => {
+                    let _ = writeln!(
+                        out,
+                        "  day {day:>5}: fleet device {device} died ({cause:?})"
+                    );
+                }
+                TraceEvent::ChunkLost { chunk } => {
+                    let _ = writeln!(out, "  day {day:>5}: chunk {chunk} LOST");
+                }
+                TraceEvent::UncorrectableRead { mdisk, lba } => {
+                    let _ = writeln!(
+                        out,
+                        "  day {day:>5}: uncorrectable read (minidisk {mdisk}, lba {lba})"
+                    );
+                }
+                TraceEvent::PageTired { .. } => tired += 1,
+                TraceEvent::PageRetired { .. } => retired += 1,
+                TraceEvent::GcPass { relocated, .. } => {
+                    gc_passes += 1;
+                    gc_relocated += relocated;
+                }
+                TraceEvent::ScrubRefresh { .. } => scrubs += 1,
+                TraceEvent::ReadRetry { .. } => retries += 1,
+                TraceEvent::ChunkReReplicated { bytes, .. } => rereplicated += bytes,
+                TraceEvent::RunMarker { .. } => {}
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  totals: {tired} level transitions, {retired} page retirements, \
+             {gc_passes} GC passes ({gc_relocated} oPages relocated), \
+             {scrubs} scrub refreshes, {retries} read retries"
+        );
+        if rereplicated > 0 {
+            let _ = writeln!(
+                out,
+                "  totals: {rereplicated} bytes re-replicated by the diFS"
+            );
+        }
+    }
+    out
+}
+
+/// Human text for a decommission cause.
+fn cause_text(cause: DecommissionCause) -> &'static str {
+    match cause {
+        DecommissionCause::LevelShortfall => {
+            "a tiredness level's committed ledger exceeded its usable pages \
+             (wear transitions shrank the level faster than GC could drain it)"
+        }
+        DecommissionCause::GcHeadroom => {
+            "global GC headroom dropped below the overprovisioning floor \
+             (Eq. 1: usable − committed − draining − reserve)"
+        }
+    }
+}
+
+/// Explain *why* a minidisk was decommissioned: its decommission event,
+/// the wear pressure recorded before it (level transitions, retirements,
+/// GC activity, this minidisk's read retries), and the aftermath (purge,
+/// replacement regenerations, device death). With `mdisk = None`, the
+/// first decommissioned minidisk in the trace is explained.
+pub fn why(records: &[TraceRecord], mdisk: Option<u32>) -> String {
+    let mut out = String::new();
+    // Locate the decommission record (and its segment).
+    let segs = segments(records);
+    let mut found: Option<(&Segment<'_>, usize)> = None;
+    'outer: for seg in &segs {
+        for (i, r) in seg.records.iter().enumerate() {
+            if let TraceEvent::MdiskDecommissioned { id, .. } = &r.event {
+                if mdisk.is_none() || mdisk == Some(*id) {
+                    found = Some((seg, i));
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let Some((seg, idx)) = found else {
+        match mdisk {
+            Some(id) => {
+                let _ = writeln!(out, "minidisk {id} was never decommissioned in this trace");
+                let mut ids: Vec<u32> = Vec::new();
+                for r in records {
+                    if let TraceEvent::MdiskDecommissioned { id, .. } = &r.event {
+                        if !ids.contains(id) {
+                            ids.push(*id);
+                        }
+                    }
+                }
+                if ids.is_empty() {
+                    out.push_str("no minidisk was decommissioned at all\n");
+                } else {
+                    let _ = writeln!(out, "decommissioned minidisks: {ids:?}");
+                }
+            }
+            None => out.push_str("no minidisk was decommissioned in this trace\n"),
+        }
+        return out;
+    };
+    let rec = seg.records[idx];
+    let TraceEvent::MdiskDecommissioned {
+        id,
+        valid_lbas,
+        draining,
+        cause,
+    } = &rec.event
+    else {
+        unreachable!("found index points at a decommission");
+    };
+    let _ = writeln!(out, "why: minidisk {id} (segment \"{}\")", seg.label);
+    let _ = writeln!(
+        out,
+        "  day {:>5} op {:>8}: decommissioned, {} valid LBAs, {}",
+        rec.time.day,
+        rec.time.op,
+        valid_lbas,
+        if *draining {
+            "entered draining grace period"
+        } else {
+            "dropped immediately"
+        }
+    );
+    let _ = writeln!(out, "  cause: {:?} — {}", cause, cause_text(*cause));
+
+    // Wear pressure recorded before the decommission, within the segment.
+    let mut transitions: BTreeMap<(u8, u8), u64> = BTreeMap::new();
+    let mut retired = 0u64;
+    let mut gc_passes = 0u64;
+    let mut gc_relocated = 0u64;
+    let mut own_retries = 0u64;
+    let mut own_uncorrectable = 0u64;
+    for r in &seg.records[..idx] {
+        match &r.event {
+            TraceEvent::PageTired { from, to, .. } => {
+                *transitions.entry((*from, *to)).or_insert(0) += 1;
+            }
+            TraceEvent::PageRetired { .. } => retired += 1,
+            TraceEvent::GcPass { relocated, .. } => {
+                gc_passes += 1;
+                gc_relocated += relocated;
+            }
+            TraceEvent::ReadRetry { mdisk, retries } if *mdisk == *id => {
+                own_retries += *retries as u64;
+            }
+            TraceEvent::UncorrectableRead { mdisk, .. } if *mdisk == *id => {
+                own_uncorrectable += 1;
+            }
+            _ => {}
+        }
+    }
+    out.push_str("  pressure before the decommission:\n");
+    if transitions.is_empty() && retired == 0 {
+        out.push_str("    no page wear recorded\n");
+    } else {
+        if transitions.is_empty() {
+            out.push_str("    page level transitions: 0\n");
+        } else {
+            let flows: Vec<String> = transitions
+                .iter()
+                .map(|((f, t), n)| format!("L{f}→L{t}: {n}"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "    page level transitions: {} ({})",
+                transitions.values().sum::<u64>(),
+                flows.join(", ")
+            );
+        }
+        let _ = writeln!(out, "    page retirements: {retired}");
+    }
+    let _ = writeln!(
+        out,
+        "    GC passes: {gc_passes} ({gc_relocated} oPages relocated)"
+    );
+    let _ = writeln!(
+        out,
+        "    this minidisk's read path: {own_retries} retries, \
+         {own_uncorrectable} uncorrectable reads"
+    );
+
+    // Aftermath: what happened to this minidisk and the device after.
+    out.push_str("  aftermath:\n");
+    let mut any = false;
+    for r in &seg.records[idx + 1..] {
+        let day = r.time.day;
+        let op = r.time.op;
+        match &r.event {
+            TraceEvent::MdiskPurged { id: m } if *m == *id => {
+                let _ = writeln!(out, "    day {day:>5} op {op:>8}: purged before ack");
+                any = true;
+            }
+            TraceEvent::MdiskRegenerated { id: m, level } => {
+                let _ = writeln!(
+                    out,
+                    "    day {day:>5} op {op:>8}: minidisk {m} regenerated at L{level} \
+                     (replacement capacity)"
+                );
+                any = true;
+            }
+            TraceEvent::DeviceDied { cause } => {
+                let _ = writeln!(out, "    day {day:>5} op {op:>8}: device died ({cause:?})");
+                any = true;
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        out.push_str("    none recorded (still draining at end of trace)\n");
+    }
+    out
+}
+
+/// Fleet rollup: per-device death day and cause plus chunk-durability
+/// totals, as an aligned table or CSV (`device,died_day,cause`).
+pub fn fleet_rollup(records: &[TraceRecord], csv: bool) -> String {
+    let mut out = String::new();
+    let mut deaths: Vec<(u32, u32, String)> = Vec::new();
+    let mut lost = 0u64;
+    let mut rereplicated = 0u64;
+    for r in records {
+        match &r.event {
+            TraceEvent::FleetDeviceDied { device, cause } => {
+                deaths.push((*device, r.time.day, format!("{cause:?}")));
+            }
+            TraceEvent::ChunkLost { .. } => lost += 1,
+            TraceEvent::ChunkReReplicated { bytes, .. } => rereplicated += bytes,
+            _ => {}
+        }
+    }
+    deaths.sort();
+    if csv {
+        out.push_str("device,died_day,cause\n");
+        for (device, day, cause) in &deaths {
+            let _ = writeln!(out, "{device},{day},{cause}");
+        }
+        return out;
+    }
+    if deaths.is_empty() {
+        out.push_str("no fleet device deaths recorded\n");
+    } else {
+        let _ = writeln!(out, "{:>8} {:>9} {:<6}", "device", "died_day", "cause");
+        for (device, day, cause) in &deaths {
+            let _ = writeln!(out, "{device:>8} {day:>9} {cause:<6}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "totals: {} device deaths, {lost} chunks lost, \
+         {rereplicated} bytes re-replicated",
+        deaths.len()
+    );
+    out
+}
+
+/// Parse a Prometheus text exposition into `series → value` (comment
+/// and `# TYPE` lines skipped; value kept verbatim as text so the diff
+/// never reformats numbers).
+pub fn parse_prom(text: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Split on the last space: label values may contain spaces.
+        if let Some(i) = line.rfind(' ') {
+            out.insert(line[..i].to_string(), line[i + 1..].to_string());
+        }
+    }
+    out
+}
+
+/// Diff two Prometheus expositions: series only in `a` (`-`), only in
+/// `b` (`+`), and changed values (`~ key a -> b`), sorted by series
+/// name, followed by a summary line (always present, so "no drift" is
+/// still positive evidence).
+pub fn diff_prom(a: &str, b: &str) -> String {
+    let a = parse_prom(a);
+    let b = parse_prom(b);
+    let mut out = String::new();
+    let mut removed = 0u64;
+    let mut added = 0u64;
+    let mut changed = 0u64;
+    let keys: std::collections::BTreeSet<&String> = a.keys().chain(b.keys()).collect();
+    for key in keys {
+        match (a.get(key), b.get(key)) {
+            (Some(va), None) => {
+                let _ = writeln!(out, "- {key} {va}");
+                removed += 1;
+            }
+            (None, Some(vb)) => {
+                let _ = writeln!(out, "+ {key} {vb}");
+                added += 1;
+            }
+            (Some(va), Some(vb)) if va != vb => {
+                let _ = writeln!(out, "~ {key} {va} -> {vb}");
+                changed += 1;
+            }
+            _ => {}
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{added} series added, {removed} removed, {changed} changed"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salamander_obs::{DeathCause, SimTime};
+
+    fn rec(seq: u64, day: u32, op: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            seq,
+            time: SimTime::new(day, op),
+            event,
+        }
+    }
+
+    fn sample_trace() -> Vec<TraceRecord> {
+        vec![
+            rec(
+                0,
+                0,
+                0,
+                TraceEvent::RunMarker {
+                    label: "mode=ShrinkS".into(),
+                },
+            ),
+            rec(
+                1,
+                1,
+                100,
+                TraceEvent::PageTired {
+                    fpage: 5,
+                    from: 0,
+                    to: 1,
+                },
+            ),
+            rec(
+                2,
+                1,
+                150,
+                TraceEvent::PageTired {
+                    fpage: 6,
+                    from: 0,
+                    to: 1,
+                },
+            ),
+            rec(
+                3,
+                2,
+                200,
+                TraceEvent::GcPass {
+                    block: 1,
+                    relocated: 32,
+                },
+            ),
+            rec(
+                4,
+                2,
+                250,
+                TraceEvent::ReadRetry {
+                    mdisk: 3,
+                    retries: 2,
+                },
+            ),
+            rec(
+                5,
+                3,
+                300,
+                TraceEvent::MdiskDecommissioned {
+                    id: 3,
+                    valid_lbas: 120,
+                    draining: true,
+                    cause: DecommissionCause::LevelShortfall,
+                },
+            ),
+            rec(6, 4, 400, TraceEvent::MdiskPurged { id: 3 }),
+            rec(7, 4, 410, TraceEvent::MdiskRegenerated { id: 9, level: 1 }),
+            rec(
+                8,
+                5,
+                500,
+                TraceEvent::DeviceDied {
+                    cause: DeathCause::FullyShrunk,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn segments_split_on_markers() {
+        let trace = sample_trace();
+        let segs = segments(&trace);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].label, "mode=ShrinkS");
+        assert_eq!(segs[0].records.len(), 8);
+        assert!(segments(&[]).is_empty());
+    }
+
+    #[test]
+    fn lifecycle_reports_timeline_and_totals() {
+        let text = lifecycle(&sample_trace(), None);
+        assert!(text.contains("minidisk 3 decommissioned"), "{text}");
+        assert!(text.contains("cause: LevelShortfall"), "{text}");
+        assert!(text.contains("minidisk 3 purged"), "{text}");
+        assert!(text.contains("minidisk 9 regenerated at L1"), "{text}");
+        assert!(text.contains("device died (FullyShrunk)"), "{text}");
+        assert!(text.contains("2 level transitions"), "{text}");
+        assert!(text.contains("1 GC passes (32 oPages relocated)"), "{text}");
+    }
+
+    #[test]
+    fn lifecycle_filters_by_mdisk_but_keeps_totals() {
+        let text = lifecycle(&sample_trace(), Some(9));
+        assert!(text.contains("minidisk 9 regenerated"), "{text}");
+        assert!(!text.contains("minidisk 3 decommissioned"), "{text}");
+        assert!(
+            text.contains("2 level transitions"),
+            "totals whole segment: {text}"
+        );
+    }
+
+    #[test]
+    fn why_explains_the_decommission() {
+        let text = why(&sample_trace(), Some(3));
+        assert!(text.contains("why: minidisk 3"), "{text}");
+        assert!(text.contains("LevelShortfall"), "{text}");
+        assert!(
+            text.contains("page level transitions: 2 (L0→L1: 2)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("GC passes: 1 (32 oPages relocated)"),
+            "{text}"
+        );
+        assert!(text.contains("2 retries"), "{text}");
+        assert!(text.contains("purged before ack"), "{text}");
+        assert!(text.contains("minidisk 9 regenerated at L1"), "{text}");
+        assert!(text.contains("device died (FullyShrunk)"), "{text}");
+    }
+
+    #[test]
+    fn why_defaults_to_first_decommissioned() {
+        let text = why(&sample_trace(), None);
+        assert!(text.contains("why: minidisk 3"), "{text}");
+    }
+
+    #[test]
+    fn why_reports_missing_mdisk_gracefully() {
+        let text = why(&sample_trace(), Some(42));
+        assert!(
+            text.contains("minidisk 42 was never decommissioned"),
+            "{text}"
+        );
+        assert!(text.contains("[3]"), "lists candidates: {text}");
+        let none = why(&[], None);
+        assert!(none.contains("no minidisk was decommissioned"), "{none}");
+    }
+
+    #[test]
+    fn fleet_rollup_tables_and_csv() {
+        let trace = vec![
+            rec(
+                0,
+                10,
+                0,
+                TraceEvent::FleetDeviceDied {
+                    device: 2,
+                    cause: DeathCause::Wear,
+                },
+            ),
+            rec(
+                1,
+                4,
+                0,
+                TraceEvent::FleetDeviceDied {
+                    device: 7,
+                    cause: DeathCause::Afr,
+                },
+            ),
+            rec(2, 11, 0, TraceEvent::ChunkLost { chunk: 9 }),
+            rec(
+                3,
+                12,
+                0,
+                TraceEvent::ChunkReReplicated {
+                    chunk: 1,
+                    bytes: 4096,
+                },
+            ),
+        ];
+        let table = fleet_rollup(&trace, false);
+        assert!(table.contains("2 device deaths"), "{table}");
+        assert!(table.contains("1 chunks lost"), "{table}");
+        assert!(table.contains("4096 bytes re-replicated"), "{table}");
+        let csv = fleet_rollup(&trace, true);
+        // Sorted by device index, not emission order.
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "device,died_day,cause");
+        assert_eq!(lines[1], "2,10,Wear");
+        assert_eq!(lines[2], "7,4,Afr");
+    }
+
+    #[test]
+    fn prom_parse_and_diff() {
+        let a = "# TYPE x counter\nx_total 5\ng{day=\"1\"} 2\nonly_a 1\n";
+        let b = "# TYPE x counter\nx_total 6\ng{day=\"1\"} 2\nonly_b 3\n";
+        let parsed = parse_prom(a);
+        assert_eq!(parsed.get("x_total").map(String::as_str), Some("5"));
+        assert_eq!(parsed.len(), 3);
+        let diff = diff_prom(a, b);
+        assert!(diff.contains("~ x_total 5 -> 6"), "{diff}");
+        assert!(diff.contains("- only_a 1"), "{diff}");
+        assert!(diff.contains("+ only_b 3"), "{diff}");
+        assert!(
+            diff.contains("1 series added, 1 removed, 1 changed"),
+            "{diff}"
+        );
+        let same = diff_prom(a, a);
+        assert_eq!(same, "0 series added, 0 removed, 0 changed\n");
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the forecaster: projections are total (never
+//! negative, never panic), monotone in the wear rate, and the fold is
+//! deterministic.
+
+use proptest::prelude::*;
+use salamander_health::forecast::{project, WearForecaster};
+
+/// Feed a forecaster a linear headroom decline of `rate` oPages per
+/// sample, `samples` samples spaced `dt` ticks apart.
+fn fold(start: u64, rate: u64, samples: u64, dt: u64) -> WearForecaster {
+    let mut f = WearForecaster::new();
+    for i in 0..samples {
+        let headroom = start.saturating_sub(rate * i);
+        let life = (1.0 - i as f64 / (samples as f64 * 4.0)).max(0.0);
+        f.observe(i * dt, headroom, life, &[0; 5]);
+    }
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `project` is total over arbitrary inputs: it either declines to
+    /// answer or returns a finite non-negative tick count, and a
+    /// non-positive/NaN rate always declines.
+    #[test]
+    fn projection_is_total_and_never_negative(
+        remaining_bits in any::<u64>(),
+        rate_bits in any::<u64>(),
+    ) {
+        // Raw bit patterns cover every float class: normals,
+        // subnormals, ±0, ±inf, NaN.
+        let remaining = f64::from_bits(remaining_bits);
+        let rate = f64::from_bits(rate_bits);
+        match project(remaining, rate) {
+            None => prop_assert!(rate <= 0.0 || rate.is_nan()),
+            Some(ticks) => {
+                prop_assert!(rate > 0.0);
+                // u64 is non-negative by construction; the interesting
+                // claim is that zero/negative remaining clamps to 0.
+                if remaining <= 0.0 {
+                    prop_assert_eq!(ticks, 0);
+                }
+            }
+        }
+    }
+
+    /// Wearing faster never projects a *later* shrink: for the same
+    /// starting headroom and sample cadence, a strictly higher
+    /// consumption rate gives a less-than-or-equal time to shrink.
+    #[test]
+    fn faster_wear_never_projects_later(
+        start in 10_000u64..1_000_000,
+        slow_rate in 1u64..500,
+        extra in 1u64..500,
+        samples in 3u64..20,
+        dt in 1u64..1000,
+    ) {
+        let slow = fold(start, slow_rate, samples, dt);
+        let fast = fold(start, slow_rate + extra, samples, dt);
+        let t_slow = slow.ticks_to_next_shrink().expect("declining headroom");
+        let t_fast = fast.ticks_to_next_shrink().expect("declining headroom");
+        prop_assert!(
+            t_fast <= t_slow,
+            "rate {} projects {} but rate {} projects {}",
+            slow_rate, t_slow, slow_rate + extra, t_fast
+        );
+    }
+
+    /// Projections from real folds are never absurd: at a constant
+    /// decline the projection equals remaining/rate exactly. `dt` is a
+    /// power of two so the per-tick rate is exactly representable and
+    /// the EWMA of that constant is bit-exact (for general `dt` the
+    /// average can drift by an ulp, which is fine for forecasting but
+    /// not for an equality assertion).
+    #[test]
+    fn constant_decline_projects_exactly(
+        start in 10_000u64..1_000_000,
+        rate in 1u64..500,
+        samples in 3u64..20,
+        dt_pow in 0u32..10,
+    ) {
+        let dt = 1u64 << dt_pow;
+        let f = fold(start, rate, samples, dt);
+        let remaining = start - rate * (samples - 1);
+        let per_tick = rate as f64 / dt as f64;
+        let expect = (remaining as f64 / per_tick).ceil() as u64;
+        prop_assert_eq!(f.ticks_to_next_shrink(), Some(expect));
+    }
+
+    /// The fold is a pure function of the sample stream.
+    #[test]
+    fn fold_is_deterministic(
+        start in 10_000u64..1_000_000,
+        rate in 0u64..500,
+        samples in 1u64..20,
+        dt in 1u64..1000,
+    ) {
+        let a = fold(start, rate, samples, dt);
+        let b = fold(start, rate, samples, dt);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Flat or rising headroom never fabricates a shrink projection.
+    #[test]
+    fn no_consumption_projects_never(
+        start in 0u64..1_000_000,
+        samples in 1u64..20,
+        dt in 1u64..1000,
+    ) {
+        let mut f = WearForecaster::new();
+        for i in 0..samples {
+            // Rising headroom (regeneration-style bounce only).
+            f.observe(i * dt, start + i * 3, 1.0, &[0; 5]);
+        }
+        prop_assert_eq!(f.ticks_to_next_shrink(), None);
+        prop_assert_eq!(f.ticks_to_death(), None);
+    }
+}

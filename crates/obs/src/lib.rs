@@ -26,7 +26,7 @@ pub mod trace;
 pub use event::{DeathCause, DecommissionCause, SimTime, TraceEvent, TraceRecord};
 pub use metrics::{Histogram, MetricsHandle, MetricsRegistry};
 pub use profile::{PhaseGuard, PhaseStat, Profiler};
-pub use trace::{JsonlSink, RingRecorder, TraceHandle, Tracer};
+pub use trace::{JsonlSink, ParseError, RingRecorder, TraceHandle, Tracer};
 
 /// The bundle simulation code threads through its layers: a trace
 /// handle, a metrics handle, and a profiler, each independently

@@ -201,15 +201,58 @@ pub fn to_jsonl(records: &[TraceRecord]) -> String {
     out
 }
 
+/// A malformed line in a JSONL trace: where it is, what it looks like,
+/// and what the parser objected to. `Display` renders all three so a
+/// consumer (`obsctl`, the examples) can point straight at the byte
+/// range to fix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// The offending line, truncated to [`ParseError::SNIPPET_MAX`]
+    /// characters (with a `…` marker when cut).
+    pub snippet: String,
+    /// The underlying JSON parser's message.
+    pub reason: String,
+}
+
+impl ParseError {
+    /// Longest snippet `Display` carries (traces can have long lines;
+    /// the line number locates the rest).
+    pub const SNIPPET_MAX: usize = 80;
+
+    fn new(line: usize, raw: &str, reason: String) -> Self {
+        let mut snippet: String = raw.chars().take(Self::SNIPPET_MAX).collect();
+        if raw.chars().count() > Self::SNIPPET_MAX {
+            snippet.push('…');
+        }
+        ParseError {
+            line,
+            snippet,
+            reason,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}: `{}`", self.line, self.reason, self.snippet)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
 /// Parse a JSONL trace back into records. Blank lines are skipped.
-pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
+/// Malformed lines fail with a [`ParseError`] carrying the line number
+/// and offending snippet.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, ParseError> {
     let mut out = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         let rec: TraceRecord =
-            serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            serde_json::from_str(line).map_err(|e| ParseError::new(i + 1, line, e.to_string()))?;
         out.push(rec);
     }
     Ok(out)
@@ -310,6 +353,28 @@ mod tests {
         let recs = parse_jsonl(&text).unwrap();
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].event, ev(1));
+    }
+
+    #[test]
+    fn parse_error_reports_line_and_snippet() {
+        let good =
+            r#"{"seq":0,"time":{"day":0,"op":0},"event":{"GcPass":{"block":1,"relocated":2}}}"#;
+        let text = format!("{good}\n\n{{not json\n");
+        let err = parse_jsonl(&text).unwrap_err();
+        assert_eq!(err.line, 3, "blank lines count toward line numbers");
+        assert_eq!(err.snippet, "{not json");
+        assert!(!err.reason.is_empty());
+        let shown = err.to_string();
+        assert!(shown.contains("line 3"), "{shown}");
+        assert!(shown.contains("{not json"), "{shown}");
+    }
+
+    #[test]
+    fn parse_error_truncates_long_snippets() {
+        let long = format!("{{\"seq\":{}}}", "9".repeat(200));
+        let err = parse_jsonl(&long).unwrap_err();
+        assert!(err.snippet.chars().count() <= ParseError::SNIPPET_MAX + 1);
+        assert!(err.snippet.ends_with('…'));
     }
 
     #[test]

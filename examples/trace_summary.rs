@@ -1,7 +1,6 @@
-//! Summarize a Salamander JSONL event trace (DESIGN.md §9): per run
-//! segment, the minidisk lifecycle timeline — decommissions with their
-//! cause, regenerations, purges, device death — plus totals for the
-//! high-volume page/GC/scrub/retry events.
+//! Summarize a Salamander JSONL event trace: a thin wrapper over the
+//! `obsctl lifecycle` query path (`salamander_health::query`), kept as
+//! an example of consuming trace artifacts as a library.
 //!
 //! Usage:
 //!
@@ -15,7 +14,8 @@
 
 use salamander::config::{Mode, SsdConfig};
 use salamander::sim::EnduranceSim;
-use salamander_obs::{trace, Obs, TraceEvent, TraceRecord};
+use salamander_health::query;
+use salamander_obs::{trace, Obs};
 
 fn main() {
     let records = match std::env::args().nth(1) {
@@ -30,6 +30,7 @@ fn main() {
             match trace::parse_jsonl(&text) {
                 Ok(r) => r,
                 Err(e) => {
+                    // The typed error names the line and snippet.
                     eprintln!("cannot parse {path}: {e}");
                     std::process::exit(1);
                 }
@@ -43,95 +44,5 @@ fn main() {
                 .trace
         }
     };
-    if records.is_empty() {
-        println!("empty trace");
-        return;
-    }
-
-    // Split on RunMarker boundaries; a trace without markers is one
-    // anonymous segment.
-    let mut segments: Vec<(String, Vec<&TraceRecord>)> = Vec::new();
-    for r in &records {
-        match &r.event {
-            TraceEvent::RunMarker { label } => segments.push((label.clone(), Vec::new())),
-            _ => {
-                if segments.is_empty() {
-                    segments.push(("(unlabelled)".into(), Vec::new()));
-                }
-                segments.last_mut().expect("segment exists").1.push(r);
-            }
-        }
-    }
-
-    println!(
-        "{} events, {} run segment(s)",
-        records.len(),
-        segments.len()
-    );
-    for (label, events) in &segments {
-        println!("\n== {label} ({} events)", events.len());
-        let mut tired = 0u64;
-        let mut retired = 0u64;
-        let mut gc_passes = 0u64;
-        let mut gc_relocated = 0u64;
-        let mut scrubs = 0u64;
-        let mut retries = 0u64;
-        for r in events {
-            let day = r.time.day;
-            match &r.event {
-                TraceEvent::MdiskDecommissioned {
-                    id,
-                    valid_lbas,
-                    draining,
-                    cause,
-                } => println!(
-                    "  day {day:>5}: minidisk {id} decommissioned \
-                     ({valid_lbas} valid LBAs, {}, cause: {cause:?})",
-                    if *draining { "draining" } else { "dropped" }
-                ),
-                TraceEvent::MdiskPurged { id } => {
-                    println!("  day {day:>5}: minidisk {id} purged before ack")
-                }
-                TraceEvent::MdiskRegenerated { id, level } => {
-                    println!("  day {day:>5}: minidisk {id} regenerated at L{level}")
-                }
-                TraceEvent::DeviceDied { cause } => {
-                    println!("  day {day:>5}: device died ({cause:?})")
-                }
-                TraceEvent::FleetDeviceDied { device, cause } => {
-                    println!("  day {day:>5}: fleet device {device} died ({cause:?})")
-                }
-                TraceEvent::ChunkLost { chunk } => {
-                    println!("  day {day:>5}: chunk {chunk} LOST")
-                }
-                TraceEvent::UncorrectableRead { mdisk, lba } => {
-                    println!("  day {day:>5}: uncorrectable read (minidisk {mdisk}, lba {lba})")
-                }
-                TraceEvent::PageTired { .. } => tired += 1,
-                TraceEvent::PageRetired { .. } => retired += 1,
-                TraceEvent::GcPass { relocated, .. } => {
-                    gc_passes += 1;
-                    gc_relocated += relocated;
-                }
-                TraceEvent::ScrubRefresh { .. } => scrubs += 1,
-                TraceEvent::ReadRetry { .. } => retries += 1,
-                TraceEvent::ChunkReReplicated { .. } | TraceEvent::RunMarker { .. } => {}
-            }
-        }
-        let rereplicated: u64 = events
-            .iter()
-            .map(|r| match r.event {
-                TraceEvent::ChunkReReplicated { bytes, .. } => bytes,
-                _ => 0,
-            })
-            .sum();
-        println!(
-            "  totals: {tired} level transitions, {retired} page retirements, \
-             {gc_passes} GC passes ({gc_relocated} oPages relocated), \
-             {scrubs} scrub refreshes, {retries} read retries"
-        );
-        if rereplicated > 0 {
-            println!("  totals: {rereplicated} bytes re-replicated by the diFS");
-        }
-    }
+    print!("{}", query::lifecycle(&records, None));
 }

@@ -56,6 +56,34 @@ run cargo test --workspace -q
 # and metrics must be byte-identical at any thread count.
 run cargo test --test trace_determinism
 
+# obsctl end-to-end smoke (DESIGN.md §11): trace a real run from a
+# scratch cwd (so its results/ and metrics stay out of the repo), then
+# drive every query against the artifacts. Needs the release binaries,
+# so it only runs in full mode.
+if [ "$quick" -eq 0 ]; then
+    echo "==> obsctl smoke"
+    repo="$PWD"
+    smoke="$(mktemp -d)"
+    trap 'rm -rf "$smoke"' EXIT
+    (
+        cd "$smoke"
+        mkdir -p results
+        "$repo/target/release/lifetime" --modes-only \
+            --trace run.jsonl --metrics >/dev/null
+        for q in "lifecycle run.jsonl" "why run.jsonl" \
+            "fleet run.jsonl --csv" "health run.jsonl" \
+            "diff results/lifetime.prom results/lifetime.prom"; do
+            # shellcheck disable=SC2086
+            out="$("$repo/target/release/obsctl" $q)"
+            if [ -z "$out" ]; then
+                echo "error: obsctl $q produced no output" >&2
+                exit 1
+            fi
+        done
+        echo "obsctl smoke passed"
+    )
+fi
+
 # Opt-in perf gate: wall-clock measurements are machine-dependent, so
 # the regression check only runs when explicitly requested.
 if [ "$bench" -eq 1 ]; then

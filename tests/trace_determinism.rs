@@ -1,7 +1,7 @@
 //! The DESIGN.md §9 determinism contract, enforced end to end: the
-//! JSONL trace and rendered metrics of an observed run are
-//! byte-identical at any thread count. `scripts/check.sh` runs this
-//! test explicitly.
+//! JSONL trace, rendered metrics, and health analytics (DESIGN.md §11)
+//! of an observed run are byte-identical at any thread count.
+//! `scripts/check.sh` runs this test explicitly.
 
 use salamander::config::{Mode, SsdConfig};
 use salamander::sim::EnduranceSim;
@@ -11,25 +11,30 @@ use salamander_fleet::sim::{FleetConfig, FleetSim};
 use salamander_obs::{trace, MetricsRegistry, Profiler};
 
 /// Render a full compare-modes run (all mode shards merged in mode
-/// order) to (JSONL trace, Prometheus text) at a given thread count.
-fn endurance_telemetry(threads: Threads) -> (String, String) {
+/// order) to (JSONL trace, Prometheus text, per-mode health JSON) at a
+/// given thread count.
+fn endurance_telemetry(threads: Threads) -> (String, String, String) {
     let cfg = SsdConfig::small_test();
     let profiler = Profiler::disabled();
     let observed = EnduranceSim::compare_modes_observed(cfg, threads, true, true, &profiler);
     let mut records = Vec::new();
     let mut metrics = MetricsRegistry::default();
+    let mut health = String::new();
     for (o, mode) in observed.into_iter().zip(Mode::ALL) {
         records.extend(o.trace);
         metrics.merge(&o.metrics.relabelled(&format!("mode=\"{}\"", mode.name())));
+        health.push_str(&serde_json::to_string(&o.health).expect("health serializes"));
+        health.push('\n');
     }
     trace::resequence(&mut records);
-    (trace::to_jsonl(&records), metrics.render())
+    (trace::to_jsonl(&records), metrics.render(), health)
 }
 
 #[test]
 fn endurance_trace_is_byte_identical_across_thread_counts() {
-    let (trace_serial, metrics_serial) = endurance_telemetry(Threads::fixed(1));
-    let (trace_parallel, metrics_parallel) = endurance_telemetry(Threads::fixed(4));
+    let (trace_serial, metrics_serial, health_serial) = endurance_telemetry(Threads::fixed(1));
+    let (trace_parallel, metrics_parallel, health_parallel) =
+        endurance_telemetry(Threads::fixed(4));
     assert!(!trace_serial.is_empty());
     assert_eq!(
         trace_serial, trace_parallel,
@@ -39,12 +44,23 @@ fn endurance_trace_is_byte_identical_across_thread_counts() {
         metrics_serial, metrics_parallel,
         "metrics depend on thread count"
     );
+    // The health reports (forecasts, per-minidisk scores, anomalies)
+    // are serialized JSON — byte identity covers every float and every
+    // anomaly record.
+    assert_eq!(
+        health_serial, health_parallel,
+        "health analytics depend on thread count"
+    );
+    assert!(
+        health_serial.contains("\"mdisks\":[{"),
+        "health reports carry per-minidisk detail: {health_serial}"
+    );
     // And the JSONL round-trips losslessly.
     let parsed = trace::parse_jsonl(&trace_serial).expect("trace parses");
     assert_eq!(trace::to_jsonl(&parsed), trace_serial);
 }
 
-fn fleet_telemetry(threads: Threads) -> (String, String) {
+fn fleet_telemetry(threads: Threads) -> (String, String, String) {
     let sim = FleetSim::new(FleetConfig {
         device: StatDeviceConfig::datacenter(StatMode::Shrink),
         devices: 40,
@@ -56,14 +72,19 @@ fn fleet_telemetry(threads: Threads) -> (String, String) {
         seed: 42,
     });
     let o = sim.run_observed(threads, "fleet=determinism", &Profiler::disabled());
-    (trace::to_jsonl(&o.trace), o.metrics.render())
+    let health = serde_json::to_string(&o.health).expect("fleet health serializes");
+    (trace::to_jsonl(&o.trace), o.metrics.render(), health)
 }
 
 #[test]
 fn fleet_trace_is_byte_identical_across_thread_counts() {
-    let (trace_serial, metrics_serial) = fleet_telemetry(Threads::fixed(1));
-    let (trace_parallel, metrics_parallel) = fleet_telemetry(Threads::fixed(4));
+    let (trace_serial, metrics_serial, health_serial) = fleet_telemetry(Threads::fixed(1));
+    let (trace_parallel, metrics_parallel, health_parallel) = fleet_telemetry(Threads::fixed(4));
     assert!(trace_serial.lines().count() > 1, "expected some deaths");
     assert_eq!(trace_serial, trace_parallel);
     assert_eq!(metrics_serial, metrics_parallel);
+    assert_eq!(
+        health_serial, health_parallel,
+        "fleet health (wear-rate outlier scan) depends on thread count"
+    );
 }
