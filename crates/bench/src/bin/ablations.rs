@@ -4,7 +4,8 @@
 //! across tiredness levels.
 //!
 //! Run: `cargo run --release -p salamander-bench --bin ablations`
-//! Observability: `--trace <path>`, `--metrics`, `--profile` (DESIGN.md §9).
+//! Observability: `--trace <path>`, `--metrics`, `--profile`,
+//! `--serve <addr>` (DESIGN.md §9/§12).
 
 use salamander::config::{Mode, SsdConfig};
 use salamander::report::{fmt, Table};
@@ -54,6 +55,8 @@ fn skewed_churn(ftl: &mut Ftl, n: u64, used_fraction: f64, seed: u64) -> (u64, f
 fn main() {
     let obs_args = ObsArgs::parse();
     let profiler = obs_args.profiler();
+    let session = obs_args.serve_session("ablations");
+    let live = session.as_ref().map(|s| s.live.clone());
     let (do_trace, do_metrics) = (obs_args.trace(), obs_args.metrics);
     let mut trace = Vec::new();
     let mut metrics = MetricsRegistry::default();
@@ -74,12 +77,14 @@ fn main() {
     );
     let separations = [("on", true), ("off", false)];
     let prof = profiler.clone();
+    let live_t1 = live.clone();
     let shards = par_map(Threads::Auto, &separations, move |_, &(label, sep)| {
         let obs = task_obs(
             do_trace,
             do_metrics,
             &prof,
             &format!("ablation=hotcold/{label}"),
+            live_t1.as_ref(),
         );
         let mut cfg = FtlConfig::small_test(FtlMode::Shrink);
         cfg.rber = salamander_flash::rber::RberModel::default();
@@ -103,12 +108,14 @@ fn main() {
     );
     let utils = [0.5, 0.7, 0.9, 1.0];
     let prof = profiler.clone();
+    let live_t2 = live.clone();
     let shards = par_map(Threads::Auto, &utils, move |_, &util| {
         let obs = task_obs(
             do_trace,
             do_metrics,
             &prof,
             &format!("ablation=utilization/{util}"),
+            live_t2.as_ref(),
         );
         let cfg = FtlConfig::small_test(FtlMode::Shrink);
         let mut ftl = Ftl::new(cfg);
@@ -155,12 +162,14 @@ fn main() {
         ("grace, never acked", true, false),
     ];
     let prof = profiler.clone();
+    let live_t3 = live.clone();
     let shards = par_map(Threads::Auto, &policies, move |_, &(label, grace, ack)| {
         let obs = task_obs(
             do_trace,
             do_metrics,
             &prof,
             &format!("ablation=grace/{label}"),
+            live_t3.as_ref(),
         );
         let mut cfg = FtlConfig::small_test(FtlMode::Shrink);
         cfg.decommission_grace = grace;
@@ -209,12 +218,14 @@ fn main() {
     );
     let modes = [Mode::Baseline, Mode::Shrink, Mode::Regen];
     let prof = profiler.clone();
+    let live_t4 = live.clone();
     let shards = par_map(Threads::Auto, &modes, move |_, &mode| {
         let obs = task_obs(
             do_trace,
             do_metrics,
             &prof,
             &format!("ablation=retries/{}", mode.name()),
+            live_t4.as_ref(),
         );
         let cfg = SsdConfig::small_test().mode(mode);
         let mut ftl = Ftl::new(*cfg.ftl_config());
@@ -251,7 +262,7 @@ fn main() {
     });
     fold(&mut t4, shards, "retries");
     emit("ablation_retries", &t4);
-    obs_args.finish("ablations", trace, metrics, &profiler);
+    let code = obs_args.finish("ablations", trace, metrics, &profiler, session);
     println!(
         "Hot/cold separation cuts WA; lifetime grows as utilization drops \
          (the CVSS axis); grace costs little with a responsive host. Retry \
@@ -259,4 +270,5 @@ fn main() {
          bounded (well under 0.1 extra array reads per read): each level \
          transition resets the margin, the paper's §4.2 mitigation."
     );
+    std::process::exit(code);
 }

@@ -3,7 +3,8 @@
 //! flattening the failure slope.
 //!
 //! Run: `cargo run --release -p salamander-bench --bin fig3a -- --devices 100 --dwpd 5`
-//! Observability: `--trace <path>`, `--metrics`, `--profile` (DESIGN.md §9).
+//! Observability: `--trace <path>`, `--metrics`, `--profile`,
+//! `--serve <addr>` (DESIGN.md §9/§12).
 
 use salamander::report::Table;
 use salamander_bench::{arg_or, emit, ObsArgs};
@@ -11,8 +12,9 @@ use salamander_ecc::profile::Tiredness;
 use salamander_exec::{par_map, Threads};
 use salamander_fleet::device::{StatDeviceConfig, StatMode};
 use salamander_fleet::sim::{FleetConfig, FleetSim, FleetTimeline, ObservedFleetRun};
-use salamander_obs::{MetricsRegistry, Profiler};
+use salamander_obs::{LiveObs, MetricsRegistry, Profiler};
 
+#[allow(clippy::too_many_arguments)]
 fn run(
     mode: StatMode,
     devices: u32,
@@ -21,6 +23,7 @@ fn run(
     seed: u64,
     label: &str,
     profiler: &Profiler,
+    live: Option<&LiveObs>,
 ) -> ObservedFleetRun {
     let device = StatDeviceConfig::datacenter(mode);
     FleetSim::new(FleetConfig {
@@ -33,7 +36,7 @@ fn run(
         sample_every_days: 30,
         seed,
     })
-    .run_observed(Threads::Auto, label, profiler)
+    .run_observed_live(Threads::Auto, label, profiler, live)
 }
 
 fn main() {
@@ -43,6 +46,7 @@ fn main() {
     let seed: u64 = arg_or("--seed", 42);
     let obs_args = ObsArgs::parse();
     let profiler = obs_args.profiler();
+    let session = obs_args.serve_session("fig3a");
 
     let modes = [
         ("Baseline", StatMode::Baseline),
@@ -59,10 +63,23 @@ fn main() {
     // Each fleet's trace/metrics shard is derived post-merge, so the
     // concatenation below is thread-count invariant.
     let prof = profiler.clone();
+    let live = session.as_ref().map(|s| s.live.clone());
     let observed: Vec<(&str, ObservedFleetRun)> =
         par_map(Threads::Auto, &modes, move |_, (name, m)| {
             let label = format!("fleet={name}");
-            (*name, run(*m, devices, dwpd, horizon, seed, &label, &prof))
+            (
+                *name,
+                run(
+                    *m,
+                    devices,
+                    dwpd,
+                    horizon,
+                    seed,
+                    &label,
+                    &prof,
+                    live.as_ref(),
+                ),
+            )
         });
     let mut trace = Vec::new();
     let mut metrics = MetricsRegistry::default();
@@ -96,7 +113,7 @@ fn main() {
         ]);
     }
     emit("fig3a", &table);
-    obs_args.finish("fig3a", trace, metrics, &profiler);
+    let code = obs_args.finish("fig3a", trace, metrics, &profiler, session);
 
     for (name, t) in &runs {
         match t.half_fleet_dead_day() {
@@ -128,4 +145,5 @@ fn main() {
             regen_first as f64 / base_first as f64
         );
     }
+    std::process::exit(code);
 }

@@ -3,7 +3,8 @@
 //! minidisk steps and stretches further out in time.
 //!
 //! Run: `cargo run --release -p salamander-bench --bin fig3b`
-//! Observability: `--trace <path>`, `--metrics`, `--profile` (DESIGN.md §9).
+//! Observability: `--trace <path>`, `--metrics`, `--profile`,
+//! `--serve <addr>` (DESIGN.md §9/§12).
 
 use salamander::report::{pct, Table};
 use salamander_bench::{arg_or, emit, ObsArgs};
@@ -11,8 +12,9 @@ use salamander_ecc::profile::Tiredness;
 use salamander_exec::{par_map, Threads};
 use salamander_fleet::device::{StatDeviceConfig, StatMode};
 use salamander_fleet::sim::{FleetConfig, FleetSim, FleetTimeline, ObservedFleetRun};
-use salamander_obs::{MetricsRegistry, Profiler};
+use salamander_obs::{LiveObs, MetricsRegistry, Profiler};
 
+#[allow(clippy::too_many_arguments)]
 fn run(
     mode: StatMode,
     devices: u32,
@@ -21,6 +23,7 @@ fn run(
     seed: u64,
     label: &str,
     profiler: &Profiler,
+    live: Option<&LiveObs>,
 ) -> ObservedFleetRun {
     FleetSim::new(FleetConfig {
         device: StatDeviceConfig::datacenter(mode),
@@ -32,7 +35,7 @@ fn run(
         sample_every_days: 30,
         seed,
     })
-    .run_observed(Threads::Auto, label, profiler)
+    .run_observed_live(Threads::Auto, label, profiler, live)
 }
 
 fn main() {
@@ -42,6 +45,7 @@ fn main() {
     let seed: u64 = arg_or("--seed", 42);
     let obs_args = ObsArgs::parse();
     let profiler = obs_args.profiler();
+    let session = obs_args.serve_session("fig3b");
 
     let modes = [
         ("Baseline", StatMode::Baseline),
@@ -56,6 +60,7 @@ fn main() {
     // Three independent fleets: fan out on the exec engine. Telemetry
     // shards merge in mode order, so output is thread-count invariant.
     let prof = profiler.clone();
+    let live = session.as_ref().map(|s| s.live.clone());
     let observed = par_map(Threads::Auto, &modes, move |_, (name, m)| {
         run(
             *m,
@@ -65,6 +70,7 @@ fn main() {
             seed,
             &format!("fleet={name}"),
             &prof,
+            live.as_ref(),
         )
     });
     let mut trace = Vec::new();
@@ -91,7 +97,7 @@ fn main() {
         table.row(vec![s.day.to_string(), f(&base), f(&shrink), f(&regen)]);
     }
     emit("fig3b", &table);
-    obs_args.finish("fig3b", trace, metrics, &profiler);
+    let code = obs_args.finish("fig3b", trace, metrics, &profiler, session);
 
     // Capacity half-life: first day the fleet is below 50% capacity.
     for (name, t) in [
@@ -113,4 +119,5 @@ fn main() {
         "Paper shape: the Salamander curves decline later and more \
          gradually than the baseline cliff."
     );
+    std::process::exit(code);
 }

@@ -7,7 +7,8 @@
 //! Run: `cargo run --release -p salamander-bench --bin lifetime [-- --full]`
 //! (`--full` uses the medium 256 MiB geometry with realistic endurance;
 //! the default uses a fast-wear device so the run finishes in seconds.)
-//! Observability: `--trace <path>`, `--metrics`, `--profile` (DESIGN.md §9).
+//! Observability: `--trace <path>`, `--metrics`, `--profile`,
+//! `--serve <addr>` / `--serve-linger <secs>` (DESIGN.md §9/§12).
 
 use salamander::config::{Mode, SsdConfig};
 use salamander::report::{fmt, Table};
@@ -33,6 +34,7 @@ fn main() {
     let cfg = base_cfg();
     let obs_args = ObsArgs::parse();
     let profiler = obs_args.profiler();
+    let session = obs_args.serve_session("lifetime");
     let mut table = Table::new(
         "§4 — device lifetime by mode (host oPages accepted before death)",
         &[
@@ -52,11 +54,15 @@ fn main() {
         obs_args.trace(),
         obs_args.metrics,
         &profiler,
+        session.as_ref().map(|s| &s.live),
     );
     let mut trace = Vec::new();
     let mut metrics = MetricsRegistry::default();
     let mut results = Vec::with_capacity(observed.len());
     for o in observed {
+        if let Some(s) = &session {
+            s.publish_health(&format!("mode={}", o.result.mode.name()), &o.health);
+        }
         trace.extend(o.trace);
         metrics.merge(&o.metrics);
         results.push(o.result);
@@ -78,8 +84,7 @@ fn main() {
     }
     emit("lifetime", &table);
     if std::env::args().any(|a| a == "--modes-only") {
-        obs_args.finish("lifetime", trace, metrics, &profiler);
-        return;
+        std::process::exit(obs_args.finish("lifetime", trace, metrics, &profiler, session));
     }
 
     // Ablation 1: ShrinkS retirement granularity (page vs CVSS-style block).
@@ -137,10 +142,11 @@ fn main() {
         prev = Some(r.host_opages_written);
     }
     emit("lifetime_cap", &ab2);
-    obs_args.finish("lifetime", trace, metrics, &profiler);
+    let code = obs_args.finish("lifetime", trace, metrics, &profiler, session);
     println!(
         "Paper anchors: ShrinkS >= ~1.2x (CVSS floor), RegenS up to ~1.5x; \
          page-granular retirement beats block-granular; the cap shows \
          diminishing returns past L1."
     );
+    std::process::exit(code);
 }

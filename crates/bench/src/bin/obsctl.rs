@@ -2,12 +2,19 @@
 //! (DESIGN.md §11, "Diagnosing a run with obsctl" in the README).
 //!
 //! ```text
-//! obsctl lifecycle <trace.jsonl> [--mdisk N]   minidisk lifecycle timeline
-//! obsctl why       <trace.jsonl> [--mdisk N]   causal chain for a decommission
-//! obsctl fleet     <trace.jsonl> [--csv]       fleet deaths rollup
-//! obsctl health    <trace.jsonl>               health report from a trace (JSON)
-//! obsctl diff      <a.prom> <b.prom>           diff two metric expositions
+//! obsctl lifecycle <trace> [--mdisk N]   minidisk lifecycle timeline
+//! obsctl why       <trace> [--mdisk N]   causal chain for a decommission
+//! obsctl fleet     <trace> [--csv]       fleet deaths rollup
+//! obsctl health    <trace>               health report from a trace (JSON)
+//! obsctl diff      <a.prom> <b.prom>     diff two metric expositions
+//! obsctl convert   <in> <out>            convert a trace JSONL <-> .strc
 //! ```
+//!
+//! `<trace>` is a JSONL trace or an indexed `.strc` flight recording
+//! (by extension). Over `.strc`, the lifecycle/why/fleet queries use
+//! the footer index to decode only the chunks that can matter; bulk
+//! wear/GC chunks fold into the totals straight from their summaries
+//! (DESIGN.md §12).
 //!
 //! Every query is a pure function in `salamander_health::query` (or a
 //! [`HealthMonitor`] fold); this binary only parses argv, reads files,
@@ -16,18 +23,56 @@
 
 use salamander_bench::has_flag;
 use salamander_health::{query, HealthMonitor, HealthUnit};
+use salamander_obs::strc::{self, StrcReader};
 use salamander_obs::{trace, TraceRecord};
 
 const USAGE: &str = "\
 obsctl — query Salamander telemetry artifacts
 
 USAGE:
-  obsctl lifecycle <trace.jsonl> [--mdisk N]   minidisk lifecycle timeline
-  obsctl why       <trace.jsonl> [--mdisk N]   causal chain for a decommission
-  obsctl fleet     <trace.jsonl> [--csv]       fleet deaths rollup
-  obsctl health    <trace.jsonl>               health report from a trace (JSON)
-  obsctl diff      <a.prom> <b.prom>           diff two metric expositions
+  obsctl lifecycle <trace> [--mdisk N]   minidisk lifecycle timeline
+  obsctl why       <trace> [--mdisk N]   causal chain for a decommission
+  obsctl fleet     <trace> [--csv]       fleet deaths rollup
+  obsctl health    <trace>               health report from a trace (JSON)
+  obsctl diff      <a.prom> <b.prom>     diff two metric expositions
+  obsctl convert   <in> <out>            convert a trace JSONL <-> .strc
+
+<trace> may be JSONL or an indexed .strc recording (by extension).
 ";
+
+/// Whether a path names an indexed binary trace.
+fn is_strc(path: &str) -> bool {
+    std::path::Path::new(path)
+        .extension()
+        .is_some_and(|e| e == "strc")
+}
+
+/// Open a `.strc` trace, exiting with the obsctl conventions on error
+/// (1 = unreadable, 2 = corrupt).
+fn open_strc(path: &str) -> StrcReader {
+    match StrcReader::open(std::path::Path::new(path)) {
+        Ok(r) => r,
+        Err(strc::StrcError::Io(e)) => {
+            eprintln!("obsctl: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("obsctl: {path} is not a valid trace: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Run an indexed query, mapping a mid-read failure to exit 2.
+fn indexed<T>(path: &str, result: Result<T, strc::StrcError>) -> T {
+    match result {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obsctl: {path} is not a valid trace: {e}");
+            std::process::exit(2);
+        }
+    }
+}
 
 /// Positional (non-flag) arguments after the program name, skipping
 /// flag values (`--mdisk 3` consumes both tokens).
@@ -72,6 +117,10 @@ fn read_file(path: &str) -> String {
 }
 
 fn read_trace(path: &str) -> Vec<TraceRecord> {
+    if is_strc(path) {
+        let mut reader = open_strc(path);
+        return indexed(path, reader.read_all());
+    }
     match trace::parse_jsonl(&read_file(path)) {
         Ok(records) => records,
         Err(e) => {
@@ -102,16 +151,37 @@ fn main() {
     };
     match (cmd.as_str(), pos.get(1), pos.get(2)) {
         ("lifecycle", Some(path), None) => {
-            print!("{}", query::lifecycle(&read_trace(path), mdisk_arg()));
+            if is_strc(path) {
+                let mut r = open_strc(path);
+                print!(
+                    "{}",
+                    indexed(path, query::lifecycle_strc(&mut r, mdisk_arg()))
+                );
+            } else {
+                print!("{}", query::lifecycle(&read_trace(path), mdisk_arg()));
+            }
         }
         ("why", Some(path), None) => {
-            print!("{}", query::why(&read_trace(path), mdisk_arg()));
+            if is_strc(path) {
+                let mut r = open_strc(path);
+                print!("{}", indexed(path, query::why_strc(&mut r, mdisk_arg())));
+            } else {
+                print!("{}", query::why(&read_trace(path), mdisk_arg()));
+            }
         }
         ("fleet", Some(path), None) => {
-            print!(
-                "{}",
-                query::fleet_rollup(&read_trace(path), has_flag("--csv"))
-            );
+            if is_strc(path) {
+                let mut r = open_strc(path);
+                print!(
+                    "{}",
+                    indexed(path, query::fleet_rollup_strc(&mut r, has_flag("--csv")))
+                );
+            } else {
+                print!(
+                    "{}",
+                    query::fleet_rollup(&read_trace(path), has_flag("--csv"))
+                );
+            }
         }
         ("health", Some(path), None) => {
             let records = read_trace(path);
@@ -133,6 +203,20 @@ fn main() {
         }
         ("diff", Some(a), Some(b)) => {
             print!("{}", query::diff_prom(&read_file(a), &read_file(b)));
+        }
+        ("convert", Some(input), Some(output)) => {
+            let (inp, outp) = (std::path::Path::new(input), std::path::Path::new(output));
+            match strc::convert_file(inp, outp) {
+                Ok(n) => eprintln!("converted {input} -> {output} ({n} events)"),
+                Err(strc::ConvertError::Strc(strc::StrcError::Io(e))) => {
+                    eprintln!("obsctl: cannot convert {input} -> {output}: {e}");
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("obsctl: {input} is not a valid trace: {e}");
+                    std::process::exit(2);
+                }
+            }
         }
         _ => {
             eprint!("{USAGE}");

@@ -7,14 +7,15 @@
 //! the devices are churned to death while the store re-replicates.
 //!
 //! Run: `cargo run --release -p salamander-bench --bin recovery [-- --msize-sweep]`
-//! Observability: `--trace <path>`, `--metrics`, `--profile` (DESIGN.md §9).
+//! Observability: `--trace <path>`, `--metrics`, `--profile`,
+//! `--serve <addr>` (DESIGN.md §9/§12).
 
 use salamander::config::{Mode, SsdConfig};
 use salamander::report::Table;
 use salamander_bench::{arg_or, emit, task_obs, ObsArgs};
 use salamander_difs::types::DifsConfig;
 use salamander_fleet::bridge::ClusterHarness;
-use salamander_obs::{MetricsRegistry, TraceRecord};
+use salamander_obs::{LiveObs, MetricsRegistry, TraceRecord};
 
 /// Run one cluster to device exhaustion; returns
 /// (recovery_bytes, re_replication events, lost chunks, churn rounds)
@@ -28,13 +29,14 @@ fn run(
     obs_args: &ObsArgs,
     profiler: &salamander_obs::Profiler,
     label: &str,
+    live: Option<&LiveObs>,
 ) -> ((u64, u64, u64, u32), Vec<TraceRecord>, MetricsRegistry) {
     let difs = DifsConfig {
         replication: 3,
         chunk_bytes: msize_bytes.min(256 * 1024),
         recovery_chunks_per_tick: None,
     };
-    let obs = task_obs(obs_args.trace(), obs_args.metrics, profiler, label);
+    let obs = task_obs(obs_args.trace(), obs_args.metrics, profiler, label, live);
     let mut h = ClusterHarness::new(difs).with_obs(obs.clone());
     for s in 0..4 {
         h.add_device(
@@ -62,6 +64,8 @@ fn main() {
     let seed: u64 = arg_or("--seed", 7);
     let obs_args = ObsArgs::parse();
     let profiler = obs_args.profiler();
+    let session = obs_args.serve_session("recovery");
+    let live = session.as_ref().map(|s| s.live.clone());
     let mut trace = Vec::new();
     let mut metrics = MetricsRegistry::default();
     let mut table = Table::new(
@@ -82,6 +86,7 @@ fn main() {
             &obs_args,
             &profiler,
             &format!("recovery={}", mode.name()),
+            live.as_ref(),
         );
         trace.extend(t);
         metrics.merge(&m.relabelled(&format!("mode=\"{}\"", mode.name())));
@@ -113,6 +118,7 @@ fn main() {
                 &obs_args,
                 &profiler,
                 &format!("recovery=msize/{msize_kib}KiB"),
+                live.as_ref(),
             );
             trace.extend(t);
             metrics.merge(&m.relabelled(&format!("msize=\"{msize_kib}KiB\"")));
@@ -130,11 +136,12 @@ fn main() {
         }
         emit("recovery_msize", &sweep);
     }
-    obs_args.finish("recovery", trace, metrics, &profiler);
+    let code = obs_args.finish("recovery", trace, metrics, &profiler, session);
     println!(
         "Paper shape: total recovery volume is comparable across modes \
          (the same LBAs eventually fail); Salamander spreads it over many \
          small events (smaller MiB/event), and RegenS adds re-failing \
          regenerated capacity."
     );
+    std::process::exit(code);
 }

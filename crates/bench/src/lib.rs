@@ -5,8 +5,10 @@
 //! table to stdout and writing a CSV under `results/` for plotting.
 
 use salamander::report::Table;
-use salamander_obs::{trace, MetricsRegistry, Obs, Profiler, TraceRecord};
+use salamander_obs::{trace, LiveObs, MetricsRegistry, Obs, Profiler, TraceRecord};
+use salamander_telemetry::{TelemetryHub, TelemetryServer};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 pub mod perf;
 
@@ -44,17 +46,26 @@ pub fn has_flag(flag: &str) -> bool {
 }
 
 /// The shared observability CLI surface of the harness binaries
-/// (DESIGN.md §9): `--trace <path>` writes a deterministic JSONL event
-/// trace, `--metrics` writes a Prometheus-style text file under
-/// `results/`, `--profile` prints wall-clock phase timings to stdout.
+/// (DESIGN.md §9/§12): `--trace <path>` writes a deterministic event
+/// trace (JSONL, or the indexed `.strc` binary format when the path
+/// ends in `.strc`), `--metrics` writes a Prometheus-style text file
+/// under `results/`, `--profile` prints wall-clock phase timings to
+/// stdout, and `--serve <addr>` attaches a live telemetry server for
+/// the duration of the run (`--serve-linger <secs>` keeps it up after
+/// the run so the final state can be scraped; `GET /quit` ends the
+/// linger early).
 #[derive(Debug, Clone, Default)]
 pub struct ObsArgs {
-    /// JSONL trace destination (`--trace <path>`), if requested.
+    /// Trace destination (`--trace <path>`), if requested.
     pub trace_path: Option<String>,
     /// Whether `--metrics` was given.
     pub metrics: bool,
     /// Whether `--profile` was given.
     pub profile: bool,
+    /// Telemetry server bind address (`--serve <addr>`), if requested.
+    pub serve: Option<String>,
+    /// Seconds to keep serving after the run (`--serve-linger <secs>`).
+    pub serve_linger: u64,
 }
 
 impl ObsArgs {
@@ -69,6 +80,12 @@ impl ObsArgs {
                 .cloned(),
             metrics: has_flag("--metrics"),
             profile: has_flag("--profile"),
+            serve: args
+                .iter()
+                .position(|a| a == "--serve")
+                .and_then(|i| args.get(i + 1))
+                .cloned(),
+            serve_linger: arg_or("--serve-linger", 0),
         }
     }
 
@@ -90,9 +107,11 @@ impl ObsArgs {
 
     /// An [`Obs`] bundle matching the flags, for single-run binaries.
     /// Fan-out binaries build per-task bundles instead (see
-    /// `EnduranceSim::compare_modes_observed`).
-    pub fn obs(&self) -> Obs {
-        Obs {
+    /// `EnduranceSim::compare_modes_observed`). Pass the run's
+    /// [`ServeSession`] (if any) so the bundle mirrors into the live
+    /// server.
+    pub fn obs(&self, session: Option<&ServeSession>) -> Obs {
+        let obs = Obs {
             trace: if self.trace() {
                 salamander_obs::TraceHandle::recording()
             } else {
@@ -104,44 +123,143 @@ impl ObsArgs {
                 salamander_obs::MetricsHandle::disabled()
             },
             profiler: self.profiler(),
+            progress: salamander_obs::ProgressHandle::disabled(),
+        };
+        match session {
+            Some(s) => obs.with_live(&s.live),
+            None => obs,
         }
     }
 
-    /// Write the collected telemetry: the trace (resequenced, JSONL) to
-    /// `--trace`'s path, the merged metrics to `results/<name>.prom`,
-    /// and the profile table to stdout. Call once at the end of `main`
-    /// with the shards already merged in deterministic order.
+    /// Start the live telemetry server if `--serve` was given. Binds
+    /// (and reports the resolved address on stderr) before returning,
+    /// so the endpoints answer for the whole simulated run. A bind
+    /// failure is fatal — the operator asked to watch this run.
+    pub fn serve_session(&self, name: &str) -> Option<ServeSession> {
+        let addr = self.serve.as_deref()?;
+        let live = LiveObs::new();
+        let hub = TelemetryHub::new(name, live.clone());
+        match TelemetryServer::start(addr, hub.clone()) {
+            Ok(server) => {
+                eprintln!("serving telemetry on http://{}/", server.addr());
+                Some(ServeSession { live, hub, server })
+            }
+            Err(e) => {
+                eprintln!("error: cannot serve telemetry on {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    /// Write the collected telemetry: the trace (resequenced; JSONL,
+    /// or `.strc` when the path asks for it) to `--trace`'s path, the
+    /// merged metrics to `results/<name>.prom`, and the profile table
+    /// to stdout. Call once at the end of `main` with the shards
+    /// already merged in deterministic order and the run's
+    /// [`ServeSession`], if any — the final metrics text is published
+    /// to the server (so a last scrape equals the file byte-for-byte)
+    /// before it lingers and shuts down.
+    ///
+    /// Returns the process exit code: nonzero when any requested
+    /// telemetry artifact failed to persist (a trace sink error, an
+    /// unwritable path) — the run itself completed, but silently
+    /// dropping requested telemetry would be worse than saying so.
+    #[must_use]
     pub fn finish(
         &self,
         name: &str,
         mut trace: Vec<TraceRecord>,
         metrics: MetricsRegistry,
         profiler: &Profiler,
-    ) {
+        session: Option<ServeSession>,
+    ) -> i32 {
+        let mut failed = false;
         if let Some(path) = &self.trace_path {
             trace::resequence(&mut trace);
-            if let Err(e) = std::fs::write(path, trace::to_jsonl(&trace)) {
-                eprintln!("warning: cannot write {path}: {e}");
+            let write = if path.ends_with(".strc") {
+                salamander_obs::strc::write_strc(
+                    std::path::Path::new(path),
+                    &trace,
+                    salamander_obs::strc::DEFAULT_CHUNK_RECORDS,
+                )
+                .map_err(|e| e.to_string())
             } else {
-                eprintln!("wrote {path} ({} events)", trace.len());
+                std::fs::write(path, trace::to_jsonl(&trace)).map_err(|e| e.to_string())
+            };
+            match write {
+                Err(e) => {
+                    eprintln!("error: cannot write {path}: {e}");
+                    failed = true;
+                }
+                Ok(()) => eprintln!("wrote {path} ({} events)", trace.len()),
             }
         }
+        let shed = metrics.counter("salamander_obs_dropped_records_total");
+        if shed > 0 {
+            eprintln!("warning: trace ring overflowed, {shed} records dropped (see salamander_obs_dropped_records_total)");
+        }
+        let mut final_metrics_text = None;
         if self.metrics {
+            let rendered = metrics.render();
             let dir = PathBuf::from("results");
             if let Err(e) = std::fs::create_dir_all(&dir) {
-                eprintln!("warning: cannot create {}: {e}", dir.display());
+                eprintln!("error: cannot create {}: {e}", dir.display());
+                failed = true;
             } else {
                 let path = dir.join(format!("{name}.prom"));
-                if let Err(e) = std::fs::write(&path, metrics.render()) {
-                    eprintln!("warning: cannot write {}: {e}", path.display());
+                if let Err(e) = std::fs::write(&path, &rendered) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    failed = true;
                 } else {
                     eprintln!("wrote {}", path.display());
                 }
             }
+            final_metrics_text = Some(rendered);
         }
         if self.profile {
             print_profile(profiler);
         }
+        if let Some(session) = session {
+            session.finish(final_metrics_text, self.serve_linger);
+        }
+        i32::from(failed)
+    }
+}
+
+/// A live `--serve` session: the mirror the simulation writes into,
+/// the hub the server reads from, and the server itself.
+pub struct ServeSession {
+    /// Mirror handed to the simulation layers.
+    pub live: LiveObs,
+    /// Shared state with the server threads.
+    pub hub: Arc<TelemetryHub>,
+    server: TelemetryServer,
+}
+
+impl ServeSession {
+    /// Publish one run label's health report to `/health`.
+    pub fn publish_health<T: serde::Serialize>(&self, label: &str, report: &T) {
+        if let Ok(json) = serde_json::to_string(report) {
+            self.hub.publish_health(label, json);
+        }
+    }
+
+    /// Mark the run done (publishing the final metrics text, if any),
+    /// linger up to `linger_secs` so clients can take a final scrape
+    /// (`GET /quit` ends the wait early), then shut the server down.
+    fn finish(self, final_metrics: Option<String>, linger_secs: u64) {
+        self.hub.mark_done(final_metrics);
+        if linger_secs > 0 {
+            eprintln!(
+                "telemetry server lingering {linger_secs}s on http://{}/ (GET /quit to release)",
+                self.server.addr()
+            );
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(linger_secs);
+            while std::time::Instant::now() < deadline && !self.hub.quit_requested() {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+        self.server.shutdown();
     }
 }
 
@@ -150,8 +268,16 @@ impl ObsArgs {
 /// merged trace stays segmentable. Take the shards back with
 /// `obs.trace.take()` / `obs.metrics.take()` and merge them in task
 /// order (deterministic under `par_map`, which returns in item order).
-pub fn task_obs(trace: bool, metrics: bool, profiler: &Profiler, label: &str) -> Obs {
-    let obs = Obs {
+/// When a live mirror is given, the shard taps into it (trace
+/// broadcast + metrics tee) without affecting what `take()` returns.
+pub fn task_obs(
+    trace: bool,
+    metrics: bool,
+    profiler: &Profiler,
+    label: &str,
+    live: Option<&LiveObs>,
+) -> Obs {
+    let mut obs = Obs {
         trace: if trace {
             salamander_obs::TraceHandle::recording()
         } else {
@@ -163,8 +289,12 @@ pub fn task_obs(trace: bool, metrics: bool, profiler: &Profiler, label: &str) ->
             salamander_obs::MetricsHandle::disabled()
         },
         profiler: profiler.clone(),
+        progress: salamander_obs::ProgressHandle::disabled(),
     };
-    if trace {
+    if let Some(live) = live {
+        obs = obs.with_live(live);
+    }
+    if obs.trace.is_enabled() {
         obs.trace.emit(
             salamander_obs::SimTime::ZERO,
             salamander_obs::TraceEvent::RunMarker {

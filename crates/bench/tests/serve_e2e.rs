@@ -1,0 +1,146 @@
+//! End-to-end tests for the live telemetry plane (DESIGN.md §12):
+//!
+//! 1. `--serve` must not perturb a single byte of the deterministic
+//!    outputs — trace, metrics exposition, results CSV — at any thread
+//!    count (the server is a read-only observer on its own thread).
+//! 2. A scrape of `/metrics` after the run equals the `--metrics` file
+//!    byte-for-byte, and the endpoints answer while the sim runs.
+//!
+//! Both tests drive the real `lifetime` binary as a subprocess, each
+//! run in its own temp working directory so `results/` never collides.
+
+use salamander_telemetry::http_get;
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn lifetime_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_lifetime")
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("salamander-serve-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Run `lifetime --modes-only --trace --metrics` in `dir`, optionally
+/// with `--serve`, and return the bytes of (trace, prom, csv).
+fn run_lifetime(dir: &Path, threads: &str, serve: bool) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+    let mut cmd = Command::new(lifetime_bin());
+    cmd.current_dir(dir)
+        .env("SALAMANDER_THREADS", threads)
+        .args(["--modes-only", "--trace", "trace.jsonl", "--metrics"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if serve {
+        cmd.args(["--serve", "127.0.0.1:0"]);
+    }
+    let status = cmd.status().expect("lifetime runs");
+    assert!(status.success(), "lifetime failed: {status:?}");
+    (
+        std::fs::read(dir.join("trace.jsonl")).unwrap(),
+        std::fs::read(dir.join("results/lifetime.prom")).unwrap(),
+        std::fs::read(dir.join("results/lifetime.csv")).unwrap(),
+    )
+}
+
+#[test]
+fn serve_leaves_every_artifact_byte_identical() {
+    for threads in ["1", "4"] {
+        let plain_dir = fresh_dir(&format!("plain-{threads}"));
+        let served_dir = fresh_dir(&format!("served-{threads}"));
+        let plain = run_lifetime(&plain_dir, threads, false);
+        let served = run_lifetime(&served_dir, threads, true);
+        assert_eq!(
+            plain.0, served.0,
+            "trace differs with --serve at {threads} thread(s)"
+        );
+        assert_eq!(
+            plain.1, served.1,
+            "metrics differ with --serve at {threads} thread(s)"
+        );
+        assert_eq!(
+            plain.2, served.2,
+            "results CSV differs with --serve at {threads} thread(s)"
+        );
+        let _ = std::fs::remove_dir_all(&plain_dir);
+        let _ = std::fs::remove_dir_all(&served_dir);
+    }
+}
+
+/// Read the server's resolved address from the child's stderr (it is
+/// announced before the simulation starts), then keep draining stderr
+/// in the background so the child never blocks on a full pipe.
+fn server_addr(child: &mut Child) -> String {
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut lines = std::io::BufReader::new(stderr).lines();
+    let mut addr = None;
+    for line in &mut lines {
+        let line = line.expect("stderr line");
+        if let Some(rest) = line.strip_prefix("serving telemetry on http://") {
+            addr = Some(rest.trim_end_matches('/').to_string());
+            break;
+        }
+    }
+    std::thread::spawn(move || for _ in lines.map_while(Result::ok) {});
+    addr.expect("server announced its address")
+}
+
+fn get_ok(addr: &str, path: &str) -> String {
+    let (status, _, body) = http_get(addr, path).expect("endpoint answers");
+    assert_eq!(status, 200, "GET {path} -> {status}");
+    body
+}
+
+#[test]
+fn final_metrics_scrape_equals_the_metrics_file() {
+    let dir = fresh_dir("e2e");
+    let mut child = Command::new(lifetime_bin())
+        .current_dir(&dir)
+        .env("SALAMANDER_THREADS", "2")
+        .args(["--modes-only", "--metrics", "--serve", "127.0.0.1:0"])
+        .args(["--serve-linger", "30"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("lifetime spawns");
+    let addr = server_addr(&mut child);
+
+    // The endpoints answer from the moment the address is announced —
+    // usually mid-simulation.
+    let early = get_ok(&addr, "/metrics");
+    assert!(early.starts_with('#') || early.is_empty() || early.contains("salamander"));
+    let progress = get_ok(&addr, "/progress");
+    assert!(progress.contains("\"run\":\"lifetime\""), "{progress}");
+    get_ok(&addr, "/healthz");
+
+    // Wait (within the linger window) for the run to finish.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let p = get_ok(&addr, "/progress");
+        if p.contains("\"done\":true") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "run never finished: {p}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // A final scrape is the published exposition — the same string the
+    // harness wrote to results/lifetime.prom.
+    let scraped = get_ok(&addr, "/metrics");
+    let on_disk = std::fs::read_to_string(dir.join("results/lifetime.prom")).unwrap();
+    assert_eq!(scraped, on_disk, "final /metrics != results/lifetime.prom");
+
+    // /health carries one report per mode, serialized by the harness.
+    let health = get_ok(&addr, "/health");
+    assert!(health.contains("mode=Baseline"), "{health}");
+
+    // Release the linger and reap the child.
+    let _ = http_get(&addr, "/quit");
+    let status = child.wait().expect("lifetime exits");
+    assert!(status.success(), "lifetime failed: {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

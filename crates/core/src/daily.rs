@@ -88,6 +88,10 @@ impl DailySim {
     pub fn run_observed(&self, obs: Obs) -> DailyResult {
         let _phase = obs.profiler.phase("sim/daily");
         let metrics = obs.metrics.clone();
+        let trace = obs.trace.clone();
+        let progress = obs.progress.clone();
+        progress.set_total_days(self.horizon_days as u64);
+        progress.add_devices(1);
         // Day-clock health monitor, only when something observes the
         // run (the disabled path pays nothing).
         let mut monitor = obs
@@ -156,6 +160,8 @@ impl DailySim {
             }
             // A shrunk device absorbs the same DWPD over fewer LBAs.
             aging.set_capacity(ssd.ftl().committed_lbas().max(1));
+            progress.set_day(day as u64);
+            progress.add_ops(used);
             if day % self.sample_every == 0 || ssd.is_dead() {
                 if let Some(mon) = monitor.as_mut() {
                     let smart = ssd.smart();
@@ -174,6 +180,12 @@ impl DailySim {
             }
         }
         ssd.ftl().export_metrics();
+        progress.device_done();
+        // Surface ring overflow (see `EnduranceSim::run_observed`).
+        let shed = trace.dropped();
+        if shed > 0 {
+            metrics.inc("salamander_obs_dropped_records_total", shed);
+        }
         let health = match monitor {
             Some(mon) => {
                 let report = mon.report();

@@ -149,6 +149,7 @@ impl EnduranceSim {
             }
         };
         timeline.push(sample(&ssd, 0, &mut monitor));
+        obs.progress.add_devices(1);
         // Cache the active minidisk set instead of re-allocating it on
         // every write; the FTL surfaces every membership change
         // (decommission, purge, regeneration) as an event, so the cache
@@ -212,6 +213,7 @@ impl EnduranceSim {
                     integral += ssd.ftl().committed_lbas() as f64;
                 }
                 written += out.written;
+                obs.progress.add_ops(out.written);
                 if written.is_multiple_of(self.sample_every) {
                     timeline.push(sample(&ssd, written, &mut monitor));
                 }
@@ -231,6 +233,16 @@ impl EnduranceSim {
             timeline,
             write_amplification: ssd.stats().write_amplification().unwrap_or(1.0),
         };
+        obs.progress.device_done();
+        // Ring overflow would otherwise be invisible unless the caller
+        // polls `dropped()`: surface it in the metrics shard. The count
+        // is a function of the (deterministic) event stream and the
+        // ring capacity, so exporting it keeps output byte-stable.
+        let shed = obs.trace.dropped();
+        if shed > 0 {
+            obs.metrics
+                .inc("salamander_obs_dropped_records_total", shed);
+        }
         let trace = obs.trace.take();
         let health = match monitor {
             Some(mut mon) => {
@@ -274,17 +286,21 @@ impl EnduranceSim {
     /// interleave can't touch the output) and the shards come back in
     /// mode order — already deterministic for any thread count. The
     /// `profiler` is shared across modes; pass a disabled one when not
-    /// profiling.
+    /// profiling. A `live` mirror (if any) taps every shard for a
+    /// telemetry server; it never feeds back into the returned shards,
+    /// so output is byte-identical with or without it.
     pub fn compare_modes_observed(
         cfg: SsdConfig,
         threads: Threads,
         trace: bool,
         metrics: bool,
         profiler: &salamander_obs::Profiler,
+        live: Option<&salamander_obs::LiveObs>,
     ) -> Vec<ObservedRun> {
         let profiler = profiler.clone();
+        let live = live.cloned();
         salamander_exec::par_map(threads, &Mode::ALL, move |_, &m| {
-            let obs = Obs {
+            let mut obs = Obs {
                 trace: if trace {
                     salamander_obs::TraceHandle::recording()
                 } else {
@@ -296,7 +312,11 @@ impl EnduranceSim {
                     salamander_obs::MetricsHandle::disabled()
                 },
                 profiler: profiler.clone(),
+                progress: salamander_obs::ProgressHandle::disabled(),
             };
+            if let Some(live) = &live {
+                obs = obs.with_live(live);
+            }
             EnduranceSim::new(cfg.mode(m)).run_observed(&format!("mode={}", m.name()), obs)
         })
     }

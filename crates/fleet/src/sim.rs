@@ -11,7 +11,10 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use salamander_exec::{derive_seed, Threads};
 use salamander_health::{to_milli, zscores, Anomaly, AnomalyKind};
-use salamander_obs::{MetricsRegistry, Profiler, SimTime, TraceEvent, TraceHandle, TraceRecord};
+use salamander_obs::{
+    LiveObs, MetricsRegistry, Profiler, ProgressHandle, SimTime, TraceEvent, TraceHandle,
+    TraceRecord,
+};
 use serde::{Deserialize, Serialize};
 
 /// Fleet simulation parameters.
@@ -191,7 +194,7 @@ impl FleetSim {
     /// pure function of the configuration — bit-identical at any
     /// thread count.
     pub fn run_threads(&self, threads: Threads) -> FleetTimeline {
-        let (grid, tracks) = self.age_fleet(threads);
+        let (grid, tracks) = self.age_fleet(threads, &ProgressHandle::disabled());
         self.reduce(&grid, &tracks)
     }
 
@@ -209,9 +212,27 @@ impl FleetSim {
         label: &str,
         profiler: &Profiler,
     ) -> ObservedFleetRun {
+        self.run_observed_live(threads, label, profiler, None)
+    }
+
+    /// [`Self::run_observed`] with an optional live mirror: progress
+    /// counters advance per simulated device-day while the fan-out
+    /// runs, and the derived trace/metrics are pushed into the mirror
+    /// once merged. The returned artifacts are the same with or
+    /// without `live` — the mirror is never read back.
+    pub fn run_observed_live(
+        &self,
+        threads: Threads,
+        label: &str,
+        profiler: &Profiler,
+        live: Option<&LiveObs>,
+    ) -> ObservedFleetRun {
+        let progress = live.map(|l| l.progress.clone()).unwrap_or_default();
+        progress.set_total_days(self.cfg.horizon_days as u64);
+        progress.add_devices(self.cfg.devices as u64);
         let (grid, tracks) = {
             let _phase = profiler.phase("fleet/age_devices");
-            self.age_fleet(threads)
+            self.age_fleet(threads, &progress)
         };
         let timeline = self.reduce(&grid, &tracks);
 
@@ -275,9 +296,16 @@ impl FleetSim {
                 1,
             );
         }
+        let trace = trace.take();
+        if let Some(live) = live {
+            for rec in &trace {
+                live.trace.push(rec);
+            }
+            live.merge_metrics(&metrics);
+        }
         ObservedFleetRun {
             timeline,
-            trace: trace.take(),
+            trace,
             metrics,
             health,
         }
@@ -321,15 +349,23 @@ impl FleetSim {
     }
 
     /// Fan the per-device aging out over the execution engine.
-    fn age_fleet(&self, threads: Threads) -> (Vec<u32>, Vec<DeviceTrack>) {
+    /// `progress` is bumped per simulated device-day (monotone
+    /// watermarks and adds, so any task interleave reports the same
+    /// totals); pass a disabled handle when nothing watches.
+    fn age_fleet(
+        &self,
+        threads: Threads,
+        progress: &ProgressHandle,
+    ) -> (Vec<u32>, Vec<DeviceTrack>) {
         let cfg = &self.cfg;
         // Sampling grid: every `sample_every_days`, plus the horizon.
         let grid: Vec<u32> = (1..=cfg.horizon_days)
             .filter(|d| d % cfg.sample_every_days == 0 || *d == cfg.horizon_days)
             .collect();
         let indices: Vec<u32> = (0..cfg.devices).collect();
-        let tracks =
-            salamander_exec::par_map(threads, &indices, |_, &i| Self::age_device(cfg, i, &grid));
+        let tracks = salamander_exec::par_map(threads, &indices, |_, &i| {
+            Self::age_device(cfg, i, &grid, progress)
+        });
         (grid, tracks)
     }
 
@@ -374,7 +410,12 @@ impl FleetSim {
     }
 
     /// Age one device to the horizon on its private RNG stream.
-    fn age_device(cfg: &FleetConfig, index: u32, grid: &[u32]) -> DeviceTrack {
+    fn age_device(
+        cfg: &FleetConfig,
+        index: u32,
+        grid: &[u32],
+        progress: &ProgressHandle,
+    ) -> DeviceTrack {
         let mut dev = StatDevice::new(cfg.device, cfg.seed.wrapping_add(1 + index as u64));
         let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(cfg.seed, index as u64));
         // Per-device load imbalance: lognormal with median 1.
@@ -395,6 +436,7 @@ impl FleetSim {
         let mut gi = 0;
         for day in 1..=cfg.horizon_days {
             dev.apply_writes(daily_writes);
+            progress.add_ops(1);
             if dev.is_dead() {
                 death = Some((day, DeathCause::Wear));
             } else if rng.gen_bool(daily_afr) {
@@ -404,11 +446,15 @@ impl FleetSim {
             if gi < grid.len() && grid[gi] == day {
                 caps.push(dev.committed_opages());
                 gi += 1;
+                // Progress is a fleet-wide day watermark; bumping at
+                // sample granularity keeps the hot loop branch-cheap.
+                progress.set_day(day as u64);
             }
             if dev.is_dead() {
                 break;
             }
         }
+        progress.device_done();
         // A dead device stays at zero capacity for the rest of the grid.
         caps.resize(grid.len(), dev.committed_opages());
         DeviceTrack {

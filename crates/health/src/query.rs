@@ -1,9 +1,14 @@
 //! Offline trace queries: the engine behind `obsctl` (DESIGN.md §11).
 //!
-//! Everything here is a pure function from recorded telemetry to a
-//! `String` — no I/O, no printing — so the CLI, the examples, and the
-//! golden tests all share one deterministic rendering path.
+//! Every query renders recorded telemetry to a `String` through one
+//! deterministic path shared by the CLI, the examples, and the golden
+//! tests. Queries accept either a flat record slice (JSONL traces) or
+//! an indexed `.strc` reader: in the indexed form, chunks whose
+//! [`ChunkSummary`] proves they contain nothing the query would print
+//! are *never decoded* — their aggregate counts fold into the totals
+//! straight from the footer index.
 
+use salamander_obs::strc::{ChunkSummary, EventKind, StrcError, StrcReader};
 use salamander_obs::{DecommissionCause, TraceEvent, TraceRecord};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -42,6 +47,140 @@ pub fn segments(records: &[TraceRecord]) -> Vec<Segment<'_>> {
     out
 }
 
+/// What an indexed reader hands a query per chunk: the decoded records
+/// when the chunk may matter, or just its summary when the index proves
+/// it cannot contain anything the query would print line-by-line.
+#[derive(Debug, Clone)]
+pub enum TraceChunk {
+    /// Decoded records, in emission order.
+    Records(Vec<TraceRecord>),
+    /// A chunk skipped via the index: aggregate counts only.
+    Skipped(Box<ChunkSummary>),
+}
+
+/// One unit of query input: a single record, or a whole skipped chunk
+/// standing in for its records.
+#[derive(Clone, Copy)]
+enum Item<'a> {
+    Rec(&'a TraceRecord),
+    Sum(&'a ChunkSummary),
+}
+
+impl Item<'_> {
+    /// Records this item stands for.
+    fn records(&self) -> u64 {
+        match self {
+            Item::Rec(_) => 1,
+            Item::Sum(s) => s.records as u64,
+        }
+    }
+}
+
+/// Flatten a chunk list into query items.
+fn chunk_items(chunks: &[TraceChunk]) -> Vec<Item<'_>> {
+    let mut out = Vec::new();
+    for c in chunks {
+        match c {
+            TraceChunk::Records(rs) => out.extend(rs.iter().map(Item::Rec)),
+            TraceChunk::Skipped(s) => out.push(Item::Sum(s.as_ref())),
+        }
+    }
+    out
+}
+
+/// A run segment over items (see [`Segment`] for the record form).
+/// Skipped chunks never hold a `RunMarker` (markers are always in the
+/// decode set), so each lies entirely within one segment.
+struct ItemSegment<'a> {
+    label: String,
+    items: Vec<Item<'a>>,
+}
+
+fn item_segments<'a>(items: &[Item<'a>]) -> Vec<ItemSegment<'a>> {
+    let mut out: Vec<ItemSegment<'a>> = Vec::new();
+    for &it in items {
+        if let Item::Rec(r) = it {
+            if let TraceEvent::RunMarker { label } = &r.event {
+                out.push(ItemSegment {
+                    label: label.clone(),
+                    items: Vec::new(),
+                });
+                continue;
+            }
+        }
+        if out.is_empty() {
+            out.push(ItemSegment {
+                label: "(unlabelled)".into(),
+                items: Vec::new(),
+            });
+        }
+        out.last_mut().expect("segment exists").items.push(it);
+    }
+    out
+}
+
+/// Read an indexed trace, decoding only chunks that may contain a kind
+/// in `decode_mask` — or, with `id_filter = Some((mask, id))`, chunks
+/// that may contain a `mask` kind concerning `id` (bloom test; false
+/// positives decode harmlessly, false negatives cannot happen).
+pub fn load_chunks(
+    reader: &mut StrcReader,
+    decode_mask: u16,
+    id_filter: Option<(u16, u64)>,
+) -> Result<Vec<TraceChunk>, StrcError> {
+    let n = reader.chunk_count();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let s = reader.summaries()[i].clone();
+        let wanted = s.may_contain_kinds(decode_mask)
+            || id_filter.is_some_and(|(mask, id)| s.may_contain_kinds(mask) && s.may_concern(id));
+        out.push(if wanted {
+            TraceChunk::Records(reader.read_chunk(i)?)
+        } else {
+            TraceChunk::Skipped(Box::new(s))
+        });
+    }
+    Ok(out)
+}
+
+/// Kinds [`lifecycle`] prints as individual lines. Chunks containing
+/// any of these must be decoded; all others fold in via summaries.
+pub fn lifecycle_decode_mask() -> u16 {
+    EventKind::mask(&[
+        EventKind::RunMarker,
+        EventKind::MdiskDecommissioned,
+        EventKind::MdiskPurged,
+        EventKind::MdiskRegenerated,
+        EventKind::DeviceDied,
+        EventKind::FleetDeviceDied,
+        EventKind::ChunkLost,
+        EventKind::UncorrectableRead,
+    ])
+}
+
+/// Kinds [`why`] prints or anchors on (the read-path pressure for the
+/// target minidisk is pulled in separately via the id bloom).
+pub fn why_decode_mask() -> u16 {
+    EventKind::mask(&[
+        EventKind::RunMarker,
+        EventKind::MdiskDecommissioned,
+        EventKind::MdiskPurged,
+        EventKind::MdiskRegenerated,
+        EventKind::DeviceDied,
+    ])
+}
+
+/// The per-minidisk read-path kinds [`why`] sums for its target.
+pub fn read_path_mask() -> u16 {
+    EventKind::mask(&[EventKind::ReadRetry, EventKind::UncorrectableRead])
+}
+
+/// Kinds [`fleet_rollup`] prints per-event (losses and re-replication
+/// volumes are pure counts, served by the index).
+pub fn fleet_decode_mask() -> u16 {
+    EventKind::mask(&[EventKind::FleetDeviceDied])
+}
+
 /// Whether an event concerns minidisk `id` (lifecycle or read path).
 fn concerns(event: &TraceEvent, id: u32) -> bool {
     match event {
@@ -60,20 +199,34 @@ fn concerns(event: &TraceEvent, id: u32) -> bool {
 /// losses, and totals for the high-volume events. With `mdisk`, only
 /// lines concerning that minidisk (totals still cover the segment).
 pub fn lifecycle(records: &[TraceRecord], mdisk: Option<u32>) -> String {
+    let items: Vec<Item<'_>> = records.iter().map(Item::Rec).collect();
+    lifecycle_items(&items, mdisk)
+}
+
+/// [`lifecycle`] over an indexed chunk list (see [`load_chunks`]).
+pub fn lifecycle_chunks(chunks: &[TraceChunk], mdisk: Option<u32>) -> String {
+    lifecycle_items(&chunk_items(chunks), mdisk)
+}
+
+/// [`lifecycle`] over a `.strc` reader: decodes only chunks that may
+/// contain a printable event, folding the rest in from the index.
+pub fn lifecycle_strc(reader: &mut StrcReader, mdisk: Option<u32>) -> Result<String, StrcError> {
+    let chunks = load_chunks(reader, lifecycle_decode_mask(), None)?;
+    Ok(lifecycle_chunks(&chunks, mdisk))
+}
+
+fn lifecycle_items(items: &[Item<'_>], mdisk: Option<u32>) -> String {
     let mut out = String::new();
-    if records.is_empty() {
+    let total: u64 = items.iter().map(Item::records).sum();
+    if total == 0 {
         out.push_str("empty trace\n");
         return out;
     }
-    let segs = segments(records);
-    let _ = writeln!(
-        out,
-        "{} events, {} run segment(s)",
-        records.len(),
-        segs.len()
-    );
+    let segs = item_segments(items);
+    let _ = writeln!(out, "{total} events, {} run segment(s)", segs.len());
     for seg in &segs {
-        let _ = writeln!(out, "\n== {} ({} events)", seg.label, seg.records.len());
+        let seg_events: u64 = seg.items.iter().map(Item::records).sum();
+        let _ = writeln!(out, "\n== {} ({seg_events} events)", seg.label);
         let mut tired = 0u64;
         let mut retired = 0u64;
         let mut gc_passes = 0u64;
@@ -81,7 +234,22 @@ pub fn lifecycle(records: &[TraceRecord], mdisk: Option<u32>) -> String {
         let mut scrubs = 0u64;
         let mut retries = 0u64;
         let mut rereplicated = 0u64;
-        for r in &seg.records {
+        for it in &seg.items {
+            let r = match it {
+                Item::Sum(s) => {
+                    // A skipped chunk holds only high-volume events;
+                    // its summary feeds the totals exactly.
+                    tired += s.count(EventKind::PageTired);
+                    retired += s.count(EventKind::PageRetired);
+                    gc_passes += s.count(EventKind::GcPass);
+                    gc_relocated += s.gc_relocated;
+                    scrubs += s.count(EventKind::ScrubRefresh);
+                    retries += s.count(EventKind::ReadRetry);
+                    rereplicated += s.rerep_bytes;
+                    continue;
+                }
+                Item::Rec(r) => r,
+            };
             let day = r.time.day;
             if let Some(id) = mdisk {
                 if !concerns(&r.event, id) && !matches!(r.event, TraceEvent::DeviceDied { .. }) {
@@ -187,16 +355,60 @@ fn cause_text(cause: DecommissionCause) -> &'static str {
 /// replacement regenerations, device death). With `mdisk = None`, the
 /// first decommissioned minidisk in the trace is explained.
 pub fn why(records: &[TraceRecord], mdisk: Option<u32>) -> String {
+    let items: Vec<Item<'_>> = records.iter().map(Item::Rec).collect();
+    why_items(&items, mdisk)
+}
+
+/// [`why`] over an indexed chunk list (see [`load_chunks`]).
+pub fn why_chunks(chunks: &[TraceChunk], mdisk: Option<u32>) -> String {
+    why_items(&chunk_items(chunks), mdisk)
+}
+
+/// [`why`] over a `.strc` reader. Lifecycle-anchor chunks decode via
+/// the kind mask; the target minidisk's read-path chunks decode via
+/// the id bloom (resolved in a first pass when `mdisk` is `None`);
+/// everything else — the bulk wear pressure — comes from the index.
+pub fn why_strc(reader: &mut StrcReader, mdisk: Option<u32>) -> Result<String, StrcError> {
+    let base = load_chunks(reader, why_decode_mask(), None)?;
+    let target = mdisk.or_else(|| first_decommissioned_id(&base));
+    let chunks = match target {
+        Some(id) => load_chunks(
+            reader,
+            why_decode_mask(),
+            Some((read_path_mask(), id as u64)),
+        )?,
+        None => base,
+    };
+    Ok(why_chunks(&chunks, mdisk))
+}
+
+/// First minidisk decommissioned in a decoded chunk list, if any.
+fn first_decommissioned_id(chunks: &[TraceChunk]) -> Option<u32> {
+    for c in chunks {
+        if let TraceChunk::Records(rs) = c {
+            for r in rs {
+                if let TraceEvent::MdiskDecommissioned { id, .. } = &r.event {
+                    return Some(*id);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn why_items(items: &[Item<'_>], mdisk: Option<u32>) -> String {
     let mut out = String::new();
     // Locate the decommission record (and its segment).
-    let segs = segments(records);
-    let mut found: Option<(&Segment<'_>, usize)> = None;
+    let segs = item_segments(items);
+    let mut found: Option<(&ItemSegment<'_>, usize)> = None;
     'outer: for seg in &segs {
-        for (i, r) in seg.records.iter().enumerate() {
-            if let TraceEvent::MdiskDecommissioned { id, .. } = &r.event {
-                if mdisk.is_none() || mdisk == Some(*id) {
-                    found = Some((seg, i));
-                    break 'outer;
+        for (i, it) in seg.items.iter().enumerate() {
+            if let Item::Rec(r) = it {
+                if let TraceEvent::MdiskDecommissioned { id, .. } = &r.event {
+                    if mdisk.is_none() || mdisk == Some(*id) {
+                        found = Some((seg, i));
+                        break 'outer;
+                    }
                 }
             }
         }
@@ -206,10 +418,12 @@ pub fn why(records: &[TraceRecord], mdisk: Option<u32>) -> String {
             Some(id) => {
                 let _ = writeln!(out, "minidisk {id} was never decommissioned in this trace");
                 let mut ids: Vec<u32> = Vec::new();
-                for r in records {
-                    if let TraceEvent::MdiskDecommissioned { id, .. } = &r.event {
-                        if !ids.contains(id) {
-                            ids.push(*id);
+                for it in items {
+                    if let Item::Rec(r) = it {
+                        if let TraceEvent::MdiskDecommissioned { id, .. } = &r.event {
+                            if !ids.contains(id) {
+                                ids.push(*id);
+                            }
                         }
                     }
                 }
@@ -223,7 +437,9 @@ pub fn why(records: &[TraceRecord], mdisk: Option<u32>) -> String {
         }
         return out;
     };
-    let rec = seg.records[idx];
+    let Item::Rec(rec) = seg.items[idx] else {
+        unreachable!("found index points at a record");
+    };
     let TraceEvent::MdiskDecommissioned {
         id,
         valid_lbas,
@@ -255,7 +471,27 @@ pub fn why(records: &[TraceRecord], mdisk: Option<u32>) -> String {
     let mut gc_relocated = 0u64;
     let mut own_retries = 0u64;
     let mut own_uncorrectable = 0u64;
-    for r in &seg.records[..idx] {
+    for it in &seg.items[..idx] {
+        let r = match it {
+            Item::Sum(s) => {
+                // Skipped chunks carry the bulk wear pressure in their
+                // summaries; the target's read path is never in one
+                // (its chunks decode via the id bloom).
+                for from in 0u8..5 {
+                    for to in 0u8..5 {
+                        let n = s.transitions[from as usize * 5 + to as usize] as u64;
+                        if n > 0 {
+                            *transitions.entry((from, to)).or_insert(0) += n;
+                        }
+                    }
+                }
+                retired += s.count(EventKind::PageRetired);
+                gc_passes += s.count(EventKind::GcPass);
+                gc_relocated += s.gc_relocated;
+                continue;
+            }
+            Item::Rec(r) => r,
+        };
         match &r.event {
             TraceEvent::PageTired { from, to, .. } => {
                 *transitions.entry((*from, *to)).or_insert(0) += 1;
@@ -307,7 +543,11 @@ pub fn why(records: &[TraceRecord], mdisk: Option<u32>) -> String {
     // Aftermath: what happened to this minidisk and the device after.
     out.push_str("  aftermath:\n");
     let mut any = false;
-    for r in &seg.records[idx + 1..] {
+    for it in &seg.items[idx + 1..] {
+        let Item::Rec(r) = it else {
+            // Aftermath events are all in the decode set.
+            continue;
+        };
         let day = r.time.day;
         let op = r.time.op;
         match &r.event {
@@ -339,11 +579,36 @@ pub fn why(records: &[TraceRecord], mdisk: Option<u32>) -> String {
 /// Fleet rollup: per-device death day and cause plus chunk-durability
 /// totals, as an aligned table or CSV (`device,died_day,cause`).
 pub fn fleet_rollup(records: &[TraceRecord], csv: bool) -> String {
+    let items: Vec<Item<'_>> = records.iter().map(Item::Rec).collect();
+    fleet_rollup_items(&items, csv)
+}
+
+/// [`fleet_rollup`] over an indexed chunk list (see [`load_chunks`]).
+pub fn fleet_rollup_chunks(chunks: &[TraceChunk], csv: bool) -> String {
+    fleet_rollup_items(&chunk_items(chunks), csv)
+}
+
+/// [`fleet_rollup`] over a `.strc` reader: only chunks with device
+/// deaths decode; loss and re-replication totals come from the index.
+pub fn fleet_rollup_strc(reader: &mut StrcReader, csv: bool) -> Result<String, StrcError> {
+    let chunks = load_chunks(reader, fleet_decode_mask(), None)?;
+    Ok(fleet_rollup_chunks(&chunks, csv))
+}
+
+fn fleet_rollup_items(items: &[Item<'_>], csv: bool) -> String {
     let mut out = String::new();
     let mut deaths: Vec<(u32, u32, String)> = Vec::new();
     let mut lost = 0u64;
     let mut rereplicated = 0u64;
-    for r in records {
+    for it in items {
+        let r = match it {
+            Item::Sum(s) => {
+                lost += s.count(EventKind::ChunkLost);
+                rereplicated += s.rerep_bytes;
+                continue;
+            }
+            Item::Rec(r) => r,
+        };
         match &r.event {
             TraceEvent::FleetDeviceDied { device, cause } => {
                 deaths.push((*device, r.time.day, format!("{cause:?}")));
@@ -629,6 +894,163 @@ mod tests {
         assert_eq!(lines[0], "device,died_day,cause");
         assert_eq!(lines[1], "2,10,Wear");
         assert_eq!(lines[2], "7,4,Afr");
+    }
+
+    /// A trace shaped like a real run: long stretches of high-volume
+    /// wear/GC noise with sparse lifecycle anchors, so small chunks
+    /// give the index real skipping opportunities.
+    fn bulky_trace() -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        let mut seq = 0u64;
+        let mut push = |out: &mut Vec<TraceRecord>, day: u32, event: TraceEvent| {
+            out.push(rec(seq, day, seq * 10, event));
+            seq += 1;
+        };
+        push(
+            &mut out,
+            0,
+            TraceEvent::RunMarker {
+                label: "mode=ShrinkS".into(),
+            },
+        );
+        for i in 0..400u64 {
+            let day = (i / 10) as u32 + 1;
+            push(
+                &mut out,
+                day,
+                TraceEvent::PageTired {
+                    fpage: i,
+                    from: (i % 4) as u8,
+                    to: (i % 4) as u8 + 1,
+                },
+            );
+            if i % 7 == 0 {
+                push(
+                    &mut out,
+                    day,
+                    TraceEvent::GcPass {
+                        block: i,
+                        relocated: 16,
+                    },
+                );
+            }
+            if i % 13 == 0 {
+                push(
+                    &mut out,
+                    day,
+                    TraceEvent::ReadRetry {
+                        mdisk: (i % 5) as u32,
+                        retries: 1,
+                    },
+                );
+            }
+            if i % 31 == 0 {
+                push(&mut out, day, TraceEvent::PageRetired { fpage: i, from: 4 });
+            }
+        }
+        push(
+            &mut out,
+            41,
+            TraceEvent::MdiskDecommissioned {
+                id: 3,
+                valid_lbas: 99,
+                draining: true,
+                cause: DecommissionCause::GcHeadroom,
+            },
+        );
+        for i in 400..600u64 {
+            push(
+                &mut out,
+                42,
+                TraceEvent::ScrubRefresh {
+                    fpage: i,
+                    opages: 4,
+                },
+            );
+        }
+        push(&mut out, 43, TraceEvent::MdiskPurged { id: 3 });
+        push(
+            &mut out,
+            44,
+            TraceEvent::FleetDeviceDied {
+                device: 1,
+                cause: DeathCause::Wear,
+            },
+        );
+        push(
+            &mut out,
+            45,
+            TraceEvent::ChunkReReplicated {
+                chunk: 7,
+                bytes: 8192,
+            },
+        );
+        out
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("salamander-query-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn indexed_queries_match_flat_queries_and_skip_chunks() {
+        use salamander_obs::strc::{write_strc, StrcReader};
+        let records = bulky_trace();
+        let path = tmp("indexed.strc");
+        // 32-record chunks: the bulk of the trace is summary-only.
+        write_strc(&path, &records, 32).unwrap();
+
+        for mdisk in [None, Some(3), Some(42)] {
+            let mut r = StrcReader::open(&path).unwrap();
+            assert_eq!(
+                lifecycle_strc(&mut r, mdisk).unwrap(),
+                lifecycle(&records, mdisk),
+                "lifecycle mdisk={mdisk:?}"
+            );
+            assert!(
+                (r.chunks_decoded as usize) < r.chunk_count(),
+                "lifecycle decoded every chunk ({} of {})",
+                r.chunks_decoded,
+                r.chunk_count()
+            );
+
+            let mut r = StrcReader::open(&path).unwrap();
+            assert_eq!(
+                why_strc(&mut r, mdisk).unwrap(),
+                why(&records, mdisk),
+                "why mdisk={mdisk:?}"
+            );
+        }
+
+        let mut r = StrcReader::open(&path).unwrap();
+        assert_eq!(
+            fleet_rollup_strc(&mut r, false).unwrap(),
+            fleet_rollup(&records, false)
+        );
+        assert!((r.chunks_decoded as usize) < r.chunk_count());
+        let mut r = StrcReader::open(&path).unwrap();
+        assert_eq!(
+            fleet_rollup_strc(&mut r, true).unwrap(),
+            fleet_rollup(&records, true)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn indexed_queries_handle_empty_traces() {
+        use salamander_obs::strc::{write_strc, StrcReader};
+        let path = tmp("indexed-empty.strc");
+        write_strc(&path, &[], 32).unwrap();
+        let mut r = StrcReader::open(&path).unwrap();
+        assert_eq!(lifecycle_strc(&mut r, None).unwrap(), lifecycle(&[], None));
+        let mut r = StrcReader::open(&path).unwrap();
+        assert_eq!(why_strc(&mut r, None).unwrap(), why(&[], None));
+        let mut r = StrcReader::open(&path).unwrap();
+        assert_eq!(
+            fleet_rollup_strc(&mut r, false).unwrap(),
+            fleet_rollup(&[], false)
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -19,18 +19,22 @@
 //! emit without cycles.
 
 pub mod event;
+pub mod live;
 pub mod metrics;
 pub mod profile;
+pub mod strc;
 pub mod trace;
 
 pub use event::{DeathCause, DecommissionCause, SimTime, TraceEvent, TraceRecord};
+pub use live::{Broadcast, LiveObs, ProgressHandle};
 pub use metrics::{Histogram, MetricsHandle, MetricsRegistry};
 pub use profile::{PhaseGuard, PhaseStat, Profiler};
-pub use trace::{JsonlSink, ParseError, RingRecorder, TraceHandle, Tracer};
+pub use strc::{ChunkSummary, EventKind, RotatingStrcWriter, StrcError, StrcReader, StrcWriter};
+pub use trace::{JsonlSink, NullTracer, ParseError, RingRecorder, TraceHandle, Tracer};
 
 /// The bundle simulation code threads through its layers: a trace
-/// handle, a metrics handle, and a profiler, each independently
-/// enabled. `Default` is fully disabled.
+/// handle, a metrics handle, a profiler, and live progress counters,
+/// each independently enabled. `Default` is fully disabled.
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
     /// Structured event trace (deterministic).
@@ -39,6 +43,9 @@ pub struct Obs {
     pub metrics: MetricsHandle,
     /// Wall-clock phase timers (non-deterministic, report-only).
     pub profiler: Profiler,
+    /// Run-progress counters for a live server (non-deterministic,
+    /// served only — see [`live`]).
+    pub progress: ProgressHandle,
 }
 
 impl Obs {
@@ -54,6 +61,33 @@ impl Obs {
             trace: TraceHandle::recording(),
             metrics: MetricsHandle::enabled(),
             profiler: Profiler::disabled(),
+            progress: ProgressHandle::disabled(),
+        }
+    }
+
+    /// Attach a [`LiveObs`] mirror: trace events tee into its
+    /// broadcast, metric updates into its live registry, and progress
+    /// bumps into its counters. Pillars that were disabled stay
+    /// output-disabled (tap-only / tee-only), so deterministic output
+    /// is unchanged — the mirror only widens what a server can see.
+    pub fn with_live(&self, live: &LiveObs) -> Obs {
+        let trace = if self.trace.is_enabled() {
+            let t = self.trace.clone();
+            t.set_tap(live.trace.clone());
+            t
+        } else {
+            TraceHandle::tap_only(live.trace.clone())
+        };
+        let metrics = if self.metrics.is_enabled() {
+            self.metrics.with_tee(live.metrics.clone())
+        } else {
+            MetricsHandle::tee_only(live.metrics.clone())
+        };
+        Obs {
+            trace,
+            metrics,
+            profiler: self.profiler.clone(),
+            progress: live.progress.clone(),
         }
     }
 

@@ -1,0 +1,471 @@
+//! Live-observer plumbing: the broadcast ring, progress counters, and
+//! the [`LiveObs`] bundle a telemetry server reads from (DESIGN.md
+//! §12).
+//!
+//! Everything here is a *mirror* of deterministic state, never the
+//! state itself. Trace records are pushed into a bounded [`Broadcast`]
+//! ring *after* the primary tracer has consumed them; metrics tee into
+//! a live registry the primary shards never read back; progress is a
+//! handful of atomics the simulation bumps and only the server reads.
+//! Dropping every structure in this module on the floor changes no
+//! simulation output — that is the determinism argument for `--serve`,
+//! and the serve-determinism suite enforces it byte-for-byte.
+//!
+//! Wall-clock appears exactly once (ops-per-second in
+//! [`ProgressHandle::render_json`]) and, like [`crate::profile`], is
+//! served live only — it never reaches traces, metrics, or `results/`.
+
+use crate::event::TraceRecord;
+use crate::metrics::MetricsRegistry;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default broadcast ring capacity: enough tail for a human watching
+/// `/trace/stream`, bounded so a multi-year run can't grow it.
+pub const DEFAULT_BROADCAST_CAP: usize = 65_536;
+
+struct BroadcastState {
+    /// Cursor of the *next* record to be pushed. Record `i` (0-based
+    /// since attach) has cursor `i`.
+    next: u64,
+    /// Most recent records, each with its cursor.
+    buf: VecDeque<(u64, TraceRecord)>,
+    cap: usize,
+    closed: bool,
+}
+
+/// Bounded multi-reader broadcast ring for live trace mirroring.
+///
+/// Writers [`Broadcast::push`] records as the simulation emits them;
+/// readers poll with a cursor and block (bounded) on a condvar until
+/// something newer arrives. Readers that fall more than `cap` records
+/// behind silently skip ahead — the cursor gap tells them how much
+/// they missed. Under `par_map` the push interleave across tasks is
+/// scheduling-dependent; that is fine because this ring is only ever a
+/// live view, never an output.
+#[derive(Clone)]
+pub struct Broadcast {
+    inner: Arc<(Mutex<BroadcastState>, Condvar)>,
+}
+
+impl Broadcast {
+    /// A ring keeping the most recent `cap` records.
+    pub fn new(cap: usize) -> Self {
+        Broadcast {
+            inner: Arc::new((
+                Mutex::new(BroadcastState {
+                    next: 0,
+                    buf: VecDeque::new(),
+                    cap: cap.max(1),
+                    closed: false,
+                }),
+                Condvar::new(),
+            )),
+        }
+    }
+
+    /// Append one record and wake pollers.
+    pub fn push(&self, rec: &TraceRecord) {
+        let (lock, cond) = &*self.inner;
+        let mut st = lock.lock().expect("broadcast lock");
+        if st.buf.len() == st.cap {
+            st.buf.pop_front();
+        }
+        let cursor = st.next;
+        st.next += 1;
+        st.buf.push_back((cursor, rec.clone()));
+        drop(st);
+        cond.notify_all();
+    }
+
+    /// The most recent `n` records, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<TraceRecord> {
+        let (lock, _) = &*self.inner;
+        let st = lock.lock().expect("broadcast lock");
+        let skip = st.buf.len().saturating_sub(n);
+        st.buf.iter().skip(skip).map(|(_, r)| r.clone()).collect()
+    }
+
+    /// Cursor one past the newest record (a fresh reader's starting
+    /// point for [`Broadcast::poll_after`]).
+    pub fn cursor(&self) -> u64 {
+        let (lock, _) = &*self.inner;
+        lock.lock().expect("broadcast lock").next
+    }
+
+    /// Records with cursor ≥ `after`, blocking up to `timeout` for new
+    /// ones when there are none yet. Returns `(records, next_cursor,
+    /// closed)`; `next_cursor` is what the reader should pass next
+    /// time. A reader that fell out of the ring resumes at the oldest
+    /// retained record.
+    pub fn poll_after(
+        &self,
+        after: u64,
+        timeout: Duration,
+    ) -> (Vec<(u64, TraceRecord)>, u64, bool) {
+        let (lock, cond) = &*self.inner;
+        let mut st = lock.lock().expect("broadcast lock");
+        let deadline = Instant::now() + timeout;
+        loop {
+            if st.next > after || st.closed {
+                let out: Vec<(u64, TraceRecord)> = st
+                    .buf
+                    .iter()
+                    .filter(|(c, _)| *c >= after)
+                    .cloned()
+                    .collect();
+                let next = st.next.max(after);
+                return (out, next, st.closed);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return (Vec::new(), after, st.closed);
+            }
+            let (guard, timed_out) = cond.wait_timeout(st, left).expect("broadcast lock");
+            st = guard;
+            if timed_out.timed_out() && st.next <= after && !st.closed {
+                return (Vec::new(), after, st.closed);
+            }
+        }
+    }
+
+    /// Mark the stream finished and wake every poller. Pushing after
+    /// close is allowed (late stragglers) but readers already saw
+    /// `closed`.
+    pub fn close(&self) {
+        let (lock, cond) = &*self.inner;
+        lock.lock().expect("broadcast lock").closed = true;
+        cond.notify_all();
+    }
+
+    /// Whether [`Broadcast::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        let (lock, _) = &*self.inner;
+        lock.lock().expect("broadcast lock").closed
+    }
+}
+
+impl fmt::Debug for Broadcast {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (lock, _) = &*self.inner;
+        let st = lock.lock().expect("broadcast lock");
+        f.debug_struct("Broadcast")
+            .field("next", &st.next)
+            .field("buffered", &st.buf.len())
+            .field("closed", &st.closed)
+            .finish()
+    }
+}
+
+#[derive(Debug)]
+struct ProgressInner {
+    /// Highest simulated day reached by any task (`fetch_max`).
+    day: AtomicU64,
+    /// Day count the run expects to cover, if known.
+    total_days: AtomicU64,
+    /// Host operations processed so far.
+    ops: AtomicU64,
+    /// Devices the run simulates, if known.
+    devices: AtomicU64,
+    /// Devices finished so far (fleet runs).
+    devices_done: AtomicU64,
+    /// When the run attached — only for the served ops-per-second.
+    started: Instant,
+}
+
+/// Optionally-disabled progress counters, mirroring the other obs
+/// handles: `Default` is disabled and every bump is one branch.
+///
+/// Counters are monotone and commutative (`fetch_max` for day, adds
+/// for the rest), so any number of `par_map` tasks can bump one shared
+/// handle without coordination and without affecting determinism — the
+/// values are served live and never written to run output.
+#[derive(Clone, Default, Debug)]
+pub struct ProgressHandle(Option<Arc<ProgressInner>>);
+
+impl ProgressHandle {
+    /// A live handle.
+    pub fn enabled() -> Self {
+        ProgressHandle(Some(Arc::new(ProgressInner {
+            day: AtomicU64::new(0),
+            total_days: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+            devices: AtomicU64::new(0),
+            devices_done: AtomicU64::new(0),
+            started: Instant::now(),
+        })))
+    }
+
+    /// A dead handle (the default).
+    pub fn disabled() -> Self {
+        ProgressHandle(None)
+    }
+
+    /// Whether anything reads these counters.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Raise the current-day watermark (monotone across tasks).
+    pub fn set_day(&self, day: u64) {
+        if let Some(p) = &self.0 {
+            p.day.fetch_max(day, Ordering::Relaxed);
+        }
+    }
+
+    /// Declare how many days the run will cover.
+    pub fn set_total_days(&self, days: u64) {
+        if let Some(p) = &self.0 {
+            p.total_days.fetch_max(days, Ordering::Relaxed);
+        }
+    }
+
+    /// Count host operations processed.
+    pub fn add_ops(&self, n: u64) {
+        if let Some(p) = &self.0 {
+            p.ops.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Declare how many devices the run simulates.
+    pub fn add_devices(&self, n: u64) {
+        if let Some(p) = &self.0 {
+            p.devices.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Count devices that finished simulating.
+    pub fn device_done(&self) {
+        if let Some(p) = &self.0 {
+            p.devices_done.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current `(day, total_days, ops, devices, devices_done)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        match &self.0 {
+            Some(p) => (
+                p.day.load(Ordering::Relaxed),
+                p.total_days.load(Ordering::Relaxed),
+                p.ops.load(Ordering::Relaxed),
+                p.devices.load(Ordering::Relaxed),
+                p.devices_done.load(Ordering::Relaxed),
+            ),
+            None => (0, 0, 0, 0, 0),
+        }
+    }
+
+    /// The `/progress` JSON body. Hand-assembled (the vendored serde
+    /// has no map serializer) with a fixed field order; `ops_per_sec`
+    /// is wall-clock-derived and intentionally excluded from anything
+    /// deterministic.
+    pub fn render_json(&self, run: &str, done: bool) -> String {
+        let (day, total_days, ops, devices, devices_done) = self.snapshot();
+        let ops_per_sec = match &self.0 {
+            Some(p) => {
+                let secs = p.started.elapsed().as_secs_f64();
+                if secs > 0.0 {
+                    ops as f64 / secs
+                } else {
+                    0.0
+                }
+            }
+            None => 0.0,
+        };
+        format!(
+            concat!(
+                "{{\"run\":{run},\"day\":{day},\"total_days\":{total},",
+                "\"ops\":{ops},\"devices\":{devices},",
+                "\"devices_done\":{done_devices},\"ops_per_sec\":{rate:.1},",
+                "\"done\":{done}}}"
+            ),
+            run = json_string(run),
+            day = day,
+            total = total_days,
+            ops = ops,
+            devices = devices,
+            done_devices = devices_done,
+            rate = ops_per_sec,
+            done = done,
+        )
+    }
+}
+
+/// Minimal JSON string escaping for hand-assembled bodies.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// What a live telemetry server reads: the trace broadcast, a mirror
+/// metrics registry, and the progress counters. Simulation code never
+/// reads any of it back — see the module docs for the determinism
+/// argument.
+#[derive(Clone, Debug)]
+pub struct LiveObs {
+    /// Live mirror of emitted trace records (bounded ring).
+    pub trace: Broadcast,
+    /// Live mirror of the metrics registries (teed writes plus
+    /// end-of-task bulk merges).
+    pub metrics: Arc<Mutex<MetricsRegistry>>,
+    /// Run progress counters.
+    pub progress: ProgressHandle,
+}
+
+impl LiveObs {
+    /// A live bundle with the default broadcast capacity.
+    pub fn new() -> Self {
+        Self::with_cap(DEFAULT_BROADCAST_CAP)
+    }
+
+    /// A live bundle keeping the most recent `cap` trace records.
+    pub fn with_cap(cap: usize) -> Self {
+        LiveObs {
+            trace: Broadcast::new(cap),
+            metrics: Arc::new(Mutex::new(MetricsRegistry::new())),
+            progress: ProgressHandle::enabled(),
+        }
+    }
+
+    /// Fold a finished shard's registry into the live mirror (for
+    /// layers that merge shards at end of task rather than teeing
+    /// every update).
+    pub fn merge_metrics(&self, shard: &MetricsRegistry) {
+        self.metrics.lock().expect("live metrics lock").merge(shard);
+    }
+
+    /// Render the live metrics mirror as Prometheus text.
+    pub fn render_metrics(&self) -> String {
+        self.metrics.lock().expect("live metrics lock").render()
+    }
+}
+
+impl Default for LiveObs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{SimTime, TraceEvent};
+
+    fn rec(seq: u64) -> TraceRecord {
+        TraceRecord {
+            seq,
+            time: SimTime::new(0, seq),
+            event: TraceEvent::GcPass {
+                block: seq,
+                relocated: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn tail_returns_most_recent_in_order() {
+        let b = Broadcast::new(4);
+        for i in 0..10 {
+            b.push(&rec(i));
+        }
+        let t = b.tail(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].seq, 8);
+        assert_eq!(t[1].seq, 9);
+        assert_eq!(b.tail(100).len(), 4, "capped at ring size");
+    }
+
+    #[test]
+    fn poll_after_sees_new_records_and_skips_evicted() {
+        let b = Broadcast::new(4);
+        for i in 0..3 {
+            b.push(&rec(i));
+        }
+        let (got, next, closed) = b.poll_after(0, Duration::from_millis(0));
+        assert_eq!(got.len(), 3);
+        assert_eq!(next, 3);
+        assert!(!closed);
+        // Nothing new: bounded wait times out empty.
+        let (got, next2, _) = b.poll_after(next, Duration::from_millis(1));
+        assert!(got.is_empty());
+        assert_eq!(next2, next);
+        // Overflow past the reader: it resumes at the oldest retained.
+        for i in 3..20 {
+            b.push(&rec(i));
+        }
+        let (got, next3, _) = b.poll_after(next, Duration::from_millis(0));
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0].0, 16, "reader skipped to oldest retained");
+        assert_eq!(next3, 20);
+    }
+
+    #[test]
+    fn close_wakes_pollers() {
+        let b = Broadcast::new(4);
+        let b2 = b.clone();
+        let waiter = std::thread::spawn(move || b2.poll_after(0, Duration::from_secs(10)));
+        b.close();
+        let (got, _, closed) = waiter.join().unwrap();
+        assert!(got.is_empty());
+        assert!(closed);
+    }
+
+    #[test]
+    fn disabled_progress_is_inert() {
+        let p = ProgressHandle::disabled();
+        p.set_day(5);
+        p.add_ops(100);
+        assert_eq!(p.snapshot(), (0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn progress_counters_accumulate() {
+        let p = ProgressHandle::enabled();
+        p.set_total_days(100);
+        p.set_day(3);
+        p.set_day(2); // watermark: lower value ignored
+        p.add_ops(10);
+        p.add_ops(5);
+        p.add_devices(4);
+        p.device_done();
+        assert_eq!(p.snapshot(), (3, 100, 15, 4, 1));
+        let json = p.render_json("lifetime", false);
+        assert!(json.contains("\"run\":\"lifetime\""), "{json}");
+        assert!(json.contains("\"day\":3"), "{json}");
+        assert!(json.contains("\"done\":false"), "{json}");
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn live_obs_merges_metric_shards() {
+        let live = LiveObs::with_cap(8);
+        let mut shard = MetricsRegistry::new();
+        shard.inc("x_total", 2);
+        live.merge_metrics(&shard);
+        live.merge_metrics(&shard);
+        let text = live.render_metrics();
+        assert!(text.contains("x_total 4"), "{text}");
+    }
+}

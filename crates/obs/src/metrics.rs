@@ -222,65 +222,109 @@ impl MetricsRegistry {
 
 /// Shared, optionally-disabled handle to a [`MetricsRegistry`],
 /// mirroring [`crate::trace::TraceHandle`].
+///
+/// A handle may additionally carry a *tee*: a second registry every
+/// update is mirrored into. The tee is how `--serve` observes metrics
+/// mid-run without perturbing determinism — reads ([`MetricsHandle::take`],
+/// [`MetricsHandle::snapshot`], [`MetricsHandle::counter`]) see only
+/// the primary, so deterministic output never depends on what the live
+/// mirror accumulated.
 #[derive(Clone, Default)]
-pub struct MetricsHandle(Option<Arc<Mutex<MetricsRegistry>>>);
+pub struct MetricsHandle {
+    primary: Option<Arc<Mutex<MetricsRegistry>>>,
+    tee: Option<Arc<Mutex<MetricsRegistry>>>,
+}
 
 impl MetricsHandle {
     /// A handle that drops every update (the default).
     pub fn disabled() -> Self {
-        MetricsHandle(None)
+        MetricsHandle::default()
     }
 
     /// A live registry.
     pub fn enabled() -> Self {
-        MetricsHandle(Some(Arc::new(Mutex::new(MetricsRegistry::new()))))
+        MetricsHandle {
+            primary: Some(Arc::new(Mutex::new(MetricsRegistry::new()))),
+            tee: None,
+        }
     }
 
-    /// Whether updates are recorded.
+    /// This handle plus a live mirror: every update also lands in
+    /// `tee`, reads still see only the primary.
+    pub fn with_tee(&self, tee: Arc<Mutex<MetricsRegistry>>) -> MetricsHandle {
+        MetricsHandle {
+            primary: self.primary.clone(),
+            tee: Some(tee),
+        }
+    }
+
+    /// A handle that *only* mirrors into `tee` (the
+    /// `--serve`-without-`--metrics` configuration): updates are
+    /// recorded live, but `take`/`snapshot` stay empty so no
+    /// deterministic output appears.
+    pub fn tee_only(tee: Arc<Mutex<MetricsRegistry>>) -> MetricsHandle {
+        MetricsHandle {
+            primary: None,
+            tee: Some(tee),
+        }
+    }
+
+    /// Whether updates are recorded anywhere (primary or tee).
     pub fn is_enabled(&self) -> bool {
-        self.0.is_some()
+        self.primary.is_some() || self.tee.is_some()
     }
 
     /// Add `by` to a counter.
     pub fn inc(&self, key: &str, by: u64) {
-        if let Some(reg) = &self.0 {
+        if let Some(reg) = &self.primary {
+            reg.lock().expect("metrics lock").inc(key, by);
+        }
+        if let Some(reg) = &self.tee {
             reg.lock().expect("metrics lock").inc(key, by);
         }
     }
 
     /// Set a gauge.
     pub fn set_gauge(&self, key: &str, v: f64) {
-        if let Some(reg) = &self.0 {
+        if let Some(reg) = &self.primary {
+            reg.lock().expect("metrics lock").set_gauge(key, v);
+        }
+        if let Some(reg) = &self.tee {
             reg.lock().expect("metrics lock").set_gauge(key, v);
         }
     }
 
     /// Record a histogram observation.
     pub fn observe(&self, key: &str, bounds: &[u64], v: u64) {
-        if let Some(reg) = &self.0 {
+        if let Some(reg) = &self.primary {
+            reg.lock().expect("metrics lock").observe(key, bounds, v);
+        }
+        if let Some(reg) = &self.tee {
             reg.lock().expect("metrics lock").observe(key, bounds, v);
         }
     }
 
-    /// Read a counter (zero when disabled or never touched).
+    /// Read a counter (zero when disabled or never touched). Reads the
+    /// primary only — the tee is a write-only mirror.
     pub fn counter(&self, key: &str) -> u64 {
-        match &self.0 {
+        match &self.primary {
             Some(reg) => reg.lock().expect("metrics lock").counter(key),
             None => 0,
         }
     }
 
-    /// Take the accumulated registry, leaving an empty one behind.
+    /// Take the accumulated primary registry, leaving an empty one
+    /// behind. The tee keeps what it mirrored.
     pub fn take(&self) -> MetricsRegistry {
-        match &self.0 {
+        match &self.primary {
             Some(reg) => std::mem::take(&mut *reg.lock().expect("metrics lock")),
             None => MetricsRegistry::new(),
         }
     }
 
-    /// Clone the accumulated registry without draining it.
+    /// Clone the accumulated primary registry without draining it.
     pub fn snapshot(&self) -> MetricsRegistry {
-        match &self.0 {
+        match &self.primary {
             Some(reg) => reg.lock().expect("metrics lock").clone(),
             None => MetricsRegistry::new(),
         }
@@ -398,5 +442,32 @@ mod tests {
         let first = h.take();
         assert_eq!(first.counter("c"), 1);
         assert!(h.take().is_empty());
+    }
+
+    #[test]
+    fn tee_mirrors_writes_but_never_serves_reads() {
+        let live = Arc::new(Mutex::new(MetricsRegistry::new()));
+        let h = MetricsHandle::enabled().with_tee(live.clone());
+        h.inc("c", 2);
+        h.set_gauge("g", 1.5);
+        h.observe("h", &[10], 3);
+        // Both sides saw the writes…
+        assert_eq!(h.counter("c"), 2);
+        assert_eq!(live.lock().unwrap().counter("c"), 2);
+        assert_eq!(live.lock().unwrap().gauge("g"), Some(1.5));
+        // …but take() drains only the primary.
+        assert_eq!(h.take().counter("c"), 2);
+        assert_eq!(live.lock().unwrap().counter("c"), 2);
+    }
+
+    #[test]
+    fn tee_only_handle_records_live_but_outputs_nothing() {
+        let live = Arc::new(Mutex::new(MetricsRegistry::new()));
+        let h = MetricsHandle::tee_only(live.clone());
+        assert!(h.is_enabled());
+        h.inc("c", 7);
+        assert_eq!(h.counter("c"), 0, "no primary to read");
+        assert!(h.take().is_empty(), "no deterministic output");
+        assert_eq!(live.lock().unwrap().counter("c"), 7);
     }
 }

@@ -13,6 +13,7 @@
 //! single-threaded paths.
 
 use crate::event::{SimTime, TraceEvent, TraceRecord};
+use crate::live::Broadcast;
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::Write;
@@ -37,6 +38,21 @@ pub trait Tracer: Send {
     fn dropped(&self) -> u64 {
         0
     }
+
+    /// Take the first I/O error a streaming sink hit, if any. Purely
+    /// in-memory tracers never error.
+    fn take_error(&mut self) -> Option<std::io::Error> {
+        None
+    }
+}
+
+/// A tracer that drops every record. Used when a live tap wants the
+/// event stream but nothing persists it (`--serve` without `--trace`).
+#[derive(Debug, Default)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn record(&mut self, _rec: &TraceRecord) {}
 }
 
 /// Bounded in-memory recorder: keeps the most recent `cap` records and
@@ -85,24 +101,61 @@ impl Tracer for RingRecorder {
 /// Streaming JSONL sink: one record per line, written as it arrives.
 /// Single-threaded use only if byte-stable output matters — under
 /// `par_map`, record to rings and serialize the merged trace instead.
+///
+/// I/O failures (full disk, closed pipe) do not panic the run: the
+/// first error is held, later records are dropped, and the owner of
+/// the [`TraceHandle`] surfaces it via [`TraceHandle::sink_error`] at
+/// end of run. The sink flushes on drop as a last resort.
 pub struct JsonlSink<W: Write + Send> {
     out: W,
+    error: Option<std::io::Error>,
 }
 
 impl<W: Write + Send> JsonlSink<W> {
     /// Wrap a writer.
     pub fn new(out: W) -> Self {
-        JsonlSink { out }
+        JsonlSink { out, error: None }
     }
 }
 
 impl<W: Write + Send> Tracer for JsonlSink<W> {
     fn record(&mut self, rec: &TraceRecord) {
-        let line = serde_json::to_string(rec).expect("trace records always serialize");
-        let _ = writeln!(self.out, "{line}");
+        if self.error.is_some() {
+            return;
+        }
+        let line = match serde_json::to_string(rec) {
+            Ok(line) => line,
+            Err(e) => {
+                self.error = Some(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("trace record failed to serialize: {e}"),
+                ));
+                return;
+            }
+        };
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.error = Some(e);
+        }
     }
 
     fn flush(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.out.flush() {
+            self.error = Some(e);
+        }
+    }
+
+    fn take_error(&mut self) -> Option<std::io::Error> {
+        self.error.take()
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        // Best effort: an error here has nowhere to go, but callers
+        // that checked `sink_error` before dropping already saw it.
         let _ = self.out.flush();
     }
 }
@@ -110,6 +163,9 @@ impl<W: Write + Send> Tracer for JsonlSink<W> {
 struct Inner {
     seq: u64,
     tracer: Box<dyn Tracer>,
+    /// Live mirror: every recorded event is also pushed here, after
+    /// the tracer consumed it. Never read back by simulation code.
+    tap: Option<Broadcast>,
 }
 
 /// Shared, optionally-disabled handle to a [`Tracer`].
@@ -135,7 +191,27 @@ impl TraceHandle {
 
     /// Use an arbitrary tracer.
     pub fn with(tracer: Box<dyn Tracer>) -> Self {
-        TraceHandle(Some(Arc::new(Mutex::new(Inner { seq: 0, tracer }))))
+        TraceHandle(Some(Arc::new(Mutex::new(Inner {
+            seq: 0,
+            tracer,
+            tap: None,
+        }))))
+    }
+
+    /// A handle that persists nothing but feeds a live [`Broadcast`] —
+    /// the `--serve`-without-`--trace` configuration.
+    pub fn tap_only(tap: Broadcast) -> Self {
+        let h = Self::with(Box::new(NullTracer));
+        h.set_tap(tap);
+        h
+    }
+
+    /// Attach a live tap: every subsequently emitted record is also
+    /// pushed into `tap`. No-op on a disabled handle.
+    pub fn set_tap(&self, tap: Broadcast) {
+        if let Some(inner) = &self.0 {
+            inner.lock().expect("trace lock").tap = Some(tap);
+        }
     }
 
     /// Whether events are being consumed at all.
@@ -154,6 +230,9 @@ impl TraceHandle {
             };
             inner.seq += 1;
             inner.tracer.record(&rec);
+            if let Some(tap) = &inner.tap {
+                tap.push(&rec);
+            }
         }
     }
 
@@ -177,6 +256,16 @@ impl TraceHandle {
     pub fn flush(&self) {
         if let Some(inner) = &self.0 {
             inner.lock().expect("trace lock").tracer.flush();
+        }
+    }
+
+    /// Take the first I/O error a streaming sink hit, if any. Callers
+    /// that stream to disk should check this at end of run and exit
+    /// nonzero — the sink itself never panics.
+    pub fn sink_error(&self) -> Option<std::io::Error> {
+        match &self.0 {
+            Some(inner) => inner.lock().expect("trace lock").tracer.take_error(),
+            None => None,
         }
     }
 }
@@ -353,6 +442,48 @@ mod tests {
         let recs = parse_jsonl(&text).unwrap();
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].event, ev(1));
+    }
+
+    #[test]
+    fn jsonl_sink_surfaces_write_errors_without_panicking() {
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _data: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let h = TraceHandle::with(Box::new(JsonlSink::new(FailingWriter)));
+        h.emit(SimTime::ZERO, ev(1));
+        h.emit(SimTime::ZERO, ev(2)); // dropped silently after first error
+        let err = h.sink_error().expect("error surfaced");
+        assert!(err.to_string().contains("disk full"), "{err}");
+        assert!(h.sink_error().is_none(), "error is taken once");
+    }
+
+    #[test]
+    fn tap_mirrors_emitted_records() {
+        let tap = crate::live::Broadcast::new(8);
+        let h = TraceHandle::recording();
+        h.set_tap(tap.clone());
+        h.emit(SimTime::new(1, 2), ev(5));
+        let live = tap.tail(10);
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].event, ev(5));
+        // Primary recording unaffected by the tap.
+        assert_eq!(h.take().len(), 1);
+    }
+
+    #[test]
+    fn tap_only_handle_persists_nothing_but_broadcasts() {
+        let tap = crate::live::Broadcast::new(8);
+        let h = TraceHandle::tap_only(tap.clone());
+        assert!(h.is_enabled());
+        h.emit(SimTime::ZERO, ev(3));
+        assert!(h.take().is_empty(), "NullTracer keeps nothing");
+        assert_eq!(tap.tail(10).len(), 1);
     }
 
     #[test]

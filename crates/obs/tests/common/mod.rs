@@ -1,0 +1,70 @@
+//! Shared proptest strategies over the trace event taxonomy, used by
+//! both the JSONL (`prop_obs`) and `.strc` (`prop_strc`) suites so new
+//! event variants are exercised by every format from one place.
+
+use proptest::prelude::*;
+use salamander_obs::event::{DeathCause, DecommissionCause, SimTime, TraceEvent, TraceRecord};
+
+pub fn cause_strategy() -> impl Strategy<Value = DecommissionCause> {
+    prop_oneof![
+        Just(DecommissionCause::LevelShortfall),
+        Just(DecommissionCause::GcHeadroom),
+    ]
+}
+
+pub fn death_strategy() -> impl Strategy<Value = DeathCause> {
+    prop_oneof![
+        Just(DeathCause::Brick),
+        Just(DeathCause::FullyShrunk),
+        Just(DeathCause::Wear),
+        Just(DeathCause::Afr),
+    ]
+}
+
+pub fn event_strategy() -> impl Strategy<Value = TraceEvent> {
+    prop_oneof![
+        any::<u32>().prop_map(|n| TraceEvent::RunMarker {
+            label: format!("mode=run-{n}"),
+        }),
+        (any::<u64>(), 0u8..4, 0u8..5).prop_map(|(fpage, from, to)| TraceEvent::PageTired {
+            fpage,
+            from,
+            to
+        }),
+        (any::<u64>(), 0u8..5).prop_map(|(fpage, from)| TraceEvent::PageRetired { fpage, from }),
+        (any::<u32>(), any::<u32>(), any::<bool>(), cause_strategy()).prop_map(
+            |(id, valid_lbas, draining, cause)| TraceEvent::MdiskDecommissioned {
+                id,
+                valid_lbas,
+                draining,
+                cause,
+            }
+        ),
+        any::<u32>().prop_map(|id| TraceEvent::MdiskPurged { id }),
+        (any::<u32>(), 0u8..5).prop_map(|(id, level)| TraceEvent::MdiskRegenerated { id, level }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(block, relocated)| TraceEvent::GcPass { block, relocated }),
+        (any::<u64>(), any::<u32>())
+            .prop_map(|(fpage, opages)| TraceEvent::ScrubRefresh { fpage, opages }),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(mdisk, retries)| TraceEvent::ReadRetry { mdisk, retries }),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(mdisk, lba)| TraceEvent::UncorrectableRead { mdisk, lba }),
+        death_strategy().prop_map(|cause| TraceEvent::DeviceDied { cause }),
+        (any::<u32>(), death_strategy())
+            .prop_map(|(device, cause)| TraceEvent::FleetDeviceDied { device, cause }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(chunk, bytes)| TraceEvent::ChunkReReplicated { chunk, bytes }),
+        any::<u64>().prop_map(|chunk| TraceEvent::ChunkLost { chunk }),
+    ]
+}
+
+pub fn record_strategy() -> impl Strategy<Value = TraceRecord> {
+    (any::<u64>(), any::<u32>(), any::<u64>(), event_strategy()).prop_map(
+        |(seq, day, op, event)| TraceRecord {
+            seq,
+            time: SimTime::new(day, op),
+            event,
+        },
+    )
+}

@@ -2,73 +2,12 @@
 //! express must survive JSON and JSONL round-trips bit-exactly, and
 //! merged traces must renumber cleanly.
 
+mod common;
+
+use common::{event_strategy, record_strategy};
 use proptest::prelude::*;
-use salamander_obs::event::{DeathCause, DecommissionCause, SimTime, TraceEvent, TraceRecord};
+use salamander_obs::event::TraceEvent;
 use salamander_obs::trace::{parse_jsonl, resequence, to_jsonl};
-
-fn cause_strategy() -> impl Strategy<Value = DecommissionCause> {
-    prop_oneof![
-        Just(DecommissionCause::LevelShortfall),
-        Just(DecommissionCause::GcHeadroom),
-    ]
-}
-
-fn death_strategy() -> impl Strategy<Value = DeathCause> {
-    prop_oneof![
-        Just(DeathCause::Brick),
-        Just(DeathCause::FullyShrunk),
-        Just(DeathCause::Wear),
-        Just(DeathCause::Afr),
-    ]
-}
-
-fn event_strategy() -> impl Strategy<Value = TraceEvent> {
-    prop_oneof![
-        any::<u32>().prop_map(|n| TraceEvent::RunMarker {
-            label: format!("mode=run-{n}"),
-        }),
-        (any::<u64>(), 0u8..4, 0u8..5).prop_map(|(fpage, from, to)| TraceEvent::PageTired {
-            fpage,
-            from,
-            to
-        }),
-        (any::<u64>(), 0u8..5).prop_map(|(fpage, from)| TraceEvent::PageRetired { fpage, from }),
-        (any::<u32>(), any::<u32>(), any::<bool>(), cause_strategy()).prop_map(
-            |(id, valid_lbas, draining, cause)| TraceEvent::MdiskDecommissioned {
-                id,
-                valid_lbas,
-                draining,
-                cause,
-            }
-        ),
-        any::<u32>().prop_map(|id| TraceEvent::MdiskPurged { id }),
-        (any::<u32>(), 0u8..5).prop_map(|(id, level)| TraceEvent::MdiskRegenerated { id, level }),
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(block, relocated)| TraceEvent::GcPass { block, relocated }),
-        (any::<u64>(), any::<u32>())
-            .prop_map(|(fpage, opages)| TraceEvent::ScrubRefresh { fpage, opages }),
-        (any::<u32>(), any::<u32>())
-            .prop_map(|(mdisk, retries)| TraceEvent::ReadRetry { mdisk, retries }),
-        (any::<u32>(), any::<u32>())
-            .prop_map(|(mdisk, lba)| TraceEvent::UncorrectableRead { mdisk, lba }),
-        death_strategy().prop_map(|cause| TraceEvent::DeviceDied { cause }),
-        (any::<u32>(), death_strategy())
-            .prop_map(|(device, cause)| TraceEvent::FleetDeviceDied { device, cause }),
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(chunk, bytes)| TraceEvent::ChunkReReplicated { chunk, bytes }),
-        any::<u64>().prop_map(|chunk| TraceEvent::ChunkLost { chunk }),
-    ]
-}
-
-fn record_strategy() -> impl Strategy<Value = TraceRecord> {
-    (any::<u64>(), any::<u32>(), any::<u64>(), event_strategy()).prop_map(
-        |(seq, day, op, event)| TraceRecord {
-            seq,
-            time: SimTime::new(day, op),
-            event,
-        },
-    )
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

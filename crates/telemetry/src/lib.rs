@@ -1,0 +1,499 @@
+//! `salamander-telemetry` — the live telemetry plane (DESIGN.md §12).
+//!
+//! A tiny blocking HTTP/1.1 server (`std::net::TcpListener`, zero
+//! dependencies beyond `salamander-obs`) that a running simulation
+//! attaches to via a [`LiveObs`] mirror. It is a read-only observer on
+//! its own threads: every byte it serves comes from the mirror
+//! structures in [`salamander_obs::live`], which the deterministic
+//! pipeline writes into but never reads back — so `results/` CSVs,
+//! traces, and metrics are byte-identical with the server on or off
+//! (enforced by the serve-determinism suite).
+//!
+//! Endpoints:
+//!
+//! | path                | body                                             |
+//! |---------------------|--------------------------------------------------|
+//! | `GET /metrics`      | Prometheus text: the live registry mid-run, the exact `--metrics` file bytes once the run finished |
+//! | `GET /healthz`      | liveness JSON (`{"status":"ok",...}`)            |
+//! | `GET /health`       | JSON map of run label → `HealthReport` (published at end of run) |
+//! | `GET /trace/tail`   | NDJSON of the most recent `?n=K` records (default 100) |
+//! | `GET /trace/stream` | NDJSON long-poll from `?from=<cursor>`; the next cursor comes back in an `X-Next-Cursor` header |
+//! | `GET /progress`     | sim day / ops / device counts / wall-clock ops-per-sec |
+//! | `GET /quit`         | asks the host process to stop lingering          |
+//!
+//! The server holds no locks while blocked on I/O except the bounded
+//! condvar wait inside [`Broadcast::poll_after`], and it cannot slow
+//! the simulation beyond momentary mirror-lock contention.
+
+use salamander_obs::{trace::to_jsonl, LiveObs};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+pub use salamander_obs::live::json_string;
+
+/// How long `/trace/stream` blocks waiting for new records before
+/// returning an empty poll.
+pub const STREAM_POLL_TIMEOUT: Duration = Duration::from_secs(10);
+/// Default record count for `/trace/tail`.
+pub const DEFAULT_TAIL: usize = 100;
+
+/// Shared state between the simulation side (which publishes) and the
+/// server side (which serves). The simulation owns one, wrapped in an
+/// [`Arc`], for the whole run.
+pub struct TelemetryHub {
+    /// The live mirror the simulation writes into.
+    pub live: LiveObs,
+    /// Run name (the binary's artifact name, e.g. `lifetime`).
+    pub run: String,
+    /// Run label → serialized `HealthReport` JSON, published as runs
+    /// finish. Pre-serialized by the publisher so this crate needs no
+    /// knowledge of the health types.
+    health: Mutex<BTreeMap<String, String>>,
+    /// The exact rendered metrics text the run wrote (or would write)
+    /// at exit. Once set, `/metrics` serves these bytes verbatim, so a
+    /// final scrape equals the `--metrics` file byte-for-byte.
+    final_metrics: Mutex<Option<String>>,
+    done: AtomicBool,
+    quit: AtomicBool,
+}
+
+impl TelemetryHub {
+    /// A hub for one run.
+    pub fn new(run: &str, live: LiveObs) -> Arc<TelemetryHub> {
+        Arc::new(TelemetryHub {
+            live,
+            run: run.to_string(),
+            health: Mutex::new(BTreeMap::new()),
+            final_metrics: Mutex::new(None),
+            done: AtomicBool::new(false),
+            quit: AtomicBool::new(false),
+        })
+    }
+
+    /// Publish one run label's `HealthReport`, pre-serialized to JSON.
+    pub fn publish_health(&self, label: &str, report_json: String) {
+        self.health
+            .lock()
+            .expect("health lock")
+            .insert(label.to_string(), report_json);
+    }
+
+    /// Publish the final metrics text and mark the run finished. The
+    /// broadcast closes so `/trace/stream` pollers drain and return.
+    pub fn mark_done(&self, final_metrics: Option<String>) {
+        if let Some(text) = final_metrics {
+            *self.final_metrics.lock().expect("final metrics lock") = Some(text);
+        }
+        self.done.store(true, Ordering::SeqCst);
+        self.live.trace.close();
+    }
+
+    /// Whether [`TelemetryHub::mark_done`] was called.
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::SeqCst)
+    }
+
+    /// Whether a client hit `/quit` (the host process should stop
+    /// lingering).
+    pub fn quit_requested(&self) -> bool {
+        self.quit.load(Ordering::SeqCst)
+    }
+
+    /// The `/metrics` body: the published final text verbatim if the
+    /// run finished, the live mirror otherwise.
+    fn metrics_body(&self) -> String {
+        if let Some(text) = self
+            .final_metrics
+            .lock()
+            .expect("final metrics lock")
+            .as_ref()
+        {
+            return text.clone();
+        }
+        self.live.render_metrics()
+    }
+
+    /// The `/health` body: `{"run":...,"done":...,"reports":{label:report}}`.
+    /// Hand-assembled — the values are pre-serialized JSON documents.
+    fn health_body(&self) -> String {
+        let reports = self.health.lock().expect("health lock");
+        let mut body = format!(
+            "{{\"run\":{},\"done\":{},\"reports\":{{",
+            json_string(&self.run),
+            self.is_done()
+        );
+        for (i, (label, json)) in reports.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&json_string(label));
+            body.push(':');
+            body.push_str(json);
+        }
+        body.push_str("}}");
+        body
+    }
+
+    /// The `/healthz` liveness body.
+    fn healthz_body(&self) -> String {
+        format!(
+            "{{\"status\":\"ok\",\"run\":{},\"done\":{}}}",
+            json_string(&self.run),
+            self.is_done()
+        )
+    }
+}
+
+/// A running telemetry server: owns the listener thread and the bound
+/// address (useful with `--serve 127.0.0.1:0`).
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    hub: Arc<TelemetryHub>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Bind `addr` and start serving `hub` on a background accept
+    /// thread (one short-lived thread per connection). Returns after
+    /// the socket is bound, so the endpoints are reachable before the
+    /// simulation starts.
+    pub fn start(addr: &str, hub: Arc<TelemetryHub>) -> std::io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_hub = hub.clone();
+        let accept_stop = stop.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("telemetry-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let hub = accept_hub.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("telemetry-conn".into())
+                        .spawn(move || handle_connection(stream, &hub));
+                }
+            })?;
+        Ok(TelemetryServer {
+            addr: local,
+            hub,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served hub.
+    pub fn hub(&self) -> &Arc<TelemetryHub> {
+        &self.hub
+    }
+
+    /// Stop accepting and join the accept thread. In-flight connection
+    /// threads finish their one response on their own.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One request per connection (`Connection: close`); anything
+/// malformed gets a 400 and the socket drops.
+fn handle_connection(stream: TcpStream, hub: &TelemetryHub) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_err() || line.is_empty() {
+        return;
+    }
+    // Drain headers (ignored) so the peer isn't left mid-send.
+    let mut header = String::new();
+    while reader.read_line(&mut header).is_ok() {
+        if header == "\r\n" || header == "\n" || header.is_empty() {
+            break;
+        }
+        header.clear();
+    }
+    let mut out = stream;
+    let mut parts = line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => {
+            respond(&mut out, 400, "text/plain", "bad request\n", &[]);
+            return;
+        }
+    };
+    if method != "GET" {
+        respond(&mut out, 405, "text/plain", "method not allowed\n", &[]);
+        return;
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/metrics" => {
+            let body = hub.metrics_body();
+            respond(&mut out, 200, "text/plain; version=0.0.4", &body, &[]);
+        }
+        "/healthz" => respond(&mut out, 200, "application/json", &hub.healthz_body(), &[]),
+        "/health" => respond(&mut out, 200, "application/json", &hub.health_body(), &[]),
+        "/progress" => {
+            let body = hub.live.progress.render_json(&hub.run, hub.is_done());
+            respond(&mut out, 200, "application/json", &body, &[]);
+        }
+        "/trace/tail" => {
+            let n = query_param(query, "n")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_TAIL);
+            let body = to_jsonl(&hub.live.trace.tail(n));
+            respond(&mut out, 200, "application/x-ndjson", &body, &[]);
+        }
+        "/trace/stream" => {
+            let from = query_param(query, "from")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            let (records, next, closed) = hub.live.trace.poll_after(from, STREAM_POLL_TIMEOUT);
+            let mut body = String::new();
+            for (_, rec) in &records {
+                body.push_str(&to_jsonl(std::slice::from_ref(rec)));
+            }
+            let next_header = format!("X-Next-Cursor: {next}");
+            let closed_header = format!("X-Stream-Closed: {closed}");
+            respond(
+                &mut out,
+                200,
+                "application/x-ndjson",
+                &body,
+                &[&next_header, &closed_header],
+            );
+        }
+        "/quit" => {
+            hub.quit.store(true, Ordering::SeqCst);
+            respond(&mut out, 200, "application/json", "{\"ok\":true}", &[]);
+        }
+        _ => respond(&mut out, 404, "text/plain", "not found\n", &[]),
+    }
+}
+
+/// First value of `key` in a raw query string (`a=1&b=2`).
+fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+fn respond(out: &mut TcpStream, status: u16, content_type: &str, body: &str, extra: &[&str]) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for h in extra {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let _ = out.write_all(head.as_bytes());
+    let _ = out.write_all(body.as_bytes());
+    let _ = out.flush();
+}
+
+/// An [`http_get`] response: status code, headers, body.
+pub type HttpResponse = (u16, Vec<(String, String)>, String);
+
+/// Minimal blocking HTTP GET for tests and scripted checks: returns
+/// `(status, headers, body)`. Not a general client — exactly enough to
+/// scrape this crate's server.
+pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header break"))?;
+    let mut lines = head.lines();
+    let status_line = lines
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "empty response"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let headers = lines
+        .filter_map(|l| l.split_once(": "))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    Ok((status, headers, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salamander_obs::{SimTime, TraceEvent, TraceRecord};
+
+    fn rec(seq: u64) -> TraceRecord {
+        TraceRecord {
+            seq,
+            time: SimTime::new(1, seq),
+            event: TraceEvent::GcPass {
+                block: seq,
+                relocated: 2,
+            },
+        }
+    }
+
+    fn start() -> (TelemetryServer, Arc<TelemetryHub>) {
+        let hub = TelemetryHub::new("testrun", LiveObs::with_cap(128));
+        let server = TelemetryServer::start("127.0.0.1:0", hub.clone()).unwrap();
+        (server, hub)
+    }
+
+    fn header<'a>(headers: &'a [(String, String)], key: &str) -> Option<&'a str> {
+        headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(key))
+            .map(|(_, v)| v.as_str())
+    }
+
+    #[test]
+    fn healthz_and_progress_respond() {
+        let (server, hub) = start();
+        hub.live.progress.set_day(12);
+        let (status, _, body) = http_get(server.addr(), "/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"run\":\"testrun\""), "{body}");
+        let (status, _, body) = http_get(server.addr(), "/progress").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"day\":12"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_serves_live_then_final_verbatim() {
+        let (server, hub) = start();
+        {
+            let mut live = hub.live.metrics.lock().unwrap();
+            live.inc("live_counter_total", 3);
+        }
+        let (status, _, body) = http_get(server.addr(), "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("live_counter_total 3"), "{body}");
+        let final_text = "# TYPE frozen counter\nfrozen 1\n".to_string();
+        hub.mark_done(Some(final_text.clone()));
+        let (_, _, body) = http_get(server.addr(), "/metrics").unwrap();
+        assert_eq!(body, final_text, "final scrape is the file bytes verbatim");
+        server.shutdown();
+    }
+
+    #[test]
+    fn trace_tail_and_stream_serve_ndjson() {
+        let (server, hub) = start();
+        for i in 0..10 {
+            hub.live.trace.push(&rec(i));
+        }
+        let (status, _, body) = http_get(server.addr(), "/trace/tail?n=3").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 3);
+        let parsed = salamander_obs::trace::parse_jsonl(&body).unwrap();
+        assert_eq!(parsed[0].seq, 7);
+        // Stream from cursor 0 returns everything retained plus the
+        // next cursor in a header.
+        let (status, headers, body) = http_get(server.addr(), "/trace/stream?from=0").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 10);
+        assert_eq!(header(&headers, "X-Next-Cursor"), Some("10"));
+        assert_eq!(header(&headers, "X-Stream-Closed"), Some("false"));
+        // A poll at the frontier after close returns empty + closed.
+        hub.mark_done(None);
+        let (_, headers, body) = http_get(server.addr(), "/trace/stream?from=10").unwrap();
+        assert!(body.is_empty());
+        assert_eq!(header(&headers, "X-Stream-Closed"), Some("true"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn health_reports_published_as_json_map() {
+        let (server, hub) = start();
+        let (_, _, body) = http_get(server.addr(), "/health").unwrap();
+        assert!(body.contains("\"reports\":{}"), "{body}");
+        hub.publish_health("mode=ShrinkS", "{\"score\":97}".to_string());
+        hub.publish_health("mode=RegenS", "{\"score\":99}".to_string());
+        let (_, _, body) = http_get(server.addr(), "/health").unwrap();
+        assert!(
+            body.contains("\"mode=RegenS\":{\"score\":99},\"mode=ShrinkS\":{\"score\":97}"),
+            "{body}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn quit_flag_reaches_the_host() {
+        let (server, hub) = start();
+        assert!(!hub.quit_requested());
+        let (status, _, body) = http_get(server.addr(), "/quit").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("true"));
+        assert!(hub.quit_requested());
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_rejected() {
+        let (server, _hub) = start();
+        let (status, _, _) = http_get(server.addr(), "/nope").unwrap();
+        assert_eq!(status, 404);
+        // Raw POST gets a 405.
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        write!(s, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+        server.shutdown();
+    }
+}

@@ -33,9 +33,10 @@ run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 
 # Library crates must not print: structured output goes through
-# salamander-obs (DESIGN.md §9). The bench harness binaries (and the
+# salamander-obs (DESIGN.md §9), and the telemetry server answers over
+# HTTP, never stdout. The bench harness binaries (and the
 # report/profile printers that exist to print) are the only exemptions.
-echo "==> checking library crates for println!"
+echo "==> checking library crates (incl. salamander-telemetry) for println!"
 if grep -rn 'println!' crates/*/src \
     --include='*.rs' \
     --exclude-dir=bin |
@@ -70,8 +71,13 @@ if [ "$quick" -eq 0 ]; then
         mkdir -p results
         "$repo/target/release/lifetime" --modes-only \
             --trace run.jsonl --metrics >/dev/null
+        # Convert to the indexed binary format and drive every trace
+        # query against both; the indexed path must answer identically.
+        "$repo/target/release/obsctl" convert run.jsonl run.strc 2>/dev/null
         for q in "lifecycle run.jsonl" "why run.jsonl" \
             "fleet run.jsonl --csv" "health run.jsonl" \
+            "lifecycle run.strc" "why run.strc" \
+            "fleet run.strc --csv" "health run.strc" \
             "diff results/lifetime.prom results/lifetime.prom"; do
             # shellcheck disable=SC2086
             out="$("$repo/target/release/obsctl" $q)"
@@ -80,7 +86,68 @@ if [ "$quick" -eq 0 ]; then
                 exit 1
             fi
         done
+        for q in lifecycle why fleet health; do
+            if ! diff <("$repo/target/release/obsctl" "$q" run.jsonl) \
+                <("$repo/target/release/obsctl" "$q" run.strc) >/dev/null; then
+                echo "error: obsctl $q differs between JSONL and .strc" >&2
+                exit 1
+            fi
+        done
+        # Lossless round trip back to JSONL.
+        "$repo/target/release/obsctl" convert run.strc run2.jsonl 2>/dev/null
+        cmp run.jsonl run2.jsonl
         echo "obsctl smoke passed"
+    )
+fi
+
+# Live telemetry smoke (DESIGN.md §12): run with --serve, scrape every
+# endpoint over bash /dev/tcp (no curl dependency), and check that the
+# final /metrics scrape equals the --metrics file byte-for-byte.
+if [ "$quick" -eq 0 ]; then
+    echo "==> live telemetry smoke"
+    (
+        cd "$smoke"
+        "$repo/target/release/lifetime" --modes-only --metrics \
+            --serve 127.0.0.1:0 --serve-linger 30 >/dev/null 2>serve.log &
+        pid=$!
+        addr=""
+        for _ in $(seq 1 200); do
+            addr="$(sed -n 's#^serving telemetry on http://\([^/]*\)/$#\1#p' serve.log | head -1)"
+            [ -n "$addr" ] && break
+            sleep 0.1
+        done
+        if [ -z "$addr" ]; then
+            echo "error: telemetry server never announced an address" >&2
+            kill "$pid" 2>/dev/null || true
+            exit 1
+        fi
+        host="${addr%:*}"
+        port="${addr##*:}"
+        scrape() { # scrape <path> -> body on stdout
+            exec 3<>"/dev/tcp/$host/$port"
+            printf 'GET %s HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n' "$1" >&3
+            # Body = everything after the blank header separator line.
+            sed -e '1,/^\r\{0,1\}$/d' <&3
+            exec 3<&- 3>&-
+        }
+        for path in /healthz /progress /metrics "/trace/tail?n=5"; do
+            if [ -z "$(scrape "$path")" ]; then
+                echo "error: GET $path produced no body" >&2
+                kill "$pid" 2>/dev/null || true
+                exit 1
+            fi
+        done
+        # Wait for the run to finish, then the final scrape must equal
+        # the exposition on disk.
+        for _ in $(seq 1 600); do
+            scrape /progress | grep -q '"done":true' && break
+            sleep 0.1
+        done
+        scrape /metrics >final.prom
+        cmp final.prom results/lifetime.prom
+        scrape /quit >/dev/null
+        wait "$pid"
+        echo "live telemetry smoke passed"
     )
 fi
 

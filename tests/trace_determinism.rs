@@ -16,7 +16,7 @@ use salamander_obs::{trace, MetricsRegistry, Profiler};
 fn endurance_telemetry(threads: Threads) -> (String, String, String) {
     let cfg = SsdConfig::small_test();
     let profiler = Profiler::disabled();
-    let observed = EnduranceSim::compare_modes_observed(cfg, threads, true, true, &profiler);
+    let observed = EnduranceSim::compare_modes_observed(cfg, threads, true, true, &profiler, None);
     let mut records = Vec::new();
     let mut metrics = MetricsRegistry::default();
     let mut health = String::new();
