@@ -1,15 +1,24 @@
-//! Perf-regression harness: times the FTL hot path and the `lifetime
-//! --modes-only` end-to-end run, writing `BENCH_ftl_micro.json` and
-//! `BENCH_lifetime.json` (medians over ≥20 runs, machine+thread
-//! metadata) for `scripts/bench.sh` to gate against.
+//! Perf-regression harness: times the FTL hot path, the `lifetime
+//! --modes-only` end-to-end run, and the warehouse-scale fleet engine,
+//! writing `BENCH_ftl_micro.json`, `BENCH_lifetime.json`, and
+//! `BENCH_fleet_scale.json` (medians, machine+thread metadata) for
+//! `scripts/bench.sh` to gate against.
 //!
 //! Flags: `--runs N` (default 20), `--micro-only`, `--e2e-only`,
+//! `--fleet-only`, `--fleet-runs N` (default 5), `--fleet-full`
+//! (adds the 100k-device mode sweep, the 100k legacy reference, and
+//! the 1M-device entry — minutes of wall clock),
 //! `--out DIR` (default: current directory — run from the repo root).
 
 use salamander::config::{Mode, SsdConfig};
 use salamander::device::{BatchStop, SalamanderSsd};
-use salamander_bench::perf::{bench, BenchReport};
+use salamander_bench::perf::{bench, bench_cold, BenchReport};
 use salamander_bench::{arg_or, has_flag};
+use salamander_ecc::profile::Tiredness;
+use salamander_exec::Threads;
+use salamander_flash::geometry::FlashGeometry;
+use salamander_fleet::device::{StatDeviceConfig, StatMode};
+use salamander_fleet::sim::{FleetConfig, FleetEngine, FleetSim};
 use salamander_ftl::types::{Lba, MdiskId};
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -157,6 +166,160 @@ fn end_to_end(runs: u32) -> BenchReport {
     report
 }
 
+/// Fleet-scale suite (ISSUE 6): the cohort engine at 10k/100k/1M
+/// devices × 5 simulated years, plus the legacy per-device path as
+/// the speedup reference. Small-geometry devices (the fleet unit
+/// tests' configuration) keep per-device state at 2 KiB so the 1M
+/// entry fits comfortably in memory; `iters_per_run` is the device
+/// count, so `median_ns_per_iter` reads as cost per device.
+///
+/// The headline cohort-vs-device pair is Regen L3 at 1 DWPD: a fig3b
+/// paper configuration at the standard datacenter endurance rating,
+/// where devices survive most of the horizon so the per-day aging
+/// cost (not the bit-identity-pinned per-device setup) dominates
+/// both engines. Write-hot short-lived configurations (shrink/
+/// baseline at 5 DWPD) amortize less and sit at lower ratios — they
+/// are kept as honest secondary entries.
+fn fleet_scale(runs: u32, full: bool) -> BenchReport {
+    let mut report = BenchReport::new("fleet_scale");
+    let cfg = |devices: u32, mode: StatMode, dwpd: f64| FleetConfig {
+        device: StatDeviceConfig {
+            geometry: FlashGeometry::small_test(),
+            ..StatDeviceConfig::datacenter(mode)
+        },
+        devices,
+        dwpd,
+        dwpd_sigma: 0.25,
+        afr: 0.01,
+        horizon_days: 1825, // 5 simulated years
+        sample_every_days: 30,
+        seed: 42,
+    };
+    let regen3 = StatMode::Regen {
+        max_level: Tiredness::L3,
+    };
+    let mut run = |name: &str,
+                   devices: u32,
+                   mode: StatMode,
+                   dwpd: f64,
+                   engine: FleetEngine,
+                   r: u32,
+                   warm: bool| {
+        let f = |_| {
+            let t = FleetSim::new(cfg(devices, mode, dwpd))
+                .with_engine(engine)
+                .run_threads(Threads::Auto);
+            std::hint::black_box(t.samples.len());
+            devices as u64
+        };
+        let result = if warm {
+            bench(name, r, f)
+        } else {
+            bench_cold(name, r, f)
+        };
+        report.results.push(result);
+    };
+    use FleetEngine::{Cohort, PerDevice};
+    // First entry is the scripts/bench.sh --check gate: keep it cheap
+    // and stable.
+    run(
+        "fleet_cohort_10k_shrink",
+        10_000,
+        StatMode::Shrink,
+        5.0,
+        Cohort,
+        runs,
+        true,
+    );
+    run(
+        "fleet_cohort_10k_baseline",
+        10_000,
+        StatMode::Baseline,
+        5.0,
+        Cohort,
+        runs,
+        true,
+    );
+    // The headline pair at probe scale, then at the 100k acceptance
+    // scale (the legacy 100k reference is behind --fleet-full: one
+    // run is minutes of wall clock).
+    run(
+        "fleet_cohort_10k_regen3_dwpd1",
+        10_000,
+        regen3,
+        1.0,
+        Cohort,
+        runs,
+        true,
+    );
+    run(
+        "fleet_device_10k_regen3_dwpd1",
+        10_000,
+        regen3,
+        1.0,
+        PerDevice,
+        runs.min(2),
+        false,
+    );
+    run(
+        "fleet_cohort_100k_regen3_dwpd1",
+        100_000,
+        regen3,
+        1.0,
+        Cohort,
+        runs.min(3),
+        false,
+    );
+    if full {
+        run(
+            "fleet_cohort_100k_shrink",
+            100_000,
+            StatMode::Shrink,
+            5.0,
+            Cohort,
+            runs.min(3),
+            false,
+        );
+        run(
+            "fleet_cohort_100k_baseline",
+            100_000,
+            StatMode::Baseline,
+            5.0,
+            Cohort,
+            runs.min(2),
+            false,
+        );
+        run(
+            "fleet_device_100k_regen3_dwpd1",
+            100_000,
+            regen3,
+            1.0,
+            PerDevice,
+            1,
+            false,
+        );
+        run(
+            "fleet_cohort_1m_shrink",
+            1_000_000,
+            StatMode::Shrink,
+            5.0,
+            Cohort,
+            1,
+            false,
+        );
+        run(
+            "fleet_cohort_1m_regen3_dwpd1",
+            1_000_000,
+            regen3,
+            1.0,
+            Cohort,
+            1,
+            false,
+        );
+    }
+    report
+}
+
 fn write_report(dir: &Path, name: &str, report: &BenchReport) {
     let path = dir.join(name);
     std::fs::write(&path, report.to_json()).expect("write bench report");
@@ -172,10 +335,19 @@ fn write_report(dir: &Path, name: &str, report: &BenchReport) {
 fn main() {
     let runs: u32 = arg_or("--runs", 20).max(1);
     let out: PathBuf = PathBuf::from(arg_or("--out", ".".to_string()));
-    if !has_flag("--e2e-only") {
+    let fleet_only = has_flag("--fleet-only");
+    if !has_flag("--e2e-only") && !fleet_only {
         write_report(&out, "BENCH_ftl_micro.json", &micro(runs));
     }
-    if !has_flag("--micro-only") {
+    if !has_flag("--micro-only") && !fleet_only {
         write_report(&out, "BENCH_lifetime.json", &end_to_end(runs));
+    }
+    if !has_flag("--micro-only") && !has_flag("--e2e-only") || fleet_only {
+        let fleet_runs: u32 = arg_or("--fleet-runs", 5).max(1);
+        write_report(
+            &out,
+            "BENCH_fleet_scale.json",
+            &fleet_scale(fleet_runs, has_flag("--fleet-full")),
+        );
     }
 }

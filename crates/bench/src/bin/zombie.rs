@@ -6,14 +6,18 @@
 //! overlap; the fleet device turns it into capacity-over-lifetime curves.
 //!
 //! Run: `cargo run --release -p salamander-bench --bin zombie`
+//! Engine: `--engine <cohort|device>` ages the device via the columnar
+//! cohort engine or the reference `StatDevice` (identical output).
 
 use salamander::report::{fmt, Table};
-use salamander_bench::emit;
+use salamander_bench::{emit, fleet_engine_arg};
 use salamander_ecc::profile::Tiredness;
 use salamander_exec::{par_map, Threads};
 use salamander_flash::geometry::FlashGeometry;
 use salamander_flash::voltage::{CellMode, VoltageModel};
+use salamander_fleet::cohort::Cohort;
 use salamander_fleet::device::{StatDevice, StatDeviceConfig, StatMode};
+use salamander_fleet::sim::FleetEngine;
 
 fn main() {
     // 1. The cell model itself: endurance per mode at the native ECC
@@ -48,7 +52,8 @@ fn main() {
         "Device lifetime with cell-mode rebirth (RegenS cap L1)",
         &["configuration", "host writes to death", "vs RegenS alone"],
     );
-    let run = |rebirth: Option<CellMode>| {
+    let engine = fleet_engine_arg();
+    let run = move |rebirth: Option<CellMode>| {
         let cfg = StatDeviceConfig {
             geometry: FlashGeometry::small_test(),
             rebirth,
@@ -57,11 +62,27 @@ fn main() {
             },
             ..StatDeviceConfig::datacenter(StatMode::Shrink)
         };
-        let mut d = StatDevice::new(cfg, 42);
+        const STEP: u64 = 10_000;
+        const CAP: u64 = 100_000_000_000;
         let mut total = 0u64;
-        while !d.is_dead() && total < 100_000_000_000 {
-            d.apply_writes(10_000);
-            total += 10_000;
+        // Both engines step the identical statistical model; the table
+        // is byte-identical either way (see crates/fleet/src/cohort.rs).
+        match engine {
+            FleetEngine::PerDevice => {
+                let mut d = StatDevice::new(cfg, 42);
+                while !d.is_dead() && total < CAP {
+                    d.apply_writes(STEP);
+                    total += STEP;
+                }
+            }
+            FleetEngine::Cohort => {
+                let mut c = Cohort::new(cfg, &[42]);
+                c.set_daily_writes(0, STEP);
+                while !c.is_dead(0) && total < CAP {
+                    c.step(0);
+                    total += STEP;
+                }
+            }
         }
         total
     };

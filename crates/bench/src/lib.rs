@@ -30,6 +30,25 @@ pub fn emit(name: &str, table: &Table) {
     }
 }
 
+/// Parse the `--engine <cohort|device>` flag shared by the fleet bins
+/// (fig3a, fig3b, zombie): explicit flag wins, otherwise the
+/// `SALAMANDER_FLEET_ENGINE` selection (default: cohort). Unknown
+/// spellings abort with a usage error rather than silently running the
+/// wrong engine.
+pub fn fleet_engine_arg() -> salamander_fleet::FleetEngine {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--engine") {
+        None => salamander_fleet::FleetEngine::from_env(),
+        Some(i) => {
+            let raw = args.get(i + 1).map(String::as_str).unwrap_or("");
+            salamander_fleet::FleetEngine::parse(raw).unwrap_or_else(|| {
+                eprintln!("error: unknown --engine '{raw}' (expected 'cohort' or 'device')");
+                std::process::exit(2);
+            })
+        }
+    }
+}
+
 /// Parse a `--flag value` style argument, returning `default` when absent.
 pub fn arg_or<T: std::str::FromStr>(flag: &str, default: T) -> T {
     let args: Vec<String> = std::env::args().collect();

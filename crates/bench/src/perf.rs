@@ -118,6 +118,13 @@ fn median_of(mut ns: Vec<u64>) -> u64 {
 /// counts, not assumptions.
 pub fn bench<F: FnMut(u32) -> u64>(name: &str, runs: u32, mut f: F) -> BenchResult {
     f(0); // warm-up: page in code and allocator state
+    bench_cold(name, runs, f)
+}
+
+/// [`bench`] without the untimed warm-up — for heavyweight end-to-end
+/// entries (100k–1M-device fleets) where a run takes tens of seconds
+/// and cold-start effects are negligible relative to run length.
+pub fn bench_cold<F: FnMut(u32) -> u64>(name: &str, runs: u32, mut f: F) -> BenchResult {
     let mut samples = Vec::with_capacity(runs as usize);
     let mut iters = Vec::with_capacity(runs as usize);
     for run in 0..runs {

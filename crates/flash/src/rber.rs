@@ -164,8 +164,20 @@ impl RberModel {
 
     /// Deterministically draw `n` per-page variance multipliers from `seed`.
     pub fn draw_variances(&self, n: usize, seed: u64) -> Vec<f64> {
+        let mut out = vec![0.0; n];
+        self.draw_variances_into(seed, &mut out);
+        out
+    }
+
+    /// [`Self::draw_variances`] into a caller-provided buffer — the
+    /// cohort engine draws straight into one column slab instead of
+    /// allocating a `Vec` per device. Fills every slot of `out`;
+    /// the value sequence is bit-identical to `draw_variances`.
+    pub fn draw_variances_into(&self, seed: u64, out: &mut [f64]) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        (0..n).map(|_| self.draw_variance(&mut rng)).collect()
+        for v in out.iter_mut() {
+            *v = self.draw_variance(&mut rng);
+        }
     }
 }
 
@@ -283,7 +295,7 @@ mod tests {
         let m = RberModel::default();
         let vs = m.draw_variances(10_001, 7);
         let mut sorted = vs.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_unstable_by(f64::total_cmp);
         let median = sorted[5000];
         assert!((median - 1.0).abs() < 0.05, "median {median}");
         // All positive, with genuine spread.
@@ -296,6 +308,15 @@ mod tests {
         let m = RberModel::default().no_variance();
         let vs = m.draw_variances(100, 3);
         assert!(vs.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn draw_variances_into_overwrites_whole_buffer() {
+        let m = RberModel::default();
+        let mut buf = vec![-1.0; 33];
+        m.draw_variances_into(5, &mut buf);
+        assert!(buf.iter().all(|&v| v > 0.0), "every slot drawn");
+        assert_eq!(buf, m.draw_variances(33, 5));
     }
 
     #[test]

@@ -1,0 +1,592 @@
+//! Struct-of-arrays cohort engine: many statistical devices stepped as
+//! parallel columns (ROADMAP item 1).
+//!
+//! [`crate::device::StatDevice`] is the reference implementation — one
+//! heap allocation per device, a private `MeanRberLut` each, and two
+//! binary searches per level per day. That is fine for the paper's
+//! 100-device figures and far too slow for warehouse scale. A
+//! [`Cohort`] holds the same state as N devices, laid out column-wise:
+//!
+//! - one contiguous slab for every device's sorted per-page endurance
+//!   variances (and, in Baseline mode, per-block max variances),
+//! - parallel scalar columns for wear, committed capacity, cached
+//!   usable capacity, and the level-count cursors,
+//! - **one** shared [`MeanRberLut`] — the `powf` memo that the legacy
+//!   path pays per device is filled once per cohort.
+//!
+//! # Equivalence contract
+//!
+//! Every number a cohort computes is produced by the *same expression*
+//! the reference device evaluates, in the same order:
+//!
+//! - variances are drawn from the same per-device seed stream and
+//!   sorted into the same ascending sequence (`total_cmp` on values
+//!   from `exp()` — always positive, never NaN — orders exactly like
+//!   the old `partial_cmp` sort);
+//! - usable capacity is a pure function of `floor(wear)` (and
+//!   `floor(wear / rebirth_ratio)` when rebirth is on), so the cohort
+//!   caches it per device and recomputes only on floor crossings — a
+//!   recompute evaluates the identical cut/partition expressions
+//!   against the shared LUT, which is bit-exact per integer PEC;
+//! - the per-day wear increment `host·WA / usable` is evaluated with
+//!   the same association (`hw / usable` with `hw = host·WA`
+//!   precomputed, exactly the left-associated legacy expression);
+//! - the cut cursors walk to the same index `partition_point` returns
+//!   on a sorted NaN-free array, amortizing the per-day binary
+//!   searches to O(pages crossed).
+//!
+//! Devices in a cohort share only read-only config and the LUT (whose
+//! entries never depend on query order), so cohort boundaries and
+//! thread count cannot influence any trajectory. The equivalence is
+//! enforced by unit tests here, a proptest in
+//! `tests/cohort_equivalence.rs`, and byte-identical golden CSVs in
+//! the bench suite.
+
+use crate::device::{
+    initial_committed, max_level_for, minidisk_quantum, rebirth_endurance_ratio, StatDeviceConfig,
+    StatMode,
+};
+use salamander_flash::rber::MeanRberLut;
+
+/// A batch of statistical devices in struct-of-arrays layout.
+///
+/// All devices share one [`StatDeviceConfig`]; per-device randomness
+/// enters only through the construction seeds. Indexing is positional:
+/// device `d` of the cohort is the device built from `seeds[d]`.
+#[derive(Debug, Clone)]
+pub struct Cohort {
+    cfg: StatDeviceConfig,
+    /// Shared wear → mean-RBER memo (the legacy path's per-device LUT,
+    /// filled once per cohort).
+    lut: MeanRberLut,
+    /// Tiredness thresholds (max RBER per level).
+    thresholds: Vec<f64>,
+    /// Usable levels = `max_level + 1` (1 for Baseline/Shrink).
+    levels: usize,
+    /// fPages per device.
+    n_pages: usize,
+    /// Blocks per device (only tracked in Baseline mode).
+    n_blocks: usize,
+    /// oPages per fresh fPage.
+    per: u64,
+    /// Minidisk quantum (≥ 1).
+    msize: u64,
+    /// Initial committed capacity (identical across the cohort).
+    initial: u64,
+    /// Endurance multiplier of the rebirth mode vs TLC (1.0 = off).
+    rebirth_ratio: f64,
+
+    /// `n × n_pages` slab of per-page variances, each device's slice
+    /// sorted ascending.
+    variances: Vec<f64>,
+    /// `n × n_blocks` slab of per-block max variances, sorted per
+    /// device; empty unless Baseline.
+    block_max: Vec<f64>,
+
+    // ---- per-device columns ----
+    /// Uniform wear (erase cycles per page).
+    wear: Vec<f64>,
+    /// Precomputed daily wear numerator: `host_opages · WA`.
+    hw: Vec<f64>,
+    /// Committed logical capacity in oPages (0 once dead).
+    committed: Vec<u64>,
+    /// Cached usable capacity at the current wear floor.
+    usable: Vec<u64>,
+    /// Cached quantized backable capacity (Shrink/Regen).
+    backable: Vec<u64>,
+    /// Cached bad-block fraction (Baseline).
+    bad_frac: Vec<f64>,
+    /// Wear floor the caches were computed at (`u32::MAX` = never).
+    wear_floor: Vec<u32>,
+    /// Reborn-wear floor the caches were computed at.
+    reborn_floor: Vec<u32>,
+    /// Earliest wear floor at which any cut cursor *could* move again
+    /// (a conservative lower bound; see [`Self::recompute`]). Until
+    /// then the cached capacity state is provably current and
+    /// [`Self::step`] skips the recompute entirely. Unused when
+    /// rebirth is configured.
+    next_check: Vec<u32>,
+    /// `n × levels` cumulative level-count cursors: entry `j` is the
+    /// number of pages with variance ≤ cut(threshold_j).
+    counts: Vec<u32>,
+    /// Cursor for the rebirth cut (pages still serviceable reborn).
+    reborn_ok: Vec<u32>,
+    /// Cursor for the Baseline block cut (blocks with no failed page).
+    block_ok: Vec<u32>,
+    dead: Vec<bool>,
+}
+
+/// The variance above which a page exceeds `threshold` at mean RBER
+/// `mean` — the cohort-side twin of `StatDevice::variance_cut`.
+fn cut_for(threshold: f64, mean: f64, safety: f64) -> f64 {
+    if mean <= 0.0 {
+        return f64::INFINITY;
+    }
+    threshold / (mean * safety)
+}
+
+/// Count of elements `<= cut` in an ascending NaN-free slice, starting
+/// the scan from a previous answer. Returns exactly what
+/// `sorted.partition_point(|&v| v <= cut)` returns (`>` is the exact
+/// negation of `<=` because neither side is ever NaN: variances come
+/// from `exp()` and `cut_for` maps degenerate means to `INFINITY`);
+/// the cursor only pays for the pages that crossed the cut since the
+/// last call.
+fn walk_cursor(sorted: &[f64], start: usize, cut: f64) -> usize {
+    let mut c = start.min(sorted.len());
+    while c > 0 && sorted[c - 1] > cut {
+        c -= 1;
+    }
+    while c < sorted.len() && sorted[c] <= cut {
+        c += 1;
+    }
+    c
+}
+
+impl Cohort {
+    /// Build `seeds.len()` devices of identical configuration; device
+    /// `d` draws its page-endurance variances from `seeds[d]`, exactly
+    /// like `StatDevice::new(cfg, seeds[d])`.
+    pub fn new(cfg: StatDeviceConfig, seeds: &[u64]) -> Self {
+        let n = seeds.len();
+        let n_pages = cfg.geometry.total_fpages() as usize;
+        let per_block = cfg.geometry.fpages_per_block as usize;
+        let baseline = matches!(cfg.mode, StatMode::Baseline);
+        let n_blocks = n_pages.div_ceil(per_block.max(1));
+        let thresholds = cfg.ecc.thresholds();
+        let levels = max_level_for(cfg.mode, thresholds.len()) as usize + 1;
+        let initial = initial_committed(&cfg);
+        let rebirth_ratio = rebirth_endurance_ratio(&cfg, &thresholds);
+
+        let mut variances = vec![0.0f64; n * n_pages];
+        let mut block_max = vec![0.0f64; if baseline { n * n_blocks } else { 0 }];
+        for (d, &seed) in seeds.iter().enumerate() {
+            let vs = &mut variances[d * n_pages..(d + 1) * n_pages];
+            cfg.rber.draw_variances_into(seed, vs);
+            if baseline {
+                // Block maxima come from the *draw-ordered* pages,
+                // before the sort, like the legacy constructor.
+                for (b, chunk) in vs.chunks(per_block.max(1)).enumerate() {
+                    block_max[d * n_blocks + b] = chunk.iter().cloned().fold(0.0, f64::max);
+                }
+            }
+            vs.sort_unstable_by(f64::total_cmp);
+            if baseline {
+                block_max[d * n_blocks..(d + 1) * n_blocks].sort_unstable_by(f64::total_cmp);
+            }
+        }
+
+        let mut cohort = Cohort {
+            lut: MeanRberLut::new(cfg.rber),
+            thresholds,
+            levels,
+            n_pages,
+            n_blocks,
+            per: cfg.geometry.opages_per_fpage() as u64,
+            msize: minidisk_quantum(&cfg),
+            initial,
+            rebirth_ratio,
+            cfg,
+            variances,
+            block_max,
+            wear: vec![0.0; n],
+            hw: vec![0.0; n],
+            committed: vec![initial; n],
+            usable: vec![0; n],
+            backable: vec![0; n],
+            bad_frac: vec![0.0; n],
+            wear_floor: vec![u32::MAX; n],
+            reborn_floor: vec![0; n],
+            next_check: vec![0; n],
+            counts: vec![0; n * levels],
+            reborn_ok: vec![0; n],
+            block_ok: vec![0; n],
+            dead: vec![initial == 0; n],
+        };
+        for d in 0..n {
+            cohort.recompute(d);
+        }
+        cohort
+    }
+
+    /// Number of devices in the cohort.
+    pub fn len(&self) -> usize {
+        self.wear.len()
+    }
+
+    /// Whether the cohort holds no devices.
+    pub fn is_empty(&self) -> bool {
+        self.wear.is_empty()
+    }
+
+    /// Initial committed capacity (identical for every device).
+    pub fn initial_opages(&self) -> u64 {
+        self.initial
+    }
+
+    /// Whether device `d` has failed.
+    pub fn is_dead(&self, d: usize) -> bool {
+        self.dead[d]
+    }
+
+    /// Force-fail device `d` (AFR events, operator retirement).
+    pub fn kill(&mut self, d: usize) {
+        self.dead[d] = true;
+        self.committed[d] = 0;
+    }
+
+    /// Committed logical capacity of device `d` in oPages.
+    pub fn committed_opages(&self, d: usize) -> u64 {
+        self.committed[d]
+    }
+
+    /// Current wear of device `d` (average erase cycles per page).
+    pub fn wear(&self, d: usize) -> f64 {
+        self.wear[d]
+    }
+
+    /// Usable capacity of device `d` in oPages (cached; identical to
+    /// `StatDevice::usable_opages` at the same wear).
+    pub fn usable_opages(&self, d: usize) -> u64 {
+        self.usable[d]
+    }
+
+    /// Set the host writes device `d` absorbs per [`Self::step`].
+    pub fn set_daily_writes(&mut self, d: usize, host_opages: u64) {
+        self.hw[d] = host_opages as f64 * self.cfg.write_amplification;
+    }
+
+    /// Advance device `d` by one day of its configured write load —
+    /// the cohort-side twin of `StatDevice::apply_writes`: wear spreads
+    /// over the usable pool, then the mode's capacity protocol runs.
+    pub fn step(&mut self, d: usize) {
+        if self.dead[d] {
+            return;
+        }
+        let usable = self.usable[d].max(1);
+        self.wear[d] += self.hw[d] / usable as f64;
+        let fl = self.wear[d] as u32;
+        // A recompute is only needed when some cursor can actually
+        // move. Cuts shrink monotonically with wear, so `recompute`
+        // pre-derives the earliest floor at which the next page could
+        // cross one (`next_check`); until then the cached state is the
+        // exact state a from-scratch recompute would produce. Rebirth
+        // couples a second, rescaled floor into the cuts, so that mode
+        // keeps the plain floor-change check.
+        let stale = if self.cfg.rebirth.is_some() {
+            fl != self.wear_floor[d]
+                || (self.wear[d] / self.rebirth_ratio) as u32 != self.reborn_floor[d]
+        } else {
+            fl >= self.next_check[d]
+        };
+        if stale {
+            self.recompute(d);
+        }
+        match self.cfg.mode {
+            StatMode::Baseline => {
+                if self.bad_frac[d] > self.cfg.bad_block_limit {
+                    self.kill(d);
+                }
+            }
+            StatMode::Shrink | StatMode::Regen { .. } => {
+                self.committed[d] = self.committed[d].min(self.backable[d]).min(self.initial);
+                if self.committed[d] == 0 {
+                    self.kill(d);
+                }
+            }
+        }
+    }
+
+    /// Advance device `d` through up to `max_days` *quiet* days — days
+    /// that provably trigger no recompute and therefore change nothing
+    /// but wear. Returns the days consumed (possibly 0).
+    ///
+    /// While the wear floor stays below `next_check`, a [`Self::step`]
+    /// day reduces to `wear += hw / usable` with a bitwise-frozen
+    /// increment (usable only changes on recompute), followed by an
+    /// idempotent capacity clamp against frozen caches. This method
+    /// runs exactly that addition, re-checking the floor against the
+    /// bound after every day so a crossing is never jumped over; the
+    /// day that would recompute is left for the next [`Self::step`]
+    /// call, which re-adds the same increment to the same wear bits.
+    /// Rebirth couples a second floor into the cuts, so rebirth
+    /// configurations take no quiet days.
+    pub fn run_quiet_days(&mut self, d: usize, max_days: u32) -> u32 {
+        if max_days == 0 || self.dead[d] || self.cfg.rebirth.is_some() {
+            return 0;
+        }
+        let inc = self.hw[d] / self.usable[d].max(1) as f64;
+        let nc = self.next_check[d];
+        let mut w = self.wear[d];
+        let mut taken = 0u32;
+        while taken < max_days {
+            let next = w + inc;
+            if (next as u32) >= nc {
+                break;
+            }
+            w = next;
+            taken += 1;
+        }
+        self.wear[d] = w;
+        taken
+    }
+
+    /// Refresh the cached capacity state of device `d` for its current
+    /// wear floor: per-level cut cursors, usable/reborn capacity, and
+    /// the mode-specific brick/backable inputs. Called only on floor
+    /// crossings; every expression mirrors the reference device.
+    fn recompute(&mut self, d: usize) {
+        let fl = self.wear[d] as u32;
+        let mean = self.lut.mean_rber(fl);
+        let vbase = d * self.n_pages;
+        let cbase = d * self.levels;
+        let mut regular = 0u64;
+        let mut prev = 0u64;
+        for j in 0..self.levels {
+            let cut = cut_for(self.thresholds[j], mean, self.cfg.safety);
+            let c = walk_cursor(
+                &self.variances[vbase..vbase + self.n_pages],
+                self.counts[cbase + j] as usize,
+                cut,
+            ) as u64;
+            self.counts[cbase + j] = c as u32;
+            regular += (self.per - j as u64) * (c - prev);
+            prev = c;
+        }
+        let reborn = if let Some(mode) = self.cfg.rebirth {
+            // `prev` is the cumulative count at the last usable level,
+            // i.e. `count_below(dead_cut)` in the reference device.
+            let dead_count = self.n_pages as u64 - prev;
+            let reborn_wear = self.wear[d] / self.rebirth_ratio;
+            let rmean = self.lut.mean_rber(reborn_wear as u32);
+            let rcut = cut_for(self.thresholds[self.levels - 1], rmean, self.cfg.safety);
+            let ok = walk_cursor(
+                &self.variances[vbase..vbase + self.n_pages],
+                self.reborn_ok[d] as usize,
+                rcut,
+            ) as u64;
+            self.reborn_ok[d] = ok as u32;
+            let still_ok = ok.saturating_sub(prev);
+            let reborn_pages = still_ok.min(dead_count);
+            self.reborn_floor[d] = reborn_wear as u32;
+            (reborn_pages as f64 * self.per as f64 * mode.capacity_vs_tlc()) as u64
+        } else {
+            0
+        };
+        let usable = regular + reborn;
+        self.usable[d] = usable;
+        match self.cfg.mode {
+            StatMode::Baseline => {
+                let cut0 = cut_for(self.thresholds[0], mean, self.cfg.safety);
+                let bbase = d * self.n_blocks;
+                let ok = walk_cursor(
+                    &self.block_max[bbase..bbase + self.n_blocks],
+                    self.block_ok[d] as usize,
+                    cut0,
+                );
+                self.block_ok[d] = ok as u32;
+                self.bad_frac[d] = 1.0 - ok as f64 / self.n_blocks as f64;
+            }
+            StatMode::Shrink | StatMode::Regen { .. } => {
+                let reserve = (usable as f64 * self.cfg.op_fraction) as u64;
+                self.backable[d] = usable.saturating_sub(reserve) / self.msize * self.msize;
+            }
+        }
+        self.wear_floor[d] = fl;
+        if self.cfg.rebirth.is_none() {
+            self.next_check[d] = self.next_change_floor(d, fl);
+        }
+    }
+
+    /// Lower bound on the first wear floor after `fl` at which any cut
+    /// cursor of device `d` could move.
+    ///
+    /// Cursor `j` sits at count `c`: the next page to fall out is
+    /// `variances[c-1]`, and it falls when `cut_j < v`, i.e. when the
+    /// mean RBER exceeds `threshold_j / (safety · v)`. The analytic
+    /// inverse [`RberModel::pec_at_rber`] gives that PEC directly; its
+    /// rounding error against the memoized forward `powf` is far below
+    /// one cycle wherever the curve has slope, so one floor of margin
+    /// makes the bound conservative. A recompute that fires early is
+    /// harmless (it recomputes the exact state and pushes the bound
+    /// out); the bound is never allowed past the crossing itself.
+    fn next_change_floor(&self, d: usize, fl: u32) -> u32 {
+        let model = self.lut.model();
+        let vbase = d * self.n_pages;
+        let cbase = d * self.levels;
+        let mut next = u32::MAX;
+        for j in 0..self.levels {
+            let c = self.counts[cbase + j] as usize;
+            if c == 0 {
+                continue; // already below every page; cannot move again
+            }
+            let needed = self.thresholds[j] / (self.cfg.safety * self.variances[vbase + c - 1]);
+            next = next.min(model.pec_at_rber(needed));
+        }
+        if matches!(self.cfg.mode, StatMode::Baseline) {
+            let ok = self.block_ok[d] as usize;
+            if ok > 0 {
+                let v = self.block_max[d * self.n_blocks + ok - 1];
+                let needed = self.thresholds[0] / (self.cfg.safety * v);
+                next = next.min(model.pec_at_rber(needed));
+            }
+        }
+        next.saturating_sub(1).max(fl.saturating_add(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::StatDevice;
+    use salamander_ecc::profile::Tiredness;
+    use salamander_flash::geometry::FlashGeometry;
+    use salamander_flash::voltage::CellMode;
+
+    fn cfg(mode: StatMode) -> StatDeviceConfig {
+        StatDeviceConfig {
+            geometry: FlashGeometry::small_test(),
+            ..StatDeviceConfig::datacenter(mode)
+        }
+    }
+
+    /// Step a cohort-of-one and a reference device in lockstep,
+    /// asserting identical committed/usable/wear/death at every step.
+    fn assert_lockstep(cfg: StatDeviceConfig, seed: u64, daily: u64, max_days: u32) {
+        let mut dev = StatDevice::new(cfg, seed);
+        let mut cohort = Cohort::new(cfg, &[seed]);
+        assert_eq!(cohort.initial_opages(), dev.initial_opages());
+        assert_eq!(cohort.is_dead(0), dev.is_dead(), "birth state");
+        cohort.set_daily_writes(0, daily);
+        for day in 0..max_days {
+            dev.apply_writes(daily);
+            cohort.step(0);
+            assert_eq!(
+                cohort.committed_opages(0),
+                dev.committed_opages(),
+                "day {day}: committed diverged"
+            );
+            assert_eq!(
+                cohort.wear(0).to_bits(),
+                dev.wear().to_bits(),
+                "day {day}: wear diverged"
+            );
+            assert_eq!(cohort.is_dead(0), dev.is_dead(), "day {day}: liveness");
+            if !dev.is_dead() {
+                assert_eq!(
+                    cohort.usable_opages(0),
+                    dev.usable_opages(),
+                    "day {day}: usable diverged"
+                );
+            }
+            if dev.is_dead() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn cohort_of_one_matches_reference_device_all_modes() {
+        for mode in [
+            StatMode::Baseline,
+            StatMode::Shrink,
+            StatMode::Regen {
+                max_level: Tiredness::L1,
+            },
+            StatMode::Regen {
+                max_level: Tiredness::L3,
+            },
+        ] {
+            for seed in [1u64, 7, 42] {
+                assert_lockstep(cfg(mode), seed, 50_000, 20_000);
+            }
+        }
+    }
+
+    #[test]
+    fn cohort_matches_reference_with_rebirth() {
+        for cell in [CellMode::Slc, CellMode::Mlc, CellMode::Tlc] {
+            let c = StatDeviceConfig {
+                rebirth: Some(cell),
+                mode: StatMode::Regen {
+                    max_level: Tiredness::L1,
+                },
+                ..cfg(StatMode::Shrink)
+            };
+            assert_lockstep(c, 3, 50_000, 60_000);
+        }
+    }
+
+    #[test]
+    fn cohort_members_are_independent() {
+        // A 3-device cohort must reproduce each device's solo
+        // trajectory: neighbours share nothing but read-only state.
+        let c = cfg(StatMode::Shrink);
+        let seeds = [11u64, 12, 13];
+        let mut cohort = Cohort::new(c, &seeds);
+        let mut solos: Vec<StatDevice> = seeds.iter().map(|&s| StatDevice::new(c, s)).collect();
+        for d in 0..3 {
+            cohort.set_daily_writes(d, 40_000);
+        }
+        for _ in 0..30_000 {
+            // Step in a scrambled order to prove order-independence.
+            for &d in &[2usize, 0, 1] {
+                cohort.step(d);
+                solos[d].apply_writes(40_000);
+            }
+            for (d, solo) in solos.iter().enumerate() {
+                assert_eq!(cohort.committed_opages(d), solo.committed_opages());
+                assert_eq!(cohort.is_dead(d), solo.is_dead());
+            }
+            if (0..3).all(|d| cohort.is_dead(d)) {
+                break;
+            }
+        }
+        assert!((0..3).all(|d| cohort.is_dead(d)), "devices should die");
+    }
+
+    #[test]
+    fn kill_is_terminal() {
+        let mut cohort = Cohort::new(cfg(StatMode::Shrink), &[5]);
+        cohort.set_daily_writes(0, 1000);
+        cohort.kill(0);
+        assert!(cohort.is_dead(0));
+        assert_eq!(cohort.committed_opages(0), 0);
+        cohort.step(0);
+        assert_eq!(cohort.committed_opages(0), 0);
+    }
+
+    #[test]
+    fn empty_cohort_is_fine() {
+        let cohort = Cohort::new(cfg(StatMode::Shrink), &[]);
+        assert!(cohort.is_empty());
+        assert_eq!(cohort.len(), 0);
+    }
+
+    #[test]
+    fn born_dead_device_in_cohort() {
+        let c = StatDeviceConfig {
+            msize_opages: 4096, // larger than the 952-oPage logical space
+            ..cfg(StatMode::Shrink)
+        };
+        let cohort = Cohort::new(c, &[1, 2]);
+        assert!(cohort.is_dead(0) && cohort.is_dead(1));
+        assert_eq!(cohort.committed_opages(0), 0);
+    }
+
+    #[test]
+    fn walk_cursor_equals_partition_point() {
+        let sorted = [0.5, 1.0, 1.0, 2.0, 3.5];
+        for cut in [0.0, 0.5, 0.75, 1.0, 2.0, 4.0, f64::INFINITY] {
+            let want = sorted.partition_point(|&v| v <= cut);
+            for start in 0..=sorted.len() {
+                assert_eq!(
+                    walk_cursor(&sorted, start, cut),
+                    want,
+                    "cut {cut} start {start}"
+                );
+            }
+        }
+        assert_eq!(walk_cursor(&[], 0, 1.0), 0);
+    }
+}

@@ -65,6 +65,41 @@ pub struct StatDeviceConfig {
     pub rebirth: Option<CellMode>,
 }
 
+/// Minidisk quantum with a degenerate `msize_opages == 0` treated as 1
+/// (no quantization) instead of dividing by zero.
+pub(crate) fn minidisk_quantum(cfg: &StatDeviceConfig) -> u64 {
+    cfg.msize_opages.max(1)
+}
+
+/// Initial committed capacity: the logical (post-OP) capacity rounded
+/// down to whole minidisks. Shared by [`StatDevice`] and the cohort
+/// engine so the two paths can never disagree on day-0 state.
+pub(crate) fn initial_committed(cfg: &StatDeviceConfig) -> u64 {
+    let raw = cfg.geometry.total_opages();
+    let logical = (raw as f64 * (1.0 - cfg.op_fraction)) as u64;
+    logical / minidisk_quantum(cfg) * minidisk_quantum(cfg)
+}
+
+/// Endurance multiplier of the rebirth mode vs TLC (1.0 = disabled).
+pub(crate) fn rebirth_endurance_ratio(cfg: &StatDeviceConfig, thresholds: &[f64]) -> f64 {
+    match cfg.rebirth {
+        None => 1.0,
+        Some(mode) => {
+            let v = VoltageModel::default();
+            let tlc = v.endurance(CellMode::Tlc, thresholds[0]).max(1) as f64;
+            v.endurance(mode, thresholds[0]) as f64 / tlc
+        }
+    }
+}
+
+/// Max usable tiredness level for `mode` given the threshold table.
+pub(crate) fn max_level_for(mode: StatMode, n_thresholds: usize) -> u32 {
+    match mode {
+        StatMode::Baseline | StatMode::Shrink => 0,
+        StatMode::Regen { max_level } => max_level.index().min(n_thresholds as u32 - 1),
+    }
+}
+
 impl StatDeviceConfig {
     /// Default datacenter-style device: medium geometry, default wear.
     pub fn datacenter(mode: StatMode) -> Self {
@@ -117,20 +152,14 @@ impl StatDevice {
             .chunks(per_block)
             .map(|c| c.iter().cloned().fold(0.0, f64::max))
             .collect();
-        variances.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        block_max.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // `total_cmp` instead of `partial_cmp().unwrap()`: a NaN from a
+        // degenerate model tweak must never panic the construction path
+        // (it sorts last and falls out of every `<= cut` count instead).
+        variances.sort_unstable_by(f64::total_cmp);
+        block_max.sort_unstable_by(f64::total_cmp);
         let thresholds = cfg.ecc.thresholds();
-        let raw = cfg.geometry.total_opages();
-        let logical = (raw as f64 * (1.0 - cfg.op_fraction)) as u64;
-        let committed = logical / cfg.msize_opages * cfg.msize_opages;
-        let rebirth_endurance_ratio = match cfg.rebirth {
-            None => 1.0,
-            Some(mode) => {
-                let v = VoltageModel::default();
-                let tlc = v.endurance(CellMode::Tlc, thresholds[0]).max(1) as f64;
-                v.endurance(mode, thresholds[0]) as f64 / tlc
-            }
-        };
+        let committed = initial_committed(&cfg);
+        let rebirth_endurance_ratio = rebirth_endurance_ratio(&cfg, &thresholds);
         StatDevice {
             cfg,
             variances,
@@ -141,7 +170,10 @@ impl StatDevice {
             initial_committed: committed,
             rebirth_endurance_ratio,
             mean_lut: MeanRberLut::new(cfg.rber),
-            dead: false,
+            // A device whose geometry cannot back even one minidisk is
+            // born dead — it must not haunt the fleet as a zero-capacity
+            // survivor.
+            dead: committed == 0,
         }
     }
 
@@ -173,12 +205,7 @@ impl StatDevice {
 
     /// Max usable tiredness level for the current mode.
     fn max_level(&self) -> u32 {
-        match self.cfg.mode {
-            StatMode::Baseline | StatMode::Shrink => 0,
-            StatMode::Regen { max_level } => {
-                max_level.index().min(self.thresholds.len() as u32 - 1)
-            }
-        }
+        max_level_for(self.cfg.mode, self.thresholds.len())
     }
 
     /// The variance above which a page at wear `w` exceeds `threshold`.
@@ -246,8 +273,12 @@ impl StatDevice {
             last_threshold / (mean * self.cfg.safety)
         };
         let dead_count = self.variances.len() as u64 - self.count_below(&self.variances, dead_cut);
-        let still_ok = self.count_below(&self.variances, reborn_cut)
-            - self.count_below(&self.variances, dead_cut);
+        // `saturating_sub`: the cuts satisfy `reborn_cut >= dead_cut` for
+        // every real cell mode (rebirth never *raises* density), but a
+        // hostile config must clamp to zero, not underflow.
+        let still_ok = self
+            .count_below(&self.variances, reborn_cut)
+            .saturating_sub(self.count_below(&self.variances, dead_cut));
         let reborn_pages = still_ok.min(dead_count);
         let per = self.cfg.geometry.opages_per_fpage() as f64;
         (reborn_pages as f64 * per * mode.capacity_vs_tlc()) as u64
@@ -286,8 +317,8 @@ impl StatDevice {
                 // minidisk quanta, keeping the OP reserve.
                 let usable = self.usable_opages();
                 let reserve = (usable as f64 * self.cfg.op_fraction) as u64;
-                let backable =
-                    usable.saturating_sub(reserve) / self.cfg.msize_opages * self.cfg.msize_opages;
+                let msize = minidisk_quantum(&self.cfg);
+                let backable = usable.saturating_sub(reserve) / msize * msize;
                 // Monotone non-increasing: regenerated capacity at lower
                 // levels is already inside `usable`, so `backable` includes
                 // it; a Salamander device never grows past its start.
@@ -407,6 +438,57 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         assert_eq!(lifetime(StatMode::Shrink, 7), lifetime(StatMode::Shrink, 7));
+    }
+
+    #[test]
+    fn committed_capacity_is_whole_minidisks() {
+        // Logical capacity here is 1024·0.93 = 952 oPages, deliberately
+        // not a multiple of the 100-oPage quantum: committed must round
+        // *down* to 900, never up past what the pool can back.
+        let c = StatDeviceConfig {
+            msize_opages: 100,
+            ..cfg(StatMode::Shrink)
+        };
+        let d = StatDevice::new(c, 1);
+        assert_eq!(d.committed_opages(), 900);
+        assert_eq!(d.committed_opages() % 100, 0);
+    }
+
+    #[test]
+    fn zero_minidisk_quantum_means_no_quantization() {
+        // msize_opages == 0 used to divide by zero; it now degrades to a
+        // 1-oPage quantum (no rounding) instead of panicking.
+        let c = StatDeviceConfig {
+            msize_opages: 0,
+            ..cfg(StatMode::Shrink)
+        };
+        let mut d = StatDevice::new(c, 1);
+        assert_eq!(d.committed_opages(), 952); // 1024 · (1 − 0.07)
+        d.apply_writes(50_000);
+        assert!(d.committed_opages() <= 952);
+    }
+
+    #[test]
+    fn device_too_small_for_one_minidisk_is_born_dead() {
+        // A quantum larger than the logical capacity leaves nothing to
+        // commit; such a device must be dead from day 0 in every mode,
+        // not a zero-capacity immortal (Baseline ignored `committed`).
+        for mode in [
+            StatMode::Baseline,
+            StatMode::Shrink,
+            StatMode::Regen {
+                max_level: Tiredness::L1,
+            },
+        ] {
+            let c = StatDeviceConfig {
+                msize_opages: 4096, // > 952 logical oPages
+                ..cfg(mode)
+            };
+            let mut d = StatDevice::new(c, 1);
+            assert_eq!(d.committed_opages(), 0, "{mode:?}");
+            assert!(d.is_dead(), "{mode:?}: zero-capacity device must be dead");
+            assert_eq!(d.apply_writes(1000), 0, "{mode:?}");
+        }
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! differentiates a bricking baseline (devices vanish whole) from
 //! Salamander (devices shed capacity gradually and live longer).
 
+use crate::cohort::Cohort;
 use crate::device::{StatDevice, StatDeviceConfig};
+use rand::distributions::{Bernoulli, Distribution};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use salamander_exec::{derive_seed, Threads};
@@ -86,11 +88,19 @@ impl FleetTimeline {
     /// "Half dead" means `dead >= ceil(n/2)` — written as `2·dead >= n`
     /// to stay exact for odd fleet sizes (a fleet of 5 reaches
     /// half-dead at the 3rd death, not the 2nd).
+    ///
+    /// An empty timeline, or one that starts with zero devices, has no
+    /// meaningful half-life and returns `None`.
     pub fn half_fleet_dead_day(&self) -> Option<u32> {
-        let n = self.samples.first()?.alive;
+        let n = u64::from(self.samples.first()?.alive);
+        if n == 0 {
+            return None;
+        }
+        // u64 arithmetic: `2 * dead` overflows u32 for fleets past 2^31,
+        // and a malformed (growing) timeline must clamp, not underflow.
         self.samples
             .iter()
-            .find(|s| 2 * (n - s.alive) >= n)
+            .find(|s| 2 * n.saturating_sub(u64::from(s.alive)) >= n)
             .map(|s| s.day)
     }
 
@@ -100,16 +110,20 @@ impl FleetTimeline {
     /// past the final sample are outside the simulated range and
     /// return `None` — the run ended (horizon or fleet death) and the
     /// timeline has nothing to say about them.
+    ///
+    /// A timeline that starts at zero capacity (an empty or born-dead
+    /// fleet) has no meaningful fraction and returns `None` rather
+    /// than `0/0 = NaN`.
     pub fn capacity_fraction_at(&self, day: u32) -> Option<f64> {
-        let first = self.samples.first()?.capacity_opages as f64;
-        if day > self.samples.last()?.day {
+        let first = self.samples.first()?.capacity_opages;
+        if first == 0 || day > self.samples.last()?.day {
             return None;
         }
         self.samples
             .iter()
             .rev()
             .find(|s| s.day <= day)
-            .map(|s| s.capacity_opages as f64 / first)
+            .map(|s| s.capacity_opages as f64 / first as f64)
     }
 }
 
@@ -166,16 +180,78 @@ struct DeviceTrack {
     initial: u64,
 }
 
+/// Which implementation ages the fleet.
+///
+/// Both engines implement the identical statistical model from
+/// identical per-device seed streams, so they produce byte-identical
+/// timelines, traces, and metrics (enforced by
+/// `tests/cohort_equivalence.rs` and the golden-output suite). The
+/// cohort engine is the default; the per-device path remains as the
+/// reference implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FleetEngine {
+    /// One [`StatDevice`] per device — the original reference path.
+    PerDevice,
+    /// Struct-of-arrays [`Cohort`] sharding (DESIGN.md §13).
+    #[default]
+    Cohort,
+}
+
+impl FleetEngine {
+    /// Parse a CLI/env spelling: `cohort`, or `device` / `per-device` /
+    /// `legacy` for the reference path.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "cohort" => Some(FleetEngine::Cohort),
+            "device" | "per-device" | "per_device" | "legacy" => Some(FleetEngine::PerDevice),
+            _ => None,
+        }
+    }
+
+    /// Engine selected by `SALAMANDER_FLEET_ENGINE`, defaulting to
+    /// [`FleetEngine::Cohort`] when unset or unrecognized.
+    pub fn from_env() -> Self {
+        std::env::var("SALAMANDER_FLEET_ENGINE")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// Canonical spelling, round-trips through [`Self::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            FleetEngine::PerDevice => "device",
+            FleetEngine::Cohort => "cohort",
+        }
+    }
+}
+
 /// The fleet simulator.
 #[derive(Debug, Clone)]
 pub struct FleetSim {
     cfg: FleetConfig,
+    engine: FleetEngine,
 }
 
 impl FleetSim {
-    /// Build a simulator.
+    /// Build a simulator with the engine from
+    /// [`FleetEngine::from_env`].
     pub fn new(cfg: FleetConfig) -> Self {
-        FleetSim { cfg }
+        FleetSim {
+            cfg,
+            engine: FleetEngine::from_env(),
+        }
+    }
+
+    /// Override the aging engine (CLI flags, equivalence tests).
+    pub fn with_engine(mut self, engine: FleetEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine this simulator ages devices with.
+    pub fn engine(&self) -> FleetEngine {
+        self.engine
     }
 
     /// Run to the horizon (or total fleet death) and return the timeline.
@@ -348,25 +424,187 @@ impl FleetSim {
         }
     }
 
-    /// Fan the per-device aging out over the execution engine.
-    /// `progress` is bumped per simulated device-day (monotone
-    /// watermarks and adds, so any task interleave reports the same
-    /// totals); pass a disabled handle when nothing watches.
+    /// Sampling grid: every `sample_every_days`, plus the horizon. A
+    /// zero interval means "sample every day" rather than dividing by
+    /// zero.
+    fn sample_grid(cfg: &FleetConfig) -> Vec<u32> {
+        let every = cfg.sample_every_days.max(1);
+        (1..=cfg.horizon_days)
+            .filter(|d| d % every == 0 || *d == cfg.horizon_days)
+            .collect()
+    }
+
+    /// Fan the device aging out over the execution engine via the
+    /// selected [`FleetEngine`]. `progress` is bumped per simulated
+    /// device-day (monotone watermarks and adds, so any task
+    /// interleave reports the same totals); pass a disabled handle
+    /// when nothing watches.
     fn age_fleet(
         &self,
         threads: Threads,
         progress: &ProgressHandle,
     ) -> (Vec<u32>, Vec<DeviceTrack>) {
         let cfg = &self.cfg;
-        // Sampling grid: every `sample_every_days`, plus the horizon.
-        let grid: Vec<u32> = (1..=cfg.horizon_days)
-            .filter(|d| d % cfg.sample_every_days == 0 || *d == cfg.horizon_days)
-            .collect();
-        let indices: Vec<u32> = (0..cfg.devices).collect();
-        let tracks = salamander_exec::par_map(threads, &indices, |_, &i| {
-            Self::age_device(cfg, i, &grid, progress)
-        });
+        let grid = Self::sample_grid(cfg);
+        let tracks = match self.engine {
+            FleetEngine::PerDevice => {
+                let indices: Vec<u32> = (0..cfg.devices).collect();
+                salamander_exec::par_map(threads, &indices, |_, &i| {
+                    Self::age_device(cfg, i, &grid, progress)
+                })
+            }
+            FleetEngine::Cohort => {
+                let shard = Self::cohort_shard(cfg) as u32;
+                let ranges: Vec<(u32, u32)> = (0..cfg.devices)
+                    .step_by(shard as usize)
+                    .map(|start| (start, (cfg.devices - start).min(shard)))
+                    .collect();
+                let shards = salamander_exec::par_map(threads, &ranges, |_, &(start, len)| {
+                    Self::age_cohort(cfg, start, len, &grid, progress)
+                });
+                shards.into_iter().flatten().collect()
+            }
+        };
         (grid, tracks)
+    }
+
+    /// Devices per cohort shard: bounded by a ~4 MiB variance-slab
+    /// budget (so in-flight memory stays at `workers × slab` even for
+    /// million-device fleets) and floored at 64 so the shared-LUT
+    /// amortization survives large-geometry devices.
+    fn cohort_shard(cfg: &FleetConfig) -> usize {
+        let bytes_per_device = (cfg.device.geometry.total_fpages() as usize * 8).max(1);
+        ((4 << 20) / bytes_per_device).clamp(64, 4096)
+    }
+
+    /// Age the device range `[start, start + len)` as one columnar
+    /// [`Cohort`], producing exactly the tracks
+    /// [`Self::age_device`] produces for those indices: seeds, RNG
+    /// streams, and every arithmetic expression match the reference
+    /// path (see `crate::cohort` for the equivalence argument).
+    fn age_cohort(
+        cfg: &FleetConfig,
+        start: u32,
+        len: u32,
+        grid: &[u32],
+        progress: &ProgressHandle,
+    ) -> Vec<DeviceTrack> {
+        let n = len as usize;
+        let glen = grid.len();
+        let horizon = cfg.horizon_days;
+        let seeds: Vec<u64> = (0..len)
+            .map(|i| cfg.seed.wrapping_add(1 + (start + i) as u64))
+            .collect();
+        let mut cohort = Cohort::new(cfg.device, &seeds);
+        let initial = cohort.initial_opages();
+        let daily_afr = 1.0 - (1.0 - cfg.afr).powf(1.0 / 365.0);
+        // Same draw stream as `gen_bool(daily_afr)`, threshold hoisted
+        // out of the scan loop (the fleet makes horizon × devices of
+        // these draws).
+        let afr_draw = Bernoulli::new(daily_afr);
+
+        // How far ahead a device's private AFR stream is scanned at a
+        // time. Scanning ahead is output-identical — the stream feeds
+        // nothing but the daily kill draw, and a device that dies of
+        // wear first simply never reads the surplus — and it is what
+        // lets the quiet-day fast path below jump whole windows
+        // instead of consulting the rng day by day. Chunking bounds
+        // the surplus draws for short-lived devices.
+        const AFR_SCAN_AHEAD: u32 = 255;
+
+        let mut caps = vec![0u64; n * glen];
+        let mut deaths: Vec<Option<(u32, DeathCause)>> = vec![None; n];
+        for d in 0..n {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(derive_seed(cfg.seed, (start + d as u32) as u64));
+            // Per-device load imbalance: lognormal with median 1.
+            let jitter = if cfg.dwpd_sigma > 0.0 {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (cfg.dwpd_sigma * z).exp()
+            } else {
+                1.0
+            };
+            cohort.set_daily_writes(d, (cfg.dwpd * jitter * initial as f64) as u64);
+
+            // First day the AFR draw fires (u32::MAX = not in the
+            // scanned prefix), and how many daily draws are consumed.
+            let mut afr_day = u32::MAX;
+            let mut scanned = 0u32;
+            let mut death = None;
+            let mut ops = 0u64;
+            let mut gi = 0usize;
+            let mut day = 1u32;
+            while day <= horizon {
+                if afr_day == u32::MAX && scanned < day {
+                    let upto = day.saturating_add(AFR_SCAN_AHEAD).min(horizon);
+                    while scanned < upto {
+                        scanned += 1;
+                        if afr_draw.sample(&mut rng) {
+                            afr_day = scanned;
+                            break;
+                        }
+                    }
+                }
+                cohort.step(d);
+                ops += 1;
+                if cohort.is_dead(d) {
+                    death = Some((day, DeathCause::Wear));
+                } else if day == afr_day {
+                    cohort.kill(d);
+                    death = Some((day, DeathCause::Afr));
+                }
+                if gi < glen && grid[gi] == day {
+                    caps[d * glen + gi] = cohort.committed_opages(d);
+                    gi += 1;
+                    // Progress is a fleet-wide day watermark; bumping
+                    // at sample granularity keeps the hot loop cheap.
+                    progress.set_day(day as u64);
+                }
+                if death.is_some() {
+                    break;
+                }
+                // Quiet fast-forward: days that provably change
+                // nothing but wear. The window must end before the
+                // next known AFR kill (or the scan frontier when none
+                // is known yet) and before the horizon; committed
+                // capacity is frozen across it, so sample-grid slots
+                // inside the window all record the same value.
+                let afr_bound = if afr_day == u32::MAX {
+                    scanned
+                } else {
+                    afr_day - 1
+                };
+                let quiet_cap = (horizon - day).min(afr_bound.saturating_sub(day));
+                let q = cohort.run_quiet_days(d, quiet_cap);
+                if q > 0 {
+                    ops += u64::from(q);
+                    if gi < glen && grid[gi] <= day + q {
+                        let committed = cohort.committed_opages(d);
+                        while gi < glen && grid[gi] <= day + q {
+                            caps[d * glen + gi] = committed;
+                            gi += 1;
+                        }
+                        progress.set_day(u64::from(grid[gi - 1]));
+                    }
+                    day += q;
+                }
+                day += 1;
+            }
+            deaths[d] = death;
+            progress.add_ops(ops);
+            progress.device_done();
+        }
+        // Slots past a death day stay zero — a dead device has zero
+        // committed capacity, matching the reference path's tail fill.
+        (0..n)
+            .map(|d| DeviceTrack {
+                caps: caps[d * glen..(d + 1) * glen].to_vec(),
+                death: deaths[d],
+                initial,
+            })
+            .collect()
     }
 
     /// Reduce per-device tracks to the fleet time series.
@@ -679,6 +917,147 @@ mod tests {
         let json = serde_json::to_string(&run.health).unwrap();
         let back: FleetHealth = serde_json::from_str(&json).unwrap();
         assert_eq!(run.health, back);
+    }
+
+    #[test]
+    fn cohort_engine_matches_per_device_engine() {
+        for mode in [
+            StatMode::Baseline,
+            StatMode::Shrink,
+            StatMode::Regen {
+                max_level: Tiredness::L1,
+            },
+        ] {
+            let sim = quick_sim(mode, 9);
+            let reference = sim
+                .clone()
+                .with_engine(FleetEngine::PerDevice)
+                .run_threads(Threads::fixed(1));
+            for threads in [1, 4] {
+                let cohort = sim
+                    .clone()
+                    .with_engine(FleetEngine::Cohort)
+                    .run_threads(Threads::fixed(threads));
+                assert_eq!(cohort, reference, "{mode:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn cohort_engine_matches_per_device_observed() {
+        let sim = quick_sim(StatMode::Shrink, 11);
+        let a = sim
+            .clone()
+            .with_engine(FleetEngine::PerDevice)
+            .run_observed(Threads::fixed(1), "fleet=eq", &Profiler::disabled());
+        let b = sim.clone().with_engine(FleetEngine::Cohort).run_observed(
+            Threads::fixed(4),
+            "fleet=eq",
+            &Profiler::disabled(),
+        );
+        assert_eq!(a.timeline, b.timeline);
+        assert_eq!(a.trace, b.trace, "traces must match across engines");
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.health, b.health);
+    }
+
+    #[test]
+    fn engines_agree_on_a_fleet_of_one() {
+        let mut sim = quick_sim(StatMode::Shrink, 13);
+        sim.cfg.devices = 1;
+        let a = sim
+            .clone()
+            .with_engine(FleetEngine::PerDevice)
+            .run_threads(Threads::fixed(1));
+        let b = sim
+            .with_engine(FleetEngine::Cohort)
+            .run_threads(Threads::fixed(4));
+        assert_eq!(a, b);
+        assert_eq!(a.samples[0].alive, 1);
+    }
+
+    #[test]
+    fn engines_agree_with_rebirth_enabled() {
+        let mut sim = quick_sim(
+            StatMode::Regen {
+                max_level: Tiredness::L1,
+            },
+            15,
+        );
+        sim.cfg.device.rebirth = Some(salamander_flash::voltage::CellMode::Slc);
+        let a = sim
+            .clone()
+            .with_engine(FleetEngine::PerDevice)
+            .run_threads(Threads::fixed(1));
+        let b = sim
+            .with_engine(FleetEngine::Cohort)
+            .run_threads(Threads::fixed(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn engine_parse_and_env_spellings() {
+        assert_eq!(FleetEngine::parse("cohort"), Some(FleetEngine::Cohort));
+        assert_eq!(FleetEngine::parse("Device"), Some(FleetEngine::PerDevice));
+        assert_eq!(
+            FleetEngine::parse("per-device"),
+            Some(FleetEngine::PerDevice)
+        );
+        assert_eq!(FleetEngine::parse("legacy"), Some(FleetEngine::PerDevice));
+        assert_eq!(FleetEngine::parse("warp"), None);
+        for e in [FleetEngine::Cohort, FleetEngine::PerDevice] {
+            assert_eq!(FleetEngine::parse(e.name()), Some(e), "name round-trips");
+        }
+        assert_eq!(FleetEngine::default(), FleetEngine::Cohort);
+    }
+
+    #[test]
+    fn half_fleet_dead_day_empty_or_zero_fleet_is_none() {
+        assert_eq!(tl(&[]).half_fleet_dead_day(), None);
+        // A fleet that starts empty has no half-life (used to report
+        // its first sample day).
+        assert_eq!(tl(&[(0, 0, 0), (10, 0, 0)]).half_fleet_dead_day(), None);
+    }
+
+    #[test]
+    fn half_fleet_dead_day_survives_giant_fleets() {
+        // dead = 2.5e9: `2 * dead` overflows u32 (the old arithmetic
+        // wrapped and missed the half-dead crossing entirely).
+        let t = tl(&[(0, 4_000_000_000, 100), (10, 1_500_000_000, 50)]);
+        assert_eq!(t.half_fleet_dead_day(), Some(10));
+    }
+
+    #[test]
+    fn capacity_fraction_of_zero_capacity_fleet_is_none() {
+        // 0/0 used to surface as Some(NaN).
+        let t = tl(&[(0, 0, 0), (10, 0, 0)]);
+        assert_eq!(t.capacity_fraction_at(0), None);
+        assert_eq!(t.capacity_fraction_at(10), None);
+        assert_eq!(tl(&[]).capacity_fraction_at(0), None);
+    }
+
+    #[test]
+    fn zero_sample_interval_samples_every_day() {
+        // sample_every_days == 0 used to panic on `day % 0`.
+        let device = StatDeviceConfig {
+            geometry: FlashGeometry::small_test(),
+            ..StatDeviceConfig::datacenter(StatMode::Shrink)
+        };
+        let cfg = FleetConfig {
+            devices: 2,
+            dwpd: 1.0,
+            dwpd_sigma: 0.0,
+            afr: 0.0,
+            horizon_days: 5,
+            sample_every_days: 0,
+            seed: 1,
+            device,
+        };
+        for engine in [FleetEngine::PerDevice, FleetEngine::Cohort] {
+            let t = FleetSim::new(cfg).with_engine(engine).run();
+            let days: Vec<u32> = t.samples.iter().map(|s| s.day).collect();
+            assert_eq!(days, vec![0, 1, 2, 3, 4, 5], "{engine:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Property-based equivalence gate for the cohort fleet engine
+//! (ISSUE 6): over random fleet configurations — device count, write
+//! pressure, load imbalance, AFR, horizon, mode, rebirth — the
+//! struct-of-arrays [`salamander_fleet::cohort::Cohort`] path produces
+//! the *same* `FleetTimeline` as the per-device `StatDevice` reference
+//! path, at one thread and at four. The unit tests in `crate::cohort`
+//! pin day-by-day lockstep on fixed configurations; this test walks
+//! the configuration space.
+
+use proptest::prelude::*;
+use salamander_ecc::profile::Tiredness;
+use salamander_exec::Threads;
+use salamander_flash::geometry::FlashGeometry;
+use salamander_flash::voltage::CellMode;
+use salamander_fleet::device::{StatDeviceConfig, StatMode};
+use salamander_fleet::sim::{FleetConfig, FleetEngine, FleetSim};
+
+fn stat_mode() -> impl Strategy<Value = StatMode> {
+    prop_oneof![
+        Just(StatMode::Baseline),
+        Just(StatMode::Shrink),
+        Just(StatMode::Regen {
+            max_level: Tiredness::L1
+        }),
+        Just(StatMode::Regen {
+            max_level: Tiredness::L3
+        }),
+    ]
+}
+
+fn rebirth() -> impl Strategy<Value = Option<CellMode>> {
+    prop_oneof![
+        3 => Just(None),
+        1 => Just(Some(CellMode::Slc)),
+        1 => Just(Some(CellMode::Mlc)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Timeline equality across engines and thread counts. Samples are
+    /// compared with `==` (exact integers and exact float bits): the
+    /// engines must agree to the last committed oPage on every sampled
+    /// day, for every death day, under every mode.
+    #[test]
+    fn cohort_engine_matches_per_device_reference(
+        devices in 1u32..=12,
+        dwpd in 0.5f64..8.0,
+        sigma in prop_oneof![Just(0.0f64), Just(0.25f64)],
+        afr in 0.0f64..0.05,
+        horizon in 50u32..=800,
+        sample_every in prop_oneof![Just(7u32), Just(30u32), Just(100u32)],
+        seed in any::<u64>(),
+        mode in stat_mode(),
+        rebirth in rebirth(),
+    ) {
+        let cfg = FleetConfig {
+            device: StatDeviceConfig {
+                geometry: FlashGeometry::small_test(),
+                rebirth,
+                ..StatDeviceConfig::datacenter(mode)
+            },
+            devices,
+            dwpd,
+            dwpd_sigma: sigma,
+            afr,
+            horizon_days: horizon,
+            sample_every_days: sample_every,
+            seed,
+        };
+        let reference = FleetSim::new(cfg)
+            .with_engine(FleetEngine::PerDevice)
+            .run_threads(Threads::fixed(1));
+        for threads in [1, 4] {
+            let cohort = FleetSim::new(cfg)
+                .with_engine(FleetEngine::Cohort)
+                .run_threads(Threads::fixed(threads));
+            prop_assert_eq!(
+                &reference,
+                &cohort,
+                "cohort engine diverged at {} thread(s)",
+                threads
+            );
+        }
+    }
+}

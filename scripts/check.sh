@@ -48,6 +48,20 @@ if grep -rn 'println!' crates/*/src \
     exit 1
 fi
 
+# Float sorts must be NaN-total: a NaN from a degenerate configuration
+# must produce a deterministic order (and surface downstream), never a
+# panic inside a comparator. `f64::total_cmp` is the only accepted
+# float comparator in sorts; `partial_cmp().unwrap()` has bitten twice
+# (fleet variance sort, bench percentile sort).
+echo "==> checking for NaN-unsafe float sorts (partial_cmp in sort_*)"
+if grep -rn 'sort[a-z_]*(' crates/*/src crates/*/tests vendor/*/src \
+    --include='*.rs' -A2 |
+    grep 'partial_cmp' |
+    grep -v '^\s*//'; then
+    echo "error: float sort via partial_cmp; use f64::total_cmp instead" >&2
+    exit 1
+fi
+
 if [ "$quick" -eq 0 ]; then
     run cargo build --release --workspace
 fi

@@ -7,7 +7,7 @@ use salamander::config::{Mode, SsdConfig};
 use salamander::sim::EnduranceSim;
 use salamander_exec::Threads;
 use salamander_fleet::device::{StatDeviceConfig, StatMode};
-use salamander_fleet::sim::{FleetConfig, FleetSim};
+use salamander_fleet::sim::{FleetConfig, FleetEngine, FleetSim};
 use salamander_obs::{trace, MetricsRegistry, Profiler};
 
 /// Render a full compare-modes run (all mode shards merged in mode
@@ -60,7 +60,7 @@ fn endurance_trace_is_byte_identical_across_thread_counts() {
     assert_eq!(trace::to_jsonl(&parsed), trace_serial);
 }
 
-fn fleet_telemetry(threads: Threads) -> (String, String, String) {
+fn fleet_telemetry(threads: Threads, engine: FleetEngine) -> (String, String, String) {
     let sim = FleetSim::new(FleetConfig {
         device: StatDeviceConfig::datacenter(StatMode::Shrink),
         devices: 40,
@@ -70,7 +70,8 @@ fn fleet_telemetry(threads: Threads) -> (String, String, String) {
         horizon_days: 1500,
         sample_every_days: 100,
         seed: 42,
-    });
+    })
+    .with_engine(engine);
     let o = sim.run_observed(threads, "fleet=determinism", &Profiler::disabled());
     let health = serde_json::to_string(&o.health).expect("fleet health serializes");
     (trace::to_jsonl(&o.trace), o.metrics.render(), health)
@@ -78,13 +79,35 @@ fn fleet_telemetry(threads: Threads) -> (String, String, String) {
 
 #[test]
 fn fleet_trace_is_byte_identical_across_thread_counts() {
-    let (trace_serial, metrics_serial, health_serial) = fleet_telemetry(Threads::fixed(1));
-    let (trace_parallel, metrics_parallel, health_parallel) = fleet_telemetry(Threads::fixed(4));
+    let (trace_serial, metrics_serial, health_serial) =
+        fleet_telemetry(Threads::fixed(1), FleetEngine::PerDevice);
+    let (trace_parallel, metrics_parallel, health_parallel) =
+        fleet_telemetry(Threads::fixed(4), FleetEngine::PerDevice);
     assert!(trace_serial.lines().count() > 1, "expected some deaths");
     assert_eq!(trace_serial, trace_parallel);
     assert_eq!(metrics_serial, metrics_parallel);
     assert_eq!(
         health_serial, health_parallel,
         "fleet health (wear-rate outlier scan) depends on thread count"
+    );
+}
+
+/// ISSUE 6: the cohort engine honors the same determinism contract —
+/// its telemetry is byte-identical at any thread count — AND is
+/// byte-identical to the legacy per-device engine's, so switching
+/// engines never changes any observable output.
+#[test]
+fn cohort_engine_telemetry_matches_per_device_at_any_thread_count() {
+    let reference = fleet_telemetry(Threads::fixed(1), FleetEngine::PerDevice);
+    let cohort_serial = fleet_telemetry(Threads::fixed(1), FleetEngine::Cohort);
+    let cohort_parallel = fleet_telemetry(Threads::fixed(4), FleetEngine::Cohort);
+    assert!(reference.0.lines().count() > 1, "expected some deaths");
+    assert_eq!(
+        cohort_serial, cohort_parallel,
+        "cohort telemetry depends on thread count"
+    );
+    assert_eq!(
+        reference, cohort_serial,
+        "cohort engine diverges from the per-device reference"
     );
 }

@@ -54,6 +54,46 @@ impl Distribution<f32> for Standard {
     }
 }
 
+/// `true` with probability `p` — the distribution behind
+/// [`crate::Rng::gen_bool`], with the `⌊p · 2^64⌋` threshold computed
+/// once at construction instead of on every draw. Upstream `rand` 0.8
+/// exposes the same split (`distributions::Bernoulli`); hot loops that
+/// sample the same probability millions of times (the fleet
+/// simulator's daily failure draw) use this form. The sample stream is
+/// bit-identical to calling `gen_bool(p)` each time, including the
+/// draw-free `p == 1.0` case.
+#[derive(Debug, Clone, Copy)]
+pub struct Bernoulli {
+    /// `None` means "always true" (`p == 1.0` consumes no randomness).
+    threshold: Option<u64>,
+}
+
+impl Bernoulli {
+    /// Distribution returning `true` with probability `p`.
+    ///
+    /// # Panics
+    /// If `p` is not in `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        Bernoulli {
+            threshold: if p == 1.0 {
+                None
+            } else {
+                Some((p * ((1u64 << 63) as f64 * 2.0)) as u64)
+            },
+        }
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        match self.threshold {
+            None => true,
+            Some(t) => rng.next_u64() < t,
+        }
+    }
+}
+
 /// Uniform range sampling.
 pub mod uniform {
     use crate::RngCore;
@@ -192,6 +232,7 @@ pub mod uniform {
 
 #[cfg(test)]
 mod tests {
+    use super::{Bernoulli, Distribution};
     use crate::{Rng, RngCore, SeedableRng};
 
     struct Xor(u64);
@@ -239,6 +280,21 @@ mod tests {
         let mut rng = Xor(7);
         assert!(!rng.gen_bool(0.0));
         assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn bernoulli_matches_gen_bool_stream() {
+        for p in [0.0, 1e-5, 0.3, 0.999, 1.0] {
+            let mut a = Xor(99);
+            let mut b = Xor(99);
+            let dist = Bernoulli::new(p);
+            for _ in 0..200 {
+                assert_eq!(a.gen_bool(p), dist.sample(&mut b), "p={p}");
+            }
+            // Same probability, same source: the streams must stay in
+            // lockstep (p == 1.0 consumes nothing on either side).
+            assert_eq!(a.0, b.0, "p={p} desynchronized the sources");
+        }
     }
 
     #[test]
