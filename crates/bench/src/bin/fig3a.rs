@@ -91,6 +91,9 @@ fn main() {
     let mut metrics = MetricsRegistry::default();
     let mut runs: Vec<(&str, FleetTimeline)> = Vec::with_capacity(observed.len());
     for (name, o) in observed {
+        if let Some(s) = &session {
+            s.publish_rollups(&format!("fleet={name}"), &o.rollups);
+        }
         trace.extend(o.trace);
         metrics.merge(&o.metrics.relabelled(&format!("fleet=\"{name}\"")));
         runs.push((name, o.timeline));

@@ -83,6 +83,9 @@ fn main() {
     let mut metrics = MetricsRegistry::default();
     let mut runs: Vec<FleetTimeline> = Vec::with_capacity(observed.len());
     for ((name, _), o) in modes.iter().zip(observed) {
+        if let Some(s) = &session {
+            s.publish_rollups(&format!("fleet={name}"), &o.rollups);
+        }
         trace.extend(o.trace);
         metrics.merge(&o.metrics.relabelled(&format!("fleet=\"{name}\"")));
         runs.push(o.timeline);

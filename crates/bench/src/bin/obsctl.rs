@@ -2,12 +2,15 @@
 //! (DESIGN.md §11, "Diagnosing a run with obsctl" in the README).
 //!
 //! ```text
-//! obsctl lifecycle <trace> [--mdisk N]   minidisk lifecycle timeline
-//! obsctl why       <trace> [--mdisk N]   causal chain for a decommission
-//! obsctl fleet     <trace> [--csv]       fleet deaths rollup
-//! obsctl health    <trace>               health report from a trace (JSON)
-//! obsctl diff      <a.prom> <b.prom>     diff two metric expositions
-//! obsctl convert   <in> <out>            convert a trace JSONL <-> .strc
+//! obsctl lifecycle      <trace> [--mdisk N]  minidisk lifecycle timeline
+//! obsctl why            <trace> [--mdisk N]  causal chain for a decommission
+//! obsctl fleet          <trace> [--csv]      fleet deaths rollup
+//! obsctl fleet-timeline <trace>              per-day fleet rollup series
+//! obsctl percentiles    <trace> <metric>     rollup percentile table
+//! obsctl drill          <trace> <day>        one day's rollup + anomalies
+//! obsctl health         <trace>              health report from a trace (JSON)
+//! obsctl diff           <a.prom> <b.prom>    diff two metric expositions
+//! obsctl convert        <in> <out>           convert a trace JSONL <-> .strc
 //! ```
 //!
 //! `<trace>` is a JSONL trace or an indexed `.strc` flight recording
@@ -30,12 +33,16 @@ const USAGE: &str = "\
 obsctl — query Salamander telemetry artifacts
 
 USAGE:
-  obsctl lifecycle <trace> [--mdisk N]   minidisk lifecycle timeline
-  obsctl why       <trace> [--mdisk N]   causal chain for a decommission
-  obsctl fleet     <trace> [--csv]       fleet deaths rollup
-  obsctl health    <trace>               health report from a trace (JSON)
-  obsctl diff      <a.prom> <b.prom>     diff two metric expositions
-  obsctl convert   <in> <out>            convert a trace JSONL <-> .strc
+  obsctl lifecycle      <trace> [--mdisk N]  minidisk lifecycle timeline
+  obsctl why            <trace> [--mdisk N]  causal chain for a decommission
+  obsctl fleet          <trace> [--csv]      fleet deaths rollup
+  obsctl fleet-timeline <trace>              per-day fleet rollup series
+  obsctl percentiles    <trace> <metric>     rollup percentile table
+                                             (metric: wear|pec|usable|health)
+  obsctl drill          <trace> <day>        one day's rollup + fleet anomalies
+  obsctl health         <trace>              health report from a trace (JSON)
+  obsctl diff           <a.prom> <b.prom>    diff two metric expositions
+  obsctl convert        <in> <out>           convert a trace JSONL <-> .strc
 
 <trace> may be JSONL or an indexed .strc recording (by extension).
 ";
@@ -181,6 +188,44 @@ fn main() {
                     "{}",
                     query::fleet_rollup(&read_trace(path), has_flag("--csv"))
                 );
+            }
+        }
+        ("fleet-timeline", Some(path), None) => {
+            if is_strc(path) {
+                let mut r = open_strc(path);
+                print!("{}", indexed(path, query::fleet_timeline_strc(&mut r)));
+            } else {
+                print!("{}", query::fleet_timeline(&read_trace(path)));
+            }
+        }
+        ("percentiles", Some(path), Some(metric)) => {
+            if !salamander_obs::DIST_NAMES.contains(&metric.as_str()) {
+                eprintln!(
+                    "obsctl: unknown distribution '{metric}' (expected one of {:?})",
+                    salamander_obs::DIST_NAMES
+                );
+                std::process::exit(2);
+            }
+            if is_strc(path) {
+                let mut r = open_strc(path);
+                print!("{}", indexed(path, query::percentiles_strc(&mut r, metric)));
+            } else {
+                print!("{}", query::percentiles(&read_trace(path), metric));
+            }
+        }
+        ("drill", Some(path), Some(day)) => {
+            let day: u32 = match day.parse() {
+                Ok(d) => d,
+                Err(_) => {
+                    eprintln!("obsctl: '{day}' is not a day number");
+                    std::process::exit(2);
+                }
+            };
+            if is_strc(path) {
+                let mut r = open_strc(path);
+                print!("{}", indexed(path, query::drill_strc(&mut r, day)));
+            } else {
+                print!("{}", query::drill(&read_trace(path), day));
             }
         }
         ("health", Some(path), None) => {

@@ -5,31 +5,48 @@
 //! under-replication exposure window.
 //!
 //! Run: `cargo run --release -p salamander-bench --bin proactive`
+//! Observability: `--trace <path>`, `--metrics`, `--profile`,
+//! `--serve <addr>` (DESIGN.md §9/§12).
 
 use salamander::config::{Mode, SsdConfig};
 use salamander::report::{fmt, Table};
-use salamander_bench::{arg_or, emit};
+use salamander_bench::{arg_or, emit, task_obs, ObsArgs};
 use salamander_difs::types::DifsConfig;
 use salamander_exec::{par_map_collect, Threads};
 use salamander_fleet::bridge::{ClusterHarness, RecoveryPolicy};
+use salamander_obs::{MetricsRegistry, Obs, ProgressHandle};
 
-fn run(policy: RecoveryPolicy, bandwidth: u32, seed: u64) -> (u64, u64, u64, u64) {
+const CHURN_ROUNDS: u64 = 1500;
+
+fn run(
+    policy: RecoveryPolicy,
+    bandwidth: u32,
+    seed: u64,
+    obs: Obs,
+    progress: &ProgressHandle,
+) -> (u64, u64, u64, u64) {
     let mut h = ClusterHarness::new(DifsConfig {
         replication: 3,
         chunk_bytes: 256 * 1024,
         recovery_chunks_per_tick: Some(bandwidth),
     })
-    .with_policy(policy);
+    .with_policy(policy)
+    .with_obs(obs);
+    progress.set_total_days(CHURN_ROUNDS);
     for s in 0..6 {
         h.add_device(SsdConfig::small_test().mode(Mode::Shrink).seed(seed + s));
+        progress.add_devices(1);
     }
     h.fill(0.6);
-    for _ in 0..1500 {
+    for round in 0..CHURN_ROUNDS {
         h.churn(250);
+        progress.set_day(round + 1);
+        progress.add_ops(250);
         if h.alive_devices() == 0 {
             break;
         }
     }
+    progress.device_done();
     let m = h.metrics();
     (
         m.exposure_chunk_ticks,
@@ -41,6 +58,9 @@ fn run(policy: RecoveryPolicy, bandwidth: u32, seed: u64) -> (u64, u64, u64, u64
 
 fn main() {
     let seed: u64 = arg_or("--seed", 900);
+    let obs_args = ObsArgs::parse();
+    let profiler = obs_args.profiler();
+    let session = obs_args.serve_session("proactive");
     let mut table = Table::new(
         "Proactive vs reactive recovery under limited re-replication bandwidth",
         &[
@@ -70,20 +90,46 @@ fn main() {
             ]
         })
         .collect();
-    for row in par_map_collect(Threads::Auto, combos, |_, &(bandwidth, label, policy)| {
-        let (exposure, peak, recovery, migration) = run(policy, bandwidth, seed);
-        vec![
-            label.to_string(),
-            bandwidth.to_string(),
-            exposure.to_string(),
-            peak.to_string(),
-            fmt(recovery as f64, 0),
-            fmt(migration as f64, 0),
-        ]
-    }) {
+    let prof = profiler.clone();
+    let live = session.as_ref().map(|s| s.live.clone());
+    let want_trace = obs_args.trace();
+    let want_metrics = obs_args.metrics;
+    // Each cell keeps its own obs shard; shards merge in combo order
+    // below, so the artifacts are thread-count invariant.
+    let observed = par_map_collect(
+        Threads::Auto,
+        combos.clone(),
+        move |_, &(bandwidth, label, policy)| {
+            let run_label = format!("policy={label} bw={bandwidth}");
+            let obs = task_obs(want_trace, want_metrics, &prof, &run_label, live.as_ref());
+            let progress = obs.progress.for_mode(&run_label);
+            let _phase = prof.phase("proactive/cluster");
+            let (exposure, peak, recovery, migration) =
+                run(policy, bandwidth, seed, obs.clone(), &progress);
+            let row = vec![
+                label.to_string(),
+                bandwidth.to_string(),
+                exposure.to_string(),
+                peak.to_string(),
+                fmt(recovery as f64, 0),
+                fmt(migration as f64, 0),
+            ];
+            (row, obs)
+        },
+    );
+    let mut trace = Vec::new();
+    let mut metrics = MetricsRegistry::default();
+    for ((bandwidth, label, _), (row, obs)) in combos.iter().zip(observed) {
+        trace.extend(obs.trace.take());
+        metrics.merge(
+            &obs.metrics
+                .take()
+                .relabelled(&format!("policy=\"{label}\",bw=\"{bandwidth}\"")),
+        );
         table.row(row);
     }
     emit("proactive", &table);
+    let code = obs_args.finish("proactive", trace, metrics, &profiler, session);
     println!(
         "Proactive draining converts emergency re-replication into planned \
          migration: failure-time recovery traffic drops several-fold because \
@@ -92,4 +138,5 @@ fn main() {
          off the critical recovery path, exactly the §4.3 grace-period \
          motivation."
     );
+    std::process::exit(code);
 }

@@ -8,9 +8,11 @@
 //! Run: `cargo run --release -p salamander-bench --bin zombie`
 //! Engine: `--engine <cohort|device>` ages the device via the columnar
 //! cohort engine or the reference `StatDevice` (identical output).
+//! Observability: `--trace <path>`, `--metrics`, `--profile`,
+//! `--serve <addr>` (DESIGN.md §9/§12).
 
 use salamander::report::{fmt, Table};
-use salamander_bench::{emit, fleet_engine_arg};
+use salamander_bench::{emit, fleet_engine_arg, task_obs, ObsArgs};
 use salamander_ecc::profile::Tiredness;
 use salamander_exec::{par_map, Threads};
 use salamander_flash::geometry::FlashGeometry;
@@ -18,8 +20,12 @@ use salamander_flash::voltage::{CellMode, VoltageModel};
 use salamander_fleet::cohort::Cohort;
 use salamander_fleet::device::{StatDevice, StatDeviceConfig, StatMode};
 use salamander_fleet::sim::FleetEngine;
+use salamander_obs::{DeathCause, MetricsRegistry, SimTime, TraceEvent};
 
 fn main() {
+    let obs_args = ObsArgs::parse();
+    let profiler = obs_args.profiler();
+    let session = obs_args.serve_session("zombie");
     // 1. The cell model itself: endurance per mode at the native ECC
     // threshold.
     let v = VoltageModel::default();
@@ -53,7 +59,11 @@ fn main() {
         &["configuration", "host writes to death", "vs RegenS alone"],
     );
     let engine = fleet_engine_arg();
-    let run = move |rebirth: Option<CellMode>| {
+    let prof = profiler.clone();
+    let live = session.as_ref().map(|s| s.live.clone());
+    let want_trace = obs_args.trace();
+    let want_metrics = obs_args.metrics;
+    let run = move |label: &str, rebirth: Option<CellMode>| {
         let cfg = StatDeviceConfig {
             geometry: FlashGeometry::small_test(),
             rebirth,
@@ -64,16 +74,22 @@ fn main() {
         };
         const STEP: u64 = 10_000;
         const CAP: u64 = 100_000_000_000;
+        let obs = task_obs(want_trace, want_metrics, &prof, label, live.as_ref());
+        let progress = obs.progress.for_mode(label);
+        progress.add_devices(1);
+        let _phase = prof.phase("zombie/age_device");
         let mut total = 0u64;
         // Both engines step the identical statistical model; the table
         // is byte-identical either way (see crates/fleet/src/cohort.rs).
-        match engine {
+        let died = match engine {
             FleetEngine::PerDevice => {
                 let mut d = StatDevice::new(cfg, 42);
                 while !d.is_dead() && total < CAP {
                     d.apply_writes(STEP);
                     total += STEP;
+                    progress.add_ops(STEP);
                 }
+                d.is_dead()
             }
             FleetEngine::Cohort => {
                 let mut c = Cohort::new(cfg, &[42]);
@@ -81,18 +97,47 @@ fn main() {
                 while !c.is_dead(0) && total < CAP {
                     c.step(0);
                     total += STEP;
+                    progress.add_ops(STEP);
                 }
+                c.is_dead(0)
             }
+        };
+        progress.device_done();
+        obs.metrics
+            .inc("salamander_zombie_host_writes_total", total);
+        if died {
+            obs.trace.emit(
+                SimTime::new(0, total),
+                TraceEvent::DeviceDied {
+                    cause: DeathCause::Wear,
+                },
+            );
         }
-        total
+        (total, obs)
     };
     let configs = [
         ("RegenS", None),
         ("RegenS + MLC rebirth", Some(CellMode::Mlc)),
         ("RegenS + SLC rebirth", Some(CellMode::Slc)),
     ];
-    // Independent device aging runs: fan out on the exec engine.
-    let writes = par_map(Threads::Auto, &configs, |_, &(_, mode)| run(mode));
+    // Independent device aging runs: fan out on the exec engine; the
+    // telemetry shards merge in config order afterwards, so the
+    // artifacts are thread-count invariant.
+    let observed = par_map(Threads::Auto, &configs, move |_, &(label, mode)| {
+        run(label, mode)
+    });
+    let mut trace = Vec::new();
+    let mut metrics = MetricsRegistry::default();
+    let mut writes = Vec::with_capacity(observed.len());
+    for ((label, _), (w, obs)) in configs.iter().zip(observed) {
+        trace.extend(obs.trace.take());
+        metrics.merge(
+            &obs.metrics
+                .take()
+                .relabelled(&format!("config=\"{label}\"")),
+        );
+        writes.push(w);
+    }
     let plain = writes[0];
     for ((label, _), &w) in configs.iter().zip(&writes) {
         life.row(vec![
@@ -102,10 +147,12 @@ fn main() {
         ]);
     }
     emit("zombie_lifetime", &life);
+    let code = obs_args.finish("zombie", trace, metrics, &profiler, session);
     println!(
         "Rebirth composes with RegenS: the ECC trade (Fig. 2) harvests the \
          wear margin within a bit density, and the density downgrade opens \
          a fresh margin after it — the two levers the paper's §2 lists are \
          complementary, not alternatives."
     );
+    std::process::exit(code);
 }

@@ -160,7 +160,11 @@ impl ObsArgs {
         let hub = TelemetryHub::new(name, live.clone());
         match TelemetryServer::start(addr, hub.clone()) {
             Ok(server) => {
+                // The URL line is a stable parsing contract (tests and
+                // scripts anchor on it); the endpoint hint goes on its
+                // own line.
                 eprintln!("serving telemetry on http://{}/", server.addr());
+                eprintln!("per-mode simulated-day progress: GET /progress");
                 Some(ServeSession { live, hub, server })
             }
             Err(e) => {
@@ -263,10 +267,24 @@ impl ServeSession {
         }
     }
 
+    /// Publish one run label's per-day fleet rollups to `/fleet` and
+    /// `/fleet/series`.
+    pub fn publish_rollups(&self, label: &str, rollups: &[salamander_obs::FleetRollup]) {
+        self.hub.publish_rollups(label, rollups.to_vec());
+    }
+
     /// Mark the run done (publishing the final metrics text, if any),
     /// linger up to `linger_secs` so clients can take a final scrape
     /// (`GET /quit` ends the wait early), then shut the server down.
     fn finish(self, final_metrics: Option<String>, linger_secs: u64) {
+        let modes = self.live.progress.mode_snapshot();
+        if !modes.is_empty() {
+            let parts: Vec<String> = modes
+                .iter()
+                .map(|(label, day, total)| format!("{label} day {day}/{total}"))
+                .collect();
+            eprintln!("progress: {}", parts.join(", "));
+        }
         self.hub.mark_done(final_metrics);
         if linger_secs > 0 {
             eprintln!(

@@ -14,8 +14,8 @@ use rand_chacha::ChaCha8Rng;
 use salamander_exec::{derive_seed, Threads};
 use salamander_health::{to_milli, zscores, Anomaly, AnomalyKind};
 use salamander_obs::{
-    LiveObs, MetricsRegistry, Profiler, ProgressHandle, SimTime, TraceEvent, TraceHandle,
-    TraceRecord,
+    FleetRollup, LiveObs, MetricsRegistry, Profiler, ProgressHandle, RollupKernel, SimTime,
+    TraceEvent, TraceHandle, TraceRecord,
 };
 use serde::{Deserialize, Serialize};
 
@@ -155,6 +155,11 @@ pub struct ObservedFleetRun {
     pub metrics: MetricsRegistry,
     /// Wear-rate outlier scan over the fleet.
     pub health: FleetHealth,
+    /// One deterministic distribution rollup per sampled day
+    /// (DESIGN.md §14), byte-identical across engines and thread
+    /// counts. Also interleaved into `trace` as
+    /// [`TraceEvent::FleetRollup`] records.
+    pub rollups: Vec<FleetRollup>,
 }
 
 /// What ended one device's service life.
@@ -178,6 +183,65 @@ struct DeviceTrack {
     death: Option<(u32, DeathCause)>,
     /// Initial committed capacity.
     initial: u64,
+}
+
+/// Rollup metric normalizers, derived from the configuration alone so
+/// both engines — whose internal wear state is private and laid out
+/// differently — bucket through the identical expressions.
+///
+/// A device's raw wear is erase cycles; the rollup wants fractions.
+/// The denominators come from the analytic PEC inverse of the RBER
+/// model: `l0_pec` is where a median-variance page crosses the first
+/// tiredness threshold (the onset of shrinking), `max_pec` where it
+/// exhausts the last usable level (end of endurance budget). Under
+/// Baseline/Shrink the two coincide (max level is 0).
+struct RollupNorms {
+    /// PEC at which a median page crosses the first tiredness level.
+    l0_pec: f64,
+    /// PEC at which a median page exhausts the last usable level.
+    max_pec: f64,
+    /// Raw physical capacity of the geometry, in oPages.
+    total_opages: f64,
+}
+
+impl RollupNorms {
+    fn new(cfg: &FleetConfig) -> Self {
+        let d = &cfg.device;
+        let thresholds = d.ecc.thresholds();
+        let max_level = crate::device::max_level_for(d.mode, thresholds.len()) as usize;
+        RollupNorms {
+            l0_pec: d.rber.pec_at_rber(thresholds[0] / d.safety).max(1) as f64,
+            max_pec: d.rber.pec_at_rber(thresholds[max_level] / d.safety).max(1) as f64,
+            total_opages: d.geometry.total_opages().max(1) as f64,
+        }
+    }
+
+    /// Fold one alive device's state at grid index `gi` into `kernel`.
+    /// Every input is identical across engines at any thread count
+    /// (the equivalence contract of `crate::cohort`), and the kernel
+    /// only buckets — no cross-device float accumulation.
+    fn observe(
+        &self,
+        kernel: &mut RollupKernel,
+        gi: usize,
+        wear: f64,
+        usable: u64,
+        committed: u64,
+        initial: u64,
+    ) {
+        let cap_frac = if initial == 0 {
+            0.0
+        } else {
+            committed as f64 / initial as f64
+        };
+        kernel.observe(
+            gi,
+            wear / self.l0_pec,
+            wear / self.max_pec,
+            usable as f64 / self.total_opages,
+            cap_frac,
+        );
+    }
 }
 
 /// Which implementation ages the fleet.
@@ -270,7 +334,7 @@ impl FleetSim {
     /// pure function of the configuration — bit-identical at any
     /// thread count.
     pub fn run_threads(&self, threads: Threads) -> FleetTimeline {
-        let (grid, tracks) = self.age_fleet(threads, &ProgressHandle::disabled());
+        let (grid, tracks, _) = self.age_fleet(threads, &ProgressHandle::disabled());
         self.reduce(&grid, &tracks)
     }
 
@@ -303,14 +367,23 @@ impl FleetSim {
         profiler: &Profiler,
         live: Option<&LiveObs>,
     ) -> ObservedFleetRun {
-        let progress = live.map(|l| l.progress.clone()).unwrap_or_default();
+        let progress = live
+            .map(|l| {
+                if label.is_empty() {
+                    l.progress.clone()
+                } else {
+                    l.progress.for_mode(label)
+                }
+            })
+            .unwrap_or_default();
         progress.set_total_days(self.cfg.horizon_days as u64);
         progress.add_devices(self.cfg.devices as u64);
-        let (grid, tracks) = {
+        let (grid, tracks, kernel) = {
             let _phase = profiler.phase("fleet/age_devices");
             self.age_fleet(threads, &progress)
         };
         let timeline = self.reduce(&grid, &tracks);
+        let rollups = Self::build_rollups(&kernel, &timeline);
 
         let trace = TraceHandle::recording();
         if !label.is_empty() {
@@ -328,7 +401,7 @@ impl FleetSim {
             .collect();
         deaths.sort_unstable_by_key(|&(day, device, _)| (day, device));
         let mut metrics = MetricsRegistry::new();
-        for &(day, device, cause) in &deaths {
+        let mut emit_death = |day: u32, device: u32, cause: DeathCause| {
             trace.emit(
                 SimTime::new(day, 0),
                 TraceEvent::FleetDeviceDied {
@@ -343,6 +416,24 @@ impl FleetSim {
                 DeathCause::Wear => metrics.inc("salamander_fleet_wear_deaths_total", 1),
                 DeathCause::Afr => metrics.inc("salamander_fleet_afr_deaths_total", 1),
             }
+        };
+        // Two-pointer chronological interleave: each sampled day's
+        // rollup follows every death up to and including that day, so
+        // the trace stream stays sorted by stamp and a reader sees the
+        // rollup as the end-of-day state.
+        let mut di = 0;
+        for r in &rollups {
+            while di < deaths.len() && deaths[di].0 <= r.day {
+                let (day, device, cause) = deaths[di];
+                emit_death(day, device, cause);
+                di += 1;
+            }
+            trace.emit(SimTime::new(r.day, 0), TraceEvent::FleetRollup(r.clone()));
+        }
+        while di < deaths.len() {
+            let (day, device, cause) = deaths[di];
+            emit_death(day, device, cause);
+            di += 1;
         }
         for s in &timeline.samples {
             metrics.set_gauge(
@@ -384,7 +475,38 @@ impl FleetSim {
             trace,
             metrics,
             health,
+            rollups,
         }
+    }
+
+    /// Assemble per-day [`FleetRollup`] records from the merged kernel
+    /// and the reduced timeline. Sample `i + 1` of the timeline (day 0
+    /// has no kernel slot) pairs with kernel grid index `i`; a
+    /// timeline cut short by total fleet death simply yields fewer
+    /// rollups.
+    fn build_rollups(kernel: &RollupKernel, timeline: &FleetTimeline) -> Vec<FleetRollup> {
+        timeline
+            .samples
+            .iter()
+            .skip(1)
+            .take(kernel.days())
+            .enumerate()
+            .map(|(gi, s)| {
+                let (dying, wear, pec, usable, health) = kernel.day_slices(gi);
+                FleetRollup {
+                    day: s.day,
+                    alive: s.alive,
+                    dead_wear: s.wear_deaths,
+                    dead_afr: s.afr_deaths,
+                    dying,
+                    capacity_opages: s.capacity_opages,
+                    wear: wear.to_vec(),
+                    pec: pec.to_vec(),
+                    usable: usable.to_vec(),
+                    health: health.to_vec(),
+                }
+            })
+            .collect()
     }
 
     /// Population scan over the merged device tracks: each device's
@@ -439,33 +561,50 @@ impl FleetSim {
     /// device-day (monotone watermarks and adds, so any task
     /// interleave reports the same totals); pass a disabled handle
     /// when nothing watches.
+    ///
+    /// Both engines also fold every alive device's state at every grid
+    /// day into a per-shard [`RollupKernel`]; the shards merge in item
+    /// order (`par_map` preserves it), so the returned kernel is
+    /// byte-identical across engines and thread counts. The fold is
+    /// unconditional — it is integer bucketing on state the loop
+    /// already has in hand, and keeping it on the plain path is what
+    /// lets the committed `fleet_scale` bench gate price it honestly.
     fn age_fleet(
         &self,
         threads: Threads,
         progress: &ProgressHandle,
-    ) -> (Vec<u32>, Vec<DeviceTrack>) {
+    ) -> (Vec<u32>, Vec<DeviceTrack>, RollupKernel) {
         let cfg = &self.cfg;
         let grid = Self::sample_grid(cfg);
-        let tracks = match self.engine {
+        let norms = RollupNorms::new(cfg);
+        let shard = Self::cohort_shard(cfg) as u32;
+        let ranges: Vec<(u32, u32)> = (0..cfg.devices)
+            .step_by(shard as usize)
+            .map(|start| (start, (cfg.devices - start).min(shard)))
+            .collect();
+        let shards: Vec<(Vec<DeviceTrack>, RollupKernel)> = match self.engine {
             FleetEngine::PerDevice => {
-                let indices: Vec<u32> = (0..cfg.devices).collect();
-                salamander_exec::par_map(threads, &indices, |_, &i| {
-                    Self::age_device(cfg, i, &grid, progress)
+                salamander_exec::par_map(threads, &ranges, |_, &(start, len)| {
+                    let mut kernel = RollupKernel::new(grid.len());
+                    let tracks = (start..start + len)
+                        .map(|i| Self::age_device(cfg, i, &grid, progress, &norms, &mut kernel))
+                        .collect();
+                    (tracks, kernel)
                 })
             }
             FleetEngine::Cohort => {
-                let shard = Self::cohort_shard(cfg) as u32;
-                let ranges: Vec<(u32, u32)> = (0..cfg.devices)
-                    .step_by(shard as usize)
-                    .map(|start| (start, (cfg.devices - start).min(shard)))
-                    .collect();
-                let shards = salamander_exec::par_map(threads, &ranges, |_, &(start, len)| {
-                    Self::age_cohort(cfg, start, len, &grid, progress)
-                });
-                shards.into_iter().flatten().collect()
+                salamander_exec::par_map(threads, &ranges, |_, &(start, len)| {
+                    Self::age_cohort(cfg, start, len, &grid, progress, &norms)
+                })
             }
         };
-        (grid, tracks)
+        let mut tracks = Vec::with_capacity(cfg.devices as usize);
+        let mut kernel = RollupKernel::new(grid.len());
+        for (shard_tracks, shard_kernel) in shards {
+            tracks.extend(shard_tracks);
+            kernel.merge(&shard_kernel);
+        }
+        (grid, tracks, kernel)
     }
 
     /// Devices per cohort shard: bounded by a ~4 MiB variance-slab
@@ -488,9 +627,11 @@ impl FleetSim {
         len: u32,
         grid: &[u32],
         progress: &ProgressHandle,
-    ) -> Vec<DeviceTrack> {
+        norms: &RollupNorms,
+    ) -> (Vec<DeviceTrack>, RollupKernel) {
         let n = len as usize;
         let glen = grid.len();
+        let mut kernel = RollupKernel::new(glen);
         let horizon = cfg.horizon_days;
         let seeds: Vec<u64> = (0..len)
             .map(|i| cfg.seed.wrapping_add(1 + (start + i) as u64))
@@ -557,6 +698,16 @@ impl FleetSim {
                 }
                 if gi < glen && grid[gi] == day {
                     caps[d * glen + gi] = cohort.committed_opages(d);
+                    if death.is_none() {
+                        norms.observe(
+                            &mut kernel,
+                            gi,
+                            cohort.wear(d),
+                            cohort.usable_opages(d),
+                            cohort.committed_opages(d),
+                            initial,
+                        );
+                    }
                     gi += 1;
                     // Progress is a fleet-wide day watermark; bumping
                     // at sample granularity keeps the hot loop cheap.
@@ -568,26 +719,25 @@ impl FleetSim {
                 // Quiet fast-forward: days that provably change
                 // nothing but wear. The window must end before the
                 // next known AFR kill (or the scan frontier when none
-                // is known yet) and before the horizon; committed
-                // capacity is frozen across it, so sample-grid slots
-                // inside the window all record the same value.
+                // is known yet), before the horizon, and before the
+                // next sample-grid day — the rollup kernel observes
+                // materialized wear there, so the grid day itself must
+                // run through `step`. Splitting a quiet window is
+                // bit-identical (see [`Cohort::run_quiet_days`]): the
+                // remaining days re-add the same increment to the same
+                // wear bits on the cheap path.
                 let afr_bound = if afr_day == u32::MAX {
                     scanned
                 } else {
                     afr_day - 1
                 };
-                let quiet_cap = (horizon - day).min(afr_bound.saturating_sub(day));
+                let grid_bound = if gi < glen { grid[gi] - 1 } else { horizon };
+                let quiet_cap = (horizon - day)
+                    .min(afr_bound.saturating_sub(day))
+                    .min(grid_bound.saturating_sub(day));
                 let q = cohort.run_quiet_days(d, quiet_cap);
                 if q > 0 {
                     ops += u64::from(q);
-                    if gi < glen && grid[gi] <= day + q {
-                        let committed = cohort.committed_opages(d);
-                        while gi < glen && grid[gi] <= day + q {
-                            caps[d * glen + gi] = committed;
-                            gi += 1;
-                        }
-                        progress.set_day(u64::from(grid[gi - 1]));
-                    }
                     day += q;
                 }
                 day += 1;
@@ -598,13 +748,14 @@ impl FleetSim {
         }
         // Slots past a death day stay zero — a dead device has zero
         // committed capacity, matching the reference path's tail fill.
-        (0..n)
+        let tracks = (0..n)
             .map(|d| DeviceTrack {
                 caps: caps[d * glen..(d + 1) * glen].to_vec(),
                 death: deaths[d],
                 initial,
             })
-            .collect()
+            .collect();
+        (tracks, kernel)
     }
 
     /// Reduce per-device tracks to the fleet time series.
@@ -647,12 +798,15 @@ impl FleetSim {
         FleetTimeline { samples }
     }
 
-    /// Age one device to the horizon on its private RNG stream.
+    /// Age one device to the horizon on its private RNG stream,
+    /// folding its state at each grid day into the shard's `kernel`.
     fn age_device(
         cfg: &FleetConfig,
         index: u32,
         grid: &[u32],
         progress: &ProgressHandle,
+        norms: &RollupNorms,
+        kernel: &mut RollupKernel,
     ) -> DeviceTrack {
         let mut dev = StatDevice::new(cfg.device, cfg.seed.wrapping_add(1 + index as u64));
         let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(cfg.seed, index as u64));
@@ -683,6 +837,16 @@ impl FleetSim {
             }
             if gi < grid.len() && grid[gi] == day {
                 caps.push(dev.committed_opages());
+                if death.is_none() {
+                    norms.observe(
+                        kernel,
+                        gi,
+                        dev.wear(),
+                        dev.usable_opages(),
+                        dev.committed_opages(),
+                        initial,
+                    );
+                }
                 gi += 1;
                 // Progress is a fleet-wide day watermark; bumping at
                 // sample granularity keeps the hot loop branch-cheap.

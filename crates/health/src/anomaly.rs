@@ -25,6 +25,12 @@ pub enum AnomalyKind {
     /// One device's capacity-loss rate is an outlier against the rest
     /// of its fleet (population z-score, not rolling).
     WearRateOutlier,
+    /// A sampled day's death delta spiked against the rolling window of
+    /// day-over-day fleet deaths (rollup-fed, see [`crate::fleet`]).
+    FleetDeathSpike,
+    /// The fleet's median wear fraction accelerated against the rolling
+    /// window of day-over-day wear-p50 deltas (rollup-fed).
+    FleetWearAccel,
 }
 
 impl AnomalyKind {
@@ -34,6 +40,8 @@ impl AnomalyKind {
             AnomalyKind::ReadRetryBurst => "read_retry_burst",
             AnomalyKind::GcRateSpike => "gc_rate_spike",
             AnomalyKind::WearRateOutlier => "wear_rate_outlier",
+            AnomalyKind::FleetDeathSpike => "fleet_death_spike",
+            AnomalyKind::FleetWearAccel => "fleet_wear_accel",
         }
     }
 }

@@ -1,0 +1,139 @@
+//! Rollup-fed fleet anomaly scan (DESIGN.md §11/§14).
+//!
+//! The per-device monitors in [`crate::monitor`] watch one device's
+//! trace; this module watches the whole fleet through its per-day
+//! [`FleetRollup`] series. Two rolling z-score detectors run over the
+//! day-over-day deltas:
+//!
+//! - **death rate** — new deaths per sampled day (wear + AFR). A spike
+//!   against the rolling window flags a cohort hitting its wear cliff
+//!   or a correlated failure burst.
+//! - **wear rate** — movement of the fleet's median wear fraction
+//!   (`wear_p50`, permille). Acceleration flags a workload shift
+//!   driving the whole population toward its endurance budget faster
+//!   than its own history predicted.
+//!
+//! Input and output are deterministic artifacts (integer rollups in,
+//! milli-scaled [`Anomaly`] records out), so the scan inherits the obs
+//! layer's byte-identity across engines and thread counts.
+
+use crate::anomaly::{to_milli, Anomaly, AnomalyKind, RollingZScore};
+use salamander_obs::{FleetRollup, SimTime};
+
+/// Fleet-wide anomaly subject: there is no single device to blame.
+pub const FLEET_SUBJECT: u32 = u32::MAX;
+
+/// Scan a chronological rollup series for death-rate spikes and
+/// wear-rate acceleration. Detectors are [`RollingZScore::standard`]
+/// (16-sample window, 8 warm-up, 3σ), so a steady death or wear rate —
+/// even a high one — never flags; only deviation from the series' own
+/// recent history does.
+pub fn fleet_scan<'a>(rollups: impl IntoIterator<Item = &'a FleetRollup>) -> Vec<Anomaly> {
+    let mut out = Vec::new();
+    let mut death_det = RollingZScore::standard();
+    let mut wear_det = RollingZScore::standard();
+    let mut prev_dead: Option<u32> = None;
+    let mut prev_wear: Option<u64> = None;
+    for r in rollups {
+        if let Some(p) = prev_dead {
+            let delta = f64::from(r.dead().saturating_sub(p));
+            if let Some(dev) = death_det.observe(delta) {
+                out.push(Anomaly {
+                    time: SimTime::new(r.day, 0),
+                    kind: AnomalyKind::FleetDeathSpike,
+                    subject: FLEET_SUBJECT,
+                    value_milli: to_milli(delta),
+                    mean_milli: to_milli(dev.mean),
+                    z_milli: to_milli(dev.z),
+                });
+            }
+        }
+        prev_dead = Some(r.dead());
+        if let Some(wear) = r.series_value("wear_p50") {
+            if let Some(p) = prev_wear {
+                let delta = wear.saturating_sub(p) as f64;
+                if let Some(dev) = wear_det.observe(delta) {
+                    out.push(Anomaly {
+                        time: SimTime::new(r.day, 0),
+                        kind: AnomalyKind::FleetWearAccel,
+                        subject: FLEET_SUBJECT,
+                        value_milli: to_milli(delta),
+                        mean_milli: to_milli(dev.mean),
+                        z_milli: to_milli(dev.z),
+                    });
+                }
+            }
+            prev_wear = Some(wear);
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salamander_obs::DIST_BUCKETS;
+
+    fn rollup(day: u32, dead: u32, wear_bucket: usize) -> FleetRollup {
+        let mut wear = vec![0u32; DIST_BUCKETS];
+        wear[wear_bucket] = 100;
+        FleetRollup {
+            day,
+            alive: 100 - dead,
+            dead_wear: dead,
+            dead_afr: 0,
+            dying: 0,
+            capacity_opages: 1000,
+            wear,
+            pec: vec![0; DIST_BUCKETS],
+            usable: vec![0; DIST_BUCKETS],
+            health: vec![0; DIST_BUCKETS],
+        }
+    }
+
+    #[test]
+    fn steady_fleet_never_flags() {
+        // One death per day; median wear oscillating between two
+        // adjacent buckets (steady jitter, not a trend). Neither delta
+        // series ever deviates from its own window.
+        let series: Vec<FleetRollup> = (0..40)
+            .map(|i| rollup(i * 30, i, 5 + (i as usize % 2)))
+            .collect();
+        assert!(fleet_scan(series.iter()).is_empty());
+    }
+
+    #[test]
+    fn death_spike_flags_with_day_and_kind() {
+        let mut series: Vec<FleetRollup> = (0..20).map(|i| rollup(i * 30, i, 2)).collect();
+        // Day 600: 30 devices die at once against a 1/day baseline.
+        series.push(rollup(600, 49, 2));
+        let anomalies = fleet_scan(series.iter());
+        assert_eq!(anomalies.len(), 1, "{anomalies:?}");
+        let a = &anomalies[0];
+        assert_eq!(a.kind, AnomalyKind::FleetDeathSpike);
+        assert_eq!(a.time.day, 600);
+        assert_eq!(a.subject, FLEET_SUBJECT);
+        assert_eq!(a.value_milli, 30_000);
+        assert!(a.z_milli >= 3000, "{a:?}");
+    }
+
+    #[test]
+    fn wear_acceleration_flags() {
+        // Median wear advances one bucket (50‰) every day, then jumps
+        // eight buckets in one sample interval.
+        let mut series: Vec<FleetRollup> = (0..15).map(|i| rollup(i * 30, 0, i as usize)).collect();
+        series.push(rollup(450, 0, 19));
+        let anomalies = fleet_scan(series.iter());
+        assert_eq!(anomalies.len(), 1, "{anomalies:?}");
+        assert_eq!(anomalies[0].kind, AnomalyKind::FleetWearAccel);
+        assert_eq!(anomalies[0].time.day, 450);
+    }
+
+    #[test]
+    fn empty_and_short_series_are_quiet() {
+        assert!(fleet_scan([].iter()).is_empty());
+        let short: Vec<FleetRollup> = (0..5).map(|i| rollup(i * 30, i * 10, 1)).collect();
+        assert!(fleet_scan(short.iter()).is_empty(), "below warm-up");
+    }
+}

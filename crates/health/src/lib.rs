@@ -12,24 +12,30 @@
 //!   GC-rate spikes) and population z-scores (fleet wear-rate
 //!   outliers), emitting typed [`Anomaly`] records with milli-scaled
 //!   integer statistics.
+//! - [`fleet`]: rollup-fed fleet anomaly scan — rolling z-scores over
+//!   day-over-day death and median-wear deltas from the per-day
+//!   [`salamander_obs::FleetRollup`] series (DESIGN.md §14).
 //! - [`monitor`]: [`HealthMonitor`] folds SMART samples and trace
 //!   records into a [`HealthReport`] — device score, per-minidisk
 //!   health, projections, anomalies — rendered as
 //!   `salamander_health_*` gauges.
 //! - [`query`]: offline trace queries (`lifecycle`, `why`, fleet
-//!   rollups, Prometheus diffs) as pure record-to-string functions;
-//!   the `obsctl` CLI is a thin argv wrapper around them.
+//!   rollups, timelines, percentiles, day drill-downs, Prometheus
+//!   diffs) as pure record-to-string functions; the `obsctl` CLI is a
+//!   thin argv wrapper around them.
 //!
 //! The crate is a read-only consumer: it never influences simulation
 //! state, so enabling it cannot change any simulated outcome, and every
 //! analytics product inherits the obs layer's determinism guarantee.
 
 pub mod anomaly;
+pub mod fleet;
 pub mod forecast;
 pub mod monitor;
 pub mod query;
 
 pub use anomaly::{to_milli, zscores, Anomaly, AnomalyKind, Deviation, RollingZScore};
+pub use fleet::{fleet_scan, FLEET_SUBJECT};
 pub use forecast::{project, Ewma, WearForecaster, EWMA_ALPHA};
 pub use monitor::{
     HealthMonitor, HealthReport, HealthUnit, MdiskHealth, MdiskState, DEVICE_SUBJECT,

@@ -8,8 +8,11 @@
 //! are *never decoded* — their aggregate counts fold into the totals
 //! straight from the footer index.
 
+use salamander_obs::rollup::percentile_permille;
 use salamander_obs::strc::{ChunkSummary, EventKind, StrcError, StrcReader};
-use salamander_obs::{DecommissionCause, TraceEvent, TraceRecord};
+use salamander_obs::{
+    DecommissionCause, FleetRollup, TraceEvent, TraceRecord, DIST_NAMES, PERCENTILES,
+};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -316,7 +319,7 @@ fn lifecycle_items(items: &[Item<'_>], mdisk: Option<u32>) -> String {
                 TraceEvent::ScrubRefresh { .. } => scrubs += 1,
                 TraceEvent::ReadRetry { .. } => retries += 1,
                 TraceEvent::ChunkReReplicated { bytes, .. } => rereplicated += bytes,
-                TraceEvent::RunMarker { .. } => {}
+                TraceEvent::RunMarker { .. } | TraceEvent::FleetRollup(_) => {}
             }
         }
         let _ = writeln!(
@@ -641,6 +644,272 @@ fn fleet_rollup_items(items: &[Item<'_>], csv: bool) -> String {
         deaths.len()
     );
     out
+}
+
+/// Kinds the rollup-series queries ([`fleet_timeline`], [`percentiles`],
+/// [`drill`]) print: run markers and the per-day rollups themselves.
+/// Every other chunk — including the high-volume wear/GC noise and the
+/// death events — is skipped outright.
+pub fn rollup_series_decode_mask() -> u16 {
+    EventKind::mask(&[EventKind::RunMarker, EventKind::FleetRollup])
+}
+
+/// The per-day rollups of one segment, in emission (chronological)
+/// order.
+fn seg_rollups<'a>(seg: &ItemSegment<'a>) -> Vec<&'a FleetRollup> {
+    seg.items
+        .iter()
+        .filter_map(|it| match it {
+            Item::Rec(r) => match &r.event {
+                TraceEvent::FleetRollup(ru) => Some(ru),
+                _ => None,
+            },
+            Item::Sum(_) => None,
+        })
+        .collect()
+}
+
+/// Fleet timeline: one line per sampled day and segment from the
+/// recorded [`FleetRollup`] series — population counts, committed
+/// capacity, and the wear/health medians (permille bucket upper edge).
+pub fn fleet_timeline(records: &[TraceRecord]) -> String {
+    let items: Vec<Item<'_>> = records.iter().map(Item::Rec).collect();
+    fleet_timeline_items(&items)
+}
+
+/// [`fleet_timeline`] over an indexed chunk list (see [`load_chunks`]).
+pub fn fleet_timeline_chunks(chunks: &[TraceChunk]) -> String {
+    fleet_timeline_items(&chunk_items(chunks))
+}
+
+/// [`fleet_timeline`] over a `.strc` reader: only chunks that may hold
+/// a rollup (or marker) decode.
+pub fn fleet_timeline_strc(reader: &mut StrcReader) -> Result<String, StrcError> {
+    let chunks = load_chunks(reader, rollup_series_decode_mask(), None)?;
+    Ok(fleet_timeline_chunks(&chunks))
+}
+
+fn fleet_timeline_items(items: &[Item<'_>]) -> String {
+    let mut out = String::new();
+    let mut any = false;
+    for seg in &item_segments(items) {
+        let rollups = seg_rollups(seg);
+        if rollups.is_empty() {
+            continue;
+        }
+        any = true;
+        let _ = writeln!(out, "== {} ({} sampled days)", seg.label, rollups.len());
+        let _ = writeln!(
+            out,
+            "  {:>6} {:>8} {:>10} {:>9} {:>7} {:>16} {:>10} {:>12}",
+            "day",
+            "alive",
+            "dead_wear",
+            "dead_afr",
+            "dying",
+            "capacity_opages",
+            "wear_p50",
+            "health_p50"
+        );
+        for r in rollups {
+            let permille = |metric: &str| match r.series_value(metric) {
+                Some(v) => format!("{v}"),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {:>6} {:>8} {:>10} {:>9} {:>7} {:>16} {:>10} {:>12}",
+                r.day,
+                r.alive,
+                r.dead_wear,
+                r.dead_afr,
+                r.dying,
+                r.capacity_opages,
+                permille("wear_p50"),
+                permille("health_p50"),
+            );
+        }
+    }
+    if !any {
+        out.push_str("no fleet rollups recorded\n");
+    }
+    out
+}
+
+/// Percentile table for one rollup distribution (`wear`, `pec`,
+/// `usable`, or `health`): per segment and sampled day, the exact
+/// p1/p10/p50/p90/p99 bucket upper edges in permille. Unknown metrics
+/// render a help line (the CLI validates before calling).
+pub fn percentiles(records: &[TraceRecord], metric: &str) -> String {
+    let items: Vec<Item<'_>> = records.iter().map(Item::Rec).collect();
+    percentiles_items(&items, metric)
+}
+
+/// [`percentiles`] over an indexed chunk list (see [`load_chunks`]).
+pub fn percentiles_chunks(chunks: &[TraceChunk], metric: &str) -> String {
+    percentiles_items(&chunk_items(chunks), metric)
+}
+
+/// [`percentiles`] over a `.strc` reader: only rollup-bearing chunks
+/// decode.
+pub fn percentiles_strc(reader: &mut StrcReader, metric: &str) -> Result<String, StrcError> {
+    let chunks = load_chunks(reader, rollup_series_decode_mask(), None)?;
+    Ok(percentiles_chunks(&chunks, metric))
+}
+
+fn percentiles_items(items: &[Item<'_>], metric: &str) -> String {
+    let mut out = String::new();
+    if !DIST_NAMES.contains(&metric) {
+        let _ = writeln!(
+            out,
+            "unknown distribution '{metric}' (expected one of {DIST_NAMES:?})"
+        );
+        return out;
+    }
+    let mut any = false;
+    for seg in &item_segments(items) {
+        let rollups = seg_rollups(seg);
+        if rollups.is_empty() {
+            continue;
+        }
+        any = true;
+        let _ = writeln!(
+            out,
+            "== {} — {metric} distribution, permille bucket upper edges",
+            seg.label
+        );
+        let _ = write!(out, "  {:>6}", "day");
+        for q in PERCENTILES {
+            let _ = write!(out, " {:>6}", format!("p{q}"));
+        }
+        out.push('\n');
+        for r in rollups {
+            let _ = write!(out, "  {:>6}", r.day);
+            let bins = r.dist(metric).unwrap_or(&[]);
+            for q in PERCENTILES {
+                match percentile_permille(bins, q) {
+                    Some(v) => {
+                        let _ = write!(out, " {v:>6}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>6}", "-");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+    }
+    if !any {
+        out.push_str("no fleet rollups recorded\n");
+    }
+    out
+}
+
+/// Drill into one sampled day: the full rollup record (counts, all
+/// four distributions with percentiles and non-empty buckets) plus the
+/// top fleet anomalies flagged by [`crate::fleet::fleet_scan`] over
+/// the whole segment. Days without a rollup list the sampled days
+/// instead of guessing.
+pub fn drill(records: &[TraceRecord], day: u32) -> String {
+    let items: Vec<Item<'_>> = records.iter().map(Item::Rec).collect();
+    drill_items(&items, day)
+}
+
+/// [`drill`] over an indexed chunk list (see [`load_chunks`]).
+pub fn drill_chunks(chunks: &[TraceChunk], day: u32) -> String {
+    drill_items(&chunk_items(chunks), day)
+}
+
+/// [`drill`] over a `.strc` reader: only rollup-bearing chunks decode.
+pub fn drill_strc(reader: &mut StrcReader, day: u32) -> Result<String, StrcError> {
+    let chunks = load_chunks(reader, rollup_series_decode_mask(), None)?;
+    Ok(drill_chunks(&chunks, day))
+}
+
+fn drill_items(items: &[Item<'_>], day: u32) -> String {
+    let mut out = String::new();
+    let mut any = false;
+    for seg in &item_segments(items) {
+        let rollups = seg_rollups(seg);
+        if rollups.is_empty() {
+            continue;
+        }
+        any = true;
+        let Some(r) = rollups.iter().find(|r| r.day == day) else {
+            let days: Vec<u32> = rollups.iter().map(|r| r.day).collect();
+            let _ = writeln!(
+                out,
+                "== {}: no rollup at day {day} (sampled days: {}..{}, {} samples)",
+                seg.label,
+                days.first().copied().unwrap_or(0),
+                days.last().copied().unwrap_or(0),
+                days.len()
+            );
+            continue;
+        };
+        let _ = writeln!(out, "== {} — day {day}", seg.label);
+        let _ = writeln!(
+            out,
+            "  alive {}, dead {} (wear {}, afr {}), dying {}",
+            r.alive,
+            r.dead(),
+            r.dead_wear,
+            r.dead_afr,
+            r.dying
+        );
+        let _ = writeln!(out, "  committed capacity: {} oPages", r.capacity_opages);
+        for name in DIST_NAMES {
+            let bins = r.dist(name).unwrap_or(&[]);
+            let _ = write!(out, "  {name:<6}:");
+            if bins.iter().all(|&b| b == 0) {
+                out.push_str(" (empty)\n");
+                continue;
+            }
+            for q in PERCENTILES {
+                if let Some(v) = percentile_permille(bins, q) {
+                    let _ = write!(out, " p{q}={v}");
+                }
+            }
+            let buckets: Vec<String> = bins
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b > 0)
+                .map(|(i, &b)| format!("{i}:{b}"))
+                .collect();
+            let _ = writeln!(out, " | buckets {}", buckets.join(" "));
+        }
+        let anomalies = crate::fleet::fleet_scan(rollups.iter().copied());
+        if anomalies.is_empty() {
+            out.push_str("  no fleet anomalies flagged in this segment\n");
+        } else {
+            let mut ranked = anomalies;
+            ranked.sort_by_key(|a| (std::cmp::Reverse(a.z_milli.abs()), a.time, a.kind));
+            out.push_str("  top fleet anomalies (segment-wide):\n");
+            for a in ranked.iter().take(3) {
+                let _ = writeln!(
+                    out,
+                    "    day {:>5}: {:<17} value {} mean {} z {}",
+                    a.time.day,
+                    a.kind.name(),
+                    milli_text(a.value_milli),
+                    milli_text(a.mean_milli),
+                    milli_text(a.z_milli),
+                );
+            }
+        }
+    }
+    if !any {
+        out.push_str("no fleet rollups recorded\n");
+    }
+    out
+}
+
+/// Render a milli-scaled statistic as fixed-point text (`1500` →
+/// `1.500`) without ever round-tripping through floats.
+fn milli_text(m: i64) -> String {
+    let sign = if m < 0 { "-" } else { "" };
+    let abs = m.unsigned_abs();
+    format!("{sign}{}.{:03}", abs / 1000, abs % 1000)
 }
 
 /// Parse a Prometheus text exposition into `series → value` (comment
@@ -1050,6 +1319,183 @@ mod tests {
             fleet_rollup_strc(&mut r, false).unwrap(),
             fleet_rollup(&[], false)
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A two-segment fleet trace: per-day rollups interleaved with
+    /// death events and enough noise that small chunks give the index
+    /// something to skip.
+    fn rollup_trace() -> Vec<TraceRecord> {
+        use salamander_obs::DIST_BUCKETS;
+        let mut out = Vec::new();
+        let mut seq = 0u64;
+        let mut push = |out: &mut Vec<TraceRecord>, day: u32, event: TraceEvent| {
+            out.push(rec(seq, day, 0, event));
+            seq += 1;
+        };
+        for label in ["fleet=Baseline", "fleet=ShrinkS"] {
+            push(
+                &mut out,
+                0,
+                TraceEvent::RunMarker {
+                    label: label.into(),
+                },
+            );
+            for i in 0..30u32 {
+                let day = (i + 1) * 30;
+                // Noise the rollup queries never print — enough of it
+                // that whole chunks contain no rollup and the decode
+                // mask has something to skip.
+                for j in 0..40u64 {
+                    push(
+                        &mut out,
+                        day,
+                        TraceEvent::GcPass {
+                            block: u64::from(i) * 8 + j,
+                            relocated: 4,
+                        },
+                    );
+                }
+                if i % 5 == 4 {
+                    push(
+                        &mut out,
+                        day,
+                        TraceEvent::FleetDeviceDied {
+                            device: i,
+                            cause: DeathCause::Wear,
+                        },
+                    );
+                }
+                let dead = i / 5;
+                let mut wear = vec![0u32; DIST_BUCKETS];
+                wear[(i as usize / 3).min(19)] = 100 - dead;
+                let mut health = vec![0u32; DIST_BUCKETS];
+                health[19 - (i as usize / 4).min(19)] = 100 - dead;
+                push(
+                    &mut out,
+                    day,
+                    TraceEvent::FleetRollup(salamander_obs::FleetRollup {
+                        day,
+                        alive: 100 - dead,
+                        dead_wear: dead,
+                        dead_afr: 0,
+                        dying: i / 10,
+                        capacity_opages: u64::from(100 - dead) * 5000,
+                        wear,
+                        pec: vec![0; DIST_BUCKETS],
+                        usable: vec![0; DIST_BUCKETS],
+                        health,
+                    }),
+                );
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fleet_timeline_renders_per_segment_series() {
+        let trace = rollup_trace();
+        let text = fleet_timeline(&trace);
+        assert!(
+            text.contains("== fleet=Baseline (30 sampled days)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("== fleet=ShrinkS (30 sampled days)"),
+            "{text}"
+        );
+        // Day 900 (i=29): 5 dead, wear median in bucket 9 -> 500‰.
+        let day900: Vec<&str> = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with("900"))
+            .collect();
+        assert_eq!(day900.len(), 2, "{text}");
+        assert!(day900[0].contains("95"), "{text}");
+        assert!(day900[0].contains("500"), "{text}");
+        assert!(fleet_timeline(&[]).contains("no fleet rollups recorded"));
+    }
+
+    #[test]
+    fn percentiles_pin_bucket_edges() {
+        let trace = rollup_trace();
+        let text = percentiles(&trace, "wear");
+        assert!(
+            text.contains("== fleet=Baseline — wear distribution"),
+            "{text}"
+        );
+        // Every device sits in one bucket, so all percentiles agree:
+        // day 30 (i=0) -> bucket 0 -> 50‰ everywhere.
+        let day30 = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("30 "))
+            .unwrap();
+        assert_eq!(
+            day30.split_whitespace().collect::<Vec<_>>(),
+            vec!["30", "50", "50", "50", "50", "50"],
+            "{text}"
+        );
+        assert!(percentiles(&trace, "bogus").contains("unknown distribution"),);
+        assert!(percentiles(&[], "wear").contains("no fleet rollups recorded"));
+    }
+
+    #[test]
+    fn drill_reports_day_detail_and_misses_gracefully() {
+        let trace = rollup_trace();
+        let text = drill(&trace, 900);
+        assert!(text.contains("== fleet=Baseline — day 900"), "{text}");
+        assert!(
+            text.contains("alive 95, dead 5 (wear 5, afr 0), dying 2"),
+            "{text}"
+        );
+        assert!(text.contains("committed capacity: 475000 oPages"), "{text}");
+        assert!(text.contains("wear  : p1=500"), "{text}");
+        assert!(text.contains("| buckets 9:95"), "{text}");
+        // The steady synthetic fleet flags nothing — that is asserted,
+        // not ignored, so a future detector change shows up here.
+        assert!(text.contains("no fleet anomalies flagged"), "{text}");
+        let miss = drill(&trace, 901);
+        assert!(
+            miss.contains("no rollup at day 901 (sampled days: 30..900, 30 samples)"),
+            "{miss}"
+        );
+    }
+
+    #[test]
+    fn rollup_queries_match_indexed_and_skip_chunks() {
+        use salamander_obs::strc::{write_strc, StrcReader};
+        let records = rollup_trace();
+        let path = tmp("rollup-queries.strc");
+        write_strc(&path, &records, 16).unwrap();
+
+        let mut r = StrcReader::open(&path).unwrap();
+        assert_eq!(
+            fleet_timeline_strc(&mut r).unwrap(),
+            fleet_timeline(&records)
+        );
+        assert!(
+            (r.chunks_decoded as usize) < r.chunk_count(),
+            "timeline decoded every chunk ({} of {})",
+            r.chunks_decoded,
+            r.chunk_count()
+        );
+
+        for metric in DIST_NAMES {
+            let mut r = StrcReader::open(&path).unwrap();
+            assert_eq!(
+                percentiles_strc(&mut r, metric).unwrap(),
+                percentiles(&records, metric),
+                "percentiles {metric}"
+            );
+        }
+
+        for day in [30, 900, 901] {
+            let mut r = StrcReader::open(&path).unwrap();
+            assert_eq!(
+                drill_strc(&mut r, day).unwrap(),
+                drill(&records, day),
+                "drill {day}"
+            );
+        }
         let _ = std::fs::remove_file(&path);
     }
 

@@ -161,6 +161,10 @@ pub enum TraceEvent {
         /// Chunk id.
         chunk: u64,
     },
+    /// Fleet-wide per-day distribution rollup (DESIGN.md §14). Emitted
+    /// once per sampled day by the fleet engines; deterministic by
+    /// construction (integer bins merged in shard order).
+    FleetRollup(crate::rollup::FleetRollup),
 }
 
 /// A trace event plus its position in the run: a per-handle sequence

@@ -22,6 +22,7 @@ pub mod event;
 pub mod live;
 pub mod metrics;
 pub mod profile;
+pub mod rollup;
 pub mod strc;
 pub mod trace;
 
@@ -29,6 +30,7 @@ pub use event::{DeathCause, DecommissionCause, SimTime, TraceEvent, TraceRecord}
 pub use live::{Broadcast, LiveObs, ProgressHandle};
 pub use metrics::{Histogram, MetricsHandle, MetricsRegistry};
 pub use profile::{PhaseGuard, PhaseStat, Profiler};
+pub use rollup::{FleetRollup, RollupKernel, DIST_BUCKETS, DIST_NAMES, PERCENTILES};
 pub use strc::{ChunkSummary, EventKind, RotatingStrcWriter, StrcError, StrcReader, StrcWriter};
 pub use trace::{JsonlSink, NullTracer, ParseError, RingRecorder, TraceHandle, Tracer};
 

@@ -17,7 +17,7 @@
 
 use crate::event::TraceRecord;
 use crate::metrics::MetricsRegistry;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -172,6 +172,10 @@ struct ProgressInner {
     devices: AtomicU64,
     /// Devices finished so far (fleet runs).
     devices_done: AtomicU64,
+    /// Per-mode day watermarks: label → (day, total_days). Only
+    /// touched by mode-scoped handles (see [`ProgressHandle::for_mode`]),
+    /// so the fast path stays atomic-only.
+    modes: Mutex<BTreeMap<String, (u64, u64)>>,
     /// When the run attached — only for the served ops-per-second.
     started: Instant,
 }
@@ -183,70 +187,112 @@ struct ProgressInner {
 /// for the rest), so any number of `par_map` tasks can bump one shared
 /// handle without coordination and without affecting determinism — the
 /// values are served live and never written to run output.
+///
+/// Fan-out runs (one mode per task) additionally scope a clone with
+/// [`ProgressHandle::for_mode`]: day bumps through that clone also
+/// maintain a per-mode `label → (day, total_days)` watermark served as
+/// the `"modes"` object in `/progress`, so a watcher sees how deep into
+/// the simulated horizon each mode is, not just the global maximum.
 #[derive(Clone, Default, Debug)]
-pub struct ProgressHandle(Option<Arc<ProgressInner>>);
+pub struct ProgressHandle {
+    inner: Option<Arc<ProgressInner>>,
+    /// Mode label this clone reports day progress under, if any.
+    mode: Option<Arc<str>>,
+}
 
 impl ProgressHandle {
     /// A live handle.
     pub fn enabled() -> Self {
-        ProgressHandle(Some(Arc::new(ProgressInner {
-            day: AtomicU64::new(0),
-            total_days: AtomicU64::new(0),
-            ops: AtomicU64::new(0),
-            devices: AtomicU64::new(0),
-            devices_done: AtomicU64::new(0),
-            started: Instant::now(),
-        })))
+        ProgressHandle {
+            inner: Some(Arc::new(ProgressInner {
+                day: AtomicU64::new(0),
+                total_days: AtomicU64::new(0),
+                ops: AtomicU64::new(0),
+                devices: AtomicU64::new(0),
+                devices_done: AtomicU64::new(0),
+                modes: Mutex::new(BTreeMap::new()),
+                started: Instant::now(),
+            })),
+            mode: None,
+        }
     }
 
     /// A dead handle (the default).
     pub fn disabled() -> Self {
-        ProgressHandle(None)
+        ProgressHandle {
+            inner: None,
+            mode: None,
+        }
     }
 
     /// Whether anything reads these counters.
     pub fn is_enabled(&self) -> bool {
-        self.0.is_some()
+        self.inner.is_some()
+    }
+
+    /// A clone that also tracks day progress under `label` (e.g.
+    /// `"fleet=ShrinkS"`). Shares every global counter with the
+    /// original handle; only the day watermark is additionally
+    /// mirrored into the per-mode map.
+    pub fn for_mode(&self, label: &str) -> Self {
+        ProgressHandle {
+            inner: self.inner.clone(),
+            mode: if self.inner.is_some() {
+                Some(Arc::from(label))
+            } else {
+                None
+            },
+        }
     }
 
     /// Raise the current-day watermark (monotone across tasks).
     pub fn set_day(&self, day: u64) {
-        if let Some(p) = &self.0 {
+        if let Some(p) = &self.inner {
             p.day.fetch_max(day, Ordering::Relaxed);
+            if let Some(mode) = &self.mode {
+                let mut modes = p.modes.lock().expect("progress modes lock");
+                let entry = modes.entry(mode.to_string()).or_insert((0, 0));
+                entry.0 = entry.0.max(day);
+            }
         }
     }
 
     /// Declare how many days the run will cover.
     pub fn set_total_days(&self, days: u64) {
-        if let Some(p) = &self.0 {
+        if let Some(p) = &self.inner {
             p.total_days.fetch_max(days, Ordering::Relaxed);
+            if let Some(mode) = &self.mode {
+                let mut modes = p.modes.lock().expect("progress modes lock");
+                let entry = modes.entry(mode.to_string()).or_insert((0, 0));
+                entry.1 = entry.1.max(days);
+            }
         }
     }
 
     /// Count host operations processed.
     pub fn add_ops(&self, n: u64) {
-        if let Some(p) = &self.0 {
+        if let Some(p) = &self.inner {
             p.ops.fetch_add(n, Ordering::Relaxed);
         }
     }
 
     /// Declare how many devices the run simulates.
     pub fn add_devices(&self, n: u64) {
-        if let Some(p) = &self.0 {
+        if let Some(p) = &self.inner {
             p.devices.fetch_add(n, Ordering::Relaxed);
         }
     }
 
     /// Count devices that finished simulating.
     pub fn device_done(&self) {
-        if let Some(p) = &self.0 {
+        if let Some(p) = &self.inner {
             p.devices_done.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Current `(day, total_days, ops, devices, devices_done)`.
     pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
-        match &self.0 {
+        match &self.inner {
             Some(p) => (
                 p.day.load(Ordering::Relaxed),
                 p.total_days.load(Ordering::Relaxed),
@@ -258,13 +304,27 @@ impl ProgressHandle {
         }
     }
 
+    /// Per-mode `(label, day, total_days)` watermarks, sorted by label.
+    pub fn mode_snapshot(&self) -> Vec<(String, u64, u64)> {
+        match &self.inner {
+            Some(p) => p
+                .modes
+                .lock()
+                .expect("progress modes lock")
+                .iter()
+                .map(|(label, &(day, total))| (label.clone(), day, total))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
     /// The `/progress` JSON body. Hand-assembled (the vendored serde
     /// has no map serializer) with a fixed field order; `ops_per_sec`
     /// is wall-clock-derived and intentionally excluded from anything
     /// deterministic.
     pub fn render_json(&self, run: &str, done: bool) -> String {
         let (day, total_days, ops, devices, devices_done) = self.snapshot();
-        let ops_per_sec = match &self.0 {
+        let ops_per_sec = match &self.inner {
             Some(p) => {
                 let secs = p.started.elapsed().as_secs_f64();
                 if secs > 0.0 {
@@ -275,12 +335,22 @@ impl ProgressHandle {
             }
             None => 0.0,
         };
+        let mut modes = String::new();
+        for (i, (label, mode_day, mode_total)) in self.mode_snapshot().iter().enumerate() {
+            if i > 0 {
+                modes.push(',');
+            }
+            modes.push_str(&format!(
+                "{}:{{\"day\":{mode_day},\"total_days\":{mode_total}}}",
+                json_string(label)
+            ));
+        }
         format!(
             concat!(
                 "{{\"run\":{run},\"day\":{day},\"total_days\":{total},",
                 "\"ops\":{ops},\"devices\":{devices},",
                 "\"devices_done\":{done_devices},\"ops_per_sec\":{rate:.1},",
-                "\"done\":{done}}}"
+                "\"modes\":{{{modes}}},\"done\":{done}}}"
             ),
             run = json_string(run),
             day = day,
@@ -289,6 +359,7 @@ impl ProgressHandle {
             devices = devices,
             done_devices = devices_done,
             rate = ops_per_sec,
+            modes = modes,
             done = done,
         )
     }
@@ -450,7 +521,42 @@ mod tests {
         let json = p.render_json("lifetime", false);
         assert!(json.contains("\"run\":\"lifetime\""), "{json}");
         assert!(json.contains("\"day\":3"), "{json}");
+        assert!(json.contains("\"modes\":{}"), "{json}");
         assert!(json.contains("\"done\":false"), "{json}");
+    }
+
+    #[test]
+    fn mode_scoped_handles_track_per_mode_days() {
+        let p = ProgressHandle::enabled();
+        let shrink = p.for_mode("fleet=ShrinkS");
+        let base = p.for_mode("fleet=Baseline");
+        shrink.set_total_days(200);
+        shrink.set_day(40);
+        shrink.set_day(10); // watermark: lower value ignored
+        base.set_total_days(200);
+        base.set_day(75);
+        // Mode bumps flow into the shared global watermark too.
+        assert_eq!(p.snapshot().0, 75);
+        assert_eq!(
+            p.mode_snapshot(),
+            vec![
+                ("fleet=Baseline".to_string(), 75, 200),
+                ("fleet=ShrinkS".to_string(), 40, 200),
+            ]
+        );
+        let json = p.render_json("fig3a", false);
+        assert!(
+            json.contains("\"fleet=ShrinkS\":{\"day\":40,\"total_days\":200}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"fleet=Baseline\":{\"day\":75,\"total_days\":200}"),
+            "{json}"
+        );
+        // Disabled handles stay inert through for_mode.
+        let dead = ProgressHandle::disabled().for_mode("fleet=X");
+        dead.set_day(9);
+        assert!(dead.mode_snapshot().is_empty());
     }
 
     #[test]

@@ -1,0 +1,362 @@
+//! Fleet-wide per-day distribution rollups (DESIGN.md §14).
+//!
+//! At warehouse scale (100k–1M devices) per-device trace events are
+//! infeasible, and the fleet timeline keeps only a handful of scalars
+//! per sample day. A [`FleetRollup`] is the middle ground: one compact
+//! record per sampled day carrying population counts plus fixed-bucket
+//! integer histograms of the wear / remaining-life / capacity / health
+//! distributions across the whole fleet. Percentiles are extracted
+//! exactly from the buckets (reported as bucket upper edges), so the
+//! record is byte-identical across engines and thread counts by
+//! construction: every bin is a saturating integer counter, shards are
+//! merged in shard order, and no f64 accumulation ever crosses a merge
+//! boundary.
+//!
+//! The aggregation side lives in [`RollupKernel`]: each parallel shard
+//! folds its devices into one kernel, and `salamander_exec::par_map`
+//! returns shards in item order, so the fold
+//! `kernels.fold(merge)` is deterministic regardless of how many
+//! threads raced to produce them.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of fixed-width histogram buckets per distribution. Bucket
+/// `i` covers the half-open fraction range `[i/20, (i+1)/20)` (the
+/// last bucket is closed at 1.0 via clamping).
+pub const DIST_BUCKETS: usize = 20;
+
+/// The percentiles extracted for tables and series queries.
+pub const PERCENTILES: [u32; 5] = [1, 10, 50, 90, 99];
+
+/// Distribution names, in the order they appear in a rollup record.
+pub const DIST_NAMES: [&str; 4] = ["wear", "pec", "usable", "health"];
+
+/// A device is "dying" once its committed capacity has shrunk to half
+/// of what it shipped with.
+pub const DYING_CAPACITY_FRAC: f64 = 0.5;
+
+/// One per-day fleet-wide aggregate: population counts, capacity sum,
+/// and four 20-bucket integer distributions. All counters are
+/// saturating; distributions hold device counts per fraction bucket.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetRollup {
+    /// Simulated day this rollup describes.
+    pub day: u32,
+    /// Devices still in service at end of day.
+    pub alive: u32,
+    /// Cumulative wear-out deaths so far.
+    pub dead_wear: u32,
+    /// Cumulative AFR (random-failure) deaths so far.
+    pub dead_afr: u32,
+    /// Alive devices whose committed capacity has shrunk to
+    /// ≤ [`DYING_CAPACITY_FRAC`] of initial.
+    pub dying: u32,
+    /// Sum of committed oPages across alive devices.
+    pub capacity_opages: u64,
+    /// Wear fraction (PEC consumed / PEC budget to first tiredness
+    /// boundary): alive-device counts per bucket.
+    pub wear: Vec<u32>,
+    /// PEC fraction consumed of the full endurance budget (to the last
+    /// usable tiredness level).
+    pub pec: Vec<u32>,
+    /// Usable-capacity fraction (usable oPages / geometry total).
+    pub usable: Vec<u32>,
+    /// Health score (0–100, bucketed by 5): capacity-weighted
+    /// composite, see [`health_score`].
+    pub health: Vec<u32>,
+}
+
+impl FleetRollup {
+    /// Total cumulative deaths.
+    pub fn dead(&self) -> u32 {
+        self.dead_wear.saturating_add(self.dead_afr)
+    }
+
+    /// The named distribution, if `name` is one of [`DIST_NAMES`].
+    pub fn dist(&self, name: &str) -> Option<&[u32]> {
+        match name {
+            "wear" => Some(&self.wear),
+            "pec" => Some(&self.pec),
+            "usable" => Some(&self.usable),
+            "health" => Some(&self.health),
+            _ => None,
+        }
+    }
+
+    /// A scalar series value for `/fleet/series` and `obsctl`:
+    /// `alive`, `dead_wear`, `dead_afr`, `dead`, `dying`, `capacity`,
+    /// or `<dist>_p<q>` (e.g. `wear_p50`, permille of the bucket upper
+    /// edge). `None` for unknown metrics or empty distributions.
+    pub fn series_value(&self, metric: &str) -> Option<u64> {
+        match metric {
+            "alive" => return Some(u64::from(self.alive)),
+            "dead_wear" => return Some(u64::from(self.dead_wear)),
+            "dead_afr" => return Some(u64::from(self.dead_afr)),
+            "dead" => return Some(u64::from(self.dead())),
+            "dying" => return Some(u64::from(self.dying)),
+            "capacity" => return Some(self.capacity_opages),
+            _ => {}
+        }
+        let (dist, q) = metric.rsplit_once("_p")?;
+        let q: u32 = q.parse().ok()?;
+        if q == 0 || q > 100 {
+            return None;
+        }
+        percentile_permille(self.dist(dist)?, q).map(u64::from)
+    }
+}
+
+/// Exact percentile from an integer histogram, reported as the upper
+/// edge of the bucket holding the q-th percentile device, in permille
+/// (‰ of the fraction range — bucket `i` of 20 reports `(i+1)·50`).
+/// Rank follows the nearest-rank definition `max(1, ceil(q·N/100))`.
+/// `None` on an empty histogram.
+pub fn percentile_permille(bins: &[u32], q: u32) -> Option<u32> {
+    let total: u64 = bins.iter().map(|&b| u64::from(b)).sum();
+    if total == 0 || bins.is_empty() {
+        return None;
+    }
+    let rank = (u64::from(q) * total).div_ceil(100).max(1);
+    let mut cum = 0u64;
+    for (i, &b) in bins.iter().enumerate() {
+        cum += u64::from(b);
+        if cum >= rank {
+            return Some(((i + 1) * 1000 / bins.len()) as u32);
+        }
+    }
+    // Unreachable: cum reaches `total >= rank` on the last bucket.
+    Some(1000)
+}
+
+/// Bucket index for a fraction in `[0, 1]`. Out-of-range values clamp
+/// to the edge buckets; NaN lands deterministically in bucket 0 (the
+/// `as` cast saturates NaN to 0).
+pub fn bucket_index(frac: f64) -> usize {
+    let i = (frac * DIST_BUCKETS as f64) as isize;
+    i.clamp(0, DIST_BUCKETS as isize - 1) as usize
+}
+
+/// Composite 0–100 device health score: up to 70 points for retained
+/// committed capacity, up to 30 for remaining endurance budget. Pure
+/// integer output of two clamped f64 expressions, so any two engines
+/// computing the same fractions score identically.
+pub fn health_score(cap_frac: f64, pec_frac: f64) -> u32 {
+    let capacity = (cap_frac.clamp(0.0, 1.0) * 70.0) as u32;
+    let life = ((1.0 - pec_frac).clamp(0.0, 1.0) * 30.0) as u32;
+    capacity + life
+}
+
+/// Per-shard rollup accumulator: `days` parallel sets of one dying
+/// counter plus four [`DIST_BUCKETS`]-wide histograms, all saturating
+/// `u32`. Shards observe their own devices, then the caller merges
+/// kernels in shard order ([`RollupKernel::merge`] is commutative, but
+/// fixed order keeps the story simple).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RollupKernel {
+    days: usize,
+    /// Dying-device count per grid day.
+    pub dying: Vec<u32>,
+    /// Wear-fraction histogram, `days × DIST_BUCKETS`, day-major.
+    pub wear: Vec<u32>,
+    /// PEC-fraction histogram, same layout.
+    pub pec: Vec<u32>,
+    /// Usable-capacity-fraction histogram, same layout.
+    pub usable: Vec<u32>,
+    /// Health-score histogram, same layout.
+    pub health: Vec<u32>,
+}
+
+impl RollupKernel {
+    /// An empty kernel over `days` grid days.
+    pub fn new(days: usize) -> Self {
+        RollupKernel {
+            days,
+            dying: vec![0; days],
+            wear: vec![0; days * DIST_BUCKETS],
+            pec: vec![0; days * DIST_BUCKETS],
+            usable: vec![0; days * DIST_BUCKETS],
+            health: vec![0; days * DIST_BUCKETS],
+        }
+    }
+
+    /// Number of grid days this kernel covers.
+    pub fn days(&self) -> usize {
+        self.days
+    }
+
+    /// Fold one alive device's state at grid day `gi` into the
+    /// histograms. Fractions are f64 but only ever bucketed — no
+    /// cross-device float accumulation happens anywhere in a rollup.
+    pub fn observe(
+        &mut self,
+        gi: usize,
+        wear_frac: f64,
+        pec_frac: f64,
+        use_frac: f64,
+        cap_frac: f64,
+    ) {
+        let base = gi * DIST_BUCKETS;
+        bump(&mut self.wear[base + bucket_index(wear_frac)]);
+        bump(&mut self.pec[base + bucket_index(pec_frac)]);
+        bump(&mut self.usable[base + bucket_index(use_frac)]);
+        let score = health_score(cap_frac, pec_frac) as usize;
+        bump(&mut self.health[base + (score / 5).min(DIST_BUCKETS - 1)]);
+        if cap_frac <= DYING_CAPACITY_FRAC {
+            bump(&mut self.dying[gi]);
+        }
+    }
+
+    /// Merge another shard's counts into this one (element-wise
+    /// saturating add). Commutative and associative, so the merged
+    /// kernel is independent of how devices were sharded.
+    pub fn merge(&mut self, other: &RollupKernel) {
+        debug_assert_eq!(self.days, other.days);
+        for (a, b) in self.dying.iter_mut().zip(&other.dying) {
+            *a = a.saturating_add(*b);
+        }
+        for (dst, src) in [
+            (&mut self.wear, &other.wear),
+            (&mut self.pec, &other.pec),
+            (&mut self.usable, &other.usable),
+            (&mut self.health, &other.health),
+        ] {
+            for (a, b) in dst.iter_mut().zip(src.iter()) {
+                *a = a.saturating_add(*b);
+            }
+        }
+    }
+
+    /// The four histograms and dying count for grid day `gi`, as the
+    /// distribution slices a [`FleetRollup`] wants.
+    pub fn day_slices(&self, gi: usize) -> (u32, &[u32], &[u32], &[u32], &[u32]) {
+        let r = gi * DIST_BUCKETS..(gi + 1) * DIST_BUCKETS;
+        (
+            self.dying[gi],
+            &self.wear[r.clone()],
+            &self.pec[r.clone()],
+            &self.usable[r.clone()],
+            &self.health[r],
+        )
+    }
+}
+
+fn bump(slot: &mut u32) {
+    *slot = slot.saturating_add(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_pin_down() {
+        // Exact lower edges land in their own bucket; 1.0 clamps into
+        // the last; out-of-range and NaN are deterministic.
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(0.049), 0);
+        assert_eq!(bucket_index(0.05), 1);
+        assert_eq!(bucket_index(0.999), 19);
+        assert_eq!(bucket_index(1.0), 19);
+        assert_eq!(bucket_index(7.5), 19);
+        assert_eq!(bucket_index(-0.3), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_and_upper_edges() {
+        // 10 devices in bucket 0, 10 in bucket 19.
+        let mut bins = [0u32; DIST_BUCKETS];
+        bins[0] = 10;
+        bins[19] = 10;
+        // rank(p50) = ceil(50*20/100) = 10 -> still bucket 0, upper
+        // edge 50 permille; p90 -> rank 18 -> bucket 19 -> 1000.
+        assert_eq!(percentile_permille(&bins, 50), Some(50));
+        assert_eq!(percentile_permille(&bins, 90), Some(1000));
+        assert_eq!(percentile_permille(&bins, 1), Some(50));
+        assert_eq!(percentile_permille(&bins, 100), Some(1000));
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_none() {
+        assert_eq!(percentile_permille(&[0; DIST_BUCKETS], 50), None);
+        assert_eq!(percentile_permille(&[], 50), None);
+    }
+
+    #[test]
+    fn percentile_rank_never_drops_below_one() {
+        // A single device: every percentile reports its bucket.
+        let mut bins = [0u32; DIST_BUCKETS];
+        bins[3] = 1;
+        for q in PERCENTILES {
+            assert_eq!(percentile_permille(&bins, q), Some(200));
+        }
+    }
+
+    #[test]
+    fn kernel_merge_is_order_independent() {
+        let mut a = RollupKernel::new(2);
+        let mut b = RollupKernel::new(2);
+        a.observe(0, 0.1, 0.2, 0.9, 1.0);
+        a.observe(1, 0.5, 0.6, 0.7, 0.4);
+        b.observe(0, 0.95, 0.99, 0.2, 0.3);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let (dying, wear, ..) = ab.day_slices(0);
+        assert_eq!(dying, 1); // cap_frac 0.3 <= 0.5
+        assert_eq!(wear.iter().sum::<u32>(), 2);
+    }
+
+    #[test]
+    fn health_score_weighs_capacity_then_life() {
+        assert_eq!(health_score(1.0, 0.0), 100);
+        assert_eq!(health_score(0.0, 1.0), 0);
+        assert_eq!(health_score(1.0, 1.0), 70);
+        assert_eq!(health_score(0.5, 0.5), 35 + 15);
+    }
+
+    #[test]
+    fn series_values_cover_counts_and_percentiles() {
+        let mut r = FleetRollup {
+            day: 30,
+            alive: 90,
+            dead_wear: 7,
+            dead_afr: 3,
+            dying: 5,
+            capacity_opages: 1_000_000,
+            wear: vec![0; DIST_BUCKETS],
+            pec: vec![0; DIST_BUCKETS],
+            usable: vec![0; DIST_BUCKETS],
+            health: vec![0; DIST_BUCKETS],
+        };
+        r.wear[4] = 90;
+        assert_eq!(r.series_value("alive"), Some(90));
+        assert_eq!(r.series_value("dead"), Some(10));
+        assert_eq!(r.series_value("capacity"), Some(1_000_000));
+        assert_eq!(r.series_value("wear_p50"), Some(250));
+        assert_eq!(r.series_value("pec_p50"), None); // empty dist
+        assert_eq!(r.series_value("bogus"), None);
+        assert_eq!(r.series_value("wear_p0"), None);
+    }
+
+    #[test]
+    fn rollup_round_trips_through_json() {
+        let r = FleetRollup {
+            day: 60,
+            alive: 3,
+            dead_wear: 1,
+            dead_afr: 0,
+            dying: 2,
+            capacity_opages: 42,
+            wear: vec![1; DIST_BUCKETS],
+            pec: vec![2; DIST_BUCKETS],
+            usable: vec![0; DIST_BUCKETS],
+            health: vec![3; DIST_BUCKETS],
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: FleetRollup = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

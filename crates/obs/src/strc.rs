@@ -43,15 +43,20 @@ use std::path::{Path, PathBuf};
 pub const MAGIC: &[u8; 4] = b"STRC";
 /// Footer magic, last four bytes of every `.strc` file.
 pub const FOOTER_MAGIC: &[u8; 4] = b"XIDX";
-/// Format version this module reads and writes.
-pub const VERSION: u32 = 1;
+/// Format version this module writes. Readers accept `1..=VERSION`:
+/// v2 added the `FleetRollup` event kind (and its per-kind count slot
+/// in the footer summaries); v1 files decode with that slot zero.
+pub const VERSION: u32 = 2;
 /// Records per chunk unless the writer is told otherwise. ~4K records
 /// keeps chunks in the hundreds-of-KB range — big enough to amortize
 /// the summary, small enough that skipping matters.
 pub const DEFAULT_CHUNK_RECORDS: usize = 4096;
 
 /// Number of event kinds (one bit each in [`ChunkSummary::kind_mask`]).
-pub const EVENT_KINDS: usize = 14;
+pub const EVENT_KINDS: usize = 15;
+
+/// Event kinds in a version-1 footer (before `FleetRollup`).
+const EVENT_KINDS_V1: usize = 14;
 
 /// The wire tag of each [`TraceEvent`] variant. Order is part of the
 /// format: renumbering breaks every existing `.strc` file.
@@ -86,6 +91,8 @@ pub enum EventKind {
     ChunkReReplicated = 12,
     /// [`TraceEvent::ChunkLost`]
     ChunkLost = 13,
+    /// [`TraceEvent::FleetRollup`] (format v2)
+    FleetRollup = 14,
 }
 
 impl EventKind {
@@ -106,6 +113,7 @@ impl EventKind {
             TraceEvent::FleetDeviceDied { .. } => EventKind::FleetDeviceDied,
             TraceEvent::ChunkReReplicated { .. } => EventKind::ChunkReReplicated,
             TraceEvent::ChunkLost { .. } => EventKind::ChunkLost,
+            TraceEvent::FleetRollup(_) => EventKind::FleetRollup,
         }
     }
 
@@ -236,7 +244,7 @@ impl ChunkSummary {
         out.extend_from_slice(&self.rerep_bytes.to_le_bytes());
     }
 
-    fn decode(cur: &mut Cursor<'_>) -> Result<ChunkSummary, StrcError> {
+    fn decode(cur: &mut Cursor<'_>, version: u32) -> Result<ChunkSummary, StrcError> {
         let mut s = ChunkSummary {
             offset: cur.u64()?,
             byte_len: cur.u32()?,
@@ -247,7 +255,15 @@ impl ChunkSummary {
         s.last = SimTime::new(cur.u32()?, cur.u64()?);
         s.kind_mask = cur.u16()?;
         s.id_bloom = cur.u64()?;
-        for c in &mut s.counts {
+        // v1 footers carry one count slot fewer (no FleetRollup); the
+        // missing slot stays zero, which is exact — v1 files cannot
+        // contain the kind.
+        let kinds = if version == 1 {
+            EVENT_KINDS_V1
+        } else {
+            EVENT_KINDS
+        };
+        for c in &mut s.counts[..kinds] {
             *c = cur.u32()?;
         }
         for t in &mut s.transitions {
@@ -423,7 +439,35 @@ fn encode_event(event: &TraceEvent, out: &mut Vec<u8>) {
             out.extend_from_slice(&bytes.to_le_bytes());
         }
         TraceEvent::ChunkLost { chunk } => out.extend_from_slice(&chunk.to_le_bytes()),
+        TraceEvent::FleetRollup(r) => {
+            out.extend_from_slice(&r.day.to_le_bytes());
+            out.extend_from_slice(&r.alive.to_le_bytes());
+            out.extend_from_slice(&r.dead_wear.to_le_bytes());
+            out.extend_from_slice(&r.dead_afr.to_le_bytes());
+            out.extend_from_slice(&r.dying.to_le_bytes());
+            out.extend_from_slice(&r.capacity_opages.to_le_bytes());
+            for dist in [&r.wear, &r.pec, &r.usable, &r.health] {
+                encode_u32_vec(dist, out);
+            }
+        }
     }
+}
+
+fn encode_u32_vec(v: &[u32], out: &mut Vec<u8>) {
+    let len = v.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    for x in &v[..len] {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn decode_u32_vec(cur: &mut Cursor<'_>) -> Result<Vec<u32>, StrcError> {
+    let len = cur.u16()? as usize;
+    let mut v = Vec::with_capacity(len);
+    for _ in 0..len {
+        v.push(cur.u32()?);
+    }
+    Ok(v)
 }
 
 fn death_code(cause: DeathCause) -> u8 {
@@ -514,6 +558,18 @@ fn decode_event(cur: &mut Cursor<'_>) -> Result<TraceEvent, StrcError> {
             bytes: cur.u64()?,
         },
         13 => TraceEvent::ChunkLost { chunk: cur.u64()? },
+        14 => TraceEvent::FleetRollup(crate::rollup::FleetRollup {
+            day: cur.u32()?,
+            alive: cur.u32()?,
+            dead_wear: cur.u32()?,
+            dead_afr: cur.u32()?,
+            dying: cur.u32()?,
+            capacity_opages: cur.u64()?,
+            wear: decode_u32_vec(cur)?,
+            pec: decode_u32_vec(cur)?,
+            usable: decode_u32_vec(cur)?,
+            health: decode_u32_vec(cur)?,
+        }),
         n => return Err(StrcError::corrupt(at, format!("unknown event kind {n}"))),
     })
 }
@@ -649,7 +705,7 @@ impl StrcReader {
             return Err(StrcError::corrupt(0, "bad magic (not a .strc file)"));
         }
         let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
-        if version != VERSION {
+        if version == 0 || version > VERSION {
             return Err(StrcError::corrupt(
                 4,
                 format!("unsupported version {version}"),
@@ -676,7 +732,7 @@ impl StrcReader {
         let count = cur.u32()? as usize;
         let mut summaries = Vec::with_capacity(count);
         for _ in 0..count {
-            summaries.push(ChunkSummary::decode(&mut cur)?);
+            summaries.push(ChunkSummary::decode(&mut cur, version)?);
         }
         if !cur.done() {
             return Err(StrcError::corrupt(
@@ -1049,6 +1105,89 @@ mod tests {
             StrcReader::open(&path),
             Err(StrcError::Corrupt { .. })
         ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A version-1 footer summary: identical to v2 minus the
+    /// `FleetRollup` count slot.
+    fn encode_summary_v1(s: &ChunkSummary, out: &mut Vec<u8>) {
+        out.extend_from_slice(&s.offset.to_le_bytes());
+        out.extend_from_slice(&s.byte_len.to_le_bytes());
+        out.extend_from_slice(&s.records.to_le_bytes());
+        out.extend_from_slice(&s.first.day.to_le_bytes());
+        out.extend_from_slice(&s.first.op.to_le_bytes());
+        out.extend_from_slice(&s.last.day.to_le_bytes());
+        out.extend_from_slice(&s.last.op.to_le_bytes());
+        out.extend_from_slice(&s.kind_mask.to_le_bytes());
+        out.extend_from_slice(&s.id_bloom.to_le_bytes());
+        for c in &s.counts[..EVENT_KINDS_V1] {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        for t in &s.transitions {
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        out.extend_from_slice(&s.gc_relocated.to_le_bytes());
+        out.extend_from_slice(&s.rerep_bytes.to_le_bytes());
+    }
+
+    #[test]
+    fn version1_files_still_open() {
+        // Hand-build a v1 file: the record encoding of pre-rollup
+        // kinds is unchanged, only the footer summary is narrower.
+        let records = sample_records(5);
+        let mut payload = Vec::new();
+        for r in &records {
+            encode_record(r, &mut payload);
+        }
+        let mut s = summarize(&records);
+        s.offset = 8;
+        s.byte_len = payload.len() as u32;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let mut footer = Vec::new();
+        footer.extend_from_slice(&1u32.to_le_bytes());
+        encode_summary_v1(&s, &mut footer);
+        bytes.extend_from_slice(&footer);
+        bytes.extend_from_slice(&(footer.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(FOOTER_MAGIC);
+        let path = tmp("v1.strc");
+        std::fs::write(&path, &bytes).unwrap();
+        let mut r = StrcReader::open(&path).unwrap();
+        assert_eq!(r.summaries()[0].counts, s.counts);
+        assert_eq!(r.read_all().unwrap(), records);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fleet_rollups_round_trip_and_index() {
+        let rollup = crate::rollup::FleetRollup {
+            day: 30,
+            alive: 97,
+            dead_wear: 2,
+            dead_afr: 1,
+            dying: 4,
+            capacity_opages: 123_456_789,
+            wear: (0..20).collect(),
+            pec: vec![5; 20],
+            usable: vec![0; 20],
+            health: vec![1; 20],
+        };
+        let mut records = sample_records(10);
+        records.push(TraceRecord {
+            seq: 10,
+            time: SimTime::new(30, 0),
+            event: TraceEvent::FleetRollup(rollup),
+        });
+        let path = tmp("rollup.strc");
+        write_strc(&path, &records, 4).unwrap();
+        let mut r = StrcReader::open(&path).unwrap();
+        let tail = r.summaries().last().unwrap();
+        assert!(tail.may_contain_kinds(EventKind::FleetRollup.bit()));
+        assert_eq!(tail.count(EventKind::FleetRollup), 1);
+        assert_eq!(r.read_all().unwrap(), records);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -4,6 +4,7 @@
 
 use proptest::prelude::*;
 use salamander_obs::event::{DeathCause, DecommissionCause, SimTime, TraceEvent, TraceRecord};
+use salamander_obs::{FleetRollup, DIST_BUCKETS};
 
 pub fn cause_strategy() -> impl Strategy<Value = DecommissionCause> {
     prop_oneof![
@@ -56,7 +57,42 @@ pub fn event_strategy() -> impl Strategy<Value = TraceEvent> {
         (any::<u64>(), any::<u64>())
             .prop_map(|(chunk, bytes)| TraceEvent::ChunkReReplicated { chunk, bytes }),
         any::<u64>().prop_map(|chunk| TraceEvent::ChunkLost { chunk }),
+        rollup_strategy().prop_map(TraceEvent::FleetRollup),
     ]
+}
+
+/// Arbitrary per-day fleet rollups: any counter values, any histogram
+/// contents — the formats must round-trip all of them, not just the
+/// shapes the simulator happens to emit.
+pub fn rollup_strategy() -> impl Strategy<Value = FleetRollup> {
+    let dist = || proptest::collection::vec(any::<u32>(), DIST_BUCKETS);
+    (
+        (any::<u32>(), any::<u32>(), any::<u32>()),
+        (any::<u32>(), any::<u32>(), any::<u64>()),
+        (dist(), dist()),
+        (dist(), dist()),
+    )
+        .prop_map(
+            |(
+                (day, alive, dead_wear),
+                (dead_afr, dying, capacity_opages),
+                (wear, pec),
+                (usable, health),
+            )| {
+                FleetRollup {
+                    day,
+                    alive,
+                    dead_wear,
+                    dead_afr,
+                    dying,
+                    capacity_opages,
+                    wear,
+                    pec,
+                    usable,
+                    health,
+                }
+            },
+        )
 }
 
 pub fn record_strategy() -> impl Strategy<Value = TraceRecord> {

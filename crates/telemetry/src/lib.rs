@@ -18,14 +18,16 @@
 //! | `GET /health`       | JSON map of run label → `HealthReport` (published at end of run) |
 //! | `GET /trace/tail`   | NDJSON of the most recent `?n=K` records (default 100) |
 //! | `GET /trace/stream` | NDJSON long-poll from `?from=<cursor>`; the next cursor comes back in an `X-Next-Cursor` header |
-//! | `GET /progress`     | sim day / ops / device counts / wall-clock ops-per-sec |
+//! | `GET /progress`     | sim day / ops / device counts / per-mode days / rollup day counts / wall-clock ops-per-sec |
+//! | `GET /fleet`        | JSON snapshot: per-label rollup day count plus the latest [`FleetRollup`] |
+//! | `GET /fleet/series` | `?metric=<name>[&fleet=<label>]`: per-label `[day, value]` series over the published rollups (metric names per [`FleetRollup::series_value`]) |
 //! | `GET /quit`         | asks the host process to stop lingering          |
 //!
 //! The server holds no locks while blocked on I/O except the bounded
 //! condvar wait inside [`Broadcast::poll_after`], and it cannot slow
 //! the simulation beyond momentary mirror-lock contention.
 
-use salamander_obs::{trace::to_jsonl, LiveObs};
+use salamander_obs::{trace::to_jsonl, FleetRollup, LiveObs};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -54,6 +56,10 @@ pub struct TelemetryHub {
     /// finish. Pre-serialized by the publisher so this crate needs no
     /// knowledge of the health types.
     health: Mutex<BTreeMap<String, String>>,
+    /// Run label → per-day fleet rollups, published as fleet runs
+    /// finish (the deterministic artifacts; `/fleet` and
+    /// `/fleet/series` are pure views over them).
+    fleet: Mutex<BTreeMap<String, Vec<FleetRollup>>>,
     /// The exact rendered metrics text the run wrote (or would write)
     /// at exit. Once set, `/metrics` serves these bytes verbatim, so a
     /// final scrape equals the `--metrics` file byte-for-byte.
@@ -69,6 +75,7 @@ impl TelemetryHub {
             live,
             run: run.to_string(),
             health: Mutex::new(BTreeMap::new()),
+            fleet: Mutex::new(BTreeMap::new()),
             final_metrics: Mutex::new(None),
             done: AtomicBool::new(false),
             quit: AtomicBool::new(false),
@@ -81,6 +88,15 @@ impl TelemetryHub {
             .lock()
             .expect("health lock")
             .insert(label.to_string(), report_json);
+    }
+
+    /// Publish one run label's per-day fleet rollups, replacing any
+    /// previous set for that label.
+    pub fn publish_rollups(&self, label: &str, rollups: Vec<FleetRollup>) {
+        self.fleet
+            .lock()
+            .expect("fleet lock")
+            .insert(label.to_string(), rollups);
     }
 
     /// Publish the final metrics text and mark the run finished. The
@@ -147,6 +163,111 @@ impl TelemetryHub {
             self.is_done()
         )
     }
+
+    /// The `/progress` body: the live counters, plus — once fleet
+    /// rollups are published — a `rollup_days` object mapping each
+    /// label to how many sampled days its rollup series covers.
+    fn progress_body(&self) -> String {
+        let mut body = self.live.progress.render_json(&self.run, self.is_done());
+        let fleets = self.fleet.lock().expect("fleet lock");
+        if !fleets.is_empty() {
+            // render_json always ends with a closing brace; splice the
+            // extra field in before it.
+            body.pop();
+            body.push_str(",\"rollup_days\":{");
+            for (i, (label, rollups)) in fleets.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&json_string(label));
+                body.push(':');
+                body.push_str(&rollups.len().to_string());
+            }
+            body.push_str("}}");
+        }
+        body
+    }
+
+    /// The `/fleet` body: per-label day count plus the latest rollup
+    /// record (serialized via serde, same shape as the JSONL trace
+    /// form).
+    fn fleet_body(&self) -> String {
+        let fleets = self.fleet.lock().expect("fleet lock");
+        let mut body = format!(
+            "{{\"run\":{},\"done\":{},\"fleets\":{{",
+            json_string(&self.run),
+            self.is_done()
+        );
+        for (i, (label, rollups)) in fleets.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&json_string(label));
+            body.push_str(":{\"days\":");
+            body.push_str(&rollups.len().to_string());
+            body.push_str(",\"latest\":");
+            match rollups.last().and_then(|r| serde_json::to_string(r).ok()) {
+                Some(json) => body.push_str(&json),
+                None => body.push_str("null"),
+            }
+            body.push('}');
+        }
+        body.push_str("}}");
+        body
+    }
+
+    /// The `/fleet/series` body: per-label `[day, value]` pairs for
+    /// `metric` (optionally restricted to one label). `None` when the
+    /// metric name is unknown — the handler turns that into a 400.
+    /// Records whose distribution is empty contribute gaps, not
+    /// errors.
+    fn fleet_series_body(&self, metric: &str, only: Option<&str>) -> Option<String> {
+        if !valid_series_metric(metric) {
+            return None;
+        }
+        let fleets = self.fleet.lock().expect("fleet lock");
+        let mut body = format!("{{\"metric\":{},\"series\":{{", json_string(metric));
+        let mut wrote = false;
+        for (label, rollups) in fleets.iter() {
+            if only.is_some_and(|f| f != label.as_str()) {
+                continue;
+            }
+            let points: Vec<String> = rollups
+                .iter()
+                .filter_map(|r| r.series_value(metric).map(|v| format!("[{},{v}]", r.day)))
+                .collect();
+            if wrote {
+                body.push(',');
+            }
+            body.push_str(&json_string(label));
+            body.push_str(":[");
+            body.push_str(&points.join(","));
+            body.push(']');
+            wrote = true;
+        }
+        body.push_str("}}");
+        Some(body)
+    }
+}
+
+/// Whether `metric` is a name [`FleetRollup::series_value`] accepts,
+/// probed against a record with populated distributions so this check
+/// cannot drift from the real extraction.
+fn valid_series_metric(metric: &str) -> bool {
+    use salamander_obs::DIST_BUCKETS;
+    let probe = FleetRollup {
+        day: 0,
+        alive: 0,
+        dead_wear: 0,
+        dead_afr: 0,
+        dying: 0,
+        capacity_opages: 0,
+        wear: vec![1; DIST_BUCKETS],
+        pec: vec![1; DIST_BUCKETS],
+        usable: vec![1; DIST_BUCKETS],
+        health: vec![1; DIST_BUCKETS],
+    };
+    probe.series_value(metric).is_some()
 }
 
 /// A running telemetry server: owns the listener thread and the bound
@@ -268,8 +389,22 @@ fn handle_connection(stream: TcpStream, hub: &TelemetryHub) {
         "/healthz" => respond(&mut out, 200, "application/json", &hub.healthz_body(), &[]),
         "/health" => respond(&mut out, 200, "application/json", &hub.health_body(), &[]),
         "/progress" => {
-            let body = hub.live.progress.render_json(&hub.run, hub.is_done());
+            let body = hub.progress_body();
             respond(&mut out, 200, "application/json", &body, &[]);
+        }
+        "/fleet" => respond(&mut out, 200, "application/json", &hub.fleet_body(), &[]),
+        "/fleet/series" => {
+            let metric = query_param(query, "metric").unwrap_or("alive");
+            match hub.fleet_series_body(metric, query_param(query, "fleet")) {
+                Some(body) => respond(&mut out, 200, "application/json", &body, &[]),
+                None => respond(
+                    &mut out,
+                    400,
+                    "text/plain",
+                    "unknown metric (try alive, dead, dying, capacity, wear_p50, ...)\n",
+                    &[],
+                ),
+            }
         }
         "/trace/tail" => {
             let n = query_param(query, "n")
@@ -467,6 +602,65 @@ mod tests {
         let (_, _, body) = http_get(server.addr(), "/health").unwrap();
         assert!(
             body.contains("\"mode=RegenS\":{\"score\":99},\"mode=ShrinkS\":{\"score\":97}"),
+            "{body}"
+        );
+        server.shutdown();
+    }
+
+    fn rollup(day: u32, alive: u32) -> FleetRollup {
+        use salamander_obs::DIST_BUCKETS;
+        let mut wear = vec![0u32; DIST_BUCKETS];
+        wear[2] = alive;
+        FleetRollup {
+            day,
+            alive,
+            dead_wear: 100 - alive,
+            dead_afr: 0,
+            dying: 1,
+            capacity_opages: u64::from(alive) * 1000,
+            wear,
+            pec: vec![0; DIST_BUCKETS],
+            usable: vec![0; DIST_BUCKETS],
+            health: vec![0; DIST_BUCKETS],
+        }
+    }
+
+    #[test]
+    fn fleet_snapshot_and_series_serve_published_rollups() {
+        let (server, hub) = start();
+        let (_, _, body) = http_get(server.addr(), "/fleet").unwrap();
+        assert!(body.contains("\"fleets\":{}"), "{body}");
+        hub.publish_rollups("fleet=ShrinkS", vec![rollup(30, 100), rollup(60, 97)]);
+        hub.publish_rollups("fleet=Baseline", vec![rollup(30, 90)]);
+        let (status, _, body) = http_get(server.addr(), "/fleet").unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("\"fleet=ShrinkS\":{\"days\":2,\"latest\":"),
+            "{body}"
+        );
+        assert!(body.contains("\"alive\":97"), "{body}");
+        // Series: every label unless ?fleet= narrows it.
+        let (status, _, body) = http_get(server.addr(), "/fleet/series?metric=alive").unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("\"fleet=ShrinkS\":[[30,100],[60,97]]"),
+            "{body}"
+        );
+        assert!(body.contains("\"fleet=Baseline\":[[30,90]]"), "{body}");
+        let (_, _, body) = http_get(
+            server.addr(),
+            "/fleet/series?metric=wear_p50&fleet=fleet=Baseline",
+        )
+        .unwrap();
+        assert!(body.contains("\"fleet=Baseline\":[[30,150]]"), "{body}");
+        assert!(!body.contains("ShrinkS"), "{body}");
+        // Unknown metrics are a 400, not an empty 200.
+        let (status, _, _) = http_get(server.addr(), "/fleet/series?metric=bogus").unwrap();
+        assert_eq!(status, 400);
+        // /progress grows a rollup_days object once rollups exist.
+        let (_, _, body) = http_get(server.addr(), "/progress").unwrap();
+        assert!(
+            body.contains("\"rollup_days\":{\"fleet=Baseline\":1,\"fleet=ShrinkS\":2}"),
             "{body}"
         );
         server.shutdown();

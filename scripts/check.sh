@@ -111,6 +111,49 @@ if [ "$quick" -eq 0 ]; then
         "$repo/target/release/obsctl" convert run.strc run2.jsonl 2>/dev/null
         cmp run.jsonl run2.jsonl
         echo "obsctl smoke passed"
+
+        # Fleet rollup queries (DESIGN.md §14): record a small fleet run
+        # with per-day rollups, then drive the timeline / percentile /
+        # drill-down queries over both formats.
+        echo "==> obsctl fleet rollup smoke"
+        "$repo/target/release/fig3a" --devices 40 --days 1500 \
+            --trace fleet.jsonl >/dev/null
+        "$repo/target/release/obsctl" convert fleet.jsonl fleet.strc 2>/dev/null
+        for q in "fleet-timeline" "percentiles wear" "percentiles health" \
+            "drill 900" "drill 1"; do
+            set -- $q
+            cmd="$1"
+            shift
+            if ! diff <("$repo/target/release/obsctl" "$cmd" fleet.jsonl "$@") \
+                <("$repo/target/release/obsctl" "$cmd" fleet.strc "$@") >/dev/null; then
+                echo "error: obsctl $q differs between JSONL and .strc" >&2
+                exit 1
+            fi
+        done
+        "$repo/target/release/obsctl" fleet-timeline fleet.strc |
+            grep -q '== fleet=Baseline' ||
+            {
+                echo "error: fleet-timeline missing Baseline segment" >&2
+                exit 1
+            }
+        "$repo/target/release/obsctl" percentiles fleet.strc wear |
+            grep -q 'wear distribution' ||
+            {
+                echo "error: percentiles missing header" >&2
+                exit 1
+            }
+        "$repo/target/release/obsctl" drill fleet.strc 900 |
+            grep -q 'day 900' ||
+            {
+                echo "error: drill missing day detail" >&2
+                exit 1
+            }
+        if "$repo/target/release/obsctl" percentiles fleet.strc bogus \
+            2>/dev/null; then
+            echo "error: percentiles accepted an unknown distribution" >&2
+            exit 1
+        fi
+        echo "obsctl fleet rollup smoke passed"
     )
 fi
 

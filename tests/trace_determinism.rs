@@ -92,6 +92,62 @@ fn fleet_trace_is_byte_identical_across_thread_counts() {
     );
 }
 
+/// ISSUE 7: the per-day fleet rollups (counts + wear/PEC/capacity/health
+/// distributions, DESIGN.md §14) obey the same contract: byte-identical
+/// JSON across BOTH engines and BOTH thread counts. Integer bins and
+/// shard-order merges mean there is no float accumulation to drift.
+#[test]
+fn fleet_rollups_are_byte_identical_across_engines_and_thread_counts() {
+    let rollups = |threads: Threads, engine: FleetEngine| {
+        let sim = FleetSim::new(FleetConfig {
+            device: StatDeviceConfig::datacenter(StatMode::Shrink),
+            devices: 40,
+            dwpd: 5.0,
+            dwpd_sigma: 0.25,
+            afr: 0.01,
+            horizon_days: 1500,
+            sample_every_days: 100,
+            seed: 42,
+        })
+        .with_engine(engine);
+        let o = sim.run_observed(threads, "fleet=determinism", &Profiler::disabled());
+        (
+            serde_json::to_string(&o.rollups).expect("rollups serialize"),
+            o.rollups,
+        )
+    };
+    let (reference, parsed) = rollups(Threads::fixed(1), FleetEngine::PerDevice);
+    assert!(!parsed.is_empty(), "expected sampled-day rollups");
+    assert!(
+        parsed.windows(2).all(|w| w[0].day < w[1].day),
+        "rollup days must be strictly increasing"
+    );
+    for r in &parsed {
+        assert_eq!(r.alive + r.dead(), 40, "every device accounted for");
+        assert_eq!(
+            r.dist("wear").unwrap().iter().sum::<u32>(),
+            r.alive,
+            "wear histogram bins the survivors exactly"
+        );
+    }
+    // Deaths accumulate over the horizon, so the series is not trivial.
+    assert!(
+        parsed.last().unwrap().dead() > parsed.first().unwrap().dead(),
+        "expected deaths over a 1500-day horizon at 5 DWPD"
+    );
+    for (threads, engine, what) in [
+        (Threads::fixed(4), FleetEngine::PerDevice, "per-device @4"),
+        (Threads::fixed(1), FleetEngine::Cohort, "cohort @1"),
+        (Threads::fixed(4), FleetEngine::Cohort, "cohort @4"),
+    ] {
+        assert_eq!(
+            rollups(threads, engine).0,
+            reference,
+            "{what} rollups diverge from the per-device @1 reference"
+        );
+    }
+}
+
 /// ISSUE 6: the cohort engine honors the same determinism contract —
 /// its telemetry is byte-identical at any thread count — AND is
 /// byte-identical to the legacy per-device engine's, so switching
