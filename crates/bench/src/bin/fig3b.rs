@@ -85,6 +85,7 @@ fn main() {
     for ((name, _), o) in modes.iter().zip(observed) {
         if let Some(s) = &session {
             s.publish_rollups(&format!("fleet={name}"), &o.rollups);
+            s.publish_latency(&format!("fleet={name}"), &o.latency);
         }
         trace.extend(o.trace);
         metrics.merge(&o.metrics.relabelled(&format!("fleet=\"{name}\"")));

@@ -5,13 +5,18 @@
 //! agree to numerical precision (see `salamander_fleet::perf`).
 //!
 //! Run: `cargo run --release -p salamander-bench --bin fig3c`
+//! Observability: `--trace <path>`, `--metrics`, `--serve <addr>` emit
+//! the sweep as integer-cost latency rollups (DESIGN.md §15) —
+//! queryable offline with `obsctl latency` or live at `/latency`.
 
 use salamander::report::{fmt, Table};
-use salamander_bench::emit;
+use salamander_bench::{emit, finish_sweep_obs, l1_sweep_latency_rollups, ObsArgs};
 use salamander_flash::timing::TimingModel;
 use salamander_fleet::perf::{seq_throughput_rel, seq_throughput_rel_timed};
 
 fn main() {
+    let obs_args = ObsArgs::parse();
+    let session = obs_args.serve_session("fig3c");
     let timing = TimingModel::default();
     let mut table = Table::new(
         "Fig. 3c — sequential throughput vs fraction of L1 fPages",
@@ -34,4 +39,6 @@ fn main() {
         "Paper anchor: 4/(4-L) degradation — 25% sequential-throughput \
          reduction at L1 (f = 1.0 row reads 0.7500)."
     );
+    let rollups = l1_sweep_latency_rollups(10);
+    std::process::exit(finish_sweep_obs(&obs_args, "fig3c", &rollups, session));
 }

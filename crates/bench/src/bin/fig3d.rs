@@ -3,13 +3,18 @@
 //! unaffected (§4.2).
 //!
 //! Run: `cargo run --release -p salamander-bench --bin fig3d`
+//! Observability: `--trace <path>`, `--metrics`, `--serve <addr>` emit
+//! the sweep as integer-cost latency rollups (DESIGN.md §15) —
+//! queryable offline with `obsctl latency` or live at `/latency`.
 
 use salamander::report::{fmt, Table};
-use salamander_bench::emit;
+use salamander_bench::{emit, finish_sweep_obs, l1_sweep_latency_rollups, ObsArgs};
 use salamander_flash::timing::TimingModel;
 use salamander_fleet::perf::{large_random_latency_rel, small_random_latency_rel};
 
 fn main() {
+    let obs_args = ObsArgs::parse();
+    let session = obs_args.serve_session("fig3d");
     let timing = TimingModel::default();
     let mut table = Table::new(
         "Fig. 3d — random access latency vs fraction of L1 fPages",
@@ -40,4 +45,6 @@ fn main() {
         "Paper anchor: large random accesses degrade by 4/(4-L) (1.333x at \
          all-L1); 4 KiB accesses keep baseline latency."
     );
+    let rollups = l1_sweep_latency_rollups(10);
+    std::process::exit(finish_sweep_obs(&obs_args, "fig3d", &rollups, session));
 }

@@ -8,6 +8,7 @@
 //! obsctl fleet-timeline <trace>              per-day fleet rollup series
 //! obsctl percentiles    <trace> <metric>     rollup percentile table
 //! obsctl drill          <trace> <day>        one day's rollup + anomalies
+//! obsctl latency        <trace> [class]      per-op-class tail latency table
 //! obsctl health         <trace>              health report from a trace (JSON)
 //! obsctl diff           <a.prom> <b.prom>    diff two metric expositions
 //! obsctl convert        <in> <out>           convert a trace JSONL <-> .strc
@@ -40,6 +41,8 @@ USAGE:
   obsctl percentiles    <trace> <metric>     rollup percentile table
                                              (metric: wear|pec|usable|health)
   obsctl drill          <trace> <day>        one day's rollup + fleet anomalies
+  obsctl latency        <trace> [class]      per-op-class tail latency table
+                                             (class: host_read|host_write|gc|scrub|regen)
   obsctl health         <trace>              health report from a trace (JSON)
   obsctl diff           <a.prom> <b.prom>    diff two metric expositions
   obsctl convert        <in> <out>           convert a trace JSONL <-> .strc
@@ -226,6 +229,24 @@ fn main() {
                 print!("{}", indexed(path, query::drill_strc(&mut r, day)));
             } else {
                 print!("{}", query::drill(&read_trace(path), day));
+            }
+        }
+        ("latency", Some(path), class) => {
+            let class = class.map(String::as_str);
+            if let Some(c) = class {
+                if !salamander_obs::LAT_CLASSES.contains(&c) {
+                    eprintln!(
+                        "obsctl: unknown op class '{c}' (expected one of {:?})",
+                        salamander_obs::LAT_CLASSES
+                    );
+                    std::process::exit(2);
+                }
+            }
+            if is_strc(path) {
+                let mut r = open_strc(path);
+                print!("{}", indexed(path, query::latency_strc(&mut r, class)));
+            } else {
+                print!("{}", query::latency(&read_trace(path), class));
             }
         }
         ("health", Some(path), None) => {

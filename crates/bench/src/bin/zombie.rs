@@ -94,11 +94,25 @@ fn main() {
             FleetEngine::Cohort => {
                 let mut c = Cohort::new(cfg, &[42]);
                 c.set_daily_writes(0, STEP);
+                // Deposit the step-loop time under the same phase name
+                // the fleet engine uses, so `--profile` shows where the
+                // cohort's next_check floors spend their wall clock
+                // even on this single-device endurance loop.
+                let timing = prof.is_enabled();
+                let mut t_step = (0u64, std::time::Duration::ZERO);
                 while !c.is_dead(0) && total < CAP {
-                    c.step(0);
+                    if timing {
+                        let start = std::time::Instant::now();
+                        c.step(0);
+                        t_step.0 += 1;
+                        t_step.1 += start.elapsed();
+                    } else {
+                        c.step(0);
+                    }
                     total += STEP;
                     progress.add_ops(STEP);
                 }
+                prof.record("cohort/next_check_step", t_step.0, t_step.1);
                 c.is_dead(0)
             }
         };

@@ -273,6 +273,16 @@ impl ServeSession {
         self.hub.publish_rollups(label, rollups.to_vec());
     }
 
+    /// Publish one run label's per-day latency rollups to `/latency`
+    /// and `/latency/series`, scanning them for tail-latency
+    /// regressions first so `/latency` can surface the anomalies
+    /// alongside the distributions (DESIGN.md §15).
+    pub fn publish_latency(&self, label: &str, rollups: &[salamander_obs::LatencyRollup]) {
+        let regressions = salamander_health::latency_scan(rollups.iter());
+        let json = serde_json::to_string(&regressions).unwrap_or_else(|_| "[]".to_string());
+        self.hub.publish_latency(label, rollups.to_vec(), json);
+    }
+
     /// Mark the run done (publishing the final metrics text, if any),
     /// linger up to `linger_secs` so clients can take a final scrape
     /// (`GET /quit` ends the wait early), then shut the server down.
@@ -298,6 +308,96 @@ impl ServeSession {
         }
         self.server.shutdown();
     }
+}
+
+/// Synthesize per-step latency rollups for the §4.2 L0→L1 analytic
+/// sweep bins (fig3c/fig3d): step `i` of `0..=steps` puts `i/steps` of
+/// 1000 fPages at L1 and prices every level's oPages through the
+/// integer cost model quantized from the flash timing model — the same
+/// `CostModelNs` the FTL charges and the fleet engines fold
+/// (DESIGN.md §15), so the sweep's p99 rise is the `4/(4−L)`
+/// multi-read tax in the exact bucket edges `/latency` serves. The
+/// rollup "day" is the sweep percent (these bins have no day clock).
+pub fn l1_sweep_latency_rollups(steps: u32) -> Vec<salamander_obs::LatencyRollup> {
+    use salamander_obs::{CostModelNs, LatClass, LatencyRollup};
+    let t = salamander_flash::timing::TimingModel::default();
+    let cost = CostModelNs::from_us(
+        t.t_read_us,
+        t.t_prog_us,
+        t.t_erase_us,
+        t.ecc_extra_us,
+        t.xfer_bytes_per_us,
+    );
+    let steps = steps.max(1);
+    const N: u64 = 1000;
+    const OPAGE: u64 = 4096;
+    (0..=steps)
+        .map(|i| {
+            let l1 = N * u64::from(i) / u64::from(steps);
+            let mut r = LatencyRollup::empty(i * 100 / steps);
+            let read = &mut r.classes[LatClass::HostRead as usize];
+            let (w0, w1) = (4 * (N - l1), 3 * l1);
+            if w0 > 0 {
+                read.observe(cost.host_read_ns(4, 0, 0, OPAGE), w0);
+            }
+            if w1 > 0 {
+                read.observe(cost.host_read_ns(4, 1, 0, OPAGE), w1);
+            }
+            r.classes[LatClass::HostWrite as usize].observe(cost.host_write_ns(OPAGE), w0 + w1);
+            r
+        })
+        .collect()
+}
+
+/// The shared observability tail of the analytic sweep bins: emit the
+/// synthesized rollups as a labelled trace segment (queryable with
+/// `obsctl latency`), export their host-read tail as gauges, publish
+/// them to `/latency`, and persist everything via [`ObsArgs::finish`].
+/// Returns the process exit code.
+#[must_use]
+pub fn finish_sweep_obs(
+    obs_args: &ObsArgs,
+    name: &str,
+    rollups: &[salamander_obs::LatencyRollup],
+    session: Option<ServeSession>,
+) -> i32 {
+    let profiler = obs_args.profiler();
+    let obs = obs_args.obs(session.as_ref());
+    let label = format!("sweep={name}");
+    if obs.trace.is_enabled() {
+        obs.trace.emit(
+            salamander_obs::SimTime::ZERO,
+            salamander_obs::TraceEvent::RunMarker {
+                label: label.clone(),
+            },
+        );
+        for r in rollups {
+            obs.trace.emit(
+                salamander_obs::SimTime::new(r.day, 0),
+                salamander_obs::TraceEvent::LatencyRollup(r.clone()),
+            );
+        }
+    }
+    if obs.metrics.is_enabled() {
+        for r in rollups {
+            if let Some(p99) = r.stat("host_read", "p99") {
+                obs.metrics.set_gauge(
+                    &format!("salamander_sweep_host_read_p99_ns{{l1_pct=\"{}\"}}", r.day),
+                    p99 as f64,
+                );
+            }
+        }
+    }
+    if let Some(s) = &session {
+        s.publish_latency(&label, rollups);
+    }
+    obs_args.finish(
+        name,
+        obs.trace.take(),
+        obs.metrics.take(),
+        &profiler,
+        session,
+    )
 }
 
 /// A per-task [`Obs`] bundle for fan-out binaries: one shard per

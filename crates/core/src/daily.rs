@@ -11,7 +11,7 @@ use crate::config::SsdConfig;
 use crate::device::{BatchStop, SalamanderSsd};
 use salamander_ftl::types::{Lba, MdiskId};
 use salamander_health::{HealthMonitor, HealthReport, HealthUnit};
-use salamander_obs::Obs;
+use salamander_obs::{Obs, SimTime, TraceEvent};
 use salamander_workload::aging::AgingDriver;
 use serde::{Deserialize, Serialize};
 
@@ -177,6 +177,14 @@ impl DailySim {
                     read_retries: ssd.stats().read_retries,
                     scrub_refreshes: ssd.stats().scrub_refreshes,
                 });
+                // Drain the interval's accumulated op costs into one
+                // per-sampled-day tail-latency rollup (DESIGN.md §15).
+                if trace.is_enabled() {
+                    let r = ssd.take_latency_rollup(day);
+                    if !r.is_empty() {
+                        trace.emit(SimTime::new(day, used), TraceEvent::LatencyRollup(r));
+                    }
+                }
             }
         }
         ssd.ftl().export_metrics();

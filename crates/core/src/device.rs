@@ -231,6 +231,12 @@ impl SalamanderSsd {
         &self.ftl
     }
 
+    /// Drain the latency accumulated since the last drain into a
+    /// per-sample rollup stamped with `day` (see DESIGN.md §15).
+    pub fn take_latency_rollup(&mut self, day: u32) -> salamander_obs::LatencyRollup {
+        self.ftl.take_latency_rollup(day)
+    }
+
     /// SMART-style telemetry snapshot.
     pub fn smart(&self) -> salamander_ftl::smart::SmartReport {
         self.ftl.smart()

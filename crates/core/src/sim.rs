@@ -149,6 +149,21 @@ impl EnduranceSim {
             }
         };
         timeline.push(sample(&ssd, 0, &mut monitor));
+        // Per-sample tail-latency rollups: the FTL accumulates integer
+        // op costs continuously; each sample boundary drains them into
+        // one LatencyRollup stamped with the sample ordinal (the
+        // endurance sim has no day clock — see DESIGN.md §15).
+        let emit_latency = |ssd: &mut SalamanderSsd, ordinal: u64, op: u64| {
+            if obs.is_enabled() {
+                let r = ssd.take_latency_rollup(ordinal as u32);
+                if !r.is_empty() {
+                    obs.trace.emit(
+                        SimTime::new(ordinal as u32, op),
+                        TraceEvent::LatencyRollup(r),
+                    );
+                }
+            }
+        };
         obs.progress.add_devices(1);
         // Cache the active minidisk set instead of re-allocating it on
         // every write; the FTL surfaces every membership change
@@ -216,6 +231,7 @@ impl EnduranceSim {
                 obs.progress.add_ops(out.written);
                 if written.is_multiple_of(self.sample_every) {
                     timeline.push(sample(&ssd, written, &mut monitor));
+                    emit_latency(&mut ssd, written / self.sample_every, written);
                 }
             }
             match out.stop {
@@ -225,6 +241,13 @@ impl EnduranceSim {
             }
         }
         timeline.push(sample(&ssd, written, &mut monitor));
+        // Drain the final partial interval too: a death mid-interval
+        // still surfaces its (often anomalous) latency.
+        emit_latency(
+            &mut ssd,
+            written.div_ceil(self.sample_every.max(1)),
+            written,
+        );
         ssd.ftl().export_metrics();
         let result = EnduranceResult {
             mode: self.cfg.get_mode(),

@@ -251,6 +251,32 @@ impl Cohort {
         self.usable[d]
     }
 
+    /// Number of device `d`'s fPages at exactly tiredness level `j` —
+    /// the cohort-side twin of `StatDevice::pages_at_level`. `j` past
+    /// the mode's cap counts the dead pages; anything further is 0.
+    ///
+    /// Served from the cached cumulative cut cursors, which are exact
+    /// for the current wear floor by the `next_check` invariant (see
+    /// [`Self::step`]), so this needs no recompute and equals the
+    /// reference device's fresh evaluation at the same wear.
+    pub fn pages_at_level(&self, d: usize, j: u32) -> u64 {
+        let j = j as usize;
+        let cbase = d * self.levels;
+        if j < self.levels {
+            let below = u64::from(self.counts[cbase + j]);
+            let prev = if j == 0 {
+                0
+            } else {
+                u64::from(self.counts[cbase + j - 1])
+            };
+            below - prev
+        } else if j == self.levels {
+            self.n_pages as u64 - u64::from(self.counts[cbase + self.levels - 1])
+        } else {
+            0
+        }
+    }
+
     /// Set the host writes device `d` absorbs per [`Self::step`].
     pub fn set_daily_writes(&mut self, d: usize, host_opages: u64) {
         self.hw[d] = host_opages as f64 * self.cfg.write_amplification;
@@ -478,6 +504,16 @@ mod tests {
                     dev.usable_opages(),
                     "day {day}: usable diverged"
                 );
+                // Cached cut cursors must reproduce the reference
+                // device's fresh per-level counts (including the dead
+                // bucket and the all-zero tail past it).
+                for j in 0..6 {
+                    assert_eq!(
+                        cohort.pages_at_level(0, j),
+                        dev.pages_at_level(j),
+                        "day {day}: level {j} count diverged"
+                    );
+                }
             }
             if dev.is_dead() {
                 break;

@@ -107,6 +107,45 @@ mod tests {
     }
 
     #[test]
+    fn integer_cost_model_converges_to_the_analytic_sweep() {
+        // The fleet engines price reads through the integer-ns cost
+        // model (DESIGN.md §15); its degradation across the L0→L1 sweep
+        // must converge to this module's analytic §4.2 curves within
+        // quantization error. ECC and bus transfer are zeroed so the
+        // array-time ratio shows through, mirroring
+        // `seq_throughput_rel_timed`'s uncapped-bus comparison.
+        use salamander_obs::{ClassLatency, CostModelNs};
+        let m = CostModelNs::from_us(50.0, 600.0, 3000.0, 0.0, 1e12);
+        // 1000 fPages so every tenth of the sweep is an exact count.
+        const N: u64 = 1000;
+        let mean_at = |f: f64| -> f64 {
+            let l1 = (f * N as f64).round() as u64;
+            let mut c = ClassLatency::default();
+            // Each level-j fPage serves 4−j oPages at the multi-read
+            // cost — the same weighting the fleet fold applies.
+            c.observe(m.host_read_ns(4, 0, 0, 4096), 4 * (N - l1));
+            c.observe(m.host_read_ns(4, 1, 0, 4096), 3 * l1);
+            c.mean_ns().unwrap() as f64
+        };
+        let base = mean_at(0.0);
+        for i in 0..=10 {
+            let f = i as f64 / 10.0;
+            let lat = mean_at(f) / base;
+            let tp = base / mean_at(f);
+            let a_lat = large_random_latency_rel(f);
+            let a_tp = seq_throughput_rel(f);
+            assert!(
+                (lat - a_lat).abs() < 1e-4,
+                "f={f}: integer latency rel {lat} vs analytic {a_lat}"
+            );
+            assert!(
+                (tp - a_tp).abs() < 1e-4,
+                "f={f}: integer throughput rel {tp} vs analytic {a_tp}"
+            );
+        }
+    }
+
+    #[test]
     fn throughput_latency_reciprocal() {
         // For this model, relative throughput is exactly the reciprocal of
         // relative (amortized) latency.

@@ -14,10 +14,11 @@ use rand_chacha::ChaCha8Rng;
 use salamander_exec::{derive_seed, Threads};
 use salamander_health::{to_milli, zscores, Anomaly, AnomalyKind};
 use salamander_obs::{
-    FleetRollup, LiveObs, MetricsRegistry, Profiler, ProgressHandle, RollupKernel, SimTime,
-    TraceEvent, TraceHandle, TraceRecord,
+    CostModelNs, FleetRollup, LatClass, LatencyKernel, LatencyRollup, LiveObs, MetricsRegistry,
+    Profiler, ProgressHandle, RollupKernel, SimTime, TraceEvent, TraceHandle, TraceRecord,
 };
 use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
 
 /// Fleet simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -160,6 +161,27 @@ pub struct ObservedFleetRun {
     /// counts. Also interleaved into `trace` as
     /// [`TraceEvent::FleetRollup`] records.
     pub rollups: Vec<FleetRollup>,
+    /// One deterministic tail-latency rollup per sampled day
+    /// (DESIGN.md §15): the statistical read/write sweep distributions,
+    /// byte-identical across engines and thread counts. Interleaved
+    /// into `trace` as [`TraceEvent::LatencyRollup`] records right
+    /// after each day's fleet rollup.
+    pub latency: Vec<LatencyRollup>,
+}
+
+/// Run `f`, charging its wall time to `acc` when `timing` — the cohort
+/// loop's per-mechanism accumulator, deposited into the profiler once
+/// per shard (see [`FleetSim::age_cohort`]). A disabled profiler pays
+/// one branch.
+fn timed<R>(timing: bool, acc: &mut (u64, Duration), f: impl FnOnce() -> R) -> R {
+    if !timing {
+        return f();
+    }
+    let start = Instant::now();
+    let r = f();
+    acc.0 += 1;
+    acc.1 += start.elapsed();
+    r
 }
 
 /// What ended one device's service life.
@@ -202,6 +224,16 @@ struct RollupNorms {
     max_pec: f64,
     /// Raw physical capacity of the geometry, in oPages.
     total_opages: f64,
+    /// Integer op cost model (DESIGN.md §15) — the same quantization of
+    /// the flash timing defaults the functional FTL pins, so the fleet
+    /// and per-device simulators price an op identically.
+    cost: CostModelNs,
+    /// oPages per fresh fPage.
+    per: u32,
+    /// oPage payload size in bytes.
+    opage_bytes: u64,
+    /// Usable tiredness levels (`max_level + 1`).
+    levels: u32,
 }
 
 impl RollupNorms {
@@ -209,10 +241,55 @@ impl RollupNorms {
         let d = &cfg.device;
         let thresholds = d.ecc.thresholds();
         let max_level = crate::device::max_level_for(d.mode, thresholds.len()) as usize;
+        let t = salamander_flash::timing::TimingModel::default();
         RollupNorms {
             l0_pec: d.rber.pec_at_rber(thresholds[0] / d.safety).max(1) as f64,
             max_pec: d.rber.pec_at_rber(thresholds[max_level] / d.safety).max(1) as f64,
             total_opages: d.geometry.total_opages().max(1) as f64,
+            cost: CostModelNs::from_us(
+                t.t_read_us,
+                t.t_prog_us,
+                t.t_erase_us,
+                t.ecc_extra_us,
+                t.xfer_bytes_per_us,
+            ),
+            per: d.geometry.opages_per_fpage(),
+            opage_bytes: u64::from(d.geometry.opage_bytes),
+            levels: max_level as u32 + 1,
+        }
+    }
+
+    /// Fold one alive device's *statistical* latency profile at grid
+    /// day `gi` into `lat`: a uniform read sweep over the device's
+    /// regular capacity — each of the `pages(j)` level-`j` fPages
+    /// serves `per − j` oPages at the §4.2 multi-read cost — plus the
+    /// level-independent write cost weighted by the same oPage total.
+    /// The statistical engines have no discrete GC/scrub/regen events,
+    /// so those classes stay empty on the fleet path (DESIGN.md §15);
+    /// reborn capacity serves at a different density and is likewise
+    /// outside the sweep. Integer costs and weights only, so the fold
+    /// merges byte-identically across engines and thread counts.
+    fn observe_latency(&self, lat: &mut LatencyKernel, gi: usize, pages: impl Fn(u32) -> u64) {
+        let mut total = 0u64;
+        for j in 0..self.levels {
+            let w = pages(j).saturating_mul(u64::from(self.per.saturating_sub(j)));
+            if w > 0 {
+                lat.observe(
+                    gi,
+                    LatClass::HostRead,
+                    self.cost.host_read_ns(self.per, j, 0, self.opage_bytes),
+                    w,
+                );
+            }
+            total = total.saturating_add(w);
+        }
+        if total > 0 {
+            lat.observe(
+                gi,
+                LatClass::HostWrite,
+                self.cost.host_write_ns(self.opage_bytes),
+                total,
+            );
         }
     }
 
@@ -334,7 +411,8 @@ impl FleetSim {
     /// pure function of the configuration — bit-identical at any
     /// thread count.
     pub fn run_threads(&self, threads: Threads) -> FleetTimeline {
-        let (grid, tracks, _) = self.age_fleet(threads, &ProgressHandle::disabled());
+        let (grid, tracks, _, _) =
+            self.age_fleet(threads, &ProgressHandle::disabled(), &Profiler::disabled());
         self.reduce(&grid, &tracks)
     }
 
@@ -378,12 +456,13 @@ impl FleetSim {
             .unwrap_or_default();
         progress.set_total_days(self.cfg.horizon_days as u64);
         progress.add_devices(self.cfg.devices as u64);
-        let (grid, tracks, kernel) = {
+        let (grid, tracks, kernel, lat_kernel) = {
             let _phase = profiler.phase("fleet/age_devices");
-            self.age_fleet(threads, &progress)
+            self.age_fleet(threads, &progress, profiler)
         };
         let timeline = self.reduce(&grid, &tracks);
         let rollups = Self::build_rollups(&kernel, &timeline);
+        let latency = Self::build_latency_rollups(&lat_kernel, &timeline);
 
         let trace = TraceHandle::recording();
         if !label.is_empty() {
@@ -420,15 +499,19 @@ impl FleetSim {
         // Two-pointer chronological interleave: each sampled day's
         // rollup follows every death up to and including that day, so
         // the trace stream stays sorted by stamp and a reader sees the
-        // rollup as the end-of-day state.
+        // rollup as the end-of-day state. The day's latency rollup
+        // (when populated) follows its fleet rollup at the same stamp.
         let mut di = 0;
-        for r in &rollups {
+        for (r, l) in rollups.iter().zip(&latency) {
             while di < deaths.len() && deaths[di].0 <= r.day {
                 let (day, device, cause) = deaths[di];
                 emit_death(day, device, cause);
                 di += 1;
             }
             trace.emit(SimTime::new(r.day, 0), TraceEvent::FleetRollup(r.clone()));
+            if !l.is_empty() {
+                trace.emit(SimTime::new(l.day, 0), TraceEvent::LatencyRollup(l.clone()));
+            }
         }
         while di < deaths.len() {
             let (day, device, cause) = deaths[di];
@@ -476,6 +559,7 @@ impl FleetSim {
             metrics,
             health,
             rollups,
+            latency,
         }
     }
 
@@ -506,6 +590,23 @@ impl FleetSim {
                     health: health.to_vec(),
                 }
             })
+            .collect()
+    }
+
+    /// Assemble per-day [`LatencyRollup`] records from the merged
+    /// latency kernel, paired with timeline samples exactly like
+    /// [`Self::build_rollups`] (sample `i + 1` ↔ grid index `i`).
+    fn build_latency_rollups(
+        kernel: &LatencyKernel,
+        timeline: &FleetTimeline,
+    ) -> Vec<LatencyRollup> {
+        timeline
+            .samples
+            .iter()
+            .skip(1)
+            .take(kernel.days())
+            .enumerate()
+            .map(|(gi, s)| kernel.day_rollup(gi, s.day))
             .collect()
     }
 
@@ -573,7 +674,8 @@ impl FleetSim {
         &self,
         threads: Threads,
         progress: &ProgressHandle,
-    ) -> (Vec<u32>, Vec<DeviceTrack>, RollupKernel) {
+        profiler: &Profiler,
+    ) -> (Vec<u32>, Vec<DeviceTrack>, RollupKernel, LatencyKernel) {
         let cfg = &self.cfg;
         let grid = Self::sample_grid(cfg);
         let norms = RollupNorms::new(cfg);
@@ -582,29 +684,34 @@ impl FleetSim {
             .step_by(shard as usize)
             .map(|start| (start, (cfg.devices - start).min(shard)))
             .collect();
-        let shards: Vec<(Vec<DeviceTrack>, RollupKernel)> = match self.engine {
+        let shards: Vec<(Vec<DeviceTrack>, RollupKernel, LatencyKernel)> = match self.engine {
             FleetEngine::PerDevice => {
                 salamander_exec::par_map(threads, &ranges, |_, &(start, len)| {
                     let mut kernel = RollupKernel::new(grid.len());
+                    let mut lat = LatencyKernel::new(grid.len());
                     let tracks = (start..start + len)
-                        .map(|i| Self::age_device(cfg, i, &grid, progress, &norms, &mut kernel))
+                        .map(|i| {
+                            Self::age_device(cfg, i, &grid, progress, &norms, &mut kernel, &mut lat)
+                        })
                         .collect();
-                    (tracks, kernel)
+                    (tracks, kernel, lat)
                 })
             }
             FleetEngine::Cohort => {
                 salamander_exec::par_map(threads, &ranges, |_, &(start, len)| {
-                    Self::age_cohort(cfg, start, len, &grid, progress, &norms)
+                    Self::age_cohort(cfg, start, len, &grid, progress, &norms, profiler)
                 })
             }
         };
         let mut tracks = Vec::with_capacity(cfg.devices as usize);
         let mut kernel = RollupKernel::new(grid.len());
-        for (shard_tracks, shard_kernel) in shards {
+        let mut lat = LatencyKernel::new(grid.len());
+        for (shard_tracks, shard_kernel, shard_lat) in shards {
             tracks.extend(shard_tracks);
             kernel.merge(&shard_kernel);
+            lat.merge(&shard_lat);
         }
-        (grid, tracks, kernel)
+        (grid, tracks, kernel, lat)
     }
 
     /// Devices per cohort shard: bounded by a ~4 MiB variance-slab
@@ -628,10 +735,19 @@ impl FleetSim {
         grid: &[u32],
         progress: &ProgressHandle,
         norms: &RollupNorms,
-    ) -> (Vec<DeviceTrack>, RollupKernel) {
+        profiler: &Profiler,
+    ) -> (Vec<DeviceTrack>, RollupKernel, LatencyKernel) {
         let n = len as usize;
         let glen = grid.len();
         let mut kernel = RollupKernel::new(glen);
+        let mut lat = LatencyKernel::new(glen);
+        // Per-mechanism wall-clock accumulators for the engine's three
+        // speed mechanisms, deposited into the profiler once per shard
+        // so the hot loop never takes the store lock.
+        let timing = profiler.is_enabled();
+        let mut t_scan = (0u64, Duration::ZERO);
+        let mut t_step = (0u64, Duration::ZERO);
+        let mut t_quiet = (0u64, Duration::ZERO);
         let horizon = cfg.horizon_days;
         let seeds: Vec<u64> = (0..len)
             .map(|i| cfg.seed.wrapping_add(1 + (start + i) as u64))
@@ -679,16 +795,18 @@ impl FleetSim {
             let mut day = 1u32;
             while day <= horizon {
                 if afr_day == u32::MAX && scanned < day {
-                    let upto = day.saturating_add(AFR_SCAN_AHEAD).min(horizon);
-                    while scanned < upto {
-                        scanned += 1;
-                        if afr_draw.sample(&mut rng) {
-                            afr_day = scanned;
-                            break;
+                    timed(timing, &mut t_scan, || {
+                        let upto = day.saturating_add(AFR_SCAN_AHEAD).min(horizon);
+                        while scanned < upto {
+                            scanned += 1;
+                            if afr_draw.sample(&mut rng) {
+                                afr_day = scanned;
+                                break;
+                            }
                         }
-                    }
+                    });
                 }
-                cohort.step(d);
+                timed(timing, &mut t_step, || cohort.step(d));
                 ops += 1;
                 if cohort.is_dead(d) {
                     death = Some((day, DeathCause::Wear));
@@ -707,6 +825,7 @@ impl FleetSim {
                             cohort.committed_opages(d),
                             initial,
                         );
+                        norms.observe_latency(&mut lat, gi, |j| cohort.pages_at_level(d, j));
                     }
                     gi += 1;
                     // Progress is a fleet-wide day watermark; bumping
@@ -735,7 +854,7 @@ impl FleetSim {
                 let quiet_cap = (horizon - day)
                     .min(afr_bound.saturating_sub(day))
                     .min(grid_bound.saturating_sub(day));
-                let q = cohort.run_quiet_days(d, quiet_cap);
+                let q = timed(timing, &mut t_quiet, || cohort.run_quiet_days(d, quiet_cap));
                 if q > 0 {
                     ops += u64::from(q);
                     day += q;
@@ -755,7 +874,10 @@ impl FleetSim {
                 initial,
             })
             .collect();
-        (tracks, kernel)
+        profiler.record("cohort/afr_prescan", t_scan.0, t_scan.1);
+        profiler.record("cohort/next_check_step", t_step.0, t_step.1);
+        profiler.record("cohort/quiet_days", t_quiet.0, t_quiet.1);
+        (tracks, kernel, lat)
     }
 
     /// Reduce per-device tracks to the fleet time series.
@@ -807,6 +929,7 @@ impl FleetSim {
         progress: &ProgressHandle,
         norms: &RollupNorms,
         kernel: &mut RollupKernel,
+        lat: &mut LatencyKernel,
     ) -> DeviceTrack {
         let mut dev = StatDevice::new(cfg.device, cfg.seed.wrapping_add(1 + index as u64));
         let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(cfg.seed, index as u64));
@@ -846,6 +969,7 @@ impl FleetSim {
                         dev.committed_opages(),
                         initial,
                     );
+                    norms.observe_latency(lat, gi, |j| dev.pages_at_level(j));
                 }
                 gi += 1;
                 // Progress is a fleet-wide day watermark; bumping at
@@ -1123,6 +1247,84 @@ mod tests {
         assert_eq!(a.trace, b.trace, "traces must match across engines");
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.health, b.health);
+    }
+
+    #[test]
+    fn latency_rollups_match_across_engines_and_show_the_multi_read_tax() {
+        let sim = quick_sim(
+            StatMode::Regen {
+                max_level: Tiredness::L1,
+            },
+            21,
+        );
+        let a = sim
+            .clone()
+            .with_engine(FleetEngine::PerDevice)
+            .run_observed(Threads::fixed(1), "fleet=regen", &Profiler::disabled());
+        let b = sim.clone().with_engine(FleetEngine::Cohort).run_observed(
+            Threads::fixed(4),
+            "fleet=regen",
+            &Profiler::disabled(),
+        );
+        assert_eq!(
+            a.latency, b.latency,
+            "latency rollups must be engine-invariant"
+        );
+        assert_eq!(a.trace, b.trace, "interleaved trace must match too");
+        assert_eq!(a.latency.len(), a.rollups.len(), "one per sampled day");
+        // A fresh fleet reads everything at the plain sense cost; once
+        // pages regenerate to L1 the §4.2 multi-read tax drags the read
+        // tail up while writes stay level-independent.
+        let populated: Vec<_> = a.latency.iter().filter(|r| !r.is_empty()).collect();
+        assert!(!populated.is_empty(), "regen fleet must record latency");
+        let early = populated.first().unwrap();
+        let late = populated.last().unwrap();
+        let early_p99 = early.stat("host_read", "p99").unwrap();
+        let late_p99 = late.stat("host_read", "p99").unwrap();
+        assert!(
+            late_p99 > early_p99,
+            "L1 growth must raise the read tail: {early_p99} -> {late_p99}"
+        );
+        assert_eq!(
+            early.stat("host_write", "p50"),
+            late.stat("host_write", "p50"),
+            "write cost is level-independent"
+        );
+        // The statistical engines have no discrete GC/scrub/regen
+        // events; those classes stay empty on the fleet path.
+        for r in &a.latency {
+            for class in ["gc", "scrub", "regen"] {
+                assert_eq!(r.stat(class, "count"), Some(0), "day {}: {class}", r.day);
+            }
+        }
+    }
+
+    #[test]
+    fn cohort_profiler_reports_speed_mechanism_phases() {
+        let sim = quick_sim(StatMode::Shrink, 23).with_engine(FleetEngine::Cohort);
+        let prof = Profiler::enabled();
+        sim.run_observed(Threads::fixed(1), "fleet=prof", &prof);
+        let stats = prof.stats();
+        for phase in [
+            "cohort/afr_prescan",
+            "cohort/next_check_step",
+            "cohort/quiet_days",
+            "fleet/age_devices",
+        ] {
+            let stat = stats.iter().find(|(n, _)| n == phase);
+            assert!(
+                stat.is_some_and(|(_, s)| s.calls > 0),
+                "{phase} missing: {stats:?}"
+            );
+        }
+        // The per-device reference path reports no cohort phases.
+        let prof2 = Profiler::enabled();
+        sim.with_engine(FleetEngine::PerDevice).run_observed(
+            Threads::fixed(1),
+            "fleet=prof",
+            &prof2,
+        );
+        assert!(prof2.stats().iter().all(|(n, _)| !n.starts_with("cohort/")));
     }
 
     #[test]

@@ -33,8 +33,12 @@ use crate::wear::WearTracker;
 use salamander_ecc::profile::{LevelProfile, Tiredness};
 use salamander_flash::array::FlashArray;
 use salamander_flash::geometry::{BlockAddr, FPageAddr};
+use salamander_flash::timing::TimingModel;
 use salamander_obs::metrics::{GC_BURST_BUCKETS, RETRY_DEPTH_BUCKETS};
-use salamander_obs::{DeathCause, DecommissionCause, Obs, SimTime, TraceEvent};
+use salamander_obs::{
+    CostModelNs, DeathCause, DecommissionCause, LatClass, LatencyAcc, LatencyRollup, Obs, SimTime,
+    TraceEvent,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -134,6 +138,14 @@ pub struct Ftl {
     /// state: snapshots store a placeholder and restore disabled.
     #[serde(with = "salamander_obs::obs_serde")]
     obs: Obs,
+    /// Integer-nanosecond op cost model (DESIGN.md §15), quantized once
+    /// from the flash timing defaults; derived, rebuilt on restore.
+    #[serde(with = "crate::serde_util::ephemeral")]
+    latency_cost: CostModelNs,
+    /// Latency charged since the last sample drain. Run-scoped like
+    /// `obs`, not device state.
+    #[serde(with = "crate::serde_util::ephemeral")]
+    latency: LatencyAcc,
 }
 
 impl Ftl {
@@ -186,6 +198,8 @@ impl Ftl {
             gc_scratch: Vec::new(),
             flush_scratch: Vec::new(),
             obs: Obs::disabled(),
+            latency_cost: CostModelNs::default(),
+            latency: LatencyAcc::new(),
         };
         ftl.rebuild_derived();
         ftl
@@ -208,6 +222,16 @@ impl Ftl {
         let block_slots = (geom.fpages_per_block * geom.opages_per_fpage()) as usize;
         self.gc_scratch.reserve(block_slots);
         self.flush_scratch.reserve(geom.opages_per_fpage() as usize);
+        // Quantize the op cost model once (DESIGN.md §15): integers
+        // only from here on, so latency rollups are merge-deterministic.
+        let t = TimingModel::default();
+        self.latency_cost = CostModelNs::from_us(
+            t.t_read_us,
+            t.t_prog_us,
+            t.t_erase_us,
+            t.ecc_extra_us,
+            t.xfer_bytes_per_us,
+        );
     }
 
     /// Attach observability handles; pass [`Obs::disabled`] to detach.
@@ -218,6 +242,20 @@ impl Ftl {
     /// The attached observability handles.
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Drain the latency charged since the last drain into one
+    /// [`LatencyRollup`] stamped `day` (DESIGN.md §15). The sims call
+    /// this at sample boundaries and emit the result into the trace;
+    /// charging itself is unconditional integer arithmetic, so the
+    /// rollup is deterministic at any thread count.
+    pub fn take_latency_rollup(&mut self, day: u32) -> LatencyRollup {
+        self.latency.drain(day)
+    }
+
+    /// The integer-nanosecond cost model ops are charged with.
+    pub fn latency_cost_model(&self) -> &CostModelNs {
+        &self.latency_cost
     }
 
     /// The simulation clock events are stamped with: whole device-days
@@ -325,6 +363,14 @@ impl Ftl {
             }
         }
         self.stats.host_writes += 1;
+        // Write-through attribution (DESIGN.md §15): the program +
+        // transfer cost is charged at submission, not at the later
+        // stripe flush, so every host write carries exactly one sample.
+        self.latency.charge(
+            LatClass::HostWrite,
+            self.latency_cost
+                .host_write_ns(self.cfg.geometry.opage_bytes as u64),
+        );
         self.table.set_buffered(id, lba);
         self.buffers[Stream::Host as usize].push(id, lba, data);
         self.drain_buffer()?;
@@ -461,6 +507,19 @@ impl Ftl {
                 .metrics
                 .observe("salamander_read_retry_depth", RETRY_DEPTH_BUCKETS, retries);
         }
+        // Charge the full sense cost — the §4.2 `4/(4−L)` multi-read
+        // factor from the page's current level, extra senses per retry,
+        // one ECC decode per attempt, and the oPage transfer. Charged
+        // even when the read ends uncorrectable: the time was spent.
+        self.latency.charge(
+            LatClass::HostRead,
+            self.latency_cost.host_read_ns(
+                self.cfg.geometry.opages_per_fpage(),
+                level.index(),
+                retries as u32,
+                self.cfg.geometry.opage_bytes as u64,
+            ),
+        );
         if outcome.raw_bit_errors > capability {
             self.stats.uncorrectable_reads += 1;
             self.events
@@ -535,6 +594,14 @@ impl Ftl {
                     fpage: fp.index as u64,
                     opages: owners.len() as u32,
                 },
+            );
+            // One stall sample per refresh: the patrol sense + decode
+            // plus moving the refreshed oPages (their re-program is the
+            // flush path's, charged nowhere — write-through rule).
+            self.latency.charge(
+                LatClass::Scrub,
+                self.latency_cost
+                    .scrub_ns(owners.len() as u64, self.cfg.geometry.opage_bytes as u64),
             );
             for &(slot, (id, lba)) in &owners {
                 let payload = clean
@@ -705,6 +772,10 @@ impl Ftl {
         self.relocate_block(victim);
         self.erase_and_reclassify(victim)?;
         let relocated = self.stats.relocated_opages - relocated_before;
+        // One stall sample per pass: every relocation is a sense + a
+        // program, plus the victim erase (DESIGN.md §15).
+        self.latency
+            .charge(LatClass::Gc, self.latency_cost.gc_pass_ns(relocated));
         self.obs.trace.emit(
             self.now(),
             TraceEvent::GcPass {
@@ -928,6 +999,13 @@ impl Ftl {
                 {
                     let id = self.table.create_mdisk(msize as u32, level);
                     self.stats.mdisks_regenerated += 1;
+                    // One regen-copy stall sample: the host refills the
+                    // regenerated minidisk (program + transfer per oPage).
+                    self.latency.charge(
+                        LatClass::Regen,
+                        self.latency_cost
+                            .regen_ns(msize, self.cfg.geometry.opage_bytes as u64),
+                    );
                     self.events.push_back(FtlEvent::MdiskCreated { id, level });
                     self.obs.trace.emit(
                         self.now(),

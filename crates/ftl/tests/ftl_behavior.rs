@@ -609,3 +609,109 @@ fn snapshot_restore_is_bit_exact() {
     assert_eq!(a.stats(), b.stats());
     assert_eq!(a.active_mdisks(), b.active_mdisks());
 }
+
+#[test]
+fn latency_cost_model_pins_the_quantized_timing_defaults() {
+    use salamander_obs::CostModelNs;
+    let ftl = Ftl::new(FtlConfig::small_test(FtlMode::Regen));
+    let m = *ftl.latency_cost_model();
+    // The Default stand-in (what a snapshot restore starts from before
+    // rebuild_derived re-quantizes) must agree with the quantization of
+    // TimingModel::default() — otherwise restored devices would charge
+    // different costs until the first rebuild.
+    assert_eq!(m, CostModelNs::default());
+    assert_eq!(m.read_ns, 50_000);
+    assert_eq!(m.prog_ns, 600_000);
+    assert_eq!(m.erase_ns, 3_000_000);
+    assert_eq!(m.ecc_ns, 5_000);
+    assert_eq!(m.xfer_ns(4096), 5_120);
+    // The 4/(4-L) multi-read factor at each tiredness level.
+    assert_eq!(m.multi_read_ns(4, 0), 50_000);
+    assert_eq!(m.multi_read_ns(4, 1), 66_666);
+    assert_eq!(m.multi_read_ns(4, 2), 100_000);
+    assert_eq!(m.multi_read_ns(4, 3), 200_000);
+    assert_eq!(m.host_read_ns(4, 0, 0, 4096), 60_120);
+    assert_eq!(m.host_read_ns(4, 1, 0, 4096), 76_786);
+    assert_eq!(m.host_write_ns(4096), 605_120);
+}
+
+/// Read every mapped LBA of every active minidisk once.
+fn read_everything(ftl: &mut Ftl) {
+    for id in ftl.active_mdisks() {
+        let lbas = ftl.mdisk_lbas(id).unwrap();
+        for lba in 0..lbas {
+            let _ = ftl.read(id, Lba(lba));
+        }
+    }
+}
+
+#[test]
+fn regen_host_read_p99_rises_with_l1_fraction() {
+    // §4.2 of the paper: RegenS keeps the device alive by running pages
+    // at higher tiredness levels, and the user pays in read latency —
+    // an L1 page needs 4/(4−1) = 4/3 of the sense time. The recorded
+    // host-read distribution must show that rise as L1 grows.
+    use salamander_obs::latency::{bucket_upper_ns, lat_bucket};
+    let mut ftl = Ftl::new(FtlConfig::small_test(FtlMode::Regen));
+    let m = *ftl.latency_cost_model();
+    let per = 4; // small_test geometry: 4 oPages per fPage
+    let l0_edge = bucket_upper_ns(lat_bucket(m.host_read_ns(per, 0, 0, 4096)));
+    let l1_edge = bucket_upper_ns(lat_bucket(m.host_read_ns(per, 1, 0, 4096)));
+    assert!(l1_edge > l0_edge, "quantization must separate L0 from L1");
+
+    // Churn in small batches, sweeping every LBA between batches, until
+    // the surviving pages are mostly L1. Keep the first sweep (fresh
+    // device, all L0) and the sweep where L1 overtakes L0.
+    let mut early = None;
+    let mut late = None;
+    let mut state = 41u64;
+    for _ in 0..40 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        churn(&mut ftl, 500, state);
+        if ftl.is_dead() {
+            break;
+        }
+        ftl.take_latency_rollup(0); // discard the write/GC-heavy batch
+        read_everything(&mut ftl);
+        let sweep = ftl.take_latency_rollup(0);
+        if early.is_none() {
+            early = Some(sweep);
+        } else if ftl.pages_at_level(Tiredness::L1) > ftl.pages_at_level(Tiredness::L0) {
+            late = Some(sweep);
+            break;
+        }
+    }
+    let early = early.expect("device survived the first batch");
+    let late = late.expect("regen promoted most pages to L1 before dying");
+
+    // Fresh device: every read costs exactly the L0 sense.
+    let er = early.class("host_read").unwrap();
+    assert!(er.count > 0);
+    assert_eq!(er.percentile(500), Some(l0_edge));
+    let early_p99 = er.percentile(990).unwrap();
+    assert_eq!(early_p99, l0_edge, "fresh reads all cost the L0 sense");
+
+    // L1-majority device: the whole distribution shifted by 4/3.
+    let lr = late.class("host_read").unwrap();
+    assert!(lr.count > 0);
+    assert!(
+        lr.percentile(500).unwrap() >= l1_edge,
+        "median must reach the 4/3 multi-read cost"
+    );
+    let late_p99 = lr.percentile(990).unwrap();
+    assert!(
+        late_p99 > early_p99,
+        "p99 must rise with the L1 fraction: {early_p99} -> {late_p99}"
+    );
+    assert!(late_p99 >= l1_edge);
+
+    // The background classes were charged along the way.
+    let whole_life = {
+        let mut f2 = Ftl::new(FtlConfig::small_test(FtlMode::Regen));
+        churn(&mut f2, 2_000_000, 42);
+        f2.take_latency_rollup(0)
+    };
+    assert!(whole_life.class("host_write").unwrap().count > 0);
+    assert!(whole_life.class("gc").unwrap().count > 0);
+    assert!(whole_life.class("regen").unwrap().count > 0);
+}

@@ -31,6 +31,10 @@ pub enum AnomalyKind {
     /// The fleet's median wear fraction accelerated against the rolling
     /// window of day-over-day wear-p50 deltas (rollup-fed).
     FleetWearAccel,
+    /// One op class's p99 latency jumped against the rolling window of
+    /// day-over-day p99 deltas (latency-rollup-fed; the §4.2 multi-read
+    /// tax arriving faster than the device's own history predicted).
+    TailLatencyRegression,
 }
 
 impl AnomalyKind {
@@ -42,6 +46,7 @@ impl AnomalyKind {
             AnomalyKind::WearRateOutlier => "wear_rate_outlier",
             AnomalyKind::FleetDeathSpike => "fleet_death_spike",
             AnomalyKind::FleetWearAccel => "fleet_wear_accel",
+            AnomalyKind::TailLatencyRegression => "tail_latency_regression",
         }
     }
 }

@@ -18,7 +18,7 @@
 //! layer's byte-identity across engines and thread counts.
 
 use crate::anomaly::{to_milli, Anomaly, AnomalyKind, RollingZScore};
-use salamander_obs::{FleetRollup, SimTime};
+use salamander_obs::{FleetRollup, LatencyRollup, SimTime, LAT_CLASSES};
 
 /// Fleet-wide anomaly subject: there is no single device to blame.
 pub const FLEET_SUBJECT: u32 = u32::MAX;
@@ -64,6 +64,47 @@ pub fn fleet_scan<'a>(rollups: impl IntoIterator<Item = &'a FleetRollup>) -> Vec
                 }
             }
             prev_wear = Some(wear);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Scan a chronological latency-rollup series for tail-latency
+/// regressions: per op class, a rolling z-score over the day-over-day
+/// p99 deltas (nanoseconds). A steady tail — even a slow one — never
+/// flags; a jump against the class's own recent history does (the §4.2
+/// multi-read tax landing, a retry storm, a GC stall pile-up). The
+/// anomaly subject is the class index into [`LAT_CLASSES`]. Floats
+/// appear only here, after the integer rollups were merged, so the
+/// output inherits their byte-identity.
+pub fn latency_scan<'a>(rollups: impl IntoIterator<Item = &'a LatencyRollup>) -> Vec<Anomaly> {
+    let mut out = Vec::new();
+    let mut dets: Vec<RollingZScore> = (0..LAT_CLASSES.len())
+        .map(|_| RollingZScore::standard())
+        .collect();
+    let mut prev: Vec<Option<u64>> = vec![None; LAT_CLASSES.len()];
+    for r in rollups {
+        for (ci, class) in LAT_CLASSES.iter().enumerate() {
+            let Some(p99) = r.stat(class, "p99") else {
+                continue;
+            };
+            if let Some(p) = prev[ci] {
+                // Signed delta: improvements enter the window too, but
+                // the one-sided detector only ever flags regressions.
+                let delta = p99 as f64 - p as f64;
+                if let Some(dev) = dets[ci].observe(delta) {
+                    out.push(Anomaly {
+                        time: SimTime::new(r.day, 0),
+                        kind: AnomalyKind::TailLatencyRegression,
+                        subject: ci as u32,
+                        value_milli: to_milli(delta),
+                        mean_milli: to_milli(dev.mean),
+                        z_milli: to_milli(dev.z),
+                    });
+                }
+            }
+            prev[ci] = Some(p99);
         }
     }
     out.sort();
@@ -135,5 +176,52 @@ mod tests {
         assert!(fleet_scan([].iter()).is_empty());
         let short: Vec<FleetRollup> = (0..5).map(|i| rollup(i * 30, i * 10, 1)).collect();
         assert!(fleet_scan(short.iter()).is_empty(), "below warm-up");
+    }
+
+    /// A latency rollup whose host-read p99 lands exactly at `ns` (one
+    /// sample per rollup: every percentile is that sample's bucket).
+    fn lat_rollup(day: u32, host_read_ns: u64) -> LatencyRollup {
+        let mut r = LatencyRollup::empty(day);
+        r.classes[0].observe(host_read_ns, 1);
+        r
+    }
+
+    #[test]
+    fn steady_tail_never_flags() {
+        // p99 jittering between two adjacent buckets: steady noise is
+        // not an anomaly (the ±one-bucket deltas are the window's own
+        // history), and neither is the flat stretch in between.
+        let series: Vec<LatencyRollup> = (0..30)
+            .map(|i| lat_rollup(i, if i % 2 == 0 { 70_000 } else { 75_000 }))
+            .collect();
+        assert!(latency_scan(series.iter()).is_empty());
+    }
+
+    #[test]
+    fn p99_jump_flags_the_class() {
+        let mut series: Vec<LatencyRollup> = (0..20).map(|i| lat_rollup(i, 61_440)).collect();
+        // Day 20: host-read p99 jumps 4x against a flat history.
+        series.push(lat_rollup(20, 245_760));
+        let anomalies = latency_scan(series.iter());
+        assert_eq!(anomalies.len(), 1, "{anomalies:?}");
+        let a = &anomalies[0];
+        assert_eq!(a.kind, AnomalyKind::TailLatencyRegression);
+        assert_eq!(a.time.day, 20);
+        assert_eq!(a.subject, 0, "subject is the LAT_CLASSES index");
+        assert!(a.z_milli >= 3000, "{a:?}");
+    }
+
+    #[test]
+    fn latency_improvements_never_flag() {
+        let mut series: Vec<LatencyRollup> = (0..20).map(|i| lat_rollup(i, 245_760)).collect();
+        series.push(lat_rollup(20, 61_440));
+        assert!(latency_scan(series.iter()).is_empty(), "one-sided");
+    }
+
+    #[test]
+    fn empty_latency_series_is_quiet() {
+        assert!(latency_scan([].iter()).is_empty());
+        let sparse: Vec<LatencyRollup> = (0..30).map(LatencyRollup::empty).collect();
+        assert!(latency_scan(sparse.iter()).is_empty(), "no samples, no p99");
     }
 }

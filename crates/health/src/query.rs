@@ -8,10 +8,12 @@
 //! are *never decoded* — their aggregate counts fold into the totals
 //! straight from the footer index.
 
+use salamander_obs::latency::fmt_ns;
 use salamander_obs::rollup::percentile_permille;
 use salamander_obs::strc::{ChunkSummary, EventKind, StrcError, StrcReader};
 use salamander_obs::{
-    DecommissionCause, FleetRollup, TraceEvent, TraceRecord, DIST_NAMES, PERCENTILES,
+    DecommissionCause, FleetRollup, LatencyRollup, TraceEvent, TraceRecord, DIST_NAMES,
+    LAT_CLASSES, LAT_STATS, PERCENTILES,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -319,7 +321,9 @@ fn lifecycle_items(items: &[Item<'_>], mdisk: Option<u32>) -> String {
                 TraceEvent::ScrubRefresh { .. } => scrubs += 1,
                 TraceEvent::ReadRetry { .. } => retries += 1,
                 TraceEvent::ChunkReReplicated { bytes, .. } => rereplicated += bytes,
-                TraceEvent::RunMarker { .. } | TraceEvent::FleetRollup(_) => {}
+                TraceEvent::RunMarker { .. }
+                | TraceEvent::FleetRollup(_)
+                | TraceEvent::LatencyRollup(_) => {}
             }
         }
         let _ = writeln!(
@@ -805,11 +809,158 @@ fn percentiles_items(items: &[Item<'_>], metric: &str) -> String {
     out
 }
 
+/// Kinds the [`latency`] query prints: run markers and the per-day
+/// latency rollups; everything else is skipped outright.
+pub fn latency_decode_mask() -> u16 {
+    EventKind::mask(&[EventKind::RunMarker, EventKind::LatencyRollup])
+}
+
+/// The per-day latency rollups of one segment, in emission order.
+fn seg_latency_rollups<'a>(seg: &ItemSegment<'a>) -> Vec<&'a LatencyRollup> {
+    seg.items
+        .iter()
+        .filter_map(|it| match it {
+            Item::Rec(r) => match &r.event {
+                TraceEvent::LatencyRollup(lr) => Some(lr),
+                _ => None,
+            },
+            Item::Sum(_) => None,
+        })
+        .collect()
+}
+
+/// Tail-latency tables from the recorded [`LatencyRollup`] series: per
+/// segment and op class, one line per sampled day with the exact count,
+/// mean, and nearest-rank p50/p90/p99/p999 (log2-bucket upper edges, so
+/// values are exact within the ≤12.5% quantization — DESIGN.md §15),
+/// followed by the [`crate::fleet::latency_scan`] regression flags.
+/// With `class`, only that class's table (validated against
+/// [`LAT_CLASSES`]).
+pub fn latency(records: &[TraceRecord], class: Option<&str>) -> String {
+    let items: Vec<Item<'_>> = records.iter().map(Item::Rec).collect();
+    latency_items(&items, class)
+}
+
+/// [`latency`] over an indexed chunk list (see [`load_chunks`]).
+pub fn latency_chunks(chunks: &[TraceChunk], class: Option<&str>) -> String {
+    latency_items(&chunk_items(chunks), class)
+}
+
+/// [`latency`] over a `.strc` reader: only chunks that may hold a
+/// latency rollup (or marker) decode.
+pub fn latency_strc(reader: &mut StrcReader, class: Option<&str>) -> Result<String, StrcError> {
+    let chunks = load_chunks(reader, latency_decode_mask(), None)?;
+    Ok(latency_chunks(&chunks, class))
+}
+
+fn latency_items(items: &[Item<'_>], class: Option<&str>) -> String {
+    let mut out = String::new();
+    if let Some(c) = class {
+        if !LAT_CLASSES.contains(&c) {
+            let _ = writeln!(
+                out,
+                "unknown latency class '{c}' (expected one of {LAT_CLASSES:?})"
+            );
+            return out;
+        }
+    }
+    let mut any = false;
+    for seg in &item_segments(items) {
+        let rollups = seg_latency_rollups(seg);
+        if rollups.is_empty() {
+            continue;
+        }
+        any = true;
+        let _ = writeln!(out, "== {} ({} sampled days)", seg.label, rollups.len());
+        for name in LAT_CLASSES {
+            if class.is_some_and(|c| c != name) {
+                continue;
+            }
+            let populated = rollups
+                .iter()
+                .any(|r| r.class(name).is_some_and(|c| c.count > 0));
+            if !populated {
+                // Classes the run never charged (e.g. scrub with patrol
+                // off) stay silent unless explicitly asked for.
+                if class.is_some() {
+                    let _ = writeln!(out, "  -- {name}: no samples recorded");
+                }
+                continue;
+            }
+            let _ = writeln!(out, "  -- {name}");
+            let _ = write!(out, "    {:>6} {:>10} {:>12}", "day", "count", "mean");
+            for (stat, _) in LAT_STATS {
+                let _ = write!(out, " {stat:>12}");
+            }
+            out.push('\n');
+            for r in &rollups {
+                let Some(c) = r.class(name) else { continue };
+                let _ = write!(out, "    {:>6} {:>10}", r.day, c.count);
+                match c.mean_ns() {
+                    Some(m) => {
+                        let _ = write!(out, " {:>12}", fmt_ns(m));
+                    }
+                    None => {
+                        let _ = write!(out, " {:>12}", "-");
+                    }
+                }
+                for (_, q) in LAT_STATS {
+                    match c.percentile(q) {
+                        Some(v) => {
+                            let _ = write!(out, " {:>12}", fmt_ns(v));
+                        }
+                        None => {
+                            let _ = write!(out, " {:>12}", "-");
+                        }
+                    }
+                }
+                out.push('\n');
+            }
+        }
+        let regressions = crate::fleet::latency_scan(rollups.iter().copied());
+        if regressions.is_empty() {
+            out.push_str("  no tail-latency regressions flagged\n");
+        } else {
+            out.push_str("  tail-latency regressions (day-over-day p99 z-scores):\n");
+            for a in &regressions {
+                let subject = LAT_CLASSES
+                    .get(a.subject as usize)
+                    .copied()
+                    .unwrap_or("unknown");
+                let _ = writeln!(
+                    out,
+                    "    day {:>5}: {:<10} p99 delta {} mean {} z {}",
+                    a.time.day,
+                    subject,
+                    milli_text(a.value_milli),
+                    milli_text(a.mean_milli),
+                    milli_text(a.z_milli),
+                );
+            }
+        }
+    }
+    if !any {
+        out.push_str("no latency rollups recorded\n");
+    }
+    out
+}
+
+/// Kinds [`drill`] prints: run markers plus both per-day rollup
+/// families (fleet and latency).
+pub fn drill_decode_mask() -> u16 {
+    EventKind::mask(&[
+        EventKind::RunMarker,
+        EventKind::FleetRollup,
+        EventKind::LatencyRollup,
+    ])
+}
+
 /// Drill into one sampled day: the full rollup record (counts, all
-/// four distributions with percentiles and non-empty buckets) plus the
-/// top fleet anomalies flagged by [`crate::fleet::fleet_scan`] over
-/// the whole segment. Days without a rollup list the sampled days
-/// instead of guessing.
+/// four distributions with percentiles and non-empty buckets), the
+/// day's tail-latency distributions when recorded, plus the top
+/// anomalies flagged by [`crate::fleet::fleet_scan`] and
+/// [`crate::fleet::latency_scan`] over the whole segment. Days without
+/// a rollup list the sampled days instead of guessing.
 pub fn drill(records: &[TraceRecord], day: u32) -> String {
     let items: Vec<Item<'_>> = records.iter().map(Item::Rec).collect();
     drill_items(&items, day)
@@ -820,9 +971,10 @@ pub fn drill_chunks(chunks: &[TraceChunk], day: u32) -> String {
     drill_items(&chunk_items(chunks), day)
 }
 
-/// [`drill`] over a `.strc` reader: only rollup-bearing chunks decode.
+/// [`drill`] over a `.strc` reader: only rollup-bearing chunks (fleet
+/// or latency) decode.
 pub fn drill_strc(reader: &mut StrcReader, day: u32) -> Result<String, StrcError> {
-    let chunks = load_chunks(reader, rollup_series_decode_mask(), None)?;
+    let chunks = load_chunks(reader, drill_decode_mask(), None)?;
     Ok(drill_chunks(&chunks, day))
 }
 
@@ -831,12 +983,19 @@ fn drill_items(items: &[Item<'_>], day: u32) -> String {
     let mut any = false;
     for seg in &item_segments(items) {
         let rollups = seg_rollups(seg);
-        if rollups.is_empty() {
+        let lat_rollups = seg_latency_rollups(seg);
+        if rollups.is_empty() && lat_rollups.is_empty() {
             continue;
         }
         any = true;
-        let Some(r) = rollups.iter().find(|r| r.day == day) else {
-            let days: Vec<u32> = rollups.iter().map(|r| r.day).collect();
+        let fleet_day = rollups.iter().find(|r| r.day == day);
+        let lat_day = lat_rollups.iter().find(|r| r.day == day);
+        if fleet_day.is_none() && lat_day.is_none() {
+            let days: Vec<u32> = if rollups.is_empty() {
+                lat_rollups.iter().map(|r| r.day).collect()
+            } else {
+                rollups.iter().map(|r| r.day).collect()
+            };
             let _ = writeln!(
                 out,
                 "== {}: no rollup at day {day} (sampled days: {}..{}, {} samples)",
@@ -846,39 +1005,61 @@ fn drill_items(items: &[Item<'_>], day: u32) -> String {
                 days.len()
             );
             continue;
-        };
-        let _ = writeln!(out, "== {} — day {day}", seg.label);
-        let _ = writeln!(
-            out,
-            "  alive {}, dead {} (wear {}, afr {}), dying {}",
-            r.alive,
-            r.dead(),
-            r.dead_wear,
-            r.dead_afr,
-            r.dying
-        );
-        let _ = writeln!(out, "  committed capacity: {} oPages", r.capacity_opages);
-        for name in DIST_NAMES {
-            let bins = r.dist(name).unwrap_or(&[]);
-            let _ = write!(out, "  {name:<6}:");
-            if bins.iter().all(|&b| b == 0) {
-                out.push_str(" (empty)\n");
-                continue;
-            }
-            for q in PERCENTILES {
-                if let Some(v) = percentile_permille(bins, q) {
-                    let _ = write!(out, " p{q}={v}");
-                }
-            }
-            let buckets: Vec<String> = bins
-                .iter()
-                .enumerate()
-                .filter(|(_, &b)| b > 0)
-                .map(|(i, &b)| format!("{i}:{b}"))
-                .collect();
-            let _ = writeln!(out, " | buckets {}", buckets.join(" "));
         }
-        let anomalies = crate::fleet::fleet_scan(rollups.iter().copied());
+        let _ = writeln!(out, "== {} — day {day}", seg.label);
+        if let Some(r) = fleet_day {
+            let _ = writeln!(
+                out,
+                "  alive {}, dead {} (wear {}, afr {}), dying {}",
+                r.alive,
+                r.dead(),
+                r.dead_wear,
+                r.dead_afr,
+                r.dying
+            );
+            let _ = writeln!(out, "  committed capacity: {} oPages", r.capacity_opages);
+            for name in DIST_NAMES {
+                let bins = r.dist(name).unwrap_or(&[]);
+                let _ = write!(out, "  {name:<6}:");
+                if bins.iter().all(|&b| b == 0) {
+                    out.push_str(" (empty)\n");
+                    continue;
+                }
+                for q in PERCENTILES {
+                    if let Some(v) = percentile_permille(bins, q) {
+                        let _ = write!(out, " p{q}={v}");
+                    }
+                }
+                let buckets: Vec<String> = bins
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b > 0)
+                    .map(|(i, &b)| format!("{i}:{b}"))
+                    .collect();
+                let _ = writeln!(out, " | buckets {}", buckets.join(" "));
+            }
+        }
+        if let Some(l) = lat_day {
+            out.push_str("  latency (log2-bucket upper edges):\n");
+            for name in LAT_CLASSES {
+                let Some(c) = l.class(name) else { continue };
+                if c.count == 0 {
+                    continue;
+                }
+                let _ = write!(out, "    {name:<10}: count {}", c.count);
+                if let Some(m) = c.mean_ns() {
+                    let _ = write!(out, " mean {}", fmt_ns(m));
+                }
+                for (stat, q) in LAT_STATS {
+                    if let Some(v) = c.percentile(q) {
+                        let _ = write!(out, " {stat}={}", fmt_ns(v));
+                    }
+                }
+                out.push('\n');
+            }
+        }
+        let mut anomalies = crate::fleet::fleet_scan(rollups.iter().copied());
+        anomalies.extend(crate::fleet::latency_scan(lat_rollups.iter().copied()));
         if anomalies.is_empty() {
             out.push_str("  no fleet anomalies flagged in this segment\n");
         } else {
@@ -1496,6 +1677,136 @@ mod tests {
                 "drill {day}"
             );
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A latency-bearing trace: per-sample latency rollups (host reads
+    /// drifting from the L0 to the L1 bucket, with a late p99 jump)
+    /// buried in enough GC noise that small chunks give the latency
+    /// decode mask something to skip.
+    fn latency_trace() -> Vec<TraceRecord> {
+        use salamander_obs::LatencyRollup;
+        let mut out = Vec::new();
+        let mut seq = 0u64;
+        let mut push = |out: &mut Vec<TraceRecord>, day: u32, event: TraceEvent| {
+            out.push(rec(seq, day, 0, event));
+            seq += 1;
+        };
+        push(
+            &mut out,
+            0,
+            TraceEvent::RunMarker {
+                label: "mode=RegenS".into(),
+            },
+        );
+        for day in 1..=30u32 {
+            for j in 0..40u64 {
+                push(
+                    &mut out,
+                    day,
+                    TraceEvent::GcPass {
+                        block: u64::from(day) * 64 + j,
+                        relocated: 4,
+                    },
+                );
+            }
+            let mut r = LatencyRollup::empty(day);
+            // Reads: mostly the L0 sense cost, an L1 share growing with
+            // the day, and on day 30 a 10x tail burst.
+            r.classes[0].observe(60_120, 100);
+            r.classes[0].observe(76_786, u64::from(day) * 4);
+            if day == 30 {
+                r.classes[0].observe(600_000, 5);
+            }
+            r.classes[1].observe(605_120, 50);
+            push(&mut out, day, TraceEvent::LatencyRollup(r));
+        }
+        out
+    }
+
+    #[test]
+    fn latency_renders_class_tables_and_validates() {
+        let trace = latency_trace();
+        let text = latency(&trace, None);
+        assert!(text.contains("== mode=RegenS (30 sampled days)"), "{text}");
+        assert!(text.contains("-- host_read"), "{text}");
+        assert!(text.contains("-- host_write"), "{text}");
+        // Unpopulated classes are silent unless asked for.
+        assert!(!text.contains("-- scrub"), "{text}");
+        // Day 1: 100 reads at 60.120us + 4 at 76.786us -> p50 at the
+        // L0 bucket edge (61.440us), p99 at the L1 edge (81.920us).
+        let day1 = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("1 "))
+            .unwrap();
+        assert!(day1.contains("104"), "{day1}");
+        assert!(day1.contains("61.440us"), "{day1}");
+        assert!(day1.contains("81.920us"), "{day1}");
+        let filtered = latency(&trace, Some("host_write"));
+        assert!(filtered.contains("-- host_write"), "{filtered}");
+        assert!(!filtered.contains("-- host_read"), "{filtered}");
+        let empty_class = latency(&trace, Some("scrub"));
+        assert!(
+            empty_class.contains("-- scrub: no samples recorded"),
+            "{empty_class}"
+        );
+        assert!(
+            latency(&trace, Some("bogus")).contains("unknown latency class 'bogus'"),
+            "class names are validated"
+        );
+        assert!(latency(&[], None).contains("no latency rollups recorded"));
+    }
+
+    #[test]
+    fn latency_flags_tail_regressions() {
+        let text = latency(&latency_trace(), Some("host_read"));
+        // The day-30 burst deviates from 29 days of steady history.
+        assert!(text.contains("tail-latency regressions"), "{text}");
+        assert!(text.contains("day    30: host_read"), "{text}");
+    }
+
+    #[test]
+    fn latency_and_drill_match_indexed_and_skip_chunks() {
+        use salamander_obs::strc::{write_strc, StrcReader};
+        let records = latency_trace();
+        let path = tmp("latency-queries.strc");
+        write_strc(&path, &records, 16).unwrap();
+
+        for class in [None, Some("host_read"), Some("gc")] {
+            let mut r = StrcReader::open(&path).unwrap();
+            assert_eq!(
+                latency_strc(&mut r, class).unwrap(),
+                latency(&records, class),
+                "latency class={class:?}"
+            );
+            assert!(
+                (r.chunks_decoded as usize) < r.chunk_count(),
+                "latency decoded every chunk ({} of {})",
+                r.chunks_decoded,
+                r.chunk_count()
+            );
+        }
+
+        // Drill shows the day's latency distributions from the same
+        // record, identically over both forms, still skipping chunks.
+        for day in [1, 30, 99] {
+            let mut r = StrcReader::open(&path).unwrap();
+            assert_eq!(
+                drill_strc(&mut r, day).unwrap(),
+                drill(&records, day),
+                "drill {day}"
+            );
+            assert!((r.chunks_decoded as usize) < r.chunk_count());
+        }
+        let text = drill(&records, 30);
+        assert!(text.contains("latency (log2-bucket upper edges)"), "{text}");
+        assert!(text.contains("host_read : count 225"), "{text}");
+        assert!(text.contains("tail_latency_regression"), "{text}");
+        let miss = drill(&records, 99);
+        assert!(
+            miss.contains("no rollup at day 99 (sampled days: 1..30, 30 samples)"),
+            "{miss}"
+        );
         let _ = std::fs::remove_file(&path);
     }
 

@@ -165,6 +165,11 @@ pub enum TraceEvent {
     /// once per sampled day by the fleet engines; deterministic by
     /// construction (integer bins merged in shard order).
     FleetRollup(crate::rollup::FleetRollup),
+    /// Per-sampled-day latency distributions (DESIGN.md §15): one
+    /// histogram per op class, charged from the integer cost model.
+    /// Deterministic like [`TraceEvent::FleetRollup`] — integer bins,
+    /// shard-order merges.
+    LatencyRollup(crate::latency::LatencyRollup),
 }
 
 /// A trace event plus its position in the run: a per-handle sequence

@@ -19,6 +19,7 @@
 //! emit without cycles.
 
 pub mod event;
+pub mod latency;
 pub mod live;
 pub mod metrics;
 pub mod profile;
@@ -27,6 +28,10 @@ pub mod strc;
 pub mod trace;
 
 pub use event::{DeathCause, DecommissionCause, SimTime, TraceEvent, TraceRecord};
+pub use latency::{
+    ClassLatency, CostModelNs, LatClass, LatencyAcc, LatencyKernel, LatencyRollup, LAT_BUCKETS,
+    LAT_CLASSES, LAT_STATS,
+};
 pub use live::{Broadcast, LiveObs, ProgressHandle};
 pub use metrics::{Histogram, MetricsHandle, MetricsRegistry};
 pub use profile::{PhaseGuard, PhaseStat, Profiler};

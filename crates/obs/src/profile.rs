@@ -55,6 +55,22 @@ impl Profiler {
         )
     }
 
+    /// Deposit externally-measured time into a phase. Hot loops that
+    /// cannot afford a [`Self::phase`] guard per entry accumulate
+    /// `(calls, total)` locally and fold them in once (e.g. per worker
+    /// shard). A disabled profiler or a zero-call deposit is a no-op.
+    pub fn record(&self, name: &str, calls: u64, total: Duration) {
+        if calls == 0 {
+            return;
+        }
+        if let Some(store) = &self.0 {
+            let mut store = store.lock().expect("profiler lock");
+            let stat = store.entry(name.to_string()).or_default();
+            stat.calls += calls;
+            stat.total += total;
+        }
+    }
+
     /// Phase totals sorted by name: `(name, calls, total)`.
     pub fn stats(&self) -> Vec<(String, PhaseStat)> {
         match &self.0 {
@@ -114,6 +130,21 @@ mod tests {
         assert_eq!(stats.len(), 1);
         assert_eq!(stats[0].0, "work");
         assert_eq!(stats[0].1.calls, 3);
+    }
+
+    #[test]
+    fn record_deposits_accumulated_time() {
+        let p = Profiler::enabled();
+        p.record("bulk", 0, Duration::from_secs(1)); // zero calls: no-op
+        assert!(p.stats().is_empty());
+        p.record("bulk", 5, Duration::from_millis(10));
+        p.record("bulk", 2, Duration::from_millis(1));
+        let stats = p.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].1.calls, 7);
+        assert!(stats[0].1.total >= Duration::from_millis(11));
+        // Inert when disabled.
+        Profiler::disabled().record("bulk", 5, Duration::from_millis(10));
     }
 
     #[test]

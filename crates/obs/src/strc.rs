@@ -45,18 +45,22 @@ pub const MAGIC: &[u8; 4] = b"STRC";
 pub const FOOTER_MAGIC: &[u8; 4] = b"XIDX";
 /// Format version this module writes. Readers accept `1..=VERSION`:
 /// v2 added the `FleetRollup` event kind (and its per-kind count slot
-/// in the footer summaries); v1 files decode with that slot zero.
-pub const VERSION: u32 = 2;
+/// in the footer summaries); v3 added `LatencyRollup` the same way.
+/// Older files decode with the missing count slots zero.
+pub const VERSION: u32 = 3;
 /// Records per chunk unless the writer is told otherwise. ~4K records
 /// keeps chunks in the hundreds-of-KB range — big enough to amortize
 /// the summary, small enough that skipping matters.
 pub const DEFAULT_CHUNK_RECORDS: usize = 4096;
 
 /// Number of event kinds (one bit each in [`ChunkSummary::kind_mask`]).
-pub const EVENT_KINDS: usize = 15;
+pub const EVENT_KINDS: usize = 16;
 
 /// Event kinds in a version-1 footer (before `FleetRollup`).
 const EVENT_KINDS_V1: usize = 14;
+
+/// Event kinds in a version-2 footer (before `LatencyRollup`).
+const EVENT_KINDS_V2: usize = 15;
 
 /// The wire tag of each [`TraceEvent`] variant. Order is part of the
 /// format: renumbering breaks every existing `.strc` file.
@@ -93,6 +97,8 @@ pub enum EventKind {
     ChunkLost = 13,
     /// [`TraceEvent::FleetRollup`] (format v2)
     FleetRollup = 14,
+    /// [`TraceEvent::LatencyRollup`] (format v3)
+    LatencyRollup = 15,
 }
 
 impl EventKind {
@@ -114,6 +120,7 @@ impl EventKind {
             TraceEvent::ChunkReReplicated { .. } => EventKind::ChunkReReplicated,
             TraceEvent::ChunkLost { .. } => EventKind::ChunkLost,
             TraceEvent::FleetRollup(_) => EventKind::FleetRollup,
+            TraceEvent::LatencyRollup(_) => EventKind::LatencyRollup,
         }
     }
 
@@ -255,13 +262,14 @@ impl ChunkSummary {
         s.last = SimTime::new(cur.u32()?, cur.u64()?);
         s.kind_mask = cur.u16()?;
         s.id_bloom = cur.u64()?;
-        // v1 footers carry one count slot fewer (no FleetRollup); the
-        // missing slot stays zero, which is exact — v1 files cannot
-        // contain the kind.
-        let kinds = if version == 1 {
-            EVENT_KINDS_V1
-        } else {
-            EVENT_KINDS
+        // Older footers carry fewer count slots (v1 predates
+        // FleetRollup, v2 predates LatencyRollup); the missing slots
+        // stay zero, which is exact — those files cannot contain the
+        // kinds.
+        let kinds = match version {
+            1 => EVENT_KINDS_V1,
+            2 => EVENT_KINDS_V2,
+            _ => EVENT_KINDS,
         };
         for c in &mut s.counts[..kinds] {
             *c = cur.u32()?;
@@ -450,6 +458,16 @@ fn encode_event(event: &TraceEvent, out: &mut Vec<u8>) {
                 encode_u32_vec(dist, out);
             }
         }
+        TraceEvent::LatencyRollup(r) => {
+            out.extend_from_slice(&r.day.to_le_bytes());
+            let classes = r.classes.len().min(u16::MAX as usize);
+            out.extend_from_slice(&(classes as u16).to_le_bytes());
+            for c in &r.classes[..classes] {
+                out.extend_from_slice(&c.count.to_le_bytes());
+                out.extend_from_slice(&c.total_ns.to_le_bytes());
+                encode_u64_vec(&c.bins, out);
+            }
+        }
     }
 }
 
@@ -466,6 +484,23 @@ fn decode_u32_vec(cur: &mut Cursor<'_>) -> Result<Vec<u32>, StrcError> {
     let mut v = Vec::with_capacity(len);
     for _ in 0..len {
         v.push(cur.u32()?);
+    }
+    Ok(v)
+}
+
+fn encode_u64_vec(v: &[u64], out: &mut Vec<u8>) {
+    let len = v.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    for x in &v[..len] {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn decode_u64_vec(cur: &mut Cursor<'_>) -> Result<Vec<u64>, StrcError> {
+    let len = cur.u16()? as usize;
+    let mut v = Vec::with_capacity(len);
+    for _ in 0..len {
+        v.push(cur.u64()?);
     }
     Ok(v)
 }
@@ -570,6 +605,19 @@ fn decode_event(cur: &mut Cursor<'_>) -> Result<TraceEvent, StrcError> {
             usable: decode_u32_vec(cur)?,
             health: decode_u32_vec(cur)?,
         }),
+        15 => {
+            let day = cur.u32()?;
+            let classes = cur.u16()? as usize;
+            let mut out = Vec::with_capacity(classes);
+            for _ in 0..classes {
+                out.push(crate::latency::ClassLatency {
+                    count: cur.u64()?,
+                    total_ns: cur.u64()?,
+                    bins: decode_u64_vec(cur)?,
+                });
+            }
+            TraceEvent::LatencyRollup(crate::latency::LatencyRollup { day, classes: out })
+        }
         n => return Err(StrcError::corrupt(at, format!("unknown event kind {n}"))),
     })
 }
@@ -1157,6 +1205,85 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let mut r = StrcReader::open(&path).unwrap();
         assert_eq!(r.summaries()[0].counts, s.counts);
+        assert_eq!(r.read_all().unwrap(), records);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A version-2 footer summary: identical to v3 minus the
+    /// `LatencyRollup` count slot.
+    fn encode_summary_v2(s: &ChunkSummary, out: &mut Vec<u8>) {
+        out.extend_from_slice(&s.offset.to_le_bytes());
+        out.extend_from_slice(&s.byte_len.to_le_bytes());
+        out.extend_from_slice(&s.records.to_le_bytes());
+        out.extend_from_slice(&s.first.day.to_le_bytes());
+        out.extend_from_slice(&s.first.op.to_le_bytes());
+        out.extend_from_slice(&s.last.day.to_le_bytes());
+        out.extend_from_slice(&s.last.op.to_le_bytes());
+        out.extend_from_slice(&s.kind_mask.to_le_bytes());
+        out.extend_from_slice(&s.id_bloom.to_le_bytes());
+        for c in &s.counts[..EVENT_KINDS_V2] {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        for t in &s.transitions {
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        out.extend_from_slice(&s.gc_relocated.to_le_bytes());
+        out.extend_from_slice(&s.rerep_bytes.to_le_bytes());
+    }
+
+    #[test]
+    fn version2_files_still_open() {
+        // Hand-build a v2 file: record encoding of pre-latency kinds
+        // is unchanged, only the footer summary is narrower.
+        let records = sample_records(5);
+        let mut payload = Vec::new();
+        for r in &records {
+            encode_record(r, &mut payload);
+        }
+        let mut s = summarize(&records);
+        s.offset = 8;
+        s.byte_len = payload.len() as u32;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let mut footer = Vec::new();
+        footer.extend_from_slice(&1u32.to_le_bytes());
+        encode_summary_v2(&s, &mut footer);
+        bytes.extend_from_slice(&footer);
+        bytes.extend_from_slice(&(footer.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(FOOTER_MAGIC);
+        let path = tmp("v2.strc");
+        std::fs::write(&path, &bytes).unwrap();
+        let mut r = StrcReader::open(&path).unwrap();
+        assert_eq!(r.summaries()[0].counts, s.counts);
+        assert_eq!(r.read_all().unwrap(), records);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn latency_rollups_round_trip_and_index() {
+        let mut rollup = crate::latency::LatencyRollup::empty(45);
+        rollup.classes[0].observe(55_120, 1000);
+        rollup.classes[0].observe(71_786, 37);
+        rollup.classes[2].observe(3_650_000, 2);
+        let mut records = sample_records(10);
+        records.push(TraceRecord {
+            seq: 10,
+            time: SimTime::new(45, 0),
+            event: TraceEvent::LatencyRollup(rollup),
+        });
+        let path = tmp("latency.strc");
+        write_strc(&path, &records, 4).unwrap();
+        let mut r = StrcReader::open(&path).unwrap();
+        let tail = r.summaries().last().unwrap();
+        assert!(tail.may_contain_kinds(EventKind::LatencyRollup.bit()));
+        assert_eq!(tail.count(EventKind::LatencyRollup), 1);
+        assert!(
+            !r.summaries()[0].may_contain_kinds(EventKind::LatencyRollup.bit()),
+            "head chunks must be skippable for latency queries"
+        );
         assert_eq!(r.read_all().unwrap(), records);
         let _ = std::fs::remove_file(&path);
     }

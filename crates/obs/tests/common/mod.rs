@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use salamander_obs::event::{DeathCause, DecommissionCause, SimTime, TraceEvent, TraceRecord};
-use salamander_obs::{FleetRollup, DIST_BUCKETS};
+use salamander_obs::{ClassLatency, FleetRollup, LatencyRollup, DIST_BUCKETS, LAT_BUCKETS};
 
 pub fn cause_strategy() -> impl Strategy<Value = DecommissionCause> {
     prop_oneof![
@@ -58,6 +58,7 @@ pub fn event_strategy() -> impl Strategy<Value = TraceEvent> {
             .prop_map(|(chunk, bytes)| TraceEvent::ChunkReReplicated { chunk, bytes }),
         any::<u64>().prop_map(|chunk| TraceEvent::ChunkLost { chunk }),
         rollup_strategy().prop_map(TraceEvent::FleetRollup),
+        latency_rollup_strategy().prop_map(TraceEvent::LatencyRollup),
     ]
 }
 
@@ -93,6 +94,24 @@ pub fn rollup_strategy() -> impl Strategy<Value = FleetRollup> {
                 }
             },
         )
+}
+
+/// Arbitrary per-day latency rollups: any class count (not just the
+/// canonical five), any bin widths (up to past [`LAT_BUCKETS`]), any
+/// counter values — the formats must round-trip all of them.
+pub fn latency_rollup_strategy() -> impl Strategy<Value = LatencyRollup> {
+    let class = (
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u64>(), 0..LAT_BUCKETS + 16),
+    )
+        .prop_map(|(count, total_ns, bins)| ClassLatency {
+            count,
+            total_ns,
+            bins,
+        });
+    (any::<u32>(), proptest::collection::vec(class, 0..6))
+        .prop_map(|(day, classes)| LatencyRollup { day, classes })
 }
 
 pub fn record_strategy() -> impl Strategy<Value = TraceRecord> {

@@ -6,9 +6,9 @@
 
 mod common;
 
-use common::record_strategy;
+use common::{latency_rollup_strategy, record_strategy};
 use proptest::prelude::*;
-use salamander_obs::event::TraceRecord;
+use salamander_obs::event::{SimTime, TraceEvent, TraceRecord};
 use salamander_obs::strc::{
     convert_file, read_strc, summarize, write_strc, RotatingStrcWriter, StrcReader,
 };
@@ -87,6 +87,37 @@ proptest! {
         for p in &paths {
             let _ = std::fs::remove_file(p);
         }
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn latency_rollups_round_trip_at_any_chunk_size(
+        rollups in proptest::collection::vec(latency_rollup_strategy(), 0..8),
+        chunk_records in 1usize..5,
+        case in any::<u64>(),
+    ) {
+        // ISSUE 9: arbitrary LatencyRollups — any class count, any bin
+        // widths, any counter values — survive JSONL ↔ .strc at any
+        // chunk size, byte-exactly in both directions.
+        let records: Vec<TraceRecord> = rollups
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| TraceRecord {
+                seq: i as u64,
+                time: SimTime::new(r.day, i as u64),
+                event: TraceEvent::LatencyRollup(r),
+            })
+            .collect();
+        let strc = tmp("lat.strc", case);
+        let jsonl = tmp("lat.jsonl", case);
+        write_strc(&strc, &records, chunk_records).unwrap();
+        let back = read_strc(&strc).unwrap();
+        let n = convert_file(&strc, &jsonl).unwrap();
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        let _ = std::fs::remove_file(&strc);
+        let _ = std::fs::remove_file(&jsonl);
+        prop_assert_eq!(n, records.len() as u64);
+        prop_assert_eq!(text, to_jsonl(&records));
         prop_assert_eq!(back, records);
     }
 

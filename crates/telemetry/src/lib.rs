@@ -21,13 +21,15 @@
 //! | `GET /progress`     | sim day / ops / device counts / per-mode days / rollup day counts / wall-clock ops-per-sec |
 //! | `GET /fleet`        | JSON snapshot: per-label rollup day count plus the latest [`FleetRollup`] |
 //! | `GET /fleet/series` | `?metric=<name>[&fleet=<label>]`: per-label `[day, value]` series over the published rollups (metric names per [`FleetRollup::series_value`]) |
+//! | `GET /latency`      | JSON snapshot: per-label latency-rollup day count, latest per-class tail stats, and tail-regression anomalies (DESIGN.md §15) |
+//! | `GET /latency/series` | `?class=<op-class>&stat=<p50\|p90\|p99\|p999\|mean\|count>[&fleet=<label>]`: per-label `[day, ns]` series over the published latency rollups |
 //! | `GET /quit`         | asks the host process to stop lingering          |
 //!
 //! The server holds no locks while blocked on I/O except the bounded
 //! condvar wait inside [`Broadcast::poll_after`], and it cannot slow
 //! the simulation beyond momentary mirror-lock contention.
 
-use salamander_obs::{trace::to_jsonl, FleetRollup, LiveObs};
+use salamander_obs::{trace::to_jsonl, FleetRollup, LatencyRollup, LiveObs, LAT_CLASSES};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -60,6 +62,12 @@ pub struct TelemetryHub {
     /// finish (the deterministic artifacts; `/fleet` and
     /// `/fleet/series` are pure views over them).
     fleet: Mutex<BTreeMap<String, Vec<FleetRollup>>>,
+    /// Run label → (per-day latency rollups, pre-serialized JSON array
+    /// of tail-regression anomalies). Published as runs finish;
+    /// `/latency` and `/latency/series` are pure views over them. The
+    /// anomalies are pre-serialized by the publisher (like `health`) so
+    /// this crate needs no knowledge of the health types.
+    latency: Mutex<BTreeMap<String, (Vec<LatencyRollup>, String)>>,
     /// The exact rendered metrics text the run wrote (or would write)
     /// at exit. Once set, `/metrics` serves these bytes verbatim, so a
     /// final scrape equals the `--metrics` file byte-for-byte.
@@ -76,6 +84,7 @@ impl TelemetryHub {
             run: run.to_string(),
             health: Mutex::new(BTreeMap::new()),
             fleet: Mutex::new(BTreeMap::new()),
+            latency: Mutex::new(BTreeMap::new()),
             final_metrics: Mutex::new(None),
             done: AtomicBool::new(false),
             quit: AtomicBool::new(false),
@@ -97,6 +106,22 @@ impl TelemetryHub {
             .lock()
             .expect("fleet lock")
             .insert(label.to_string(), rollups);
+    }
+
+    /// Publish one run label's per-day latency rollups plus a
+    /// pre-serialized JSON array of tail-regression anomalies (from
+    /// `salamander_health::latency_scan`; pass `"[]"` when the scan
+    /// found nothing), replacing any previous set for that label.
+    pub fn publish_latency(
+        &self,
+        label: &str,
+        rollups: Vec<LatencyRollup>,
+        regressions_json: String,
+    ) {
+        self.latency
+            .lock()
+            .expect("latency lock")
+            .insert(label.to_string(), (rollups, regressions_json));
     }
 
     /// Publish the final metrics text and mark the run finished. The
@@ -248,6 +273,118 @@ impl TelemetryHub {
         body.push_str("}}");
         Some(body)
     }
+
+    /// The `/latency` body: per-label sampled-day count, the latest
+    /// non-empty rollup's per-class tail stats (classes with zero
+    /// samples are omitted — the fleet path never populates gc/scrub/
+    /// regen, DESIGN.md §15), and the publisher's tail-regression
+    /// anomalies verbatim.
+    fn latency_body(&self) -> String {
+        let lats = self.latency.lock().expect("latency lock");
+        let mut body = format!(
+            "{{\"run\":{},\"done\":{},\"classes\":[",
+            json_string(&self.run),
+            self.is_done()
+        );
+        for (i, class) in LAT_CLASSES.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&json_string(class));
+        }
+        body.push_str("],\"latencies\":{");
+        for (i, (label, (rollups, regressions))) in lats.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&json_string(label));
+            body.push_str(":{\"days\":");
+            body.push_str(&rollups.len().to_string());
+            match rollups.iter().rev().find(|r| !r.is_empty()) {
+                Some(r) => {
+                    body.push_str(",\"latest_day\":");
+                    body.push_str(&r.day.to_string());
+                    body.push_str(",\"latest\":{");
+                    let mut wrote = false;
+                    for class in LAT_CLASSES {
+                        let count = r.stat(class, "count").unwrap_or(0);
+                        if count == 0 {
+                            continue;
+                        }
+                        if wrote {
+                            body.push(',');
+                        }
+                        body.push_str(&json_string(class));
+                        body.push_str(&format!(
+                            ":{{\"count\":{count},\"mean_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"p999_ns\":{}}}",
+                            r.stat(class, "mean").unwrap_or(0),
+                            r.stat(class, "p50").unwrap_or(0),
+                            r.stat(class, "p90").unwrap_or(0),
+                            r.stat(class, "p99").unwrap_or(0),
+                            r.stat(class, "p999").unwrap_or(0),
+                        ));
+                        wrote = true;
+                    }
+                    body.push('}');
+                }
+                None => body.push_str(",\"latest_day\":null,\"latest\":{}"),
+            }
+            body.push_str(",\"regressions\":");
+            body.push_str(regressions);
+            body.push('}');
+        }
+        body.push_str("}}");
+        body
+    }
+
+    /// The `/latency/series` body: per-label `[day, ns]` pairs for one
+    /// `(class, stat)` (optionally restricted to one label). `None`
+    /// when either name is unknown — the handler turns that into a
+    /// 400. Days whose distribution is empty contribute gaps, not
+    /// errors.
+    fn latency_series_body(&self, class: &str, stat: &str, only: Option<&str>) -> Option<String> {
+        if !valid_latency_series(class, stat) {
+            return None;
+        }
+        let lats = self.latency.lock().expect("latency lock");
+        let mut body = format!(
+            "{{\"class\":{},\"stat\":{},\"series\":{{",
+            json_string(class),
+            json_string(stat)
+        );
+        let mut wrote = false;
+        for (label, (rollups, _)) in lats.iter() {
+            if only.is_some_and(|f| f != label.as_str()) {
+                continue;
+            }
+            let points: Vec<String> = rollups
+                .iter()
+                .filter(|r| !r.is_empty())
+                .filter_map(|r| r.stat(class, stat).map(|v| format!("[{},{v}]", r.day)))
+                .collect();
+            if wrote {
+                body.push(',');
+            }
+            body.push_str(&json_string(label));
+            body.push_str(":[");
+            body.push_str(&points.join(","));
+            body.push(']');
+            wrote = true;
+        }
+        body.push_str("}}");
+        Some(body)
+    }
+}
+
+/// Whether `(class, stat)` is a pair [`LatencyRollup::stat`] accepts,
+/// probed against a rollup with one sample per class so this check
+/// cannot drift from the real extraction.
+fn valid_latency_series(class: &str, stat: &str) -> bool {
+    let mut probe = LatencyRollup::empty(0);
+    for c in probe.classes.iter_mut() {
+        c.observe(1, 1);
+    }
+    probe.stat(class, stat).is_some()
 }
 
 /// Whether `metric` is a name [`FleetRollup::series_value`] accepts,
@@ -402,6 +539,21 @@ fn handle_connection(stream: TcpStream, hub: &TelemetryHub) {
                     400,
                     "text/plain",
                     "unknown metric (try alive, dead, dying, capacity, wear_p50, ...)\n",
+                    &[],
+                ),
+            }
+        }
+        "/latency" => respond(&mut out, 200, "application/json", &hub.latency_body(), &[]),
+        "/latency/series" => {
+            let class = query_param(query, "class").unwrap_or("host_read");
+            let stat = query_param(query, "stat").unwrap_or("p99");
+            match hub.latency_series_body(class, stat, query_param(query, "fleet")) {
+                Some(body) => respond(&mut out, 200, "application/json", &body, &[]),
+                None => respond(
+                    &mut out,
+                    400,
+                    "text/plain",
+                    "unknown class or stat (classes: host_read, host_write, gc, scrub, regen; stats: p50, p90, p99, p999, mean, count)\n",
                     &[],
                 ),
             }
@@ -663,6 +815,77 @@ mod tests {
             body.contains("\"rollup_days\":{\"fleet=Baseline\":1,\"fleet=ShrinkS\":2}"),
             "{body}"
         );
+        server.shutdown();
+    }
+
+    fn lat_rollup(day: u32, read_ns: u64) -> LatencyRollup {
+        let mut r = LatencyRollup::empty(day);
+        r.classes[0].observe(read_ns, 10); // host_read
+        r.classes[1].observe(605_120, 4); // host_write
+        r
+    }
+
+    #[test]
+    fn latency_snapshot_and_series_serve_published_rollups() {
+        let (server, hub) = start();
+        let (_, _, body) = http_get(server.addr(), "/latency").unwrap();
+        assert!(body.contains("\"latencies\":{}"), "{body}");
+        hub.publish_latency(
+            "fleet=RegenS",
+            vec![lat_rollup(30, 60_120), lat_rollup(60, 76_786)],
+            "[{\"day\":60,\"kind\":\"tail_latency_regression\"}]".to_string(),
+        );
+        hub.publish_latency(
+            "fleet=Baseline",
+            vec![lat_rollup(30, 60_120), LatencyRollup::empty(60)],
+            "[]".to_string(),
+        );
+        let (status, _, body) = http_get(server.addr(), "/latency").unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("\"classes\":[\"host_read\",\"host_write\",\"gc\",\"scrub\",\"regen\"]"),
+            "{body}"
+        );
+        // Latest = last *non-empty* rollup; zero-count classes omitted.
+        assert!(body.contains("\"fleet=RegenS\":{\"days\":2,\"latest_day\":60,\"latest\":{\"host_read\":{\"count\":10,"), "{body}");
+        assert!(
+            body.contains("\"fleet=Baseline\":{\"days\":2,\"latest_day\":30,"),
+            "{body}"
+        );
+        assert!(!body.contains("\"gc\":{"), "{body}");
+        assert!(
+            body.contains("\"regressions\":[{\"day\":60,\"kind\":\"tail_latency_regression\"}]"),
+            "{body}"
+        );
+        // Series over the log2-bucket upper edges; empty days are gaps.
+        let (status, _, body) =
+            http_get(server.addr(), "/latency/series?class=host_read&stat=p99").unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("\"class\":\"host_read\",\"stat\":\"p99\""),
+            "{body}"
+        );
+        assert!(
+            body.contains("\"fleet=RegenS\":[[30,61440],[60,81920]]"),
+            "{body}"
+        );
+        assert!(body.contains("\"fleet=Baseline\":[[30,61440]]"), "{body}");
+        // Defaults are class=host_read, stat=p99; ?fleet= narrows.
+        let (status, _, dflt) = http_get(server.addr(), "/latency/series").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(dflt, body);
+        let (_, _, body) = http_get(
+            server.addr(),
+            "/latency/series?stat=count&fleet=fleet=Baseline",
+        )
+        .unwrap();
+        assert!(body.contains("\"fleet=Baseline\":[[30,10]]"), "{body}");
+        assert!(!body.contains("RegenS"), "{body}");
+        // Unknown class or stat is a 400, not an empty 200.
+        let (status, _, _) = http_get(server.addr(), "/latency/series?class=bogus").unwrap();
+        assert_eq!(status, 400);
+        let (status, _, _) = http_get(server.addr(), "/latency/series?stat=bogus").unwrap();
+        assert_eq!(status, 400);
         server.shutdown();
     }
 

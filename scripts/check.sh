@@ -120,7 +120,7 @@ if [ "$quick" -eq 0 ]; then
             --trace fleet.jsonl >/dev/null
         "$repo/target/release/obsctl" convert fleet.jsonl fleet.strc 2>/dev/null
         for q in "fleet-timeline" "percentiles wear" "percentiles health" \
-            "drill 900" "drill 1"; do
+            "drill 900" "drill 360" "drill 1"; do
             set -- $q
             cmd="$1"
             shift
@@ -154,6 +154,43 @@ if [ "$quick" -eq 0 ]; then
             exit 1
         fi
         echo "obsctl fleet rollup smoke passed"
+
+        # Latency rollup queries (DESIGN.md §15): the fleet trace above
+        # carries per-day tail-latency rollups; the latency table, the
+        # per-class view, and the drill-down's latency section must be
+        # string-identical over JSONL and the indexed .strc path.
+        echo "==> obsctl latency smoke"
+        for q in "latency" "latency host_read" "latency host_write"; do
+            set -- $q
+            cmd="$1"
+            shift
+            if ! diff <("$repo/target/release/obsctl" "$cmd" fleet.jsonl "$@") \
+                <("$repo/target/release/obsctl" "$cmd" fleet.strc "$@") >/dev/null; then
+                echo "error: obsctl $q differs between JSONL and .strc" >&2
+                exit 1
+            fi
+        done
+        "$repo/target/release/obsctl" latency fleet.strc |
+            grep -q 'host_read' ||
+            {
+                echo "error: latency table missing host_read class" >&2
+                exit 1
+            }
+        # Day 360 still has survivors in this config, so the drill
+        # must include the latency distributions (day 900 is past the
+        # last sample and reports "no rollup").
+        "$repo/target/release/obsctl" drill fleet.strc 360 |
+            grep -q 'latency' ||
+            {
+                echo "error: drill missing latency distributions" >&2
+                exit 1
+            }
+        if "$repo/target/release/obsctl" latency fleet.strc bogus \
+            2>/dev/null; then
+            echo "error: latency accepted an unknown op class" >&2
+            exit 1
+        fi
+        echo "obsctl latency smoke passed"
     )
 fi
 
@@ -187,7 +224,8 @@ if [ "$quick" -eq 0 ]; then
             sed -e '1,/^\r\{0,1\}$/d' <&3
             exec 3<&- 3>&-
         }
-        for path in /healthz /progress /metrics "/trace/tail?n=5"; do
+        for path in /healthz /progress /metrics "/trace/tail?n=5" \
+            /latency "/latency/series?class=host_read&stat=p99"; do
             if [ -z "$(scrape "$path")" ]; then
                 echo "error: GET $path produced no body" >&2
                 kill "$pid" 2>/dev/null || true

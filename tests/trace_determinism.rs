@@ -148,6 +148,63 @@ fn fleet_rollups_are_byte_identical_across_engines_and_thread_counts() {
     }
 }
 
+/// ISSUE 9: the per-day latency rollups (integer-ns log2-bucket
+/// histograms per op class, DESIGN.md §15) obey the same contract:
+/// byte-identical JSON across BOTH engines and BOTH thread counts. A
+/// RegenS fleet is used so the host-read distribution actually climbs
+/// the multi-read ladder — the hardest case for merge determinism,
+/// since every level contributes its own bucket.
+#[test]
+fn fleet_latency_rollups_are_byte_identical_across_engines_and_thread_counts() {
+    use salamander_ecc::profile::Tiredness;
+    let latency = |threads: Threads, engine: FleetEngine| {
+        let sim = FleetSim::new(FleetConfig {
+            device: StatDeviceConfig::datacenter(StatMode::Regen {
+                max_level: Tiredness::L1,
+            }),
+            devices: 40,
+            dwpd: 5.0,
+            dwpd_sigma: 0.25,
+            afr: 0.01,
+            horizon_days: 1500,
+            sample_every_days: 100,
+            seed: 42,
+        })
+        .with_engine(engine);
+        let o = sim.run_observed(threads, "fleet=determinism", &Profiler::disabled());
+        (
+            serde_json::to_string(&o.latency).expect("latency rollups serialize"),
+            o.latency,
+        )
+    };
+    let (reference, parsed) = latency(Threads::fixed(1), FleetEngine::PerDevice);
+    assert!(!parsed.is_empty(), "expected sampled-day latency rollups");
+    assert!(
+        parsed.iter().any(|r| !r.is_empty()),
+        "expected populated host read/write distributions"
+    );
+    // The RegenS multi-read tax must show up as a p99 rise over the
+    // horizon (pages climb to L1, so reads cross a bucket edge).
+    let p99 = |r: &salamander_obs::LatencyRollup| r.stat("host_read", "p99");
+    let first = parsed.iter().find_map(p99).expect("early p99");
+    let last = parsed.iter().rev().find_map(p99).expect("late p99");
+    assert!(
+        last > first,
+        "expected the multi-read tax in the tail: first p99 {first}ns, last {last}ns"
+    );
+    for (threads, engine, what) in [
+        (Threads::fixed(4), FleetEngine::PerDevice, "per-device @4"),
+        (Threads::fixed(1), FleetEngine::Cohort, "cohort @1"),
+        (Threads::fixed(4), FleetEngine::Cohort, "cohort @4"),
+    ] {
+        assert_eq!(
+            latency(threads, engine).0,
+            reference,
+            "{what} latency rollups diverge from the per-device @1 reference"
+        );
+    }
+}
+
 /// ISSUE 6: the cohort engine honors the same determinism contract —
 /// its telemetry is byte-identical at any thread count — AND is
 /// byte-identical to the legacy per-device engine's, so switching
