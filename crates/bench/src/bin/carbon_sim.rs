@@ -5,12 +5,16 @@
 //! the carbon model.
 //!
 //! Run: `cargo run --release -p salamander-bench --bin carbon_sim`
+//! Observability: `--trace <path>`, `--metrics`, `--profile`,
+//! `--serve <addr>` (DESIGN.md §9/§12). The bin is analytic, so the
+//! artifacts are gauges — measured Ru and savings per mode.
 
 use salamander::report::{fmt, pct, Table};
-use salamander_bench::{arg_or, emit};
+use salamander_bench::{arg_or, emit, ObsArgs};
 use salamander_ecc::profile::Tiredness;
 use salamander_fleet::device::{StatDeviceConfig, StatMode};
 use salamander_fleet::replace::{ReplacementConfig, ReplacementResult, ReplacementSim};
+use salamander_obs::{SimTime, TraceEvent};
 use salamander_sustain::carbon::CarbonParams;
 
 fn run(mode: StatMode, dwpd: f64, seed: u64) -> ReplacementResult {
@@ -29,6 +33,18 @@ fn run(mode: StatMode, dwpd: f64, seed: u64) -> ReplacementResult {
 fn main() {
     let dwpd: f64 = arg_or("--dwpd", 5.0);
     let seed: u64 = arg_or("--seed", 11);
+    let obs_args = ObsArgs::parse();
+    let profiler = obs_args.profiler();
+    let session = obs_args.serve_session("carbon_sim");
+    let obs = obs_args.obs(session.as_ref());
+    if obs.trace.is_enabled() {
+        obs.trace.emit(
+            SimTime::ZERO,
+            TraceEvent::RunMarker {
+                label: "carbon_sim=eq3".to_string(),
+            },
+        );
+    }
     let base = run(StatMode::Baseline, dwpd, seed);
     let shrink = run(StatMode::Shrink, dwpd, seed);
     let regen = run(
@@ -73,6 +89,14 @@ fn main() {
             power_effectiveness: 1.06,
             upgrade_rate: ru_sim,
         };
+        obs.metrics.set_gauge(
+            &format!("salamander_carbon_upgrade_rate{{mode=\"{name}\"}}"),
+            ru_sim,
+        );
+        obs.metrics.set_gauge(
+            &format!("salamander_carbon_sim_savings{{mode=\"{name}\"}}"),
+            sim_params.savings().max(0.0),
+        );
         table.row(vec![
             name.to_string(),
             fmt(r.purchase_rate_per_year, 3),
@@ -85,9 +109,17 @@ fn main() {
         ]);
     }
     emit("carbon_sim", &table);
+    let code = obs_args.finish(
+        "carbon_sim",
+        obs.trace.take(),
+        obs.metrics.take(),
+        &profiler,
+        session,
+    );
     println!(
         "The fleet simulation independently lands the paper's ordering \
          (RegenS buys the fewest drives) and the same savings magnitude; \
          the analytic Ru presets of §4.1 are a reasonable stand-in."
     );
+    std::process::exit(code);
 }

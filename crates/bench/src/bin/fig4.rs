@@ -3,17 +3,37 @@
 //! savings today, 11–20% under renewables (§4.1, Eq. 3).
 //!
 //! Run: `cargo run --release -p salamander-bench --bin fig4`
+//! Observability: `--trace <path>`, `--metrics`, `--profile`,
+//! `--serve <addr>` (DESIGN.md §9/§12). The bin is analytic, so the
+//! artifacts are gauges — one savings fraction per configuration.
 
 use salamander::report::{pct, Table};
-use salamander_bench::emit;
+use salamander_bench::{emit, ObsArgs};
+use salamander_obs::{SimTime, TraceEvent};
 use salamander_sustain::carbon::{fig4_scenarios, CarbonParams};
 
 fn main() {
+    let obs_args = ObsArgs::parse();
+    let profiler = obs_args.profiler();
+    let session = obs_args.serve_session("fig4");
+    let obs = obs_args.obs(session.as_ref());
+    if obs.trace.is_enabled() {
+        obs.trace.emit(
+            SimTime::ZERO,
+            TraceEvent::RunMarker {
+                label: "fig4=eq3".to_string(),
+            },
+        );
+    }
     let mut table = Table::new(
         "Fig. 4 — CO2e reduction by configuration (Eq. 3)",
         &["configuration", "CO2e savings vs baseline"],
     );
     for s in fig4_scenarios() {
+        obs.metrics.set_gauge(
+            &format!("salamander_carbon_savings{{config=\"{}\"}}", s.label),
+            s.savings,
+        );
         table.row(vec![s.label, pct(s.savings)]);
     }
     emit("fig4", &table);
@@ -27,6 +47,10 @@ fn main() {
         ("ShrinkS", CarbonParams::shrink()),
         ("RegenS", CarbonParams::regen()),
     ] {
+        obs.metrics.set_gauge(
+            &format!("salamander_carbon_relative_footprint{{mode=\"{name}\"}}"),
+            p.relative_footprint(),
+        );
         detail.row(vec![
             name.to_string(),
             format!("{:.2}", p.f_op),
@@ -36,5 +60,13 @@ fn main() {
         ]);
     }
     emit("fig4_inputs", &detail);
+    let code = obs_args.finish(
+        "fig4",
+        obs.trace.take(),
+        obs.metrics.take(),
+        &profiler,
+        session,
+    );
     println!("Paper anchors: 3-8% on the current grid, 11-20% with renewables.");
+    std::process::exit(code);
 }

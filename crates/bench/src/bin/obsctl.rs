@@ -9,6 +9,8 @@
 //! obsctl percentiles    <trace> <metric>     rollup percentile table
 //! obsctl drill          <trace> <day>        one day's rollup + anomalies
 //! obsctl latency        <trace> [class]      per-op-class tail latency table
+//! obsctl cluster        <trace>              per-tick cluster durability series
+//! obsctl exposure       <trace>              replication-exposure window report
 //! obsctl health         <trace>              health report from a trace (JSON)
 //! obsctl diff           <a.prom> <b.prom>    diff two metric expositions
 //! obsctl convert        <in> <out>           convert a trace JSONL <-> .strc
@@ -43,6 +45,10 @@ USAGE:
   obsctl drill          <trace> <day>        one day's rollup + fleet anomalies
   obsctl latency        <trace> [class]      per-op-class tail latency table
                                              (class: host_read|host_write|gc|scrub|regen)
+  obsctl cluster        <trace>              per-tick cluster durability series
+                                             (states, backlog, recovery traffic, anomalies)
+  obsctl exposure       <trace>              replication-exposure window report
+                                             (dwell percentiles, data at risk)
   obsctl health         <trace>              health report from a trace (JSON)
   obsctl diff           <a.prom> <b.prom>    diff two metric expositions
   obsctl convert        <in> <out>           convert a trace JSONL <-> .strc
@@ -247,6 +253,22 @@ fn main() {
                 print!("{}", indexed(path, query::latency_strc(&mut r, class)));
             } else {
                 print!("{}", query::latency(&read_trace(path), class));
+            }
+        }
+        ("cluster", Some(path), None) => {
+            if is_strc(path) {
+                let mut r = open_strc(path);
+                print!("{}", indexed(path, query::cluster_strc(&mut r)));
+            } else {
+                print!("{}", query::cluster(&read_trace(path)));
+            }
+        }
+        ("exposure", Some(path), None) => {
+            if is_strc(path) {
+                let mut r = open_strc(path);
+                print!("{}", indexed(path, query::exposure_strc(&mut r)));
+            } else {
+                print!("{}", query::exposure(&read_trace(path)));
             }
         }
         ("health", Some(path), None) => {

@@ -7,6 +7,12 @@
 //! the devices are churned to death while the store re-replicates.
 //!
 //! Run: `cargo run --release -p salamander-bench --bin recovery [-- --msize-sweep]`
+//! `--recovery-budget <chunks>` throttles repair to that many chunks per
+//! tick (0 = unthrottled), stretching the replication-exposure windows
+//! the cluster rollups measure (DESIGN.md §16). `--churn <writes>`
+//! scales the per-device wear applied each tick (default 5000; smaller
+//! values stretch the run over more ticks, giving the durability
+//! timeline more resolution).
 //! Observability: `--trace <path>`, `--metrics`, `--profile`,
 //! `--serve <addr>` (DESIGN.md §9/§12).
 
@@ -15,26 +21,33 @@ use salamander::report::Table;
 use salamander_bench::{arg_or, emit, task_obs, ObsArgs};
 use salamander_difs::types::DifsConfig;
 use salamander_fleet::bridge::ClusterHarness;
-use salamander_obs::{LiveObs, MetricsRegistry, TraceRecord};
+use salamander_obs::{ClusterRollup, LiveObs, MetricsRegistry, TraceRecord};
 
 /// Run one cluster to device exhaustion; returns
 /// (recovery_bytes, re_replication events, lost chunks, churn rounds)
 /// plus the run's telemetry shard. The harness is single-threaded, so
 /// the shared device + store trace interleaving is deterministic.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn run(
     mode: Mode,
     msize_bytes: u64,
     seed: u64,
+    recovery_budget: Option<u32>,
+    churn: u64,
     obs_args: &ObsArgs,
     profiler: &salamander_obs::Profiler,
     label: &str,
     live: Option<&LiveObs>,
-) -> ((u64, u64, u64, u32), Vec<TraceRecord>, MetricsRegistry) {
+) -> (
+    (u64, u64, u64, u32),
+    Vec<TraceRecord>,
+    MetricsRegistry,
+    Vec<ClusterRollup>,
+) {
     let difs = DifsConfig {
         replication: 3,
         chunk_bytes: msize_bytes.min(256 * 1024),
-        recovery_chunks_per_tick: None,
+        recovery_chunks_per_tick: recovery_budget,
     };
     let obs = task_obs(obs_args.trace(), obs_args.metrics, profiler, label, live);
     let mut h = ClusterHarness::new(difs).with_obs(obs.clone());
@@ -49,7 +62,7 @@ fn run(
     h.fill(0.7);
     let mut rounds = 0;
     while h.alive_devices() > 0 && rounds < 500 {
-        h.churn(5_000);
+        h.churn(churn);
         rounds += 1;
     }
     let m = h.metrics();
@@ -57,11 +70,15 @@ fn run(
         (m.recovery_bytes, m.re_replications, m.lost_chunks, rounds),
         obs.trace.take(),
         obs.metrics.take(),
+        h.cluster_rollups(),
     )
 }
 
 fn main() {
     let seed: u64 = arg_or("--seed", 7);
+    let budget = arg_or("--recovery-budget", 0u32);
+    let recovery_budget = (budget > 0).then_some(budget);
+    let churn = arg_or("--churn", 5_000u64);
     let obs_args = ObsArgs::parse();
     let profiler = obs_args.profiler();
     let session = obs_args.serve_session("recovery");
@@ -79,17 +96,23 @@ fn main() {
         ],
     );
     for mode in [Mode::Baseline, Mode::Shrink, Mode::Regen] {
-        let ((bytes, events, lost, _), t, m) = run(
+        let label = format!("recovery={}", mode.name());
+        let ((bytes, events, lost, _), t, m, rollups) = run(
             mode,
             256 * 1024,
             seed,
+            recovery_budget,
+            churn,
             &obs_args,
             &profiler,
-            &format!("recovery={}", mode.name()),
+            &label,
             live.as_ref(),
         );
         trace.extend(t);
         metrics.merge(&m.relabelled(&format!("mode=\"{}\"", mode.name())));
+        if let Some(s) = &session {
+            s.publish_cluster(&label, &rollups);
+        }
         let mib = bytes as f64 / (1024.0 * 1024.0);
         table.row(vec![
             mode.name().to_string(),
@@ -111,17 +134,23 @@ fn main() {
             &["mSize KiB", "recovery MiB", "events", "avg MiB/event"],
         );
         for msize_kib in [64u64, 128, 256, 512] {
-            let ((bytes, events, _, _), t, m) = run(
+            let label = format!("recovery=msize/{msize_kib}KiB");
+            let ((bytes, events, _, _), t, m, rollups) = run(
                 Mode::Shrink,
                 msize_kib * 1024,
                 seed,
+                recovery_budget,
+                churn,
                 &obs_args,
                 &profiler,
-                &format!("recovery=msize/{msize_kib}KiB"),
+                &label,
                 live.as_ref(),
             );
             trace.extend(t);
             metrics.merge(&m.relabelled(&format!("msize=\"{msize_kib}KiB\"")));
+            if let Some(s) = &session {
+                s.publish_cluster(&label, &rollups);
+            }
             let mib = bytes as f64 / (1024.0 * 1024.0);
             sweep.row(vec![
                 msize_kib.to_string(),

@@ -5,20 +5,30 @@
 //! (skewed caches vs sequential logs vs read-mostly object stores).
 //!
 //! Run: `cargo run --release -p salamander-bench --bin workloads`
+//! Observability: `--trace <path>`, `--metrics`, `--profile`,
+//! `--serve <addr>` (DESIGN.md §9/§12).
 
 use salamander::config::{Mode, SsdConfig};
 use salamander::report::{fmt, Table};
-use salamander_bench::emit;
+use salamander_bench::{emit, task_obs, ObsArgs};
 use salamander_ftl::ftl::Ftl;
 use salamander_ftl::types::{FtlError, Lba};
+use salamander_obs::{MetricsRegistry, Obs, TraceRecord};
 use salamander_workload::gen::{OpKind, Workload};
 use salamander_workload::profiles::Profile;
 
 /// Drive a device with a profile until death (or the op cap). Returns
-/// (host writes accepted, WA, reads served).
-fn run(profile: Profile, mode: Mode, seed: u64) -> (u64, f64, u64) {
+/// (host writes accepted, WA, reads served) plus the run's telemetry
+/// shard.
+fn run(
+    profile: Profile,
+    mode: Mode,
+    seed: u64,
+    obs: Obs,
+) -> (u64, f64, u64, Vec<TraceRecord>, MetricsRegistry) {
     let cfg = SsdConfig::small_test().mode(mode).seed(seed);
     let mut ftl = Ftl::new(*cfg.ftl_config());
+    ftl.set_obs(obs.clone());
     let opages = cfg.ftl_config().geometry.total_opages();
     let mut workload = Workload::new(profile.config(opages, seed));
     let mut writes = 0u64;
@@ -44,11 +54,24 @@ fn run(profile: Profile, mode: Mode, seed: u64) -> (u64, f64, u64) {
             }
         }
     }
+    ftl.export_metrics();
     let s = ftl.stats();
-    (writes, s.write_amplification().unwrap_or(1.0), s.host_reads)
+    (
+        writes,
+        s.write_amplification().unwrap_or(1.0),
+        s.host_reads,
+        obs.trace.take(),
+        obs.metrics.take(),
+    )
 }
 
 fn main() {
+    let obs_args = ObsArgs::parse();
+    let profiler = obs_args.profiler();
+    let session = obs_args.serve_session("workloads");
+    let live = session.as_ref().map(|s| s.live.clone());
+    let mut trace = Vec::new();
+    let mut metrics = MetricsRegistry::default();
     let mut table = Table::new(
         "Lifetime by workload profile and device mode (host writes to death)",
         &[
@@ -62,9 +85,27 @@ fn main() {
         ],
     );
     for profile in Profile::ALL {
-        let (b, _, _) = run(profile, Mode::Baseline, 5);
-        let (s, _, _) = run(profile, Mode::Shrink, 5);
-        let (r, wa, _) = run(profile, Mode::Regen, 5);
+        let mut go = |mode: Mode| {
+            let label = format!("workload={}/{}", profile.name(), mode.name());
+            let obs = task_obs(
+                obs_args.trace(),
+                obs_args.metrics,
+                &profiler,
+                &label,
+                live.as_ref(),
+            );
+            let (w, wa, reads, t, m) = run(profile, mode, 5, obs);
+            trace.extend(t);
+            metrics.merge(&m.relabelled(&format!(
+                "workload=\"{}/{}\"",
+                profile.name(),
+                mode.name()
+            )));
+            (w, wa, reads)
+        };
+        let (b, _, _) = go(Mode::Baseline);
+        let (s, _, _) = go(Mode::Shrink);
+        let (r, wa, _) = go(Mode::Regen);
         table.row(vec![
             profile.name().to_string(),
             if profile.latency_critical() {
@@ -81,6 +122,7 @@ fn main() {
         ]);
     }
     emit("workloads", &table);
+    let code = obs_args.finish("workloads", trace, metrics, &profiler, session);
     println!(
         "The Salamander advantage holds across every profile. Skewed \
          profiles (kv-cache) coalesce their hot set in the NV write buffer \
@@ -90,4 +132,5 @@ fn main() {
          tenants (kv-cache, oltp) are the ones the paper suggests may \
          prefer ShrinkS over RegenS's bandwidth trade."
     );
+    std::process::exit(code);
 }

@@ -283,6 +283,16 @@ impl ServeSession {
         self.hub.publish_latency(label, rollups.to_vec(), json);
     }
 
+    /// Publish one run label's per-tick cluster rollups to `/cluster`
+    /// and `/cluster/series`, scanning them for recovery storms and
+    /// data loss first so `/cluster` can surface the anomalies
+    /// alongside the durability counters (DESIGN.md §16).
+    pub fn publish_cluster(&self, label: &str, rollups: &[salamander_obs::ClusterRollup]) {
+        let anomalies = salamander_health::cluster_scan(rollups.iter());
+        let json = serde_json::to_string(&anomalies).unwrap_or_else(|_| "[]".to_string());
+        self.hub.publish_cluster(label, rollups.to_vec(), json);
+    }
+
     /// Mark the run done (publishing the final metrics text, if any),
     /// linger up to `linger_secs` so clients can take a final scrape
     /// (`GET /quit` ends the wait early), then shut the server down.

@@ -4,9 +4,10 @@
 use crate::cluster::Cluster;
 use crate::placement::choose_targets;
 use crate::types::{ChunkId, DifsConfig, DifsError, UnitId};
-use salamander_obs::{Obs, SimTime, TraceEvent};
+use salamander_obs::cluster::{exposure_bucket, fullness_bucket};
+use salamander_obs::{ClusterRollup, Obs, SimTime, TraceEvent, EXPOSURE_BUCKETS};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Recovery and durability metrics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -36,9 +37,18 @@ pub struct ChunkStore {
     next_chunk: u64,
     chunks: BTreeMap<ChunkId, Vec<UnitId>>,
     /// Chunks needing more replicas (retried when capacity appears).
-    pending: HashSet<ChunkId>,
+    /// Ordered so retries repair in chunk order — [`Self::retry_pending`]
+    /// iterates it, and the repair order is trace-visible (DESIGN.md §9).
+    pending: BTreeSet<ChunkId>,
     /// FIFO repair queue when recovery bandwidth is limited.
     repair_queue: std::collections::VecDeque<ChunkId>,
+    /// Tick (`now.day`) each under-replicated chunk became exposed —
+    /// the open replication-exposure windows (DESIGN.md §16).
+    exposed_since: BTreeMap<ChunkId, u32>,
+    /// Cumulative closed exposure windows, log2-bucketed by dwell ticks.
+    exposure_hist: Vec<u64>,
+    /// Cumulative closed exposure windows (Σ of `exposure_hist`).
+    exposure_windows: u64,
     metrics: StoreMetrics,
     /// Observability handles (DESIGN.md §9); disabled by default.
     obs: Obs,
@@ -53,8 +63,11 @@ impl ChunkStore {
             cfg,
             next_chunk: 0,
             chunks: BTreeMap::new(),
-            pending: HashSet::new(),
+            pending: BTreeSet::new(),
             repair_queue: std::collections::VecDeque::new(),
+            exposed_since: BTreeMap::new(),
+            exposure_hist: vec![0; EXPOSURE_BUCKETS],
+            exposure_windows: 0,
             metrics: StoreMetrics::default(),
             obs: Obs::disabled(),
             now: SimTime::ZERO,
@@ -107,6 +120,13 @@ impl ChunkStore {
             "salamander_difs_max_under_replicated",
             m.max_under_replicated as f64,
         );
+        // FIFO repair-queue depth: under throttled recovery this is
+        // the backlog still waiting for bandwidth, visible between
+        // ticks (always zero in unlimited mode).
+        metrics.set_gauge(
+            "salamander_difs_pending_repairs",
+            self.repair_queue.len() as f64,
+        );
     }
 
     /// Current metrics snapshot.
@@ -114,6 +134,69 @@ impl ChunkStore {
         let mut m = self.metrics;
         m.under_replicated = self.pending.len() as u64;
         m
+    }
+
+    /// Depth of the FIFO repair queue (chunks waiting for recovery
+    /// bandwidth; always zero in unlimited mode).
+    pub fn pending_repairs(&self) -> u64 {
+        self.repair_queue.len() as u64
+    }
+
+    /// Close the exposure window of `chunk` (repaired, lost, or
+    /// deleted): its dwell in ticks joins the cumulative histogram.
+    fn close_exposure(&mut self, chunk: ChunkId) {
+        if let Some(since) = self.exposed_since.remove(&chunk) {
+            let dwell = u64::from(self.now.day.saturating_sub(since));
+            self.exposure_hist[exposure_bucket(dwell)] += 1;
+            self.exposure_windows += 1;
+        }
+    }
+
+    /// Snapshot the cluster durability rollup for the current tick
+    /// (DESIGN.md §16): replication-state counts and the backlog from
+    /// the chunk map, traffic from the cumulative counters, fullness
+    /// from the alive units, exposure from the cumulative histogram,
+    /// and `data_at_risk` = Σ over exposed chunks of chunk_bytes ×
+    /// missing replicas × dwell ticks.
+    pub fn cluster_rollup(&self, cluster: &Cluster) -> ClusterRollup {
+        let mut r = ClusterRollup::empty(self.now.day);
+        let replication = self.cfg.replication as usize;
+        for reps in self.chunks.values() {
+            match replication.saturating_sub(reps.len()) {
+                0 => r.full += 1,
+                1 => r.degraded += 1,
+                _ => r.critical += 1,
+            }
+            let missing = replication.saturating_sub(reps.len()) as u64;
+            if missing > 0 {
+                r.backlog_chunks += 1;
+                r.backlog_bytes = r
+                    .backlog_bytes
+                    .saturating_add(missing.saturating_mul(self.cfg.chunk_bytes));
+            }
+        }
+        r.lost = self.metrics.lost_chunks;
+        r.repair_bytes = self.metrics.recovery_bytes;
+        r.drain_bytes = self.metrics.migration_bytes;
+        for (chunk, since) in &self.exposed_since {
+            let Some(reps) = self.chunks.get(chunk) else {
+                continue;
+            };
+            let missing = replication.saturating_sub(reps.len()) as u64;
+            let dwell = u64::from(self.now.day.saturating_sub(*since));
+            r.data_at_risk = r.data_at_risk.saturating_add(
+                self.cfg
+                    .chunk_bytes
+                    .saturating_mul(missing)
+                    .saturating_mul(dwell),
+            );
+        }
+        for (_, unit) in cluster.alive_units() {
+            r.fullness[fullness_bucket(u64::from(unit.used), u64::from(unit.capacity))] += 1;
+        }
+        r.exposure.clone_from(&self.exposure_hist);
+        r.exposure_windows = self.exposure_windows;
+        r
     }
 
     /// Number of live chunks.
@@ -158,6 +241,9 @@ impl ChunkStore {
     pub fn delete_chunk(&mut self, cluster: &mut Cluster, chunk: ChunkId) -> Result<(), DifsError> {
         let reps = self.chunks.remove(&chunk).ok_or(DifsError::NoSuchChunk)?;
         self.pending.remove(&chunk);
+        // Deletion ends any exposure: the data no longer exists to be
+        // at risk, and the window closes at its dwell so far.
+        self.close_exposure(chunk);
         for u in reps {
             if let Some(unit) = cluster.unit_mut(u) {
                 unit.used = unit.used.saturating_sub(1);
@@ -184,12 +270,20 @@ impl ChunkStore {
             if reps.is_empty() {
                 self.chunks.remove(&chunk);
                 self.pending.remove(&chunk);
+                // A loss closes the window too: the dwell it accrued
+                // while under-replicated still describes how long the
+                // system sat exposed before the last replica went.
+                self.close_exposure(chunk);
                 self.metrics.lost_chunks += 1;
                 self.obs
                     .trace
                     .emit(self.now, TraceEvent::ChunkLost { chunk: chunk.0 });
                 continue;
             }
+            // The chunk is now under-replicated: open its exposure
+            // window (kept open across repeated failures — the clock
+            // starts at the first missing replica).
+            self.exposed_since.entry(chunk).or_insert(self.now.day);
             if self.cfg.recovery_chunks_per_tick.is_some() {
                 // Bandwidth-limited: queue for a later tick.
                 if self.pending.insert(chunk) {
@@ -292,11 +386,13 @@ impl ChunkStore {
     fn repair_chunk(&mut self, cluster: &mut Cluster, chunk: ChunkId) {
         let Some(reps) = self.chunks.get(&chunk) else {
             self.pending.remove(&chunk);
+            self.exposed_since.remove(&chunk);
             return;
         };
         let missing = (self.cfg.replication as usize).saturating_sub(reps.len());
         if missing == 0 {
             self.pending.remove(&chunk);
+            self.close_exposure(chunk);
             return;
         }
         let exclude_devices: HashSet<_> = reps
@@ -328,7 +424,18 @@ impl ChunkStore {
             self.pending.insert(chunk);
         } else {
             self.pending.remove(&chunk);
+            self.close_exposure(chunk);
         }
+    }
+
+    /// Build the current tick's [`ClusterRollup`] and emit it on the
+    /// trace. Called once per churn round by the driving harness.
+    pub fn emit_cluster_rollup(&self, cluster: &Cluster) -> ClusterRollup {
+        let r = self.cluster_rollup(cluster);
+        self.obs
+            .trace
+            .emit(self.now, TraceEvent::ClusterRollup(r.clone()));
+        r
     }
 
     /// Consistency check: replica sets are distinct-device, sized ≤ R,
@@ -561,6 +668,152 @@ mod tests {
         assert_eq!(moved, 1);
         assert_eq!(c.unit(victim).unwrap().used, before - 1);
         s.check_invariants(&c).unwrap();
+    }
+
+    #[test]
+    fn drain_then_fail_splits_bytes_without_gap_or_double_count() {
+        // A unit fails mid-drain: chunks already moved were charged to
+        // migration_bytes and cost nothing again; chunks still on the
+        // unit are charged to recovery_bytes. Together they account
+        // for every byte that was on the unit — exactly once.
+        let (mut c, units) = build(6, 1, 1, 10);
+        let mut s = ChunkStore::new(DifsConfig::default());
+        for _ in 0..8 {
+            s.create_chunk(&mut c).unwrap();
+        }
+        let victim = units[0];
+        let on_victim = c.unit(victim).unwrap().used as u64;
+        assert!(on_victim >= 3, "need a partial drain to be possible");
+        let moved = s.drain_unit(&mut c, victim, 1) as u64;
+        assert_eq!(moved, 1);
+        s.fail_unit(&mut c, victim);
+        s.check_invariants(&c).unwrap();
+        let m = s.metrics();
+        let chunk = s.config().chunk_bytes;
+        assert_eq!(m.migration_bytes, moved * chunk, "drained portion");
+        assert_eq!(
+            m.recovery_bytes,
+            (on_victim - moved) * chunk,
+            "failed portion"
+        );
+        assert_eq!(
+            m.migration_bytes + m.recovery_bytes,
+            on_victim * chunk,
+            "no gap, no double count"
+        );
+        assert_eq!(m.re_replications, on_victim - moved);
+    }
+
+    #[test]
+    fn exposure_windows_measure_dwell_ticks() {
+        let (mut c, units) = build(6, 1, 1, 10);
+        let mut s = ChunkStore::new(DifsConfig {
+            replication: 3,
+            chunk_bytes: 1 << 20,
+            recovery_chunks_per_tick: Some(1),
+        });
+        for _ in 0..6 {
+            s.create_chunk(&mut c).unwrap();
+        }
+        s.set_time(0);
+        let victim = units[0];
+        let affected = c.unit(victim).unwrap().used as u64;
+        assert!(affected >= 2);
+        s.fail_unit(&mut c, victim);
+        let mut day = 0;
+        while s.metrics().under_replicated > 0 {
+            day += 1;
+            s.set_time(day);
+            s.tick(&mut c);
+            assert!(day < 100, "recovery must converge");
+        }
+        let r = s.cluster_rollup(&c);
+        assert_eq!(r.exposure_windows, affected, "every window closed");
+        assert_eq!(r.exposure.iter().sum::<u64>(), affected);
+        // One chunk per tick: the last repair waited `affected` ticks,
+        // so the top percentile clears one tick for sure.
+        assert!(r.series_value("exposure_p99").unwrap() > 1);
+        assert_eq!(r.backlog_chunks, 0);
+        assert_eq!(r.data_at_risk, 0, "nothing exposed once repaired");
+    }
+
+    #[test]
+    fn rollup_snapshot_classifies_states_and_prices_risk() {
+        // Exactly 3 devices: a failure leaves nowhere to repair, so the
+        // exposed state (and its dwell pricing) is observable.
+        let (mut c, units) = build(3, 1, 1, 10);
+        let mut s = ChunkStore::new(DifsConfig::default());
+        for _ in 0..4 {
+            s.create_chunk(&mut c).unwrap();
+        }
+        s.set_time(0);
+        s.fail_unit(&mut c, units[0]);
+        let exposed = s.metrics().under_replicated;
+        assert_eq!(exposed, 4, "every chunk had a replica on the unit");
+        s.set_time(3);
+        let r = s.cluster_rollup(&c);
+        assert_eq!(r.day, 3);
+        assert_eq!(r.full, 0);
+        assert_eq!(r.degraded, 4);
+        assert_eq!(r.critical, 0);
+        assert_eq!(r.lost, 0);
+        assert_eq!(r.backlog_chunks, 4);
+        let chunk = s.config().chunk_bytes;
+        assert_eq!(r.backlog_bytes, 4 * chunk);
+        // 4 chunks × 1 missing replica × 3 ticks of dwell.
+        assert_eq!(r.data_at_risk, 4 * chunk * 3);
+        assert_eq!(r.exposure_windows, 0, "windows still open");
+        // Two alive units of 3 remain, and they appear in fullness.
+        assert_eq!(r.fullness.iter().sum::<u32>(), 2);
+        // Capacity arrives; repairs close the windows at dwell 3→4.
+        let n = c.add_node();
+        let d = c.add_device(n);
+        c.add_unit(d, 10);
+        s.set_time(4);
+        s.retry_pending(&mut c);
+        let r = s.cluster_rollup(&c);
+        assert_eq!(r.full, 4);
+        assert_eq!(r.degraded, 0);
+        assert_eq!(r.exposure_windows, 4);
+        assert_eq!(r.data_at_risk, 0);
+        s.check_invariants(&c).unwrap();
+    }
+
+    #[test]
+    fn lost_chunks_close_their_windows() {
+        let (mut c, units) = build(3, 1, 1, 10);
+        let mut s = ChunkStore::new(DifsConfig::default());
+        s.create_chunk(&mut c).unwrap();
+        s.set_time(0);
+        s.fail_unit(&mut c, units[0]);
+        s.set_time(5);
+        s.fail_unit(&mut c, units[1]);
+        s.fail_unit(&mut c, units[2]);
+        let r = s.cluster_rollup(&c);
+        assert_eq!(r.lost, 1);
+        assert_eq!(r.exposure_windows, 1, "loss closed the window");
+        assert_eq!(r.data_at_risk, 0, "lost data is no longer at risk");
+        assert_eq!(r.backlog_chunks, 0);
+    }
+
+    #[test]
+    fn pending_repairs_gauge_tracks_queue_depth() {
+        let (mut c, units) = build(6, 1, 1, 10);
+        let mut s = ChunkStore::new(DifsConfig {
+            replication: 3,
+            chunk_bytes: 1 << 20,
+            recovery_chunks_per_tick: Some(2),
+        });
+        for _ in 0..10 {
+            s.create_chunk(&mut c).unwrap();
+        }
+        let victim = units[0];
+        let affected = c.unit(victim).unwrap().used as u64;
+        s.fail_unit(&mut c, victim);
+        assert_eq!(s.pending_repairs(), affected);
+        s.tick(&mut c);
+        assert_eq!(s.pending_repairs(), affected - 2);
+        assert_eq!(s.metrics().under_replicated, affected - 2);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use salamander_difs::cluster::Cluster;
 use salamander_difs::store::{ChunkStore, StoreMetrics};
 use salamander_difs::types::{DeviceId, DifsConfig, NodeId, UnitId};
 use salamander_ftl::types::{Lba, MdiskId};
-use salamander_obs::Obs;
+use salamander_obs::{ClusterKernel, ClusterRollup, Obs};
 use std::collections::HashMap;
 
 /// One SSD attached to the harness.
@@ -55,6 +55,10 @@ pub struct ClusterHarness {
     obs: Obs,
     /// Churn rounds so far — the diFS trace clock (one "day" per round).
     round: u32,
+    /// Per-round durability rollups folded as the run progresses, so
+    /// callers can publish the series (e.g. to `/cluster`) whether or
+    /// not a trace was recorded.
+    cluster_kernel: ClusterKernel,
 }
 
 impl ClusterHarness {
@@ -67,6 +71,7 @@ impl ClusterHarness {
             policy: RecoveryPolicy::Reactive,
             obs: Obs::disabled(),
             round: 0,
+            cluster_kernel: ClusterKernel::new(),
         }
     }
 
@@ -204,6 +209,14 @@ impl ClusterHarness {
         self.pump_events();
         self.run_policy();
         self.store.tick(&mut self.cluster);
+        // One durability rollup per round (DESIGN.md §16) — taken after
+        // repairs so the snapshot describes the settled state.
+        let rollup = if self.obs.trace.is_enabled() {
+            self.store.emit_cluster_rollup(&self.cluster)
+        } else {
+            self.store.cluster_rollup(&self.cluster)
+        };
+        self.cluster_kernel.observe(&rollup);
         self.store.export_metrics();
     }
 
@@ -294,6 +307,12 @@ impl ClusterHarness {
     /// Recovery metrics so far.
     pub fn metrics(&self) -> StoreMetrics {
         self.store.metrics()
+    }
+
+    /// The per-round durability rollups folded so far, ascending by
+    /// round (one per [`Self::churn`] call).
+    pub fn cluster_rollups(&self) -> Vec<ClusterRollup> {
+        self.cluster_kernel.rollups()
     }
 
     /// The diFS cluster.
@@ -449,6 +468,39 @@ mod tests {
         assert_eq!(
             metrics.gauge("salamander_difs_under_replicated"),
             Some(m.under_replicated as f64)
+        );
+    }
+
+    #[test]
+    fn churn_emits_cluster_rollups() {
+        use salamander_obs::TraceEvent;
+        let mut h = ClusterHarness::new(difs_cfg()).with_obs(Obs::recording());
+        for s in 0..4 {
+            h.add_device(ssd_cfg(Mode::Shrink, 100 + s));
+        }
+        h.fill(0.5);
+        for _ in 0..5 {
+            h.churn(1_000);
+        }
+        let trace = h.obs().trace.take();
+        let rollups: Vec<_> = trace
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::ClusterRollup(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rollups.len(), 5, "one rollup per churn round");
+        assert_eq!(rollups[0].day, 1);
+        assert!(rollups[0].full > 0, "filled chunks appear as full");
+        assert!(
+            rollups[0].fullness.iter().sum::<u32>() > 0,
+            "alive units populate the fullness histogram"
+        );
+        assert_eq!(
+            h.cluster_rollups(),
+            rollups.into_iter().cloned().collect::<Vec<_>>(),
+            "the kernel folds the same series the trace records"
         );
     }
 

@@ -35,6 +35,14 @@ pub enum AnomalyKind {
     /// day-over-day p99 deltas (latency-rollup-fed; the §4.2 multi-read
     /// tax arriving faster than the device's own history predicted).
     TailLatencyRegression,
+    /// The recovery backlog grew (or recovery bytes spiked) against the
+    /// rolling window of tick-over-tick deltas — failures arriving
+    /// faster than repair bandwidth drains them (cluster-rollup-fed,
+    /// see [`crate::fleet::cluster_scan`]).
+    RecoveryStorm,
+    /// A chunk ran out of replicas. Flagged on any `lost` increase,
+    /// with no z-gate and no warm-up: data loss is never normal.
+    DataLoss,
 }
 
 impl AnomalyKind {
@@ -47,6 +55,8 @@ impl AnomalyKind {
             AnomalyKind::FleetDeathSpike => "fleet_death_spike",
             AnomalyKind::FleetWearAccel => "fleet_wear_accel",
             AnomalyKind::TailLatencyRegression => "tail_latency_regression",
+            AnomalyKind::RecoveryStorm => "recovery_storm",
+            AnomalyKind::DataLoss => "data_loss",
         }
     }
 }

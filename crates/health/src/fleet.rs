@@ -18,7 +18,7 @@
 //! layer's byte-identity across engines and thread counts.
 
 use crate::anomaly::{to_milli, Anomaly, AnomalyKind, RollingZScore};
-use salamander_obs::{FleetRollup, LatencyRollup, SimTime, LAT_CLASSES};
+use salamander_obs::{ClusterRollup, FleetRollup, LatencyRollup, SimTime, LAT_CLASSES};
 
 /// Fleet-wide anomaly subject: there is no single device to blame.
 pub const FLEET_SUBJECT: u32 = u32::MAX;
@@ -106,6 +106,74 @@ pub fn latency_scan<'a>(rollups: impl IntoIterator<Item = &'a LatencyRollup>) ->
             }
             prev[ci] = Some(p99);
         }
+    }
+    out.sort();
+    out
+}
+
+/// Scan a chronological cluster-rollup series (DESIGN.md §16) for
+/// durability trouble:
+///
+/// - **recovery storms** — the backlog's tick-over-tick growth, or the
+///   tick's repair-byte volume, spikes against its own rolling window
+///   ([`RollingZScore::standard`]): failures arriving faster than the
+///   repair bandwidth drains them. Signed deltas enter the window, so
+///   a backlog draining back down never flags.
+/// - **data loss** — any increase of the cumulative `lost` count flags
+///   [`AnomalyKind::DataLoss`] immediately, with no z-gate and no
+///   warm-up: data loss is never normal, however early in the run.
+pub fn cluster_scan<'a>(rollups: impl IntoIterator<Item = &'a ClusterRollup>) -> Vec<Anomaly> {
+    let mut out = Vec::new();
+    let mut backlog_det = RollingZScore::standard();
+    let mut repair_det = RollingZScore::standard();
+    let mut prev: Option<(u64, u64, u64)> = None;
+    for r in rollups {
+        if let Some((backlog, repair, lost)) = prev {
+            let growth = r.backlog_chunks as f64 - backlog as f64;
+            if let Some(dev) = backlog_det.observe(growth) {
+                out.push(Anomaly {
+                    time: SimTime::new(r.day, 0),
+                    kind: AnomalyKind::RecoveryStorm,
+                    subject: FLEET_SUBJECT,
+                    value_milli: to_milli(growth),
+                    mean_milli: to_milli(dev.mean),
+                    z_milli: to_milli(dev.z),
+                });
+            }
+            let bytes = r.repair_bytes.saturating_sub(repair) as f64;
+            if let Some(dev) = repair_det.observe(bytes) {
+                out.push(Anomaly {
+                    time: SimTime::new(r.day, 0),
+                    kind: AnomalyKind::RecoveryStorm,
+                    subject: FLEET_SUBJECT,
+                    value_milli: to_milli(bytes),
+                    mean_milli: to_milli(dev.mean),
+                    z_milli: to_milli(dev.z),
+                });
+            }
+            let lost_delta = r.lost.saturating_sub(lost);
+            if lost_delta > 0 {
+                out.push(Anomaly {
+                    time: SimTime::new(r.day, 0),
+                    kind: AnomalyKind::DataLoss,
+                    subject: FLEET_SUBJECT,
+                    value_milli: to_milli(lost_delta as f64),
+                    mean_milli: 0,
+                    z_milli: 0,
+                });
+            }
+        } else if r.lost > 0 {
+            // Losses already on the books at the first rollup count too.
+            out.push(Anomaly {
+                time: SimTime::new(r.day, 0),
+                kind: AnomalyKind::DataLoss,
+                subject: FLEET_SUBJECT,
+                value_milli: to_milli(r.lost as f64),
+                mean_milli: 0,
+                z_milli: 0,
+            });
+        }
+        prev = Some((r.backlog_chunks, r.repair_bytes, r.lost));
     }
     out.sort();
     out
@@ -223,5 +291,77 @@ mod tests {
         assert!(latency_scan([].iter()).is_empty());
         let sparse: Vec<LatencyRollup> = (0..30).map(LatencyRollup::empty).collect();
         assert!(latency_scan(sparse.iter()).is_empty(), "no samples, no p99");
+    }
+
+    fn cluster(day: u32, backlog: u64, repair: u64, lost: u64) -> ClusterRollup {
+        let mut r = ClusterRollup::empty(day);
+        r.backlog_chunks = backlog;
+        r.repair_bytes = repair;
+        r.lost = lost;
+        r
+    }
+
+    #[test]
+    fn steady_recovery_never_flags() {
+        // A constant trickle: backlog flat at 4, repair bytes growing a
+        // fixed amount per tick. Neither delta series deviates.
+        let series: Vec<ClusterRollup> = (0..30)
+            .map(|i| cluster(i, 4, u64::from(i) * 1024, 0))
+            .collect();
+        assert!(cluster_scan(series.iter()).is_empty());
+    }
+
+    #[test]
+    fn backlog_growth_spike_flags_recovery_storm() {
+        let mut series: Vec<ClusterRollup> = (0..20)
+            .map(|i| cluster(i, 4 + u64::from(i % 2), 0, 0))
+            .collect();
+        // Tick 20: a whole device's chunks land in the backlog at once.
+        series.push(cluster(20, 500, 0, 0));
+        let anomalies = cluster_scan(series.iter());
+        assert_eq!(anomalies.len(), 1, "{anomalies:?}");
+        let a = &anomalies[0];
+        assert_eq!(a.kind, AnomalyKind::RecoveryStorm);
+        assert_eq!(a.time.day, 20);
+        assert_eq!(a.subject, FLEET_SUBJECT);
+        assert!(a.z_milli >= 3000, "{a:?}");
+    }
+
+    #[test]
+    fn repair_byte_spike_flags_recovery_storm() {
+        let mut series: Vec<ClusterRollup> = (0..20)
+            .map(|i| cluster(i, 0, u64::from(i) * 1024 + u64::from(i % 2) * 256, 0))
+            .collect();
+        // Tick 20: a repair burst two orders beyond the steady trickle.
+        series.push(cluster(20, 0, 20 * 1024 + (1 << 22), 0));
+        let anomalies = cluster_scan(series.iter());
+        assert_eq!(anomalies.len(), 1, "{anomalies:?}");
+        assert_eq!(anomalies[0].kind, AnomalyKind::RecoveryStorm);
+        assert_eq!(anomalies[0].time.day, 20);
+    }
+
+    #[test]
+    fn any_loss_flags_immediately_without_warmup() {
+        // Two rollups only — far below the z-detectors' warm-up.
+        let series = [cluster(0, 0, 0, 0), cluster(1, 0, 0, 2)];
+        let anomalies = cluster_scan(series.iter());
+        assert_eq!(anomalies.len(), 1, "{anomalies:?}");
+        let a = &anomalies[0];
+        assert_eq!(a.kind, AnomalyKind::DataLoss);
+        assert_eq!(a.time.day, 1);
+        assert_eq!(a.value_milli, 2000, "two chunks lost");
+        // And a loss already on the books at the first rollup counts.
+        let head = [cluster(5, 0, 0, 1)];
+        let anomalies = cluster_scan(head.iter());
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].kind, AnomalyKind::DataLoss);
+        assert_eq!(anomalies[0].time.day, 5);
+    }
+
+    #[test]
+    fn empty_cluster_series_is_quiet() {
+        assert!(cluster_scan([].iter()).is_empty());
+        let flat: Vec<ClusterRollup> = (0..30).map(|i| cluster(i, 0, 0, 0)).collect();
+        assert!(cluster_scan(flat.iter()).is_empty());
     }
 }

@@ -35,7 +35,7 @@ pub mod monitor;
 pub mod query;
 
 pub use anomaly::{to_milli, zscores, Anomaly, AnomalyKind, Deviation, RollingZScore};
-pub use fleet::{fleet_scan, latency_scan, FLEET_SUBJECT};
+pub use fleet::{cluster_scan, fleet_scan, latency_scan, FLEET_SUBJECT};
 pub use forecast::{project, Ewma, WearForecaster, EWMA_ALPHA};
 pub use monitor::{
     HealthMonitor, HealthReport, HealthUnit, MdiskHealth, MdiskState, DEVICE_SUBJECT,

@@ -8,12 +8,13 @@
 //! are *never decoded* — their aggregate counts fold into the totals
 //! straight from the footer index.
 
+use salamander_obs::cluster::exposure_upper_ticks;
 use salamander_obs::latency::fmt_ns;
 use salamander_obs::rollup::percentile_permille;
 use salamander_obs::strc::{ChunkSummary, EventKind, StrcError, StrcReader};
 use salamander_obs::{
-    DecommissionCause, FleetRollup, LatencyRollup, TraceEvent, TraceRecord, DIST_NAMES,
-    LAT_CLASSES, LAT_STATS, PERCENTILES,
+    ClusterRollup, DecommissionCause, FleetRollup, LatencyRollup, TraceEvent, TraceRecord,
+    DIST_NAMES, EXPOSURE_STATS, LAT_CLASSES, LAT_STATS, PERCENTILES,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -130,8 +131,8 @@ fn item_segments<'a>(items: &[Item<'a>]) -> Vec<ItemSegment<'a>> {
 /// positives decode harmlessly, false negatives cannot happen).
 pub fn load_chunks(
     reader: &mut StrcReader,
-    decode_mask: u16,
-    id_filter: Option<(u16, u64)>,
+    decode_mask: u32,
+    id_filter: Option<(u32, u64)>,
 ) -> Result<Vec<TraceChunk>, StrcError> {
     let n = reader.chunk_count();
     let mut out = Vec::with_capacity(n);
@@ -150,7 +151,7 @@ pub fn load_chunks(
 
 /// Kinds [`lifecycle`] prints as individual lines. Chunks containing
 /// any of these must be decoded; all others fold in via summaries.
-pub fn lifecycle_decode_mask() -> u16 {
+pub fn lifecycle_decode_mask() -> u32 {
     EventKind::mask(&[
         EventKind::RunMarker,
         EventKind::MdiskDecommissioned,
@@ -165,7 +166,7 @@ pub fn lifecycle_decode_mask() -> u16 {
 
 /// Kinds [`why`] prints or anchors on (the read-path pressure for the
 /// target minidisk is pulled in separately via the id bloom).
-pub fn why_decode_mask() -> u16 {
+pub fn why_decode_mask() -> u32 {
     EventKind::mask(&[
         EventKind::RunMarker,
         EventKind::MdiskDecommissioned,
@@ -176,13 +177,13 @@ pub fn why_decode_mask() -> u16 {
 }
 
 /// The per-minidisk read-path kinds [`why`] sums for its target.
-pub fn read_path_mask() -> u16 {
+pub fn read_path_mask() -> u32 {
     EventKind::mask(&[EventKind::ReadRetry, EventKind::UncorrectableRead])
 }
 
 /// Kinds [`fleet_rollup`] prints per-event (losses and re-replication
 /// volumes are pure counts, served by the index).
-pub fn fleet_decode_mask() -> u16 {
+pub fn fleet_decode_mask() -> u32 {
     EventKind::mask(&[EventKind::FleetDeviceDied])
 }
 
@@ -323,7 +324,8 @@ fn lifecycle_items(items: &[Item<'_>], mdisk: Option<u32>) -> String {
                 TraceEvent::ChunkReReplicated { bytes, .. } => rereplicated += bytes,
                 TraceEvent::RunMarker { .. }
                 | TraceEvent::FleetRollup(_)
-                | TraceEvent::LatencyRollup(_) => {}
+                | TraceEvent::LatencyRollup(_)
+                | TraceEvent::ClusterRollup(_) => {}
             }
         }
         let _ = writeln!(
@@ -654,7 +656,7 @@ fn fleet_rollup_items(items: &[Item<'_>], csv: bool) -> String {
 /// [`drill`]) print: run markers and the per-day rollups themselves.
 /// Every other chunk — including the high-volume wear/GC noise and the
 /// death events — is skipped outright.
-pub fn rollup_series_decode_mask() -> u16 {
+pub fn rollup_series_decode_mask() -> u32 {
     EventKind::mask(&[EventKind::RunMarker, EventKind::FleetRollup])
 }
 
@@ -811,7 +813,7 @@ fn percentiles_items(items: &[Item<'_>], metric: &str) -> String {
 
 /// Kinds the [`latency`] query prints: run markers and the per-day
 /// latency rollups; everything else is skipped outright.
-pub fn latency_decode_mask() -> u16 {
+pub fn latency_decode_mask() -> u32 {
     EventKind::mask(&[EventKind::RunMarker, EventKind::LatencyRollup])
 }
 
@@ -945,13 +947,192 @@ fn latency_items(items: &[Item<'_>], class: Option<&str>) -> String {
     out
 }
 
-/// Kinds [`drill`] prints: run markers plus both per-day rollup
-/// families (fleet and latency).
-pub fn drill_decode_mask() -> u16 {
+/// Kinds the [`cluster`] and [`exposure`] queries print: run markers
+/// and the per-tick cluster rollups; everything else is skipped
+/// outright.
+pub fn cluster_decode_mask() -> u32 {
+    EventKind::mask(&[EventKind::RunMarker, EventKind::ClusterRollup])
+}
+
+/// The per-tick cluster rollups of one segment, in emission order.
+fn seg_cluster_rollups<'a>(seg: &ItemSegment<'a>) -> Vec<&'a ClusterRollup> {
+    seg.items
+        .iter()
+        .filter_map(|it| match it {
+            Item::Rec(r) => match &r.event {
+                TraceEvent::ClusterRollup(cr) => Some(cr),
+                _ => None,
+            },
+            Item::Sum(_) => None,
+        })
+        .collect()
+}
+
+/// Cluster durability timeline from the recorded [`ClusterRollup`]
+/// series: per segment, one line per sampled tick with the replication
+/// state counts, the recovery backlog, and the cumulative recovery
+/// traffic split by cause (failure repair vs proactive drain), followed
+/// by the [`crate::fleet::cluster_scan`] recovery-storm / data-loss
+/// flags.
+pub fn cluster(records: &[TraceRecord]) -> String {
+    let items: Vec<Item<'_>> = records.iter().map(Item::Rec).collect();
+    cluster_items(&items)
+}
+
+/// [`cluster`] over an indexed chunk list (see [`load_chunks`]).
+pub fn cluster_chunks(chunks: &[TraceChunk]) -> String {
+    cluster_items(&chunk_items(chunks))
+}
+
+/// [`cluster`] over a `.strc` reader: only chunks that may hold a
+/// cluster rollup (or marker) decode.
+pub fn cluster_strc(reader: &mut StrcReader) -> Result<String, StrcError> {
+    let chunks = load_chunks(reader, cluster_decode_mask(), None)?;
+    Ok(cluster_chunks(&chunks))
+}
+
+fn cluster_items(items: &[Item<'_>]) -> String {
+    let mut out = String::new();
+    let mut any = false;
+    for seg in &item_segments(items) {
+        let rollups = seg_cluster_rollups(seg);
+        if rollups.is_empty() {
+            continue;
+        }
+        any = true;
+        let _ = writeln!(out, "== {} ({} sampled ticks)", seg.label, rollups.len());
+        let _ = writeln!(
+            out,
+            "  {:>6} {:>8} {:>9} {:>9} {:>6} {:>9} {:>14} {:>13} {:>12}",
+            "tick",
+            "full",
+            "degraded",
+            "critical",
+            "lost",
+            "backlog",
+            "backlog_bytes",
+            "repair_bytes",
+            "drain_bytes"
+        );
+        for r in &rollups {
+            let _ = writeln!(
+                out,
+                "  {:>6} {:>8} {:>9} {:>9} {:>6} {:>9} {:>14} {:>13} {:>12}",
+                r.day,
+                r.full,
+                r.degraded,
+                r.critical,
+                r.lost,
+                r.backlog_chunks,
+                r.backlog_bytes,
+                r.repair_bytes,
+                r.drain_bytes,
+            );
+        }
+        let anomalies = crate::fleet::cluster_scan(rollups.iter().copied());
+        if anomalies.is_empty() {
+            out.push_str("  no recovery anomalies flagged\n");
+        } else {
+            out.push_str("  recovery anomalies (tick-over-tick z-scores):\n");
+            for a in &anomalies {
+                let _ = writeln!(
+                    out,
+                    "    tick {:>5}: {:<14} value {} mean {} z {}",
+                    a.time.day,
+                    a.kind.name(),
+                    milli_text(a.value_milli),
+                    milli_text(a.mean_milli),
+                    milli_text(a.z_milli),
+                );
+            }
+        }
+    }
+    if !any {
+        out.push_str("no cluster rollups recorded\n");
+    }
+    out
+}
+
+/// Replication-exposure report from the final [`ClusterRollup`] of each
+/// segment (the histogram is cumulative, so the last rollup carries the
+/// whole run): closed-window count, nearest-rank dwell percentiles,
+/// the non-empty log2 buckets, and the data still at risk in open
+/// windows at the end of the run.
+pub fn exposure(records: &[TraceRecord]) -> String {
+    let items: Vec<Item<'_>> = records.iter().map(Item::Rec).collect();
+    exposure_items(&items)
+}
+
+/// [`exposure`] over an indexed chunk list (see [`load_chunks`]).
+pub fn exposure_chunks(chunks: &[TraceChunk]) -> String {
+    exposure_items(&chunk_items(chunks))
+}
+
+/// [`exposure`] over a `.strc` reader: only chunks that may hold a
+/// cluster rollup (or marker) decode.
+pub fn exposure_strc(reader: &mut StrcReader) -> Result<String, StrcError> {
+    let chunks = load_chunks(reader, cluster_decode_mask(), None)?;
+    Ok(exposure_chunks(&chunks))
+}
+
+fn exposure_items(items: &[Item<'_>]) -> String {
+    let mut out = String::new();
+    let mut any = false;
+    for seg in &item_segments(items) {
+        let rollups = seg_cluster_rollups(seg);
+        let Some(last) = rollups.last() else { continue };
+        any = true;
+        let _ = writeln!(
+            out,
+            "== {} — replication-exposure windows over {} sampled ticks",
+            seg.label,
+            rollups.len()
+        );
+        let _ = writeln!(out, "  windows closed: {}", last.exposure_windows);
+        if last.exposure_windows > 0 {
+            let _ = write!(out, "  dwell percentiles (ticks, bucket upper edges):");
+            for (stat, q) in EXPOSURE_STATS {
+                match last.exposure_percentile(q) {
+                    Some(v) => {
+                        let _ = write!(out, " {stat}<{v}");
+                    }
+                    None => {
+                        let _ = write!(out, " {stat}=-");
+                    }
+                }
+            }
+            out.push('\n');
+            let buckets: Vec<String> = last
+                .exposure
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b > 0)
+                .map(|(i, &b)| format!("<{}:{b}", exposure_upper_ticks(i)))
+                .collect();
+            let _ = writeln!(out, "  dwell buckets (ticks): {}", buckets.join(" "));
+        }
+        let _ = writeln!(
+            out,
+            "  open at end: {} chunks exposed, data at risk {} byte-ticks",
+            last.degraded.saturating_add(last.critical),
+            last.data_at_risk
+        );
+        let _ = writeln!(out, "  lost outright: {}", last.lost);
+    }
+    if !any {
+        out.push_str("no cluster rollups recorded\n");
+    }
+    out
+}
+
+/// Kinds [`drill`] prints: run markers plus all three per-sample rollup
+/// families (fleet, latency, cluster).
+pub fn drill_decode_mask() -> u32 {
     EventKind::mask(&[
         EventKind::RunMarker,
         EventKind::FleetRollup,
         EventKind::LatencyRollup,
+        EventKind::ClusterRollup,
     ])
 }
 
@@ -984,17 +1165,21 @@ fn drill_items(items: &[Item<'_>], day: u32) -> String {
     for seg in &item_segments(items) {
         let rollups = seg_rollups(seg);
         let lat_rollups = seg_latency_rollups(seg);
-        if rollups.is_empty() && lat_rollups.is_empty() {
+        let cluster_rollups = seg_cluster_rollups(seg);
+        if rollups.is_empty() && lat_rollups.is_empty() && cluster_rollups.is_empty() {
             continue;
         }
         any = true;
         let fleet_day = rollups.iter().find(|r| r.day == day);
         let lat_day = lat_rollups.iter().find(|r| r.day == day);
-        if fleet_day.is_none() && lat_day.is_none() {
-            let days: Vec<u32> = if rollups.is_empty() {
+        let cluster_day = cluster_rollups.iter().find(|r| r.day == day);
+        if fleet_day.is_none() && lat_day.is_none() && cluster_day.is_none() {
+            let days: Vec<u32> = if !rollups.is_empty() {
+                rollups.iter().map(|r| r.day).collect()
+            } else if !lat_rollups.is_empty() {
                 lat_rollups.iter().map(|r| r.day).collect()
             } else {
-                rollups.iter().map(|r| r.day).collect()
+                cluster_rollups.iter().map(|r| r.day).collect()
             };
             let _ = writeln!(
                 out,
@@ -1058,8 +1243,45 @@ fn drill_items(items: &[Item<'_>], day: u32) -> String {
                 out.push('\n');
             }
         }
+        if let Some(c) = cluster_day {
+            out.push_str("  cluster durability:\n");
+            let _ = writeln!(
+                out,
+                "    chunks: full {}, degraded {}, critical {}, lost {}",
+                c.full, c.degraded, c.critical, c.lost
+            );
+            let _ = writeln!(
+                out,
+                "    recovery backlog: {} chunks ({} bytes)",
+                c.backlog_chunks, c.backlog_bytes
+            );
+            let _ = writeln!(
+                out,
+                "    recovery traffic (cumulative): repair {} bytes, drain {} bytes",
+                c.repair_bytes, c.drain_bytes
+            );
+            let _ = writeln!(out, "    data at risk: {} byte-ticks", c.data_at_risk);
+            let _ = write!(out, "    exposure windows: {} closed", c.exposure_windows);
+            for (stat, q) in EXPOSURE_STATS {
+                if let Some(v) = c.exposure_percentile(q) {
+                    let _ = write!(out, " {stat}<{v}");
+                }
+            }
+            out.push('\n');
+            let buckets: Vec<String> = c
+                .fullness
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b > 0)
+                .map(|(i, &b)| format!("{i}:{b}"))
+                .collect();
+            if !buckets.is_empty() {
+                let _ = writeln!(out, "    unit fullness buckets: {}", buckets.join(" "));
+            }
+        }
         let mut anomalies = crate::fleet::fleet_scan(rollups.iter().copied());
         anomalies.extend(crate::fleet::latency_scan(lat_rollups.iter().copied()));
+        anomalies.extend(crate::fleet::cluster_scan(cluster_rollups.iter().copied()));
         if anomalies.is_empty() {
             out.push_str("  no fleet anomalies flagged in this segment\n");
         } else {
@@ -1807,6 +2029,210 @@ mod tests {
             miss.contains("no rollup at day 99 (sampled days: 1..30, 30 samples)"),
             "{miss}"
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A cluster-bearing trace: per-tick durability rollups — a
+    /// failure burst at tick 20 that repair drains over the next four
+    /// ticks — buried in GC noise so small chunks give the cluster
+    /// decode mask something to skip, plus a short second segment that
+    /// loses chunks outright.
+    fn cluster_trace() -> Vec<TraceRecord> {
+        use salamander_obs::cluster::exposure_bucket;
+        use salamander_obs::EXPOSURE_BUCKETS;
+        const CHUNK: u64 = 65_536;
+        let mut out = Vec::new();
+        let mut seq = 0u64;
+        let mut push = |out: &mut Vec<TraceRecord>, day: u32, event: TraceEvent| {
+            out.push(rec(seq, day, 0, event));
+            seq += 1;
+        };
+        push(
+            &mut out,
+            0,
+            TraceEvent::RunMarker {
+                label: "cluster=Shrink".into(),
+            },
+        );
+        let mut exposure = vec![0u64; EXPOSURE_BUCKETS];
+        let mut windows = 0u64;
+        let mut repaired = 0u64;
+        for tick in 1..=30u32 {
+            for j in 0..40u64 {
+                push(
+                    &mut out,
+                    tick,
+                    TraceEvent::GcPass {
+                        block: u64::from(tick) * 64 + j,
+                        relocated: 4,
+                    },
+                );
+            }
+            if (21..=24).contains(&tick) {
+                // 10 of the tick-20 casualties repair per tick; their
+                // windows close with dwell = tick - 20.
+                exposure[exposure_bucket(u64::from(tick - 20))] += 10;
+                windows += 10;
+                repaired += 10;
+            }
+            let exposed = if (20..=23).contains(&tick) {
+                40 - repaired
+            } else {
+                0
+            };
+            let mut r = ClusterRollup::empty(tick);
+            r.full = 500 - exposed;
+            r.degraded = exposed;
+            r.backlog_chunks = exposed;
+            r.backlog_bytes = exposed * CHUNK;
+            r.repair_bytes = repaired * CHUNK;
+            r.drain_bytes = if tick >= 10 { 3 * CHUNK } else { 0 };
+            r.data_at_risk = exposed * CHUNK * u64::from(tick.saturating_sub(20));
+            r.fullness[8] = 6;
+            r.exposure = exposure.clone();
+            r.exposure_windows = windows;
+            push(&mut out, tick, TraceEvent::ClusterRollup(r));
+        }
+        push(
+            &mut out,
+            0,
+            TraceEvent::RunMarker {
+                label: "cluster=Loss".into(),
+            },
+        );
+        for tick in 1..=12u32 {
+            for j in 0..20u64 {
+                push(
+                    &mut out,
+                    tick,
+                    TraceEvent::GcPass {
+                        block: 10_000 + u64::from(tick) * 32 + j,
+                        relocated: 4,
+                    },
+                );
+            }
+            let mut r = ClusterRollup::empty(tick);
+            r.full = 64;
+            if tick >= 10 {
+                r.lost = 2;
+                r.exposure[exposure_bucket(5)] = 2;
+                r.exposure_windows = 2;
+            }
+            push(&mut out, tick, TraceEvent::ClusterRollup(r));
+        }
+        out
+    }
+
+    #[test]
+    fn cluster_renders_timeline_and_flags_storms() {
+        let trace = cluster_trace();
+        let text = cluster(&trace);
+        assert!(
+            text.contains("== cluster=Shrink (30 sampled ticks)"),
+            "{text}"
+        );
+        let tick20 = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("20 "))
+            .unwrap();
+        let cols: Vec<&str> = tick20.split_whitespace().collect();
+        assert_eq!(
+            cols,
+            vec!["20", "460", "40", "0", "0", "40", "2621440", "0", "196608"],
+            "{text}"
+        );
+        // The tick-20 backlog jump deviates from 19 flat ticks.
+        assert!(text.contains("recovery anomalies"), "{text}");
+        assert!(text.contains("recovery_storm"), "{text}");
+        // The second segment's lost transition flags immediately.
+        assert!(
+            text.contains("== cluster=Loss (12 sampled ticks)"),
+            "{text}"
+        );
+        assert!(text.contains("data_loss"), "{text}");
+        assert!(cluster(&[]).contains("no cluster rollups recorded"));
+    }
+
+    #[test]
+    fn exposure_reports_dwell_percentiles() {
+        let trace = cluster_trace();
+        let text = exposure(&trace);
+        assert!(
+            text.contains("== cluster=Shrink — replication-exposure windows over 30 sampled ticks"),
+            "{text}"
+        );
+        assert!(text.contains("windows closed: 40"), "{text}");
+        // 10 windows each of dwell 1,2,3,4 ticks: log2 buckets <2:10
+        // <4:20 <8:10, nearest-rank p50 at rank 20 -> <4, p90/p99 -> <8.
+        assert!(text.contains("p50<4 p90<8 p99<8"), "{text}");
+        assert!(
+            text.contains("dwell buckets (ticks): <2:10 <4:20 <8:10"),
+            "{text}"
+        );
+        assert!(
+            text.contains("open at end: 0 chunks exposed, data at risk 0 byte-ticks"),
+            "{text}"
+        );
+        assert!(text.contains("lost outright: 2"), "{text}");
+        assert!(exposure(&[]).contains("no cluster rollups recorded"));
+    }
+
+    #[test]
+    fn drill_shows_cluster_section() {
+        let trace = cluster_trace();
+        let text = drill(&trace, 20);
+        assert!(text.contains("== cluster=Shrink — day 20"), "{text}");
+        assert!(text.contains("cluster durability:"), "{text}");
+        assert!(
+            text.contains("chunks: full 460, degraded 40, critical 0, lost 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("recovery backlog: 40 chunks (2621440 bytes)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("recovery traffic (cumulative): repair 0 bytes, drain 196608 bytes"),
+            "{text}"
+        );
+        assert!(text.contains("unit fullness buckets: 8:6"), "{text}");
+        assert!(text.contains("recovery_storm"), "{text}");
+        let miss = drill(&trace, 99);
+        assert!(
+            miss.contains("no rollup at day 99 (sampled days: 1..30, 30 samples)"),
+            "{miss}"
+        );
+    }
+
+    #[test]
+    fn cluster_queries_match_indexed_and_skip_chunks() {
+        use salamander_obs::strc::{write_strc, StrcReader};
+        let records = cluster_trace();
+        let path = tmp("cluster-queries.strc");
+        write_strc(&path, &records, 16).unwrap();
+
+        let mut r = StrcReader::open(&path).unwrap();
+        assert_eq!(cluster_strc(&mut r).unwrap(), cluster(&records));
+        assert!(
+            (r.chunks_decoded as usize) < r.chunk_count(),
+            "cluster decoded every chunk ({} of {})",
+            r.chunks_decoded,
+            r.chunk_count()
+        );
+
+        let mut r = StrcReader::open(&path).unwrap();
+        assert_eq!(exposure_strc(&mut r).unwrap(), exposure(&records));
+        assert!((r.chunks_decoded as usize) < r.chunk_count());
+
+        for day in [1, 20, 24, 99] {
+            let mut r = StrcReader::open(&path).unwrap();
+            assert_eq!(
+                drill_strc(&mut r, day).unwrap(),
+                drill(&records, day),
+                "drill {day}"
+            );
+            assert!((r.chunks_decoded as usize) < r.chunk_count());
+        }
         let _ = std::fs::remove_file(&path);
     }
 

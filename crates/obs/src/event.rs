@@ -170,6 +170,11 @@ pub enum TraceEvent {
     /// Deterministic like [`TraceEvent::FleetRollup`] — integer bins,
     /// shard-order merges.
     LatencyRollup(crate::latency::LatencyRollup),
+    /// Per-tick cluster durability rollup (DESIGN.md §16): replication
+    /// states, recovery backlog and traffic, exposure windows.
+    /// Deterministic like [`TraceEvent::FleetRollup`] — integer bins,
+    /// shard-order merges.
+    ClusterRollup(crate::cluster::ClusterRollup),
 }
 
 /// A trace event plus its position in the run: a per-handle sequence

@@ -18,6 +18,7 @@
 //! serde only) so every layer — ftl, core, fleet, difs, bench — can
 //! emit without cycles.
 
+pub mod cluster;
 pub mod event;
 pub mod latency;
 pub mod live;
@@ -27,6 +28,10 @@ pub mod rollup;
 pub mod strc;
 pub mod trace;
 
+pub use cluster::{
+    ClusterKernel, ClusterRollup, CLUSTER_SCALARS, EXPOSURE_BUCKETS, EXPOSURE_STATS,
+    FULLNESS_BUCKETS,
+};
 pub use event::{DeathCause, DecommissionCause, SimTime, TraceEvent, TraceRecord};
 pub use latency::{
     ClassLatency, CostModelNs, LatClass, LatencyAcc, LatencyKernel, LatencyRollup, LAT_BUCKETS,

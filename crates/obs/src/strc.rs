@@ -45,22 +45,27 @@ pub const MAGIC: &[u8; 4] = b"STRC";
 pub const FOOTER_MAGIC: &[u8; 4] = b"XIDX";
 /// Format version this module writes. Readers accept `1..=VERSION`:
 /// v2 added the `FleetRollup` event kind (and its per-kind count slot
-/// in the footer summaries); v3 added `LatencyRollup` the same way.
-/// Older files decode with the missing count slots zero.
-pub const VERSION: u32 = 3;
+/// in the footer summaries); v3 added `LatencyRollup` the same way;
+/// v4 added `ClusterRollup` and widened the footer kind mask from u16
+/// to u32 (kind 16 needs a 17th bit). Older files decode with the
+/// missing count slots zero and the mask zero-extended.
+pub const VERSION: u32 = 4;
 /// Records per chunk unless the writer is told otherwise. ~4K records
 /// keeps chunks in the hundreds-of-KB range — big enough to amortize
 /// the summary, small enough that skipping matters.
 pub const DEFAULT_CHUNK_RECORDS: usize = 4096;
 
 /// Number of event kinds (one bit each in [`ChunkSummary::kind_mask`]).
-pub const EVENT_KINDS: usize = 16;
+pub const EVENT_KINDS: usize = 17;
 
 /// Event kinds in a version-1 footer (before `FleetRollup`).
 const EVENT_KINDS_V1: usize = 14;
 
 /// Event kinds in a version-2 footer (before `LatencyRollup`).
 const EVENT_KINDS_V2: usize = 15;
+
+/// Event kinds in a version-3 footer (before `ClusterRollup`).
+const EVENT_KINDS_V3: usize = 16;
 
 /// The wire tag of each [`TraceEvent`] variant. Order is part of the
 /// format: renumbering breaks every existing `.strc` file.
@@ -99,6 +104,8 @@ pub enum EventKind {
     FleetRollup = 14,
     /// [`TraceEvent::LatencyRollup`] (format v3)
     LatencyRollup = 15,
+    /// [`TraceEvent::ClusterRollup`] (format v4)
+    ClusterRollup = 16,
 }
 
 impl EventKind {
@@ -121,16 +128,17 @@ impl EventKind {
             TraceEvent::ChunkLost { .. } => EventKind::ChunkLost,
             TraceEvent::FleetRollup(_) => EventKind::FleetRollup,
             TraceEvent::LatencyRollup(_) => EventKind::LatencyRollup,
+            TraceEvent::ClusterRollup(_) => EventKind::ClusterRollup,
         }
     }
 
     /// This kind's bit in a [`ChunkSummary::kind_mask`].
-    pub fn bit(self) -> u16 {
-        1u16 << (self as u8)
+    pub fn bit(self) -> u32 {
+        1u32 << (self as u8)
     }
 
     /// A mask covering several kinds.
-    pub fn mask(kinds: &[EventKind]) -> u16 {
+    pub fn mask(kinds: &[EventKind]) -> u32 {
         kinds.iter().fold(0, |m, k| m | k.bit())
     }
 }
@@ -168,8 +176,10 @@ pub struct ChunkSummary {
     pub first: SimTime,
     /// Stamp of the last record.
     pub last: SimTime,
-    /// OR of [`EventKind::bit`] over every record.
-    pub kind_mask: u16,
+    /// OR of [`EventKind::bit`] over every record. On disk this is a
+    /// u16 through format v3 and a u32 from v4 (kind 16 overflows 16
+    /// bits); in memory it is always the wide form.
+    pub kind_mask: u32,
     /// 64-bit bloom of `id % 64` over every id-bearing event. A query
     /// for id `i` may skip any chunk whose bloom lacks bit `i % 64`
     /// (false positives possible, false negatives not).
@@ -217,7 +227,7 @@ impl ChunkSummary {
     }
 
     /// Whether the chunk can contain an event of one of `kinds`.
-    pub fn may_contain_kinds(&self, kinds_mask: u16) -> bool {
+    pub fn may_contain_kinds(&self, kinds_mask: u32) -> bool {
         self.kind_mask & kinds_mask != 0
     }
 
@@ -260,15 +270,22 @@ impl ChunkSummary {
             ..ChunkSummary::default()
         };
         s.last = SimTime::new(cur.u32()?, cur.u64()?);
-        s.kind_mask = cur.u16()?;
+        // The kind mask widened to u32 in v4 (kind 16 overflows u16);
+        // older masks zero-extend, which is exact.
+        s.kind_mask = if version >= 4 {
+            cur.u32()?
+        } else {
+            cur.u16()? as u32
+        };
         s.id_bloom = cur.u64()?;
         // Older footers carry fewer count slots (v1 predates
-        // FleetRollup, v2 predates LatencyRollup); the missing slots
-        // stay zero, which is exact — those files cannot contain the
-        // kinds.
+        // FleetRollup, v2 predates LatencyRollup, v3 predates
+        // ClusterRollup); the missing slots stay zero, which is exact —
+        // those files cannot contain the kinds.
         let kinds = match version {
             1 => EVENT_KINDS_V1,
             2 => EVENT_KINDS_V2,
+            3 => EVENT_KINDS_V3,
             _ => EVENT_KINDS,
         };
         for c in &mut s.counts[..kinds] {
@@ -468,6 +485,25 @@ fn encode_event(event: &TraceEvent, out: &mut Vec<u8>) {
                 encode_u64_vec(&c.bins, out);
             }
         }
+        TraceEvent::ClusterRollup(r) => {
+            out.extend_from_slice(&r.day.to_le_bytes());
+            for scalar in [
+                r.full,
+                r.degraded,
+                r.critical,
+                r.lost,
+                r.backlog_chunks,
+                r.backlog_bytes,
+                r.repair_bytes,
+                r.drain_bytes,
+                r.data_at_risk,
+                r.exposure_windows,
+            ] {
+                out.extend_from_slice(&scalar.to_le_bytes());
+            }
+            encode_u32_vec(&r.fullness, out);
+            encode_u64_vec(&r.exposure, out);
+        }
     }
 }
 
@@ -618,6 +654,21 @@ fn decode_event(cur: &mut Cursor<'_>) -> Result<TraceEvent, StrcError> {
             }
             TraceEvent::LatencyRollup(crate::latency::LatencyRollup { day, classes: out })
         }
+        16 => TraceEvent::ClusterRollup(crate::cluster::ClusterRollup {
+            day: cur.u32()?,
+            full: cur.u64()?,
+            degraded: cur.u64()?,
+            critical: cur.u64()?,
+            lost: cur.u64()?,
+            backlog_chunks: cur.u64()?,
+            backlog_bytes: cur.u64()?,
+            repair_bytes: cur.u64()?,
+            drain_bytes: cur.u64()?,
+            data_at_risk: cur.u64()?,
+            exposure_windows: cur.u64()?,
+            fullness: decode_u32_vec(cur)?,
+            exposure: decode_u64_vec(cur)?,
+        }),
         n => return Err(StrcError::corrupt(at, format!("unknown event kind {n}"))),
     })
 }
@@ -1166,7 +1217,7 @@ mod tests {
         out.extend_from_slice(&s.first.op.to_le_bytes());
         out.extend_from_slice(&s.last.day.to_le_bytes());
         out.extend_from_slice(&s.last.op.to_le_bytes());
-        out.extend_from_slice(&s.kind_mask.to_le_bytes());
+        out.extend_from_slice(&(s.kind_mask as u16).to_le_bytes());
         out.extend_from_slice(&s.id_bloom.to_le_bytes());
         for c in &s.counts[..EVENT_KINDS_V1] {
             out.extend_from_slice(&c.to_le_bytes());
@@ -1219,7 +1270,7 @@ mod tests {
         out.extend_from_slice(&s.first.op.to_le_bytes());
         out.extend_from_slice(&s.last.day.to_le_bytes());
         out.extend_from_slice(&s.last.op.to_le_bytes());
-        out.extend_from_slice(&s.kind_mask.to_le_bytes());
+        out.extend_from_slice(&(s.kind_mask as u16).to_le_bytes());
         out.extend_from_slice(&s.id_bloom.to_le_bytes());
         for c in &s.counts[..EVENT_KINDS_V2] {
             out.extend_from_slice(&c.to_le_bytes());
@@ -1258,6 +1309,96 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let mut r = StrcReader::open(&path).unwrap();
         assert_eq!(r.summaries()[0].counts, s.counts);
+        assert_eq!(r.read_all().unwrap(), records);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A version-3 footer summary: u16 kind mask and no
+    /// `ClusterRollup` count slot.
+    fn encode_summary_v3(s: &ChunkSummary, out: &mut Vec<u8>) {
+        out.extend_from_slice(&s.offset.to_le_bytes());
+        out.extend_from_slice(&s.byte_len.to_le_bytes());
+        out.extend_from_slice(&s.records.to_le_bytes());
+        out.extend_from_slice(&s.first.day.to_le_bytes());
+        out.extend_from_slice(&s.first.op.to_le_bytes());
+        out.extend_from_slice(&s.last.day.to_le_bytes());
+        out.extend_from_slice(&s.last.op.to_le_bytes());
+        out.extend_from_slice(&(s.kind_mask as u16).to_le_bytes());
+        out.extend_from_slice(&s.id_bloom.to_le_bytes());
+        for c in &s.counts[..EVENT_KINDS_V3] {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        for t in &s.transitions {
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        out.extend_from_slice(&s.gc_relocated.to_le_bytes());
+        out.extend_from_slice(&s.rerep_bytes.to_le_bytes());
+    }
+
+    #[test]
+    fn version3_files_still_open() {
+        // Hand-build a v3 file: record encoding of pre-cluster kinds
+        // is unchanged; the footer summary still has a u16 kind mask
+        // and one fewer count slot.
+        let records = sample_records(5);
+        let mut payload = Vec::new();
+        for r in &records {
+            encode_record(r, &mut payload);
+        }
+        let mut s = summarize(&records);
+        s.offset = 8;
+        s.byte_len = payload.len() as u32;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let mut footer = Vec::new();
+        footer.extend_from_slice(&1u32.to_le_bytes());
+        encode_summary_v3(&s, &mut footer);
+        bytes.extend_from_slice(&footer);
+        bytes.extend_from_slice(&(footer.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(FOOTER_MAGIC);
+        let path = tmp("v3.strc");
+        std::fs::write(&path, &bytes).unwrap();
+        let mut r = StrcReader::open(&path).unwrap();
+        assert_eq!(r.summaries()[0].counts, s.counts);
+        assert_eq!(r.summaries()[0].kind_mask, s.kind_mask);
+        assert_eq!(r.read_all().unwrap(), records);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cluster_rollups_round_trip_and_index() {
+        let mut rollup = crate::cluster::ClusterRollup::empty(77);
+        rollup.full = 1000;
+        rollup.degraded = 12;
+        rollup.critical = 1;
+        rollup.lost = 2;
+        rollup.backlog_chunks = 13;
+        rollup.backlog_bytes = 13 << 18;
+        rollup.repair_bytes = 99 << 18;
+        rollup.drain_bytes = 44 << 18;
+        rollup.data_at_risk = 123_456;
+        rollup.fullness[3] = 7;
+        rollup.exposure[2] = 40;
+        rollup.exposure_windows = 40;
+        let mut records = sample_records(10);
+        records.push(TraceRecord {
+            seq: 10,
+            time: SimTime::new(77, 0),
+            event: TraceEvent::ClusterRollup(rollup),
+        });
+        let path = tmp("cluster.strc");
+        write_strc(&path, &records, 4).unwrap();
+        let mut r = StrcReader::open(&path).unwrap();
+        let tail = r.summaries().last().unwrap();
+        assert!(tail.may_contain_kinds(EventKind::ClusterRollup.bit()));
+        assert_eq!(tail.count(EventKind::ClusterRollup), 1);
+        assert!(
+            !r.summaries()[0].may_contain_kinds(EventKind::ClusterRollup.bit()),
+            "head chunks must be skippable for cluster queries"
+        );
         assert_eq!(r.read_all().unwrap(), records);
         let _ = std::fs::remove_file(&path);
     }

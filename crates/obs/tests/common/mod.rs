@@ -4,7 +4,10 @@
 
 use proptest::prelude::*;
 use salamander_obs::event::{DeathCause, DecommissionCause, SimTime, TraceEvent, TraceRecord};
-use salamander_obs::{ClassLatency, FleetRollup, LatencyRollup, DIST_BUCKETS, LAT_BUCKETS};
+use salamander_obs::{
+    ClassLatency, ClusterRollup, FleetRollup, LatencyRollup, DIST_BUCKETS, EXPOSURE_BUCKETS,
+    FULLNESS_BUCKETS, LAT_BUCKETS,
+};
 
 pub fn cause_strategy() -> impl Strategy<Value = DecommissionCause> {
     prop_oneof![
@@ -59,6 +62,7 @@ pub fn event_strategy() -> impl Strategy<Value = TraceEvent> {
         any::<u64>().prop_map(|chunk| TraceEvent::ChunkLost { chunk }),
         rollup_strategy().prop_map(TraceEvent::FleetRollup),
         latency_rollup_strategy().prop_map(TraceEvent::LatencyRollup),
+        cluster_rollup_strategy().prop_map(TraceEvent::ClusterRollup),
     ]
 }
 
@@ -112,6 +116,49 @@ pub fn latency_rollup_strategy() -> impl Strategy<Value = LatencyRollup> {
         });
     (any::<u32>(), proptest::collection::vec(class, 0..6))
         .prop_map(|(day, classes)| LatencyRollup { day, classes })
+}
+
+/// Arbitrary per-tick cluster rollups: any counter values, any
+/// histogram lengths (shorter and longer than the canonical bucket
+/// counts) — the formats must round-trip all of them, not just the
+/// shapes the chunk store happens to emit.
+pub fn cluster_rollup_strategy() -> impl Strategy<Value = ClusterRollup> {
+    (
+        (any::<u32>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (
+            any::<u64>(),
+            proptest::collection::vec(any::<u32>(), 0..FULLNESS_BUCKETS + 8),
+            proptest::collection::vec(any::<u64>(), 0..EXPOSURE_BUCKETS + 8),
+        ),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(
+                (day, full, degraded),
+                (critical, lost, backlog_chunks),
+                (backlog_bytes, repair_bytes, drain_bytes),
+                (data_at_risk, fullness, exposure),
+                exposure_windows,
+            )| {
+                ClusterRollup {
+                    day,
+                    full,
+                    degraded,
+                    critical,
+                    lost,
+                    backlog_chunks,
+                    backlog_bytes,
+                    repair_bytes,
+                    drain_bytes,
+                    data_at_risk,
+                    fullness,
+                    exposure,
+                    exposure_windows,
+                }
+            },
+        )
 }
 
 pub fn record_strategy() -> impl Strategy<Value = TraceRecord> {

@@ -6,7 +6,7 @@
 
 mod common;
 
-use common::{latency_rollup_strategy, record_strategy};
+use common::{cluster_rollup_strategy, latency_rollup_strategy, record_strategy};
 use proptest::prelude::*;
 use salamander_obs::event::{SimTime, TraceEvent, TraceRecord};
 use salamander_obs::strc::{
@@ -110,6 +110,37 @@ proptest! {
             .collect();
         let strc = tmp("lat.strc", case);
         let jsonl = tmp("lat.jsonl", case);
+        write_strc(&strc, &records, chunk_records).unwrap();
+        let back = read_strc(&strc).unwrap();
+        let n = convert_file(&strc, &jsonl).unwrap();
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        let _ = std::fs::remove_file(&strc);
+        let _ = std::fs::remove_file(&jsonl);
+        prop_assert_eq!(n, records.len() as u64);
+        prop_assert_eq!(text, to_jsonl(&records));
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn cluster_rollups_round_trip_at_any_chunk_size(
+        rollups in proptest::collection::vec(cluster_rollup_strategy(), 0..8),
+        chunk_records in 1usize..5,
+        case in any::<u64>(),
+    ) {
+        // ISSUE 10: arbitrary ClusterRollups — any counter values, any
+        // histogram lengths — survive JSONL ↔ .strc at any chunk size,
+        // byte-exactly in both directions.
+        let records: Vec<TraceRecord> = rollups
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| TraceRecord {
+                seq: i as u64,
+                time: SimTime::new(r.day, i as u64),
+                event: TraceEvent::ClusterRollup(r),
+            })
+            .collect();
+        let strc = tmp("cluster.strc", case);
+        let jsonl = tmp("cluster.jsonl", case);
         write_strc(&strc, &records, chunk_records).unwrap();
         let back = read_strc(&strc).unwrap();
         let n = convert_file(&strc, &jsonl).unwrap();

@@ -23,13 +23,18 @@
 //! | `GET /fleet/series` | `?metric=<name>[&fleet=<label>]`: per-label `[day, value]` series over the published rollups (metric names per [`FleetRollup::series_value`]) |
 //! | `GET /latency`      | JSON snapshot: per-label latency-rollup day count, latest per-class tail stats, and tail-regression anomalies (DESIGN.md §15) |
 //! | `GET /latency/series` | `?class=<op-class>&stat=<p50\|p90\|p99\|p999\|mean\|count>[&fleet=<label>]`: per-label `[day, ns]` series over the published latency rollups |
+//! | `GET /cluster`      | JSON snapshot: per-label cluster-rollup tick count, the latest [`ClusterRollup`], exposure-window percentiles, and recovery anomalies (DESIGN.md §16) |
+//! | `GET /cluster/series` | `?metric=<name>[&fleet=<label>]`: per-label `[tick, value]` series over the published cluster rollups (metric names per [`ClusterRollup::series_value`]) |
 //! | `GET /quit`         | asks the host process to stop lingering          |
 //!
 //! The server holds no locks while blocked on I/O except the bounded
 //! condvar wait inside [`Broadcast::poll_after`], and it cannot slow
 //! the simulation beyond momentary mirror-lock contention.
 
-use salamander_obs::{trace::to_jsonl, FleetRollup, LatencyRollup, LiveObs, LAT_CLASSES};
+use salamander_obs::{
+    trace::to_jsonl, ClusterRollup, FleetRollup, LatencyRollup, LiveObs, EXPOSURE_STATS,
+    LAT_CLASSES,
+};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -68,6 +73,10 @@ pub struct TelemetryHub {
     /// anomalies are pre-serialized by the publisher (like `health`) so
     /// this crate needs no knowledge of the health types.
     latency: Mutex<BTreeMap<String, (Vec<LatencyRollup>, String)>>,
+    /// Run label → (per-tick cluster rollups, pre-serialized JSON
+    /// array of recovery anomalies). Published as runs finish;
+    /// `/cluster` and `/cluster/series` are pure views over them.
+    cluster: Mutex<BTreeMap<String, (Vec<ClusterRollup>, String)>>,
     /// The exact rendered metrics text the run wrote (or would write)
     /// at exit. Once set, `/metrics` serves these bytes verbatim, so a
     /// final scrape equals the `--metrics` file byte-for-byte.
@@ -85,6 +94,7 @@ impl TelemetryHub {
             health: Mutex::new(BTreeMap::new()),
             fleet: Mutex::new(BTreeMap::new()),
             latency: Mutex::new(BTreeMap::new()),
+            cluster: Mutex::new(BTreeMap::new()),
             final_metrics: Mutex::new(None),
             done: AtomicBool::new(false),
             quit: AtomicBool::new(false),
@@ -374,6 +384,108 @@ impl TelemetryHub {
         body.push_str("}}");
         Some(body)
     }
+
+    /// Publish one run label's per-tick cluster rollups plus a
+    /// pre-serialized JSON array of recovery anomalies (from
+    /// `salamander_health::cluster_scan`; pass `"[]"` when the scan
+    /// found nothing), replacing any previous set for that label.
+    pub fn publish_cluster(
+        &self,
+        label: &str,
+        rollups: Vec<ClusterRollup>,
+        anomalies_json: String,
+    ) {
+        self.cluster
+            .lock()
+            .expect("cluster lock")
+            .insert(label.to_string(), (rollups, anomalies_json));
+    }
+
+    /// The `/cluster` body: per-label sampled-tick count, the latest
+    /// rollup record verbatim (serde, same shape as the JSONL trace
+    /// form), the exposure-window percentiles extracted from it, and
+    /// the publisher's recovery anomalies verbatim.
+    fn cluster_body(&self) -> String {
+        let clusters = self.cluster.lock().expect("cluster lock");
+        let mut body = format!(
+            "{{\"run\":{},\"done\":{},\"clusters\":{{",
+            json_string(&self.run),
+            self.is_done()
+        );
+        for (i, (label, (rollups, anomalies))) in clusters.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&json_string(label));
+            body.push_str(":{\"ticks\":");
+            body.push_str(&rollups.len().to_string());
+            body.push_str(",\"latest\":");
+            match rollups.last() {
+                Some(r) => {
+                    body.push_str(&serde_json::to_string(r).unwrap_or_else(|_| "null".into()));
+                    body.push_str(",\"exposure\":{\"windows\":");
+                    body.push_str(&r.exposure_windows.to_string());
+                    for (stat, q) in EXPOSURE_STATS {
+                        body.push_str(&format!(",\"{stat}_ticks\":"));
+                        match r.exposure_percentile(q) {
+                            Some(v) => body.push_str(&v.to_string()),
+                            None => body.push_str("null"),
+                        }
+                    }
+                    body.push('}');
+                }
+                None => body.push_str("null,\"exposure\":null"),
+            }
+            body.push_str(",\"anomalies\":");
+            body.push_str(anomalies);
+            body.push('}');
+        }
+        body.push_str("}}");
+        body
+    }
+
+    /// The `/cluster/series` body: per-label `[tick, value]` pairs for
+    /// `metric` (optionally restricted to one label). `None` when the
+    /// metric name is unknown — the handler turns that into a 400.
+    /// Exposure percentiles before any closed window contribute gaps,
+    /// not errors.
+    fn cluster_series_body(&self, metric: &str, only: Option<&str>) -> Option<String> {
+        if !valid_cluster_metric(metric) {
+            return None;
+        }
+        let clusters = self.cluster.lock().expect("cluster lock");
+        let mut body = format!("{{\"metric\":{},\"series\":{{", json_string(metric));
+        let mut wrote = false;
+        for (label, (rollups, _)) in clusters.iter() {
+            if only.is_some_and(|f| f != label.as_str()) {
+                continue;
+            }
+            let points: Vec<String> = rollups
+                .iter()
+                .filter_map(|r| r.series_value(metric).map(|v| format!("[{},{v}]", r.day)))
+                .collect();
+            if wrote {
+                body.push(',');
+            }
+            body.push_str(&json_string(label));
+            body.push_str(":[");
+            body.push_str(&points.join(","));
+            body.push(']');
+            wrote = true;
+        }
+        body.push_str("}}");
+        Some(body)
+    }
+}
+
+/// Whether `metric` is a name [`ClusterRollup::series_value`] accepts,
+/// probed against a rollup with a populated exposure histogram so this
+/// check cannot drift from the real extraction.
+fn valid_cluster_metric(metric: &str) -> bool {
+    let mut probe = ClusterRollup::empty(0);
+    probe.exposure[0] = 1;
+    probe.exposure_windows = 1;
+    probe.series_value(metric).is_some()
 }
 
 /// Whether `(class, stat)` is a pair [`LatencyRollup::stat`] accepts,
@@ -554,6 +666,20 @@ fn handle_connection(stream: TcpStream, hub: &TelemetryHub) {
                     400,
                     "text/plain",
                     "unknown class or stat (classes: host_read, host_write, gc, scrub, regen; stats: p50, p90, p99, p999, mean, count)\n",
+                    &[],
+                ),
+            }
+        }
+        "/cluster" => respond(&mut out, 200, "application/json", &hub.cluster_body(), &[]),
+        "/cluster/series" => {
+            let metric = query_param(query, "metric").unwrap_or("backlog_chunks");
+            match hub.cluster_series_body(metric, query_param(query, "fleet")) {
+                Some(body) => respond(&mut out, 200, "application/json", &body, &[]),
+                None => respond(
+                    &mut out,
+                    400,
+                    "text/plain",
+                    "unknown metric (try full, degraded, critical, lost, backlog_chunks, backlog_bytes, repair_bytes, drain_bytes, data_at_risk, exposure_windows, exposure_p99, ...)\n",
                     &[],
                 ),
             }
@@ -885,6 +1011,91 @@ mod tests {
         let (status, _, _) = http_get(server.addr(), "/latency/series?class=bogus").unwrap();
         assert_eq!(status, 400);
         let (status, _, _) = http_get(server.addr(), "/latency/series?stat=bogus").unwrap();
+        assert_eq!(status, 400);
+        server.shutdown();
+    }
+
+    fn cluster_rollup(day: u32, backlog: u64) -> ClusterRollup {
+        let mut r = ClusterRollup::empty(day);
+        r.full = 500 - backlog;
+        r.degraded = backlog;
+        r.backlog_chunks = backlog;
+        r.backlog_bytes = backlog * 65_536;
+        r.repair_bytes = u64::from(day) * 1024;
+        if backlog == 0 && day > 1 {
+            // Windows from earlier ticks closed with dwell 1..4.
+            r.exposure[1] = 3;
+            r.exposure[2] = 1;
+            r.exposure_windows = 4;
+        }
+        r
+    }
+
+    #[test]
+    fn cluster_snapshot_and_series_serve_published_rollups() {
+        let (server, hub) = start();
+        let (_, _, body) = http_get(server.addr(), "/cluster").unwrap();
+        assert!(body.contains("\"clusters\":{}"), "{body}");
+        hub.publish_cluster(
+            "cluster=ShrinkS",
+            vec![
+                cluster_rollup(1, 40),
+                cluster_rollup(2, 40),
+                cluster_rollup(3, 0),
+            ],
+            "[{\"day\":1,\"kind\":\"recovery_storm\"}]".to_string(),
+        );
+        hub.publish_cluster(
+            "cluster=Baseline",
+            vec![cluster_rollup(1, 0)],
+            "[]".to_string(),
+        );
+        let (status, _, body) = http_get(server.addr(), "/cluster").unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("\"cluster=ShrinkS\":{\"ticks\":3,\"latest\":{\"day\":3,"),
+            "{body}"
+        );
+        // 4 windows of dwell 1,1,1,2-3: p50 < 2 ticks, p99 < 4.
+        assert!(
+            body.contains(
+                "\"exposure\":{\"windows\":4,\"p50_ticks\":2,\"p90_ticks\":4,\"p99_ticks\":4}"
+            ),
+            "{body}"
+        );
+        assert!(
+            body.contains("\"anomalies\":[{\"day\":1,\"kind\":\"recovery_storm\"}]"),
+            "{body}"
+        );
+        // A label with no closed windows reports null percentiles.
+        assert!(
+            body.contains("\"cluster=Baseline\":{\"ticks\":1,\"latest\":{\"day\":1,"),
+            "{body}"
+        );
+        assert!(body.contains("\"p99_ticks\":null"), "{body}");
+        // Series: every label unless ?fleet= narrows it.
+        let (status, _, body) =
+            http_get(server.addr(), "/cluster/series?metric=backlog_chunks").unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("\"cluster=ShrinkS\":[[1,40],[2,40],[3,0]]"),
+            "{body}"
+        );
+        assert!(body.contains("\"cluster=Baseline\":[[1,0]]"), "{body}");
+        // Default metric is backlog_chunks.
+        let (_, _, dflt) = http_get(server.addr(), "/cluster/series").unwrap();
+        assert_eq!(dflt, body);
+        // Exposure percentiles serve as series too; ticks with no
+        // closed window are gaps.
+        let (_, _, body) = http_get(
+            server.addr(),
+            "/cluster/series?metric=exposure_p99&fleet=cluster=ShrinkS",
+        )
+        .unwrap();
+        assert!(body.contains("\"cluster=ShrinkS\":[[3,4]]"), "{body}");
+        assert!(!body.contains("Baseline"), "{body}");
+        // Unknown metrics are a 400, not an empty 200.
+        let (status, _, _) = http_get(server.addr(), "/cluster/series?metric=bogus").unwrap();
         assert_eq!(status, 400);
         server.shutdown();
     }

@@ -191,6 +191,51 @@ if [ "$quick" -eq 0 ]; then
             exit 1
         fi
         echo "obsctl latency smoke passed"
+
+        # Cluster durability queries (DESIGN.md §16): a throttled
+        # recovery run stretches replication-exposure windows past zero
+        # dwell; the timeline, exposure report, and drill cluster
+        # section must be string-identical over JSONL and the indexed
+        # .strc path, and the trace must be byte-identical regardless
+        # of the global thread default.
+        echo "==> obsctl cluster smoke"
+        SALAMANDER_THREADS=1 "$repo/target/release/recovery" \
+            --recovery-budget 2 --churn 250 --trace cluster.jsonl >/dev/null
+        SALAMANDER_THREADS=4 "$repo/target/release/recovery" \
+            --recovery-budget 2 --churn 250 --trace cluster4.jsonl >/dev/null
+        cmp cluster.jsonl cluster4.jsonl
+        "$repo/target/release/obsctl" convert cluster.jsonl cluster.strc 2>/dev/null
+        for q in "cluster" "exposure" "drill 14" "drill 1" "drill 999"; do
+            set -- $q
+            cmd="$1"
+            shift
+            if ! diff <("$repo/target/release/obsctl" "$cmd" cluster.jsonl "$@") \
+                <("$repo/target/release/obsctl" "$cmd" cluster.strc "$@") >/dev/null; then
+                echo "error: obsctl $q differs between JSONL and .strc" >&2
+                exit 1
+            fi
+        done
+        "$repo/target/release/obsctl" cluster cluster.strc |
+            grep -q '== recovery=ShrinkS' ||
+            {
+                echo "error: cluster timeline missing ShrinkS segment" >&2
+                exit 1
+            }
+        # The throttle must show up as a multi-tick dwell tail (p99
+        # past one tick), not only same-tick repairs.
+        "$repo/target/release/obsctl" exposure cluster.strc |
+            grep -q 'p99<[0-9]*[02-9]' ||
+            {
+                echo "error: exposure report shows no stretched dwell tail" >&2
+                exit 1
+            }
+        "$repo/target/release/obsctl" drill cluster.strc 14 |
+            grep -q 'cluster durability' ||
+            {
+                echo "error: drill missing cluster durability section" >&2
+                exit 1
+            }
+        echo "obsctl cluster smoke passed"
     )
 fi
 
@@ -243,6 +288,47 @@ if [ "$quick" -eq 0 ]; then
         scrape /quit >/dev/null
         wait "$pid"
         echo "live telemetry smoke passed"
+
+        # Live cluster telemetry (DESIGN.md §16): a throttled recovery
+        # run publishes per-mode durability rollups; /cluster and
+        # /cluster/series must serve them (the harness folds rollups
+        # even with tracing off).
+        echo "==> live cluster telemetry smoke"
+        "$repo/target/release/recovery" --recovery-budget 2 --churn 250 \
+            --serve 127.0.0.1:0 --serve-linger 30 >/dev/null 2>cserve.log &
+        pid=$!
+        addr=""
+        for _ in $(seq 1 200); do
+            addr="$(sed -n 's#^serving telemetry on http://\([^/]*\)/$#\1#p' cserve.log | head -1)"
+            [ -n "$addr" ] && break
+            sleep 0.1
+        done
+        if [ -z "$addr" ]; then
+            echo "error: recovery telemetry server never announced an address" >&2
+            kill "$pid" 2>/dev/null || true
+            exit 1
+        fi
+        host="${addr%:*}"
+        port="${addr##*:}"
+        for _ in $(seq 1 600); do
+            scrape /progress | grep -q '"done":true' && break
+            sleep 0.1
+        done
+        scrape /cluster | grep -q '"exposure_windows"' ||
+            {
+                echo "error: /cluster missing rollups" >&2
+                kill "$pid" 2>/dev/null || true
+                exit 1
+            }
+        scrape "/cluster/series?metric=backlog_chunks" | grep -q '"series"' ||
+            {
+                echo "error: /cluster/series missing backlog series" >&2
+                kill "$pid" 2>/dev/null || true
+                exit 1
+            }
+        scrape /quit >/dev/null
+        wait "$pid"
+        echo "live cluster telemetry smoke passed"
     )
 fi
 

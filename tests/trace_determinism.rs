@@ -205,6 +205,101 @@ fn fleet_latency_rollups_are_byte_identical_across_engines_and_thread_counts() {
     }
 }
 
+/// ISSUE 10: the per-tick cluster durability rollups (DESIGN.md §16)
+/// obey the same contract. The chunk-store harness is deterministic by
+/// construction (integer counters, BTreeMap iteration order), so two
+/// identically-seeded runs must produce byte-identical JSONL traces
+/// and rollup JSON regardless of the global thread default — and every
+/// cluster query must render string-identically over the flat JSONL
+/// records and the indexed `.strc` form.
+#[test]
+fn cluster_rollups_are_byte_identical_and_format_agnostic() {
+    use salamander_difs::types::DifsConfig;
+    use salamander_fleet::bridge::ClusterHarness;
+    use salamander_health::query;
+    use salamander_obs::strc::{write_strc, StrcReader};
+    use salamander_obs::{Obs, SimTime, TraceEvent};
+
+    let run = || {
+        let obs = Obs::recording();
+        obs.trace.emit(
+            SimTime::ZERO,
+            TraceEvent::RunMarker {
+                label: "cluster=determinism".to_string(),
+            },
+        );
+        let mut h = ClusterHarness::new(DifsConfig {
+            replication: 3,
+            chunk_bytes: 256 * 1024,
+            // Throttled repair stretches replication-exposure windows,
+            // so the dwell histogram is non-trivial.
+            recovery_chunks_per_tick: Some(2),
+        })
+        .with_obs(obs.clone());
+        for s in 0..6 {
+            h.add_device(SsdConfig::small_test().mode(Mode::Shrink).seed(100 + s));
+        }
+        h.fill(0.6);
+        let mut rounds = 0;
+        while h.alive_devices() > 0 && rounds < 60 {
+            h.churn(250);
+            rounds += 1;
+        }
+        h.check_invariants().expect("store invariants hold");
+        let rollups = h.cluster_rollups();
+        (trace::to_jsonl(&obs.trace.take()), rollups)
+    };
+    let (trace_a, rollups_a) = run();
+    let (trace_b, rollups_b) = run();
+    assert_eq!(trace_a, trace_b, "cluster trace is not deterministic");
+    assert_eq!(
+        serde_json::to_string(&rollups_a).expect("rollups serialize"),
+        serde_json::to_string(&rollups_b).expect("rollups serialize"),
+        "cluster rollup series is not deterministic"
+    );
+    assert!(rollups_a.len() > 10, "one rollup per churn round");
+    let last = rollups_a.last().expect("rollups present");
+    assert!(
+        last.exposure_windows > 0,
+        "throttled recovery must close some exposure windows"
+    );
+    assert!(
+        last.exposure.iter().skip(1).sum::<u64>() > 0,
+        "throttled recovery must stretch some windows past zero dwell"
+    );
+    assert!(last.repair_bytes > 0, "expected repair traffic");
+
+    // Every cluster query renders identically over flat records and
+    // the indexed .strc form.
+    let records = trace::parse_jsonl(&trace_a).expect("trace parses");
+    let path = std::env::temp_dir().join(format!(
+        "salamander-cluster-determinism-{}.strc",
+        std::process::id()
+    ));
+    write_strc(&path, &records, 64).expect("strc writes");
+    let indexed = |f: &dyn Fn(&mut StrcReader) -> String| {
+        let mut r = StrcReader::open(&path).expect("strc opens");
+        f(&mut r)
+    };
+    assert_eq!(
+        query::cluster(&records),
+        indexed(&|r| query::cluster_strc(r).expect("cluster query")),
+        "obsctl cluster diverges between JSONL and .strc"
+    );
+    assert_eq!(
+        query::exposure(&records),
+        indexed(&|r| query::exposure_strc(r).expect("exposure query")),
+        "obsctl exposure diverges between JSONL and .strc"
+    );
+    let day = last.day;
+    assert_eq!(
+        query::drill(&records, day),
+        indexed(&|r| query::drill_strc(r, day).expect("drill query")),
+        "obsctl drill diverges between JSONL and .strc"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
 /// ISSUE 6: the cohort engine honors the same determinism contract —
 /// its telemetry is byte-identical at any thread count — AND is
 /// byte-identical to the legacy per-device engine's, so switching
